@@ -1,0 +1,152 @@
+//! Checker diagnostics.
+//!
+//! LCLint messages have a two-part shape (paper footnote 3): a primary line
+//! explaining the anomaly and where it is detected, plus indented sub-lines
+//! showing where relevant state was introduced, e.g.
+//!
+//! ```text
+//! sample.c:6: Function returns with non-null global gname referencing null storage
+//!    sample.c:5: Storage gname may become null
+//! ```
+
+use lclint_syntax::span::Span;
+use std::fmt;
+
+/// The category of an anomaly (used by flag filtering and reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DiagKind {
+    /// Dereference (or non-null use) of a possibly-null pointer.
+    NullDeref,
+    /// A possibly-null value reaches a non-null interface position
+    /// (return value, global at return, argument).
+    NullMismatch,
+    /// Use of storage before it is defined.
+    UseBeforeDef,
+    /// Storage not completely defined at an interface point.
+    IncompleteDef,
+    /// The last reference to owned storage is lost (memory leak).
+    MemoryLeak,
+    /// Use of a dead (released or transferred) reference.
+    UseAfterRelease,
+    /// Allocation-state mismatch at an interface point (e.g. temp storage
+    /// passed or assigned where only is required).
+    AllocMismatch,
+    /// Incompatible dataflow values at a control-flow confluence point
+    /// (e.g. storage released on only one branch).
+    ConfluenceError,
+    /// A `unique` or sharing constraint is violated by aliased arguments.
+    AliasViolation,
+    /// Modification or release of `observer`/`exposed` storage.
+    ExposureViolation,
+    /// Return/parameter conventions violated in some other way.
+    InterfaceViolation,
+    /// Statements that can never execute.
+    UnreachableCode,
+    /// A non-void function may fall off the end without returning a value.
+    MissingReturn,
+}
+
+impl DiagKind {
+    /// A stable identifier used by flags (e.g. `-nullderef`).
+    pub fn flag_name(&self) -> &'static str {
+        match self {
+            DiagKind::NullDeref => "nullderef",
+            DiagKind::NullMismatch => "nullpass",
+            DiagKind::UseBeforeDef => "usedef",
+            DiagKind::IncompleteDef => "compdef",
+            DiagKind::MemoryLeak => "mustfree",
+            DiagKind::UseAfterRelease => "usereleased",
+            DiagKind::AllocMismatch => "onlytrans",
+            DiagKind::ConfluenceError => "branchstate",
+            DiagKind::AliasViolation => "aliasunique",
+            DiagKind::ExposureViolation => "modobserver",
+            DiagKind::InterfaceViolation => "interface",
+            DiagKind::UnreachableCode => "unreachable",
+            DiagKind::MissingReturn => "noret",
+        }
+    }
+
+    /// All kinds (for flag enumeration).
+    pub fn all() -> &'static [DiagKind] {
+        &[
+            DiagKind::NullDeref,
+            DiagKind::NullMismatch,
+            DiagKind::UseBeforeDef,
+            DiagKind::IncompleteDef,
+            DiagKind::MemoryLeak,
+            DiagKind::UseAfterRelease,
+            DiagKind::AllocMismatch,
+            DiagKind::ConfluenceError,
+            DiagKind::AliasViolation,
+            DiagKind::ExposureViolation,
+            DiagKind::InterfaceViolation,
+            DiagKind::UnreachableCode,
+            DiagKind::MissingReturn,
+        ]
+    }
+}
+
+impl fmt::Display for DiagKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.flag_name())
+    }
+}
+
+/// An indented sub-line attached to a diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Note {
+    /// Explanation, e.g. "Storage gname may become null".
+    pub message: String,
+    /// Where.
+    pub span: Span,
+}
+
+/// One reported anomaly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Category.
+    pub kind: DiagKind,
+    /// Primary message text (without the file:line prefix, which the
+    /// reporter adds from the span).
+    pub message: String,
+    /// Primary location.
+    pub span: Span,
+    /// History sub-lines.
+    pub notes: Vec<Note>,
+    /// Function the anomaly was found in, when applicable.
+    pub in_function: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no notes.
+    pub fn new(kind: DiagKind, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { kind, message: message.into(), span, notes: Vec::new(), in_function: None }
+    }
+
+    /// Adds a history note.
+    pub fn with_note(mut self, message: impl Into<String>, span: Span) -> Self {
+        self.notes.push(Note { message: message.into(), span });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_api() {
+        let d = Diagnostic::new(DiagKind::NullDeref, "deref of possibly null p", Span::synthetic())
+            .with_note("Storage p may become null", Span::synthetic());
+        assert_eq!(d.notes.len(), 1);
+        assert_eq!(d.kind.flag_name(), "nullderef");
+    }
+
+    #[test]
+    fn all_kinds_have_distinct_flag_names() {
+        let mut names: Vec<_> = DiagKind::all().iter().map(|k| k.flag_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DiagKind::all().len());
+    }
+}

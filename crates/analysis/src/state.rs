@@ -1,0 +1,669 @@
+//! The three dataflow values of the paper (§5) and the per-point environment.
+//!
+//! "Three values are associated with each reference: the definition state
+//! (defined, partially defined, allocated, etc.), the null state (definitely
+//! null, possibly null, not null, etc.), and the allocation state
+//! (corresponding to the allocation annotation, e.g., only, temp)."
+
+use crate::diag::{DiagKind, Diagnostic};
+use crate::refs::{RefId, RefTable};
+use lclint_syntax::annot::{AllocAnnot, DefAnnot, NullAnnot};
+use lclint_syntax::span::Span;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Definition state of a reference's storage.
+///
+/// Ordered: `Undefined < Allocated < Partial < Defined`. Confluence merges
+/// take the *weakest* assumption (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DefState {
+    /// No value has been assigned.
+    Undefined,
+    /// Storage is allocated but its contents are undefined (e.g. fresh
+    /// `malloc` results, `out` parameters).
+    Allocated,
+    /// Some derived storage is defined, some is not.
+    Partial,
+    /// Completely defined as far as this level is concerned.
+    Defined,
+}
+
+impl DefState {
+    /// Confluence merge: the weakest assumption.
+    pub fn merge(self, other: DefState) -> DefState {
+        self.min(other)
+    }
+}
+
+/// Null state of a pointer reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NullState {
+    /// Definitely the null pointer.
+    Null,
+    /// May be null.
+    PossiblyNull,
+    /// Definitely not null.
+    NotNull,
+    /// `relnull`: assumed non-null when used, may be assigned null.
+    RelNull,
+}
+
+impl NullState {
+    /// Confluence merge: a join in the semilattice
+    /// `NotNull < RelNull < PossiblyNull`, where merging a definite `Null`
+    /// with any other value is `PossiblyNull`.
+    pub fn merge(self, other: NullState) -> NullState {
+        use NullState::*;
+        if self == other {
+            return self;
+        }
+        if self == Null || other == Null {
+            return PossiblyNull;
+        }
+        let rank = |s: NullState| match s {
+            NotNull => 0,
+            RelNull => 1,
+            _ => 2,
+        };
+        if rank(self) >= rank(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True when a dereference of this state is an anomaly.
+    pub fn may_be_null(&self) -> bool {
+        matches!(self, NullState::Null | NullState::PossiblyNull)
+    }
+
+    /// Initial null state implied by a declaration annotation
+    /// (the default with no annotation is not-null, paper §6).
+    pub fn from_annot(a: Option<NullAnnot>) -> NullState {
+        match a {
+            Some(NullAnnot::Null) => NullState::PossiblyNull,
+            Some(NullAnnot::RelNull) => NullState::RelNull,
+            Some(NullAnnot::NotNull) | None => NullState::NotNull,
+        }
+    }
+}
+
+/// Allocation state (alias kind) of a reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocState {
+    /// Unshared storage with an obligation to release (annotation `only`).
+    Only,
+    /// Storage allocated in this function whose obligation has not yet been
+    /// transferred (reported as *fresh* storage).
+    Fresh,
+    /// Owning reference that `dependent` references may share.
+    Owned,
+    /// `keep` parameter: obligation accepted, caller may still use.
+    Keep,
+    /// Temporary: may not be released or captured (the default for
+    /// unannotated parameters).
+    Temp,
+    /// Shares an owned reference; may not release.
+    Dependent,
+    /// Arbitrarily shared; never released.
+    Shared,
+    /// Static-duration storage (string literals); never released.
+    Static,
+    /// A live reference-count reference that must be killed (`newref`).
+    NewRef,
+    /// Obligation satisfied (transferred); still safely usable.
+    Kept,
+    /// Released or transferred as `only`; must not be used.
+    Dead,
+    /// Nothing known (non-pointers, untracked).
+    Unknown,
+    /// Poisoned by a confluence error to suppress cascades.
+    Error,
+}
+
+impl AllocState {
+    /// Does this state carry an obligation to release storage?
+    pub fn has_obligation(&self) -> bool {
+        matches!(
+            self,
+            AllocState::Only
+                | AllocState::Fresh
+                | AllocState::Owned
+                | AllocState::Keep
+                | AllocState::NewRef
+        )
+    }
+
+    /// May the reference still be used as an rvalue?
+    pub fn usable(&self) -> bool {
+        !matches!(self, AllocState::Dead)
+    }
+
+    /// Initial state implied by a declaration annotation. `implicit_only`
+    /// supplies the interpretation for unannotated declarations (true at
+    /// positions where LCLint applies implicit `only`).
+    pub fn from_annot(a: Option<AllocAnnot>, default: AllocState) -> AllocState {
+        match a {
+            Some(AllocAnnot::Only) => AllocState::Only,
+            Some(AllocAnnot::Keep) => AllocState::Keep,
+            Some(AllocAnnot::Temp) => AllocState::Temp,
+            Some(AllocAnnot::Owned) => AllocState::Owned,
+            Some(AllocAnnot::Dependent) => AllocState::Dependent,
+            Some(AllocAnnot::Shared) => AllocState::Shared,
+            None => default,
+        }
+    }
+
+    /// LCLint-style label used in messages ("Temp storage", "Only storage").
+    pub fn label(&self) -> &'static str {
+        match self {
+            AllocState::Only => "only",
+            AllocState::Fresh => "fresh",
+            AllocState::Owned => "owned",
+            AllocState::Keep => "keep",
+            AllocState::Temp => "temp",
+            AllocState::Dependent => "dependent",
+            AllocState::Shared => "shared",
+            AllocState::Static => "static",
+            AllocState::NewRef => "newref",
+            AllocState::Kept => "kept",
+            AllocState::Dead => "dead",
+            AllocState::Unknown => "unknown",
+            AllocState::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for AllocState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The full dataflow value of one reference, with provenance spans used for
+/// the indented history lines of diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefState {
+    /// Definition state.
+    pub def: DefState,
+    /// Null state.
+    pub null: NullState,
+    /// Allocation state.
+    pub alloc: AllocState,
+    /// Where the value may have become null.
+    pub null_site: Option<Span>,
+    /// Where the allocation state was established (annotation or event).
+    pub alloc_site: Option<Span>,
+    /// Where the reference was released / transferred (for dead refs).
+    pub release_site: Option<Span>,
+    /// True once this reference has been assigned within the current
+    /// function (distinguishes values this function obtained from entry
+    /// assumptions — used by the leak-on-assignment check).
+    pub touched: bool,
+    /// True when the pointer may point *into* an object rather than at its
+    /// start (pointer arithmetic) — releasing such a pointer is an anomaly
+    /// (§7: "freeing storage resulting from pointer arithmetic").
+    pub offset: bool,
+}
+
+impl RefState {
+    /// A completely defined, non-null, unknown-allocation value.
+    pub fn defined() -> Self {
+        RefState {
+            def: DefState::Defined,
+            null: NullState::NotNull,
+            alloc: AllocState::Unknown,
+            null_site: None,
+            alloc_site: None,
+            release_site: None,
+            touched: false,
+            offset: false,
+        }
+    }
+
+    /// The definitely-null value.
+    pub fn null_value(site: Span) -> Self {
+        RefState {
+            def: DefState::Defined,
+            null: NullState::Null,
+            alloc: AllocState::Unknown,
+            null_site: Some(site),
+            alloc_site: None,
+            release_site: None,
+            touched: false,
+            offset: false,
+        }
+    }
+
+    /// An undefined local.
+    pub fn undefined() -> Self {
+        RefState {
+            def: DefState::Undefined,
+            null: NullState::NotNull,
+            alloc: AllocState::Unknown,
+            null_site: None,
+            alloc_site: None,
+            release_site: None,
+            touched: false,
+            offset: false,
+        }
+    }
+}
+
+impl Default for RefState {
+    fn default() -> Self {
+        RefState::defined()
+    }
+}
+
+/// The abstract environment at one program point.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Env {
+    /// False after a `noreturn` call (state is dead; checks are disabled and
+    /// merges ignore it).
+    pub unreachable: bool,
+    states: HashMap<RefId, RefState>,
+    aliases: HashMap<RefId, BTreeSet<RefId>>,
+    /// Location aliases: two references naming the *same memory location*
+    /// (derived-reference pairs such as `l->next` and `argl->next` when `l`
+    /// aliases `argl`). Unlike value aliases these survive assignment —
+    /// writing through one writes the other.
+    loc_aliases: HashMap<RefId, BTreeSet<RefId>>,
+}
+
+impl Env {
+    /// Creates an empty, reachable environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// The state of `r`, if tracked.
+    pub fn get(&self, r: RefId) -> Option<&RefState> {
+        self.states.get(&r)
+    }
+
+    /// Sets the state of exactly `r` (no alias propagation — the checker
+    /// drives propagation explicitly).
+    pub fn set(&mut self, r: RefId, s: RefState) {
+        self.states.insert(r, s);
+    }
+
+    /// Removes a reference (scope exit).
+    pub fn remove(&mut self, r: RefId) -> Option<RefState> {
+        self.aliases.remove(&r);
+        for set in self.aliases.values_mut() {
+            set.remove(&r);
+        }
+        self.loc_aliases.remove(&r);
+        for set in self.loc_aliases.values_mut() {
+            set.remove(&r);
+        }
+        self.states.remove(&r)
+    }
+
+    /// True when tracked.
+    pub fn contains(&self, r: RefId) -> bool {
+        self.states.contains_key(&r)
+    }
+
+    /// The may-alias set of `r` (not including `r` itself).
+    pub fn aliases_of(&self, r: RefId) -> BTreeSet<RefId> {
+        self.aliases.get(&r).cloned().unwrap_or_default()
+    }
+
+    /// Records that `a` and `b` may refer to the same storage (symmetric,
+    /// but deliberately *not* transitive: `l` may alias `argl` or
+    /// `argl->next` without those aliasing each other — paper §5).
+    pub fn add_alias(&mut self, a: RefId, b: RefId) {
+        if a == b {
+            return;
+        }
+        self.aliases.entry(a).or_default().insert(b);
+        self.aliases.entry(b).or_default().insert(a);
+    }
+
+    /// Drops every *value* alias pair involving `r` (after `r` is
+    /// reassigned). Location aliases are untouched.
+    pub fn clear_aliases(&mut self, r: RefId) {
+        if let Some(set) = self.aliases.remove(&r) {
+            for o in set {
+                if let Some(os) = self.aliases.get_mut(&o) {
+                    os.remove(&r);
+                }
+            }
+        }
+    }
+
+    /// Records that `a` and `b` name the same memory location.
+    pub fn add_loc_alias(&mut self, a: RefId, b: RefId) {
+        if a == b {
+            return;
+        }
+        self.loc_aliases.entry(a).or_default().insert(b);
+        self.loc_aliases.entry(b).or_default().insert(a);
+    }
+
+    /// The location-alias set of `r` (not including `r`).
+    pub fn loc_aliases_of(&self, r: RefId) -> BTreeSet<RefId> {
+        self.loc_aliases.get(&r).cloned().unwrap_or_default()
+    }
+
+    /// Union of value and location aliases of `r`.
+    pub fn all_aliases_of(&self, r: RefId) -> BTreeSet<RefId> {
+        let mut s = self.aliases_of(r);
+        s.extend(self.loc_aliases_of(r));
+        s
+    }
+
+    /// Iterates over tracked `(ref, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RefId, &RefState)> {
+        self.states.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of tracked references.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// The implicit state of a reference that one branch never touched: derived
+/// from the nearest tracked ancestor's definition state and the declared
+/// annotations on the reference's type (entry assumptions, paper §2).
+pub fn implicit_state(env: &Env, table: &RefTable, r: RefId) -> RefState {
+    // Walk up to the nearest tracked ancestor.
+    let mut anc_def = DefState::Defined;
+    let mut cur = r;
+    loop {
+        match table.parent(cur) {
+            Some(p) => {
+                if let Some(s) = env.get(p) {
+                    anc_def = s.def;
+                    break;
+                }
+                cur = p;
+            }
+            None => break,
+        }
+    }
+    let def = match anc_def {
+        DefState::Defined | DefState::Partial => DefState::Defined,
+        DefState::Allocated | DefState::Undefined => DefState::Undefined,
+    };
+    let (null, alloc) = match table.ty(r) {
+        Some(ty) => (
+            NullState::from_annot(ty.annots.null()),
+            AllocState::from_annot(ty.annots.alloc(), AllocState::Unknown),
+        ),
+        None => (NullState::NotNull, AllocState::Unknown),
+    };
+    // `out`-annotated storage may legitimately be undefined.
+    let def = match table.ty(r).and_then(|t| t.annots.def()) {
+        Some(DefAnnot::Out) => def.min(DefState::Allocated),
+        _ => def,
+    };
+    RefState {
+        def,
+        null,
+        alloc,
+        null_site: None,
+        alloc_site: None,
+        release_site: None,
+        touched: false,
+        offset: false,
+    }
+}
+
+/// Merges two environments at a confluence point, reporting allocation-state
+/// confluence anomalies into `diags` (paper §5, Figure 6 point 10).
+pub fn merge_env(
+    mut a: Env,
+    mut b: Env,
+    at: Span,
+    table: &RefTable,
+    diags: &mut Vec<Diagnostic>,
+) -> Env {
+    if a.unreachable {
+        return b;
+    }
+    if b.unreachable {
+        return a;
+    }
+    let mut out = Env::new();
+    let keys: BTreeSet<RefId> = a.states.keys().chain(b.states.keys()).copied().collect();
+    for r in keys {
+        let base = &table.path(r).base;
+        let is_temp = matches!(base, crate::refs::RefBase::Temp(_));
+        let is_arg_shadow = matches!(base, crate::refs::RefBase::Arg(_, _));
+        let is_local = matches!(base, crate::refs::RefBase::Local(_));
+        // A temporary or local missing on one side simply did not exist
+        // there (different scope/path) — use the tracked state rather than
+        // synthesizing a conflicting one from type annotations.
+        if (is_temp || is_local)
+            && (!a.states.contains_key(&r) || !b.states.contains_key(&r))
+        {
+            let st = a
+                .states
+                .remove(&r)
+                .or_else(|| b.states.remove(&r))
+                .expect("key came from one of the maps");
+            out.states.insert(r, st);
+            continue;
+        }
+        let sa = a.states.remove(&r).unwrap_or_else(|| implicit_state(&a, table, r));
+        let sb = b.states.remove(&r).unwrap_or_else(|| implicit_state(&b, table, r));
+        let def = sa.def.merge(sb.def);
+        let null = sa.null.merge(sb.null);
+        let (alloc, conflict) = merge_alloc(sa.alloc, sb.alloc);
+        // Report one anomaly per storage: parameter/local names carry it;
+        // their arg-shadows and call temporaries would duplicate it.
+        if conflict && !is_temp && !is_arg_shadow {
+            let (x, y) = (sa.alloc, sb.alloc);
+            diags.push(
+                Diagnostic::new(
+                    DiagKind::ConfluenceError,
+                    format!(
+                        "Storage {} is {} in one path, {} in other (inconsistent states merging branches)",
+                        table.name(r),
+                        y.label(),
+                        x.label(),
+                    ),
+                    at,
+                )
+                .with_note(
+                    format!("Storage {} becomes {}", table.name(r), y.label()),
+                    sb.alloc_site.or(sb.release_site).unwrap_or(at),
+                ),
+            );
+        }
+        out.states.insert(
+            r,
+            RefState {
+                def,
+                null,
+                alloc,
+                null_site: sa.null_site.or(sb.null_site),
+                alloc_site: sa.alloc_site.or(sb.alloc_site),
+                release_site: sa.release_site.or(sb.release_site),
+                touched: sa.touched || sb.touched,
+                offset: sa.offset || sb.offset,
+            },
+        );
+    }
+    // Possible aliases at a confluence point are the union (paper §5).
+    let alias_keys: BTreeSet<RefId> =
+        a.aliases.keys().chain(b.aliases.keys()).copied().collect();
+    for r in alias_keys {
+        let mut set = a.aliases.remove(&r).unwrap_or_default();
+        set.extend(b.aliases.remove(&r).unwrap_or_default());
+        if !set.is_empty() {
+            out.aliases.insert(r, set);
+        }
+    }
+    let loc_keys: BTreeSet<RefId> =
+        a.loc_aliases.keys().chain(b.loc_aliases.keys()).copied().collect();
+    for r in loc_keys {
+        let mut set = a.loc_aliases.remove(&r).unwrap_or_default();
+        set.extend(b.loc_aliases.remove(&r).unwrap_or_default());
+        if !set.is_empty() {
+            out.loc_aliases.insert(r, set);
+        }
+    }
+    out
+}
+
+/// Merges allocation states; the boolean is true when the combination is a
+/// confluence anomaly.
+fn merge_alloc(a: AllocState, b: AllocState) -> (AllocState, bool) {
+    use AllocState::*;
+    if a == b {
+        return (a, false);
+    }
+    match (a, b) {
+        (Error, _) | (_, Error) => (Error, false),
+        (Unknown, x) | (x, Unknown) => (x, false),
+        // Fresh and only both carry the obligation.
+        (Fresh, Only) | (Only, Fresh) => (Only, false),
+        (Fresh, Owned) | (Owned, Fresh) => (Owned, false),
+        (Only, Owned) | (Owned, Only) => (Owned, false),
+        // Both discharged but one side unusable: stay unusable.
+        (Dead, Kept) | (Kept, Dead) => (Dead, false),
+        // Obligation on one path but not the other: the Figure 5/6 anomaly.
+        (x, y) if x.has_obligation() != y.has_obligation() => (Error, true),
+        // Remaining pairs are both obligation-free and usable; keep the
+        // first (they agree on everything the checker acts on).
+        (x, _) => (x, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refs::{Path, RefBase, RefStep};
+
+    #[test]
+    fn def_merge_is_weakest() {
+        assert_eq!(DefState::Defined.merge(DefState::Undefined), DefState::Undefined);
+        assert_eq!(DefState::Partial.merge(DefState::Defined), DefState::Partial);
+        assert_eq!(DefState::Allocated.merge(DefState::Partial), DefState::Allocated);
+    }
+
+    #[test]
+    fn null_merge() {
+        use NullState::*;
+        assert_eq!(Null.merge(NotNull), PossiblyNull);
+        assert_eq!(NotNull.merge(NotNull), NotNull);
+        assert_eq!(PossiblyNull.merge(NotNull), PossiblyNull);
+        assert_eq!(RelNull.merge(NotNull), RelNull);
+        assert_eq!(RelNull.merge(Null), PossiblyNull);
+        assert_eq!(PossiblyNull.merge(RelNull), PossiblyNull);
+    }
+
+    #[test]
+    fn alloc_merge_conflicts() {
+        let (s, conflict) = merge_alloc(AllocState::Kept, AllocState::Only);
+        assert!(conflict);
+        assert_eq!(s, AllocState::Error);
+        let (s, conflict) = merge_alloc(AllocState::Dead, AllocState::Only);
+        assert!(conflict);
+        assert_eq!(s, AllocState::Error);
+        let (_, conflict) = merge_alloc(AllocState::Only, AllocState::Fresh);
+        assert!(!conflict);
+        let (_, conflict) = merge_alloc(AllocState::Temp, AllocState::Static);
+        assert!(!conflict);
+        let (s, conflict) = merge_alloc(AllocState::Dead, AllocState::Kept);
+        assert!(!conflict);
+        assert_eq!(s, AllocState::Dead);
+    }
+
+    #[test]
+    fn env_alias_api() {
+        let mut t = RefTable::new();
+        let l = t.intern(Path::root(RefBase::Local("l".into())));
+        let a = t.intern(Path::root(RefBase::Arg(0, "l".into())));
+        let mut env = Env::new();
+        env.add_alias(l, a);
+        assert!(env.aliases_of(l).contains(&a));
+        assert!(env.aliases_of(a).contains(&l));
+        env.clear_aliases(l);
+        assert!(env.aliases_of(a).is_empty());
+    }
+
+    #[test]
+    fn merge_reports_confluence_error() {
+        let mut t = RefTable::new();
+        let e = t.intern(Path::root(RefBase::Param(1, "e".into())));
+        let mut env_a = Env::new();
+        let mut env_b = Env::new();
+        let mut sa = RefState::defined();
+        sa.alloc = AllocState::Kept;
+        let mut sb = RefState::defined();
+        sb.alloc = AllocState::Only;
+        env_a.set(e, sa);
+        env_b.set(e, sb);
+        let mut diags = Vec::new();
+        let merged = merge_env(env_a, env_b, Span::synthetic(), &t, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("kept"));
+        assert!(diags[0].message.contains("only"));
+        assert_eq!(merged.get(e).unwrap().alloc, AllocState::Error);
+    }
+
+    #[test]
+    fn unreachable_side_is_ignored() {
+        let t = RefTable::new();
+        let mut dead = Env::new();
+        dead.unreachable = true;
+        let live = Env::new();
+        let mut diags = Vec::new();
+        let m = merge_env(dead, live.clone(), Span::synthetic(), &t, &mut diags);
+        assert!(!m.unreachable);
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn implicit_state_from_defined_ancestor() {
+        let mut t = RefTable::new();
+        let l = t.intern(Path::root(RefBase::Local("l".into())));
+        let ln = t.intern(t.path(l).extended(RefStep::Field("next".into())));
+        let mut env = Env::new();
+        env.set(l, RefState::defined());
+        let s = implicit_state(&env, &t, ln);
+        assert_eq!(s.def, DefState::Defined);
+        // Ancestor only allocated → derived implicitly undefined.
+        let mut st = RefState::defined();
+        st.def = DefState::Allocated;
+        env.set(l, st);
+        let s = implicit_state(&env, &t, ln);
+        assert_eq!(s.def, DefState::Undefined);
+    }
+
+    #[test]
+    fn merge_with_untracked_side_uses_implicit() {
+        // Figure 5/6: one branch tracks l->next->next as undefined; the
+        // other never touched it (l completely defined) → merge = undefined.
+        let mut t = RefTable::new();
+        let l = t.intern(Path::root(RefBase::Local("l".into())));
+        let ln = t.intern(t.path(l).extended(RefStep::Field("next".into())));
+        let lnn = t.intern(t.path(ln).extended(RefStep::Field("next".into())));
+        let mut taken = Env::new();
+        let mut partial = RefState::defined();
+        partial.def = DefState::Partial;
+        taken.set(l, partial.clone());
+        taken.set(ln, partial);
+        let mut undef = RefState::defined();
+        undef.def = DefState::Undefined;
+        taken.set(lnn, undef);
+        let mut skipped = Env::new();
+        skipped.set(l, RefState::defined());
+        let mut diags = Vec::new();
+        let m = merge_env(taken, skipped, Span::synthetic(), &t, &mut diags);
+        assert_eq!(m.get(lnn).unwrap().def, DefState::Undefined);
+        assert_eq!(m.get(l).unwrap().def, DefState::Partial);
+    }
+}

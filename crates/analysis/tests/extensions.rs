@@ -1,0 +1,295 @@
+//! Tests for the checks §7 mentions as post-paper improvements ("LCLint has
+//! since been improved to detect freeing offset pointers and static
+//! storage") and the remaining Appendix-B annotations.
+
+use lclint_analysis::{check_program, AnalysisOptions, DiagKind, Diagnostic};
+use lclint_sema::Program;
+use lclint_syntax::parse_translation_unit;
+
+const STDLIB: &str = "\
+extern /*@null@*/ /*@out@*/ /*@only@*/ void *malloc(size_t size);\n\
+extern void free(/*@null@*/ /*@out@*/ /*@only@*/ void *ptr);\n\
+extern /*@noreturn@*/ void exit(int status);\n\
+extern void assert(int cond);\n";
+
+fn check(src: &str) -> Vec<Diagnostic> {
+    let full = format!("{STDLIB}{src}");
+    let (tu, _, _) = parse_translation_unit("t.c", &full).unwrap();
+    let program = Program::from_unit(&tu);
+    assert!(program.errors.is_empty(), "sema errors: {:?}", program.errors);
+    check_program(&program, &AnalysisOptions::default())
+}
+
+fn assert_has(diags: &[Diagnostic], kind: DiagKind, substr: &str) {
+    assert!(
+        diags.iter().any(|d| d.kind == kind && d.message.contains(substr)),
+        "expected {kind:?} containing {substr:?}; got {:#?}",
+        diags.iter().map(|d| format!("{:?}: {}", d.kind, d.message)).collect::<Vec<_>>()
+    );
+}
+
+fn assert_clean(diags: &[Diagnostic]) {
+    assert!(
+        diags.is_empty(),
+        "expected clean, got {:#?}",
+        diags.iter().map(|d| format!("{:?}: {}", d.kind, d.message)).collect::<Vec<_>>()
+    );
+}
+
+// -- offset pointers (§7) ----------------------------------------------------
+
+#[test]
+fn free_of_incremented_pointer_reported() {
+    let diags = check(
+        "void f(void)\n{\n  char *p = (char *) malloc(8);\n  if (p == NULL) { exit(1); }\n  p++;\n  free(p);\n}\n",
+    );
+    assert_has(&diags, DiagKind::AllocMismatch, "Offset pointer p passed as only param");
+}
+
+#[test]
+fn free_of_pointer_arithmetic_result_reported() {
+    let diags = check(
+        "void f(void)\n{\n  char *p = (char *) malloc(8);\n  char *q;\n  if (p == NULL) { exit(1); }\n  q = p + 4;\n  free(q);\n}\n",
+    );
+    assert_has(&diags, DiagKind::AllocMismatch, "Offset pointer q passed as only param");
+}
+
+#[test]
+fn free_of_compound_shifted_pointer_reported() {
+    let diags = check(
+        "void f(void)\n{\n  char *p = (char *) malloc(8);\n  if (p == NULL) { exit(1); }\n  p += 2;\n  free(p);\n}\n",
+    );
+    assert_has(&diags, DiagKind::AllocMismatch, "Offset pointer p");
+}
+
+#[test]
+fn free_of_unshifted_pointer_still_clean() {
+    let diags = check(
+        "void f(void)\n{\n  char *p = (char *) malloc(8);\n  free(p);\n}\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn pointer_arithmetic_without_free_is_clean() {
+    let diags = check(
+        "int f(char *s)\n{\n  int n = 0;\n  while (*s != '\\0') { s++; n++; }\n  return n;\n}\n",
+    );
+    assert_clean(&diags);
+}
+
+// -- freeing static storage (§7) -----------------------------------------------
+
+#[test]
+fn free_of_string_literal_reported() {
+    let diags = check(
+        "void f(void)\n{\n  char *s = \"static storage\";\n  free(s);\n}\n",
+    );
+    assert_has(&diags, DiagKind::AllocMismatch, "Static storage s passed as only param");
+}
+
+// -- remaining Appendix-B annotations ---------------------------------------------
+
+#[test]
+fn owned_and_dependent_sharing() {
+    // A dependent reference may share owned storage but not release it.
+    let diags = check(
+        "extern void take_dep(/*@dependent@*/ char *d);\n\
+         void f(/*@owned@*/ char *o)\n\
+         {\n\
+           take_dep(o);\n\
+           free(o);\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn dependent_param_must_not_release() {
+    let diags = check("void f(/*@dependent@*/ char *d) { free(d); }");
+    assert_has(&diags, DiagKind::AllocMismatch, "Dependent storage d passed as only param");
+}
+
+#[test]
+fn shared_param_never_released() {
+    // `shared`: for use with garbage collectors; may not be deallocated.
+    let diags = check("void f(/*@shared@*/ char *s) { free(s); }");
+    assert_has(&diags, DiagKind::AllocMismatch, "Shared storage s passed as only param");
+}
+
+#[test]
+fn undef_global_may_start_undefined() {
+    let diags = check(
+        "/*@undef@*/ /*@only@*/ char *cache;\n\
+         void init_cache(void)\n\
+         {\n\
+           cache = (char *) malloc(16);\n\
+           if (cache == NULL) { exit(1); }\n\
+           *cache = '\\0';\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn reldef_field_relaxes_definition_checking() {
+    let diags = check(
+        "typedef struct { /*@reldef@*/ int *scratch; int n; } *buf;\n\
+         extern /*@out@*/ /*@only@*/ void *smalloc(size_t);\n\
+         /*@only@*/ buf buf_create(void)\n\
+         {\n\
+           buf b = (buf) smalloc(sizeof(*b));\n\
+           b->n = 0;\n\
+           return b;\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn in_annotation_is_the_default() {
+    // `in` is explicit "completely defined" — same as no annotation.
+    let diags = check(
+        "extern int use(/*@in@*/ int *p);\n\
+         int f(void)\n\
+         {\n\
+           int x;\n\
+           return use(&x);\n\
+         }\n",
+    );
+    assert_has(&diags, DiagKind::IncompleteDef, "&x not completely defined");
+}
+
+#[test]
+fn exposed_return_may_be_modified_but_not_freed() {
+    let diags = check(
+        "typedef struct { char *n; } *rec;\n\
+         extern /*@exposed@*/ char *rec_name(rec r);\n\
+         void rename_rec(rec r)\n\
+         {\n\
+           char *n = rec_name(r);\n\
+           *n = 'x';\n\
+         }\n\
+         void destroy_name(rec r)\n\
+         {\n\
+           free(rec_name(r));\n\
+         }\n",
+    );
+    // Modifying is fine, releasing is not.
+    assert_has(&diags, DiagKind::AllocMismatch, "passed as only param: free");
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+}
+
+#[test]
+fn keep_transfers_but_leaves_usable() {
+    let diags = check(
+        "extern void stash(/*@keep@*/ char *p);\n\
+         char g;\n\
+         void f(void)\n\
+         {\n\
+           char *p = (char *) malloc(4);\n\
+           if (p == NULL) { exit(1); }\n\
+           *p = 'x';\n\
+           stash(p);\n\
+           g = *p;\n\
+           free(p);\n\
+         }\n",
+    );
+    // Releasing after keep is a double discharge.
+    assert_has(&diags, DiagKind::AllocMismatch, "Kept storage p passed as only param");
+}
+
+#[test]
+fn unique_param_cannot_alias_global() {
+    let diags = check(
+        "char *gbuf;\n\
+         extern void fill(/*@unique@*/ char *dst);\n\
+         void f(void)\n\
+         {\n\
+           fill(gbuf);\n\
+         }\n",
+    );
+    assert_has(
+        &diags,
+        DiagKind::AliasViolation,
+        "declared unique but may be aliased externally by global gbuf",
+    );
+}
+
+#[test]
+fn switch_branches_merge_like_if() {
+    let diags = check(
+        "void f(int c)\n{\n  char *p = (char *) malloc(4);\n  switch (c) {\n    case 1: free(p); break;\n    default: free(p); break;\n  }\n}\n",
+    );
+    // Both arms release; the merge must not report a confluence error, and
+    // the fall-through edge (no case taken) conservatively merges too.
+    assert!(
+        diags.iter().all(|d| d.kind != DiagKind::UseAfterRelease),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn ternary_guard_refinement() {
+    let diags = check(
+        "int f(/*@null@*/ int *p)\n{\n  return (p != NULL) ? *p : 0;\n}\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn string_literal_assignment_is_static_not_leak() {
+    let diags = check(
+        "void f(void)\n{\n  char *s = \"hello\";\n  s = \"world\";\n}\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn call_arity_mismatch_reported() {
+    let diags = check(
+        "extern int add(int a, int b);\n\
+         int f(void) { return add(1); }\n",
+    );
+    assert_has(&diags, DiagKind::InterfaceViolation, "called with 1 argument, declared with 2");
+    let diags = check(
+        "extern int add(int a, int b);\n\
+         int f(void) { return add(1, 2, 3); }\n",
+    );
+    assert_has(&diags, DiagKind::InterfaceViolation, "called with 3 arguments, declared with 2");
+}
+
+#[test]
+fn variadic_calls_accept_extra_arguments() {
+    let diags = check(
+        "extern int printf(char *fmt, ...);\n\
+         void f(void) { printf(\"%d %d\\n\", 1, 2); }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn unreachable_code_reported() {
+    let diags = check(
+        "int f(int x)\n{\n  return x;\n  x = x + 1;\n  return x;\n}\n",
+    );
+    assert_has(&diags, DiagKind::UnreachableCode, "Unreachable code");
+}
+
+#[test]
+fn missing_return_value_reported() {
+    let diags = check("int f(int x)\n{\n  if (x > 0)\n  {\n    return x;\n  }\n}\n");
+    assert_has(&diags, DiagKind::MissingReturn, "Path with no return in function f");
+}
+
+#[test]
+fn void_functions_need_no_return() {
+    let diags = check("void f(int x)\n{\n  if (x > 0)\n  {\n    return;\n  }\n}\n");
+    assert_clean(&diags);
+}
+
+#[test]
+fn exit_path_is_not_missing_return() {
+    let diags = check("int f(int x)\n{\n  if (x > 0)\n  {\n    return x;\n  }\n  exit(1);\n}\n");
+    assert_clean(&diags);
+}

@@ -1,0 +1,132 @@
+//! The globals-list feature (paper §2: interface information includes the
+//! globals a function uses; §4: "`undef` may be used on a global variable in
+//! the globals list for a function").
+
+use lclint_analysis::{check_program, AnalysisOptions, DiagKind, Diagnostic};
+use lclint_sema::Program;
+use lclint_syntax::parse_translation_unit;
+
+const STDLIB: &str = "\
+extern /*@null@*/ /*@out@*/ /*@only@*/ void *malloc(size_t size);\n\
+extern void free(/*@null@*/ /*@out@*/ /*@only@*/ void *ptr);\n\
+extern /*@noreturn@*/ void exit(int status);\n";
+
+fn check(src: &str) -> Vec<Diagnostic> {
+    let full = format!("{STDLIB}{src}");
+    let (tu, _, _) = parse_translation_unit("t.c", &full).unwrap();
+    let program = Program::from_unit(&tu);
+    assert!(program.errors.is_empty(), "{:?}", program.errors);
+    check_program(&program, &AnalysisOptions::default())
+}
+
+#[test]
+fn globals_list_parses_and_documented_use_is_clean() {
+    let diags = check(
+        "int counter;\n\
+         int bump(void) /*@globals counter@*/\n\
+         {\n\
+           counter = counter + 1;\n\
+           return counter;\n\
+         }\n",
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn undocumented_global_use_reported() {
+    let diags = check(
+        "int counter;\n\
+         int other;\n\
+         int bump(void) /*@globals counter@*/\n\
+         {\n\
+           other = other + 1;\n\
+           return counter;\n\
+         }\n",
+    );
+    assert!(
+        diags.iter().any(|d| d.kind == DiagKind::InterfaceViolation
+            && d.message.contains("Undocumented use of global other")),
+        "{diags:#?}"
+    );
+    // Reported once even though `other` is used twice.
+    assert_eq!(
+        diags.iter().filter(|d| d.kind == DiagKind::InterfaceViolation).count(),
+        1,
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn no_list_means_unchecked() {
+    let diags = check(
+        "int counter;\n\
+         int bump(void)\n\
+         {\n\
+           counter = counter + 1;\n\
+           return counter;\n\
+         }\n",
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn undef_in_list_allows_undefined_entry_state() {
+    // An initialization function: the global may be undefined at entry and
+    // is defined by this function.
+    let diags = check(
+        "/*@only@*/ char *cache;\n\
+         void init_cache(void) /*@globals undef cache@*/\n\
+         {\n\
+           cache = (char *) malloc(16);\n\
+           if (cache == NULL) { exit(1); }\n\
+           *cache = '\\0';\n\
+         }\n",
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn undef_listed_global_may_remain_undefined() {
+    // Unlike `out` params, an undef-listed global need not be defined by
+    // every return path (another function may do it).
+    let diags = check(
+        "int configured;\n\
+         void maybe_init(int c) /*@globals undef configured@*/\n\
+         {\n\
+           if (c)\n\
+           {\n\
+             configured = 1;\n\
+           }\n\
+         }\n",
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn list_survives_prototype_definition_merge() {
+    let diags = check(
+        "int counter;\n\
+         int other;\n\
+         extern int bump(void) /*@globals counter@*/;\n\
+         int bump(void)\n\
+         {\n\
+           return other;\n\
+         }\n",
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("Undocumented use of global other")),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn multiple_globals_in_one_list() {
+    let diags = check(
+        "int a;\nint b;\nint c;\n\
+         int sum(void) /*@globals a b c@*/\n\
+         {\n\
+           return a + b + c;\n\
+         }\n",
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}

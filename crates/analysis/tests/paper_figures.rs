@@ -1,0 +1,740 @@
+//! Reproduction of the checking behaviour on every code figure in the paper
+//! (Figures 1–5) plus targeted checks for each annotation's semantics.
+
+use lclint_analysis::{check_program, AnalysisOptions, DiagKind, Diagnostic};
+use lclint_sema::Program;
+use lclint_syntax::parse_translation_unit;
+
+const STDLIB: &str = "\
+extern /*@null@*/ /*@out@*/ /*@only@*/ void *malloc(size_t size);\n\
+extern void free(/*@null@*/ /*@out@*/ /*@only@*/ void *ptr);\n\
+extern /*@noreturn@*/ void exit(int status);\n\
+extern void assert(int cond);\n";
+
+fn check_with(src: &str, opts: &AnalysisOptions) -> Vec<Diagnostic> {
+    let full = format!("{STDLIB}{src}");
+    let (tu, _, _) = parse_translation_unit("t.c", &full).unwrap();
+    let program = Program::from_unit(&tu);
+    assert!(program.errors.is_empty(), "sema errors: {:?}", program.errors);
+    check_program(&program, opts)
+}
+
+fn check(src: &str) -> Vec<Diagnostic> {
+    check_with(src, &AnalysisOptions::default())
+}
+
+fn assert_has(diags: &[Diagnostic], kind: DiagKind, substr: &str) {
+    assert!(
+        diags.iter().any(|d| d.kind == kind && d.message.contains(substr)),
+        "expected a {kind:?} containing {substr:?}; got: {:#?}",
+        diags.iter().map(|d| format!("{:?}: {}", d.kind, d.message)).collect::<Vec<_>>()
+    );
+}
+
+fn assert_clean(diags: &[Diagnostic]) {
+    assert!(
+        diags.is_empty(),
+        "expected no messages; got: {:#?}",
+        diags.iter().map(|d| format!("{:?}: {}", d.kind, d.message)).collect::<Vec<_>>()
+    );
+}
+
+// --- Figure 1 / Figure 2 ---------------------------------------------------
+
+#[test]
+fn figure1_unannotated_is_clean() {
+    // Figure 1: without annotations there is nothing to check against.
+    let diags = check(
+        "extern char *gname;\n\
+         void setName(char *pname) { gname = pname; }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn figure2_null_param_into_nonnull_global() {
+    let diags = check(
+        "extern char *gname;\n\
+         void setName(/*@null@*/ char *pname)\n\
+         {\n\
+           gname = pname;\n\
+         }\n",
+    );
+    assert_has(
+        &diags,
+        DiagKind::NullMismatch,
+        "Function returns with non-null global gname referencing null storage",
+    );
+    let d = diags.iter().find(|d| d.kind == DiagKind::NullMismatch).unwrap();
+    assert!(
+        d.notes.iter().any(|n| n.message.contains("Storage gname may become null")),
+        "missing history note: {:?}",
+        d.notes
+    );
+}
+
+#[test]
+fn figure2_fix_null_on_global_is_clean() {
+    let diags = check(
+        "extern /*@null@*/ char *gname;\n\
+         void setName(/*@null@*/ char *pname) { gname = pname; }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn figure2_fix_remove_param_null_is_clean() {
+    let diags = check(
+        "extern char *gname;\n\
+         void setName(char *pname) { gname = pname; }\n",
+    );
+    assert_clean(&diags);
+}
+
+// --- Figure 3 ----------------------------------------------------------------
+
+#[test]
+fn figure3_truenull_guard_is_clean() {
+    let diags = check(
+        "extern char *gname;\n\
+         extern /*@truenull@*/ int isNull(/*@null@*/ char *x);\n\
+         void setName(/*@null@*/ char *pname)\n\
+         {\n\
+           if (!isNull(pname))\n\
+           {\n\
+             gname = pname;\n\
+           }\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn figure3_inverted_truenull_still_reports() {
+    // Assigning on the *null* side must still be an anomaly.
+    let diags = check(
+        "extern char *gname;\n\
+         extern /*@truenull@*/ int isNull(/*@null@*/ char *x);\n\
+         void setName(/*@null@*/ char *pname)\n\
+         {\n\
+           if (isNull(pname))\n\
+           {\n\
+             gname = pname;\n\
+           }\n\
+         }\n",
+    );
+    assert_has(&diags, DiagKind::NullMismatch, "gname");
+}
+
+#[test]
+fn direct_comparison_guard_is_clean() {
+    let diags = check(
+        "extern char *gname;\n\
+         void setName(/*@null@*/ char *pname)\n\
+         {\n\
+           if (pname != NULL) { gname = pname; }\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn falsenull_guard() {
+    let diags = check(
+        "extern char *gname;\n\
+         extern /*@falsenull@*/ int isValid(/*@null@*/ char *x);\n\
+         void setName(/*@null@*/ char *pname)\n\
+         {\n\
+           if (isValid(pname)) { gname = pname; }\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+// --- Figure 4 ----------------------------------------------------------------
+
+#[test]
+fn figure4_only_temp_mismatch() {
+    let diags = check(
+        "extern /*@only@*/ char *gname;\n\
+         void setName(/*@temp@*/ char *pname)\n\
+         {\n\
+           gname = pname;\n\
+         }\n",
+    );
+    // First message: the leak.
+    assert_has(
+        &diags,
+        DiagKind::MemoryLeak,
+        "Only storage gname not released before assignment",
+    );
+    let leak = diags.iter().find(|d| d.kind == DiagKind::MemoryLeak).unwrap();
+    assert!(leak.notes.iter().any(|n| n.message.contains("Storage gname becomes only")));
+    // Second message: temp assigned to only.
+    assert_has(&diags, DiagKind::AllocMismatch, "Temp storage pname assigned to only gname");
+    let mis = diags.iter().find(|d| d.kind == DiagKind::AllocMismatch).unwrap();
+    assert!(mis.notes.iter().any(|n| n.message.contains("Storage pname becomes temp")));
+    assert_eq!(diags.len(), 2, "exactly the two paper messages: {diags:#?}");
+}
+
+#[test]
+fn figure4_only_param_transfer_is_clean() {
+    // The paper's suggested fix: declare the parameter only.
+    let diags = check(
+        "extern /*@only@*/ char *gname;\n\
+         void setName(/*@only@*/ char *pname)\n\
+         {\n\
+           free(gname);\n\
+           gname = pname;\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+// --- Figure 5 / Figure 6 ------------------------------------------------------
+
+const FIGURE5: &str = "\
+typedef /*@null@*/ struct _list\n\
+{\n\
+  /*@only@*/ char *this;\n\
+  /*@null@*/ /*@only@*/ struct _list *next;\n\
+} *list;\n\
+\n\
+extern /*@out@*/ /*@only@*/ void *smalloc(size_t);\n\
+\n\
+void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)\n\
+{\n\
+  if (l != NULL)\n\
+  {\n\
+    while (l->next != NULL)\n\
+    {\n\
+      l = l->next;\n\
+    }\n\
+    l->next = (list) smalloc(sizeof(*l->next));\n\
+    l->next->this = e;\n\
+  }\n\
+}\n";
+
+#[test]
+fn figure5_confluence_and_incomplete_definition() {
+    let diags = check(FIGURE5);
+    // Anomaly 1: e is kept on the then-branch, only on the else-branch
+    // (paper §5, point 10).
+    assert_has(&diags, DiagKind::ConfluenceError, "e is");
+    // Anomaly 2: l->next->next is never defined (paper §5, point 11).
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.kind == DiagKind::IncompleteDef && d.message.contains("next->next")),
+        "expected incomplete-definition anomaly naming ...next->next: {:#?}",
+        diags.iter().map(|d| format!("{:?}: {}", d.kind, d.message)).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn figure5_fixed_version_is_clean() {
+    // Handle the null case and define the next field of the new node.
+    let fixed = "\
+typedef /*@null@*/ struct _list\n\
+{\n\
+  /*@only@*/ char *this;\n\
+  /*@null@*/ /*@only@*/ struct _list *next;\n\
+} *list;\n\
+\n\
+extern /*@out@*/ /*@only@*/ void *smalloc(size_t);\n\
+\n\
+void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)\n\
+{\n\
+  if (l != NULL)\n\
+  {\n\
+    while (l->next != NULL)\n\
+    {\n\
+      l = l->next;\n\
+    }\n\
+    l->next = (list) smalloc(sizeof(*l->next));\n\
+    l->next->this = e;\n\
+    l->next->next = NULL;\n\
+  }\n\
+  else\n\
+  {\n\
+    free(e);\n\
+  }\n\
+}\n";
+    let diags = check(fixed);
+    assert_clean(&diags);
+}
+
+// --- null-pointer checking ----------------------------------------------------
+
+#[test]
+fn deref_of_possibly_null_reported() {
+    let diags = check("int deref(/*@null@*/ int *p) { return *p; }");
+    assert_has(&diags, DiagKind::NullDeref, "Dereference of possibly null pointer p");
+}
+
+#[test]
+fn arrow_access_from_possibly_null() {
+    let diags = check(
+        "typedef struct { /*@null@*/ int *vals; int size; } *erc;\n\
+         int first(erc c) { return *(c->vals); }\n",
+    );
+    assert_has(&diags, DiagKind::NullDeref, "Dereference of possibly null pointer c->vals");
+}
+
+#[test]
+fn assert_refines_null_state() {
+    let diags = check(
+        "typedef struct { /*@null@*/ int *vals; int size; } *erc;\n\
+         int first(erc c) { assert(c->vals != NULL); return *(c->vals); }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn malloc_result_checked_for_null() {
+    let diags = check(
+        "int *make(void)\n\
+         {\n\
+           int *p = (int *) malloc(sizeof(int));\n\
+           *p = 3;\n\
+           return p;\n\
+         }\n",
+    );
+    assert_has(&diags, DiagKind::NullDeref, "possibly null pointer p");
+}
+
+#[test]
+fn malloc_null_checked_then_clean_deref() {
+    let diags = check(
+        "/*@only@*/ int *make(void)\n\
+         {\n\
+           int *p = (int *) malloc(sizeof(int));\n\
+           if (p == NULL) { exit(1); }\n\
+           *p = 3;\n\
+           return p;\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn notnull_overrides_type_null() {
+    let diags = check(
+        "typedef /*@null@*/ struct _l { int v; } *list;\n\
+         int get(/*@notnull@*/ list l) { return l->v; }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn relnull_allows_null_assignment_without_check() {
+    let diags = check(
+        "typedef struct { /*@relnull@*/ int *data; int n; } *vec;\n\
+         void clear(vec v) { v->data = NULL; }\n\
+         int get(vec v) { return *(v->data); }\n",
+    );
+    assert_clean(&diags);
+}
+
+// --- definition checking --------------------------------------------------------
+
+#[test]
+fn use_before_definition() {
+    let diags = check("int f(void) { int x; return x; }");
+    assert_has(&diags, DiagKind::UseBeforeDef, "Variable x used before definition");
+}
+
+#[test]
+fn out_param_must_be_defined_by_callee() {
+    let diags = check(
+        "void init(/*@out@*/ int *p) { }\n",
+    );
+    assert_has(&diags, DiagKind::IncompleteDef, "not completely defined");
+}
+
+#[test]
+fn out_param_defined_is_clean() {
+    let diags = check("void init(/*@out@*/ int *p) { *p = 0; }");
+    assert_clean(&diags);
+}
+
+#[test]
+fn out_param_callsite_defines_storage() {
+    let diags = check(
+        "extern void init(/*@out@*/ int *p);\n\
+         int caller(void) { int x; init(&x); return x; }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn reading_allocated_storage_reported() {
+    let diags = check(
+        "int f(void)\n\
+         {\n\
+           int *p = (int *) malloc(sizeof(int));\n\
+           int v;\n\
+           if (p == NULL) { exit(1); }\n\
+           v = *p;\n\
+           free(p);\n\
+           return v;\n\
+         }\n",
+    );
+    assert_has(&diags, DiagKind::UseBeforeDef, "used before definition");
+}
+
+#[test]
+fn partial_fields_not_checked() {
+    let diags = check(
+        "typedef /*@partial@*/ struct { int a; int b; } *pair;\n\
+         extern /*@out@*/ /*@only@*/ void *smalloc(size_t);\n\
+         /*@only@*/ pair make(void)\n\
+         {\n\
+           pair p = (pair) smalloc(sizeof(*p));\n\
+           p->a = 1;\n\
+           return p;\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+// --- allocation checking ----------------------------------------------------------
+
+#[test]
+fn leak_when_only_local_not_released() {
+    let diags = check(
+        "void f(void)\n\
+         {\n\
+           char *p = (char *) malloc(10);\n\
+         }\n",
+    );
+    assert_has(&diags, DiagKind::MemoryLeak, "not released before");
+}
+
+#[test]
+fn free_discharges_obligation() {
+    let diags = check(
+        "void f(void)\n\
+         {\n\
+           char *p = (char *) malloc(10);\n\
+           free(p);\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn use_after_free_reported() {
+    let diags = check(
+        "char g;\n\
+         void f(void)\n\
+         {\n\
+           char *p = (char *) malloc(10);\n\
+           free(p);\n\
+           if (p != NULL) { g = *p; }\n\
+         }\n",
+    );
+    assert_has(&diags, DiagKind::UseAfterRelease, "used after being released");
+}
+
+#[test]
+fn double_free_reported() {
+    let diags = check(
+        "void f(void)\n\
+         {\n\
+           char *p = (char *) malloc(10);\n\
+           free(p);\n\
+           free(p);\n\
+         }\n",
+    );
+    assert_has(&diags, DiagKind::UseAfterRelease, "p used after being released");
+}
+
+#[test]
+fn conditional_free_is_confluence_anomaly() {
+    let diags = check(
+        "void f(int c)\n\
+         {\n\
+           char *p = (char *) malloc(10);\n\
+           if (c) { free(p); }\n\
+           free(p);\n\
+         }\n",
+    );
+    assert_has(&diags, DiagKind::ConfluenceError, "p is");
+}
+
+#[test]
+fn leak_when_overwritten() {
+    let diags = check(
+        "void f(void)\n\
+         {\n\
+           char *p = (char *) malloc(10);\n\
+           p = (char *) malloc(20);\n\
+           free(p);\n\
+         }\n",
+    );
+    assert_has(&diags, DiagKind::MemoryLeak, "not released before assignment");
+}
+
+#[test]
+fn free_of_temp_param_reported() {
+    // §6: "Implicitly temp storage c passed as only param: free (c)".
+    let diags = check("void erc_final(char *c) { free(c); }");
+    assert_has(
+        &diags,
+        DiagKind::AllocMismatch,
+        "Implicitly temp storage c passed as only param: free (c)",
+    );
+}
+
+#[test]
+fn free_of_only_param_is_clean() {
+    let diags = check("void erc_final(/*@only@*/ char *c) { free(c); }");
+    assert_clean(&diags);
+}
+
+#[test]
+fn returning_fresh_storage_without_only_reported() {
+    // §6: return statements in erc_create / erc_sprint.
+    let diags = check(
+        "char *make(void)\n\
+         {\n\
+           char *c = (char *) malloc(10);\n\
+           if (c == NULL) { exit(1); }\n\
+           *c = 'x';\n\
+           return c;\n\
+         }\n",
+    );
+    assert_has(&diags, DiagKind::MemoryLeak, "returned as implicitly temp result");
+}
+
+#[test]
+fn returning_fresh_storage_as_only_is_clean() {
+    let diags = check(
+        "/*@only@*/ char *make(void)\n\
+         {\n\
+           char *c = (char *) malloc(10);\n\
+           if (c == NULL) { exit(1); }\n\
+           *c = 'x';\n\
+           return c;\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn implicit_only_returns_accepts_unannotated() {
+    let opts = AnalysisOptions::with_implicit_only();
+    let diags = check_with(
+        "char *make(void)\n\
+         {\n\
+           char *c = (char *) malloc(10);\n\
+           if (c == NULL) { exit(1); }\n\
+           *c = 'x';\n\
+           return c;\n\
+         }\n",
+        &opts,
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn fresh_storage_into_unannotated_global_field_reported() {
+    // §6: the eref_pool anomalies — allocated storage assigned to fields of
+    // a static variable with no only annotation.
+    let diags = check(
+        "typedef struct { int *vals; int size; } pool;\n\
+         pool eref_pool;\n\
+         void init_pool(void)\n\
+         {\n\
+           eref_pool.vals = (int *) malloc(16);\n\
+           eref_pool.size = 0;\n\
+         }\n",
+    );
+    assert_has(&diags, DiagKind::AllocMismatch, "obligation to release storage is lost");
+}
+
+#[test]
+fn fresh_storage_into_only_global_field_clean() {
+    let diags = check(
+        "typedef struct { /*@null@*/ /*@only@*/ int *vals; int size; } pool;\n\
+         pool eref_pool;\n\
+         void init_pool(void)\n\
+         {\n\
+           eref_pool.vals = (int *) malloc(16);\n\
+           eref_pool.size = 0;\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn keep_param_remains_usable() {
+    let diags = check(
+        "extern void register_name(/*@keep@*/ char *n);\n\
+         char last;\n\
+         void f(void)\n\
+         {\n\
+           char *p = (char *) malloc(8);\n\
+           if (p == NULL) { exit(1); }\n\
+           *p = 'a';\n\
+           register_name(p);\n\
+           last = *p;\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn only_param_dead_after_transfer() {
+    let diags = check(
+        "extern void take(/*@only@*/ char *n);\n\
+         char last;\n\
+         void f(/*@only@*/ char *p)\n\
+         {\n\
+           take(p);\n\
+           last = *p;\n\
+         }\n",
+    );
+    assert_has(&diags, DiagKind::UseAfterRelease, "p used after being released");
+}
+
+#[test]
+fn only_param_unreleased_leaks_at_return() {
+    let diags = check("void f(/*@only@*/ char *p) { }");
+    assert_has(&diags, DiagKind::MemoryLeak, "Only storage p not released before return");
+}
+
+#[test]
+fn gc_mode_suppresses_leaks() {
+    let opts = AnalysisOptions::for_gc();
+    let diags = check_with(
+        "void f(void) { char *p = (char *) malloc(10); }\n\
+         void g(/*@only@*/ char *p) { }\n",
+        &opts,
+    );
+    assert_clean(&diags);
+}
+
+// --- aliasing -------------------------------------------------------------------
+
+#[test]
+fn figure8_unique_alias_anomaly() {
+    // strcpy's first parameter is out returned unique.
+    let diags = check(
+        "extern /*@returned@*/ char *strcpy(/*@out@*/ /*@returned@*/ /*@unique@*/ char *s1, char *s2);\n\
+         typedef struct { char *name; int size; } *employee;\n\
+         int employee_setName(employee e, char *s)\n\
+         {\n\
+           strcpy(e->name, s);\n\
+           return 1;\n\
+         }\n",
+    );
+    assert_has(
+        &diags,
+        DiagKind::AliasViolation,
+        "Parameter 1 (e->name) to function strcpy is declared unique but may be aliased \
+         externally by parameter 2 (s)",
+    );
+}
+
+#[test]
+fn figure8_fix_unique_param_is_clean() {
+    let diags = check(
+        "extern /*@returned@*/ char *strcpy(/*@out@*/ /*@returned@*/ /*@unique@*/ char *s1, char *s2);\n\
+         typedef struct { char *name; int size; } *employee;\n\
+         int employee_setName(employee e, /*@unique@*/ char *s)\n\
+         {\n\
+           strcpy(e->name, s);\n\
+           return 1;\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn alias_through_assignment_propagates_release() {
+    let diags = check(
+        "char g;\n\
+         void f(void)\n\
+         {\n\
+           char *p = (char *) malloc(10);\n\
+           char *q;\n\
+           q = p;\n\
+           free(q);\n\
+           if (p != NULL) { g = *p; }\n\
+         }\n",
+    );
+    assert_has(&diags, DiagKind::UseAfterRelease, "used after being released");
+}
+
+#[test]
+fn observer_return_must_not_be_modified() {
+    let diags = check(
+        "typedef struct { char *name; } *employee;\n\
+         extern /*@observer@*/ char *employee_getName(employee e);\n\
+         void f(employee e)\n\
+         {\n\
+           char *n = employee_getName(e);\n\
+           free(n);\n\
+         }\n",
+    );
+    assert!(
+        diags.iter().any(|d| matches!(
+            d.kind,
+            DiagKind::ExposureViolation | DiagKind::AllocMismatch
+        )),
+        "freeing observer storage must be an anomaly: {diags:#?}"
+    );
+}
+
+// --- misc ------------------------------------------------------------------------
+
+#[test]
+fn returned_param_aliases_result() {
+    let diags = check(
+        "extern /*@returned@*/ char *identity(/*@returned@*/ /*@temp@*/ char *p);\n\
+         char g;\n\
+         void f(void)\n\
+         {\n\
+           char *p = (char *) malloc(10);\n\
+           char *q;\n\
+           if (p == NULL) { exit(1); }\n\
+           *p = 'a';\n\
+           q = identity(p);\n\
+           free(q);\n\
+         }\n",
+    );
+    // Releasing through the returned alias discharges the obligation.
+    assert_clean(&diags);
+}
+
+#[test]
+fn noreturn_paths_do_not_poison_merges() {
+    let diags = check(
+        "int f(/*@null@*/ int *p)\n\
+         {\n\
+           if (p == NULL) { exit(1); }\n\
+           return *p;\n\
+         }\n",
+    );
+    assert_clean(&diags);
+}
+
+#[test]
+fn loop_treated_as_zero_or_one_iterations() {
+    // The alias introduced on the second iteration is not modelled
+    // (paper §2's stated incompleteness) — this documents the behaviour.
+    let diags = check(FIGURE5);
+    // l may alias argl or argl->next, but not argl->next->next.
+    // The checkable consequence: exactly one incomplete-definition anomaly.
+    let incompletes: Vec<_> =
+        diags.iter().filter(|d| d.kind == DiagKind::IncompleteDef).collect();
+    assert_eq!(incompletes.len(), 1, "{incompletes:#?}");
+}
+
+#[test]
+fn diagnostics_carry_function_names() {
+    let diags = check("int f(void) { int x; return x; }");
+    assert_eq!(diags[0].in_function.as_deref(), Some("f"));
+}

@@ -1,0 +1,149 @@
+//! Property tests on the dataflow value lattices: confluence merging must
+//! be commutative, associative and idempotent (otherwise results would
+//! depend on CFG traversal order), and environment merging must be
+//! symmetric on states.
+
+use lclint_analysis::{DefState, NullState};
+use proptest::prelude::*;
+
+fn arb_def() -> impl Strategy<Value = DefState> {
+    prop::sample::select(vec![
+        DefState::Undefined,
+        DefState::Allocated,
+        DefState::Partial,
+        DefState::Defined,
+    ])
+}
+
+fn arb_null() -> impl Strategy<Value = NullState> {
+    prop::sample::select(vec![
+        NullState::Null,
+        NullState::PossiblyNull,
+        NullState::NotNull,
+        NullState::RelNull,
+    ])
+}
+
+proptest! {
+    #[test]
+    fn def_merge_commutative(a in arb_def(), b in arb_def()) {
+        prop_assert_eq!(a.merge(b), b.merge(a));
+    }
+
+    #[test]
+    fn def_merge_associative(a in arb_def(), b in arb_def(), c in arb_def()) {
+        prop_assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
+    }
+
+    #[test]
+    fn def_merge_idempotent(a in arb_def()) {
+        prop_assert_eq!(a.merge(a), a);
+    }
+
+    #[test]
+    fn def_merge_is_weakest(a in arb_def(), b in arb_def()) {
+        let m = a.merge(b);
+        prop_assert!(m <= a && m <= b);
+    }
+
+    #[test]
+    fn null_merge_commutative(a in arb_null(), b in arb_null()) {
+        prop_assert_eq!(a.merge(b), b.merge(a));
+    }
+
+    #[test]
+    fn null_merge_idempotent(a in arb_null()) {
+        prop_assert_eq!(a.merge(a), a);
+    }
+
+    #[test]
+    fn null_merge_never_strengthens(a in arb_null(), b in arb_null()) {
+        // If either side may be null, the merge may be null (we must not
+        // lose a possible-null fact at a confluence point).
+        let m = a.merge(b);
+        if a.may_be_null() || b.may_be_null() {
+            prop_assert!(
+                m.may_be_null() || m == NullState::RelNull,
+                "{a:?} ⊔ {b:?} = {m:?} lost nullability"
+            );
+        }
+    }
+
+    #[test]
+    fn null_merge_associative(a in arb_null(), b in arb_null(), c in arb_null()) {
+        prop_assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
+    }
+}
+
+mod whole_program {
+    use lclint_analysis::{check_program, AnalysisOptions};
+    use lclint_sema::Program;
+    use lclint_syntax::parse_translation_unit;
+    use proptest::prelude::*;
+
+    /// Random straight-line malloc/free/null programs: the checker must
+    /// never panic, and a program where every allocation is freed on every
+    /// path and every deref is guarded must be clean.
+    fn arb_clean_program(n: usize) -> impl Strategy<Value = String> {
+        prop::collection::vec(0usize..3, 1..n).prop_map(|ops| {
+            let mut body = String::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    0 => body.push_str(&format!(
+                        "  {{ char *p{i} = (char *) malloc(4); if (p{i} != NULL) {{ *p{i} = 'a'; }} free(p{i}); }}\n"
+                    )),
+                    1 => body.push_str(&format!("  int x{i} = {i}; sink = sink + x{i};\n")),
+                    _ => body.push_str(&format!(
+                        "  if (sink > {i}) {{ sink = sink - 1; }} else {{ sink = sink + 1; }}\n"
+                    )),
+                }
+            }
+            format!(
+                "extern /*@null@*/ /*@out@*/ /*@only@*/ void *malloc(size_t size);\n\
+                 extern void free(/*@null@*/ /*@out@*/ /*@only@*/ void *ptr);\n\
+                 int sink;\n\
+                 void f(void)\n{{\n{body}}}\n"
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn clean_programs_are_clean(src in arb_clean_program(8)) {
+            let (tu, _, _) = parse_translation_unit("t.c", &src).expect("parses");
+            let program = Program::from_unit(&tu);
+            let diags = check_program(&program, &AnalysisOptions::default());
+            prop_assert!(diags.is_empty(), "{diags:#?}\n{src}");
+        }
+
+        #[test]
+        fn dropping_the_free_is_always_caught(idx in 0usize..4) {
+            // A leak inserted at any position is reported exactly once.
+            let mut body = String::new();
+            for i in 0..4 {
+                if i == idx {
+                    body.push_str(&format!("  {{ char *p{i} = (char *) malloc(4); }}\n"));
+                } else {
+                    body.push_str(&format!(
+                        "  {{ char *p{i} = (char *) malloc(4); free(p{i}); }}\n"
+                    ));
+                }
+            }
+            let src = format!(
+                "extern /*@null@*/ /*@out@*/ /*@only@*/ void *malloc(size_t size);\n\
+                 extern void free(/*@null@*/ /*@out@*/ /*@only@*/ void *ptr);\n\
+                 void f(void)\n{{\n{body}}}\n"
+            );
+            let (tu, _, _) = parse_translation_unit("t.c", &src).expect("parses");
+            let program = Program::from_unit(&tu);
+            let diags = check_program(&program, &AnalysisOptions::default());
+            let leaks = diags
+                .iter()
+                .filter(|d| d.kind == lclint_analysis::DiagKind::MemoryLeak)
+                .count();
+            prop_assert_eq!(leaks, 1, "{:#?}", diags);
+        }
+    }
+}

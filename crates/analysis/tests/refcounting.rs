@@ -1,0 +1,107 @@
+//! Reference-counting annotations (paper §4: "Additional annotations
+//! provided for handling reference counted storage ... are described in
+//! [3]", the LCLint guide): `refcounted`, `newref`, `killref`, `tempref`.
+
+use lclint_analysis::{check_program, AnalysisOptions, DiagKind, Diagnostic};
+use lclint_sema::Program;
+use lclint_syntax::parse_translation_unit;
+
+const RC_LIB: &str = "\
+typedef struct _rc { int count; int value; } *rc_t;\n\
+extern /*@newref@*/ rc_t rc_create(int v);\n\
+extern /*@newref@*/ rc_t rc_retain(/*@tempref@*/ rc_t r);\n\
+extern void rc_release(/*@killref@*/ rc_t r);\n\
+extern int rc_value(/*@tempref@*/ rc_t r);\n\
+extern /*@noreturn@*/ void exit(int status);\n";
+
+fn check(src: &str) -> Vec<Diagnostic> {
+    let full = format!("{RC_LIB}{src}");
+    let (tu, _, _) = parse_translation_unit("t.c", &full).unwrap();
+    let program = Program::from_unit(&tu);
+    assert!(program.errors.is_empty(), "{:?}", program.errors);
+    check_program(&program, &AnalysisOptions::default())
+}
+
+#[test]
+fn balanced_retain_release_is_clean() {
+    let diags = check(
+        "int f(void)\n{\n  rc_t r = rc_create(3);\n  int v = rc_value(r);\n  rc_release(r);\n  return v;\n}\n",
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn missing_release_is_a_leak() {
+    let diags = check("int f(void)\n{\n  rc_t r = rc_create(3);\n  return rc_value(r);\n}\n");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.kind == DiagKind::MemoryLeak && d.message.contains("New reference")),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn double_release_uses_dead_reference() {
+    let diags = check(
+        "void f(void)\n{\n  rc_t r = rc_create(1);\n  rc_release(r);\n  rc_release(r);\n}\n",
+    );
+    assert!(
+        diags.iter().any(|d| d.kind == DiagKind::UseAfterRelease),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn use_after_release_reported() {
+    let diags = check(
+        "int f(void)\n{\n  rc_t r = rc_create(1);\n  rc_release(r);\n  return rc_value(r);\n}\n",
+    );
+    assert!(
+        diags.iter().any(|d| d.kind == DiagKind::UseAfterRelease),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn retain_produces_an_independent_obligation() {
+    // Retain gives a second reference; releasing both is balanced.
+    let diags = check(
+        "int f(void)\n{\n  rc_t a = rc_create(1);\n  rc_t b = rc_retain(a);\n  int v = rc_value(a);\n  rc_release(a);\n  v = v + rc_value(b);\n  rc_release(b);\n  return v;\n}\n",
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn killref_param_must_be_consumed_by_callee() {
+    // A function taking killref must actually kill it on every path.
+    let diags = check("void drop_it(/*@killref@*/ rc_t r)\n{\n}\n");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.kind == DiagKind::MemoryLeak && d.message.contains("not killed")),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn killref_param_forwarded_is_clean() {
+    let diags = check(
+        "void drop_it(/*@killref@*/ rc_t r)\n{\n  rc_release(r);\n}\n",
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn releasing_a_tempref_param_reported() {
+    let diags = check(
+        "void peek(/*@tempref@*/ rc_t r)\n{\n  rc_release(r);\n}\n",
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.kind == DiagKind::AllocMismatch
+                && d.message.contains("without a live new reference")),
+        "{diags:#?}"
+    );
+}

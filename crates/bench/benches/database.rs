@@ -1,0 +1,36 @@
+//! E5–E8: time to check the full employee database at the first and final
+//! annotation stages (the paper's per-iteration cost), with the stage table
+//! asserted.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lclint_core::{Flags, Linter};
+use lclint_corpus::database::{database_roots, database_sources, DbStage};
+use std::hint::black_box;
+
+fn bench_database(c: &mut Criterion) {
+    let linter = Linter::new(Flags::default());
+    let mut group = c.benchmark_group("database");
+    group.sample_size(20);
+    for (name, stage) in [("stage_a", DbStage::stage_a()), ("final", DbStage::final_stage())] {
+        let files = database_sources(&stage);
+        let roots = database_roots();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = linter.check_files(black_box(&files), &roots).expect("parses");
+                black_box(r.diagnostics.len())
+            })
+        });
+    }
+    group.finish();
+
+    let rows = lclint_bench::database_table();
+    let get = |n: &str| rows.iter().find(|r| r.stage == n).expect("stage exists").clone();
+    assert_eq!(get("A").null, 1);
+    assert_eq!(get("C").alloc, 7);
+    assert_eq!(get("D").alloc, 6);
+    assert_eq!(get("E").alloc, 6);
+    assert_eq!(get("final").annotations, 15);
+}
+
+criterion_group!(benches, bench_database);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E1–E4: time to check each paper figure (and assert its message counts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lclint_core::{Flags, Linter};
+use lclint_corpus::figures;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let linter = Linter::new(Flags::default());
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    for (name, src) in figures::all_figures() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = linter.check_source("f.c", black_box(src)).expect("parses");
+                black_box(r.diagnostics.len())
+            })
+        });
+    }
+    group.finish();
+
+    // Correctness gate: the counts must match the paper while we measure.
+    for row in lclint_bench::figure_table() {
+        assert_eq!(row.measured_messages, row.paper_messages, "{}", row.figure);
+    }
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E9/E10: checking time vs program size (the paper's linear-scaling claim)
+//! and the annotation-level message sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lclint_core::{Flags, Linter};
+use lclint_corpus::generator::{generate, GenConfig};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let linter = Linter::new(Flags::default());
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for target in [1_000usize, 5_000, 20_000] {
+        let p = generate(&GenConfig::with_target_loc(target));
+        group.throughput(Throughput::Elements(p.loc as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(p.loc), &p.source, |b, src| {
+            b.iter(|| {
+                let r = linter.check_source("gen.c", black_box(src)).expect("parses");
+                black_box(r.diagnostics.len())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("annotation_sweep");
+    group.sample_size(10);
+    for level in [0.0f64, 0.5, 1.0] {
+        let p = generate(&GenConfig { annotation_level: level, ..GenConfig::with_target_loc(5_000) });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}pct", level * 100.0)),
+            &p.source,
+            |b, src| {
+                b.iter(|| {
+                    let r = linter.check_source("gen.c", black_box(src)).expect("parses");
+                    black_box(r.diagnostics.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

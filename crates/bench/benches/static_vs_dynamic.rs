@@ -1,0 +1,45 @@
+//! E11: cost of one static check vs one dynamic test run on a mutant, and
+//! the detection-rate table's shape asserted.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lclint_core::{Flags, Linter};
+use lclint_corpus::generator::{generate, GenConfig};
+use lclint_corpus::mutator::{inject, BugClass};
+use std::hint::black_box;
+
+fn bench_detection(c: &mut Criterion) {
+    let base = generate(&GenConfig { modules: 2, ..GenConfig::default() });
+    let m = inject(&base, BugClass::Leak, 42);
+    let linter = Linter::new(Flags::default());
+
+    let mut group = c.benchmark_group("static_vs_dynamic");
+    group.sample_size(20);
+    group.bench_function("static_check", |b| {
+        b.iter(|| {
+            let r = linter.check_source("m.c", black_box(&m.source)).expect("parses");
+            black_box(r.diagnostics.len())
+        })
+    });
+    group.bench_function("dynamic_run", |b| {
+        b.iter(|| {
+            let r = lclint_interp::run_source(
+                "m.c",
+                black_box(&m.source),
+                "run",
+                &[7],
+                lclint_interp::Config::default(),
+            )
+            .expect("parses");
+            black_box(r.errors.len())
+        })
+    });
+    group.finish();
+
+    // Shape gate: static sees everything; dynamic improves with budget.
+    for row in lclint_bench::detection_table(3, 50, &[1, 50], 11) {
+        assert_eq!(row.static_rate, 100, "{row:?}");
+    }
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

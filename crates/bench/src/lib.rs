@@ -1,0 +1,314 @@
+//! Shared harness code for regenerating the paper's evaluation.
+//!
+//! Every table/series in DESIGN.md's experiment index (E1–E12) is produced
+//! by a function here; the `repro` binary prints them all and the Criterion
+//! benches measure the timing-sensitive ones.
+
+#![warn(missing_docs)]
+
+use lclint_core::{Flags, Linter};
+use lclint_corpus::database::{database_roots, database_sources, DbStage};
+use lclint_corpus::figures;
+use lclint_corpus::generator::{generate, GenConfig};
+use lclint_corpus::mutator::{inject, BugClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One row of the figure-reproduction table (E1–E4).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FigureRow {
+    /// Figure name.
+    pub figure: String,
+    /// Number of messages the paper reports for it.
+    pub paper_messages: usize,
+    /// Number we measure.
+    pub measured_messages: usize,
+}
+
+/// E1–E4: message counts for every paper figure.
+pub fn figure_table() -> Vec<FigureRow> {
+    let linter = Linter::new(Flags::default());
+    let paper: &[(&str, usize)] = &[
+        ("figure1", 0),
+        ("figure2", 1),
+        ("figure3", 0),
+        ("figure4", 2),
+        ("figure5", 2),
+        ("figure5_fixed", 0),
+        ("figure7", 1),
+        ("figure8", 1),
+    ];
+    let sources: BTreeMap<&str, &str> = figures::all_figures().into_iter().collect();
+    paper
+        .iter()
+        .map(|(name, expected)| {
+            let r = linter
+                .check_source(&format!("{name}.c"), sources[name])
+                .expect("figures parse");
+            // Figure 7/8 are checked for their *specific* anomaly class.
+            let measured = match *name {
+                "figure7" => r
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.message.contains("derivable from return value"))
+                    .count(),
+                "figure8" => {
+                    r.diagnostics.iter().filter(|d| d.kind == "aliasunique").count()
+                }
+                _ => r.diagnostics.len(),
+            };
+            FigureRow {
+                figure: (*name).to_owned(),
+                paper_messages: *expected,
+                measured_messages: measured,
+            }
+        })
+        .collect()
+}
+
+/// One row of the database stage table (E5–E8).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct StageRow {
+    /// Stage name.
+    pub stage: String,
+    /// Null-class messages.
+    pub null: usize,
+    /// Definition-class messages.
+    pub def: usize,
+    /// Allocation-class messages.
+    pub alloc: usize,
+    /// Aliasing messages.
+    pub alias: usize,
+    /// Annotations present (null/out/only).
+    pub annotations: usize,
+}
+
+/// E5–E8: the §6 staged walkthrough.
+pub fn database_table() -> Vec<StageRow> {
+    let linter = Linter::new(Flags::default());
+    DbStage::all()
+        .into_iter()
+        .map(|(name, stage)| {
+            let r = linter
+                .check_files(&database_sources(&stage), &database_roots())
+                .expect("database parses");
+            let count = |ks: &[&str]| {
+                r.diagnostics.iter().filter(|d| ks.contains(&d.kind.as_str())).count()
+            };
+            let counts = lclint_corpus::database::annotation_counts(&stage);
+            StageRow {
+                stage: name.to_owned(),
+                null: count(&["nullderef", "nullpass"]),
+                def: count(&["usedef", "compdef"]),
+                alloc: count(&["mustfree", "onlytrans", "usereleased", "branchstate"]),
+                alias: count(&["aliasunique"]),
+                annotations: counts["null"] + counts["out"] + counts["only"],
+            }
+        })
+        .collect()
+}
+
+/// One row of the scaling table (E9).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ScalingRow {
+    /// Program size in lines.
+    pub loc: usize,
+    /// Wall-clock checking time in milliseconds.
+    pub ms: f64,
+    /// Milliseconds per thousand lines.
+    pub ms_per_kloc: f64,
+}
+
+/// E9: checking time vs program size (fully annotated, clean programs).
+pub fn scaling_table(sizes: &[usize]) -> Vec<ScalingRow> {
+    let linter = Linter::new(Flags::default());
+    sizes
+        .iter()
+        .map(|target| {
+            let p = generate(&GenConfig::with_target_loc(*target));
+            let start = Instant::now();
+            let r = linter.check_source("gen.c", &p.source).expect("parses");
+            let ms = start.elapsed().as_secs_f64() * 1000.0;
+            assert!(r.is_clean(), "{}", r.render());
+            ScalingRow { loc: p.loc, ms, ms_per_kloc: ms / (p.loc as f64 / 1000.0) }
+        })
+        .collect()
+}
+
+/// One row of the annotation sweep (E10).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SweepRow {
+    /// Fraction of annotations kept.
+    pub level: f64,
+    /// Messages reported.
+    pub messages: usize,
+}
+
+/// E10: message counts as annotations are stripped from a program of
+/// roughly `target_loc` lines.
+pub fn annotation_sweep(target_loc: usize, levels: &[f64]) -> Vec<SweepRow> {
+    let linter = Linter::new(Flags::default());
+    levels
+        .iter()
+        .map(|level| {
+            let p = generate(&GenConfig {
+                annotation_level: *level,
+                ..GenConfig::with_target_loc(target_loc)
+            });
+            let r = linter.check_source("gen.c", &p.source).expect("parses");
+            SweepRow { level: *level, messages: r.diagnostics.len() }
+        })
+        .collect()
+}
+
+/// One row of the static-vs-dynamic table (E11).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DetectRow {
+    /// Bug class label.
+    pub class: String,
+    /// Static detection rate (percent).
+    pub static_rate: usize,
+    /// Dynamic detection rate per test budget (percent).
+    pub dynamic_rates: Vec<(usize, usize)>,
+}
+
+/// E11: detection rates of the static checker vs the runtime baseline.
+pub fn detection_table(
+    mutants_per_class: usize,
+    input_space: i64,
+    budgets: &[usize],
+    seed: u64,
+) -> Vec<DetectRow> {
+    let base = generate(&GenConfig { modules: 2, ..GenConfig::default() });
+    let linter = Linter::new(Flags::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    BugClass::all()
+        .iter()
+        .map(|class| {
+            let mut static_hits = 0usize;
+            let mut dynamic_hits = vec![0usize; budgets.len()];
+            for _ in 0..mutants_per_class {
+                let trigger = rng.random_range(0..input_space);
+                let m = inject(&base, *class, trigger);
+                let r = linter.check_source("m.c", &m.source).expect("parses");
+                if !r.diagnostics.is_empty() {
+                    static_hits += 1;
+                }
+                for (bi, budget) in budgets.iter().enumerate() {
+                    let mut found = false;
+                    for _ in 0..*budget {
+                        let input = rng.random_range(0..input_space);
+                        let run = lclint_interp::run_source(
+                            "m.c",
+                            &m.source,
+                            "run",
+                            &[input],
+                            lclint_interp::Config::default(),
+                        )
+                        .expect("parses");
+                        if !run.is_clean() {
+                            found = true;
+                            break;
+                        }
+                    }
+                    if found {
+                        dynamic_hits[bi] += 1;
+                    }
+                }
+            }
+            DetectRow {
+                class: class.label().to_owned(),
+                static_rate: 100 * static_hits / mutants_per_class,
+                dynamic_rates: budgets
+                    .iter()
+                    .zip(dynamic_hits)
+                    .map(|(b, h)| (*b, 100 * h / mutants_per_class))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// E9 (library variant): time to check a module + client from full source
+/// vs checking the client against the module's interface library (§7's
+/// "libraries to store interface information"). Returns `(full_ms, lib_ms)`.
+pub fn library_speedup(target_loc: usize) -> (f64, f64) {
+    let p = generate(&GenConfig::with_target_loc(target_loc));
+    let client = "void client(void)\n{\n  m0_list l = m0_create();\n  m0_push(l, 1);\n  m0_final(l);\n}\n";
+    // Full-source check.
+    let linter = Linter::new(Flags::default());
+    let files = vec![
+        ("mod.c".to_owned(), p.source.clone()),
+        ("client.c".to_owned(), client.to_owned()),
+    ];
+    let start = Instant::now();
+    let r = linter
+        .check_files(&files, &["mod.c".to_owned(), "client.c".to_owned()])
+        .expect("parses");
+    assert!(r.is_clean(), "{}", r.render());
+    let full_ms = start.elapsed().as_secs_f64() * 1000.0;
+    // Library check: the module is summarized once; only the client is
+    // re-checked.
+    let (tu, _, _) = lclint_syntax::parse_translation_unit("mod.c", &p.source).expect("parses");
+    let lib = lclint_core::library::save(&tu);
+    let mut linter = Linter::new(Flags::default());
+    linter.add_library("mod.lcs", lib);
+    let start = Instant::now();
+    let r = linter.check_source("client.c", client).expect("parses");
+    assert!(r.is_clean(), "{}", r.render());
+    let lib_ms = start.elapsed().as_secs_f64() * 1000.0;
+    (full_ms, lib_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_table_matches_paper() {
+        for row in figure_table() {
+            assert_eq!(
+                row.measured_messages, row.paper_messages,
+                "figure {} diverges",
+                row.figure
+            );
+        }
+    }
+
+    #[test]
+    fn database_table_matches_paper() {
+        let rows = database_table();
+        let by_name: BTreeMap<&str, &StageRow> =
+            rows.iter().map(|r| (r.stage.as_str(), r)).collect();
+        assert_eq!(by_name["A"].null, 1);
+        assert_eq!(by_name["B"].null, 3);
+        assert_eq!(by_name["C"].alloc, 7);
+        assert_eq!(by_name["D"].alloc, 6);
+        assert_eq!(by_name["E"].alloc, 6);
+        assert_eq!(by_name["F"].alloc, 0);
+        assert_eq!(by_name["F"].alias, 1);
+        assert_eq!(by_name["final"].alias, 0);
+        assert_eq!(by_name["final"].annotations, 15);
+    }
+
+    #[test]
+    fn sweep_is_monotone_decreasing() {
+        let rows = annotation_sweep(2_000, &[0.0, 0.5, 1.0]);
+        assert!(rows[0].messages >= rows[1].messages);
+        assert!(rows[1].messages >= rows[2].messages);
+        assert_eq!(rows[2].messages, 0);
+    }
+
+    #[test]
+    fn detection_rates_have_the_paper_shape() {
+        let rows = detection_table(4, 50, &[1, 50], 9);
+        for row in &rows {
+            assert_eq!(row.static_rate, 100, "{row:?}");
+            let small = row.dynamic_rates[0].1;
+            let large = row.dynamic_rates[1].1;
+            assert!(large >= small, "{row:?}");
+        }
+    }
+}

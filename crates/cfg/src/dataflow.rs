@@ -1,0 +1,179 @@
+//! A forward dataflow engine over the acyclic CFG.
+//!
+//! Because the paper's execution model removes loop back edges, the CFG is a
+//! DAG and one pass in topological order computes the exact (per-model)
+//! dataflow solution — the paper's "the analysis can be done efficiently
+//! without any need to do iteration".
+
+use crate::graph::{Action, BlockId, Cfg};
+use lclint_syntax::ast::Expr;
+use lclint_syntax::span::Span;
+
+/// A client analysis: state type, transfer functions and merge.
+pub trait Analysis {
+    /// The dataflow state attached to program points.
+    type State: Clone;
+
+    /// Applies one action to the state.
+    fn transfer(&mut self, action: &Action, state: &mut Self::State);
+
+    /// Refines the state along a guarded edge (`cond` evaluated with the
+    /// given polarity). The condition's *effects* already happened via
+    /// [`Analysis::transfer`]; this hook only refines facts (e.g. null
+    /// states).
+    fn apply_guard(&mut self, cond: &Expr, sense: bool, state: &mut Self::State);
+
+    /// Merges two states at a confluence point. Implementations report
+    /// confluence anomalies (e.g. storage released on only one branch).
+    fn merge(&mut self, a: Self::State, b: Self::State, at: Span) -> Self::State;
+}
+
+/// The result of a dataflow run.
+#[derive(Debug, Clone)]
+pub struct DataflowResult<S> {
+    /// The in-state of every block (`None` for unreachable blocks).
+    pub block_in: Vec<Option<S>>,
+    /// The state at the exit block (after its actions), if reachable.
+    pub exit_state: Option<S>,
+}
+
+/// Runs `analysis` over `cfg` starting from `entry_state`.
+///
+/// Visits blocks in topological order; each block's in-state is the merge of
+/// its predecessors' out-states with edge guards applied.
+pub fn run<A: Analysis>(
+    cfg: &Cfg,
+    analysis: &mut A,
+    entry_state: A::State,
+) -> DataflowResult<A::State> {
+    let n = cfg.len();
+    let mut block_in: Vec<Option<A::State>> = vec![None; n];
+    let mut block_out: Vec<Option<A::State>> = vec![None; n];
+    block_in[cfg.entry.0 as usize] = Some(entry_state);
+
+    for id in cfg.topo_order() {
+        let i = id.0 as usize;
+        let Some(state) = block_in[i].clone() else { continue };
+        let mut s = state;
+        for action in &cfg.block(id).actions {
+            analysis.transfer(action, &mut s);
+        }
+        // Propagate along out-edges.
+        for e in &cfg.block(id).succs {
+            let mut edge_state = s.clone();
+            if let Some(g) = &e.guard {
+                analysis.apply_guard(&g.cond, g.sense, &mut edge_state);
+            }
+            let t = e.target.0 as usize;
+            let at = cfg.block(e.target).span;
+            block_in[t] = Some(match block_in[t].take() {
+                Some(prev) => analysis.merge(prev, edge_state, at),
+                None => edge_state,
+            });
+        }
+        block_out[i] = Some(s);
+    }
+
+    let exit_state = block_in[cfg.exit.0 as usize].clone();
+    DataflowResult { block_in, exit_state }
+}
+
+/// Convenience: true when a block is reachable in a result.
+pub fn reachable<S>(result: &DataflowResult<S>, id: BlockId) -> bool {
+    result.block_in[id.0 as usize].is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lclint_syntax::ast::{ExprKind, Item};
+    use lclint_syntax::parse_translation_unit;
+
+    /// A toy analysis: counts assignments, tracks "x is definitely zero".
+    struct CountAssigns {
+        merges: u32,
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct S {
+        assigns: u32,
+        x_zero: Option<bool>,
+    }
+
+    impl Analysis for CountAssigns {
+        type State = S;
+
+        fn transfer(&mut self, action: &Action, state: &mut S) {
+            if let Action::Eval(e) = action {
+                if let ExprKind::Assign(_, _, rhs) = &e.kind {
+                    state.assigns += 1;
+                    state.x_zero = Some(matches!(rhs.kind, ExprKind::IntLit(0)));
+                }
+            }
+        }
+
+        fn apply_guard(&mut self, _cond: &Expr, _sense: bool, _state: &mut S) {}
+
+        fn merge(&mut self, a: S, b: S, _at: Span) -> S {
+            self.merges += 1;
+            S {
+                assigns: a.assigns.max(b.assigns),
+                x_zero: if a.x_zero == b.x_zero { a.x_zero } else { None },
+            }
+        }
+    }
+
+    fn run_on(src: &str) -> (DataflowResult<S>, CountAssigns) {
+        let (tu, _, _) = parse_translation_unit("t.c", src).unwrap();
+        let f = tu
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Function(f) => Some(f),
+                _ => None,
+            })
+            .unwrap();
+        let cfg = crate::graph::Cfg::build(f);
+        let mut a = CountAssigns { merges: 0 };
+        let r = run(&cfg, &mut a, S { assigns: 0, x_zero: None });
+        (r, a)
+    }
+
+    #[test]
+    fn straight_line_counts() {
+        let (r, _) = run_on("void f(void) { int x; x = 0; x = 1; }");
+        assert_eq!(r.exit_state.unwrap().assigns, 2);
+    }
+
+    #[test]
+    fn branches_merge() {
+        let (r, a) = run_on(
+            "void f(int c) { int x; if (c) { x = 0; } else { x = 0; } }",
+        );
+        assert!(a.merges >= 1);
+        // Both branches set x to zero → fact survives the merge.
+        assert_eq!(r.exit_state.unwrap().x_zero, Some(true));
+    }
+
+    #[test]
+    fn conflicting_branches_lose_fact() {
+        let (r, _) = run_on(
+            "void f(int c) { int x; if (c) { x = 0; } else { x = 1; } }",
+        );
+        assert_eq!(r.exit_state.unwrap().x_zero, None);
+    }
+
+    #[test]
+    fn loop_as_zero_or_one() {
+        // After the loop the state is the merge of "never entered" and
+        // "entered once".
+        let (r, _) = run_on("void f(int c) { int x; x = 0; while (c) { x = 1; } }");
+        assert_eq!(r.exit_state.unwrap().x_zero, None);
+    }
+
+    #[test]
+    fn exit_reachable_through_returns() {
+        let (r, _) = run_on("int f(int c) { if (c) { return 1; } return 0; }");
+        assert!(r.exit_state.is_some());
+    }
+}

@@ -1,0 +1,640 @@
+//! Control-flow graph construction under the paper's simplified execution
+//! model (§2):
+//!
+//! * any predicate expression may be true or false;
+//! * the effects of any `while` or `for` loop are identical to executing the
+//!   loop zero or one times — **no back edges**, so the CFG is a DAG and a
+//!   single topological pass computes exact dataflow (no fixpoints);
+//! * `continue` and `break` both leave the (single) iteration;
+//! * backward `goto`s are dropped (counted in [`Cfg::ignored_back_edges`]).
+
+use lclint_syntax::ast::*;
+use lclint_syntax::span::Span;
+use std::collections::HashMap;
+
+/// Identifies a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// How many loop iterations the CFG models (paper §2 uses zero-or-one; the
+/// two-iteration variant is the ablation showing what the simplification
+/// trades away — e.g. aliases "produced only after the second iteration").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoopModel {
+    /// The paper's model: every loop body runs zero or one times.
+    #[default]
+    ZeroOrOne,
+    /// Unroll one extra iteration: zero, one or two times. More precise
+    /// alias discovery, larger (still acyclic) graphs.
+    ZeroOneOrTwo,
+}
+
+/// One linearized action within a block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Evaluate an expression for its effects (expression statements and
+    /// branch conditions — the condition is evaluated in the block *before*
+    /// its guarded out-edges).
+    Eval(Expr),
+    /// A local declaration.
+    Decl(Declaration),
+    /// A `return` (also linked by an edge to the exit block).
+    Return(Option<Expr>, Span),
+    /// End of a lexical scope: the named locals go out of scope here.
+    ExitScope(Vec<String>, Span),
+}
+
+/// A guarded edge: when `sense` is true this edge is taken when `cond`
+/// evaluated true.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Guard {
+    /// The branch condition (already evaluated in the source block).
+    pub cond: Expr,
+    /// Polarity of this edge.
+    pub sense: bool,
+}
+
+/// An edge to `target`, optionally guarded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Destination block.
+    pub target: BlockId,
+    /// Guard fact usable for refinement on this edge.
+    pub guard: Option<Guard>,
+}
+
+/// A basic block.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Block {
+    /// Actions executed in order.
+    pub actions: Vec<Action>,
+    /// Out-edges.
+    pub succs: Vec<Edge>,
+    /// A representative source location (used as the confluence point for
+    /// merge diagnostics).
+    pub span: Span,
+}
+
+/// A function's control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// The blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// Exit block (every `return` and the fall-off end lead here).
+    pub exit: BlockId,
+    /// Number of backward `goto` edges that were dropped to keep the graph
+    /// acyclic (the paper's model never follows loop back edges).
+    pub ignored_back_edges: u32,
+    /// Spans of statements that can never execute (code after a `return`,
+    /// `break`, `continue` or a call to a `noreturn` function cannot be
+    /// seen here; only structurally dead statements are recorded).
+    pub unreachable_stmts: Vec<Span>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a function body under the paper's zero-or-one
+    /// loop model.
+    pub fn build(f: &FunctionDef) -> Cfg {
+        Cfg::build_with(f, LoopModel::ZeroOrOne)
+    }
+
+    /// Builds the CFG under an explicit loop model.
+    pub fn build_with(f: &FunctionDef, model: LoopModel) -> Cfg {
+        Builder::new(model).build(f)
+    }
+
+    /// The block for `id`.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the graph has no blocks (never produced by `build`).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Blocks in a topological order (possible because the graph is a DAG).
+    pub fn topo_order(&self) -> Vec<BlockId> {
+        let n = self.blocks.len();
+        let mut indegree = vec![0usize; n];
+        for b in &self.blocks {
+            for e in &b.succs {
+                indegree[e.target.0 as usize] += 1;
+            }
+        }
+        let mut stack: Vec<usize> =
+            (0..n).filter(|i| indegree[*i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = stack.pop() {
+            order.push(BlockId(i as u32));
+            for e in &self.blocks[i].succs {
+                let t = e.target.0 as usize;
+                indegree[t] -= 1;
+                if indegree[t] == 0 {
+                    stack.push(t);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "CFG must be acyclic");
+        order
+    }
+
+    /// Predecessor lists (with the edge that reaches each block).
+    pub fn preds(&self) -> Vec<Vec<(BlockId, &Edge)>> {
+        let mut preds: Vec<Vec<(BlockId, &Edge)>> = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for e in &b.succs {
+                preds[e.target.0 as usize].push((BlockId(i as u32), e));
+            }
+        }
+        preds
+    }
+}
+
+/// Pending jump targets while building.
+#[derive(Debug, Default)]
+struct LoopCtx {
+    /// Blocks that `break` out of the innermost breakable construct.
+    break_sources: Vec<BlockId>,
+    /// Blocks that `continue` (same destination under the 0/1 model).
+    continue_sources: Vec<BlockId>,
+}
+
+struct Builder {
+    blocks: Vec<Block>,
+    exit: BlockId,
+    loops: Vec<LoopCtx>,
+    labels: HashMap<String, BlockId>,
+    pending_gotos: Vec<(BlockId, String)>,
+    ignored_back_edges: u32,
+    unreachable_stmts: Vec<Span>,
+    model: LoopModel,
+}
+
+impl Builder {
+    fn new(model: LoopModel) -> Self {
+        Builder {
+            blocks: Vec::new(),
+            exit: BlockId(0),
+            loops: Vec::new(),
+            labels: HashMap::new(),
+            pending_gotos: Vec::new(),
+            ignored_back_edges: 0,
+            unreachable_stmts: Vec::new(),
+            model,
+        }
+    }
+
+    fn new_block(&mut self, span: Span) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block { actions: Vec::new(), succs: Vec::new(), span });
+        id
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId, guard: Option<Guard>) {
+        self.blocks[from.0 as usize].succs.push(Edge { target: to, guard });
+    }
+
+    fn push(&mut self, b: BlockId, a: Action) {
+        self.blocks[b.0 as usize].actions.push(a);
+    }
+
+    fn build(mut self, f: &FunctionDef) -> Cfg {
+        let entry = self.new_block(f.span);
+        self.exit = self.new_block(f.span);
+        let exit = self.exit;
+        let last = self.stmt(&f.body, entry);
+        if let Some(last) = last {
+            // Falling off the end is an implicit `return;` — the
+            // return-point interface checks run there, located at the
+            // function's closing brace (matching LCLint's message sites).
+            let close = Span::new(
+                f.body.span.file,
+                f.body.span.end.saturating_sub(1),
+                f.body.span.end,
+            );
+            self.push(last, Action::Return(None, close));
+            self.edge(last, exit, None);
+        }
+        // Resolve forward gotos; drop backward ones (no iteration).
+        let gotos = std::mem::take(&mut self.pending_gotos);
+        for (src, label) in gotos {
+            match self.labels.get(&label) {
+                Some(&target) if target.0 > src.0 => self.edge(src, target, None),
+                Some(_) => self.ignored_back_edges += 1,
+                None => self.ignored_back_edges += 1,
+            }
+        }
+        Cfg {
+            blocks: self.blocks,
+            entry,
+            exit,
+            ignored_back_edges: self.ignored_back_edges,
+            unreachable_stmts: self.unreachable_stmts,
+        }
+    }
+
+    /// Lowers `s`, appending to `cur`. Returns the block that falls through
+    /// (or `None` when control never falls out, e.g. after `return`).
+    fn stmt(&mut self, s: &Stmt, cur: BlockId) -> Option<BlockId> {
+        match &s.kind {
+            StmtKind::Compound(items) => {
+                let mut cur = cur;
+                let mut names = Vec::new();
+                for item in items {
+                    match item {
+                        BlockItem::Decl(d) => {
+                            for id in &d.declarators {
+                                if let Some(n) = &id.declarator.name {
+                                    names.push(n.clone());
+                                }
+                            }
+                            self.push(cur, Action::Decl(d.clone()));
+                        }
+                        BlockItem::Stmt(st) => match self.stmt(st, cur) {
+                            Some(next) => cur = next,
+                            None => {
+                                // Control never falls out of `st`; any
+                                // following statement is unreachable.
+                                let rest = items
+                                    .iter()
+                                    .skip_while(|i| !std::ptr::eq(*i, item))
+                                    .skip(1)
+                                    .find_map(|i| match i {
+                                        BlockItem::Stmt(next) => Some(next.span),
+                                        BlockItem::Decl(_) => None,
+                                    });
+                                if let Some(span) = rest {
+                                    self.unreachable_stmts.push(span);
+                                }
+                                return None;
+                            }
+                        },
+                    }
+                }
+                if !names.is_empty() {
+                    self.push(cur, Action::ExitScope(names, s.span));
+                }
+                Some(cur)
+            }
+            StmtKind::Expr(e) => {
+                self.push(cur, Action::Eval(e.clone()));
+                Some(cur)
+            }
+            StmtKind::Empty => Some(cur),
+            StmtKind::If { cond, then_branch, else_branch } => {
+                self.push(cur, Action::Eval(cond.clone()));
+                let then_b = self.new_block(then_branch.span);
+                self.edge(cur, then_b, Some(Guard { cond: cond.clone(), sense: true }));
+                let join = self.new_block(s.span);
+                let then_end = self.stmt(then_branch, then_b);
+                if let Some(te) = then_end {
+                    self.edge(te, join, None);
+                }
+                match else_branch {
+                    Some(eb) => {
+                        let else_b = self.new_block(eb.span);
+                        self.edge(cur, else_b, Some(Guard { cond: cond.clone(), sense: false }));
+                        if let Some(ee) = self.stmt(eb, else_b) {
+                            self.edge(ee, join, None);
+                        }
+                    }
+                    None => {
+                        self.edge(cur, join, Some(Guard { cond: cond.clone(), sense: false }));
+                    }
+                }
+                Some(join)
+            }
+            StmtKind::While { cond, body } => {
+                self.push(cur, Action::Eval(cond.clone()));
+                let body_b = self.new_block(body.span);
+                let after = self.new_block(s.span);
+                self.edge(cur, body_b, Some(Guard { cond: cond.clone(), sense: true }));
+                self.edge(cur, after, Some(Guard { cond: cond.clone(), sense: false }));
+                self.loops.push(LoopCtx::default());
+                let body_end = self.stmt(body, body_b);
+                let ctx = self.loops.pop().expect("pushed above");
+                match (self.model, body_end) {
+                    (LoopModel::ZeroOrOne, Some(be)) => self.edge(be, after, None),
+                    (LoopModel::ZeroOneOrTwo, Some(be)) => {
+                        // Second modeled iteration: re-evaluate the
+                        // condition, run a fresh copy of the body.
+                        let cond2 = self.new_block(cond.span);
+                        self.edge(be, cond2, None);
+                        self.push(cond2, Action::Eval(cond.clone()));
+                        let body2 = self.new_block(body.span);
+                        self.edge(cond2, body2, Some(Guard { cond: cond.clone(), sense: true }));
+                        self.edge(cond2, after, Some(Guard { cond: cond.clone(), sense: false }));
+                        self.loops.push(LoopCtx::default());
+                        let b2_end = self.stmt(body, body2);
+                        let ctx2 = self.loops.pop().expect("pushed above");
+                        if let Some(b2e) = b2_end {
+                            self.edge(b2e, after, None);
+                        }
+                        for b in ctx2.break_sources.into_iter().chain(ctx2.continue_sources) {
+                            self.edge(b, after, None);
+                        }
+                    }
+                    (_, None) => {}
+                }
+                for b in ctx.break_sources.into_iter().chain(ctx.continue_sources) {
+                    self.edge(b, after, None);
+                }
+                Some(after)
+            }
+            StmtKind::DoWhile { body, cond } => {
+                // Body exactly once, then the condition.
+                let body_b = self.new_block(body.span);
+                self.edge(cur, body_b, None);
+                self.loops.push(LoopCtx::default());
+                let body_end = self.stmt(body, body_b);
+                let ctx = self.loops.pop().expect("pushed above");
+                let cond_b = self.new_block(s.span);
+                if let Some(be) = body_end {
+                    self.edge(be, cond_b, None);
+                }
+                for b in ctx.continue_sources {
+                    self.edge(b, cond_b, None);
+                }
+                self.push(cond_b, Action::Eval(cond.clone()));
+                let after = self.new_block(s.span);
+                self.edge(cond_b, after, None);
+                for b in ctx.break_sources {
+                    self.edge(b, after, None);
+                }
+                Some(after)
+            }
+            StmtKind::For { init, cond, step, body } => {
+                match init {
+                    Some(ForInit::Expr(e)) => self.push(cur, Action::Eval(e.clone())),
+                    Some(ForInit::Decl(d)) => self.push(cur, Action::Decl(d.clone())),
+                    None => {}
+                }
+                if let Some(c) = cond {
+                    self.push(cur, Action::Eval(c.clone()));
+                }
+                let body_b = self.new_block(body.span);
+                let after = self.new_block(s.span);
+                match cond {
+                    Some(c) => {
+                        self.edge(cur, body_b, Some(Guard { cond: c.clone(), sense: true }));
+                        self.edge(cur, after, Some(Guard { cond: c.clone(), sense: false }));
+                    }
+                    None => {
+                        self.edge(cur, body_b, None);
+                        self.edge(cur, after, None);
+                    }
+                }
+                self.loops.push(LoopCtx::default());
+                let body_end = self.stmt(body, body_b);
+                let ctx = self.loops.pop().expect("pushed above");
+                // Step executes after each modeled iteration.
+                if let Some(be) = body_end {
+                    let end = match step {
+                        Some(st) => {
+                            let step_b = self.new_block(st.span);
+                            self.edge(be, step_b, None);
+                            self.push(step_b, Action::Eval(st.clone()));
+                            step_b
+                        }
+                        None => be,
+                    };
+                    match self.model {
+                        LoopModel::ZeroOrOne => self.edge(end, after, None),
+                        LoopModel::ZeroOneOrTwo => {
+                            let cond2 = self.new_block(s.span);
+                            self.edge(end, cond2, None);
+                            if let Some(c) = cond {
+                                self.push(cond2, Action::Eval(c.clone()));
+                            }
+                            let body2 = self.new_block(body.span);
+                            match cond {
+                                Some(c) => {
+                                    self.edge(cond2, body2, Some(Guard { cond: c.clone(), sense: true }));
+                                    self.edge(cond2, after, Some(Guard { cond: c.clone(), sense: false }));
+                                }
+                                None => {
+                                    self.edge(cond2, body2, None);
+                                    self.edge(cond2, after, None);
+                                }
+                            }
+                            self.loops.push(LoopCtx::default());
+                            let b2_end = self.stmt(body, body2);
+                            let ctx2 = self.loops.pop().expect("pushed above");
+                            if let Some(b2e) = b2_end {
+                                let end2 = match step {
+                                    Some(st) => {
+                                        let sb = self.new_block(st.span);
+                                        self.edge(b2e, sb, None);
+                                        self.push(sb, Action::Eval(st.clone()));
+                                        sb
+                                    }
+                                    None => b2e,
+                                };
+                                self.edge(end2, after, None);
+                            }
+                            for b in ctx2.break_sources.into_iter().chain(ctx2.continue_sources) {
+                                self.edge(b, after, None);
+                            }
+                        }
+                    }
+                }
+                for b in ctx.break_sources.into_iter().chain(ctx.continue_sources) {
+                    self.edge(b, after, None);
+                }
+                Some(after)
+            }
+            StmtKind::Switch { cond, body } => {
+                self.push(cur, Action::Eval(cond.clone()));
+                let after = self.new_block(s.span);
+                self.loops.push(LoopCtx::default());
+                // Approximate: the body is analyzed once from the switch
+                // head (each case is reachable; fall-through is linear).
+                let body_b = self.new_block(body.span);
+                self.edge(cur, body_b, None);
+                // The scrutinee may match no case.
+                self.edge(cur, after, None);
+                if let Some(be) = self.stmt(body, body_b) {
+                    self.edge(be, after, None);
+                }
+                let ctx = self.loops.pop().expect("pushed above");
+                for b in ctx.break_sources.into_iter().chain(ctx.continue_sources) {
+                    self.edge(b, after, None);
+                }
+                Some(after)
+            }
+            StmtKind::Case { stmt, .. } | StmtKind::Default(stmt) => self.stmt(stmt, cur),
+            StmtKind::Break => {
+                if let Some(ctx) = self.loops.last_mut() {
+                    ctx.break_sources.push(cur);
+                }
+                None
+            }
+            StmtKind::Continue => {
+                if let Some(ctx) = self.loops.last_mut() {
+                    ctx.continue_sources.push(cur);
+                }
+                None
+            }
+            StmtKind::Return(v) => {
+                self.push(cur, Action::Return(v.clone(), s.span));
+                let exit = self.exit;
+                self.edge(cur, exit, None);
+                None
+            }
+            StmtKind::Label { name, stmt } => {
+                let label_b = self.new_block(stmt.span);
+                self.edge(cur, label_b, None);
+                self.labels.insert(name.clone(), label_b);
+                self.stmt(stmt, label_b)
+            }
+            StmtKind::Goto(name) => {
+                self.pending_gotos.push((cur, name.clone()));
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lclint_syntax::parse_translation_unit;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let (tu, _, _) = parse_translation_unit("t.c", src).unwrap();
+        for item in &tu.items {
+            if let Item::Function(f) = item {
+                return Cfg::build(f);
+            }
+        }
+        panic!("no function in source");
+    }
+
+    /// Asserts the graph is acyclic by checking topo_order covers all blocks.
+    fn assert_dag(c: &Cfg) {
+        assert_eq!(c.topo_order().len(), c.len());
+    }
+
+    #[test]
+    fn straight_line() {
+        let c = cfg_of("void f(void) { int x; x = 1; x = 2; }");
+        assert_dag(&c);
+        let entry = c.block(c.entry);
+        assert!(entry.actions.len() >= 3);
+    }
+
+    #[test]
+    fn if_has_two_guarded_edges() {
+        let c = cfg_of("void f(int a) { if (a) { a = 1; } }");
+        assert_dag(&c);
+        let entry = c.block(c.entry);
+        assert_eq!(entry.succs.len(), 2);
+        let senses: Vec<bool> =
+            entry.succs.iter().map(|e| e.guard.as_ref().unwrap().sense).collect();
+        assert!(senses.contains(&true) && senses.contains(&false));
+    }
+
+    #[test]
+    fn while_has_no_back_edge() {
+        let c = cfg_of("void f(int a) { while (a) { a = a - 1; } a = 2; }");
+        assert_dag(&c);
+    }
+
+    #[test]
+    fn for_loop_step_runs_after_body() {
+        let c = cfg_of("void f(int n) { int i; for (i = 0; i < n; i++) { n = n - 1; } }");
+        assert_dag(&c);
+        // A block containing the step exists.
+        let has_step = c
+            .blocks
+            .iter()
+            .any(|b| b.actions.iter().any(|a| matches!(a, Action::Eval(e) if matches!(e.kind, ExprKind::PostIncDec(_, _)))));
+        assert!(has_step);
+    }
+
+    #[test]
+    fn do_while_body_unconditional() {
+        let c = cfg_of("void f(int a) { do { a = 1; } while (a); }");
+        assert_dag(&c);
+        // Entry's single successor leads to the body without a guard.
+        let entry = c.block(c.entry);
+        assert_eq!(entry.succs.len(), 1);
+        assert!(entry.succs[0].guard.is_none());
+    }
+
+    #[test]
+    fn return_reaches_exit() {
+        let c = cfg_of("int f(int a) { if (a) { return 1; } return 0; }");
+        assert_dag(&c);
+        let preds = c.preds();
+        assert_eq!(preds[c.exit.0 as usize].len(), 2);
+    }
+
+    #[test]
+    fn break_and_continue_leave_loop() {
+        let c = cfg_of(
+            "void f(int a) { while (a) { if (a == 1) break; if (a == 2) continue; a = 3; } }",
+        );
+        assert_dag(&c);
+    }
+
+    #[test]
+    fn backward_goto_dropped() {
+        let c = cfg_of("void f(int a) { top: a = 1; goto top; }");
+        assert_dag(&c);
+        assert_eq!(c.ignored_back_edges, 1);
+    }
+
+    #[test]
+    fn forward_goto_linked() {
+        let c = cfg_of("void f(int a) { if (a) goto done; a = 1; done: a = 2; }");
+        assert_dag(&c);
+        assert_eq!(c.ignored_back_edges, 0);
+    }
+
+    #[test]
+    fn switch_cases_merge() {
+        let c = cfg_of(
+            "void f(int a) { switch (a) { case 1: a = 1; break; case 2: a = 2; break; default: a = 3; } }",
+        );
+        assert_dag(&c);
+    }
+
+    #[test]
+    fn scope_exit_emitted() {
+        let c = cfg_of("void f(void) { { int x; x = 1; } }");
+        let found = c
+            .blocks
+            .iter()
+            .any(|b| b.actions.iter().any(|a| matches!(a, Action::ExitScope(names, _) if names.contains(&"x".to_owned()))));
+        assert!(found);
+    }
+
+    #[test]
+    fn unreachable_code_after_return() {
+        // Code after return produces no panic and stays disconnected.
+        let c = cfg_of("int f(void) { return 1; }");
+        assert_dag(&c);
+    }
+
+    #[test]
+    fn figure6_shape() {
+        // The paper's list_addh example: if around while, merge points exist.
+        let c = cfg_of(
+            "void f(int l) { if (l != 0) { while (l == 1) { l = 2; } l = 3; } }",
+        );
+        assert_dag(&c);
+        // Exit has at least one predecessor and some block has 2 preds
+        // (the if/while confluence points).
+        let preds = c.preds();
+        assert!(preds.iter().any(|p| p.len() == 2));
+    }
+}

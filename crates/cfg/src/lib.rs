@@ -1,0 +1,27 @@
+//! Control-flow graphs and dataflow under the paper's simplified execution
+//! model: loops execute zero or one times, so every CFG is a DAG and one
+//! topological pass computes dataflow without iteration (paper §2, §5).
+//!
+//! # Examples
+//!
+//! ```
+//! use lclint_cfg::Cfg;
+//! use lclint_syntax::{parse_translation_unit, Item};
+//!
+//! let (tu, _, _) = parse_translation_unit(
+//!     "t.c",
+//!     "void f(int a) { while (a) { a = a - 1; } }",
+//! ).unwrap();
+//! let f = match &tu.items[0] { Item::Function(f) => f, _ => unreachable!() };
+//! let cfg = Cfg::build(f);
+//! // Acyclic: a topological order covers every block.
+//! assert_eq!(cfg.topo_order().len(), cfg.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataflow;
+pub mod graph;
+
+pub use dataflow::{run, Analysis, DataflowResult};
+pub use graph::{Action, Block, BlockId, Cfg, Edge, Guard, LoopModel};

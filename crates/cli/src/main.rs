@@ -1,0 +1,184 @@
+//! `rlclint` — the command-line checker.
+//!
+//! ```text
+//! rlclint [flags] file.c [more.c ...]
+//!
+//! Flags use LCLint's +name / -name convention:
+//!   +allimponly     enable implicit only on returns/globals/fields
+//!   -mustfree       disable a message class (see --help for all classes)
+//!   +gcmode         garbage-collected program: no leak checking
+//!   -supcomments    ignore /*@i@*/ and /*@ignore@*/ comments
+//!   -stdlib         do not load the annotated standard library
+//! Other options:
+//!   --json          machine-readable output
+//!   --lib FILE      load an interface library
+//!   --emit-lib      print the interface library of the inputs and exit
+//!   --run ENTRY     interpret ENTRY() after checking (runtime baseline)
+//! ```
+
+use lclint_core::{library, Flags, Linter};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rlclint [flags] file.c [...]\n\
+         \n\
+         LCLint-style flags: +name enables, -name disables.\n\
+         classes: {}\n\
+         modes: allimponly imponlyreturns imponlyglobals imponlyfields gcmode\n\
+         \u{20}       supcomments stdlib memchecks all\n\
+         options: --json --lib FILE --emit-lib --run ENTRY",
+        lclint_core::DiagKind::all()
+            .iter()
+            .map(|k| k.flag_name())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut flags = Flags::default();
+    let mut files: Vec<(String, String)> = Vec::new();
+    let mut roots: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut emit_lib = false;
+    let mut run_entry: Option<String> = None;
+    let mut libs: Vec<(String, String)> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        match a.as_str() {
+            "--help" | "-h" => usage(),
+            "--json" => json = true,
+            "--emit-lib" => emit_lib = true,
+            "--lib" => {
+                i += 1;
+                let Some(path) = args.get(i) else { usage() };
+                match std::fs::read_to_string(path) {
+                    Ok(text) => libs.push((path.clone(), text)),
+                    Err(e) => {
+                        eprintln!("rlclint: cannot read library {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--run" => {
+                i += 1;
+                let Some(entry) = args.get(i) else { usage() };
+                run_entry = Some(entry.clone());
+            }
+            _ if a.starts_with('+') || (a.starts_with('-') && !a.starts_with("--")) => {
+                if let Err(e) = flags.apply(a) {
+                    eprintln!("rlclint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            path => match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    files.push((path.to_owned(), text));
+                    if path.ends_with(".c") {
+                        roots.push(path.to_owned());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("rlclint: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+        }
+        i += 1;
+    }
+    if roots.is_empty() {
+        eprintln!("rlclint: no .c files given");
+        return ExitCode::from(2);
+    }
+
+    if emit_lib {
+        for (name, text) in files.iter().filter(|(n, _)| n.ends_with(".c")) {
+            match lclint_syntax::parse_translation_unit(name, text) {
+                Ok((tu, _, _)) => print!("{}", library::save(&tu)),
+                Err(e) => {
+                    eprintln!("rlclint: {name}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut linter = Linter::new(flags);
+    for (n, t) in libs {
+        linter.add_library(n, t);
+    }
+    let result = match linter.check_files(&files, &roots) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rlclint: parse error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for e in &result.sema_errors {
+        eprintln!("rlclint: {e}");
+    }
+    if json {
+        match serde_json::to_string_pretty(&result.diagnostics) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("rlclint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        print!("{}", result.render());
+        let n = result.diagnostics.len();
+        if n > 0 || result.suppressed > 0 {
+            println!(
+                "\n{} code warning{} ({} suppressed)",
+                n,
+                if n == 1 { "" } else { "s" },
+                result.suppressed
+            );
+        }
+    }
+
+    if let Some(entry) = run_entry {
+        let mut provider = std::collections::HashMap::new();
+        for (n, t) in &files {
+            provider.insert(n.clone(), t.clone());
+        }
+        let root = roots[0].clone();
+        let root_text = provider.get(&root).cloned().unwrap_or_default();
+        match lclint_syntax::parse_with_files(&root, &root_text, &provider) {
+            Ok((tu, _, _)) => {
+                let program = lclint_sema::Program::from_unit(&tu);
+                let run = lclint_interp::run_program(
+                    &program,
+                    &entry,
+                    &[],
+                    lclint_interp::Config::default(),
+                );
+                print!("{}", run.output);
+                for e in &run.errors {
+                    eprintln!("runtime: {e}");
+                }
+            }
+            Err(e) => {
+                eprintln!("rlclint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if result.diagnostics.is_empty() && result.sema_errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,179 @@
+//! End-to-end tests of the `rlclint` binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn rlclint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rlclint"))
+}
+
+fn write_temp(name: &str, text: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlclint-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create");
+    f.write_all(text.as_bytes()).expect("write");
+    path
+}
+
+#[test]
+fn figure2_produces_the_paper_message_and_nonzero_exit() {
+    let path = write_temp(
+        "sample.c",
+        "extern char *gname;\n\nvoid setName(/*@null@*/ char *pname)\n{\n  gname = pname;\n}\n",
+    );
+    let out = rlclint().arg(&path).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Function returns with non-null global gname referencing null storage"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("Storage gname may become null"), "{stdout}");
+    assert!(stdout.contains("1 code warning"), "{stdout}");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn clean_file_exits_zero() {
+    let path = write_temp(
+        "clean.c",
+        "void f(void)\n{\n  char *p = (char *) malloc(8);\n  free(p);\n}\n",
+    );
+    let out = rlclint().arg(&path).output().expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn flags_change_behaviour() {
+    let path = write_temp(
+        "leak.c",
+        "void f(void)\n{\n  char *p = (char *) malloc(8);\n}\n",
+    );
+    let plain = rlclint().arg(&path).output().expect("runs");
+    assert_eq!(plain.status.code(), Some(1));
+    let relaxed = rlclint().arg("-mustfree").arg(&path).output().expect("runs");
+    assert_eq!(
+        relaxed.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&relaxed.stdout)
+    );
+    let gc = rlclint().arg("+gcmode").arg(&path).output().expect("runs");
+    assert_eq!(gc.status.code(), Some(0));
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let path = write_temp(
+        "j.c",
+        "int deref(/*@null@*/ int *p) { return *p; }\n",
+    );
+    let out = rlclint().arg("--json").arg(&path).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let parsed: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    let arr = parsed.as_array().expect("array");
+    assert_eq!(arr.len(), 1);
+    assert_eq!(arr[0]["kind"], "nullderef");
+}
+
+#[test]
+fn emit_lib_strips_bodies() {
+    let path = write_temp(
+        "mod.c",
+        "/*@only@*/ char *make(void)\n{\n  char *p = (char *) malloc(4);\n  if (p == NULL) { exit(1); }\n  *p = 'x';\n  return p;\n}\n",
+    );
+    let out = rlclint().arg("--emit-lib").arg(&path).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("/*@only@*/"), "{stdout}");
+    assert!(!stdout.contains("malloc(4)"), "{stdout}");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn unknown_flag_is_reported() {
+    let out = rlclint().arg("+nosuchflag").arg("x.c").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn run_mode_executes_the_program() {
+    let path = write_temp(
+        "hello.c",
+        "int main_entry(void)\n{\n  printf(\"hi %d\\n\", 41 + 1);\n  return 0;\n}\n",
+    );
+    let out = rlclint()
+        .arg("--run")
+        .arg("main_entry")
+        .arg(&path)
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hi 42"), "{stdout}");
+}
+
+#[test]
+fn suppression_counted_in_summary() {
+    let path = write_temp(
+        "sup.c",
+        "void f(void)\n{\n  /*@i@*/ char *p = (char *) malloc(8);\n}\n",
+    );
+    let out = rlclint().arg(&path).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(1 suppressed)"), "{stdout}");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn multi_file_database_from_disk() {
+    // The full section-6 database, written to disk with real #include
+    // resolution, checked through the binary at two stages.
+    use lclint_corpus::database::{database_roots, database_sources, DbStage};
+    let dir = std::env::temp_dir().join(format!("rlclint-db-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // Final stage: clean, exit 0.
+    for (name, text) in database_sources(&DbStage::final_stage()) {
+        std::fs::write(dir.join(&name), text).expect("write");
+    }
+    let mut cmd = rlclint();
+    cmd.current_dir(&dir);
+    for root in database_roots() {
+        cmd.arg(root);
+    }
+    for (name, _) in database_sources(&DbStage::final_stage()) {
+        if name.ends_with(".h") {
+            cmd.arg(name);
+        }
+    }
+    let out = cmd.output().expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Stage C: the seven allocation anomalies.
+    for (name, text) in database_sources(&DbStage::stage_c()) {
+        std::fs::write(dir.join(&name), text).expect("write");
+    }
+    let mut cmd = rlclint();
+    cmd.current_dir(&dir);
+    for root in database_roots() {
+        cmd.arg(root);
+    }
+    for (name, _) in database_sources(&DbStage::stage_c()) {
+        if name.ends_with(".h") {
+            cmd.arg(name);
+        }
+    }
+    let out = cmd.output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stdout.contains("Implicitly temp storage c passed as only param: free (c)"),
+        "{stdout}"
+    );
+}

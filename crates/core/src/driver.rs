@@ -1,0 +1,324 @@
+//! The checking driver: preprocess + parse every source file, build one
+//! program from the annotated standard library, loaded interface libraries
+//! and all translation units, run the memory checks, then apply flag and
+//! suppression-comment filtering.
+
+use crate::flags::Flags;
+use crate::render::RenderedDiagnostic;
+use crate::stdlib::STDLIB_SOURCE;
+use crate::suppress::SuppressionSet;
+use lclint_analysis::check_program;
+use lclint_sema::Program;
+use lclint_syntax::lexer::ControlComment;
+use lclint_syntax::pp::{preprocess, MemoryProvider};
+use lclint_syntax::span::SourceMap;
+use lclint_syntax::{Parser, Result, TranslationUnit};
+
+/// The result of one check run.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Diagnostics that survived filtering, in source order.
+    pub diagnostics: Vec<RenderedDiagnostic>,
+    /// Number of messages removed by suppression comments.
+    pub suppressed: usize,
+    /// Semantic (declaration-level) problems, rendered.
+    pub sema_errors: Vec<String>,
+    /// The source map of the run (for custom rendering).
+    pub source_map: SourceMap,
+}
+
+impl CheckResult {
+    /// Renders the kept diagnostics in LCLint's output format.
+    pub fn render(&self) -> String {
+        crate::render::render_all(&self.diagnostics)
+    }
+
+    /// True when no anomalies were reported.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.sema_errors.is_empty()
+    }
+
+    /// Message counts by class flag name (for summaries and harnesses).
+    pub fn counts_by_kind(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut m = std::collections::BTreeMap::new();
+        for d in &self.diagnostics {
+            *m.entry(d.kind.clone()).or_insert(0usize) += 1;
+        }
+        m
+    }
+}
+
+/// The checker: LCLint's top-level interface.
+///
+/// # Examples
+///
+/// ```
+/// use lclint_core::{Flags, Linter};
+///
+/// let linter = Linter::new(Flags::default());
+/// let result = linter
+///     .check_source(
+///         "sample.c",
+///         "extern char *gname;\n\
+///          void setName(/*@null@*/ char *pname)\n{\n  gname = pname;\n}\n",
+///     )
+///     .unwrap();
+/// assert_eq!(result.diagnostics.len(), 1);
+/// assert!(result
+///     .render()
+///     .contains("Function returns with non-null global gname referencing null storage"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Linter {
+    /// The flag state for this run.
+    pub flags: Flags,
+    /// Extra interface libraries (name, text) made available to every run.
+    libraries: Vec<(String, String)>,
+}
+
+impl Linter {
+    /// Creates a linter with the given flags.
+    pub fn new(flags: Flags) -> Self {
+        Linter { flags, libraries: Vec::new() }
+    }
+
+    /// Adds an interface library (see [`crate::library`]).
+    pub fn add_library(&mut self, name: impl Into<String>, text: impl Into<String>) -> &mut Self {
+        self.libraries.push((name.into(), text.into()));
+        self
+    }
+
+    /// Checks a single in-memory source file.
+    ///
+    /// # Errors
+    ///
+    /// Returns lexing/preprocessing/parsing errors.
+    pub fn check_source(&self, name: &str, text: &str) -> Result<CheckResult> {
+        self.check_files(&[(name.to_owned(), text.to_owned())], &[(name.to_owned())])
+    }
+
+    /// Checks a set of files. `files` holds every file (sources and
+    /// headers); `roots` names the translation units to check (headers are
+    /// reached through `#include`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first lexing/preprocessing/parsing error.
+    pub fn check_files(&self, files: &[(String, String)], roots: &[String]) -> Result<CheckResult> {
+        let mut provider = MemoryProvider::new();
+        for (n, t) in files {
+            provider.insert(n.clone(), t.clone());
+        }
+        let mut sm = SourceMap::new();
+        let mut controls: Vec<ControlComment> = Vec::new();
+        let mut units: Vec<TranslationUnit> = Vec::new();
+        // Typedef names accumulate across units so that interface libraries
+        // (which carry type definitions like LCLint's .lcs files) make their
+        // types usable in later translation units.
+        let mut typedefs: Vec<String> = Vec::new();
+
+        let parse_unit = |tokens, typedefs: &mut Vec<String>| -> Result<TranslationUnit> {
+            let mut parser = Parser::new(tokens);
+            for t in typedefs.iter() {
+                parser.add_typedef(t.clone());
+            }
+            let tu = parser.parse_translation_unit()?;
+            typedefs.extend(collect_typedef_names(&tu));
+            Ok(tu)
+        };
+
+        // The standard library is itself just an annotated source file.
+        if self.flags.use_stdlib {
+            let out = {
+                let mut p = MemoryProvider::new();
+                p.insert("<stdlib>", STDLIB_SOURCE);
+                preprocess("<stdlib>", &p, &mut sm)?
+            };
+            units.push(parse_unit(out.tokens, &mut typedefs)?);
+        }
+        for (name, text) in &self.libraries {
+            let mut p = MemoryProvider::new();
+            p.insert(name.clone(), text.clone());
+            let out = preprocess(name, &p, &mut sm)?;
+            units.push(parse_unit(out.tokens, &mut typedefs)?);
+        }
+        for root in roots {
+            let out = preprocess(root, &provider, &mut sm)?;
+            controls.extend(out.controls.clone());
+            units.push(parse_unit(out.tokens, &mut typedefs)?);
+        }
+
+        let mut program = Program::new();
+        for u in &units {
+            program.extend_with(u);
+        }
+        let sema_errors: Vec<String> = program
+            .errors
+            .iter()
+            .map(|e| {
+                let loc = sm.loc(e.span);
+                format!("{loc}: {}", e.message)
+            })
+            .collect();
+
+        let mut diags = check_program(&program, &self.flags.analysis);
+        diags.retain(|d| self.flags.enabled(d.kind));
+        diags.sort_by_key(|d| (d.span.file, d.span.start));
+
+        let (diags, suppressed) = if self.flags.suppression_comments {
+            let set = SuppressionSet::build(&controls, &sm);
+            set.filter(diags, &sm, |d| d.span)
+        } else {
+            (diags, 0)
+        };
+
+        let rendered =
+            diags.iter().map(|d| RenderedDiagnostic::resolve(d, &sm)).collect();
+        Ok(CheckResult { diagnostics: rendered, suppressed, sema_errors, source_map: sm })
+    }
+}
+
+/// Names introduced by `typedef` declarations in a unit.
+fn collect_typedef_names(tu: &TranslationUnit) -> Vec<String> {
+    use lclint_syntax::ast::{Item, StorageClass};
+    let mut names = Vec::new();
+    for item in &tu.items {
+        if let Item::Decl(d) = item {
+            if d.specs.storage == Some(StorageClass::Typedef) {
+                for id in &d.declarators {
+                    if let Some(n) = &id.declarator.name {
+                        names.push(n.clone());
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_end_to_end_message() {
+        let linter = Linter::new(Flags::default());
+        let result = linter
+            .check_source(
+                "sample.c",
+                "extern char *gname;\n\
+                 \n\
+                 void setName(/*@null@*/ char *pname)\n\
+                 {\n\
+                   gname = pname;\n\
+                 }\n",
+            )
+            .unwrap();
+        let text = result.render();
+        assert_eq!(
+            text,
+            "sample.c:6: Function returns with non-null global gname referencing null storage\n   sample.c:5: Storage gname may become null\n"
+        );
+    }
+
+    #[test]
+    fn figure4_end_to_end_messages() {
+        let linter = Linter::new(Flags::default());
+        let result = linter
+            .check_source(
+                "sample.c",
+                "extern /*@only@*/ char *gname;\n\
+                 \n\
+                 void setName(/*@temp@*/ char *pname)\n\
+                 {\n\
+                   gname = pname;\n\
+                 }\n",
+            )
+            .unwrap();
+        let text = result.render();
+        assert!(text.contains(
+            "sample.c:5: Only storage gname not released before assignment"
+        ));
+        assert!(text.contains("sample.c:1: Storage gname becomes only"));
+        assert!(text.contains("sample.c:5: Temp storage pname assigned to only gname"));
+        assert!(text.contains("sample.c:3: Storage pname becomes temp"));
+    }
+
+    #[test]
+    fn stdlib_available_without_declarations() {
+        let linter = Linter::new(Flags::default());
+        let result = linter
+            .check_source(
+                "m.c",
+                "void f(void) { char *p = (char *) malloc(10); free(p); }\n",
+            )
+            .unwrap();
+        assert!(result.is_clean(), "{}", result.render());
+    }
+
+    #[test]
+    fn suppression_comment_consumes_message() {
+        let linter = Linter::new(Flags::default());
+        let result = linter
+            .check_source(
+                "m.c",
+                "void f(void) { /*@i@*/ char *p = (char *) malloc(10); }\n",
+            )
+            .unwrap();
+        assert_eq!(result.suppressed, 1);
+        assert!(result.diagnostics.is_empty(), "{}", result.render());
+    }
+
+    #[test]
+    fn flags_disable_message_classes() {
+        let flags = Flags::parse("-mustfree").unwrap();
+        let linter = Linter::new(flags);
+        let result = linter
+            .check_source("m.c", "void f(void) { char *p = (char *) malloc(10); }\n")
+            .unwrap();
+        assert!(result.is_clean(), "{}", result.render());
+    }
+
+    #[test]
+    fn multi_file_check_with_header() {
+        let files = vec![
+            (
+                "erc.h".to_owned(),
+                "#ifndef ERC_H\n#define ERC_H\n\
+                 typedef struct { /*@null@*/ int *vals; int size; } *erc;\n\
+                 extern /*@only@*/ erc erc_create(void);\n\
+                 #endif\n"
+                    .to_owned(),
+            ),
+            (
+                "erc.c".to_owned(),
+                "#include \"erc.h\"\n\
+                 /*@only@*/ erc erc_create(void)\n\
+                 {\n\
+                   erc c = (erc) malloc(sizeof(*c));\n\
+                   if (c == NULL) { exit(1); }\n\
+                   c->vals = NULL;\n\
+                   c->size = 0;\n\
+                   return c;\n\
+                 }\n"
+                    .to_owned(),
+            ),
+        ];
+        let linter = Linter::new(Flags::default());
+        let result = linter.check_files(&files, &["erc.c".to_owned()]).unwrap();
+        assert!(result.is_clean(), "{}", result.render());
+    }
+
+    #[test]
+    fn libraries_supply_interfaces() {
+        let mut linter = Linter::new(Flags::default());
+        linter.add_library(
+            "list.lcs",
+            "extern /*@only@*/ char *list_pop(void);\n",
+        );
+        let result = linter
+            .check_source("m.c", "void f(void) { char *p = list_pop(); free(p); }\n")
+            .unwrap();
+        assert!(result.is_clean(), "{}", result.render());
+    }
+}

@@ -1,0 +1,237 @@
+//! LCLint-style command-line flags.
+//!
+//! Flags are written `+name` (enable) or `-name` (disable), as in the paper
+//! (`-allimponly` disables the implicit `only` interpretations). Message
+//! classes can be toggled by their flag names (`-mustfree`, `+null`, …) and
+//! a few mode flags adjust the analysis itself.
+
+use lclint_analysis::{AnalysisOptions, DiagKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An error produced when parsing flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlagError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for FlagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for FlagError {}
+
+/// The resolved flag state driving a check run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flags {
+    /// Options forwarded to the analysis.
+    pub analysis: AnalysisOptions,
+    /// Disabled message classes.
+    disabled: BTreeSet<DiagKind>,
+    /// Honour suppression comments (`/*@i@*/`, `/*@ignore@*/`); on by
+    /// default, disable with `-supcomments`.
+    pub suppression_comments: bool,
+    /// Include the annotated standard library; disable with `-stdlib`.
+    pub use_stdlib: bool,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags {
+            analysis: AnalysisOptions::default(),
+            disabled: BTreeSet::new(),
+            suppression_comments: true,
+            use_stdlib: true,
+        }
+    }
+}
+
+impl Flags {
+    /// The default flag state (paper exposition defaults).
+    pub fn new() -> Self {
+        Flags::default()
+    }
+
+    /// Applies one flag word, e.g. `+allimponly` or `-mustfree`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown flags or words missing the `+`/`-`
+    /// prefix.
+    pub fn apply(&mut self, word: &str) -> Result<(), FlagError> {
+        let (on, name) = match word.split_at_checked(1) {
+            Some(("+", rest)) => (true, rest),
+            Some(("-", rest)) => (false, rest),
+            _ => {
+                return Err(FlagError {
+                    message: format!("flag `{word}` must begin with `+` or `-`"),
+                });
+            }
+        };
+        match name {
+            "allimponly" => {
+                self.analysis.implicit_only_returns = on;
+                self.analysis.implicit_only_globals = on;
+                self.analysis.implicit_only_fields = on;
+            }
+            "imponlyreturns" => self.analysis.implicit_only_returns = on,
+            "imponlyglobals" => self.analysis.implicit_only_globals = on,
+            "imponlyfields" => self.analysis.implicit_only_fields = on,
+            "gcmode" => self.analysis.gc_mode = on,
+            "impliicttemp" | "implicittemp" => self.analysis.report_implicit_temp = on,
+            "supcomments" => self.suppression_comments = on,
+            "stdlib" => self.use_stdlib = on,
+            "unrollloops" => {
+                self.analysis.loop_model = if on {
+                    lclint_analysis::LoopModel::ZeroOneOrTwo
+                } else {
+                    lclint_analysis::LoopModel::ZeroOrOne
+                };
+            }
+            // Checking modes: bundled flag settings, LCLint-style. `+weak`
+            // is for unannotated legacy code; `+strict` enables everything
+            // including the implicit-only interpretations.
+            "weak" => {
+                if on {
+                    self.analysis.report_implicit_temp = false;
+                    self.disabled.insert(DiagKind::IncompleteDef);
+                    self.disabled.insert(DiagKind::AliasViolation);
+                    self.disabled.insert(DiagKind::ConfluenceError);
+                }
+            }
+            "standard" => {
+                if on {
+                    *self = Flags::default();
+                }
+            }
+            "strict" => {
+                if on {
+                    self.analysis.implicit_only_returns = true;
+                    self.analysis.implicit_only_globals = true;
+                    self.analysis.implicit_only_fields = true;
+                    self.analysis.report_implicit_temp = true;
+                    self.disabled.clear();
+                }
+            }
+            "all" => {
+                if on {
+                    self.disabled.clear();
+                } else {
+                    self.disabled.extend(DiagKind::all().iter().copied());
+                }
+            }
+            "memchecks" => {
+                // The whole family of checks described in the paper.
+                for k in DiagKind::all() {
+                    if on {
+                        self.disabled.remove(k);
+                    } else {
+                        self.disabled.insert(*k);
+                    }
+                }
+            }
+            other => {
+                match DiagKind::all().iter().find(|k| k.flag_name() == other) {
+                    Some(k) => {
+                        if on {
+                            self.disabled.remove(k);
+                        } else {
+                            self.disabled.insert(*k);
+                        }
+                    }
+                    None => {
+                        return Err(FlagError { message: format!("unknown flag `{word}`") });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a whitespace-separated flag string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first flag error.
+    pub fn parse(words: &str) -> Result<Flags, FlagError> {
+        let mut f = Flags::default();
+        for w in words.split_whitespace() {
+            f.apply(w)?;
+        }
+        Ok(f)
+    }
+
+    /// True when messages of `kind` are reported.
+    pub fn enabled(&self, kind: DiagKind) -> bool {
+        !self.disabled.contains(&kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let f = Flags::default();
+        assert!(f.enabled(DiagKind::NullDeref));
+        assert!(!f.analysis.implicit_only_returns);
+        assert!(f.use_stdlib);
+    }
+
+    #[test]
+    fn allimponly_toggles_all_three() {
+        let f = Flags::parse("+allimponly").unwrap();
+        assert!(f.analysis.implicit_only_returns);
+        assert!(f.analysis.implicit_only_globals);
+        assert!(f.analysis.implicit_only_fields);
+        let f = Flags::parse("+allimponly -imponlyfields").unwrap();
+        assert!(!f.analysis.implicit_only_fields);
+        assert!(f.analysis.implicit_only_returns);
+    }
+
+    #[test]
+    fn kind_flags() {
+        let f = Flags::parse("-mustfree -nullderef").unwrap();
+        assert!(!f.enabled(DiagKind::MemoryLeak));
+        assert!(!f.enabled(DiagKind::NullDeref));
+        assert!(f.enabled(DiagKind::UseBeforeDef));
+        let f = Flags::parse("-all +nullderef").unwrap();
+        assert!(f.enabled(DiagKind::NullDeref));
+        assert!(!f.enabled(DiagKind::MemoryLeak));
+    }
+
+    #[test]
+    fn gcmode() {
+        let f = Flags::parse("+gcmode").unwrap();
+        assert!(f.analysis.gc_mode);
+    }
+
+    #[test]
+    fn unrollloops() {
+        let f = Flags::parse("+unrollloops").unwrap();
+        assert_eq!(f.analysis.loop_model, lclint_analysis::LoopModel::ZeroOneOrTwo);
+        let f = Flags::parse("+unrollloops -unrollloops").unwrap();
+        assert_eq!(f.analysis.loop_model, lclint_analysis::LoopModel::ZeroOrOne);
+    }
+
+    #[test]
+    fn modes() {
+        let w = Flags::parse("+weak").unwrap();
+        assert!(!w.enabled(DiagKind::IncompleteDef));
+        assert!(w.enabled(DiagKind::NullDeref));
+        let s = Flags::parse("+strict").unwrap();
+        assert!(s.analysis.implicit_only_returns);
+        let std = Flags::parse("+weak +standard").unwrap();
+        assert!(std.enabled(DiagKind::IncompleteDef));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Flags::parse("bogus").is_err());
+        assert!(Flags::parse("+nosuchflag").is_err());
+    }
+}

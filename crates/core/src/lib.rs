@@ -1,0 +1,35 @@
+//! The LCLint reproduction's public interface: the checking driver with
+//! LCLint-style flags, the annotated standard library, suppression comments
+//! and message rendering.
+//!
+//! # Examples
+//!
+//! ```
+//! use lclint_core::{Flags, Linter};
+//!
+//! // Figure 4 of the paper: inconsistent only/temp annotations.
+//! let linter = Linter::new(Flags::default());
+//! let result = linter.check_source(
+//!     "sample.c",
+//!     "extern /*@only@*/ char *gname;\n\
+//!      void setName(/*@temp@*/ char *pname) { gname = pname; }\n",
+//! ).unwrap();
+//! assert_eq!(result.diagnostics.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod flags;
+pub mod library;
+pub mod render;
+pub mod stdlib;
+pub mod suppress;
+
+pub use driver::{CheckResult, Linter};
+pub use flags::{FlagError, Flags};
+pub use render::{render_all, RenderedDiagnostic, RenderedNote};
+pub use stdlib::STDLIB_SOURCE;
+pub use suppress::SuppressionSet;
+
+pub use lclint_analysis::{AnalysisOptions, DiagKind};

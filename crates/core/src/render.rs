@@ -1,0 +1,117 @@
+//! Rendering diagnostics in LCLint's two-part message format.
+//!
+//! ```text
+//! sample.c:6: Function returns with non-null global gname referencing null storage
+//!    sample.c:5: Storage gname may become null
+//! ```
+
+use lclint_analysis::Diagnostic;
+use lclint_syntax::span::SourceMap;
+use serde::Serialize;
+use std::fmt;
+
+/// A fully resolved, printable diagnostic.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RenderedDiagnostic {
+    /// File of the primary location.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Message-class flag name (e.g. `mustfree`).
+    pub kind: String,
+    /// Primary message text.
+    pub message: String,
+    /// Indented history lines.
+    pub notes: Vec<RenderedNote>,
+    /// Function the anomaly was detected in, when known.
+    pub function: Option<String>,
+}
+
+/// A rendered history line.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RenderedNote {
+    /// File.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Text.
+    pub message: String,
+}
+
+impl RenderedDiagnostic {
+    /// Resolves a checker diagnostic against the source map.
+    pub fn resolve(d: &Diagnostic, sm: &SourceMap) -> RenderedDiagnostic {
+        let loc = sm.loc(d.span);
+        RenderedDiagnostic {
+            file: loc.file,
+            line: loc.line,
+            col: loc.col,
+            kind: d.kind.flag_name().to_owned(),
+            message: d.message.clone(),
+            notes: d
+                .notes
+                .iter()
+                .map(|n| {
+                    let nl = sm.loc(n.span);
+                    RenderedNote { file: nl.file, line: nl.line, message: n.message.clone() }
+                })
+                .collect(),
+            function: d.in_function.clone(),
+        }
+    }
+}
+
+impl fmt::Display for RenderedDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:{}: {}", self.file, self.line, self.message)?;
+        for n in &self.notes {
+            writeln!(f, "   {}:{}: {}", n.file, n.line, n.message)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a batch of diagnostics as LCLint would print them.
+pub fn render_all(diags: &[RenderedDiagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lclint_analysis::DiagKind;
+    use lclint_syntax::span::Span;
+
+    #[test]
+    fn lclint_message_shape() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("sample.c", "line one\nline two\nline three\nline 4\nline 5\nline 6\n");
+        let d = Diagnostic::new(
+            DiagKind::NullMismatch,
+            "Function returns with non-null global gname referencing null storage",
+            Span::new(f, 44, 45), // line 6
+        )
+        .with_note("Storage gname may become null", Span::new(f, 36, 37)); // line 5
+        let r = RenderedDiagnostic::resolve(&d, &sm);
+        assert_eq!(
+            r.to_string(),
+            "sample.c:6: Function returns with non-null global gname referencing null storage\n   sample.c:5: Storage gname may become null\n"
+        );
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("a.c", "x\n");
+        let d = Diagnostic::new(DiagKind::MemoryLeak, "leak", Span::new(f, 0, 1));
+        let r = RenderedDiagnostic::resolve(&d, &sm);
+        let j = serde_json::to_string(&r).unwrap();
+        assert!(j.contains("\"kind\":\"mustfree\""));
+    }
+}

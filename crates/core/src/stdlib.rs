@@ -1,0 +1,80 @@
+//! The annotated standard library.
+//!
+//! The paper (§4) specifies `malloc` as `null out only void *malloc(size_t)`
+//! and `free` as `void free(null out only void *)`, and §6 uses `strcpy`'s
+//! `out returned unique` first parameter. "There is nothing special about
+//! malloc and free: their behavior can be described entirely in terms of the
+//! provided annotations" — this module is exactly that description for the
+//! library functions the corpus uses.
+
+/// The standard-library interface as annotated C declarations.
+pub const STDLIB_SOURCE: &str = r#"
+/* Memory management (paper section 4). */
+extern /*@null@*/ /*@out@*/ /*@only@*/ void *malloc(size_t size);
+extern /*@null@*/ /*@only@*/ void *calloc(size_t nmemb, size_t size);
+extern /*@null@*/ /*@out@*/ /*@only@*/ void *realloc(/*@null@*/ /*@only@*/ void *ptr, size_t size);
+extern void free(/*@null@*/ /*@out@*/ /*@only@*/ void *ptr);
+
+/* Process control. */
+extern /*@noreturn@*/ void exit(int status);
+extern /*@noreturn@*/ void abort(void);
+extern void assert(int expression);
+
+/* Strings (paper section 6: strcpy's s1 is out returned unique). */
+extern /*@returned@*/ char *strcpy(/*@out@*/ /*@returned@*/ /*@unique@*/ char *s1, char *s2);
+extern /*@returned@*/ char *strncpy(/*@out@*/ /*@returned@*/ /*@unique@*/ char *s1, char *s2, size_t n);
+extern /*@returned@*/ char *strcat(/*@returned@*/ /*@unique@*/ char *s1, char *s2);
+extern size_t strlen(char *s);
+extern int strcmp(char *s1, char *s2);
+extern int strncmp(char *s1, char *s2, size_t n);
+extern /*@null@*/ /*@only@*/ char *strdup(char *s);
+extern /*@null@*/ /*@returned@*/ char *strchr(/*@returned@*/ char *s, int c);
+
+/* Memory block operations. */
+extern void *memcpy(/*@out@*/ /*@returned@*/ /*@unique@*/ void *dst, void *src, size_t n);
+extern void *memset(/*@returned@*/ void *s, int c, size_t n);
+extern int memcmp(void *a, void *b, size_t n);
+
+/* Conversion. */
+extern int atoi(char *s);
+extern long atol(char *s);
+
+/* I/O (enough for diagnostics in the corpus programs). */
+extern int printf(char *format, ...);
+extern int fprintf(FILE *stream, char *format, ...);
+extern int sprintf(/*@out@*/ /*@unique@*/ char *s, char *format, ...);
+extern int puts(char *s);
+extern int putchar(int c);
+extern int getchar(void);
+extern /*@null@*/ /*@only@*/ FILE *fopen(char *path, char *mode);
+extern int fclose(/*@only@*/ FILE *stream);
+extern /*@null@*/ char *fgets(/*@out@*/ /*@returned@*/ char *s, int size, FILE *stream);
+extern FILE *stdin_get(void);
+extern FILE *stdout_get(void);
+extern FILE *stderr_get(void);
+"#;
+
+#[cfg(test)]
+mod tests {
+    use lclint_sema::Program;
+    use lclint_syntax::parse_translation_unit;
+
+    #[test]
+    fn stdlib_parses_cleanly() {
+        let (tu, _, _) =
+            parse_translation_unit("<stdlib>", super::STDLIB_SOURCE).expect("stdlib must parse");
+        let p = Program::from_unit(&tu);
+        assert!(p.errors.is_empty(), "{:?}", p.errors);
+        for f in ["malloc", "free", "strcpy", "exit", "fopen", "printf"] {
+            assert!(p.function(f).is_some(), "missing {f}");
+        }
+        let malloc = p.function("malloc").unwrap();
+        assert!(malloc.ty.ret.annots.null().is_some());
+        assert!(malloc.ty.ret.annots.alloc().is_some());
+        let strcpy = p.function("strcpy").unwrap();
+        assert!(strcpy.ty.params[0].ty.annots.is_unique());
+        assert!(strcpy.ty.params[0].ty.annots.is_returned());
+        let exit = p.function("exit").unwrap();
+        assert!(exit.ty.ret.annots.is_noreturn());
+    }
+}

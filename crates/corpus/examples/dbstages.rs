@@ -1,0 +1,27 @@
+use lclint_core::{Flags, Linter};
+use lclint_corpus::database::{database_roots, database_sources, DbStage};
+
+fn main() {
+    let linter = Linter::new(Flags::default());
+    for (name, stage) in DbStage::all() {
+        let files = database_sources(&stage);
+        let result = match linter.check_files(&files, &database_roots()) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("stage {name}: PARSE ERROR {e}");
+                continue;
+            }
+        };
+        if !result.sema_errors.is_empty() {
+            println!("stage {name}: SEMA {:?}", result.sema_errors);
+        }
+        let mut by_kind = std::collections::BTreeMap::new();
+        for d in &result.diagnostics {
+            *by_kind.entry(d.kind.clone()).or_insert(0usize) += 1;
+        }
+        println!("stage {name}: total={} {:?}", result.diagnostics.len(), by_kind);
+        if std::env::var("VERBOSE").is_ok() {
+            print!("{}", result.render());
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! A data-driven conformance suite in the style of LCLint's own `test/`
+//! directory: one small program per checking behaviour, with the expected
+//! message classes. Used by the test suite and runnable through the CLI.
+
+/// One conformance case.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Short identifier.
+    pub name: &'static str,
+    /// What the case demonstrates.
+    pub description: &'static str,
+    /// The program.
+    pub source: &'static str,
+    /// Expected message-class flag names, in source order (empty = clean).
+    pub expected: &'static [&'static str],
+}
+
+/// The suite.
+pub fn cases() -> Vec<Case> {
+    vec![
+        // --- null checking -------------------------------------------------
+        Case {
+            name: "null-deref",
+            description: "dereference of a possibly null parameter",
+            source: "int f(/*@null@*/ int *p) { return *p; }\n",
+            expected: &["nullderef"],
+        },
+        Case {
+            name: "null-guarded",
+            description: "comparison guards remove nullability",
+            source: "int f(/*@null@*/ int *p) { if (p != NULL) { return *p; } return 0; }\n",
+            expected: &[],
+        },
+        Case {
+            name: "null-guard-inverted",
+            description: "the null branch must not dereference",
+            source: "int f(/*@null@*/ int *p) { if (p == NULL) { return *p; } return 0; }\n",
+            expected: &["nullderef"],
+        },
+        Case {
+            name: "null-truenull",
+            description: "truenull predicate functions act as guards",
+            source: "extern /*@truenull@*/ int isNil(/*@null@*/ int *x);\n\
+                     int f(/*@null@*/ int *p) { if (!isNil(p)) { return *p; } return 0; }\n",
+            expected: &[],
+        },
+        Case {
+            name: "null-return-mismatch",
+            description: "possibly null value returned as non-null result",
+            source: "int *f(/*@null@*/ int *p) { return p; }\n",
+            expected: &["nullpass"],
+        },
+        Case {
+            name: "null-annotated-return",
+            description: "a null-annotated result may be null",
+            source: "/*@null@*/ int *f(/*@null@*/ int *p) { return p; }\n",
+            expected: &[],
+        },
+        Case {
+            name: "null-and-guard",
+            description: "&& chains refine left to right",
+            source: "typedef /*@null@*/ struct _s { int v; } *s_t;\n\
+                     int f(s_t s) { if (s != NULL && s->v > 0) { return 1; } return 0; }\n",
+            expected: &[],
+        },
+        // --- definition checking --------------------------------------------
+        Case {
+            name: "use-before-def",
+            description: "reading an uninitialized local",
+            source: "int f(void) { int x; return x; }\n",
+            expected: &["usedef"],
+        },
+        Case {
+            name: "out-param-defines",
+            description: "out parameters are defined by the callee",
+            source: "extern void init(/*@out@*/ int *p);\n\
+                     int f(void) { int x; init(&x); return x; }\n",
+            expected: &[],
+        },
+        Case {
+            name: "out-param-incomplete",
+            description: "an out parameter left undefined is an anomaly",
+            source: "void init(/*@out@*/ int *p) { }\n",
+            expected: &["compdef"],
+        },
+        Case {
+            name: "addrof-undefined-arg",
+            description: "&x of an undefined local passed as a plain parameter",
+            source: "extern void use(int *p);\n\
+                     void f(void) { int x; use(&x); }\n",
+            expected: &["compdef"],
+        },
+        Case {
+            name: "partial-relaxes",
+            description: "partial structures may have undefined fields",
+            source: "typedef /*@partial@*/ struct { int a; int b; } *rec;\n\
+                     extern /*@out@*/ /*@only@*/ void *smalloc(size_t);\n\
+                     /*@only@*/ rec make(void) { rec r = (rec) smalloc(sizeof(*r)); r->a = 1; return r; }\n",
+            expected: &[],
+        },
+        // --- allocation checking ---------------------------------------------
+        Case {
+            name: "leak-local",
+            description: "allocated storage never released",
+            source: "void f(void) { char *p = (char *) malloc(8); }\n",
+            expected: &["mustfree"],
+        },
+        Case {
+            name: "leak-overwrite",
+            description: "only reference overwritten before release",
+            source: "void f(void) { char *p = (char *) malloc(8); p = (char *) malloc(8); free(p); }\n",
+            expected: &["mustfree"],
+        },
+        Case {
+            name: "free-clean",
+            description: "allocate then release is clean",
+            source: "void f(void) { char *p = (char *) malloc(8); free(p); }\n",
+            expected: &[],
+        },
+        Case {
+            name: "double-free",
+            description: "releasing twice uses a dead reference",
+            source: "void f(void) { char *p = (char *) malloc(8); free(p); free(p); }\n",
+            expected: &["usereleased"],
+        },
+        Case {
+            name: "use-after-free",
+            description: "reading through a released pointer",
+            source: "char g;\nvoid f(void) { char *p = (char *) malloc(8); if (p == NULL) { exit(1); } free(p); g = *p; }\n",
+            expected: &["usereleased"],
+        },
+        Case {
+            name: "conditional-release",
+            description: "storage released on only one branch",
+            source: "void f(int c) { char *p = (char *) malloc(8); if (c) { free(p); } free(p); }\n",
+            expected: &["branchstate"],
+        },
+        Case {
+            name: "temp-to-free",
+            description: "implicitly temp parameter passed to free",
+            source: "void f(char *c) { free(c); }\n",
+            expected: &["onlytrans"],
+        },
+        Case {
+            name: "only-param-to-free",
+            description: "an only parameter may be released",
+            source: "void f(/*@only@*/ char *c) { free(c); }\n",
+            expected: &[],
+        },
+        Case {
+            name: "only-param-leaked",
+            description: "an only parameter must be consumed",
+            source: "void f(/*@only@*/ char *c) { }\n",
+            expected: &["mustfree"],
+        },
+        Case {
+            name: "fresh-returned-unannotated",
+            description: "fresh storage escaping a non-only result",
+            source: "char *f(void) { char *p = (char *) malloc(8); if (p == NULL) { exit(1); } *p = 'x'; return p; }\n",
+            expected: &["mustfree"],
+        },
+        Case {
+            name: "fresh-returned-only",
+            description: "an only result transfers the obligation",
+            source: "/*@only@*/ char *f(void) { char *p = (char *) malloc(8); if (p == NULL) { exit(1); } *p = 'x'; return p; }\n",
+            expected: &[],
+        },
+        Case {
+            name: "keep-usable",
+            description: "keep transfers the obligation but stays usable",
+            source: "extern void stash(/*@keep@*/ char *p);\nchar g;\n\
+                     void f(void) { char *p = (char *) malloc(8); if (p == NULL) { exit(1); } *p = 'a'; stash(p); g = *p; }\n",
+            expected: &[],
+        },
+        Case {
+            name: "offset-free",
+            description: "freeing a pointer moved by arithmetic",
+            source: "void f(void) { char *p = (char *) malloc(8); if (p == NULL) { exit(1); } p++; free(p); }\n",
+            expected: &["onlytrans"],
+        },
+        Case {
+            name: "static-free",
+            description: "freeing a string literal",
+            source: "void f(void) { char *s = \"lit\"; free(s); }\n",
+            expected: &["onlytrans"],
+        },
+        Case {
+            name: "gc-shared",
+            description: "shared storage is never released",
+            source: "void f(/*@shared@*/ char *s) { free(s); }\n",
+            expected: &["onlytrans"],
+        },
+        // --- aliasing -----------------------------------------------------------
+        Case {
+            name: "unique-violation",
+            description: "possibly aliased argument to a unique parameter",
+            source: "extern void copy(/*@unique@*/ char *dst, char *src);\n\
+                     void f(char *a, char *b) { copy(a, b); }\n",
+            expected: &["aliasunique"],
+        },
+        Case {
+            name: "unique-satisfied",
+            description: "an unshared argument cannot alias",
+            source: "extern void copy(/*@out@*/ /*@unique@*/ char *dst, char *src);\n\
+                     void f(char *b) { char *a = (char *) malloc(8); if (a == NULL) { exit(1); } copy(a, b); free(a); }\n",
+            expected: &[],
+        },
+        Case {
+            name: "returned-alias",
+            description: "returned parameters alias the result",
+            source: "extern /*@returned@*/ char *self(/*@returned@*/ /*@temp@*/ char *p);\n\
+                     void f(void) { char *p = (char *) malloc(8); if (p == NULL) { exit(1); } *p = 'x'; free(self(p)); }\n",
+            expected: &[],
+        },
+        Case {
+            name: "observer-modified",
+            description: "observer storage must not be released",
+            source: "typedef struct { char *n; } *rec;\n\
+                     extern /*@observer@*/ char *name_of(rec r);\n\
+                     void f(rec r) { free(name_of(r)); }\n",
+            expected: &["modobserver"],
+        },
+        // --- suppression / misc ----------------------------------------------------
+        Case {
+            name: "suppressed-leak",
+            description: "/*@i@*/ consumes the message",
+            source: "void f(void) { /*@i@*/ char *p = (char *) malloc(8); }\n",
+            expected: &[],
+        },
+        Case {
+            name: "noreturn-path",
+            description: "exit() paths do not poison merges",
+            source: "int f(/*@null@*/ int *p) { if (p == NULL) { exit(1); } return *p; }\n",
+            expected: &[],
+        },
+        Case {
+            name: "unreachable-code",
+            description: "statements after a return can never execute",
+            source: "int f(int x) { return x; x = 1; return x; }\n",
+            expected: &["unreachable"],
+        },
+        Case {
+            name: "missing-return",
+            description: "a non-void function must return on every path",
+            source: "int f(int x) { if (x > 0) { return x; } }\n",
+            expected: &["noret"],
+        },
+        Case {
+            name: "globals-list-undocumented",
+            description: "uses of globals outside the declared list",
+            source: "int a;\nint b;\nint f(void) /*@globals a@*/ { return a + b; }\n",
+            expected: &["interface"],
+        },
+        Case {
+            name: "refcount-unbalanced",
+            description: "a new reference must be killed",
+            source: "typedef struct _rc { int c; } *rc_t;\n\
+                     extern /*@newref@*/ rc_t rc_get(void);\n\
+                     void f(void) { rc_t r = rc_get(); }\n",
+            expected: &["mustfree"],
+        },
+        Case {
+            name: "arity-mismatch",
+            description: "call argument count must match the declaration",
+            source: "extern int add(int a, int b);\nint f(void) { return add(1); }\n",
+            expected: &["interface"],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lclint_core::{Flags, Linter};
+
+    #[test]
+    fn conformance_suite() {
+        let linter = Linter::new(Flags::default());
+        let mut failures = Vec::new();
+        for case in cases() {
+            let result = match linter.check_source(&format!("{}.c", case.name), case.source) {
+                Ok(r) => r,
+                Err(e) => {
+                    failures.push(format!("{}: parse error: {e}", case.name));
+                    continue;
+                }
+            };
+            let got: Vec<&str> =
+                result.diagnostics.iter().map(|d| d.kind.as_str()).collect();
+            if got != case.expected {
+                failures.push(format!(
+                    "{}: expected {:?}, got {:?}\n{}",
+                    case.name,
+                    case.expected,
+                    got,
+                    result.render()
+                ));
+            }
+        }
+        assert!(failures.is_empty(), "{} failures:\n{}", failures.len(), failures.join("\n"));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = cases().iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

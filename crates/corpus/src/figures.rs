@@ -1,0 +1,196 @@
+//! The paper's code figures, verbatim (modulo OCR cleanup), as checkable
+//! sources.
+
+/// Figure 1: `sample.c` with no annotations.
+pub const FIGURE1: &str = "\
+extern char *gname;
+
+void setName(char *pname)
+{
+  gname = pname;
+}
+";
+
+/// Figure 2: `sample.c` with the `null` annotation on the parameter.
+pub const FIGURE2: &str = "\
+extern char *gname;
+
+void setName(/*@null@*/ char *pname)
+{
+  gname = pname;
+}
+";
+
+/// Figure 3: fixing `sample.c` by calling a `truenull` function.
+pub const FIGURE3: &str = "\
+extern char *gname;
+extern /*@truenull@*/ int isNull(/*@null@*/ char *x);
+
+void setName(/*@null@*/ char *pname)
+{
+  if (!isNull(pname))
+  {
+    gname = pname;
+  }
+}
+";
+
+/// Figure 4: `sample.c` with inconsistent `only` and `temp` annotations.
+pub const FIGURE4: &str = "\
+extern /*@only@*/ char *gname;
+
+void setName(/*@temp@*/ char *pname)
+{
+  gname = pname;
+}
+";
+
+/// Figure 5: the buggy `list_addh` implementation.
+pub const FIGURE5: &str = "\
+typedef /*@null@*/ struct _list
+{
+  /*@only@*/ char *this;
+  /*@null@*/ /*@only@*/ struct _list *next;
+} *list;
+
+extern /*@out@*/ /*@only@*/ void *smalloc(size_t);
+
+void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
+{
+  if (l != NULL)
+  {
+    while (l->next != NULL)
+    {
+      l = l->next;
+    }
+    l->next = (list) smalloc(sizeof(*l->next));
+    l->next->this = e;
+  }
+}
+";
+
+/// Figure 5 with both bugs fixed (the null case handled and the new node's
+/// `next` field defined) — used to confirm the checker accepts the repair.
+pub const FIGURE5_FIXED: &str = "\
+typedef /*@null@*/ struct _list
+{
+  /*@only@*/ char *this;
+  /*@null@*/ /*@only@*/ struct _list *next;
+} *list;
+
+extern /*@out@*/ /*@only@*/ void *smalloc(size_t);
+extern void free(/*@null@*/ /*@out@*/ /*@only@*/ void *ptr);
+
+void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
+{
+  if (l != NULL)
+  {
+    while (l->next != NULL)
+    {
+      l = l->next;
+    }
+    l->next = (list) smalloc(sizeof(*l->next));
+    l->next->this = e;
+    l->next->next = NULL;
+  }
+  else
+  {
+    free(e);
+  }
+}
+";
+
+/// Figure 7: `erc_create` from `erc.c` (§6), before any annotations.
+pub const FIGURE7: &str = "\
+typedef int eref;
+
+typedef struct _elem {
+  eref val;
+  struct _elem *next;
+} *ercElem;
+
+typedef struct {
+  ercElem vals;
+  int size;
+} *erc;
+
+extern void error(char *msg);
+
+erc erc_create(void)
+{
+  erc c = (erc) malloc(sizeof(*c));
+
+  if (c == NULL) {
+    error(\"malloc returned null\");
+    exit(1);
+  }
+
+  c->vals = NULL;
+  c->size = 0;
+  return c;
+}
+";
+
+/// Figure 8: `employee_setName` from `employee.c` (§6).
+pub const FIGURE8: &str = "\
+typedef struct {
+  char name[20];
+  int ssNum;
+  int salary;
+} employee;
+
+int employee_setName(employee *e, char *s)
+{
+  if (strlen(s) >= 20)
+  {
+    return 0;
+  }
+  strcpy(e->name, s);
+  return 1;
+}
+";
+
+/// All figures with identifying labels, for table-driven harnesses.
+pub fn all_figures() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("figure1", FIGURE1),
+        ("figure2", FIGURE2),
+        ("figure3", FIGURE3),
+        ("figure4", FIGURE4),
+        ("figure5", FIGURE5),
+        ("figure5_fixed", FIGURE5_FIXED),
+        ("figure7", FIGURE7),
+        ("figure8", FIGURE8),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lclint_core::{Flags, Linter};
+
+    #[test]
+    fn all_figures_parse_and_check() {
+        let linter = Linter::new(Flags::default());
+        for (name, src) in all_figures() {
+            let result = linter
+                .check_source(&format!("{name}.c"), src)
+                .unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+            // Parse + check must succeed; message counts are asserted by the
+            // dedicated figure tests.
+            let _ = result;
+        }
+    }
+
+    #[test]
+    fn figure_message_counts() {
+        let linter = Linter::new(Flags::default());
+        let count = |src: &str| linter.check_source("f.c", src).unwrap().diagnostics.len();
+        assert_eq!(count(FIGURE1), 0, "figure 1 is clean");
+        assert_eq!(count(FIGURE2), 1, "figure 2 reports the null anomaly");
+        assert_eq!(count(FIGURE3), 0, "figure 3 is the fix");
+        assert_eq!(count(FIGURE4), 2, "figure 4 reports two anomalies");
+        assert_eq!(count(FIGURE5_FIXED), 0, "fixed figure 5 is clean");
+        assert_eq!(count(FIGURE5), 2, "figure 5 reports two anomalies");
+    }
+}

@@ -1,0 +1,210 @@
+//! A second domain program: an annotated string→int hash table with open
+//! addressing. Exercises `only`/`out`/`null`/`unique` on a realistic
+//! allocation-heavy module, is check-clean, runs correctly under the
+//! runtime baseline, and ships a buggy variant for detection tests.
+
+/// The annotated hash-table module plus a driver (`run`).
+pub const HASHTABLE: &str = r#"
+#define TABLE_SIZE 32
+
+typedef struct {
+  /*@null@*/ /*@only@*/ char *key;
+  int value;
+} slot;
+
+typedef struct {
+  /* reldef: the slot array is initialized by a loop the checker's
+     zero-or-one-iteration model cannot prove covers every element
+     (the paper's documented incompleteness). */
+  /*@reldef@*/ /*@only@*/ slot *slots;
+  int used;
+} *table;
+
+static int hash_str(char *s)
+{
+  int h = 0;
+  int i = 0;
+  while (s[i] != '\0')
+  {
+    h = h * 31 + s[i];
+    i = i + 1;
+  }
+  if (h < 0)
+  {
+    h = -h;
+  }
+  return h % TABLE_SIZE;
+}
+
+/*@only@*/ table table_create(void)
+{
+  table t = (table) malloc(sizeof(*t));
+  int i;
+
+  if (t == NULL)
+  {
+    exit(1);
+  }
+  t->slots = (slot *) malloc(TABLE_SIZE * sizeof(slot));
+  if (t->slots == NULL)
+  {
+    exit(1);
+  }
+  for (i = 0; i < TABLE_SIZE; i++)
+  {
+    t->slots[i].key = NULL;
+    t->slots[i].value = 0;
+  }
+  t->used = 0;
+  return t;
+}
+
+static /*@only@*/ char *dup_key(char *s)
+{
+  char *d = (char *) malloc(strlen(s) + 1);
+  if (d == NULL)
+  {
+    exit(1);
+  }
+  strcpy(d, s);
+  return d;
+}
+
+void table_put(table t, char *key, int value)
+{
+  int i = hash_str(key);
+  int probes = 0;
+
+  while (probes < TABLE_SIZE)
+  {
+    if (t->slots[i].key == NULL)
+    {
+      t->slots[i].key = dup_key(key);
+      t->slots[i].value = value;
+      t->used = t->used + 1;
+      return;
+    }
+    if (strcmp(t->slots[i].key, key) == 0)
+    {
+      t->slots[i].value = value;
+      return;
+    }
+    i = (i + 1) % TABLE_SIZE;
+    probes = probes + 1;
+  }
+}
+
+int table_get(table t, char *key, /*@out@*/ int *value)
+{
+  int i = hash_str(key);
+  int probes = 0;
+
+  *value = 0;
+  while (probes < TABLE_SIZE)
+  {
+    if (t->slots[i].key == NULL)
+    {
+      return 0;
+    }
+    if (strcmp(t->slots[i].key, key) == 0)
+    {
+      *value = t->slots[i].value;
+      return 1;
+    }
+    i = (i + 1) % TABLE_SIZE;
+    probes = probes + 1;
+  }
+  return 0;
+}
+
+void table_final(/*@only@*/ table t)
+{
+  int i;
+
+  for (i = 0; i < TABLE_SIZE; i++)
+  {
+    if (t->slots[i].key != NULL)
+    {
+      free(t->slots[i].key);
+      t->slots[i].key = NULL;
+    }
+  }
+  free(t->slots);
+  free(t);
+}
+
+int run(int input)
+{
+  table t = table_create();
+  int v;
+  int total = 0;
+
+  table_put(t, "alpha", input);
+  table_put(t, "beta", input * 2);
+  table_put(t, "alpha", input + 1);
+  if (table_get(t, "alpha", &v))
+  {
+    total = total + v;
+  }
+  if (table_get(t, "beta", &v))
+  {
+    total = total + v;
+  }
+  if (!table_get(t, "missing", &v))
+  {
+    total = total + 1000;
+  }
+  table_final(t);
+  return total;
+}
+"#;
+
+/// The same module with a real-world-shaped bug: on update the old key is
+/// saved aside but never released.
+pub const HASHTABLE_BUGGY: &str = r#"
+typedef struct {
+  /*@null@*/ /*@only@*/ char *key;
+  int value;
+} slot;
+
+void slot_update(slot *s, /*@only@*/ char *new_key, int v)
+{
+  char *old = s->key;
+  s->key = new_key;
+  s->value = v;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use lclint_core::{Flags, Linter};
+    use lclint_interp::{run_source, Config};
+
+    #[test]
+    fn hashtable_checks_clean() {
+        let linter = Linter::new(Flags::default());
+        let r = linter.check_source("table.c", super::HASHTABLE).expect("parses");
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn hashtable_runs_correctly_and_leak_free() {
+        let r = run_source("table.c", super::HASHTABLE, "run", &[5], Config::default())
+            .expect("parses");
+        assert!(r.is_clean(), "{:?}", r.errors);
+        // alpha was overwritten to input+1=6; beta = 10; missing adds 1000.
+        assert_eq!(r.return_value, Some(6 + 10 + 1000));
+        assert_eq!(r.leaked_objects, 0);
+    }
+
+    #[test]
+    fn buggy_update_leak_detected_statically() {
+        // Overwriting the only key field without releasing the old key.
+        let linter = Linter::new(Flags::default());
+        let r = linter.check_source("table.c", super::HASHTABLE_BUGGY).expect("parses");
+        assert!(
+            !r.diagnostics.is_empty(),
+            "the update leak must be reported"
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Evaluation corpus for the LCLint reproduction: the paper's code figures,
+//! the §6 employee-database program in annotation stages, a synthetic C
+//! program generator for the scaling experiments (§7), and a seeded-bug
+//! mutator for the static-vs-dynamic comparison.
+
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod database;
+pub mod figures;
+pub mod generator;
+pub mod hashtable;
+pub mod mutator;

@@ -1,0 +1,172 @@
+//! Seeded-bug mutation for the static-vs-dynamic experiment (E11).
+//!
+//! A bug of a chosen class is injected into a generated program, guarded by
+//! an input predicate (`if (input == K)`). The static checker sees every
+//! path and flags the bug regardless of `K`; the runtime baseline detects it
+//! only when a test case supplies exactly `K` — the paper's §1 argument that
+//! run-time checking "depends entirely on running the right test cases".
+
+use crate::generator::Generated;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The classes of dynamic memory error the paper's checks target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugClass {
+    /// Dereference of a null pointer.
+    NullDeref,
+    /// Storage allocated and never released.
+    Leak,
+    /// Use of storage after it was released.
+    UseAfterFree,
+    /// Releasing the same storage twice.
+    DoubleFree,
+    /// Reading a variable before any assignment.
+    UninitRead,
+}
+
+impl BugClass {
+    /// All classes.
+    pub fn all() -> &'static [BugClass] {
+        &[
+            BugClass::NullDeref,
+            BugClass::Leak,
+            BugClass::UseAfterFree,
+            BugClass::DoubleFree,
+            BugClass::UninitRead,
+        ]
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BugClass::NullDeref => "null-deref",
+            BugClass::Leak => "leak",
+            BugClass::UseAfterFree => "use-after-free",
+            BugClass::DoubleFree => "double-free",
+            BugClass::UninitRead => "uninit-read",
+        }
+    }
+}
+
+/// A program with one injected bug.
+#[derive(Debug, Clone)]
+pub struct Mutated {
+    /// The mutated source.
+    pub source: String,
+    /// The injected class.
+    pub class: BugClass,
+    /// The input value that triggers the bug at run time.
+    pub trigger: i64,
+}
+
+/// Injects `class` into `base` (which must contain the generator's
+/// `/*MUTATION-POINT*/` marker), triggered when `input == trigger`.
+///
+/// # Panics
+///
+/// Panics if the marker is missing.
+pub fn inject(base: &Generated, class: BugClass, trigger: i64) -> Mutated {
+    let snippet = match class {
+        BugClass::NullDeref => format!(
+            "  if (input == {trigger})\n  {{\n    m0_list nothing = NULL;\n    total = total + nothing->count;\n  }}\n"
+        ),
+        BugClass::Leak => format!(
+            "  if (input == {trigger})\n  {{\n    m0_list extra = m0_create();\n    m0_push(extra, input);\n    total = total + m0_sum(extra);\n  }}\n"
+        ),
+        BugClass::UseAfterFree => format!(
+            "  if (input == {trigger})\n  {{\n    m0_list stale = m0_create();\n    m0_final(stale);\n    total = total + stale->count;\n  }}\n"
+        ),
+        BugClass::DoubleFree => format!(
+            "  if (input == {trigger})\n  {{\n    char *twice = (char *) malloc(4);\n    free(twice);\n    free(twice);\n  }}\n"
+        ),
+        BugClass::UninitRead => format!(
+            "  if (input == {trigger})\n  {{\n    int never_set;\n    total = total + never_set;\n  }}\n"
+        ),
+    };
+    assert!(
+        base.source.contains("/*MUTATION-POINT*/"),
+        "generator marker missing"
+    );
+    Mutated {
+        source: base.source.replace("/*MUTATION-POINT*/", &snippet),
+        class,
+        trigger,
+    }
+}
+
+/// Generates a batch of mutants: one per class, with random triggers drawn
+/// from `0..input_space`.
+pub fn mutant_batch(base: &Generated, input_space: i64, seed: u64) -> Vec<Mutated> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    BugClass::all()
+        .iter()
+        .map(|c| inject(base, *c, rng.random_range(0..input_space)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GenConfig};
+    use lclint_core::{Flags, Linter};
+    use lclint_interp::{run_source, Config, RuntimeErrorKind};
+
+    fn base() -> Generated {
+        generate(&GenConfig::default())
+    }
+
+    #[test]
+    fn every_class_is_statically_detected_regardless_of_trigger() {
+        let base = base();
+        let linter = Linter::new(Flags::default());
+        for class in BugClass::all() {
+            let m = inject(&base, *class, 77);
+            let r = linter.check_source("mut.c", &m.source).expect("parse");
+            assert!(
+                !r.diagnostics.is_empty(),
+                "static checker must flag {class:?}: program was clean"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_detection_requires_the_trigger_input() {
+        let base = base();
+        for class in BugClass::all() {
+            let m = inject(&base, *class, 42);
+            // Wrong input: the buggy path never executes.
+            let miss = run_source("mut.c", &m.source, "run", &[7], Config::default()).unwrap();
+            assert!(
+                miss.is_clean(),
+                "{class:?} must be invisible on the wrong input: {:?}",
+                miss.errors
+            );
+            // Right input: the runtime checker sees it.
+            let hit = run_source("mut.c", &m.source, "run", &[42], Config::default()).unwrap();
+            assert!(!hit.is_clean(), "{class:?} must be detected on input 42");
+            let expected = match class {
+                BugClass::NullDeref => RuntimeErrorKind::NullDeref,
+                BugClass::Leak => RuntimeErrorKind::Leak,
+                BugClass::UseAfterFree => RuntimeErrorKind::UseAfterFree,
+                BugClass::DoubleFree => RuntimeErrorKind::DoubleFree,
+                BugClass::UninitRead => RuntimeErrorKind::UninitRead,
+            };
+            assert!(
+                hit.detected(expected),
+                "{class:?}: expected {expected:?}, got {:?}",
+                hit.errors
+            );
+        }
+    }
+
+    #[test]
+    fn batch_covers_all_classes() {
+        let b = base();
+        let mutants = mutant_batch(&b, 1000, 3);
+        assert_eq!(mutants.len(), BugClass::all().len());
+        for m in &mutants {
+            assert!((0..1000).contains(&m.trigger));
+        }
+    }
+}

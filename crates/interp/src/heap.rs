@@ -1,0 +1,360 @@
+//! The instrumented heap of the runtime-checking baseline.
+//!
+//! Plays the role the paper assigns to run-time tools like dmalloc, mprof
+//! and Purify (§1): every object carries liveness and provenance, so null
+//! dereferences, uses of freed storage, double frees, uninitialized reads
+//! and exit-time leaks are detected — but only on *executed* paths.
+
+use lclint_syntax::span::Span;
+use std::fmt;
+
+/// Identifies an allocated object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+/// A pointer value: an object plus a slot offset (supports interior and
+/// offset pointers, which LCLint §7 mentions freeing incorrectly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pointer {
+    /// The pointed-to object.
+    pub obj: ObjId,
+    /// Slot offset within the object.
+    pub offset: usize,
+}
+
+/// A runtime value (one slot).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CVal {
+    /// Uninitialized.
+    #[default]
+    Undef,
+    /// Integer (also chars and booleans).
+    Int(i64),
+    /// Floating value.
+    Double(f64),
+    /// Non-null pointer.
+    Ptr(Pointer),
+    /// The null pointer.
+    Null,
+}
+
+impl CVal {
+    /// Truthiness for conditions.
+    pub fn truthy(&self) -> Option<bool> {
+        match self {
+            CVal::Int(v) => Some(*v != 0),
+            CVal::Double(v) => Some(*v != 0.0),
+            CVal::Ptr(_) => Some(true),
+            CVal::Null => Some(false),
+            CVal::Undef => None,
+        }
+    }
+}
+
+/// Why an object exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjKind {
+    /// `malloc`-family storage (leak-checked at exit).
+    Heap,
+    /// A local variable's storage.
+    Stack,
+    /// A global variable's storage.
+    Global,
+    /// String literals and other static storage.
+    Static,
+}
+
+/// One object.
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// The slots.
+    pub data: Vec<CVal>,
+    /// Provenance.
+    pub kind: ObjKind,
+    /// False after `free`.
+    pub alive: bool,
+    /// Allocation site (for reports).
+    pub site: Span,
+}
+
+/// The classes of error the runtime checker detects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuntimeErrorKind {
+    /// Dereference of the null pointer.
+    NullDeref,
+    /// Read or write through a freed object.
+    UseAfterFree,
+    /// `free` of an already-freed object.
+    DoubleFree,
+    /// Read of an uninitialized slot.
+    UninitRead,
+    /// Access outside an object's bounds.
+    OutOfBounds,
+    /// `free` of an interior (offset) pointer.
+    FreeOffset,
+    /// `free` of non-heap storage.
+    FreeNonHeap,
+    /// Heap object never released (reported at exit).
+    Leak,
+    /// `assert` failure.
+    AssertFailure,
+    /// Execution budget exhausted (runaway loop).
+    StepLimit,
+    /// The program did something the interpreter cannot model.
+    Unsupported,
+}
+
+impl fmt::Display for RuntimeErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RuntimeErrorKind::NullDeref => "null pointer dereference",
+            RuntimeErrorKind::UseAfterFree => "use after free",
+            RuntimeErrorKind::DoubleFree => "double free",
+            RuntimeErrorKind::UninitRead => "read of uninitialized storage",
+            RuntimeErrorKind::OutOfBounds => "out-of-bounds access",
+            RuntimeErrorKind::FreeOffset => "free of offset pointer",
+            RuntimeErrorKind::FreeNonHeap => "free of non-heap storage",
+            RuntimeErrorKind::Leak => "memory leak at exit",
+            RuntimeErrorKind::AssertFailure => "assertion failure",
+            RuntimeErrorKind::StepLimit => "step limit exceeded",
+            RuntimeErrorKind::Unsupported => "unsupported operation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A detected runtime error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeError {
+    /// Classification.
+    pub kind: RuntimeErrorKind,
+    /// Description.
+    pub message: String,
+    /// Source location of the offending operation.
+    pub span: Span,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The heap: all objects, plus error bookkeeping.
+#[derive(Debug, Default)]
+pub struct Heap {
+    objects: Vec<Object>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Allocates an object of `slots` undefined slots.
+    pub fn alloc(&mut self, slots: usize, kind: ObjKind, site: Span) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(Object {
+            data: vec![CVal::Undef; slots.max(1)],
+            kind,
+            alive: true,
+            site,
+        });
+        id
+    }
+
+    /// Allocates a zero-initialized object.
+    pub fn alloc_zeroed(&mut self, slots: usize, kind: ObjKind, site: Span) -> ObjId {
+        let id = self.alloc(slots, kind, site);
+        for s in &mut self.objects[id.0 as usize].data {
+            *s = CVal::Int(0);
+        }
+        id
+    }
+
+    /// The object for `id`.
+    pub fn object(&self, id: ObjId) -> &Object {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Reads one slot, detecting use-after-free / bounds / uninit errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the runtime error detected.
+    pub fn read(&self, p: Pointer, site: Span) -> Result<CVal, RuntimeError> {
+        let obj = &self.objects[p.obj.0 as usize];
+        if !obj.alive {
+            return Err(RuntimeError {
+                kind: RuntimeErrorKind::UseAfterFree,
+                message: "read through freed storage".to_owned(),
+                span: site,
+            });
+        }
+        let v = obj.data.get(p.offset).copied().ok_or(RuntimeError {
+            kind: RuntimeErrorKind::OutOfBounds,
+            message: format!("read at offset {} of object with {} slots", p.offset, obj.data.len()),
+            span: site,
+        })?;
+        if v == CVal::Undef {
+            return Err(RuntimeError {
+                kind: RuntimeErrorKind::UninitRead,
+                message: "read of uninitialized storage".to_owned(),
+                span: site,
+            });
+        }
+        Ok(v)
+    }
+
+    /// Writes one slot, detecting use-after-free / bounds errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the runtime error detected.
+    pub fn write(&mut self, p: Pointer, v: CVal, site: Span) -> Result<(), RuntimeError> {
+        let obj = &mut self.objects[p.obj.0 as usize];
+        if !obj.alive {
+            return Err(RuntimeError {
+                kind: RuntimeErrorKind::UseAfterFree,
+                message: "write through freed storage".to_owned(),
+                span: site,
+            });
+        }
+        let len = obj.data.len();
+        match obj.data.get_mut(p.offset) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(RuntimeError {
+                kind: RuntimeErrorKind::OutOfBounds,
+                message: format!("write at offset {} of object with {len} slots", p.offset),
+                span: site,
+            }),
+        }
+    }
+
+    /// Releases a heap object, detecting double-free / offset / non-heap.
+    ///
+    /// # Errors
+    ///
+    /// Returns the runtime error detected.
+    pub fn free(&mut self, p: Pointer, site: Span) -> Result<(), RuntimeError> {
+        if p.offset != 0 {
+            return Err(RuntimeError {
+                kind: RuntimeErrorKind::FreeOffset,
+                message: format!("free of pointer at offset {}", p.offset),
+                span: site,
+            });
+        }
+        let obj = &mut self.objects[p.obj.0 as usize];
+        if obj.kind != ObjKind::Heap {
+            return Err(RuntimeError {
+                kind: RuntimeErrorKind::FreeNonHeap,
+                message: "free of storage not obtained from malloc".to_owned(),
+                span: site,
+            });
+        }
+        if !obj.alive {
+            return Err(RuntimeError {
+                kind: RuntimeErrorKind::DoubleFree,
+                message: "free of already-freed storage".to_owned(),
+                span: site,
+            });
+        }
+        obj.alive = false;
+        Ok(())
+    }
+
+    /// Heap objects still alive (the exit-time leak report).
+    pub fn live_heap_objects(&self) -> Vec<(ObjId, Span)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.alive && o.kind == ObjKind::Heap)
+            .map(|(i, o)| (ObjId(i as u32), o.site))
+            .collect()
+    }
+
+    /// Number of objects ever allocated.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when nothing was allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> Span {
+        Span::synthetic()
+    }
+
+    #[test]
+    fn alloc_read_write() {
+        let mut h = Heap::new();
+        let o = h.alloc(2, ObjKind::Heap, sp());
+        let p = Pointer { obj: o, offset: 0 };
+        assert_eq!(h.read(p, sp()).unwrap_err().kind, RuntimeErrorKind::UninitRead);
+        h.write(p, CVal::Int(7), sp()).unwrap();
+        assert_eq!(h.read(p, sp()).unwrap(), CVal::Int(7));
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut h = Heap::new();
+        let o = h.alloc(1, ObjKind::Heap, sp());
+        let p = Pointer { obj: o, offset: 5 };
+        assert_eq!(h.write(p, CVal::Int(1), sp()).unwrap_err().kind, RuntimeErrorKind::OutOfBounds);
+    }
+
+    #[test]
+    fn free_semantics() {
+        let mut h = Heap::new();
+        let o = h.alloc(1, ObjKind::Heap, sp());
+        let p = Pointer { obj: o, offset: 0 };
+        h.write(p, CVal::Int(1), sp()).unwrap();
+        h.free(p, sp()).unwrap();
+        assert_eq!(h.read(p, sp()).unwrap_err().kind, RuntimeErrorKind::UseAfterFree);
+        assert_eq!(h.free(p, sp()).unwrap_err().kind, RuntimeErrorKind::DoubleFree);
+    }
+
+    #[test]
+    fn free_offset_and_non_heap() {
+        let mut h = Heap::new();
+        let o = h.alloc(4, ObjKind::Heap, sp());
+        let off = Pointer { obj: o, offset: 2 };
+        assert_eq!(h.free(off, sp()).unwrap_err().kind, RuntimeErrorKind::FreeOffset);
+        let s = h.alloc(1, ObjKind::Stack, sp());
+        let sptr = Pointer { obj: s, offset: 0 };
+        assert_eq!(h.free(sptr, sp()).unwrap_err().kind, RuntimeErrorKind::FreeNonHeap);
+    }
+
+    #[test]
+    fn leak_report() {
+        let mut h = Heap::new();
+        let a = h.alloc(1, ObjKind::Heap, sp());
+        let _stack = h.alloc(1, ObjKind::Stack, sp());
+        let b = h.alloc(1, ObjKind::Heap, sp());
+        h.free(Pointer { obj: b, offset: 0 }, sp()).unwrap();
+        let live = h.live_heap_objects();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].0, a);
+    }
+
+    #[test]
+    fn zeroed_alloc() {
+        let mut h = Heap::new();
+        let o = h.alloc_zeroed(3, ObjKind::Heap, sp());
+        let p = Pointer { obj: o, offset: 2 };
+        assert_eq!(h.read(p, sp()).unwrap(), CVal::Int(0));
+    }
+}

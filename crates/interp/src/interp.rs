@@ -1,0 +1,1279 @@
+//! The C-subset interpreter: the paper's run-time-checking baseline.
+//!
+//! Unlike the static checker, loops really iterate and only the executed
+//! path is observed — exactly the limitation the paper argues makes run-time
+//! tools insufficient ("its effectiveness depends entirely on running the
+//! right test cases").
+
+use crate::heap::{CVal, Heap, ObjKind, Pointer, RuntimeError, RuntimeErrorKind};
+use crate::layout::{field_offset, size_of};
+use lclint_sema::{Program, QualType, Type};
+use lclint_syntax::ast::*;
+use lclint_syntax::span::Span;
+use std::collections::HashMap;
+
+/// Interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum number of evaluation steps before aborting.
+    pub max_steps: u64,
+    /// Maximum call depth (guards the host stack against runaway
+    /// recursion in the interpreted program).
+    pub max_call_depth: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { max_steps: 2_000_000, max_call_depth: 200 }
+    }
+}
+
+/// The observable outcome of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Detected runtime errors (a fatal error ends the run; leaks are
+    /// appended at exit).
+    pub errors: Vec<RuntimeError>,
+    /// Collected `printf`/`puts` output.
+    pub output: String,
+    /// The entry function's return value, if it returned an integer.
+    pub return_value: Option<i64>,
+    /// Steps executed.
+    pub steps: u64,
+    /// Number of heap objects never released.
+    pub leaked_objects: usize,
+}
+
+impl RunResult {
+    /// True when the run hit no errors (leaks included).
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// True when an error of `kind` was detected.
+    pub fn detected(&self, kind: RuntimeErrorKind) -> bool {
+        self.errors.iter().any(|e| e.kind == kind)
+    }
+}
+
+/// Control flow out of a statement.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(CVal),
+}
+
+type EResult<T> = Result<T, RuntimeError>;
+
+/// The interpreter instance.
+pub struct Interp {
+    program: Program,
+    heap: Heap,
+    globals: HashMap<String, (Pointer, QualType)>,
+    scopes: Vec<HashMap<String, (Pointer, QualType)>>,
+    output: String,
+    steps: u64,
+    call_depth: u32,
+    config: Config,
+}
+
+/// Runs `entry(args...)` in a parsed program.
+pub fn run_program(program: &Program, entry: &str, args: &[i64], config: Config) -> RunResult {
+    let mut interp = Interp::new(program.clone(), config);
+    interp.run(entry, args)
+}
+
+/// Parses `text` and runs `entry(args...)`.
+///
+/// # Errors
+///
+/// Returns parse errors; runtime errors are part of the [`RunResult`].
+pub fn run_source(
+    name: &str,
+    text: &str,
+    entry: &str,
+    args: &[i64],
+    config: Config,
+) -> lclint_syntax::Result<RunResult> {
+    let (tu, _, _) = lclint_syntax::parse_translation_unit(name, text)?;
+    let program = Program::from_unit(&tu);
+    Ok(run_program(&program, entry, args, config))
+}
+
+impl Interp {
+    /// Creates an interpreter, allocating zero-initialized globals.
+    pub fn new(program: Program, config: Config) -> Self {
+        let mut interp = Interp {
+            program,
+            heap: Heap::new(),
+            globals: HashMap::new(),
+            scopes: Vec::new(),
+            output: String::new(),
+            steps: 0,
+            call_depth: 0,
+            config,
+        };
+        let globals: Vec<_> = interp
+            .program
+            .globals
+            .values()
+            .map(|g| (g.name.clone(), g.ty.clone(), g.span))
+            .collect();
+        for (name, ty, span) in globals {
+            let slots = size_of(&ty.ty, &interp.program.structs);
+            let obj = interp.heap.alloc_zeroed(slots, ObjKind::Global, span);
+            // Zeroed pointer slots are the null pointer.
+            interp.zero_pointers(obj, &ty, 0);
+            interp.globals.insert(name, (Pointer { obj, offset: 0 }, ty));
+        }
+        interp
+    }
+
+    fn zero_pointers(&mut self, obj: crate::heap::ObjId, ty: &QualType, base: usize) {
+        match &ty.ty {
+            Type::Pointer(_) => {
+                let _ = self.heap.write(Pointer { obj, offset: base }, CVal::Null, Span::synthetic());
+            }
+            Type::Struct(id) => {
+                let fields: Vec<_> = self.program.structs.get(*id).fields.clone();
+                let mut off = base;
+                for f in &fields {
+                    self.zero_pointers(obj, &f.ty, off);
+                    off += size_of(&f.ty.ty, &self.program.structs);
+                }
+            }
+            Type::Array(elem, n) => {
+                let esz = size_of(&elem.ty, &self.program.structs);
+                for i in 0..n.unwrap_or(1) as usize {
+                    self.zero_pointers(obj, elem, base + i * esz);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Runs the entry function with integer arguments.
+    pub fn run(&mut self, entry: &str, args: &[i64]) -> RunResult {
+        let vals: Vec<CVal> = args.iter().map(|v| CVal::Int(*v)).collect();
+        let (errors, ret) = match self.call_named(entry, &vals, Span::synthetic()) {
+            Ok(Flowed::Value(v)) => (Vec::new(), v),
+            Ok(Flowed::Exited(code)) => (Vec::new(), CVal::Int(code)),
+            // `exit()` unwinds as a sentinel error; surface it as a normal
+            // termination with the exit code.
+            Err(e) if e.kind == RuntimeErrorKind::Unsupported && e.message.starts_with("<exit ") => {
+                let code: i64 = e
+                    .message
+                    .trim_start_matches("<exit ")
+                    .trim_end_matches('>')
+                    .parse()
+                    .unwrap_or(0);
+                (Vec::new(), CVal::Int(code))
+            }
+            Err(e) => (vec![e], CVal::Undef),
+        };
+        let mut errors = errors;
+        let leaks = self.heap.live_heap_objects();
+        let leaked_objects = leaks.len();
+        for (_, site) in leaks {
+            errors.push(RuntimeError {
+                kind: RuntimeErrorKind::Leak,
+                message: "heap storage never released".to_owned(),
+                span: site,
+            });
+        }
+        RunResult {
+            errors,
+            output: std::mem::take(&mut self.output),
+            return_value: match ret {
+                CVal::Int(v) => Some(v),
+                _ => None,
+            },
+            steps: self.steps,
+            leaked_objects,
+        }
+    }
+
+    fn step(&mut self, span: Span) -> EResult<()> {
+        self.steps += 1;
+        if self.steps > self.config.max_steps {
+            return Err(RuntimeError {
+                kind: RuntimeErrorKind::StepLimit,
+                message: format!("exceeded {} steps", self.config.max_steps),
+                span,
+            });
+        }
+        Ok(())
+    }
+
+    fn unsupported(&self, what: &str, span: Span) -> RuntimeError {
+        RuntimeError {
+            kind: RuntimeErrorKind::Unsupported,
+            message: format!("unsupported: {what}"),
+            span,
+        }
+    }
+
+    // -- name resolution ------------------------------------------------------
+
+    fn lookup_var(&self, name: &str) -> Option<(Pointer, QualType)> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v.clone());
+            }
+        }
+        self.globals.get(name).cloned()
+    }
+
+    // -- calls ------------------------------------------------------------------
+
+    fn call_named(&mut self, name: &str, args: &[CVal], span: Span) -> EResult<Flowed> {
+        if let Some(v) = self.builtin(name, args, span)? {
+            return Ok(v);
+        }
+        let def = self
+            .program
+            .defs
+            .iter()
+            .find(|d| d.sig.name == name)
+            .cloned()
+            .ok_or_else(|| self.unsupported(&format!("call to undefined function `{name}`"), span))?;
+        if self.call_depth >= self.config.max_call_depth {
+            return Err(RuntimeError {
+                kind: RuntimeErrorKind::StepLimit,
+                message: format!(
+                    "call depth limit ({}) exceeded calling `{name}`",
+                    self.config.max_call_depth
+                ),
+                span,
+            });
+        }
+        self.call_depth += 1;
+        // New frame: parameters become stack objects.
+        let saved_scopes = std::mem::take(&mut self.scopes);
+        self.scopes.push(HashMap::new());
+        let params = def.sig.ty.params.clone();
+        for (i, p) in params.iter().enumerate() {
+            let Some(pname) = p.name.clone() else { continue };
+            let slots = size_of(&p.ty.ty, &self.program.structs);
+            let obj = self.heap.alloc(slots, ObjKind::Stack, span);
+            let ptr = Pointer { obj, offset: 0 };
+            let v = args.get(i).copied().unwrap_or(CVal::Undef);
+            if v != CVal::Undef {
+                self.heap.write(ptr, v, span)?;
+            }
+            self.scopes
+                .last_mut()
+                .expect("frame pushed")
+                .insert(pname, (ptr, p.ty.clone()));
+        }
+        let flow = self.exec_stmt(&def.ast.body);
+        self.scopes = saved_scopes;
+        self.call_depth -= 1;
+        match flow? {
+            Flow::Return(v) => Ok(Flowed::Value(v)),
+            _ => Ok(Flowed::Value(CVal::Undef)),
+        }
+    }
+
+    fn builtin(&mut self, name: &str, args: &[CVal], span: Span) -> EResult<Option<Flowed>> {
+        let v = match name {
+            "malloc" => {
+                let n = self.expect_int(args.first(), span)?;
+                let obj = self.heap.alloc(n.max(1) as usize, ObjKind::Heap, span);
+                Flowed::Value(CVal::Ptr(Pointer { obj, offset: 0 }))
+            }
+            "calloc" => {
+                let n = self.expect_int(args.first(), span)?;
+                let m = self.expect_int(args.get(1), span)?;
+                let obj =
+                    self.heap.alloc_zeroed((n * m).max(1) as usize, ObjKind::Heap, span);
+                Flowed::Value(CVal::Ptr(Pointer { obj, offset: 0 }))
+            }
+            "realloc" => {
+                let n = self.expect_int(args.get(1), span)?;
+                let new_obj = self.heap.alloc(n.max(1) as usize, ObjKind::Heap, span);
+                if let Some(CVal::Ptr(p)) = args.first() {
+                    let old_len = self.heap.object(p.obj).data.len();
+                    for i in 0..old_len.min(n.max(1) as usize) {
+                        let v = self
+                            .heap
+                            .object(p.obj)
+                            .data
+                            .get(i)
+                            .copied()
+                            .unwrap_or(CVal::Undef);
+                        let _ = self.heap.write(
+                            Pointer { obj: new_obj, offset: i },
+                            v,
+                            span,
+                        );
+                    }
+                    self.heap.free(*p, span)?;
+                }
+                Flowed::Value(CVal::Ptr(Pointer { obj: new_obj, offset: 0 }))
+            }
+            "free" => {
+                match args.first() {
+                    Some(CVal::Null) | Some(CVal::Int(0)) | None => {}
+                    Some(CVal::Ptr(p)) => self.heap.free(*p, span)?,
+                    Some(other) => {
+                        return Err(self.unsupported(&format!("free of {other:?}"), span));
+                    }
+                }
+                Flowed::Value(CVal::Undef)
+            }
+            "exit" => Flowed::Exited(self.expect_int(args.first(), span).unwrap_or(0)),
+            "abort" => Flowed::Exited(134),
+            "assert" => {
+                let c = args.first().and_then(|v| v.truthy()).unwrap_or(false);
+                if !c {
+                    return Err(RuntimeError {
+                        kind: RuntimeErrorKind::AssertFailure,
+                        message: "assertion failed".to_owned(),
+                        span,
+                    });
+                }
+                Flowed::Value(CVal::Undef)
+            }
+            "printf" | "fprintf" => {
+                let skip = usize::from(name == "fprintf");
+                let text = self.format(args, skip, span)?;
+                self.output.push_str(&text);
+                Flowed::Value(CVal::Int(text.len() as i64))
+            }
+            "sprintf" => {
+                let text = self.format(args, 1, span)?;
+                if let Some(CVal::Ptr(p)) = args.first() {
+                    self.write_string(*p, &text, span)?;
+                }
+                Flowed::Value(CVal::Int(text.len() as i64))
+            }
+            "puts" => {
+                let s = self.read_string(args.first(), span)?;
+                self.output.push_str(&s);
+                self.output.push('\n');
+                Flowed::Value(CVal::Int(0))
+            }
+            "putchar" => {
+                let c = self.expect_int(args.first(), span)?;
+                if let Some(ch) = char::from_u32(c as u32) {
+                    self.output.push(ch);
+                }
+                Flowed::Value(CVal::Int(c))
+            }
+            "strlen" => {
+                let s = self.read_string(args.first(), span)?;
+                Flowed::Value(CVal::Int(s.len() as i64))
+            }
+            "strcmp" | "strncmp" => {
+                let a = self.read_string(args.first(), span)?;
+                let b = self.read_string(args.get(1), span)?;
+                let (a, b) = if name == "strncmp" {
+                    let n = self.expect_int(args.get(2), span)? as usize;
+                    (
+                        a.chars().take(n).collect::<String>(),
+                        b.chars().take(n).collect::<String>(),
+                    )
+                } else {
+                    (a, b)
+                };
+                Flowed::Value(CVal::Int(match a.cmp(&b) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                }))
+            }
+            "strcpy" | "strncpy" => {
+                let s = self.read_string(args.get(1), span)?;
+                let s = if name == "strncpy" {
+                    let n = self.expect_int(args.get(2), span)? as usize;
+                    s.chars().take(n).collect()
+                } else {
+                    s
+                };
+                match args.first() {
+                    Some(CVal::Ptr(p)) => {
+                        self.write_string(*p, &s, span)?;
+                        Flowed::Value(CVal::Ptr(*p))
+                    }
+                    Some(CVal::Null) | Some(CVal::Int(0)) => {
+                        return Err(RuntimeError {
+                            kind: RuntimeErrorKind::NullDeref,
+                            message: "strcpy into null pointer".to_owned(),
+                            span,
+                        });
+                    }
+                    _ => return Err(self.unsupported("strcpy destination", span)),
+                }
+            }
+            "strcat" => {
+                let dst = match args.first() {
+                    Some(CVal::Ptr(p)) => *p,
+                    _ => return Err(self.unsupported("strcat destination", span)),
+                };
+                let mut s = self.read_string(args.first(), span)?;
+                s.push_str(&self.read_string(args.get(1), span)?);
+                self.write_string(dst, &s, span)?;
+                Flowed::Value(CVal::Ptr(dst))
+            }
+            "strdup" => {
+                let s = self.read_string(args.first(), span)?;
+                let obj = self.heap.alloc(s.len() + 1, ObjKind::Heap, span);
+                let p = Pointer { obj, offset: 0 };
+                self.write_string(p, &s, span)?;
+                Flowed::Value(CVal::Ptr(p))
+            }
+            "memset" => {
+                if let (Some(CVal::Ptr(p)), Some(v), Some(n)) =
+                    (args.first(), args.get(1), args.get(2))
+                {
+                    let v = match v {
+                        CVal::Int(i) => CVal::Int(*i),
+                        _ => CVal::Int(0),
+                    };
+                    let n = self.expect_int(Some(n), span)?;
+                    for i in 0..n.max(0) as usize {
+                        self.heap.write(Pointer { obj: p.obj, offset: p.offset + i }, v, span)?;
+                    }
+                    Flowed::Value(CVal::Ptr(*p))
+                } else {
+                    Flowed::Value(CVal::Undef)
+                }
+            }
+            "memcmp" => {
+                if let (Some(CVal::Ptr(a)), Some(CVal::Ptr(b)), Some(n)) =
+                    (args.first(), args.get(1), args.get(2))
+                {
+                    let n = self.expect_int(Some(n), span)?;
+                    let mut result = 0i64;
+                    for i in 0..n.max(0) as usize {
+                        let va = self.heap.read(Pointer { obj: a.obj, offset: a.offset + i }, span)?;
+                        let vb = self.heap.read(Pointer { obj: b.obj, offset: b.offset + i }, span)?;
+                        let (x, y) = match (va, vb) {
+                            (CVal::Int(x), CVal::Int(y)) => (x, y),
+                            _ => (0, 0),
+                        };
+                        if x != y {
+                            result = if x < y { -1 } else { 1 };
+                            break;
+                        }
+                    }
+                    Flowed::Value(CVal::Int(result))
+                } else {
+                    Flowed::Value(CVal::Int(0))
+                }
+            }
+            "memcpy" => {
+                if let (Some(CVal::Ptr(d)), Some(CVal::Ptr(s)), Some(n)) =
+                    (args.first(), args.get(1), args.get(2))
+                {
+                    let n = self.expect_int(Some(n), span)?;
+                    for i in 0..n.max(0) as usize {
+                        let v =
+                            self.heap.read(Pointer { obj: s.obj, offset: s.offset + i }, span)?;
+                        self.heap.write(Pointer { obj: d.obj, offset: d.offset + i }, v, span)?;
+                    }
+                    Flowed::Value(CVal::Ptr(*d))
+                } else {
+                    Flowed::Value(CVal::Undef)
+                }
+            }
+            "atoi" | "atol" => {
+                let s = self.read_string(args.first(), span)?;
+                Flowed::Value(CVal::Int(s.trim().parse().unwrap_or(0)))
+            }
+            _ => return Ok(None),
+        };
+        Ok(Some(v))
+    }
+
+    fn expect_int(&self, v: Option<&CVal>, span: Span) -> EResult<i64> {
+        match v {
+            Some(CVal::Int(i)) => Ok(*i),
+            Some(CVal::Double(d)) => Ok(*d as i64),
+            Some(CVal::Undef) => Err(RuntimeError {
+                kind: RuntimeErrorKind::UninitRead,
+                message: "uninitialized value used as integer".to_owned(),
+                span,
+            }),
+            _ => Err(self.unsupported("expected integer argument", span)),
+        }
+    }
+
+    fn read_string(&mut self, v: Option<&CVal>, span: Span) -> EResult<String> {
+        let p = match v {
+            Some(CVal::Ptr(p)) => *p,
+            Some(CVal::Null) | Some(CVal::Int(0)) => {
+                return Err(RuntimeError {
+                    kind: RuntimeErrorKind::NullDeref,
+                    message: "string read through null pointer".to_owned(),
+                    span,
+                });
+            }
+            _ => return Err(self.unsupported("expected string pointer", span)),
+        };
+        let mut s = String::new();
+        let mut off = p.offset;
+        loop {
+            let v = self.heap.read(Pointer { obj: p.obj, offset: off }, span)?;
+            match v {
+                CVal::Int(0) => break,
+                CVal::Int(c) => {
+                    s.push(char::from_u32(c as u32).unwrap_or('?'));
+                }
+                _ => break,
+            }
+            off += 1;
+            if off - p.offset > 1_000_000 {
+                break;
+            }
+        }
+        Ok(s)
+    }
+
+    fn write_string(&mut self, p: Pointer, s: &str, span: Span) -> EResult<()> {
+        let mut off = p.offset;
+        for ch in s.chars() {
+            self.heap.write(Pointer { obj: p.obj, offset: off }, CVal::Int(ch as i64), span)?;
+            off += 1;
+        }
+        self.heap.write(Pointer { obj: p.obj, offset: off }, CVal::Int(0), span)
+    }
+
+    fn format(&mut self, args: &[CVal], skip: usize, span: Span) -> EResult<String> {
+        let fmt = self.read_string(args.get(skip), span)?;
+        let mut out = String::new();
+        let mut argi = skip + 1;
+        let mut chars = fmt.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c != '%' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('d') | Some('i') | Some('u') | Some('l') => {
+                    let v = self.expect_int(args.get(argi), span).unwrap_or(0);
+                    out.push_str(&v.to_string());
+                    argi += 1;
+                }
+                Some('c') => {
+                    let v = self.expect_int(args.get(argi), span).unwrap_or(0);
+                    out.push(char::from_u32(v as u32).unwrap_or('?'));
+                    argi += 1;
+                }
+                Some('s') => {
+                    let s = self.read_string(args.get(argi), span)?;
+                    out.push_str(&s);
+                    argi += 1;
+                }
+                Some('f') | Some('g') => {
+                    let v = match args.get(argi) {
+                        Some(CVal::Double(d)) => *d,
+                        Some(CVal::Int(i)) => *i as f64,
+                        _ => 0.0,
+                    };
+                    out.push_str(&v.to_string());
+                    argi += 1;
+                }
+                Some('%') => out.push('%'),
+                Some(other) => {
+                    out.push('%');
+                    out.push(other);
+                }
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    // -- statements ---------------------------------------------------------------
+
+    fn exec_stmt(&mut self, s: &Stmt) -> EResult<Flow> {
+        self.step(s.span)?;
+        match &s.kind {
+            StmtKind::Compound(items) => {
+                self.scopes.push(HashMap::new());
+                let mut flow = Flow::Normal;
+                for item in items {
+                    match item {
+                        BlockItem::Decl(d) => self.exec_decl(d)?,
+                        BlockItem::Stmt(st) => {
+                            flow = self.exec_stmt(st)?;
+                            if !matches!(flow, Flow::Normal) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                self.scopes.pop();
+                Ok(flow)
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Empty => Ok(Flow::Normal),
+            StmtKind::If { cond, then_branch, else_branch } => {
+                let c = self.eval_cond(cond)?;
+                if c {
+                    self.exec_stmt(then_branch)
+                } else if let Some(e) = else_branch {
+                    self.exec_stmt(e)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            StmtKind::While { cond, body } => {
+                while self.eval_cond(cond)? {
+                    self.step(s.span)?;
+                    match self.exec_stmt(body)? {
+                        Flow::Break => break,
+                        Flow::Continue | Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::DoWhile { body, cond } => {
+                loop {
+                    self.step(s.span)?;
+                    match self.exec_stmt(body)? {
+                        Flow::Break => break,
+                        Flow::Continue | Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                    if !self.eval_cond(cond)? {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                match init {
+                    Some(ForInit::Decl(d)) => self.exec_decl(d)?,
+                    Some(ForInit::Expr(e)) => {
+                        self.eval(e)?;
+                    }
+                    None => {}
+                }
+                let flow = loop {
+                    self.step(s.span)?;
+                    let go = match cond {
+                        Some(c) => self.eval_cond(c)?,
+                        None => true,
+                    };
+                    if !go {
+                        break Flow::Normal;
+                    }
+                    match self.exec_stmt(body)? {
+                        Flow::Break => break Flow::Normal,
+                        Flow::Continue | Flow::Normal => {}
+                        other => break other,
+                    }
+                    if let Some(st) = step {
+                        self.eval(st)?;
+                    }
+                };
+                self.scopes.pop();
+                Ok(flow)
+            }
+            StmtKind::Switch { cond, body } => {
+                let cv = self.eval(cond)?;
+                let v = self.expect_int(Some(&cv), cond.span)?;
+                // Collect (case value, item index) pairs from the body.
+                let StmtKind::Compound(items) = &body.kind else {
+                    return Err(self.unsupported("non-compound switch body", s.span));
+                };
+                let mut start = None;
+                let mut default = None;
+                for (i, item) in items.iter().enumerate() {
+                    if let BlockItem::Stmt(st) = item {
+                        let mut inner = st;
+                        loop {
+                            match &inner.kind {
+                                StmtKind::Case { value, stmt } => {
+                                    let cv = lclint_sema::const_eval(
+                                        value,
+                                        &self.program.enum_consts,
+                                    )
+                                    .unwrap_or(0);
+                                    if cv == v && start.is_none() {
+                                        start = Some(i);
+                                    }
+                                    inner = stmt;
+                                }
+                                StmtKind::Default(stmt) => {
+                                    if default.is_none() {
+                                        default = Some(i);
+                                    }
+                                    inner = stmt;
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                }
+                let Some(begin) = start.or(default) else {
+                    return Ok(Flow::Normal);
+                };
+                self.scopes.push(HashMap::new());
+                let mut flow = Flow::Normal;
+                for item in &items[begin..] {
+                    match item {
+                        BlockItem::Decl(d) => self.exec_decl(d)?,
+                        BlockItem::Stmt(st) => {
+                            // Unwrap case labels when executing.
+                            let mut inner = st;
+                            loop {
+                                match &inner.kind {
+                                    StmtKind::Case { stmt, .. } => inner = stmt,
+                                    StmtKind::Default(stmt) => inner = stmt,
+                                    _ => break,
+                                }
+                            }
+                            flow = self.exec_stmt(inner)?;
+                            if !matches!(flow, Flow::Normal) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                self.scopes.pop();
+                match flow {
+                    Flow::Break => Ok(Flow::Normal),
+                    other => Ok(other),
+                }
+            }
+            StmtKind::Case { stmt, .. } | StmtKind::Default(stmt) => self.exec_stmt(stmt),
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Return(v) => {
+                let val = match v {
+                    Some(e) => self.eval(e)?,
+                    None => CVal::Undef,
+                };
+                Ok(Flow::Return(val))
+            }
+            StmtKind::Label { stmt, .. } => self.exec_stmt(stmt),
+            StmtKind::Goto(_) => Err(self.unsupported("goto", s.span)),
+        }
+    }
+
+    fn exec_decl(&mut self, d: &Declaration) -> EResult<()> {
+        if d.specs.storage == Some(StorageClass::Typedef) {
+            return Ok(());
+        }
+        for id in &d.declarators {
+            let Some(name) = id.declarator.name.clone() else { continue };
+            let ty = self.program.resolve_local_declarator(&d.specs, &id.declarator);
+            let slots = size_of(&ty.ty, &self.program.structs);
+            let obj = self.heap.alloc(slots, ObjKind::Stack, d.span);
+            let ptr = Pointer { obj, offset: 0 };
+            // The declarator is in scope within its own initializer
+            // (`node n = malloc(sizeof(*n))`).
+            self.scopes
+                .last_mut()
+                .expect("inside a frame")
+                .insert(name, (ptr, ty));
+            match &id.init {
+                Some(Initializer::Expr(e)) => {
+                    let v = self.eval(e)?;
+                    self.heap.write(ptr, v, d.span)?;
+                }
+                Some(Initializer::List(items)) => {
+                    for (i, it) in items.iter().enumerate() {
+                        if let Initializer::Expr(e) = it {
+                            let v = self.eval(e)?;
+                            self.heap.write(Pointer { obj, offset: i }, v, d.span)?;
+                        }
+                    }
+                }
+                None => {}
+            }
+        }
+        Ok(())
+    }
+
+    // -- expressions -----------------------------------------------------------------
+
+    fn eval_cond(&mut self, e: &Expr) -> EResult<bool> {
+        let v = self.eval(e)?;
+        v.truthy().ok_or(RuntimeError {
+            kind: RuntimeErrorKind::UninitRead,
+            message: "branch on uninitialized value".to_owned(),
+            span: e.span,
+        })
+    }
+
+    /// The type of an lvalue/rvalue expression where derivable (for member
+    /// offsets, sizeof and pointer arithmetic).
+    fn type_of(&mut self, e: &Expr) -> Option<QualType> {
+        match &e.kind {
+            ExprKind::Ident(n) => self.lookup_var(n).map(|(_, t)| t),
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                self.type_of(inner)?.pointee().cloned()
+            }
+            ExprKind::Member { base, field, arrow } => {
+                let bt = self.type_of(base)?;
+                let st = if *arrow { bt.pointee()?.clone() } else { bt };
+                match st.ty {
+                    Type::Struct(id) => {
+                        field_offset(id, field, &self.program.structs).map(|(_, t)| t)
+                    }
+                    _ => None,
+                }
+            }
+            ExprKind::Index(base, _) => self.type_of(base)?.pointee().cloned(),
+            ExprKind::Call(_, _) => {
+                let name = e.direct_callee()?;
+                Some(self.program.function(name)?.ty.ret.clone())
+            }
+            ExprKind::Cast(tn, _) => {
+                let base = self.program.resolve_type_spec(&tn.specs.ty, tn.span);
+                Some(self.program.build_declared_type(
+                    base,
+                    &tn.specs.annots,
+                    &tn.declarator,
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// Size in slots of the pointee of `e`'s type (for pointer arithmetic).
+    fn pointee_slots(&mut self, e: &Expr) -> usize {
+        self.type_of(e)
+            .and_then(|t| t.pointee().map(|p| size_of(&p.ty, &self.program.structs)))
+            .unwrap_or(1)
+    }
+
+    fn eval_lvalue(&mut self, e: &Expr) -> EResult<(Pointer, Option<QualType>)> {
+        self.step(e.span)?;
+        match &e.kind {
+            ExprKind::Ident(n) => match self.lookup_var(n) {
+                Some((p, t)) => Ok((p, Some(t))),
+                None => Err(self.unsupported(&format!("unknown variable `{n}`"), e.span)),
+            },
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                let ty = self.type_of(inner).and_then(|t| t.pointee().cloned());
+                let v = self.eval(inner)?;
+                match v {
+                    CVal::Ptr(p) => Ok((p, ty)),
+                    CVal::Null | CVal::Int(0) => Err(RuntimeError {
+                        kind: RuntimeErrorKind::NullDeref,
+                        message: "dereference of null pointer".to_owned(),
+                        span: e.span,
+                    }),
+                    _ => Err(self.unsupported("dereference of non-pointer", e.span)),
+                }
+            }
+            ExprKind::Member { base, field, arrow } => {
+                let (bptr, sty) = if *arrow {
+                    let bt = self.type_of(base).and_then(|t| t.pointee().cloned());
+                    let v = self.eval(base)?;
+                    match v {
+                        CVal::Ptr(p) => (p, bt),
+                        CVal::Null | CVal::Int(0) => {
+                            return Err(RuntimeError {
+                                kind: RuntimeErrorKind::NullDeref,
+                                message: format!("null pointer in `->{field}`"),
+                                span: e.span,
+                            });
+                        }
+                        _ => return Err(self.unsupported("arrow on non-pointer", e.span)),
+                    }
+                } else {
+                    let (p, t) = self.eval_lvalue(base)?;
+                    (p, t)
+                };
+                let Some(QualType { ty: Type::Struct(id), .. }) = sty else {
+                    return Err(self.unsupported("member of non-struct", e.span));
+                };
+                let (off, fty) = field_offset(id, field, &self.program.structs)
+                    .ok_or_else(|| self.unsupported(&format!("no field `{field}`"), e.span))?;
+                Ok((Pointer { obj: bptr.obj, offset: bptr.offset + off }, Some(fty)))
+            }
+            ExprKind::Index(base, idx) => {
+                let elem = self.pointee_slots(base);
+                let b = self.eval(base)?;
+                let iv = self.eval(idx)?;
+                let i = self.expect_int(Some(&iv), idx.span)?;
+                match b {
+                    CVal::Ptr(p) => {
+                        let off = p.offset as i64 + i * elem as i64;
+                        if off < 0 {
+                            return Err(RuntimeError {
+                                kind: RuntimeErrorKind::OutOfBounds,
+                                message: "negative index".to_owned(),
+                                span: e.span,
+                            });
+                        }
+                        let ty = self.type_of(base).and_then(|t| t.pointee().cloned());
+                        Ok((Pointer { obj: p.obj, offset: off as usize }, ty))
+                    }
+                    CVal::Null | CVal::Int(0) => Err(RuntimeError {
+                        kind: RuntimeErrorKind::NullDeref,
+                        message: "index of null pointer".to_owned(),
+                        span: e.span,
+                    }),
+                    _ => Err(self.unsupported("index of non-pointer", e.span)),
+                }
+            }
+            ExprKind::Cast(_, inner) => self.eval_lvalue(inner),
+            _ => Err(self.unsupported("expression is not an lvalue", e.span)),
+        }
+    }
+
+    /// Reads a variable-or-place as an rvalue, decaying arrays to pointers.
+    fn read_place(&mut self, p: Pointer, ty: Option<&QualType>, span: Span) -> EResult<CVal> {
+        if let Some(t) = ty {
+            if matches!(t.ty, Type::Array(_, _)) {
+                return Ok(CVal::Ptr(p));
+            }
+            if matches!(t.ty, Type::Struct(_)) {
+                // Struct rvalue: represented by its address (assignment of
+                // whole structs is unsupported; passing uses the pointer).
+                return Ok(CVal::Ptr(p));
+            }
+        }
+        self.heap.read(p, span)
+    }
+
+    fn eval(&mut self, e: &Expr) -> EResult<CVal> {
+        self.step(e.span)?;
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(CVal::Int(*v)),
+            ExprKind::FloatLit(v) => Ok(CVal::Double(*v)),
+            ExprKind::CharLit(v) => Ok(CVal::Int(*v)),
+            ExprKind::StrLit(s) => {
+                let obj = self.heap.alloc(s.len() + 1, ObjKind::Static, e.span);
+                let p = Pointer { obj, offset: 0 };
+                self.write_string(p, s, e.span)?;
+                Ok(CVal::Ptr(p))
+            }
+            ExprKind::Ident(n) => {
+                if n == "NULL" {
+                    return Ok(CVal::Null);
+                }
+                if let Some(v) = self.program.enum_consts.get(n) {
+                    return Ok(CVal::Int(*v));
+                }
+                let (p, ty) = self
+                    .lookup_var(n)
+                    .ok_or_else(|| self.unsupported(&format!("unknown identifier `{n}`"), e.span))?;
+                self.read_place(p, Some(&ty), e.span)
+            }
+            ExprKind::Unary(UnOp::Addr, inner) => {
+                let (p, _) = self.eval_lvalue(inner)?;
+                Ok(CVal::Ptr(p))
+            }
+            ExprKind::Unary(UnOp::Deref, _)
+            | ExprKind::Member { .. }
+            | ExprKind::Index(_, _) => {
+                let (p, ty) = self.eval_lvalue(e)?;
+                self.read_place(p, ty.as_ref(), e.span)
+            }
+            ExprKind::Unary(op, inner) => {
+                let v = self.eval(inner)?;
+                self.unop(*op, v, e.span)
+            }
+            ExprKind::PreIncDec(op, inner) => {
+                let (p, ty) = self.eval_lvalue(inner)?;
+                let old = self.read_place(p, ty.as_ref(), e.span)?;
+                let delta = if *op == IncDec::Inc { 1 } else { -1 };
+                let new = self.add_value(old, delta, inner, e.span)?;
+                self.heap.write(p, new, e.span)?;
+                Ok(new)
+            }
+            ExprKind::PostIncDec(op, inner) => {
+                let (p, ty) = self.eval_lvalue(inner)?;
+                let old = self.read_place(p, ty.as_ref(), e.span)?;
+                let delta = if *op == IncDec::Inc { 1 } else { -1 };
+                let new = self.add_value(old, delta, inner, e.span)?;
+                self.heap.write(p, new, e.span)?;
+                Ok(old)
+            }
+            ExprKind::Binary(BinOp::LogAnd, l, r) => {
+                if !self.eval_cond(l)? {
+                    return Ok(CVal::Int(0));
+                }
+                Ok(CVal::Int(i64::from(self.eval_cond(r)?)))
+            }
+            ExprKind::Binary(BinOp::LogOr, l, r) => {
+                if self.eval_cond(l)? {
+                    return Ok(CVal::Int(1));
+                }
+                Ok(CVal::Int(i64::from(self.eval_cond(r)?)))
+            }
+            ExprKind::Binary(op, l, r) => {
+                let lv = self.eval(l)?;
+                let rv = self.eval(r)?;
+                self.binop(*op, lv, rv, l, e.span)
+            }
+            ExprKind::Assign(AssignOp::Assign, lhs, rhs) => {
+                let v = self.eval(rhs)?;
+                let (p, _) = self.eval_lvalue(lhs)?;
+                self.heap.write(p, v, e.span)?;
+                Ok(v)
+            }
+            ExprKind::Assign(op, lhs, rhs) => {
+                let (p, ty) = self.eval_lvalue(lhs)?;
+                let old = self.read_place(p, ty.as_ref(), e.span)?;
+                let rv = self.eval(rhs)?;
+                let bop = match op {
+                    AssignOp::Add => BinOp::Add,
+                    AssignOp::Sub => BinOp::Sub,
+                    AssignOp::Mul => BinOp::Mul,
+                    AssignOp::Div => BinOp::Div,
+                    AssignOp::Rem => BinOp::Rem,
+                    AssignOp::Shl => BinOp::Shl,
+                    AssignOp::Shr => BinOp::Shr,
+                    AssignOp::And => BinOp::BitAnd,
+                    AssignOp::Xor => BinOp::BitXor,
+                    AssignOp::Or => BinOp::BitOr,
+                    AssignOp::Assign => unreachable!("handled above"),
+                };
+                let new = self.binop(bop, old, rv, lhs, e.span)?;
+                self.heap.write(p, new, e.span)?;
+                Ok(new)
+            }
+            ExprKind::Cond(c, t, f) => {
+                if self.eval_cond(c)? {
+                    self.eval(t)
+                } else {
+                    self.eval(f)
+                }
+            }
+            ExprKind::Call(f, args) => {
+                let name = match &f.peel_casts().kind {
+                    ExprKind::Ident(n) => n.clone(),
+                    _ => return Err(self.unsupported("indirect call", e.span)),
+                };
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                match self.call_named(&name, &vals, e.span)? {
+                    Flowed::Value(v) => Ok(v),
+                    Flowed::Exited(code) => Err(RuntimeError {
+                        kind: RuntimeErrorKind::Unsupported,
+                        message: format!("<exit {code}>"),
+                        span: e.span,
+                    }),
+                }
+            }
+            ExprKind::Cast(tn, inner) => {
+                let v = self.eval(inner)?;
+                // Numeric casts convert; pointer casts are free.
+                let base = self.program.resolve_type_spec(&tn.specs.ty, tn.span);
+                let ty =
+                    self.program.build_declared_type(base, &tn.specs.annots, &tn.declarator);
+                Ok(match (&ty.ty, v) {
+                    (Type::Int { .. } | Type::Char | Type::Enum(_), CVal::Double(d)) => {
+                        CVal::Int(d as i64)
+                    }
+                    (Type::Float | Type::Double, CVal::Int(i)) => CVal::Double(i as f64),
+                    (Type::Pointer(_), CVal::Int(0)) => CVal::Null,
+                    _ => v,
+                })
+            }
+            ExprKind::SizeofType(tn) => {
+                let base = self.program.resolve_type_spec(&tn.specs.ty, tn.span);
+                let ty =
+                    self.program.build_declared_type(base, &tn.specs.annots, &tn.declarator);
+                Ok(CVal::Int(size_of(&ty.ty, &self.program.structs) as i64))
+            }
+            ExprKind::SizeofExpr(inner) => {
+                let slots = self
+                    .type_of(inner)
+                    .map(|t| size_of(&t.ty, &self.program.structs))
+                    .unwrap_or(1);
+                Ok(CVal::Int(slots as i64))
+            }
+            ExprKind::Comma(l, r) => {
+                self.eval(l)?;
+                self.eval(r)
+            }
+        }
+    }
+
+    fn add_value(&mut self, v: CVal, delta: i64, base_expr: &Expr, span: Span) -> EResult<CVal> {
+        match v {
+            CVal::Int(i) => Ok(CVal::Int(i + delta)),
+            CVal::Double(d) => Ok(CVal::Double(d + delta as f64)),
+            CVal::Ptr(p) => {
+                let elem = self.pointee_slots(base_expr) as i64;
+                let off = p.offset as i64 + delta * elem;
+                if off < 0 {
+                    return Err(RuntimeError {
+                        kind: RuntimeErrorKind::OutOfBounds,
+                        message: "pointer moved before object start".to_owned(),
+                        span,
+                    });
+                }
+                Ok(CVal::Ptr(Pointer { obj: p.obj, offset: off as usize }))
+            }
+            CVal::Null => Err(RuntimeError {
+                kind: RuntimeErrorKind::NullDeref,
+                message: "arithmetic on null pointer".to_owned(),
+                span,
+            }),
+            CVal::Undef => Err(RuntimeError {
+                kind: RuntimeErrorKind::UninitRead,
+                message: "arithmetic on uninitialized value".to_owned(),
+                span,
+            }),
+        }
+    }
+
+    fn unop(&self, op: UnOp, v: CVal, span: Span) -> EResult<CVal> {
+        match (op, v) {
+            (UnOp::Neg, CVal::Int(i)) => Ok(CVal::Int(-i)),
+            (UnOp::Neg, CVal::Double(d)) => Ok(CVal::Double(-d)),
+            (UnOp::Plus, x) => Ok(x),
+            (UnOp::Not, x) => {
+                let t = x.truthy().ok_or(RuntimeError {
+                    kind: RuntimeErrorKind::UninitRead,
+                    message: "logical not of uninitialized value".to_owned(),
+                    span,
+                })?;
+                Ok(CVal::Int(i64::from(!t)))
+            }
+            (UnOp::BitNot, CVal::Int(i)) => Ok(CVal::Int(!i)),
+            (_, CVal::Undef) => Err(RuntimeError {
+                kind: RuntimeErrorKind::UninitRead,
+                message: "operation on uninitialized value".to_owned(),
+                span,
+            }),
+            _ => Err(self.unsupported("unary operation", span)),
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, l: CVal, r: CVal, lexpr: &Expr, span: Span) -> EResult<CVal> {
+        use BinOp::*;
+        // Null/zero interchange for pointer comparisons.
+        let norm = |v: CVal| match v {
+            CVal::Int(0) => CVal::Int(0),
+            other => other,
+        };
+        let (l, r) = (norm(l), norm(r));
+        if matches!(l, CVal::Undef) || matches!(r, CVal::Undef) {
+            return Err(RuntimeError {
+                kind: RuntimeErrorKind::UninitRead,
+                message: "binary operation on uninitialized value".to_owned(),
+                span,
+            });
+        }
+        match (l, r) {
+            (CVal::Int(a), CVal::Int(b)) => {
+                let v = match op {
+                    Add => a.wrapping_add(b),
+                    Sub => a.wrapping_sub(b),
+                    Mul => a.wrapping_mul(b),
+                    Div => {
+                        if b == 0 {
+                            return Err(self.unsupported("division by zero", span));
+                        }
+                        a / b
+                    }
+                    Rem => {
+                        if b == 0 {
+                            return Err(self.unsupported("remainder by zero", span));
+                        }
+                        a % b
+                    }
+                    Shl => a.wrapping_shl(b as u32),
+                    Shr => a.wrapping_shr(b as u32),
+                    Lt => i64::from(a < b),
+                    Gt => i64::from(a > b),
+                    Le => i64::from(a <= b),
+                    Ge => i64::from(a >= b),
+                    Eq => i64::from(a == b),
+                    Ne => i64::from(a != b),
+                    BitAnd => a & b,
+                    BitXor => a ^ b,
+                    BitOr => a | b,
+                    LogAnd | LogOr => unreachable!("short-circuit handled earlier"),
+                };
+                Ok(CVal::Int(v))
+            }
+            (CVal::Double(a), CVal::Double(b)) => self.float_binop(op, a, b, span),
+            (CVal::Double(a), CVal::Int(b)) => self.float_binop(op, a, b as f64, span),
+            (CVal::Int(a), CVal::Double(b)) => self.float_binop(op, a as f64, b, span),
+            (CVal::Ptr(p), CVal::Int(i)) => match op {
+                Add => self.add_value(CVal::Ptr(p), i, lexpr, span),
+                Sub => self.add_value(CVal::Ptr(p), -i, lexpr, span),
+                Eq => Ok(CVal::Int(i64::from(false))),
+                Ne => Ok(CVal::Int(i64::from(true))),
+                _ => Err(self.unsupported("pointer/integer operation", span)),
+            },
+            (CVal::Int(_), CVal::Ptr(p)) => match op {
+                Eq => Ok(CVal::Int(0)),
+                Ne => Ok(CVal::Int(1)),
+                Add => self.add_value(CVal::Ptr(p), 0, lexpr, span),
+                _ => Err(self.unsupported("integer/pointer operation", span)),
+            },
+            (CVal::Ptr(a), CVal::Ptr(b)) => match op {
+                Eq => Ok(CVal::Int(i64::from(a == b))),
+                Ne => Ok(CVal::Int(i64::from(a != b))),
+                Sub if a.obj == b.obj => {
+                    Ok(CVal::Int(a.offset as i64 - b.offset as i64))
+                }
+                Lt | Gt | Le | Ge if a.obj == b.obj => {
+                    let v = match op {
+                        Lt => a.offset < b.offset,
+                        Gt => a.offset > b.offset,
+                        Le => a.offset <= b.offset,
+                        _ => a.offset >= b.offset,
+                    };
+                    Ok(CVal::Int(i64::from(v)))
+                }
+                _ => Err(self.unsupported("pointer/pointer operation", span)),
+            },
+            (CVal::Null, CVal::Null) => match op {
+                Eq => Ok(CVal::Int(1)),
+                Ne => Ok(CVal::Int(0)),
+                _ => Err(RuntimeError {
+                    kind: RuntimeErrorKind::NullDeref,
+                    message: "arithmetic on null pointer".to_owned(),
+                    span,
+                }),
+            },
+            (CVal::Null, other) | (other, CVal::Null) => match op {
+                Eq => Ok(CVal::Int(i64::from(matches!(other, CVal::Int(0))))),
+                Ne => Ok(CVal::Int(i64::from(!matches!(other, CVal::Int(0))))),
+                _ => Err(RuntimeError {
+                    kind: RuntimeErrorKind::NullDeref,
+                    message: "arithmetic on null pointer".to_owned(),
+                    span,
+                }),
+            },
+            _ => Err(self.unsupported("binary operation", span)),
+        }
+    }
+
+    fn float_binop(&self, op: BinOp, a: f64, b: f64, span: Span) -> EResult<CVal> {
+        use BinOp::*;
+        Ok(match op {
+            Add => CVal::Double(a + b),
+            Sub => CVal::Double(a - b),
+            Mul => CVal::Double(a * b),
+            Div => CVal::Double(a / b),
+            Lt => CVal::Int(i64::from(a < b)),
+            Gt => CVal::Int(i64::from(a > b)),
+            Le => CVal::Int(i64::from(a <= b)),
+            Ge => CVal::Int(i64::from(a >= b)),
+            Eq => CVal::Int(i64::from(a == b)),
+            Ne => CVal::Int(i64::from(a != b)),
+            _ => return Err(self.unsupported("float operation", span)),
+        })
+    }
+}
+
+/// Result of a call that may have exited the program.
+enum Flowed {
+    Value(CVal),
+    Exited(i64),
+}

@@ -1,0 +1,280 @@
+//! Additional interpreter coverage: aggregate layouts, library builtins,
+//! recursion, and the heap instrumentation under realistic workloads.
+
+use lclint_interp::{run_source, Config, RunResult, RuntimeErrorKind};
+
+fn run(src: &str, entry: &str, args: &[i64]) -> RunResult {
+    run_source("t.c", src, entry, args, Config::default()).expect("parse")
+}
+
+#[test]
+fn nested_structs_layout() {
+    let src = "\
+struct inner { int a; int b; };\n\
+struct outer { struct inner i; int z; };\n\
+int f(void)\n\
+{\n\
+  struct outer o;\n\
+  o.i.a = 1;\n\
+  o.i.b = 2;\n\
+  o.z = 3;\n\
+  return o.i.a + o.i.b * 10 + o.z * 100;\n\
+}\n";
+    assert_eq!(run(src, "f", &[]).return_value, Some(321));
+}
+
+#[test]
+fn union_fields_share_storage() {
+    let src = "\
+union u { int a; int b; };\n\
+int f(void)\n\
+{\n\
+  union u x;\n\
+  x.a = 7;\n\
+  return x.b;\n\
+}\n";
+    assert_eq!(run(src, "f", &[]).return_value, Some(7));
+}
+
+#[test]
+fn array_of_structs() {
+    let src = "\
+typedef struct { int k; int v; } pair;\n\
+int f(void)\n\
+{\n\
+  pair table[4];\n\
+  int i;\n\
+  for (i = 0; i < 4; i++)\n\
+  {\n\
+    table[i].k = i;\n\
+    table[i].v = i * i;\n\
+  }\n\
+  return table[3].v + table[2].k;\n\
+}\n";
+    assert_eq!(run(src, "f", &[]).return_value, Some(11));
+}
+
+#[test]
+fn recursion_with_heap() {
+    let src = "\
+typedef struct _t { int v; /*@null@*/ struct _t *l; /*@null@*/ struct _t *r; } *tree;\n\
+tree build(int depth)\n\
+{\n\
+  tree t;\n\
+  if (depth == 0) { return NULL; }\n\
+  t = (tree) malloc(sizeof(*t));\n\
+  t->v = depth;\n\
+  t->l = build(depth - 1);\n\
+  t->r = build(depth - 1);\n\
+  return t;\n\
+}\n\
+int total(tree t)\n\
+{\n\
+  if (t == NULL) { return 0; }\n\
+  return t->v + total(t->l) + total(t->r);\n\
+}\n\
+void destroy(tree t)\n\
+{\n\
+  if (t == NULL) { return; }\n\
+  destroy(t->l);\n\
+  destroy(t->r);\n\
+  free(t);\n\
+}\n\
+int f(void)\n\
+{\n\
+  tree t = build(4);\n\
+  int s = total(t);\n\
+  destroy(t);\n\
+  return s;\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert!(r.is_clean(), "{:?}", r.errors);
+    // sum over perfect tree: depth d appears 2^(4-d) times.
+    assert_eq!(r.return_value, Some(4 + 2 * 3 + 4 * 2 + 8));
+}
+
+#[test]
+fn calloc_zeroes_and_realloc_preserves() {
+    let src = "\
+int f(void)\n\
+{\n\
+  int *a = (int *) calloc(4, 1);\n\
+  int zero = a[3];\n\
+  int *b;\n\
+  a[0] = 11;\n\
+  a[1] = 22;\n\
+  b = (int *) realloc(a, 8);\n\
+  b[7] = 33;\n\
+  zero = zero + b[0] + b[1] + b[7];\n\
+  free(b);\n\
+  return zero;\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert!(r.is_clean(), "{:?}", r.errors);
+    assert_eq!(r.return_value, Some(66));
+}
+
+#[test]
+fn realloc_frees_the_old_block() {
+    let src = "\
+int f(void)\n\
+{\n\
+  int *a = (int *) malloc(2);\n\
+  int *b = (int *) realloc(a, 4);\n\
+  int v;\n\
+  a[0] = 1;\n\
+  v = a[0];\n\
+  free(b);\n\
+  return v;\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert!(r.detected(RuntimeErrorKind::UseAfterFree), "{:?}", r.errors);
+}
+
+#[test]
+fn string_builtins_roundtrip() {
+    let src = "\
+int f(void)\n\
+{\n\
+  char buf[32];\n\
+  char *d = strdup(\"abc\");\n\
+  int r = 0;\n\
+  strcpy(buf, d);\n\
+  strcat(buf, \"def\");\n\
+  r = strncmp(buf, \"abcdXX\", 4);\n\
+  r = r + strcmp(buf, \"abcdef\");\n\
+  r = r + (int) strlen(buf);\n\
+  free(d);\n\
+  return r;\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert!(r.is_clean(), "{:?}", r.errors);
+    assert_eq!(r.return_value, Some(6));
+}
+
+#[test]
+fn sprintf_and_atoi() {
+    let src = "\
+int f(void)\n\
+{\n\
+  char buf[32];\n\
+  sprintf(buf, \"%d\", 123);\n\
+  return atoi(buf) + 1;\n\
+}\n";
+    assert_eq!(run(src, "f", &[]).return_value, Some(124));
+}
+
+#[test]
+fn memset_and_memcmp() {
+    let src = "\
+int f(void)\n\
+{\n\
+  char a[8];\n\
+  char b[8];\n\
+  memset(a, 5, 8);\n\
+  memset(b, 5, 8);\n\
+  if (memcmp(a, b, 8) != 0) { return 1; }\n\
+  b[3] = 6;\n\
+  return memcmp(a, b, 8);\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert!(r.is_clean(), "{:?}", r.errors);
+    assert_eq!(r.return_value, Some(-1));
+}
+
+#[test]
+fn function_scoped_statics_are_not_supported_but_globals_work() {
+    let src = "\
+int counter;\n\
+int bump(void)\n\
+{\n\
+  counter = counter + 1;\n\
+  return counter;\n\
+}\n\
+int f(void)\n\
+{\n\
+  bump();\n\
+  bump();\n\
+  return bump();\n\
+}\n";
+    assert_eq!(run(src, "f", &[]).return_value, Some(3));
+}
+
+#[test]
+fn enum_constants_evaluate() {
+    let src = "\
+enum color { RED, GREEN = 5, BLUE };\n\
+int f(void)\n\
+{\n\
+  enum color c = BLUE;\n\
+  switch (c) {\n\
+    case RED: return 1;\n\
+    case GREEN: return 2;\n\
+    case BLUE: return 3;\n\
+    default: return 4;\n\
+  }\n\
+}\n";
+    assert_eq!(run(src, "f", &[]).return_value, Some(3));
+}
+
+#[test]
+fn ternary_comma_and_logical_ops() {
+    let src = "\
+int f(int x)\n\
+{\n\
+  int a = (x > 0) ? 10 : 20;\n\
+  int b = (x > 0 && x < 5) ? 1 : 0;\n\
+  int c = (x == 3 || x == 4) ? 100 : 200;\n\
+  return a + b + c;\n\
+}\n";
+    assert_eq!(run(src, "f", &[3]).return_value, Some(111));
+    assert_eq!(run(src, "f", &[-1]).return_value, Some(220));
+}
+
+#[test]
+fn negative_pointer_offset_is_caught() {
+    let src = "\
+int f(void)\n\
+{\n\
+  int *p = (int *) malloc(4);\n\
+  p = p - 1;\n\
+  free(p);\n\
+  return 0;\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert!(r.detected(RuntimeErrorKind::OutOfBounds), "{:?}", r.errors);
+}
+
+#[test]
+fn double_values() {
+    let src = "\
+double scale(double x) { return x * 2.5; }\n\
+int f(void)\n\
+{\n\
+  double d = scale(4.0);\n\
+  if (d > 9.9 && d < 10.1) { return 1; }\n\
+  return 0;\n\
+}\n";
+    assert_eq!(run(src, "f", &[]).return_value, Some(1));
+}
+
+#[test]
+fn output_capture_formats() {
+    let src = "\
+int f(void)\n\
+{\n\
+  printf(\"%s=%d %c %%\\n\", \"x\", 7, 'y');\n\
+  puts(\"done\");\n\
+  return 0;\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert_eq!(r.output, "x=7 y %\ndone\n");
+}
+
+#[test]
+fn infinite_recursion_is_stopped() {
+    let src = "int f(int x) { return f(x + 1); }\n";
+    let r = run_source("t.c", src, "f", &[0], Config { max_steps: 10_000_000, max_call_depth: 64 })
+        .unwrap();
+    assert!(r.detected(RuntimeErrorKind::StepLimit), "{:?}", r.errors);
+}

@@ -1,0 +1,265 @@
+//! Behavioural tests of the runtime-checking baseline: correct execution of
+//! the C subset plus detection of each dynamic memory-error class.
+
+use lclint_interp::{run_source, Config, RunResult, RuntimeErrorKind};
+
+fn run(src: &str, entry: &str, args: &[i64]) -> RunResult {
+    run_source("t.c", src, entry, args, Config::default()).expect("parse")
+}
+
+#[test]
+fn arithmetic_and_control_flow() {
+    let r = run(
+        "int fib(int n)\n{\n  if (n < 2) { return n; }\n  return fib(n - 1) + fib(n - 2);\n}\n",
+        "fib",
+        &[10],
+    );
+    assert!(r.is_clean(), "{:?}", r.errors);
+    assert_eq!(r.return_value, Some(55));
+}
+
+#[test]
+fn loops_really_iterate() {
+    let r = run(
+        "int sum(int n)\n{\n  int s = 0;\n  int i;\n  for (i = 1; i <= n; i++) { s += i; }\n  return s;\n}\n",
+        "sum",
+        &[100],
+    );
+    assert_eq!(r.return_value, Some(5050));
+}
+
+#[test]
+fn while_and_do_while() {
+    let r = run(
+        "int f(int n)\n{\n  int c = 0;\n  while (n > 0) { n = n / 2; c++; }\n  do { c++; } while (0);\n  return c;\n}\n",
+        "f",
+        &[16],
+    );
+    assert_eq!(r.return_value, Some(6));
+}
+
+#[test]
+fn switch_with_fallthrough_and_default() {
+    let src = "int f(int x)\n{\n  int r = 0;\n  switch (x) {\n    case 1: r += 1;\n    case 2: r += 2; break;\n    case 3: r = 30; break;\n    default: r = 99;\n  }\n  return r;\n}\n";
+    assert_eq!(run(src, "f", &[1]).return_value, Some(3));
+    assert_eq!(run(src, "f", &[2]).return_value, Some(2));
+    assert_eq!(run(src, "f", &[3]).return_value, Some(30));
+    assert_eq!(run(src, "f", &[7]).return_value, Some(99));
+}
+
+#[test]
+fn structs_and_linked_list() {
+    let src = "\
+typedef struct _node { int v; struct _node *next; } *node;\n\
+int sum_list(int n)\n\
+{\n\
+  node head = NULL;\n\
+  int i;\n\
+  int total = 0;\n\
+  for (i = 0; i < n; i++)\n\
+  {\n\
+    node fresh = (node) malloc(sizeof(*fresh));\n\
+    fresh->v = i;\n\
+    fresh->next = head;\n\
+    head = fresh;\n\
+  }\n\
+  while (head != NULL)\n\
+  {\n\
+    node t = head;\n\
+    total += head->v;\n\
+    head = head->next;\n\
+    free(t);\n\
+  }\n\
+  return total;\n\
+}\n";
+    let r = run(src, "sum_list", &[10]);
+    assert!(r.is_clean(), "{:?}", r.errors);
+    assert_eq!(r.return_value, Some(45));
+    assert_eq!(r.leaked_objects, 0);
+}
+
+#[test]
+fn arrays_and_pointer_arithmetic() {
+    let src = "\
+int f(void)\n\
+{\n\
+  int a[5];\n\
+  int *p = a;\n\
+  int i;\n\
+  for (i = 0; i < 5; i++) { a[i] = i * i; }\n\
+  p = p + 2;\n\
+  return *p + a[4];\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert!(r.is_clean(), "{:?}", r.errors);
+    assert_eq!(r.return_value, Some(20));
+}
+
+#[test]
+fn strings_and_builtins() {
+    let src = "\
+int f(void)\n\
+{\n\
+  char *s = strdup(\"hello\");\n\
+  int n = strlen(s);\n\
+  char buf[16];\n\
+  strcpy(buf, s);\n\
+  strcat(buf, \" world\");\n\
+  printf(\"%s %d\\n\", buf, n);\n\
+  free(s);\n\
+  return strcmp(buf, \"hello world\");\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert!(r.is_clean(), "{:?}", r.errors);
+    assert_eq!(r.return_value, Some(0));
+    assert_eq!(r.output, "hello world 5\n");
+}
+
+#[test]
+fn out_params_through_address_of() {
+    let src = "\
+void init(int *p) { *p = 42; }\n\
+int f(void) { int x; init(&x); return x; }\n";
+    assert_eq!(run(src, "f", &[]).return_value, Some(42));
+}
+
+// --- error detection ---------------------------------------------------------
+
+#[test]
+fn detects_null_deref() {
+    let r = run("int f(void)\n{\n  int *p = NULL;\n  return *p;\n}\n", "f", &[]);
+    assert!(r.detected(RuntimeErrorKind::NullDeref));
+}
+
+#[test]
+fn detects_use_after_free() {
+    let r = run(
+        "int f(void)\n{\n  int *p = (int *) malloc(1);\n  *p = 3;\n  free(p);\n  return *p;\n}\n",
+        "f",
+        &[],
+    );
+    assert!(r.detected(RuntimeErrorKind::UseAfterFree));
+}
+
+#[test]
+fn detects_double_free() {
+    let r = run(
+        "int f(void)\n{\n  int *p = (int *) malloc(1);\n  free(p);\n  free(p);\n  return 0;\n}\n",
+        "f",
+        &[],
+    );
+    assert!(r.detected(RuntimeErrorKind::DoubleFree));
+}
+
+#[test]
+fn detects_uninit_read() {
+    let r = run("int f(void)\n{\n  int x;\n  return x + 1;\n}\n", "f", &[]);
+    assert!(r.detected(RuntimeErrorKind::UninitRead));
+}
+
+#[test]
+fn detects_leak_at_exit() {
+    let r = run(
+        "int f(void)\n{\n  int *p = (int *) malloc(4);\n  *p = 1;\n  return *p;\n}\n",
+        "f",
+        &[],
+    );
+    assert!(r.detected(RuntimeErrorKind::Leak));
+    assert_eq!(r.leaked_objects, 1);
+}
+
+#[test]
+fn detects_out_of_bounds() {
+    let r = run(
+        "int f(void)\n{\n  int *p = (int *) malloc(2);\n  p[5] = 1;\n  free(p);\n  return 0;\n}\n",
+        "f",
+        &[],
+    );
+    assert!(r.detected(RuntimeErrorKind::OutOfBounds));
+}
+
+#[test]
+fn detects_free_of_offset_pointer() {
+    // §7: "errors involving incorrectly freeing storage resulting from
+    // pointer arithmetic".
+    let r = run(
+        "int f(void)\n{\n  int *p = (int *) malloc(4);\n  p = p + 1;\n  free(p);\n  return 0;\n}\n",
+        "f",
+        &[],
+    );
+    assert!(r.detected(RuntimeErrorKind::FreeOffset));
+}
+
+#[test]
+fn detects_free_of_static_storage() {
+    // §7: "two errors resulting from freeing static storage".
+    let r = run(
+        "int f(void)\n{\n  char *s = \"static\";\n  free(s);\n  return 0;\n}\n",
+        "f",
+        &[],
+    );
+    assert!(r.detected(RuntimeErrorKind::FreeNonHeap));
+}
+
+#[test]
+fn free_null_is_allowed() {
+    let r = run("int f(void)\n{\n  free(NULL);\n  return 0;\n}\n", "f", &[]);
+    assert!(r.is_clean(), "{:?}", r.errors);
+}
+
+#[test]
+fn assert_failure_detected() {
+    let r = run("int f(int x)\n{\n  assert(x > 0);\n  return x;\n}\n", "f", &[-1]);
+    assert!(r.detected(RuntimeErrorKind::AssertFailure));
+    let ok = run("int f(int x)\n{\n  assert(x > 0);\n  return x;\n}\n", "f", &[1]);
+    assert!(ok.is_clean());
+}
+
+#[test]
+fn exit_terminates_cleanly() {
+    let r = run(
+        "int f(int x)\n{\n  if (x == 0) { exit(7); }\n  return 1;\n}\n",
+        "f",
+        &[0],
+    );
+    assert!(r.is_clean(), "{:?}", r.errors);
+    assert_eq!(r.return_value, Some(7));
+}
+
+#[test]
+fn step_limit_stops_runaway_loops() {
+    let r = run_source(
+        "t.c",
+        "int f(void)\n{\n  int x = 0;\n  while (1) { x++; }\n  return x;\n}\n",
+        "f",
+        &[],
+        Config { max_steps: 10_000, ..Config::default() },
+    )
+    .unwrap();
+    assert!(r.detected(RuntimeErrorKind::StepLimit));
+}
+
+// --- the paper's central point -------------------------------------------------
+
+#[test]
+fn dynamic_detection_requires_the_right_input() {
+    // The bug (a leak) only happens on the input==3 path. The runtime
+    // checker sees it only when the right test case runs — the paper's
+    // argument for static checking (§1).
+    let src = "\
+int run(int input)\n\
+{\n\
+  char *p;\n\
+  if (input == 3)\n\
+  {\n\
+    p = (char *) malloc(16);\n\
+    *p = 'x';\n\
+    return 1;\n\
+  }\n\
+  return 0;\n\
+}\n";
+    let miss = run(src, "run", &[1]);
+    assert!(miss.is_clean(), "{:?}", miss.errors);
+    let hit = run(src, "run", &[3]);
+    assert!(hit.detected(RuntimeErrorKind::Leak));
+}

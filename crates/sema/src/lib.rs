@@ -1,0 +1,25 @@
+//! Semantic analysis for the LCLint reproduction: type representation,
+//! struct/typedef/function/global symbol tables, and declaration resolution.
+//!
+//! # Examples
+//!
+//! ```
+//! use lclint_sema::Program;
+//! use lclint_syntax::parse_translation_unit;
+//!
+//! let (tu, _, _) = parse_translation_unit(
+//!     "m.c",
+//!     "extern /*@null out only@*/ void *malloc(size_t size);",
+//! ).unwrap();
+//! let program = Program::from_unit(&tu);
+//! let malloc = program.function("malloc").unwrap();
+//! assert!(malloc.ty.ret.annots.null().is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod program;
+pub mod types;
+
+pub use program::{const_eval, CheckedFunction, FunctionSig, GlobalVar, Program, SemaError};
+pub use types::{Field, FnType, GlobalUse, ParamType, QualType, StructDef, StructId, StructTable, Type};

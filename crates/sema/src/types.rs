@@ -1,0 +1,343 @@
+//! Semantic type representation.
+//!
+//! Types carry annotation sets at every level ([`QualType`]), because the
+//! checker's dataflow values are seeded from the annotations reachable from a
+//! declaration's type (e.g. the `only` on a struct field type definition).
+
+use lclint_syntax::annot::AnnotSet;
+use lclint_syntax::ast::IntSize;
+use std::fmt;
+
+/// Identifies a struct/union in the [`StructTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StructId(pub u32);
+
+/// An annotated type: the shape plus the annotations attached at this level.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QualType {
+    /// The type shape.
+    pub ty: Type,
+    /// Annotations attached at this level of the type.
+    pub annots: AnnotSet,
+}
+
+impl QualType {
+    /// A type with no annotations.
+    pub fn plain(ty: Type) -> Self {
+        QualType { ty, annots: AnnotSet::new() }
+    }
+
+    /// True for any pointer-shaped type (including arrays, which decay).
+    pub fn is_pointerish(&self) -> bool {
+        matches!(self.ty, Type::Pointer(_) | Type::Array(_, _))
+    }
+
+    /// The pointee type for pointers and element type for arrays.
+    pub fn pointee(&self) -> Option<&QualType> {
+        match &self.ty {
+            Type::Pointer(inner) | Type::Array(inner, _) => Some(inner),
+            _ => None,
+        }
+    }
+
+    /// The function signature if this is a function or pointer-to-function.
+    pub fn as_function(&self) -> Option<&FnType> {
+        match &self.ty {
+            Type::Function(f) => Some(f),
+            Type::Pointer(inner) => match &inner.ty {
+                Type::Function(f) => Some(f),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// True for `void`.
+    pub fn is_void(&self) -> bool {
+        self.ty == Type::Void
+    }
+
+    /// True for arithmetic (integer/char/float/enum) types.
+    pub fn is_arith(&self) -> bool {
+        matches!(
+            self.ty,
+            Type::Char { .. } | Type::Int { .. } | Type::Float | Type::Double | Type::Enum(_)
+        )
+    }
+}
+
+/// The shape of a type.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Type {
+    /// `void`
+    Void,
+    /// `char` (signedness folded away; the checker does not need it).
+    Char,
+    /// Integer type.
+    Int {
+        /// Signed?
+        signed: bool,
+        /// Width class.
+        size: IntSize,
+    },
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// An enum type, by tag (or synthesized name).
+    Enum(String),
+    /// Pointer to a type.
+    Pointer(Box<QualType>),
+    /// Array of a type with optional constant length.
+    Array(Box<QualType>, Option<u64>),
+    /// Function type.
+    Function(Box<FnType>),
+    /// Struct or union, by table id.
+    Struct(StructId),
+    /// Produced on resolution errors so checking can continue.
+    #[default]
+    Error,
+}
+
+impl Type {
+    /// Plain `int`.
+    pub fn int() -> Type {
+        Type::Int { signed: true, size: IntSize::Int }
+    }
+}
+
+/// A function signature type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnType {
+    /// Return type (annotations on it describe the result).
+    pub ret: QualType,
+    /// Parameters in order.
+    pub params: Vec<ParamType>,
+    /// True when the declaration ends with `...`.
+    pub variadic: bool,
+    /// The declared globals list (`None` = unchecked, the default).
+    pub globals: Option<Vec<GlobalUse>>,
+}
+
+/// One declared global use of a function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalUse {
+    /// Global name.
+    pub name: String,
+    /// May be undefined at entry (`undef` in the list).
+    pub undef: bool,
+}
+
+/// One parameter in a function signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamType {
+    /// Parameter name, when declared with one.
+    pub name: Option<String>,
+    /// Parameter type (annotations describe the argument contract).
+    pub ty: QualType,
+}
+
+/// A struct/union member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type (annotations here come from the type definition).
+    pub ty: QualType,
+}
+
+/// One struct or union definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Tag name (synthesized `<anon N>` for anonymous structs).
+    pub tag: String,
+    /// True for unions.
+    pub is_union: bool,
+    /// Members, in declaration order. Empty until the body is seen.
+    pub fields: Vec<Field>,
+    /// True once the body has been attached.
+    pub complete: bool,
+}
+
+impl StructDef {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// Table of all struct/union definitions in a program.
+#[derive(Debug, Clone, Default)]
+pub struct StructTable {
+    defs: Vec<StructDef>,
+    by_tag: std::collections::HashMap<String, StructId>,
+}
+
+impl StructTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StructTable::default()
+    }
+
+    /// Returns the id for `tag`, creating an incomplete entry if new.
+    pub fn intern_tag(&mut self, tag: &str, is_union: bool) -> StructId {
+        if let Some(id) = self.by_tag.get(tag) {
+            return *id;
+        }
+        let id = StructId(self.defs.len() as u32);
+        self.defs.push(StructDef {
+            tag: tag.to_owned(),
+            is_union,
+            fields: Vec::new(),
+            complete: false,
+        });
+        self.by_tag.insert(tag.to_owned(), id);
+        id
+    }
+
+    /// Creates a fresh anonymous struct.
+    pub fn fresh_anon(&mut self, is_union: bool) -> StructId {
+        let id = StructId(self.defs.len() as u32);
+        self.defs.push(StructDef {
+            tag: format!("<anon {}>", id.0),
+            is_union,
+            fields: Vec::new(),
+            complete: false,
+        });
+        id
+    }
+
+    /// Attaches a body to a struct.
+    pub fn complete(&mut self, id: StructId, fields: Vec<Field>) {
+        let def = &mut self.defs[id.0 as usize];
+        def.fields = fields;
+        def.complete = true;
+    }
+
+    /// Returns the definition for `id`.
+    pub fn get(&self, id: StructId) -> &StructDef {
+        &self.defs[id.0 as usize]
+    }
+
+    /// Looks up a struct by tag.
+    pub fn by_tag(&self, tag: &str) -> Option<StructId> {
+        self.by_tag.get(tag).copied()
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True when no structs are defined.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Iterates over `(id, def)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (StructId, &StructDef)> {
+        self.defs.iter().enumerate().map(|(i, d)| (StructId(i as u32), d))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => f.write_str("void"),
+            Type::Char => f.write_str("char"),
+            Type::Int { signed, size } => {
+                if !signed {
+                    f.write_str("unsigned ")?;
+                }
+                match size {
+                    IntSize::Short => f.write_str("short"),
+                    IntSize::Int => f.write_str("int"),
+                    IntSize::Long => f.write_str("long"),
+                }
+            }
+            Type::Float => f.write_str("float"),
+            Type::Double => f.write_str("double"),
+            Type::Enum(n) => write!(f, "enum {n}"),
+            Type::Pointer(inner) => write!(f, "{} *", inner.ty),
+            Type::Array(inner, Some(n)) => write!(f, "{} [{n}]", inner.ty),
+            Type::Array(inner, None) => write!(f, "{} []", inner.ty),
+            Type::Function(ft) => {
+                write!(f, "{} (", ft.ret.ty)?;
+                let mut first = true;
+                for p in &ft.params {
+                    if !first {
+                        f.write_str(", ")?;
+                    }
+                    first = false;
+                    write!(f, "{}", p.ty.ty)?;
+                }
+                if ft.variadic {
+                    if !first {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str("...")?;
+                }
+                f.write_str(")")
+            }
+            Type::Struct(id) => write!(f, "struct #{}", id.0),
+            Type::Error => f.write_str("<error>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn struct_table_interning() {
+        let mut t = StructTable::new();
+        let a = t.intern_tag("_list", false);
+        let b = t.intern_tag("_list", false);
+        assert_eq!(a, b);
+        assert!(!t.get(a).complete);
+        t.complete(a, vec![Field { name: "next".into(), ty: QualType::plain(Type::int()) }]);
+        assert!(t.get(a).complete);
+        assert_eq!(t.get(a).field("next").unwrap().name, "next");
+        assert!(t.get(a).field("missing").is_none());
+    }
+
+    #[test]
+    fn anon_structs_are_distinct() {
+        let mut t = StructTable::new();
+        let a = t.fresh_anon(false);
+        let b = t.fresh_anon(false);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pointer_helpers() {
+        let p = QualType::plain(Type::Pointer(Box::new(QualType::plain(Type::Char))));
+        assert!(p.is_pointerish());
+        assert_eq!(p.pointee().unwrap().ty, Type::Char);
+        let i = QualType::plain(Type::int());
+        assert!(!i.is_pointerish());
+        assert!(i.is_arith());
+    }
+
+    #[test]
+    fn type_display() {
+        let t = Type::Pointer(Box::new(QualType::plain(Type::Char)));
+        assert_eq!(t.to_string(), "char *");
+        assert_eq!(Type::Int { signed: false, size: IntSize::Long }.to_string(), "unsigned long");
+    }
+
+    #[test]
+    fn function_type_access() {
+        let ft = FnType {
+            ret: QualType::plain(Type::Void),
+            params: vec![],
+            variadic: false,
+            globals: None,
+        };
+        let q = QualType::plain(Type::Function(Box::new(ft.clone())));
+        assert!(q.as_function().is_some());
+        let pf = QualType::plain(Type::Pointer(Box::new(q)));
+        assert!(pf.as_function().is_some());
+    }
+}

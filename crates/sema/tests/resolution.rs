@@ -1,0 +1,176 @@
+//! Additional declaration-resolution coverage: function pointers, typedef
+//! chains, qualifiers, arrays and prototype/definition merging corners.
+
+use lclint_sema::{Program, Type};
+use lclint_syntax::annot::{AllocAnnot, NullAnnot};
+use lclint_syntax::parse_translation_unit;
+
+fn program(src: &str) -> Program {
+    let (tu, _, _) = parse_translation_unit("t.c", src).unwrap();
+    let p = Program::from_unit(&tu);
+    assert!(p.errors.is_empty(), "{:?}", p.errors);
+    p
+}
+
+#[test]
+fn function_pointer_parameter() {
+    let p = program("extern void sort(int *base, int n, int (*cmp)(int, int));");
+    let f = p.function("sort").unwrap();
+    assert_eq!(f.ty.params.len(), 3);
+    let cmp = &f.ty.params[2].ty;
+    let inner = cmp.as_function().expect("pointer-to-function parameter");
+    assert_eq!(inner.params.len(), 2);
+}
+
+#[test]
+fn function_pointer_global() {
+    let p = program("int (*handler)(int code);");
+    let g = p.global("handler").unwrap();
+    assert!(g.ty.as_function().is_some());
+}
+
+#[test]
+fn typedef_chains_resolve() {
+    let p = program(
+        "typedef int number;\n\
+         typedef number count;\n\
+         typedef /*@null@*/ count *maybe_counts;\n\
+         maybe_counts g;",
+    );
+    let g = p.global("g").unwrap();
+    assert_eq!(g.ty.annots.null(), Some(NullAnnot::Null));
+    match &g.ty.ty {
+        Type::Pointer(inner) => assert!(inner.is_arith()),
+        other => panic!("expected pointer, got {other:?}"),
+    }
+}
+
+#[test]
+fn typedef_annotation_layering() {
+    // Declaration-level annotations layer over multiple typedef levels.
+    let p = program(
+        "typedef /*@only@*/ char *owned_str;\n\
+         typedef owned_str label;\n\
+         /*@null@*/ label g;",
+    );
+    let g = p.global("g").unwrap();
+    assert_eq!(g.ty.annots.alloc(), Some(AllocAnnot::Only));
+    assert_eq!(g.ty.annots.null(), Some(NullAnnot::Null));
+}
+
+#[test]
+fn array_of_pointers_vs_pointer_to_array() {
+    let p = program("char *a[3]; char (*b)[3];");
+    let a = p.global("a").unwrap();
+    match &a.ty.ty {
+        Type::Array(elem, Some(3)) => {
+            assert!(matches!(elem.ty, Type::Pointer(_)));
+        }
+        other => panic!("a: {other:?}"),
+    }
+    let b = p.global("b").unwrap();
+    match &b.ty.ty {
+        Type::Pointer(inner) => {
+            assert!(matches!(inner.ty, Type::Array(_, Some(3))));
+        }
+        other => panic!("b: {other:?}"),
+    }
+}
+
+#[test]
+fn enum_sized_array() {
+    let p = program("enum sizes { SMALL = 4, BIG = 16 };\nint buf[BIG];");
+    let g = p.global("buf").unwrap();
+    match &g.ty.ty {
+        Type::Array(_, n) => assert_eq!(*n, Some(16)),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn prototype_after_definition_keeps_definition() {
+    let p = program(
+        "int f(void) { return 1; }\n\
+         extern int f(void);",
+    );
+    let f = p.function("f").unwrap();
+    assert!(f.has_def);
+}
+
+#[test]
+fn annotations_merge_across_repeated_prototypes() {
+    let p = program(
+        "extern char *get(char *k);\n\
+         extern /*@null@*/ char *get(/*@temp@*/ char *k);\n",
+    );
+    let f = p.function("get").unwrap();
+    assert_eq!(f.ty.ret.annots.null(), Some(NullAnnot::Null));
+    assert_eq!(f.ty.params[0].ty.annots.alloc(), Some(AllocAnnot::Temp));
+}
+
+#[test]
+fn anonymous_struct_fields_resolve() {
+    let p = program("struct { int x; char *s; } pair;");
+    let g = p.global("pair").unwrap();
+    match &g.ty.ty {
+        Type::Struct(id) => {
+            let def = p.structs.get(*id);
+            assert_eq!(def.fields.len(), 2);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn forward_struct_reference() {
+    let p = program(
+        "struct node;\n\
+         typedef struct node *nodep;\n\
+         struct node { int v; nodep next; };\n\
+         nodep head;",
+    );
+    let id = p.structs.by_tag("node").unwrap();
+    assert!(p.structs.get(id).complete);
+    let head = p.global("head").unwrap();
+    match &head.ty.ty {
+        Type::Pointer(inner) => assert_eq!(inner.ty, Type::Struct(id)),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn const_and_storage_classes_accepted() {
+    let p = program(
+        "static const int limit = 10;\n\
+         extern volatile int flag;\n\
+         register int fast_path(int x);",
+    );
+    assert!(p.global("limit").unwrap().is_static);
+    assert!(p.global("flag").unwrap().is_extern);
+    assert!(p.function("fast_path").is_some());
+}
+
+#[test]
+fn unions_resolve() {
+    let p = program("union value { int i; char *s; };\nunion value v;");
+    let id = p.structs.by_tag("value").unwrap();
+    assert!(p.structs.get(id).is_union);
+    assert!(p.global("v").is_some());
+}
+
+#[test]
+fn variadic_signature() {
+    let p = program("extern int printf(char *fmt, ...);");
+    let f = p.function("printf").unwrap();
+    assert!(f.ty.variadic);
+    assert_eq!(f.ty.params.len(), 1);
+}
+
+#[test]
+fn void_pointer_params() {
+    let p = program("extern void free(/*@null@*/ /*@out@*/ /*@only@*/ void *ptr);");
+    let f = p.function("free").unwrap();
+    let pty = &f.ty.params[0].ty;
+    assert!(matches!(pty.pointee().map(|t| &t.ty), Some(Type::Void)));
+    assert_eq!(pty.annots.alloc(), Some(AllocAnnot::Only));
+}

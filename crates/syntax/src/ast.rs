@@ -1,0 +1,775 @@
+//! Abstract syntax tree for the supported C subset.
+//!
+//! The tree preserves annotation placement: declaration specifiers and each
+//! pointer level carry an [`AnnotSet`], mirroring the paper's rule that an
+//! annotation applies only to the outer level of a declaration.
+
+use crate::annot::AnnotSet;
+use crate::span::Span;
+use std::fmt;
+
+/// A complete parsed source file (after preprocessing).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TranslationUnit {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A function definition (with body).
+    Function(FunctionDef),
+    /// Any other declaration: globals, prototypes, typedefs, struct/enum
+    /// definitions.
+    Decl(Declaration),
+}
+
+impl Item {
+    /// The item's span.
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Function(f) => f.span,
+            Item::Decl(d) => d.span,
+        }
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Specifiers and the single declarator naming the function.
+    pub specs: DeclSpecs,
+    /// Declarator (must contain a [`Derived::Function`] part).
+    pub declarator: Declarator,
+    /// The function body (always a compound statement).
+    pub body: Stmt,
+    /// Full span of the definition.
+    pub span: Span,
+}
+
+impl FunctionDef {
+    /// The function's name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the declarator is anonymous, which the parser never produces
+    /// for function definitions.
+    pub fn name(&self) -> &str {
+        self.declarator.name.as_deref().expect("function definitions are named")
+    }
+}
+
+/// A declaration: specifiers plus zero or more init-declarators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Declaration {
+    /// The shared declaration specifiers.
+    pub specs: DeclSpecs,
+    /// The declared names (may be empty for bare `struct S { ... };`).
+    pub declarators: Vec<InitDeclarator>,
+    /// Full span.
+    pub span: Span,
+}
+
+/// Storage-class specifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageClass {
+    /// `typedef`
+    Typedef,
+    /// `extern`
+    Extern,
+    /// `static`
+    Static,
+    /// `auto`
+    Auto,
+    /// `register`
+    Register,
+}
+
+impl StorageClass {
+    /// Source spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StorageClass::Typedef => "typedef",
+            StorageClass::Extern => "extern",
+            StorageClass::Static => "static",
+            StorageClass::Auto => "auto",
+            StorageClass::Register => "register",
+        }
+    }
+}
+
+/// Width of an integer type specifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntSize {
+    /// `short`
+    Short,
+    /// plain `int`
+    Int,
+    /// `long`
+    Long,
+}
+
+/// A type specifier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeSpec {
+    /// `void`
+    Void,
+    /// `char` / `signed char` / `unsigned char`
+    Char {
+        /// `Some(true)` = explicitly signed, `Some(false)` = unsigned.
+        signed: Option<bool>,
+    },
+    /// Integer types.
+    Int {
+        /// False for `unsigned`.
+        signed: bool,
+        /// Width.
+        size: IntSize,
+    },
+    /// `float`
+    Float,
+    /// `double` (and `long double`)
+    Double,
+    /// A typedef name.
+    Named(String),
+    /// A struct or union specifier.
+    Struct(StructSpec),
+    /// An enum specifier.
+    Enum(EnumSpec),
+}
+
+/// A struct or union specifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructSpec {
+    /// True for `union`.
+    pub is_union: bool,
+    /// The tag, if named.
+    pub name: Option<String>,
+    /// The member declarations, if this specifier defines the body.
+    pub fields: Option<Vec<FieldDecl>>,
+    /// Span of the specifier.
+    pub span: Span,
+}
+
+/// One member declaration inside a struct/union body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// Member declaration specifiers.
+    pub specs: DeclSpecs,
+    /// Member declarators.
+    pub declarators: Vec<Declarator>,
+    /// Span.
+    pub span: Span,
+}
+
+/// An enum specifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumSpec {
+    /// The tag, if named.
+    pub name: Option<String>,
+    /// Enumerators `(name, explicit value)`, if the body is present.
+    pub variants: Option<Vec<(String, Option<Expr>)>>,
+    /// Span.
+    pub span: Span,
+}
+
+/// Declaration specifiers: storage class, qualifiers, a type specifier and
+/// outer-level annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeclSpecs {
+    /// Storage class, if given.
+    pub storage: Option<StorageClass>,
+    /// `const` qualifier present.
+    pub is_const: bool,
+    /// `volatile` qualifier present.
+    pub is_volatile: bool,
+    /// The type specifier.
+    pub ty: TypeSpec,
+    /// Annotations written among the specifiers (apply to the declaration's
+    /// outer level).
+    pub annots: AnnotSet,
+    /// Span of the specifiers.
+    pub span: Span,
+}
+
+impl DeclSpecs {
+    /// Specifiers for a plain type with no storage class or annotations.
+    pub fn plain(ty: TypeSpec, span: Span) -> Self {
+        DeclSpecs {
+            storage: None,
+            is_const: false,
+            is_volatile: false,
+            ty,
+            annots: AnnotSet::new(),
+            span,
+        }
+    }
+}
+
+/// A declarator with an optional initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitDeclarator {
+    /// The declarator.
+    pub declarator: Declarator,
+    /// Initializer, if present.
+    pub init: Option<Initializer>,
+}
+
+/// An initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Initializer {
+    /// `= expr`
+    Expr(Expr),
+    /// `= { ... }`
+    List(Vec<Initializer>),
+}
+
+/// A declarator: the declared name plus derived type parts.
+///
+/// `derived` is stored in *reading order*: for `char *p[3]`, `p` reads as
+/// "array of pointer to char", so `derived == [Array(3), Pointer]`. To build
+/// the type, fold `derived` in reverse over the base type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Declarator {
+    /// The declared identifier; `None` for abstract declarators.
+    pub name: Option<String>,
+    /// Derived parts in reading order.
+    pub derived: Vec<Derived>,
+    /// Span of the declarator.
+    pub span: Span,
+}
+
+impl Declarator {
+    /// An anonymous declarator with no derived parts.
+    pub fn abstract_empty(span: Span) -> Self {
+        Declarator { name: None, derived: Vec::new(), span }
+    }
+
+    /// True if this declarator declares a function (outermost derived part is
+    /// a function part after any pointers are skipped for definitions).
+    pub fn is_function(&self) -> bool {
+        matches!(self.derived.first(), Some(Derived::Function { .. }))
+    }
+
+    /// Returns the parameter list if this is a function declarator.
+    pub fn function_params(&self) -> Option<(&[ParamDecl], bool)> {
+        match self.derived.first() {
+            Some(Derived::Function { params, variadic, .. }) => Some((params, *variadic)),
+            _ => None,
+        }
+    }
+}
+
+/// One derived-type part of a declarator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Derived {
+    /// A pointer level, possibly annotated (`char * /*@null@*/ *p`).
+    Pointer {
+        /// Annotations attached at this pointer level.
+        annots: AnnotSet,
+        /// `const` at this level.
+        is_const: bool,
+    },
+    /// An array part with optional constant size expression.
+    Array(Option<Box<Expr>>),
+    /// A function part with its parameters.
+    Function {
+        /// The parameters.
+        params: Vec<ParamDecl>,
+        /// True if the list ends with `...`.
+        variadic: bool,
+        /// The globals list (`/*@globals gname, undef cache@*/` after the
+        /// parameter list), if declared. Paper §4: "`undef` may be used on
+        /// a global variable in the globals list for a function."
+        globals: Option<Vec<GlobalSpec>>,
+    },
+}
+
+/// One entry of a function's globals list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalSpec {
+    /// The global's name.
+    pub name: String,
+    /// True when prefixed with `undef` (may be undefined at entry).
+    pub undef: bool,
+}
+
+/// A single function parameter declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter specifiers (carrying annotations).
+    pub specs: DeclSpecs,
+    /// Parameter declarator (may be abstract in prototypes).
+    pub declarator: Declarator,
+    /// Span.
+    pub span: Span,
+}
+
+impl ParamDecl {
+    /// The parameter name, if present.
+    pub fn name(&self) -> Option<&str> {
+        self.declarator.name.as_deref()
+    }
+
+    /// True for the `void` parameter list marker: `f(void)`.
+    pub fn is_void_marker(&self) -> bool {
+        self.declarator.name.is_none()
+            && self.declarator.derived.is_empty()
+            && self.specs.ty == TypeSpec::Void
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement's payload.
+    pub kind: StmtKind,
+    /// Span.
+    pub span: Span,
+}
+
+/// An item in a compound statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockItem {
+    /// A local declaration.
+    Decl(Declaration),
+    /// A statement.
+    Stmt(Stmt),
+}
+
+/// The clause initializing a `for` loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForInit {
+    /// A declaration (C99-style, accepted for convenience).
+    Decl(Declaration),
+    /// An expression.
+    Expr(Expr),
+}
+
+/// Statement payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `{ ... }`
+    Compound(Vec<BlockItem>),
+    /// An expression statement.
+    Expr(Expr),
+    /// `;`
+    Empty,
+    /// `if (cond) then else`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Box<Stmt>,
+        /// Else branch, if any.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        /// Init clause.
+        init: Option<ForInit>,
+        /// Condition.
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `switch (cond) body`
+    Switch {
+        /// Scrutinee.
+        cond: Expr,
+        /// Body (normally a compound with `case` labels).
+        body: Box<Stmt>,
+    },
+    /// `case value: stmt`
+    Case {
+        /// The case value (constant expression).
+        value: Expr,
+        /// The labeled statement.
+        stmt: Box<Stmt>,
+    },
+    /// `default: stmt`
+    Default(Box<Stmt>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `name: stmt`
+    Label {
+        /// Label name.
+        name: String,
+        /// Labeled statement.
+        stmt: Box<Stmt>,
+    },
+    /// `goto name;`
+    Goto(String),
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression's payload.
+    pub kind: ExprKind,
+    /// Span.
+    pub span: Span,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `+x`
+    Plus,
+    /// `!x`
+    Not,
+    /// `~x`
+    BitNot,
+    /// `*x`
+    Deref,
+    /// `&x`
+    Addr,
+}
+
+impl UnOp {
+    /// Source spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Plus => "+",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+            UnOp::Deref => "*",
+            UnOp::Addr => "&",
+        }
+    }
+}
+
+/// Binary operators (excluding assignment and comma).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&`
+    BitAnd,
+    /// `^`
+    BitXor,
+    /// `|`
+    BitOr,
+    /// `&&`
+    LogAnd,
+    /// `||`
+    LogOr,
+}
+
+impl BinOp {
+    /// Source spelling.
+    pub fn as_str(&self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            BitAnd => "&",
+            BitXor => "^",
+            BitOr => "|",
+            LogAnd => "&&",
+            LogOr => "||",
+        }
+    }
+
+    /// True for `==`, `!=`, `<`, `>`, `<=`, `>=`.
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+    /// `%=`
+    Rem,
+    /// `<<=`
+    Shl,
+    /// `>>=`
+    Shr,
+    /// `&=`
+    And,
+    /// `^=`
+    Xor,
+    /// `|=`
+    Or,
+}
+
+impl AssignOp {
+    /// Source spelling.
+    pub fn as_str(&self) -> &'static str {
+        use AssignOp::*;
+        match self {
+            Assign => "=",
+            Add => "+=",
+            Sub => "-=",
+            Mul => "*=",
+            Div => "/=",
+            Rem => "%=",
+            Shl => "<<=",
+            Shr => ">>=",
+            And => "&=",
+            Xor => "^=",
+            Or => "|=",
+        }
+    }
+}
+
+/// Increment/decrement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncDec {
+    /// `++`
+    Inc,
+    /// `--`
+    Dec,
+}
+
+impl IncDec {
+    /// Source spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            IncDec::Inc => "++",
+            IncDec::Dec => "--",
+        }
+    }
+}
+
+/// A type name used in casts and `sizeof`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeName {
+    /// Specifiers.
+    pub specs: DeclSpecs,
+    /// Abstract declarator.
+    pub declarator: Declarator,
+    /// Span.
+    pub span: Span,
+}
+
+/// Expression payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// An identifier use.
+    Ident(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating literal.
+    FloatLit(f64),
+    /// Character literal.
+    CharLit(i64),
+    /// String literal.
+    StrLit(String),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Prefix `++x` / `--x`.
+    PreIncDec(IncDec, Box<Expr>),
+    /// Postfix `x++` / `x--`.
+    PostIncDec(IncDec, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// An assignment.
+    Assign(AssignOp, Box<Expr>, Box<Expr>),
+    /// `c ? t : e`
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// A function call.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `base.field` or `base->field`.
+    Member {
+        /// The accessed object.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// True for `->`.
+        arrow: bool,
+    },
+    /// `base[index]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `(type) expr`
+    Cast(TypeName, Box<Expr>),
+    /// `sizeof expr`
+    SizeofExpr(Box<Expr>),
+    /// `sizeof (type)`
+    SizeofType(TypeName),
+    /// `a, b`
+    Comma(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Creates an expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// True when this expression is the literal `0` (a null pointer constant)
+    /// or the identifier `NULL`.
+    pub fn is_null_constant(&self) -> bool {
+        match &self.kind {
+            ExprKind::IntLit(0) => true,
+            ExprKind::Ident(n) => n == "NULL",
+            ExprKind::Cast(_, inner) => inner.is_null_constant(),
+            _ => false,
+        }
+    }
+
+    /// Strips casts and comma-right associations, returning the underlying
+    /// value-producing expression.
+    pub fn peel_casts(&self) -> &Expr {
+        match &self.kind {
+            ExprKind::Cast(_, inner) => inner.peel_casts(),
+            _ => self,
+        }
+    }
+
+    /// The callee name if this is a direct call `f(...)`.
+    pub fn direct_callee(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Call(f, _) => match &f.peel_casts().kind {
+                ExprKind::Ident(name) => Some(name),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Display for AssignOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_constant_detection() {
+        let z = Expr::new(ExprKind::IntLit(0), Span::synthetic());
+        assert!(z.is_null_constant());
+        let n = Expr::new(ExprKind::Ident("NULL".into()), Span::synthetic());
+        assert!(n.is_null_constant());
+        let one = Expr::new(ExprKind::IntLit(1), Span::synthetic());
+        assert!(!one.is_null_constant());
+    }
+
+    #[test]
+    fn direct_callee() {
+        let call = Expr::new(
+            ExprKind::Call(
+                Box::new(Expr::new(ExprKind::Ident("malloc".into()), Span::synthetic())),
+                vec![],
+            ),
+            Span::synthetic(),
+        );
+        assert_eq!(call.direct_callee(), Some("malloc"));
+        let not_call = Expr::new(ExprKind::IntLit(1), Span::synthetic());
+        assert_eq!(not_call.direct_callee(), None);
+    }
+
+    #[test]
+    fn op_spellings() {
+        assert_eq!(BinOp::LogAnd.as_str(), "&&");
+        assert_eq!(UnOp::Deref.as_str(), "*");
+        assert_eq!(AssignOp::Shl.as_str(), "<<=");
+        assert_eq!(IncDec::Dec.as_str(), "--");
+        assert!(BinOp::Ne.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn void_marker_param() {
+        let p = ParamDecl {
+            specs: DeclSpecs::plain(TypeSpec::Void, Span::synthetic()),
+            declarator: Declarator::abstract_empty(Span::synthetic()),
+            span: Span::synthetic(),
+        };
+        assert!(p.is_void_marker());
+    }
+}

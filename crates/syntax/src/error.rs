@@ -1,0 +1,43 @@
+//! Syntax-level errors (lexing, preprocessing, parsing).
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while lexing, preprocessing or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntaxError {
+    /// Human-readable description.
+    pub message: String,
+    /// Location of the problem.
+    pub span: Span,
+}
+
+impl SyntaxError {
+    /// Creates a new error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        SyntaxError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for SyntaxError {}
+
+/// Result alias for syntax operations.
+pub type Result<T> = std::result::Result<T, SyntaxError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_message() {
+        let e = SyntaxError::new("unexpected token", Span::synthetic());
+        assert_eq!(e.to_string(), "unexpected token");
+    }
+}

@@ -1,0 +1,1499 @@
+//! Recursive-descent parser for the C subset.
+//!
+//! The parser consumes the preprocessed token stream and produces a
+//! [`TranslationUnit`]. It maintains the classic typedef-name set so that
+//! `(list) expr` parses as a cast once `list` has been declared with
+//! `typedef`, and it attaches annotation tokens to the declaration positions
+//! where they appear (specifier level and per pointer level).
+
+use crate::annot::{Annot, AnnotSet};
+use crate::ast::*;
+use crate::error::{Result, SyntaxError};
+use crate::span::Span;
+use crate::token::{Keyword as Kw, Punct, Token, TokenKind};
+use std::collections::HashSet;
+
+/// The parser.
+pub struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    typedefs: HashSet<String>,
+}
+
+impl Parser {
+    /// Creates a parser over a preprocessed token stream (must end in `Eof`).
+    pub fn new(toks: Vec<Token>) -> Self {
+        let mut typedefs = HashSet::new();
+        // `size_t` and friends are treated as built-in typedef names so
+        // standard-library signatures parse without headers.
+        for t in ["size_t", "FILE", "va_list", "bool_", "ptrdiff_t"] {
+            typedefs.insert(t.to_owned());
+        }
+        Parser { toks, pos: 0, typedefs }
+    }
+
+    /// Registers an extra typedef name before parsing.
+    pub fn add_typedef(&mut self, name: impl Into<String>) {
+        self.typedefs.insert(name.into());
+    }
+
+    // -- token helpers ------------------------------------------------------
+
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn peek_at(&self, off: usize) -> &Token {
+        &self.toks[(self.pos + off).min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, p: Punct) -> bool {
+        self.peek().kind.is_punct(p)
+    }
+
+    fn at_kw(&self, k: Kw) -> bool {
+        self.peek().kind.is_kw(k)
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.at_punct(p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> bool {
+        if self.at_kw(k) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<Span> {
+        if self.at_punct(p) {
+            let s = self.peek().span;
+            self.pos += 1;
+            Ok(s)
+        } else {
+            Err(self.err(format!("expected `{}`, found `{}`", p.as_str(), self.peek().kind)))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span)> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                let span = self.peek().span;
+                self.pos += 1;
+                Ok((s, span))
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SyntaxError {
+        SyntaxError::new(msg, self.peek().span)
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    // -- entry points -------------------------------------------------------
+
+    /// Parses the whole token stream as a translation unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error encountered.
+    pub fn parse_translation_unit(mut self) -> Result<TranslationUnit> {
+        let mut items = Vec::new();
+        while !self.at_eof() {
+            // Tolerate stray semicolons between items.
+            if self.eat_punct(Punct::Semi) {
+                continue;
+            }
+            items.push(self.parse_external_item()?);
+        }
+        Ok(TranslationUnit { items })
+    }
+
+    fn parse_external_item(&mut self) -> Result<Item> {
+        let start = self.peek().span;
+        let specs = self.parse_decl_specs()?;
+        // Bare `struct S { ... };` or `enum E { ... };`
+        if self.at_punct(Punct::Semi) {
+            let end = self.bump().span;
+            return Ok(Item::Decl(Declaration {
+                specs,
+                declarators: Vec::new(),
+                span: start.to(end),
+            }));
+        }
+        let first = self.parse_declarator(false)?;
+        // Function definition: function declarator followed by `{`.
+        if self.at_punct(Punct::LBrace) && first.is_function() {
+            let body = self.parse_compound()?;
+            let span = start.to(body.span);
+            return Ok(Item::Function(FunctionDef { specs, declarator: first, body, span }));
+        }
+        // Otherwise an ordinary declaration (possibly several declarators).
+        let mut declarators = Vec::new();
+        let init = if self.eat_punct(Punct::Eq) { Some(self.parse_initializer()?) } else { None };
+        self.register_typedef(&specs, &first);
+        declarators.push(InitDeclarator { declarator: first, init });
+        while self.eat_punct(Punct::Comma) {
+            let d = self.parse_declarator(false)?;
+            let init =
+                if self.eat_punct(Punct::Eq) { Some(self.parse_initializer()?) } else { None };
+            self.register_typedef(&specs, &d);
+            declarators.push(InitDeclarator { declarator: d, init });
+        }
+        let end = self.expect_punct(Punct::Semi)?;
+        Ok(Item::Decl(Declaration { specs, declarators, span: start.to(end) }))
+    }
+
+    fn register_typedef(&mut self, specs: &DeclSpecs, d: &Declarator) {
+        if specs.storage == Some(StorageClass::Typedef) {
+            if let Some(n) = &d.name {
+                self.typedefs.insert(n.clone());
+            }
+        }
+    }
+
+    // -- declarations -------------------------------------------------------
+
+    /// True if the current token can begin a declaration.
+    fn at_decl_start(&self) -> bool {
+        match &self.peek().kind {
+            TokenKind::Kw(k) => matches!(
+                k,
+                Kw::Void
+                    | Kw::Char
+                    | Kw::Int
+                    | Kw::Long
+                    | Kw::Short
+                    | Kw::Signed
+                    | Kw::Unsigned
+                    | Kw::Float
+                    | Kw::Double
+                    | Kw::Struct
+                    | Kw::Union
+                    | Kw::Enum
+                    | Kw::Const
+                    | Kw::Volatile
+                    | Kw::Typedef
+                    | Kw::Extern
+                    | Kw::Static
+                    | Kw::Auto
+                    | Kw::Register
+            ),
+            TokenKind::Ident(n) => self.typedefs.contains(n),
+            TokenKind::Annot(_) => true,
+            _ => false,
+        }
+    }
+
+    /// True if the token at `off` can begin a type name (for casts).
+    fn at_type_start(&self, off: usize) -> bool {
+        match &self.peek_at(off).kind {
+            TokenKind::Kw(k) => matches!(
+                k,
+                Kw::Void
+                    | Kw::Char
+                    | Kw::Int
+                    | Kw::Long
+                    | Kw::Short
+                    | Kw::Signed
+                    | Kw::Unsigned
+                    | Kw::Float
+                    | Kw::Double
+                    | Kw::Struct
+                    | Kw::Union
+                    | Kw::Enum
+                    | Kw::Const
+                    | Kw::Volatile
+            ),
+            TokenKind::Ident(n) => self.typedefs.contains(n),
+            TokenKind::Annot(_) => true,
+            _ => false,
+        }
+    }
+
+    fn parse_decl_specs(&mut self) -> Result<DeclSpecs> {
+        let start = self.peek().span;
+        let mut storage = None;
+        let mut is_const = false;
+        let mut is_volatile = false;
+        let mut annots = AnnotSet::new();
+        // Accumulated base-type words (e.g. `unsigned`, `long`).
+        let mut signedness: Option<bool> = None;
+        let mut size: Option<IntSize> = None;
+        let mut long_count = 0u8;
+        let mut base: Option<TypeSpec> = None;
+
+        loop {
+            let t = self.peek().clone();
+            match &t.kind {
+                TokenKind::Kw(k) => match k {
+                    Kw::Typedef | Kw::Extern | Kw::Static | Kw::Auto | Kw::Register => {
+                        let sc = match k {
+                            Kw::Typedef => StorageClass::Typedef,
+                            Kw::Extern => StorageClass::Extern,
+                            Kw::Static => StorageClass::Static,
+                            Kw::Auto => StorageClass::Auto,
+                            _ => StorageClass::Register,
+                        };
+                        if storage.is_some() {
+                            return Err(self.err("multiple storage classes"));
+                        }
+                        storage = Some(sc);
+                        self.pos += 1;
+                    }
+                    Kw::Const => {
+                        is_const = true;
+                        self.pos += 1;
+                    }
+                    Kw::Volatile => {
+                        is_volatile = true;
+                        self.pos += 1;
+                    }
+                    Kw::Void => {
+                        base = Some(TypeSpec::Void);
+                        self.pos += 1;
+                    }
+                    Kw::Char => {
+                        base = Some(TypeSpec::Char { signed: signedness });
+                        self.pos += 1;
+                    }
+                    Kw::Float => {
+                        base = Some(TypeSpec::Float);
+                        self.pos += 1;
+                    }
+                    Kw::Double => {
+                        base = Some(TypeSpec::Double);
+                        self.pos += 1;
+                    }
+                    Kw::Int => {
+                        size = size.or(Some(IntSize::Int));
+                        self.pos += 1;
+                    }
+                    Kw::Short => {
+                        size = Some(IntSize::Short);
+                        self.pos += 1;
+                    }
+                    Kw::Long => {
+                        long_count += 1;
+                        size = Some(IntSize::Long);
+                        self.pos += 1;
+                    }
+                    Kw::Signed => {
+                        signedness = Some(true);
+                        self.pos += 1;
+                    }
+                    Kw::Unsigned => {
+                        signedness = Some(false);
+                        self.pos += 1;
+                    }
+                    Kw::Struct | Kw::Union => {
+                        base = Some(TypeSpec::Struct(self.parse_struct_spec()?));
+                    }
+                    Kw::Enum => {
+                        base = Some(TypeSpec::Enum(self.parse_enum_spec()?));
+                    }
+                    _ => break,
+                },
+                TokenKind::Ident(n)
+                    if base.is_none()
+                        && size.is_none()
+                        && signedness.is_none()
+                        && self.typedefs.contains(n) =>
+                {
+                    // A typedef name is only a type specifier if no other
+                    // type words have been seen (so `unsigned x;` keeps `x`
+                    // as the declarator).
+                    base = Some(TypeSpec::Named(n.clone()));
+                    self.pos += 1;
+                }
+                TokenKind::Annot(words) => {
+                    for w in words {
+                        match Annot::from_word(w) {
+                            Some(a) => annots.add(a, t.span)?,
+                            None => {
+                                return Err(SyntaxError::new(
+                                    format!("unknown annotation `{w}`"),
+                                    t.span,
+                                ));
+                            }
+                        }
+                    }
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+
+        // Re-apply signedness to a char base recorded before the keyword.
+        if let Some(TypeSpec::Char { signed }) = &mut base {
+            if signed.is_none() {
+                *signed = signedness;
+            }
+        }
+        let ty = match base {
+            Some(TypeSpec::Double) if long_count > 0 => TypeSpec::Double,
+            Some(b) => b,
+            None => {
+                if size.is_none() && signedness.is_none() {
+                    return Err(self.err(format!(
+                        "expected type specifier, found `{}`",
+                        self.peek().kind
+                    )));
+                }
+                TypeSpec::Int {
+                    signed: signedness.unwrap_or(true),
+                    size: size.unwrap_or(IntSize::Int),
+                }
+            }
+        };
+        let end = self.toks[self.pos.saturating_sub(1)].span;
+        Ok(DeclSpecs { storage, is_const, is_volatile, ty, annots, span: start.to(end) })
+    }
+
+    fn parse_struct_spec(&mut self) -> Result<StructSpec> {
+        let start = self.peek().span;
+        let is_union = self.at_kw(Kw::Union);
+        self.pos += 1; // struct/union keyword
+        let name = match &self.peek().kind {
+            TokenKind::Ident(n) => {
+                let n = n.clone();
+                self.pos += 1;
+                Some(n)
+            }
+            _ => None,
+        };
+        let fields = if self.eat_punct(Punct::LBrace) {
+            let mut fields = Vec::new();
+            while !self.at_punct(Punct::RBrace) {
+                if self.at_eof() {
+                    return Err(self.err("unterminated struct body"));
+                }
+                let fstart = self.peek().span;
+                let specs = self.parse_decl_specs()?;
+                let mut declarators = Vec::new();
+                if !self.at_punct(Punct::Semi) {
+                    declarators.push(self.parse_declarator(false)?);
+                    while self.eat_punct(Punct::Comma) {
+                        declarators.push(self.parse_declarator(false)?);
+                    }
+                }
+                let fend = self.expect_punct(Punct::Semi)?;
+                fields.push(FieldDecl { specs, declarators, span: fstart.to(fend) });
+            }
+            self.expect_punct(Punct::RBrace)?;
+            Some(fields)
+        } else {
+            None
+        };
+        if name.is_none() && fields.is_none() {
+            return Err(self.err("struct specifier requires a tag or a body"));
+        }
+        let end = self.toks[self.pos.saturating_sub(1)].span;
+        Ok(StructSpec { is_union, name, fields, span: start.to(end) })
+    }
+
+    fn parse_enum_spec(&mut self) -> Result<EnumSpec> {
+        let start = self.peek().span;
+        self.pos += 1; // enum
+        let name = match &self.peek().kind {
+            TokenKind::Ident(n) => {
+                let n = n.clone();
+                self.pos += 1;
+                Some(n)
+            }
+            _ => None,
+        };
+        let variants = if self.eat_punct(Punct::LBrace) {
+            let mut vs = Vec::new();
+            while !self.at_punct(Punct::RBrace) {
+                let (vn, _) = self.expect_ident()?;
+                let value = if self.eat_punct(Punct::Eq) {
+                    Some(self.parse_assignment_expr()?)
+                } else {
+                    None
+                };
+                vs.push((vn, value));
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RBrace)?;
+            Some(vs)
+        } else {
+            None
+        };
+        if name.is_none() && variants.is_none() {
+            return Err(self.err("enum specifier requires a tag or a body"));
+        }
+        let end = self.toks[self.pos.saturating_sub(1)].span;
+        Ok(EnumSpec { name, variants, span: start.to(end) })
+    }
+
+    /// Parses a declarator. With `allow_abstract`, the identifier may be
+    /// omitted (parameter and type-name positions).
+    fn parse_declarator(&mut self, allow_abstract: bool) -> Result<Declarator> {
+        let start = self.peek().span;
+        // Prefix pointers, each optionally annotated/qualified.
+        let mut pointers: Vec<Derived> = Vec::new();
+        loop {
+            // Annotations before a `*` apply to that pointer level
+            // (e.g. `char * /*@null@*/ *p`).
+            let mut annots = AnnotSet::new();
+            let mut is_const = false;
+            let mut progressed = false;
+            loop {
+                let t = self.peek().clone();
+                match &t.kind {
+                    TokenKind::Annot(words) => {
+                        for w in words {
+                            match Annot::from_word(w) {
+                                Some(a) => annots.add(a, t.span)?,
+                                None => {
+                                    return Err(SyntaxError::new(
+                                        format!("unknown annotation `{w}`"),
+                                        t.span,
+                                    ));
+                                }
+                            }
+                        }
+                        self.pos += 1;
+                    }
+                    TokenKind::Kw(Kw::Const) => {
+                        is_const = true;
+                        self.pos += 1;
+                    }
+                    TokenKind::Kw(Kw::Volatile) => {
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            if self.eat_punct(Punct::Star) {
+                // Qualifiers may also follow the star: `char * const p`.
+                loop {
+                    if self.eat_kw(Kw::Const) {
+                        is_const = true;
+                    } else if self.eat_kw(Kw::Volatile) {
+                        // accepted, not tracked
+                    } else if let TokenKind::Annot(words) = &self.peek().kind.clone() {
+                        let span = self.peek().span;
+                        for w in words {
+                            match Annot::from_word(w) {
+                                Some(a) => annots.add(a, span)?,
+                                None => {
+                                    return Err(SyntaxError::new(
+                                        format!("unknown annotation `{w}`"),
+                                        span,
+                                    ));
+                                }
+                            }
+                        }
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                pointers.push(Derived::Pointer { annots, is_const });
+                progressed = true;
+            } else if !annots.is_empty() || is_const {
+                // Annotations directly before the identifier: treat as
+                // applying to the outermost level; represent by re-attaching
+                // to the most recent pointer if there is one, else error-free
+                // fallthrough (parser surfaces them via a pointerless decl is
+                // not possible — attach to last pointer or drop into first).
+                if let Some(Derived::Pointer { annots: pa, .. }) = pointers.last_mut() {
+                    pa.inherit(&annots);
+                }
+                break;
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        // Direct declarator.
+        let mut direct = match &self.peek().kind {
+            TokenKind::Ident(n) => {
+                let name = n.clone();
+                let span = self.peek().span;
+                self.pos += 1;
+                Declarator { name: Some(name), derived: Vec::new(), span }
+            }
+            TokenKind::Punct(Punct::LParen)
+                if self.is_paren_declarator(allow_abstract) =>
+            {
+                self.pos += 1;
+                let inner = self.parse_declarator(allow_abstract)?;
+                self.expect_punct(Punct::RParen)?;
+                inner
+            }
+            _ if allow_abstract => Declarator::abstract_empty(self.peek().span),
+            other => {
+                return Err(self.err(format!("expected declarator, found `{other}`")));
+            }
+        };
+
+        // Postfix suffixes.
+        let mut suffixes: Vec<Derived> = Vec::new();
+        loop {
+            if self.at_punct(Punct::LBracket) {
+                self.pos += 1;
+                let size = if self.at_punct(Punct::RBracket) {
+                    None
+                } else {
+                    Some(Box::new(self.parse_assignment_expr()?))
+                };
+                self.expect_punct(Punct::RBracket)?;
+                suffixes.push(Derived::Array(size));
+            } else if self.at_punct(Punct::LParen) {
+                self.pos += 1;
+                let (params, variadic) = self.parse_param_list()?;
+                self.expect_punct(Punct::RParen)?;
+                // Optional globals list after the parameter list:
+                // `int f(void) /*@globals gname, undef cache@*/`.
+                let globals = self.parse_globals_list()?;
+                suffixes.push(Derived::Function { params, variadic, globals });
+            } else {
+                break;
+            }
+        }
+
+        // Reading order: direct's own parts, then suffixes, then pointers
+        // (nearest the name = outermost = first among the pointers).
+        let mut derived = std::mem::take(&mut direct.derived);
+        derived.extend(suffixes);
+        pointers.reverse();
+        derived.extend(pointers);
+        let end = self.toks[self.pos.saturating_sub(1)].span;
+        Ok(Declarator { name: direct.name, derived, span: start.to(end) })
+    }
+
+    /// Decides whether `(` begins a parenthesized declarator (vs a function
+    /// parameter list of an anonymous function declarator).
+    fn is_paren_declarator(&self, allow_abstract: bool) -> bool {
+        // `(*` or `(ident-that-is-not-a-type` → parenthesized declarator.
+        let t1 = &self.peek_at(1).kind;
+        match t1 {
+            TokenKind::Punct(Punct::Star) => true,
+            TokenKind::Ident(n) => !self.typedefs.contains(n) || !allow_abstract,
+            TokenKind::Annot(_) => true,
+            _ => false,
+        }
+    }
+
+    /// Parses a `/*@globals ...@*/` list if present at the cursor.
+    fn parse_globals_list(&mut self) -> Result<Option<Vec<GlobalSpec>>> {
+        let words = match &self.peek().kind {
+            TokenKind::Annot(words) if words.first().map(String::as_str) == Some("globals") => {
+                words.clone()
+            }
+            _ => return Ok(None),
+        };
+        let span = self.peek().span;
+        self.pos += 1;
+        let mut globals = Vec::new();
+        let mut undef_next = false;
+        for w in &words[1..] {
+            let w = w.trim_end_matches(',');
+            if w.is_empty() {
+                continue;
+            }
+            if w == "undef" {
+                undef_next = true;
+                continue;
+            }
+            if !w.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(SyntaxError::new(
+                    format!("malformed globals list entry `{w}`"),
+                    span,
+                ));
+            }
+            globals.push(GlobalSpec { name: w.to_owned(), undef: undef_next });
+            undef_next = false;
+        }
+        Ok(Some(globals))
+    }
+
+    fn parse_param_list(&mut self) -> Result<(Vec<ParamDecl>, bool)> {
+        let mut params = Vec::new();
+        let mut variadic = false;
+        if self.at_punct(Punct::RParen) {
+            return Ok((params, variadic));
+        }
+        loop {
+            if self.at_punct(Punct::Ellipsis) {
+                self.pos += 1;
+                variadic = true;
+                break;
+            }
+            let start = self.peek().span;
+            let specs = self.parse_decl_specs()?;
+            let declarator = self.parse_declarator(true)?;
+            let end = self.toks[self.pos.saturating_sub(1)].span;
+            params.push(ParamDecl { specs, declarator, span: start.to(end) });
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        // `f(void)` → empty parameter list.
+        if params.len() == 1 && params[0].is_void_marker() {
+            params.clear();
+        }
+        Ok((params, variadic))
+    }
+
+    fn parse_initializer(&mut self) -> Result<Initializer> {
+        if self.at_punct(Punct::LBrace) {
+            self.pos += 1;
+            let mut items = Vec::new();
+            while !self.at_punct(Punct::RBrace) {
+                items.push(self.parse_initializer()?);
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RBrace)?;
+            Ok(Initializer::List(items))
+        } else {
+            Ok(Initializer::Expr(self.parse_assignment_expr()?))
+        }
+    }
+
+    fn parse_local_declaration(&mut self) -> Result<Declaration> {
+        let start = self.peek().span;
+        let specs = self.parse_decl_specs()?;
+        let mut declarators = Vec::new();
+        if !self.at_punct(Punct::Semi) {
+            loop {
+                let d = self.parse_declarator(false)?;
+                let init =
+                    if self.eat_punct(Punct::Eq) { Some(self.parse_initializer()?) } else { None };
+                self.register_typedef(&specs, &d);
+                declarators.push(InitDeclarator { declarator: d, init });
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        let end = self.expect_punct(Punct::Semi)?;
+        Ok(Declaration { specs, declarators, span: start.to(end) })
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn parse_compound(&mut self) -> Result<Stmt> {
+        let start = self.expect_punct(Punct::LBrace)?;
+        let mut items = Vec::new();
+        while !self.at_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return Err(self.err("unterminated block"));
+            }
+            if self.at_decl_start() && !self.at_label() {
+                items.push(BlockItem::Decl(self.parse_local_declaration()?));
+            } else {
+                items.push(BlockItem::Stmt(self.parse_stmt()?));
+            }
+        }
+        let end = self.expect_punct(Punct::RBrace)?;
+        Ok(Stmt { kind: StmtKind::Compound(items), span: start.to(end) })
+    }
+
+    /// True when the next two tokens are `ident :` (a label, which could
+    /// otherwise look like a typedef-name declaration).
+    fn at_label(&self) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(_))
+            && self.peek_at(1).kind.is_punct(Punct::Colon)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        let start = self.peek().span;
+        match self.peek().kind.clone() {
+            TokenKind::Punct(Punct::LBrace) => self.parse_compound(),
+            TokenKind::Punct(Punct::Semi) => {
+                self.pos += 1;
+                Ok(Stmt { kind: StmtKind::Empty, span: start })
+            }
+            TokenKind::Kw(Kw::If) => {
+                self.pos += 1;
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let then_branch = Box::new(self.parse_stmt()?);
+                let else_branch = if self.eat_kw(Kw::Else) {
+                    Some(Box::new(self.parse_stmt()?))
+                } else {
+                    None
+                };
+                let end = else_branch.as_ref().map(|s| s.span).unwrap_or(then_branch.span);
+                Ok(Stmt {
+                    kind: StmtKind::If { cond, then_branch, else_branch },
+                    span: start.to(end),
+                })
+            }
+            TokenKind::Kw(Kw::While) => {
+                self.pos += 1;
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = Box::new(self.parse_stmt()?);
+                let end = body.span;
+                Ok(Stmt { kind: StmtKind::While { cond, body }, span: start.to(end) })
+            }
+            TokenKind::Kw(Kw::Do) => {
+                self.pos += 1;
+                let body = Box::new(self.parse_stmt()?);
+                if !self.eat_kw(Kw::While) {
+                    return Err(self.err("expected `while` after do-body"));
+                }
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let end = self.expect_punct(Punct::Semi)?;
+                Ok(Stmt { kind: StmtKind::DoWhile { body, cond }, span: start.to(end) })
+            }
+            TokenKind::Kw(Kw::For) => {
+                self.pos += 1;
+                self.expect_punct(Punct::LParen)?;
+                let init = if self.at_punct(Punct::Semi) {
+                    self.pos += 1;
+                    None
+                } else if self.at_decl_start() {
+                    Some(ForInit::Decl(self.parse_local_declaration()?))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_punct(Punct::Semi)?;
+                    Some(ForInit::Expr(e))
+                };
+                let cond = if self.at_punct(Punct::Semi) { None } else { Some(self.parse_expr()?) };
+                self.expect_punct(Punct::Semi)?;
+                let step =
+                    if self.at_punct(Punct::RParen) { None } else { Some(self.parse_expr()?) };
+                self.expect_punct(Punct::RParen)?;
+                let body = Box::new(self.parse_stmt()?);
+                let end = body.span;
+                Ok(Stmt { kind: StmtKind::For { init, cond, step, body }, span: start.to(end) })
+            }
+            TokenKind::Kw(Kw::Switch) => {
+                self.pos += 1;
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = Box::new(self.parse_stmt()?);
+                let end = body.span;
+                Ok(Stmt { kind: StmtKind::Switch { cond, body }, span: start.to(end) })
+            }
+            TokenKind::Kw(Kw::Case) => {
+                self.pos += 1;
+                let value = self.parse_cond_expr()?;
+                self.expect_punct(Punct::Colon)?;
+                let stmt = Box::new(self.parse_stmt()?);
+                let end = stmt.span;
+                Ok(Stmt { kind: StmtKind::Case { value, stmt }, span: start.to(end) })
+            }
+            TokenKind::Kw(Kw::Default) => {
+                self.pos += 1;
+                self.expect_punct(Punct::Colon)?;
+                let stmt = Box::new(self.parse_stmt()?);
+                let end = stmt.span;
+                Ok(Stmt { kind: StmtKind::Default(stmt), span: start.to(end) })
+            }
+            TokenKind::Kw(Kw::Break) => {
+                self.pos += 1;
+                let end = self.expect_punct(Punct::Semi)?;
+                Ok(Stmt { kind: StmtKind::Break, span: start.to(end) })
+            }
+            TokenKind::Kw(Kw::Continue) => {
+                self.pos += 1;
+                let end = self.expect_punct(Punct::Semi)?;
+                Ok(Stmt { kind: StmtKind::Continue, span: start.to(end) })
+            }
+            TokenKind::Kw(Kw::Return) => {
+                self.pos += 1;
+                let value = if self.at_punct(Punct::Semi) { None } else { Some(self.parse_expr()?) };
+                let end = self.expect_punct(Punct::Semi)?;
+                Ok(Stmt { kind: StmtKind::Return(value), span: start.to(end) })
+            }
+            TokenKind::Kw(Kw::Goto) => {
+                self.pos += 1;
+                let (name, _) = self.expect_ident()?;
+                let end = self.expect_punct(Punct::Semi)?;
+                Ok(Stmt { kind: StmtKind::Goto(name), span: start.to(end) })
+            }
+            TokenKind::Ident(name) if self.at_label() => {
+                self.pos += 2; // ident, colon
+                let stmt = Box::new(self.parse_stmt()?);
+                let end = stmt.span;
+                Ok(Stmt { kind: StmtKind::Label { name, stmt }, span: start.to(end) })
+            }
+            _ => {
+                let e = self.parse_expr()?;
+                let end = self.expect_punct(Punct::Semi)?;
+                Ok(Stmt { kind: StmtKind::Expr(e), span: start.to(end) })
+            }
+        }
+    }
+
+    // -- expressions ---------------------------------------------------------
+
+    /// Parses a full expression (including the comma operator).
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        let mut e = self.parse_assignment_expr()?;
+        while self.at_punct(Punct::Comma) {
+            self.pos += 1;
+            let rhs = self.parse_assignment_expr()?;
+            let span = e.span.to(rhs.span);
+            e = Expr::new(ExprKind::Comma(Box::new(e), Box::new(rhs)), span);
+        }
+        Ok(e)
+    }
+
+    fn parse_assignment_expr(&mut self) -> Result<Expr> {
+        let lhs = self.parse_cond_expr()?;
+        let op = match &self.peek().kind {
+            TokenKind::Punct(Punct::Eq) => Some(AssignOp::Assign),
+            TokenKind::Punct(Punct::PlusEq) => Some(AssignOp::Add),
+            TokenKind::Punct(Punct::MinusEq) => Some(AssignOp::Sub),
+            TokenKind::Punct(Punct::StarEq) => Some(AssignOp::Mul),
+            TokenKind::Punct(Punct::SlashEq) => Some(AssignOp::Div),
+            TokenKind::Punct(Punct::PercentEq) => Some(AssignOp::Rem),
+            TokenKind::Punct(Punct::ShlEq) => Some(AssignOp::Shl),
+            TokenKind::Punct(Punct::ShrEq) => Some(AssignOp::Shr),
+            TokenKind::Punct(Punct::AmpEq) => Some(AssignOp::And),
+            TokenKind::Punct(Punct::CaretEq) => Some(AssignOp::Xor),
+            TokenKind::Punct(Punct::PipeEq) => Some(AssignOp::Or),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.parse_assignment_expr()?;
+            let span = lhs.span.to(rhs.span);
+            return Ok(Expr::new(ExprKind::Assign(op, Box::new(lhs), Box::new(rhs)), span));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cond_expr(&mut self) -> Result<Expr> {
+        let cond = self.parse_binary_expr(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then_e = self.parse_expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let else_e = self.parse_cond_expr()?;
+            let span = cond.span.to(else_e.span);
+            return Ok(Expr::new(
+                ExprKind::Cond(Box::new(cond), Box::new(then_e), Box::new(else_e)),
+                span,
+            ));
+        }
+        Ok(cond)
+    }
+
+    fn binop_at(&self) -> Option<(BinOp, u8)> {
+        let p = match &self.peek().kind {
+            TokenKind::Punct(p) => *p,
+            _ => return None,
+        };
+        Some(match p {
+            Punct::PipePipe => (BinOp::LogOr, 1),
+            Punct::AmpAmp => (BinOp::LogAnd, 2),
+            Punct::Pipe => (BinOp::BitOr, 3),
+            Punct::Caret => (BinOp::BitXor, 4),
+            Punct::Amp => (BinOp::BitAnd, 5),
+            Punct::EqEq => (BinOp::Eq, 6),
+            Punct::Ne => (BinOp::Ne, 6),
+            Punct::Lt => (BinOp::Lt, 7),
+            Punct::Gt => (BinOp::Gt, 7),
+            Punct::Le => (BinOp::Le, 7),
+            Punct::Ge => (BinOp::Ge, 7),
+            Punct::Shl => (BinOp::Shl, 8),
+            Punct::Shr => (BinOp::Shr, 8),
+            Punct::Plus => (BinOp::Add, 9),
+            Punct::Minus => (BinOp::Sub, 9),
+            Punct::Star => (BinOp::Mul, 10),
+            Punct::Slash => (BinOp::Div, 10),
+            Punct::Percent => (BinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn parse_binary_expr(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.parse_cast_expr()?;
+        while let Some((op, prec)) = self.binop_at() {
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.parse_binary_expr(prec + 1)?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cast_expr(&mut self) -> Result<Expr> {
+        if self.at_punct(Punct::LParen) && self.at_type_start(1) {
+            let start = self.peek().span;
+            self.pos += 1;
+            let tn = self.parse_type_name()?;
+            self.expect_punct(Punct::RParen)?;
+            let inner = self.parse_cast_expr()?;
+            let span = start.to(inner.span);
+            return Ok(Expr::new(ExprKind::Cast(tn, Box::new(inner)), span));
+        }
+        self.parse_unary_expr()
+    }
+
+    /// Parses a type name (cast / sizeof operand).
+    pub fn parse_type_name(&mut self) -> Result<TypeName> {
+        let start = self.peek().span;
+        let specs = self.parse_decl_specs()?;
+        let declarator = self.parse_declarator(true)?;
+        let end = self.toks[self.pos.saturating_sub(1)].span;
+        Ok(TypeName { specs, declarator, span: start.to(end) })
+    }
+
+    fn parse_unary_expr(&mut self) -> Result<Expr> {
+        let start = self.peek().span;
+        match &self.peek().kind {
+            TokenKind::Punct(Punct::PlusPlus) => {
+                self.pos += 1;
+                let e = self.parse_unary_expr()?;
+                let span = start.to(e.span);
+                Ok(Expr::new(ExprKind::PreIncDec(IncDec::Inc, Box::new(e)), span))
+            }
+            TokenKind::Punct(Punct::MinusMinus) => {
+                self.pos += 1;
+                let e = self.parse_unary_expr()?;
+                let span = start.to(e.span);
+                Ok(Expr::new(ExprKind::PreIncDec(IncDec::Dec, Box::new(e)), span))
+            }
+            TokenKind::Punct(p) => {
+                let op = match p {
+                    Punct::Minus => Some(UnOp::Neg),
+                    Punct::Plus => Some(UnOp::Plus),
+                    Punct::Bang => Some(UnOp::Not),
+                    Punct::Tilde => Some(UnOp::BitNot),
+                    Punct::Star => Some(UnOp::Deref),
+                    Punct::Amp => Some(UnOp::Addr),
+                    _ => None,
+                };
+                match op {
+                    Some(op) => {
+                        self.pos += 1;
+                        let e = self.parse_cast_expr()?;
+                        let span = start.to(e.span);
+                        Ok(Expr::new(ExprKind::Unary(op, Box::new(e)), span))
+                    }
+                    None => self.parse_postfix_expr(),
+                }
+            }
+            TokenKind::Kw(Kw::Sizeof) => {
+                self.pos += 1;
+                if self.at_punct(Punct::LParen) && self.at_type_start(1) {
+                    self.pos += 1;
+                    let tn = self.parse_type_name()?;
+                    let end = self.expect_punct(Punct::RParen)?;
+                    Ok(Expr::new(ExprKind::SizeofType(tn), start.to(end)))
+                } else {
+                    let e = self.parse_unary_expr()?;
+                    let span = start.to(e.span);
+                    Ok(Expr::new(ExprKind::SizeofExpr(Box::new(e)), span))
+                }
+            }
+            _ => self.parse_postfix_expr(),
+        }
+    }
+
+    fn parse_postfix_expr(&mut self) -> Result<Expr> {
+        let mut e = self.parse_primary_expr()?;
+        loop {
+            let start = e.span;
+            match &self.peek().kind {
+                TokenKind::Punct(Punct::LParen) => {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !self.at_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.parse_assignment_expr()?);
+                            if !self.eat_punct(Punct::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect_punct(Punct::RParen)?;
+                    e = Expr::new(ExprKind::Call(Box::new(e), args), start.to(end));
+                }
+                TokenKind::Punct(Punct::LBracket) => {
+                    self.pos += 1;
+                    let idx = self.parse_expr()?;
+                    let end = self.expect_punct(Punct::RBracket)?;
+                    e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), start.to(end));
+                }
+                TokenKind::Punct(Punct::Dot) => {
+                    self.pos += 1;
+                    let (field, fspan) = self.expect_ident()?;
+                    e = Expr::new(
+                        ExprKind::Member { base: Box::new(e), field, arrow: false },
+                        start.to(fspan),
+                    );
+                }
+                TokenKind::Punct(Punct::Arrow) => {
+                    self.pos += 1;
+                    let (field, fspan) = self.expect_ident()?;
+                    e = Expr::new(
+                        ExprKind::Member { base: Box::new(e), field, arrow: true },
+                        start.to(fspan),
+                    );
+                }
+                TokenKind::Punct(Punct::PlusPlus) => {
+                    let end = self.bump().span;
+                    e = Expr::new(ExprKind::PostIncDec(IncDec::Inc, Box::new(e)), start.to(end));
+                }
+                TokenKind::Punct(Punct::MinusMinus) => {
+                    let end = self.bump().span;
+                    e = Expr::new(ExprKind::PostIncDec(IncDec::Dec, Box::new(e)), start.to(end));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary_expr(&mut self) -> Result<Expr> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Ident(name) => {
+                self.pos += 1;
+                Ok(Expr::new(ExprKind::Ident(name), t.span))
+            }
+            TokenKind::Int(v) => {
+                self.pos += 1;
+                Ok(Expr::new(ExprKind::IntLit(v), t.span))
+            }
+            TokenKind::Float(v) => {
+                self.pos += 1;
+                Ok(Expr::new(ExprKind::FloatLit(v), t.span))
+            }
+            TokenKind::Char(v) => {
+                self.pos += 1;
+                Ok(Expr::new(ExprKind::CharLit(v), t.span))
+            }
+            TokenKind::Str(s) => {
+                self.pos += 1;
+                // Adjacent string literals concatenate.
+                let mut full = s;
+                let mut span = t.span;
+                while let TokenKind::Str(next) = &self.peek().kind {
+                    full.push_str(next);
+                    span = span.to(self.peek().span);
+                    self.pos += 1;
+                }
+                Ok(Expr::new(ExprKind::StrLit(full), span))
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                let end = self.expect_punct(Punct::RParen)?;
+                Ok(Expr::new(e.kind, t.span.to(end)))
+            }
+            other => Err(self.err(format!("expected expression, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_translation_unit;
+
+    fn parse(src: &str) -> TranslationUnit {
+        parse_translation_unit("t.c", src).map(|(tu, _, _)| tu).unwrap()
+    }
+
+    fn parse_err(src: &str) -> SyntaxError {
+        parse_translation_unit("t.c", src).unwrap_err()
+    }
+
+    #[test]
+    fn simple_global() {
+        let tu = parse("int x;");
+        assert_eq!(tu.items.len(), 1);
+        match &tu.items[0] {
+            Item::Decl(d) => {
+                assert_eq!(d.declarators[0].declarator.name.as_deref(), Some("x"));
+                assert_eq!(d.specs.ty, TypeSpec::Int { signed: true, size: IntSize::Int });
+            }
+            _ => panic!("expected decl"),
+        }
+    }
+
+    #[test]
+    fn multi_word_types() {
+        let tu = parse("unsigned long a; short int b; signed char c; long double d; unsigned u;");
+        let tys: Vec<_> = tu
+            .items
+            .iter()
+            .map(|i| match i {
+                Item::Decl(d) => d.specs.ty.clone(),
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(tys[0], TypeSpec::Int { signed: false, size: IntSize::Long });
+        assert_eq!(tys[1], TypeSpec::Int { signed: true, size: IntSize::Short });
+        assert_eq!(tys[2], TypeSpec::Char { signed: Some(true) });
+        assert_eq!(tys[3], TypeSpec::Double);
+        assert_eq!(tys[4], TypeSpec::Int { signed: false, size: IntSize::Int });
+    }
+
+    #[test]
+    fn pointer_declarators() {
+        let tu = parse("char **p; char *a[3]; char (*pa)[10]; int (*fp)(int, char *);");
+        let get = |i: usize| match &tu.items[i] {
+            Item::Decl(d) => d.declarators[0].declarator.clone(),
+            _ => panic!(),
+        };
+        let p = get(0);
+        assert_eq!(p.derived.len(), 2);
+        assert!(matches!(p.derived[0], Derived::Pointer { .. }));
+        let a = get(1);
+        assert!(matches!(a.derived[0], Derived::Array(_)));
+        assert!(matches!(a.derived[1], Derived::Pointer { .. }));
+        let pa = get(2);
+        assert!(matches!(pa.derived[0], Derived::Pointer { .. }));
+        assert!(matches!(pa.derived[1], Derived::Array(_)));
+        let fp = get(3);
+        assert!(matches!(fp.derived[0], Derived::Pointer { .. }));
+        assert!(matches!(fp.derived[1], Derived::Function { .. }));
+    }
+
+    #[test]
+    fn function_definition() {
+        let tu = parse("int add(int a, int b) { return a + b; }");
+        match &tu.items[0] {
+            Item::Function(f) => {
+                assert_eq!(f.name(), "add");
+                let (params, variadic) = f.declarator.function_params().unwrap();
+                assert_eq!(params.len(), 2);
+                assert!(!variadic);
+                assert_eq!(params[0].name(), Some("a"));
+            }
+            _ => panic!("expected function"),
+        }
+    }
+
+    #[test]
+    fn void_param_list() {
+        let tu = parse("int f(void) { return 0; }");
+        match &tu.items[0] {
+            Item::Function(f) => {
+                let (params, _) = f.declarator.function_params().unwrap();
+                assert!(params.is_empty());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn variadic_prototype() {
+        let tu = parse("extern int printf(char *fmt, ...);");
+        match &tu.items[0] {
+            Item::Decl(d) => {
+                let (_, variadic) =
+                    d.declarators[0].declarator.function_params().unwrap();
+                assert!(variadic);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn annotations_on_params_and_specs() {
+        let tu = parse("void setName(/*@null@*/ char *pname) { }");
+        match &tu.items[0] {
+            Item::Function(f) => {
+                let (params, _) = f.declarator.function_params().unwrap();
+                assert_eq!(
+                    params[0].specs.annots.null(),
+                    Some(crate::annot::NullAnnot::Null)
+                );
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn malloc_signature() {
+        let tu = parse("/*@null@*/ /*@out@*/ /*@only@*/ void *malloc(size_t size);");
+        match &tu.items[0] {
+            Item::Decl(d) => {
+                let a = &d.specs.annots;
+                assert!(a.null().is_some());
+                assert!(a.def().is_some());
+                assert!(a.alloc().is_some());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn combined_annotation_comment() {
+        let tu = parse("/*@null out only@*/ void *malloc(size_t size);");
+        match &tu.items[0] {
+            Item::Decl(d) => assert_eq!(d.specs.annots.len(), 3),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn typedef_and_cast() {
+        let tu = parse(
+            "typedef struct _list { int v; struct _list *next; } *list;\n\
+             void f(void) { list l; l = (list) 0; }",
+        );
+        assert_eq!(tu.items.len(), 2);
+        // The cast must have parsed as a cast, not a call.
+        match &tu.items[1] {
+            Item::Function(f) => {
+                let body = match &f.body.kind {
+                    StmtKind::Compound(items) => items,
+                    _ => panic!(),
+                };
+                match &body[1] {
+                    BlockItem::Stmt(s) => match &s.kind {
+                        StmtKind::Expr(e) => match &e.kind {
+                            ExprKind::Assign(_, _, rhs) => {
+                                assert!(matches!(rhs.kind, ExprKind::Cast(_, _)));
+                            }
+                            _ => panic!("expected assign"),
+                        },
+                        _ => panic!(),
+                    },
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn paper_figure5_parses() {
+        let src = r#"
+typedef /*@null@*/ struct _list
+{
+  /*@only@*/ char *this;
+  /*@null@*/ /*@only@*/ struct _list *next;
+} *list;
+
+extern /*@out@*/ /*@only@*/ void *smalloc(size_t);
+
+void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
+{
+  if (l != NULL)
+  {
+    while (l->next != NULL)
+    {
+      l = l->next;
+    }
+    l->next = (list) smalloc(sizeof(*l->next));
+    l->next->this = e;
+  }
+}
+"#;
+        let tu = parse(src);
+        assert_eq!(tu.items.len(), 3);
+        match &tu.items[2] {
+            Item::Function(f) => assert_eq!(f.name(), "list_addh"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn struct_fields_with_annotations() {
+        let tu = parse(
+            "typedef struct { /*@null@*/ int *vals; int size; } *erc;",
+        );
+        match &tu.items[0] {
+            Item::Decl(d) => match &d.specs.ty {
+                TypeSpec::Struct(s) => {
+                    let fields = s.fields.as_ref().unwrap();
+                    assert_eq!(fields.len(), 2);
+                    assert!(fields[0].specs.annots.null().is_some());
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn expressions_precedence() {
+        let tu = parse("int x = 1 + 2 * 3 == 7 && 4 < 5;");
+        match &tu.items[0] {
+            Item::Decl(d) => {
+                let init = d.declarators[0].init.as_ref().unwrap();
+                match init {
+                    Initializer::Expr(e) => match &e.kind {
+                        ExprKind::Binary(BinOp::LogAnd, l, _) => {
+                            assert!(matches!(l.kind, ExprKind::Binary(BinOp::Eq, _, _)));
+                        }
+                        other => panic!("unexpected: {other:?}"),
+                    },
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn statements_parse() {
+        parse(
+            "void f(int n) {\n\
+               int i;\n\
+               for (i = 0; i < n; i++) { if (i == 2) continue; else break; }\n\
+               while (n > 0) { n--; }\n\
+               do { n++; } while (n < 10);\n\
+               switch (n) { case 1: n = 2; break; default: n = 3; }\n\
+               lab: n = 4;\n\
+               goto lab;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn sizeof_forms() {
+        parse("void f(void) { int a; int b; a = sizeof(int); b = sizeof a; a = sizeof(*&b); }");
+    }
+
+    #[test]
+    fn ternary_and_comma() {
+        parse("int g(int a, int b) { return a ? b : (a, b); }");
+    }
+
+    #[test]
+    fn string_concatenation() {
+        let tu = parse("char *s = \"ab\" \"cd\";");
+        match &tu.items[0] {
+            Item::Decl(d) => match d.declarators[0].init.as_ref().unwrap() {
+                Initializer::Expr(e) => {
+                    assert_eq!(e.kind, ExprKind::StrLit("abcd".into()));
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn enum_declaration() {
+        let tu = parse("enum color { RED, GREEN = 5, BLUE };");
+        match &tu.items[0] {
+            Item::Decl(d) => match &d.specs.ty {
+                TypeSpec::Enum(e) => {
+                    let vs = e.variants.as_ref().unwrap();
+                    assert_eq!(vs.len(), 3);
+                    assert_eq!(vs[1].0, "GREEN");
+                    assert!(vs[1].1.is_some());
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn initializer_lists() {
+        parse("int a[3] = {1, 2, 3}; struct p { int x; int y; }; struct p q = { 1, 2 };");
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = parse_err("int x");
+        assert!(e.message.contains("expected"));
+        let e = parse_err("int 3;");
+        assert!(e.message.contains("declarator"));
+        let e = parse_err("void f(void) { return }");
+        assert!(e.message.contains("expression"));
+    }
+
+    #[test]
+    fn incompatible_annotations_rejected() {
+        let e = parse_err("/*@only@*/ /*@temp@*/ char *p;");
+        assert!(e.message.contains("incompatible"));
+    }
+
+    #[test]
+    fn unknown_annotation_rejected() {
+        let e = parse_err("/*@bogus@*/ char *p;");
+        assert!(e.message.contains("unknown annotation"));
+    }
+
+    #[test]
+    fn multiple_declarators() {
+        let tu = parse("int a, *b, c[4];");
+        match &tu.items[0] {
+            Item::Decl(d) => assert_eq!(d.declarators.len(), 3),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn static_function() {
+        let tu = parse("static int helper(void) { return 1; }");
+        match &tu.items[0] {
+            Item::Function(f) => assert_eq!(f.specs.storage, Some(StorageClass::Static)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn annotated_pointer_levels() {
+        // Annotation between stars applies to that pointer level.
+        let tu = parse("char * /*@null@*/ * p;");
+        match &tu.items[0] {
+            Item::Decl(d) => {
+                let dcl = &d.declarators[0].declarator;
+                assert_eq!(dcl.derived.len(), 2);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn cast_with_annotations() {
+        parse("void f(void) { char *p; p = (/*@only@*/ char *) 0; }");
+    }
+
+    #[test]
+    fn function_returning_pointer() {
+        let tu = parse("char *dup(const char *s);");
+        match &tu.items[0] {
+            Item::Decl(d) => {
+                let dcl = &d.declarators[0].declarator;
+                assert!(matches!(dcl.derived[0], Derived::Function { .. }));
+                assert!(matches!(dcl.derived[1], Derived::Pointer { .. }));
+            }
+            _ => panic!(),
+        }
+    }
+}

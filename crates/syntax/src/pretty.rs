@@ -1,0 +1,624 @@
+//! Pretty-printing of ASTs back to compilable C source.
+//!
+//! Used by the corpus generator (programs are built as ASTs and emitted as
+//! text) and by round-trip property tests (`parse(print(ast)) == ast` up to
+//! spans).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Pretty-prints a translation unit to C source.
+pub fn pretty_print(tu: &TranslationUnit) -> String {
+    let mut p = Printer::new();
+    for item in &tu.items {
+        p.item(item);
+        p.out.push('\n');
+    }
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer { out: String::new(), indent: 0 }
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn item(&mut self, item: &Item) {
+        match item {
+            Item::Function(f) => {
+                self.specs(&f.specs);
+                self.out.push(' ');
+                self.declarator(&f.declarator);
+                self.out.push('\n');
+                self.stmt(&f.body);
+            }
+            Item::Decl(d) => self.declaration(d),
+        }
+    }
+
+    fn declaration(&mut self, d: &Declaration) {
+        self.pad();
+        self.specs(&d.specs);
+        let mut first = true;
+        for id in &d.declarators {
+            if first {
+                self.out.push(' ');
+            } else {
+                self.out.push_str(", ");
+            }
+            first = false;
+            self.declarator(&id.declarator);
+            if let Some(init) = &id.init {
+                self.out.push_str(" = ");
+                self.initializer(init);
+            }
+        }
+        self.out.push_str(";\n");
+    }
+
+    fn specs(&mut self, s: &DeclSpecs) {
+        if let Some(sc) = s.storage {
+            self.out.push_str(sc.as_str());
+            self.out.push(' ');
+        }
+        if !s.annots.is_empty() {
+            let _ = write!(self.out, "{} ", s.annots);
+        }
+        if s.is_const {
+            self.out.push_str("const ");
+        }
+        if s.is_volatile {
+            self.out.push_str("volatile ");
+        }
+        self.type_spec(&s.ty);
+    }
+
+    fn type_spec(&mut self, t: &TypeSpec) {
+        match t {
+            TypeSpec::Void => self.out.push_str("void"),
+            TypeSpec::Char { signed } => {
+                match signed {
+                    Some(true) => self.out.push_str("signed "),
+                    Some(false) => self.out.push_str("unsigned "),
+                    None => {}
+                }
+                self.out.push_str("char");
+            }
+            TypeSpec::Int { signed, size } => {
+                if !*signed {
+                    self.out.push_str("unsigned ");
+                }
+                match size {
+                    IntSize::Short => self.out.push_str("short"),
+                    IntSize::Int => self.out.push_str("int"),
+                    IntSize::Long => self.out.push_str("long"),
+                }
+            }
+            TypeSpec::Float => self.out.push_str("float"),
+            TypeSpec::Double => self.out.push_str("double"),
+            TypeSpec::Named(n) => self.out.push_str(n),
+            TypeSpec::Struct(s) => {
+                self.out.push_str(if s.is_union { "union" } else { "struct" });
+                if let Some(n) = &s.name {
+                    let _ = write!(self.out, " {n}");
+                }
+                if let Some(fields) = &s.fields {
+                    self.out.push_str(" {\n");
+                    self.indent += 1;
+                    for f in fields {
+                        self.pad();
+                        self.specs(&f.specs);
+                        let mut first = true;
+                        for d in &f.declarators {
+                            if first {
+                                self.out.push(' ');
+                            } else {
+                                self.out.push_str(", ");
+                            }
+                            first = false;
+                            self.declarator(d);
+                        }
+                        self.out.push_str(";\n");
+                    }
+                    self.indent -= 1;
+                    self.pad();
+                    self.out.push('}');
+                }
+            }
+            TypeSpec::Enum(e) => {
+                self.out.push_str("enum");
+                if let Some(n) = &e.name {
+                    let _ = write!(self.out, " {n}");
+                }
+                if let Some(vs) = &e.variants {
+                    self.out.push_str(" { ");
+                    let mut first = true;
+                    for (n, v) in vs {
+                        if !first {
+                            self.out.push_str(", ");
+                        }
+                        first = false;
+                        self.out.push_str(n);
+                        if let Some(v) = v {
+                            self.out.push_str(" = ");
+                            self.expr(v);
+                        }
+                    }
+                    self.out.push_str(" }");
+                }
+            }
+        }
+    }
+
+    /// Prints a declarator. `derived` is stored in reading order; printing
+    /// reconstructs C's inside-out syntax, inserting parentheses when a
+    /// pointer is applied before an array/function part.
+    fn declarator(&mut self, d: &Declarator) {
+        let inner = Self::declarator_str(d.name.as_deref(), &d.derived);
+        self.out.push_str(&inner);
+    }
+
+    fn declarator_str(name: Option<&str>, derived: &[Derived]) -> String {
+        // derived[0] binds tightest to the name, so apply parts in order,
+        // wrapping the accumulated string.
+        let mut s = name.unwrap_or("").to_owned();
+        // Track whether the current `s` was most recently wrapped by a
+        // pointer (which binds less tightly than suffixes).
+        let mut last_was_pointer = false;
+        for part in derived.iter() {
+            match part {
+                Derived::Pointer { annots, is_const } => {
+                    let mut prefix = String::from("*");
+                    if !annots.is_empty() {
+                        prefix = format!("{annots} *");
+                    }
+                    if *is_const {
+                        prefix.push_str(" const");
+                    }
+                    s = format!("{prefix}{s}");
+                    last_was_pointer = true;
+                }
+                Derived::Array(sz) => {
+                    if last_was_pointer {
+                        s = format!("({s})");
+                    }
+                    match sz {
+                        Some(e) => {
+                            let mut p = Printer::new();
+                            p.expr(e);
+                            s = format!("{s}[{}]", p.out);
+                        }
+                        None => s = format!("{s}[]"),
+                    }
+                    last_was_pointer = false;
+                }
+                Derived::Function { params, variadic, globals } => {
+                    if last_was_pointer {
+                        s = format!("({s})");
+                    }
+                    let mut ps: Vec<String> = params
+                        .iter()
+                        .map(|p| {
+                            let mut pr = Printer::new();
+                            pr.specs(&p.specs);
+                            let d = Self::declarator_str(
+                                p.declarator.name.as_deref(),
+                                &p.declarator.derived,
+                            );
+                            if d.is_empty() {
+                                pr.out
+                            } else {
+                                format!("{} {d}", pr.out)
+                            }
+                        })
+                        .collect();
+                    if *variadic {
+                        ps.push("...".to_owned());
+                    }
+                    if ps.is_empty() {
+                        ps.push("void".to_owned());
+                    }
+                    s = format!("{s}({})", ps.join(", "));
+                    if let Some(gs) = globals {
+                        let mut words = Vec::new();
+                        for g in gs {
+                            if g.undef {
+                                words.push("undef".to_owned());
+                            }
+                            words.push(g.name.clone());
+                        }
+                        s = format!("{s} /*@globals {}@*/", words.join(" "));
+                    }
+                    last_was_pointer = false;
+                }
+            }
+        }
+        s
+    }
+
+    fn initializer(&mut self, init: &Initializer) {
+        match init {
+            Initializer::Expr(e) => self.expr(e),
+            Initializer::List(items) => {
+                self.out.push_str("{ ");
+                let mut first = true;
+                for it in items {
+                    if !first {
+                        self.out.push_str(", ");
+                    }
+                    first = false;
+                    self.initializer(it);
+                }
+                self.out.push_str(" }");
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Compound(items) => {
+                self.pad();
+                self.out.push_str("{\n");
+                self.indent += 1;
+                for item in items {
+                    match item {
+                        BlockItem::Decl(d) => self.declaration(d),
+                        BlockItem::Stmt(s) => self.stmt(s),
+                    }
+                }
+                self.indent -= 1;
+                self.pad();
+                self.out.push_str("}\n");
+            }
+            StmtKind::Expr(e) => {
+                self.pad();
+                self.expr(e);
+                self.out.push_str(";\n");
+            }
+            StmtKind::Empty => {
+                self.pad();
+                self.out.push_str(";\n");
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                self.pad();
+                self.out.push_str("if (");
+                self.expr(cond);
+                self.out.push_str(")\n");
+                self.nested(then_branch);
+                if let Some(e) = else_branch {
+                    self.pad();
+                    self.out.push_str("else\n");
+                    self.nested(e);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.pad();
+                self.out.push_str("while (");
+                self.expr(cond);
+                self.out.push_str(")\n");
+                self.nested(body);
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.pad();
+                self.out.push_str("do\n");
+                self.nested(body);
+                self.pad();
+                self.out.push_str("while (");
+                self.expr(cond);
+                self.out.push_str(");\n");
+            }
+            StmtKind::For { init, cond, step, body } => {
+                self.pad();
+                self.out.push_str("for (");
+                match init {
+                    Some(ForInit::Expr(e)) => {
+                        self.expr(e);
+                        self.out.push_str("; ");
+                    }
+                    Some(ForInit::Decl(d)) => {
+                        // Inline declaration without trailing newline.
+                        let mut p = Printer::new();
+                        p.declaration(d);
+                        let txt = p.out.trim_end().to_owned();
+                        self.out.push_str(&txt);
+                        self.out.push(' ');
+                    }
+                    None => self.out.push_str("; "),
+                }
+                if let Some(c) = cond {
+                    self.expr(c);
+                }
+                self.out.push_str("; ");
+                if let Some(st) = step {
+                    self.expr(st);
+                }
+                self.out.push_str(")\n");
+                self.nested(body);
+            }
+            StmtKind::Switch { cond, body } => {
+                self.pad();
+                self.out.push_str("switch (");
+                self.expr(cond);
+                self.out.push_str(")\n");
+                self.nested(body);
+            }
+            StmtKind::Case { value, stmt } => {
+                self.pad();
+                self.out.push_str("case ");
+                self.expr(value);
+                self.out.push_str(":\n");
+                self.nested(stmt);
+            }
+            StmtKind::Default(stmt) => {
+                self.pad();
+                self.out.push_str("default:\n");
+                self.nested(stmt);
+            }
+            StmtKind::Break => {
+                self.pad();
+                self.out.push_str("break;\n");
+            }
+            StmtKind::Continue => {
+                self.pad();
+                self.out.push_str("continue;\n");
+            }
+            StmtKind::Return(v) => {
+                self.pad();
+                self.out.push_str("return");
+                if let Some(e) = v {
+                    self.out.push(' ');
+                    self.expr(e);
+                }
+                self.out.push_str(";\n");
+            }
+            StmtKind::Label { name, stmt } => {
+                self.pad();
+                let _ = write!(self.out, "{name}:\n");
+                self.stmt(stmt);
+            }
+            StmtKind::Goto(name) => {
+                self.pad();
+                let _ = write!(self.out, "goto {name};\n");
+            }
+        }
+    }
+
+    fn nested(&mut self, s: &Stmt) {
+        if matches!(s.kind, StmtKind::Compound(_)) {
+            self.stmt(s);
+        } else {
+            self.indent += 1;
+            self.stmt(s);
+            self.indent -= 1;
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Ident(n) => self.out.push_str(n),
+            ExprKind::IntLit(v) => {
+                let _ = write!(self.out, "{v}");
+            }
+            ExprKind::FloatLit(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    let _ = write!(self.out, "{v:.1}");
+                } else {
+                    let _ = write!(self.out, "{v}");
+                }
+            }
+            ExprKind::CharLit(c) => {
+                if let Some(ch) = char::from_u32(*c as u32) {
+                    if *c >= 32 && *c < 127 {
+                        let _ = write!(self.out, "'{}'", ch.escape_default());
+                    } else {
+                        let _ = write!(self.out, "{c}");
+                    }
+                } else {
+                    let _ = write!(self.out, "{c}");
+                }
+            }
+            ExprKind::StrLit(s) => {
+                let _ = write!(self.out, "\"{}\"", s.escape_default());
+            }
+            ExprKind::Unary(op, inner) => {
+                let _ = write!(self.out, "{}", op.as_str());
+                self.paren_expr(inner);
+            }
+            ExprKind::PreIncDec(op, inner) => {
+                let _ = write!(self.out, "{}", op.as_str());
+                self.paren_expr(inner);
+            }
+            ExprKind::PostIncDec(op, inner) => {
+                self.paren_expr(inner);
+                let _ = write!(self.out, "{}", op.as_str());
+            }
+            ExprKind::Binary(op, l, r) => {
+                self.paren_expr(l);
+                let _ = write!(self.out, " {} ", op.as_str());
+                self.paren_expr(r);
+            }
+            ExprKind::Assign(op, l, r) => {
+                self.paren_expr(l);
+                let _ = write!(self.out, " {} ", op.as_str());
+                self.paren_expr(r);
+            }
+            ExprKind::Cond(c, t, f) => {
+                self.paren_expr(c);
+                self.out.push_str(" ? ");
+                self.paren_expr(t);
+                self.out.push_str(" : ");
+                self.paren_expr(f);
+            }
+            ExprKind::Call(f, args) => {
+                self.paren_expr(f);
+                self.out.push('(');
+                let mut first = true;
+                for a in args {
+                    if !first {
+                        self.out.push_str(", ");
+                    }
+                    first = false;
+                    self.expr(a);
+                }
+                self.out.push(')');
+            }
+            ExprKind::Member { base, field, arrow } => {
+                self.paren_expr(base);
+                let _ = write!(self.out, "{}{field}", if *arrow { "->" } else { "." });
+            }
+            ExprKind::Index(b, i) => {
+                self.paren_expr(b);
+                self.out.push('[');
+                self.expr(i);
+                self.out.push(']');
+            }
+            ExprKind::Cast(tn, inner) => {
+                self.out.push('(');
+                self.type_name(tn);
+                self.out.push_str(") ");
+                self.paren_expr(inner);
+            }
+            ExprKind::SizeofExpr(inner) => {
+                self.out.push_str("sizeof(");
+                self.expr(inner);
+                self.out.push(')');
+            }
+            ExprKind::SizeofType(tn) => {
+                self.out.push_str("sizeof(");
+                self.type_name(tn);
+                self.out.push(')');
+            }
+            ExprKind::Comma(l, r) => {
+                self.out.push('(');
+                self.expr(l);
+                self.out.push_str(", ");
+                self.expr(r);
+                self.out.push(')');
+            }
+        }
+    }
+
+    /// Prints a subexpression, adding parentheses for anything that is not
+    /// atomic (conservative but always correct).
+    fn paren_expr(&mut self, e: &Expr) {
+        let atomic = matches!(
+            e.kind,
+            ExprKind::Ident(_)
+                | ExprKind::IntLit(_)
+                | ExprKind::FloatLit(_)
+                | ExprKind::CharLit(_)
+                | ExprKind::StrLit(_)
+                | ExprKind::Call(_, _)
+                | ExprKind::Member { .. }
+                | ExprKind::Index(_, _)
+        );
+        if atomic {
+            self.expr(e);
+        } else {
+            self.out.push('(');
+            self.expr(e);
+            self.out.push(')');
+        }
+    }
+
+    fn type_name(&mut self, tn: &TypeName) {
+        self.specs(&tn.specs);
+        let d = Self::declarator_str(None, &tn.declarator.derived);
+        if !d.is_empty() {
+            self.out.push(' ');
+            self.out.push_str(&d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_translation_unit;
+
+    fn round_trip(src: &str) {
+        let (tu1, _, _) = parse_translation_unit("a.c", src).unwrap();
+        let printed = pretty_print(&tu1);
+        let (tu2, _, _) = parse_translation_unit("a.c", &printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{printed}"));
+        let printed2 = pretty_print(&tu2);
+        assert_eq!(printed, printed2, "print→parse→print not stable for:\n{src}");
+    }
+
+    #[test]
+    fn round_trip_declarations() {
+        round_trip("int x; char *p; unsigned long u[10]; int (*fp)(int, char *);");
+    }
+
+    #[test]
+    fn round_trip_annotations() {
+        round_trip("/*@null@*/ /*@only@*/ char *g;\nextern /*@out only@*/ void *smalloc(size_t);");
+    }
+
+    #[test]
+    fn round_trip_functions() {
+        round_trip(
+            "int f(int a, int b) {\n\
+               int c = a + b * 2;\n\
+               if (c > 0) { return c; } else { return -c; }\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn round_trip_control_flow() {
+        round_trip(
+            "void f(int n) {\n\
+               int i;\n\
+               for (i = 0; i < n; i++) { n--; }\n\
+               while (n) { n--; }\n\
+               do { n++; } while (n < 3);\n\
+               switch (n) { case 1: break; default: n = 2; }\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn round_trip_struct_typedef() {
+        round_trip(
+            "typedef /*@null@*/ struct _list {\n\
+               /*@only@*/ char *this;\n\
+               /*@null@*/ /*@only@*/ struct _list *next;\n\
+             } *list;",
+        );
+    }
+
+    #[test]
+    fn round_trip_expressions() {
+        round_trip(
+            "void f(char **v) {\n\
+               char *p;\n\
+               p = v[0];\n\
+               p = *v;\n\
+               p = (char *) 0;\n\
+               *p = 'x';\n\
+               p++;\n\
+               --p;\n\
+               p = (1 ? *v : p);\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn printed_annotations_survive() {
+        let (tu, _, _) =
+            parse_translation_unit("a.c", "/*@null@*/ char *g;").unwrap();
+        let s = pretty_print(&tu);
+        assert!(s.contains("/*@null@*/"), "{s}");
+    }
+}

@@ -1,0 +1,265 @@
+//! Source positions, spans and the source map.
+//!
+//! Every token and AST node carries a [`Span`] identifying a byte range in a
+//! file registered with a [`SourceMap`]. Spans survive preprocessing: tokens
+//! produced by macro expansion keep the span of the macro *body* token they
+//! came from (so diagnostics can point at macro definitions, as LCLint's do),
+//! while substituted arguments keep their use-site spans.
+
+use std::fmt;
+
+/// Identifies a file registered in a [`SourceMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// A file id used for synthesized code that belongs to no real file.
+    pub const SYNTHETIC: FileId = FileId(u32::MAX);
+}
+
+/// A byte range within a single source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// File the range lies in.
+    pub file: FileId,
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a new span.
+    pub fn new(file: FileId, start: u32, end: u32) -> Self {
+        Span { file, start, end }
+    }
+
+    /// A span for synthesized constructs with no source location.
+    pub const fn synthetic() -> Self {
+        Span { file: FileId::SYNTHETIC, start: 0, end: 0 }
+    }
+
+    /// Returns true if this span refers to no real source location.
+    pub fn is_synthetic(&self) -> bool {
+        self.file == FileId::SYNTHETIC
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// If the spans are in different files, `self` is returned (this happens
+    /// only across macro-expansion boundaries, where the head position is the
+    /// more useful one).
+    pub fn to(self, other: Span) -> Span {
+        if self.file != other.file {
+            return self;
+        }
+        Span {
+            file: self.file,
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::synthetic()
+    }
+}
+
+/// A human-readable source location: file name, 1-based line and column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Loc {
+    /// Name under which the file was registered (usually its path).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+/// One registered source file.
+#[derive(Debug, Clone)]
+struct SourceFile {
+    name: String,
+    text: String,
+    /// Byte offsets of the start of every line.
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    fn new(name: String, text: String) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile { name, text, line_starts }
+    }
+
+    fn line_col(&self, offset: u32) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let col = offset - self.line_starts[line];
+        (line as u32 + 1, col + 1)
+    }
+}
+
+/// Registry of source files providing span-to-location resolution.
+///
+/// # Examples
+///
+/// ```
+/// use lclint_syntax::{SourceMap, Span};
+///
+/// let mut sm = SourceMap::new();
+/// let file = sm.add_file("sample.c", "int x;\nint y;\n");
+/// let loc = sm.loc(Span::new(file, 7, 10));
+/// assert_eq!(loc.line, 2);
+/// assert_eq!(loc.file, "sample.c");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+}
+
+impl SourceMap {
+    /// Creates an empty source map.
+    pub fn new() -> Self {
+        SourceMap::default()
+    }
+
+    /// Registers a file and returns its id.
+    pub fn add_file(&mut self, name: impl Into<String>, text: impl Into<String>) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(SourceFile::new(name.into(), text.into()));
+        id
+    }
+
+    /// Returns the full text of a file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this map or is synthetic.
+    pub fn text(&self, id: FileId) -> &str {
+        &self.files[id.0 as usize].text
+    }
+
+    /// Returns the registered name of a file.
+    pub fn name(&self, id: FileId) -> &str {
+        &self.files[id.0 as usize].name
+    }
+
+    /// Looks up a file id by registered name.
+    pub fn find(&self, name: &str) -> Option<FileId> {
+        self.files
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FileId(i as u32))
+    }
+
+    /// Resolves the start of a span to a human-readable location.
+    ///
+    /// Synthetic spans resolve to line 0 of a file named `<synthetic>`.
+    pub fn loc(&self, span: Span) -> Loc {
+        if span.is_synthetic() {
+            return Loc { file: "<synthetic>".to_owned(), line: 0, col: 0 };
+        }
+        let f = &self.files[span.file.0 as usize];
+        let (line, col) = f.line_col(span.start);
+        Loc { file: f.name.clone(), line, col }
+    }
+
+    /// Returns the source text covered by a span (empty for synthetic spans).
+    pub fn snippet(&self, span: Span) -> &str {
+        if span.is_synthetic() {
+            return "";
+        }
+        let f = &self.files[span.file.0 as usize];
+        &f.text[span.start as usize..span.end as usize]
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when no files are registered.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_resolution() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("a.c", "abc\ndef\n\nx");
+        assert_eq!(sm.loc(Span::new(f, 0, 1)).line, 1);
+        assert_eq!(sm.loc(Span::new(f, 0, 1)).col, 1);
+        assert_eq!(sm.loc(Span::new(f, 4, 5)).line, 2);
+        assert_eq!(sm.loc(Span::new(f, 8, 8)).line, 3);
+        assert_eq!(sm.loc(Span::new(f, 9, 10)).line, 4);
+    }
+
+    #[test]
+    fn span_merge() {
+        let f = FileId(0);
+        let a = Span::new(f, 2, 5);
+        let b = Span::new(f, 7, 9);
+        assert_eq!(a.to(b), Span::new(f, 2, 9));
+        assert_eq!(b.to(a), Span::new(f, 2, 9));
+    }
+
+    #[test]
+    fn synthetic_span_resolves() {
+        let sm = SourceMap::new();
+        let loc = sm.loc(Span::synthetic());
+        assert_eq!(loc.file, "<synthetic>");
+        assert_eq!(loc.line, 0);
+    }
+
+    #[test]
+    fn snippet_extraction() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("a.c", "hello world");
+        assert_eq!(sm.snippet(Span::new(f, 6, 11)), "world");
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("x.h", "");
+        assert_eq!(sm.find("x.h"), Some(f));
+        assert_eq!(sm.find("y.h"), None);
+    }
+
+    #[test]
+    fn cross_file_merge_keeps_self() {
+        let a = Span::new(FileId(0), 1, 2);
+        let b = Span::new(FileId(1), 5, 9);
+        assert_eq!(a.to(b), a);
+    }
+}

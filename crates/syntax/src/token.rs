@@ -1,0 +1,366 @@
+//! Tokens produced by the lexer and consumed by the preprocessor and parser.
+
+use crate::span::Span;
+use std::fmt;
+
+/// C keywords recognized by the lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants are the keywords themselves
+pub enum Keyword {
+    Auto,
+    Break,
+    Case,
+    Char,
+    Const,
+    Continue,
+    Default,
+    Do,
+    Double,
+    Else,
+    Enum,
+    Extern,
+    Float,
+    For,
+    Goto,
+    If,
+    Int,
+    Long,
+    Register,
+    Return,
+    Short,
+    Signed,
+    Sizeof,
+    Static,
+    Struct,
+    Switch,
+    Typedef,
+    Union,
+    Unsigned,
+    Void,
+    Volatile,
+    While,
+}
+
+impl Keyword {
+    /// Maps an identifier to a keyword, if it is one.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "auto" => Auto,
+            "break" => Break,
+            "case" => Case,
+            "char" => Char,
+            "const" => Const,
+            "continue" => Continue,
+            "default" => Default,
+            "do" => Do,
+            "double" => Double,
+            "else" => Else,
+            "enum" => Enum,
+            "extern" => Extern,
+            "float" => Float,
+            "for" => For,
+            "goto" => Goto,
+            "if" => If,
+            "int" => Int,
+            "long" => Long,
+            "register" => Register,
+            "return" => Return,
+            "short" => Short,
+            "signed" => Signed,
+            "sizeof" => Sizeof,
+            "static" => Static,
+            "struct" => Struct,
+            "switch" => Switch,
+            "typedef" => Typedef,
+            "union" => Union,
+            "unsigned" => Unsigned,
+            "void" => Void,
+            "volatile" => Volatile,
+            "while" => While,
+            _ => return None,
+        })
+    }
+
+    /// The keyword's spelling.
+    pub fn as_str(&self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Auto => "auto",
+            Break => "break",
+            Case => "case",
+            Char => "char",
+            Const => "const",
+            Continue => "continue",
+            Default => "default",
+            Do => "do",
+            Double => "double",
+            Else => "else",
+            Enum => "enum",
+            Extern => "extern",
+            Float => "float",
+            For => "for",
+            Goto => "goto",
+            If => "if",
+            Int => "int",
+            Long => "long",
+            Register => "register",
+            Return => "return",
+            Short => "short",
+            Signed => "signed",
+            Sizeof => "sizeof",
+            Static => "static",
+            Struct => "struct",
+            Switch => "switch",
+            Typedef => "typedef",
+            Union => "union",
+            Unsigned => "unsigned",
+            Void => "void",
+            Volatile => "volatile",
+            While => "while",
+        }
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants name their punctuators
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Ellipsis,
+    PlusPlus,
+    MinusMinus,
+    Amp,
+    Star,
+    Plus,
+    Minus,
+    Tilde,
+    Bang,
+    Slash,
+    Percent,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Caret,
+    Pipe,
+    AmpAmp,
+    PipePipe,
+    Question,
+    Colon,
+    Eq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    PlusEq,
+    MinusEq,
+    ShlEq,
+    ShrEq,
+    AmpEq,
+    CaretEq,
+    PipeEq,
+    Hash,
+    HashHash,
+}
+
+impl Punct {
+    /// The punctuator's spelling.
+    pub fn as_str(&self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Dot => ".",
+            Arrow => "->",
+            Ellipsis => "...",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Amp => "&",
+            Star => "*",
+            Plus => "+",
+            Minus => "-",
+            Tilde => "~",
+            Bang => "!",
+            Slash => "/",
+            Percent => "%",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            Ne => "!=",
+            Caret => "^",
+            Pipe => "|",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            Question => "?",
+            Colon => ":",
+            Eq => "=",
+            StarEq => "*=",
+            SlashEq => "/=",
+            PercentEq => "%=",
+            PlusEq => "+=",
+            MinusEq => "-=",
+            ShlEq => "<<=",
+            ShrEq => ">>=",
+            AmpEq => "&=",
+            CaretEq => "^=",
+            PipeEq => "|=",
+            Hash => "#",
+            HashHash => "##",
+        }
+    }
+}
+
+/// The payload of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier (not a keyword).
+    Ident(String),
+    /// A C keyword.
+    Kw(Keyword),
+    /// Integer literal with its parsed value.
+    Int(i64),
+    /// Floating literal with its parsed value.
+    Float(f64),
+    /// Character literal (value of the character).
+    Char(i64),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// A stylized annotation comment `/*@ ... @*/`.
+    ///
+    /// The payload is the list of whitespace-separated words inside the
+    /// comment, e.g. `["null", "out", "only"]`.
+    Annot(Vec<String>),
+    /// Header name from an `#include <...>` directive (angle form only;
+    /// quoted includes lex as [`TokenKind::Str`]).
+    HeaderName(String),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// True for the given punctuator.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        matches!(self, TokenKind::Punct(q) if *q == p)
+    }
+
+    /// True for the given keyword.
+    pub fn is_kw(&self, k: Keyword) -> bool {
+        matches!(self, TokenKind::Kw(q) if *q == k)
+    }
+
+    /// Identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Kw(k) => write!(f, "{}", k.as_str()),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Char(c) => {
+                if let Some(ch) = char::from_u32(*c as u32) {
+                    write!(f, "'{}'", ch.escape_default())
+                } else {
+                    write!(f, "'\\x{c:x}'")
+                }
+            }
+            TokenKind::Str(s) => write!(f, "\"{}\"", s.escape_default()),
+            TokenKind::Punct(p) => write!(f, "{}", p.as_str()),
+            TokenKind::Annot(words) => write!(f, "/*@{}@*/", words.join(" ")),
+            TokenKind::HeaderName(h) => write!(f, "<{h}>"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A lexed token: payload, source span, and layout facts used by the
+/// preprocessor (directive recognition needs to know about line starts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// Where the token came from.
+    pub span: Span,
+    /// True when this token is the first on its source line.
+    pub first_on_line: bool,
+    /// True when whitespace precedes this token.
+    pub leading_space: bool,
+}
+
+impl Token {
+    /// Creates a token with default layout flags.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span, first_on_line: false, leading_space: true }
+    }
+
+    /// The synthetic end-of-file token.
+    pub fn eof(span: Span) -> Self {
+        Token { kind: TokenKind::Eof, span, first_on_line: true, leading_space: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for s in ["if", "while", "struct", "typedef", "sizeof", "volatile"] {
+            let k = Keyword::from_str(s).unwrap();
+            assert_eq!(k.as_str(), s);
+        }
+        assert!(Keyword::from_str("foo").is_none());
+    }
+
+    #[test]
+    fn display_tokens() {
+        assert_eq!(TokenKind::Punct(Punct::Arrow).to_string(), "->");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "x");
+        assert_eq!(TokenKind::Str("a\nb".into()).to_string(), "\"a\\nb\"");
+        assert_eq!(
+            TokenKind::Annot(vec!["null".into(), "only".into()]).to_string(),
+            "/*@null only@*/"
+        );
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(TokenKind::Punct(Punct::Semi).is_punct(Punct::Semi));
+        assert!(!TokenKind::Punct(Punct::Semi).is_punct(Punct::Comma));
+        assert!(TokenKind::Kw(Keyword::If).is_kw(Keyword::If));
+        assert_eq!(TokenKind::Ident("ab".into()).ident(), Some("ab"));
+        assert_eq!(TokenKind::Int(3).ident(), None);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the syntax layer: the lexer never panics and its
+//! spans are well-formed on arbitrary input; parsing never panics; printing
+//! a parsed program reparses to a fixpoint.
+
+use lclint_syntax::lexer::Lexer;
+use lclint_syntax::span::FileId;
+use lclint_syntax::{parse_translation_unit, pretty_print};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics(src in "\\PC*") {
+        let _ = Lexer::tokenize(&src, FileId(0));
+    }
+
+    #[test]
+    fn lexer_spans_are_well_formed(src in "[a-zA-Z0-9_+\\-*/=<>!&|(){};,\\.\"' \\n\t]*") {
+        if let Ok((toks, _)) = Lexer::tokenize(&src, FileId(0)) {
+            for t in &toks {
+                prop_assert!(t.span.start <= t.span.end);
+                prop_assert!(t.span.end as usize <= src.len());
+            }
+            // Tokens appear in order.
+            for w in toks.windows(2) {
+                prop_assert!(w[0].span.start <= w[1].span.start);
+            }
+        }
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[a-zA-Z0-9_*/=<>(){};,& \\n]*") {
+        let _ = parse_translation_unit("t.c", &src);
+    }
+
+    #[test]
+    fn annotation_comments_always_tokenize(words in prop::collection::vec("[a-z]{1,9}", 1..4)) {
+        let src = format!("/*@{}@*/ int x;", words.join(" "));
+        let (toks, _) = Lexer::tokenize(&src, FileId(0)).expect("lexes");
+        prop_assert!(toks.len() >= 4);
+    }
+}
+
+/// A tiny grammar-directed program generator for round-trip testing.
+fn arb_program() -> impl Strategy<Value = String> {
+    let ty = prop::sample::select(vec!["int", "char", "long", "unsigned int"]);
+    let name = "[a-z][a-z0-9]{0,5}";
+    let expr = prop::sample::select(vec![
+        "1 + 2 * 3",
+        "a",
+        "a + b",
+        "(a < b) && (b != 0)",
+        "-a",
+        "a ? b : 0",
+        "f(a, b)",
+    ]);
+    (ty, name, expr, 0u8..3).prop_map(|(ty, name, expr, stmts)| {
+        let mut body = String::new();
+        for i in 0..stmts {
+            body.push_str(&format!("  int v{i} = {expr};\n"));
+        }
+        format!(
+            "extern int f(int a, int b);\n\
+             {ty} {name};\n\
+             int main_fn(int a, int b)\n{{\n{body}  if (a > b) {{ return a; }}\n  while (b > 0) {{ b = b - 1; }}\n  return {expr};\n}}\n"
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pretty_print_reaches_fixpoint(src in arb_program()) {
+        let (tu1, _, _) = parse_translation_unit("t.c", &src).expect("generated source parses");
+        let once = pretty_print(&tu1);
+        let (tu2, _, _) = parse_translation_unit("t.c", &once)
+            .unwrap_or_else(|e| panic!("printed source must reparse: {e}\n{once}"));
+        let twice = pretty_print(&tu2);
+        prop_assert_eq!(once, twice);
+    }
+}

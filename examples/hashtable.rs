@@ -1,0 +1,43 @@
+//! Domain example: an annotated hash table, checked statically, executed
+//! under the runtime baseline, and a buggy variant caught by the checker.
+//!
+//! ```sh
+//! cargo run --example hashtable
+//! ```
+
+use lclint::{Flags, Linter};
+use lclint_corpus::hashtable::{HASHTABLE, HASHTABLE_BUGGY};
+use lclint_interp::{run_source, Config};
+
+fn main() {
+    let linter = Linter::new(Flags::default());
+
+    println!("== static check of the annotated hash table ==");
+    let r = linter.check_source("table.c", HASHTABLE).expect("parses");
+    print!("{}", r.render());
+    println!(
+        "{} anomalies — the only/out/null/reldef annotations document the module's \
+         memory contract and the checker verifies every function against it.\n",
+        r.diagnostics.len()
+    );
+    assert!(r.is_clean());
+
+    println!("== running it under the instrumented heap ==");
+    let run = run_source("table.c", HASHTABLE, "run", &[5], Config::default()).expect("parses");
+    println!(
+        "run(5) = {:?}, runtime errors: {}, leaked objects: {}\n",
+        run.return_value,
+        run.errors.len(),
+        run.leaked_objects
+    );
+    assert!(run.is_clean());
+
+    println!("== a realistic bug: update drops the old key ==");
+    let r = linter.check_source("table.c", HASHTABLE_BUGGY).expect("parses");
+    print!("{}", r.render());
+    println!(
+        "\nThe checker reports the leak on every path, without running the \
+         program at all — the paper's core claim."
+    );
+    assert!(!r.diagnostics.is_empty());
+}

@@ -1,0 +1,59 @@
+//! E9/E10: checking-time scaling and the annotation/message curve (§7).
+//!
+//! The paper reports that checking is fast and scales roughly linearly: a
+//! representative 5000-line module in under 10 seconds and the full
+//! 100k-line program in under four minutes on 1995 hardware, and that an
+//! unannotated version produced "on the order of a thousand messages".
+//!
+//! ```sh
+//! cargo run --release --example scaling
+//! ```
+
+use lclint::{Flags, Linter};
+use lclint_corpus::generator::{generate, GenConfig};
+use std::time::Instant;
+
+fn main() {
+    let linter = Linter::new(Flags::default());
+
+    println!("Checking time vs program size (fully annotated, zero messages):\n");
+    println!(
+        "{:>9} {:>9} {:>12} {:>14}",
+        "LOC", "modules", "time (ms)", "ms per KLOC"
+    );
+    let mut per_kloc = Vec::new();
+    for target in [1_000usize, 2_000, 5_000, 10_000, 25_000, 50_000, 100_000] {
+        let p = generate(&GenConfig::with_target_loc(target));
+        let start = Instant::now();
+        let result = linter.check_source("gen.c", &p.source).expect("parses");
+        let elapsed = start.elapsed();
+        assert!(result.is_clean(), "{}", result.render());
+        let ms = elapsed.as_secs_f64() * 1000.0;
+        let rate = ms / (p.loc as f64 / 1000.0);
+        per_kloc.push(rate);
+        println!("{:>9} {:>9} {:>12.1} {:>14.2}", p.loc, p.modules, ms, rate);
+    }
+    let min = per_kloc.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_kloc.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\nLinearity: per-KLOC cost stays within {:.1}x across a {}x size range.",
+        max / min,
+        100
+    );
+
+    println!("\nMessages vs annotation level (20k-line program, paper's §7 dynamics):\n");
+    println!("{:>18} {:>10}", "annotation level", "messages");
+    for level in [1.0, 0.75, 0.5, 0.25, 0.0] {
+        let p = generate(&GenConfig {
+            annotation_level: level,
+            ..GenConfig::with_target_loc(20_000)
+        });
+        let result = linter.check_source("gen.c", &p.source).expect("parses");
+        println!("{:>17}% {:>10}", (level * 100.0) as u32, result.diagnostics.len());
+    }
+    println!(
+        "\nThe unannotated end of the curve is the paper's \"on the order of a\n\
+         thousand messages\" for the (100k-line) unannotated program; nearly all\n\
+         disappear as interface annotations are added."
+    );
+}

@@ -1,0 +1,44 @@
+//! Reproduction of "Static Detection of Dynamic Memory Errors"
+//! (David Evans, PLDI 1996): annotation-based compile-time detection of
+//! null-pointer misuse, uses of undefined or dead storage, memory leaks and
+//! dangerous aliasing in C programs.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`lclint_syntax`] — C-subset lexer, preprocessor, parser, annotations;
+//! * [`lclint_sema`] — symbol tables and type representation;
+//! * [`lclint_cfg`] — control-flow graphs under the paper's execution model;
+//! * [`lclint_analysis`] — the memory-error dataflow checker;
+//! * [`lclint_core`] — driver, flags, diagnostics, standard library;
+//! * [`lclint_interp`] — the runtime-checking baseline;
+//! * [`lclint_corpus`] — evaluation corpus (paper figures, the §6 database,
+//!   generators and mutators).
+//!
+//! # Examples
+//!
+//! ```
+//! use lclint::{Flags, Linter};
+//!
+//! let linter = Linter::new(Flags::default());
+//! let result = linter.check_source(
+//!     "sample.c",
+//!     "extern char *gname;\n\
+//!      void setName(/*@null@*/ char *pname) { gname = pname; }\n",
+//! ).unwrap();
+//! assert!(!result.is_clean());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lclint_analysis;
+pub use lclint_cfg;
+pub use lclint_core;
+pub use lclint_corpus;
+pub use lclint_interp;
+pub use lclint_sema;
+pub use lclint_syntax;
+
+pub use lclint_core::{
+    library, render_all, AnalysisOptions, CheckResult, DiagKind, FlagError, Flags, Linter,
+    RenderedDiagnostic, RenderedNote, SuppressionSet, STDLIB_SOURCE,
+};

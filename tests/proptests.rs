@@ -1,0 +1,131 @@
+//! Workspace-level property tests: the full pipeline (generate → check →
+//! run) never panics, fully-annotated generated programs are always clean,
+//! every seeded bug class is always statically detected, and the dynamic
+//! baseline is deterministic.
+
+use lclint::{Flags, Linter};
+use lclint_corpus::generator::{generate, GenConfig};
+use lclint_corpus::mutator::{inject, BugClass};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_programs_always_check_clean(
+        seed in 0u64..1000,
+        modules in 1usize..6,
+        fillers in 0usize..4,
+    ) {
+        let p = generate(&GenConfig {
+            modules,
+            filler_per_module: fillers,
+            annotation_level: 1.0,
+            seed,
+        });
+        let linter = Linter::new(Flags::default());
+        let r = linter.check_source("gen.c", &p.source).expect("parses");
+        prop_assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn stripped_programs_never_panic_and_only_add_messages(
+        seed in 0u64..500,
+        level in 0.0f64..1.0,
+    ) {
+        let config = GenConfig { modules: 2, annotation_level: level, seed, ..GenConfig::default() };
+        let p = generate(&config);
+        let linter = Linter::new(Flags::default());
+        // Must parse and check without panicking at any annotation level.
+        let r = linter.check_source("gen.c", &p.source).expect("parses");
+        let full = generate(&GenConfig { annotation_level: 1.0, ..config });
+        let rf = linter.check_source("gen.c", &full.source).expect("parses");
+        prop_assert!(r.diagnostics.len() >= rf.diagnostics.len());
+    }
+
+    #[test]
+    fn every_bug_class_statically_detected(
+        seed in 0u64..200,
+        trigger in 0i64..100_000,
+        class_idx in 0usize..5,
+    ) {
+        let base = generate(&GenConfig { modules: 1, seed, ..GenConfig::default() });
+        let class = BugClass::all()[class_idx];
+        let m = inject(&base, class, trigger);
+        let linter = Linter::new(Flags::default());
+        let r = linter.check_source("m.c", &m.source).expect("parses");
+        // Static detection never depends on the trigger value.
+        prop_assert!(!r.diagnostics.is_empty(), "{class:?} with trigger {trigger} was missed");
+    }
+
+    #[test]
+    fn dynamic_baseline_is_deterministic(seed in 0u64..200, input in -50i64..50) {
+        let p = generate(&GenConfig { modules: 2, seed, ..GenConfig::default() });
+        let a = lclint_interp::run_source("g.c", &p.source, "run", &[input],
+            lclint_interp::Config::default()).expect("parses");
+        let b = lclint_interp::run_source("g.c", &p.source, "run", &[input],
+            lclint_interp::Config::default()).expect("parses");
+        prop_assert_eq!(a.return_value, b.return_value);
+        prop_assert_eq!(a.errors.len(), b.errors.len());
+        prop_assert!(a.is_clean(), "{:?}", a.errors);
+    }
+
+    #[test]
+    fn dynamic_misses_exactly_when_trigger_not_executed(
+        seed in 0u64..100,
+        trigger in 1i64..1000,
+        class_idx in 0usize..5,
+    ) {
+        let base = generate(&GenConfig { modules: 1, seed, ..GenConfig::default() });
+        let class = BugClass::all()[class_idx];
+        let m = inject(&base, class, trigger);
+        // input != trigger → clean; input == trigger → detected.
+        let miss = lclint_interp::run_source("m.c", &m.source, "run", &[trigger - 1],
+            lclint_interp::Config::default()).expect("parses");
+        prop_assert!(miss.is_clean(), "{class:?}: {:?}", miss.errors);
+        let hit = lclint_interp::run_source("m.c", &m.source, "run", &[trigger],
+            lclint_interp::Config::default()).expect("parses");
+        prop_assert!(!hit.is_clean(), "{class:?} undetected at its trigger");
+    }
+
+    #[test]
+    fn interface_library_round_trip_preserves_checking(seed in 0u64..100) {
+        // Checking a client against a module's interface library gives the
+        // same verdicts as checking against the module's full source.
+        let p = generate(&GenConfig { modules: 1, seed, ..GenConfig::default() });
+        let (tu, _, _) = lclint_syntax::parse_translation_unit("mod.c", &p.source).expect("parses");
+        let lib = lclint::library::save(&tu);
+        let client = "void client(void)\n{\n  m0_list l = m0_create();\n  m0_push(l, 3);\n  m0_final(l);\n}\n\
+                      void leaky_client(void)\n{\n  m0_list l = m0_create();\n}\n";
+        let mut linter = Linter::new(Flags::default());
+        linter.add_library("mod.lcs", lib);
+        let r = linter.check_source("client.c", client).expect("parses");
+        // Exactly the leak in leaky_client.
+        prop_assert_eq!(r.diagnostics.len(), 1, "{}", r.render());
+        prop_assert_eq!(r.diagnostics[0].kind.as_str(), "mustfree");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Robustness: deleting arbitrary lines from a valid program must never
+    /// panic the pipeline — it either parses (and checks) or reports a
+    /// syntax error.
+    #[test]
+    fn mutilated_programs_never_panic(
+        seed in 0u64..100,
+        dropped in prop::collection::vec(0usize..200, 0..8),
+    ) {
+        let p = generate(&GenConfig { modules: 1, seed, ..GenConfig::default() });
+        let lines: Vec<&str> = p.source.lines().collect();
+        let kept: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dropped.contains(&(i % 200)))
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let linter = Linter::new(Flags::default());
+        let _ = linter.check_source("m.c", &kept);
+    }
+}

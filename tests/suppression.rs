@@ -1,0 +1,95 @@
+//! E12: message suppression via stylized comments (paper §2 and §7, where
+//! 75 sites in LCLint's own source carried suppressions).
+
+use lclint::{Flags, Linter};
+
+#[test]
+fn i_comment_suppresses_one_message_on_its_line() {
+    let linter = Linter::new(Flags::default());
+    let r = linter
+        .check_source(
+            "m.c",
+            "void f(void)\n{\n  /*@i@*/ char *p = (char *) malloc(10);\n}\n",
+        )
+        .unwrap();
+    assert!(r.diagnostics.is_empty(), "{}", r.render());
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn i_comment_on_other_line_does_not_suppress() {
+    let linter = Linter::new(Flags::default());
+    let r = linter
+        .check_source(
+            "m.c",
+            "void f(void)\n{\n  /*@i@*/ int x = 0;\n  char *p = (char *) malloc(10);\n}\n",
+        )
+        .unwrap();
+    assert_eq!(r.diagnostics.len(), 1, "{}", r.render());
+    assert_eq!(r.suppressed, 0);
+}
+
+#[test]
+fn ignore_end_region_suppresses_everything_inside() {
+    let linter = Linter::new(Flags::default());
+    let r = linter
+        .check_source(
+            "m.c",
+            "/*@ignore@*/\n\
+             void leaky(void)\n{\n  char *p = (char *) malloc(10);\n}\n\
+             /*@end@*/\n\
+             void also_leaky(void)\n{\n  char *q = (char *) malloc(10);\n}\n",
+        )
+        .unwrap();
+    // The leak inside the region is suppressed; the one outside is not.
+    assert_eq!(r.diagnostics.len(), 1, "{}", r.render());
+    assert!(r.suppressed >= 1);
+    assert!(r.diagnostics[0].message.contains('q'));
+}
+
+#[test]
+fn supcomments_flag_disables_suppression() {
+    let flags = Flags::parse("-supcomments").unwrap();
+    let linter = Linter::new(flags);
+    let r = linter
+        .check_source(
+            "m.c",
+            "void f(void)\n{\n  /*@i@*/ char *p = (char *) malloc(10);\n}\n",
+        )
+        .unwrap();
+    assert_eq!(r.diagnostics.len(), 1);
+    assert_eq!(r.suppressed, 0);
+}
+
+#[test]
+fn seventy_five_suppression_sites_all_work() {
+    // §7: "There were 75 places where stylized comments were used to
+    // suppress messages" — generate 75 suppressed leak sites and confirm
+    // the count.
+    let mut src = String::new();
+    for i in 0..75 {
+        src.push_str(&format!(
+            "void f{i}(void)\n{{\n  /*@i@*/ char *p{i} = (char *) malloc(4);\n}}\n"
+        ));
+    }
+    let linter = Linter::new(Flags::default());
+    let r = linter.check_source("m.c", &src).unwrap();
+    assert_eq!(r.suppressed, 75);
+    assert!(r.diagnostics.is_empty(), "{}", r.render());
+}
+
+#[test]
+fn suppressed_messages_can_hide_real_bugs() {
+    // §7: "one of these suppressed messages indicated a real bug" — the
+    // suppression mechanism is honest about what it hides: the count is
+    // reported even though the message is not.
+    let linter = Linter::new(Flags::default());
+    let with = linter
+        .check_source(
+            "m.c",
+            "char g;\nvoid f(void)\n{\n  char *p = (char *) malloc(4);\n  if (p == NULL) { exit(1); }\n  free(p);\n  /*@i@*/ g = *p;\n}\n",
+        )
+        .unwrap();
+    assert!(with.diagnostics.is_empty());
+    assert_eq!(with.suppressed, 1);
+}
