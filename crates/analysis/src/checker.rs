@@ -7,7 +7,7 @@ use crate::options::AnalysisOptions;
 use crate::refs::{Path, RefBase, RefId, RefStep, RefTable};
 use crate::state::{implicit_state, merge_env, AllocState, DefState, Env, NullState, RefState};
 use lclint_cfg::{Action, Cfg};
-use lclint_sema::{FunctionSig, Program, QualType, Type};
+use lclint_sema::{FunctionSig, LocalScope, Program, QualType, Type};
 use lclint_syntax::annot::{DefAnnot, NullAnnot};
 use lclint_syntax::ast::*;
 use lclint_syntax::span::Span;
@@ -15,24 +15,93 @@ use std::collections::HashMap;
 
 /// Checks every function definition in `program`, returning all diagnostics
 /// in source order.
+///
+/// The paper's analysis is strictly per-procedure, so the definitions are
+/// independent work items: with the `parallel` feature (on by default) they
+/// fan out over `opts.jobs` worker threads (0 = all cores). Results are
+/// merged in definition order, so the output is byte-identical to a
+/// sequential run regardless of the job count.
 pub fn check_program(program: &Program, opts: &AnalysisOptions) -> Vec<Diagnostic> {
-    let mut diags = Vec::new();
-    let defs: Vec<_> = program.defs.clone();
-    let mut prog = program.clone();
-    for def in &defs {
-        diags.extend(check_function(&mut prog, def.sig.clone(), &def.ast, opts));
+    let jobs = effective_jobs(opts.jobs, program.defs.len());
+    if jobs <= 1 {
+        return program
+            .defs
+            .iter()
+            .flat_map(|def| check_function(program, &def.sig, &def.ast, opts))
+            .collect();
     }
-    diags
+    check_program_parallel(program, opts, jobs)
+}
+
+/// The worker count to use for `requested` (0 = all cores) over `work_items`
+/// definitions. Always 1 when the `parallel` feature is off.
+fn effective_jobs(requested: usize, work_items: usize) -> usize {
+    if !cfg!(feature = "parallel") {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let n = if requested == 0 { hw } else { requested };
+    n.clamp(1, work_items.max(1))
+}
+
+#[cfg(feature = "parallel")]
+fn check_program_parallel(
+    program: &Program,
+    opts: &AnalysisOptions,
+    jobs: usize,
+) -> Vec<Diagnostic> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let defs = &program.defs;
+    let next = AtomicUsize::new(0);
+    // Deep expression trees recurse in eval_expr; give workers the same
+    // headroom the main thread has rather than the 2 MiB spawn default.
+    const WORKER_STACK: usize = 8 * 1024 * 1024;
+    let per_worker: Vec<Vec<(usize, Vec<Diagnostic>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                let next = &next;
+                std::thread::Builder::new()
+                    .name("lclint-check".to_owned())
+                    .stack_size(WORKER_STACK)
+                    .spawn_scoped(s, move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(def) = defs.get(i) else { break };
+                            out.push((i, check_function(program, &def.sig, &def.ast, opts)));
+                        }
+                        out
+                    })
+                    .expect("spawn checker worker")
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("checker worker panicked")).collect()
+    });
+    // Deterministic merge: flatten in definition order.
+    let mut slots: Vec<Option<Vec<Diagnostic>>> = vec![None; defs.len()];
+    for (i, diags) in per_worker.into_iter().flatten() {
+        slots[i] = Some(diags);
+    }
+    slots.into_iter().flatten().flatten().collect()
+}
+
+#[cfg(not(feature = "parallel"))]
+fn check_program_parallel(
+    _program: &Program,
+    _opts: &AnalysisOptions,
+    _jobs: usize,
+) -> Vec<Diagnostic> {
+    unreachable!("effective_jobs returns 1 without the parallel feature")
 }
 
 /// Checks one function definition against its interface.
 pub fn check_function(
-    program: &mut Program,
-    sig: FunctionSig,
+    program: &Program,
+    sig: &FunctionSig,
     ast: &FunctionDef,
     opts: &AnalysisOptions,
 ) -> Vec<Diagnostic> {
-    let mut checker = Checker::new(program, sig, opts.clone());
+    let mut checker = Checker::new(program, sig, opts);
     let cfg = Cfg::build_with(ast, opts.loop_model);
     for span in &cfg.unreachable_stmts {
         checker.report(Diagnostic::new(
@@ -43,21 +112,23 @@ pub fn check_function(
     }
     let entry = checker.entry_env();
     lclint_cfg::run(&cfg, &mut checker, entry);
-    let name = checker.sig.name.clone();
     let mut diags = checker.diags;
     for d in &mut diags {
-        d.in_function = Some(name.clone());
+        d.in_function = Some(sig.name.clone());
     }
     // Report in source order.
     diags.sort_by_key(|d| (d.span.file, d.span.start));
     diags
 }
 
-/// Mutable analysis context for one function.
+/// Mutable analysis context for one function. All shared program state is
+/// read through `scope`, which overlays function-local definitions on an
+/// immutable [`Program`] — nothing here writes to shared state, which is
+/// what makes [`check_program`]'s fan-out sound.
 pub(crate) struct Checker<'p> {
-    pub(crate) program: &'p mut Program,
-    pub(crate) opts: AnalysisOptions,
-    pub(crate) sig: FunctionSig,
+    pub(crate) scope: LocalScope<'p>,
+    pub(crate) opts: &'p AnalysisOptions,
+    pub(crate) sig: &'p FunctionSig,
     pub(crate) table: RefTable,
     pub(crate) diags: Vec<Diagnostic>,
     /// Types of locals currently in scope (flat — shadowing collapses).
@@ -74,7 +145,7 @@ pub(crate) struct Checker<'p> {
 }
 
 impl<'p> Checker<'p> {
-    fn new(program: &'p mut Program, sig: FunctionSig, opts: AnalysisOptions) -> Self {
+    fn new(program: &'p Program, sig: &'p FunctionSig, opts: &'p AnalysisOptions) -> Self {
         let mut param_index = HashMap::new();
         for (i, p) in sig.ty.params.iter().enumerate() {
             if let Some(n) = &p.name {
@@ -87,7 +158,7 @@ impl<'p> Checker<'p> {
             .as_ref()
             .map(|gs| gs.iter().map(|g| (g.name.clone(), g.undef)).collect());
         Checker {
-            program,
+            scope: LocalScope::new(program),
             opts,
             sig,
             table: RefTable::new(),
@@ -110,9 +181,9 @@ impl<'p> Checker<'p> {
     /// are assumed true (paper §2).
     fn entry_env(&mut self) -> Env {
         let mut env = Env::new();
-        let params = self.sig.ty.params.clone();
-        let fn_span = self.sig.span;
-        for (i, p) in params.iter().enumerate() {
+        let sig = self.sig;
+        let fn_span = sig.span;
+        for (i, p) in sig.ty.params.iter().enumerate() {
             let name = match &p.name {
                 Some(n) => n.clone(),
                 None => continue,
@@ -169,7 +240,7 @@ impl<'p> Checker<'p> {
     /// the function's globals list (paper §4: `undef` in the list means the
     /// global may be undefined when this function is called).
     pub(crate) fn global_ref(&mut self, env: &mut Env, name: &str) -> Option<RefId> {
-        let g = self.program.globals.get(name)?.clone();
+        let g = self.scope.global(name)?;
         // With a declared globals list, uses of unlisted globals are
         // undocumented-interface anomalies.
         let listed_undef = match &self.globals_list {
@@ -544,10 +615,10 @@ impl<'p> Checker<'p> {
             return;
         }
         // Evaluate the returned expression.
-        let ret_ty = self.sig.ty.ret.clone();
+        let ret_ty = &self.sig.ty.ret;
         if let Some(e) = value {
             let v = self.eval_expr(env, e);
-            self.check_returned_value(env, &v, &ret_ty, span);
+            self.check_returned_value(env, &v, ret_ty, span);
         } else if !ret_ty.is_void() && !ret_ty.annots.is_noreturn() {
             let fname = self.sig.name.clone();
             self.report(Diagnostic::new(
@@ -755,8 +826,8 @@ impl<'p> Checker<'p> {
     }
 
     fn check_params_at_return(&mut self, env: &Env, span: Span) {
-        let params = self.sig.ty.params.clone();
-        for (i, p) in params.iter().enumerate() {
+        let sig = self.sig;
+        for (i, p) in sig.ty.params.iter().enumerate() {
             let Some(name) = p.name.clone() else { continue };
             let Some(shadow) = self.table.lookup(&Path::root(RefBase::Arg(i, name.clone())))
             else {
@@ -978,7 +1049,7 @@ impl<'p> Checker<'p> {
             }
             ExprKind::Call(_, args) => {
                 let Some(callee) = cond.direct_callee() else { return };
-                let Some(sig) = self.program.function(callee) else { return };
+                let Some(sig) = self.scope.function(callee) else { return };
                 let (truenull, falsenull) =
                     (sig.ty.ret.annots.is_truenull(), sig.ty.ret.annots.is_falsenull());
                 if args.len() != 1 {
@@ -1075,19 +1146,18 @@ impl lclint_cfg::Analysis for Checker<'_> {
 
 impl Checker<'_> {
     fn transfer_decl(&mut self, env: &mut Env, d: &Declaration) {
-        let specs = d.specs.clone();
-        if specs.storage == Some(StorageClass::Typedef) {
+        if d.specs.storage == Some(StorageClass::Typedef) {
             for id in &d.declarators {
                 if let Some(n) = &id.declarator.name {
-                    let ty = self.program.resolve_local_declarator(&specs, &id.declarator);
-                    self.program.typedefs.insert(n.clone(), ty);
+                    let ty = self.scope.resolve_local_declarator(&d.specs, &id.declarator);
+                    self.scope.add_typedef(n.clone(), ty);
                 }
             }
             return;
         }
         for id in &d.declarators {
             let Some(name) = id.declarator.name.clone() else { continue };
-            let ty = self.program.resolve_local_declarator(&specs, &id.declarator);
+            let ty = self.scope.resolve_local_declarator(&d.specs, &id.declarator);
             self.local_types.insert(name.clone(), ty.clone());
             let r = self.table.intern_typed(Path::root(RefBase::Local(name)), ty.clone());
             // A (re)declaration severs old aliases and derived state.

@@ -6,7 +6,7 @@ use crate::checker::{capitalize, Checker};
 use crate::diag::{DiagKind, Diagnostic};
 use crate::refs::{RefId, RefStep};
 use crate::state::{AllocState, DefState, Env, NullState, RefState};
-use lclint_sema::{FunctionSig, QualType, Type};
+use lclint_sema::{FunctionSig, QualType, SymbolSource as _, Type};
 use lclint_syntax::annot::{AllocAnnot, DefAnnot, ExposureAnnot};
 use lclint_syntax::ast::*;
 use lclint_syntax::span::Span;
@@ -44,8 +44,8 @@ impl Checker<'_> {
                 if name == "NULL" {
                     return Value::Null(e.span);
                 }
-                if let Some(v) = self.program.enum_consts.get(name) {
-                    return Value::Int(*v);
+                if let Some(v) = self.scope.enum_const(name) {
+                    return Value::Int(v);
                 }
                 match self.base_ref(env, name) {
                     Some(r) => {
@@ -234,7 +234,7 @@ impl Checker<'_> {
         let sty = if arrow { bty.pointee()?.clone() } else { bty };
         match sty.ty {
             Type::Struct(id) => {
-                let def = self.program.structs.get(id);
+                let def = self.scope.struct_def(id);
                 def.field(field).map(|f| {
                     let mut t = f.ty.clone();
                     // Implicit-only fields: an unannotated pointer field
@@ -400,7 +400,7 @@ impl Checker<'_> {
         // already-shared values.
         let is_static_global = match &self.table.path(lhs).base {
             crate::refs::RefBase::Global(g) => {
-                self.program.globals.get(g).map(|gv| gv.is_static) == Some(true)
+                self.scope.global(g).map(|gv| gv.is_static) == Some(true)
             }
             _ => false,
         };
@@ -671,9 +671,8 @@ impl Checker<'_> {
         let Some(pointee) = ty.pointee() else { return };
         let Type::Struct(id) = pointee.ty else { return };
         let fields: Vec<(String, QualType)> = self
-            .program
-            .structs
-            .get(id)
+            .scope
+            .struct_def(id)
             .fields
             .iter()
             .map(|f| (f.name.clone(), f.ty.clone()))
@@ -695,7 +694,7 @@ impl Checker<'_> {
                 return Value::Opaque;
             }
         }
-        let sig = callee.as_deref().and_then(|n| self.program.function(n)).cloned();
+        let sig = callee.as_deref().and_then(|n| self.scope.function(n));
         let values: Vec<Value> = args.iter().map(|a| self.eval_expr(env, a)).collect();
         let Some(sig) = sig else {
             // Unknown callee: effects unknown, result opaque but defined.

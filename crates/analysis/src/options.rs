@@ -27,6 +27,10 @@ pub struct AnalysisOptions {
     /// How many loop iterations to model (the paper's zero-or-one by
     /// default; the two-iteration unrolling is the precision ablation).
     pub loop_model: lclint_cfg::LoopModel,
+    /// Worker threads for per-function checking (0 = one per core). Has no
+    /// effect when the `parallel` feature is disabled. Output is identical
+    /// regardless of the value.
+    pub jobs: usize,
 }
 
 impl Default for AnalysisOptions {
@@ -38,6 +42,7 @@ impl Default for AnalysisOptions {
             gc_mode: false,
             report_implicit_temp: true,
             loop_model: lclint_cfg::LoopModel::ZeroOrOne,
+            jobs: 0,
         }
     }
 }

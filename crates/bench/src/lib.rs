@@ -231,6 +231,94 @@ pub fn detection_table(
         .collect()
 }
 
+/// One row of the parallel-speedup table (E9, parallel variant).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ParRow {
+    /// Program size in lines.
+    pub loc: usize,
+    /// Wall-clock with one checker thread, in milliseconds.
+    pub seq_ms: f64,
+    /// Wall-clock with one checker thread per core, in milliseconds.
+    pub par_ms: f64,
+    /// `seq_ms / par_ms`.
+    pub speedup: f64,
+    /// Worker threads the parallel run used.
+    pub jobs: usize,
+    /// True when both runs rendered byte-identical output (they must).
+    pub identical: bool,
+}
+
+/// E9 (parallel variant): per-function checking fanned out over all cores vs
+/// a single thread, on the synthetic scaling programs. The rendered outputs
+/// are compared so the table doubles as a determinism check.
+pub fn par_speedup_table(sizes: &[usize]) -> Vec<ParRow> {
+    let mut seq_flags = Flags::default();
+    seq_flags.analysis.jobs = 1;
+    let seq_linter = Linter::new(seq_flags);
+    let par_linter = Linter::new(Flags::default()); // jobs = 0 → all cores
+    let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    sizes
+        .iter()
+        .map(|target| {
+            let p = generate(&GenConfig::with_target_loc(*target));
+            let start = Instant::now();
+            let seq = seq_linter.check_source("gen.c", &p.source).expect("parses");
+            let seq_ms = start.elapsed().as_secs_f64() * 1000.0;
+            let start = Instant::now();
+            let par = par_linter.check_source("gen.c", &p.source).expect("parses");
+            let par_ms = start.elapsed().as_secs_f64() * 1000.0;
+            ParRow {
+                loc: p.loc,
+                seq_ms,
+                par_ms,
+                speedup: seq_ms / par_ms.max(1e-9),
+                jobs,
+                identical: seq.render() == par.render(),
+            }
+        })
+        .collect()
+}
+
+/// Evidence that the process-wide stdlib parse cache works: per-call latency
+/// of a tiny check on the first call of this run vs the warm average, plus
+/// the cache-hit counter delta over the measured calls.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct StdlibCacheStats {
+    /// Milliseconds for the first call (cold when nothing primed the cache
+    /// earlier in the process).
+    pub first_call_ms: f64,
+    /// Mean milliseconds per call once the cache is warm.
+    pub warm_avg_ms: f64,
+    /// Warm calls measured.
+    pub calls: usize,
+    /// How much the stdlib-cache hit counter advanced during those calls.
+    pub hits_delta: usize,
+}
+
+/// Measures the stdlib-cache effect with `calls` warm repetitions of a
+/// minimal check.
+pub fn stdlib_cache_stats(calls: usize) -> StdlibCacheStats {
+    let linter = Linter::new(Flags::default());
+    let src = "void f(void) { char *p = (char *) malloc(10); free(p); }\n";
+    let start = Instant::now();
+    let r = linter.check_source("t.c", src).expect("parses");
+    assert!(r.is_clean(), "{}", r.render());
+    let first_call_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let before = lclint_core::stdlib_cache_hits();
+    let start = Instant::now();
+    for _ in 0..calls {
+        let r = linter.check_source("t.c", src).expect("parses");
+        assert!(r.is_clean());
+    }
+    let warm_avg_ms = start.elapsed().as_secs_f64() * 1000.0 / calls.max(1) as f64;
+    StdlibCacheStats {
+        first_call_ms,
+        warm_avg_ms,
+        calls,
+        hits_delta: lclint_core::stdlib_cache_hits() - before,
+    }
+}
+
 /// E9 (library variant): time to check a module + client from full source
 /// vs checking the client against the module's interface library (§7's
 /// "libraries to store interface information"). Returns `(full_ms, lib_ms)`.
@@ -299,6 +387,20 @@ mod tests {
         assert!(rows[0].messages >= rows[1].messages);
         assert!(rows[1].messages >= rows[2].messages);
         assert_eq!(rows[2].messages, 0);
+    }
+
+    #[test]
+    fn par_speedup_rows_are_deterministic() {
+        let rows = par_speedup_table(&[2_000]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].identical, "parallel output diverged from sequential");
+        assert!(rows[0].jobs >= 1);
+    }
+
+    #[test]
+    fn stdlib_cache_hits_every_warm_call() {
+        let stats = stdlib_cache_stats(5);
+        assert_eq!(stats.hits_delta, 5, "{stats:?}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use lclint_bench::{
     annotation_sweep, database_table, detection_table, figure_table, library_speedup,
-    scaling_table,
+    par_speedup_table, scaling_table, stdlib_cache_stats,
 };
 
 fn main() {
@@ -68,6 +68,24 @@ fn main() {
          \u{20}        1995 DEC 3000/500. Measured per-KLOC spread: {:.1}x.",
         max / min
     );
+    println!("\nE9b. Parallel per-function checking (1 thread vs all cores)\n");
+    println!("{:>9} {:>12} {:>12} {:>9} {:>6} {:>10}", "LOC", "seq (ms)", "par (ms)", "speedup", "jobs", "identical");
+    let par_sizes: &[usize] = if quick { &[2_000, 10_000] } else { &[2_000, 10_000, 50_000] };
+    let par_speedup = par_speedup_table(par_sizes);
+    for row in &par_speedup {
+        println!(
+            "{:>9} {:>12.1} {:>12.1} {:>8.2}x {:>6} {:>10}",
+            row.loc, row.seq_ms, row.par_ms, row.speedup, row.jobs, row.identical
+        );
+    }
+
+    let cache = stdlib_cache_stats(if quick { 20 } else { 100 });
+    println!(
+        "\n  stdlib parse cache: first call {:.2} ms, warm average {:.3} ms over\n\
+         \u{20}   {} calls ({} cache hits).",
+        cache.first_call_ms, cache.warm_avg_ms, cache.calls, cache.hits_delta
+    );
+
     let (full_ms, lib_ms) = library_speedup(5_000);
     println!(
         "\n  interface libraries (section 7): checking a client against a 5k-line\n\
@@ -116,6 +134,8 @@ fn main() {
             "figures": figs,
             "database_stages": stages,
             "scaling": scaling,
+            "par_speedup": par_speedup,
+            "stdlib_cache": cache,
             "annotation_sweep": sweep,
             "detection": detect,
         });

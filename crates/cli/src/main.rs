@@ -11,6 +11,7 @@
 //!   -stdlib         do not load the annotated standard library
 //! Other options:
 //!   --json          machine-readable output
+//!   --jobs N        checker worker threads (0 = all cores, the default)
 //!   --lib FILE      load an interface library
 //!   --emit-lib      print the interface library of the inputs and exit
 //!   --run ENTRY     interpret ENTRY() after checking (runtime baseline)
@@ -27,7 +28,7 @@ fn usage() -> ! {
          classes: {}\n\
          modes: allimponly imponlyreturns imponlyglobals imponlyfields gcmode\n\
          \u{20}       supcomments stdlib memchecks all\n\
-         options: --json --lib FILE --emit-lib --run ENTRY",
+         options: --json --jobs N --lib FILE --emit-lib --run ENTRY",
         lclint_core::DiagKind::all()
             .iter()
             .map(|k| k.flag_name())
@@ -56,6 +57,17 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--help" | "-h" => usage(),
             "--json" => json = true,
+            "--jobs" => {
+                i += 1;
+                let Some(n) = args.get(i) else { usage() };
+                match n.parse::<usize>() {
+                    Ok(n) => flags.analysis.jobs = n,
+                    Err(_) => {
+                        eprintln!("rlclint: --jobs expects a number, got `{n}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--emit-lib" => emit_lib = true,
             "--lib" => {
                 i += 1;

@@ -13,6 +13,47 @@ use lclint_syntax::lexer::ControlComment;
 use lclint_syntax::pp::{preprocess, MemoryProvider};
 use lclint_syntax::span::SourceMap;
 use lclint_syntax::{Parser, Result, TranslationUnit};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// The preprocessed+parsed annotated standard library, computed once per
+/// process. `source_map` holds exactly the stdlib's file entries; a check
+/// run clones it as its starting map so spans and file ids come out
+/// identical to an uncached run.
+#[derive(Debug)]
+struct StdlibCache {
+    unit: TranslationUnit,
+    typedefs: Vec<String>,
+    source_map: SourceMap,
+}
+
+static STDLIB_CACHE: OnceLock<Option<StdlibCache>> = OnceLock::new();
+static STDLIB_CACHE_HITS: AtomicUsize = AtomicUsize::new(0);
+
+/// How many check runs have reused the cached stdlib parse instead of
+/// re-lexing and re-parsing it (observability for benchmarks and tests).
+pub fn stdlib_cache_hits() -> usize {
+    STDLIB_CACHE_HITS.load(Ordering::Relaxed)
+}
+
+fn cached_stdlib() -> Option<&'static StdlibCache> {
+    let mut initializing = false;
+    let slot = STDLIB_CACHE.get_or_init(|| {
+        initializing = true;
+        let mut sm = SourceMap::new();
+        let mut p = MemoryProvider::new();
+        p.insert("<stdlib>", STDLIB_SOURCE);
+        let out = preprocess("<stdlib>", &p, &mut sm).ok()?;
+        let parser = Parser::new(out.tokens);
+        let unit = parser.parse_translation_unit().ok()?;
+        let typedefs = collect_typedef_names(&unit);
+        Some(StdlibCache { unit, typedefs, source_map: sm })
+    });
+    if !initializing && slot.is_some() {
+        STDLIB_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    slot.as_ref()
+}
 
 /// The result of one check run.
 #[derive(Debug, Clone)]
@@ -127,14 +168,30 @@ impl Linter {
             Ok(tu)
         };
 
-        // The standard library is itself just an annotated source file.
+        // The standard library is itself just an annotated source file. Its
+        // parse never changes, so every run after the first reuses the
+        // process-wide cache; the run's SourceMap starts from the cached
+        // prefix so spans are identical either way.
+        let mut stdlib_unit: Option<&'static TranslationUnit> = None;
         if self.flags.use_stdlib {
-            let out = {
-                let mut p = MemoryProvider::new();
-                p.insert("<stdlib>", STDLIB_SOURCE);
-                preprocess("<stdlib>", &p, &mut sm)?
-            };
-            units.push(parse_unit(out.tokens, &mut typedefs)?);
+            match cached_stdlib() {
+                Some(cache) => {
+                    sm = cache.source_map.clone();
+                    typedefs.extend(cache.typedefs.iter().cloned());
+                    stdlib_unit = Some(&cache.unit);
+                }
+                None => {
+                    // The stdlib failed to preprocess or parse (should not
+                    // happen): take the uncached path so the error reaches
+                    // the caller.
+                    let out = {
+                        let mut p = MemoryProvider::new();
+                        p.insert("<stdlib>", STDLIB_SOURCE);
+                        preprocess("<stdlib>", &p, &mut sm)?
+                    };
+                    units.push(parse_unit(out.tokens, &mut typedefs)?);
+                }
+            }
         }
         for (name, text) in &self.libraries {
             let mut p = MemoryProvider::new();
@@ -149,6 +206,9 @@ impl Linter {
         }
 
         let mut program = Program::new();
+        if let Some(u) = stdlib_unit {
+            program.extend_with(u);
+        }
         for u in &units {
             program.extend_with(u);
         }
@@ -307,6 +367,38 @@ mod tests {
         let linter = Linter::new(Flags::default());
         let result = linter.check_files(&files, &["erc.c".to_owned()]).unwrap();
         assert!(result.is_clean(), "{}", result.render());
+    }
+
+    #[test]
+    fn stdlib_cache_reused_across_runs() {
+        let linter = Linter::new(Flags::default());
+        let src = "void f(void) { char *p = (char *) malloc(10); free(p); }\n";
+        let before = stdlib_cache_hits();
+        let first = linter.check_source("m.c", src).unwrap();
+        let second = linter.check_source("m.c", src).unwrap();
+        // At most the first call pays for the parse; the second must hit.
+        assert!(
+            stdlib_cache_hits() >= before + 1,
+            "expected at least one stdlib cache hit"
+        );
+        // The cached prefix yields identical spans and output.
+        assert_eq!(first.render(), second.render());
+        assert!(first.is_clean(), "{}", first.render());
+    }
+
+    #[test]
+    fn jobs_setting_does_not_change_output() {
+        let src = "extern char *gname;\n\
+                   void setName(/*@null@*/ char *pname)\n{\n  gname = pname;\n}\n\
+                   void leak(void)\n{\n  char *p = (char *) malloc(4);\n  if (p != 0) { *p = 'a'; }\n}\n";
+        let mut seq_flags = Flags::default();
+        seq_flags.analysis.jobs = 1;
+        let mut par_flags = Flags::default();
+        par_flags.analysis.jobs = 4;
+        let seq = Linter::new(seq_flags).check_source("j.c", src).unwrap();
+        let par = Linter::new(par_flags).check_source("j.c", src).unwrap();
+        assert_eq!(seq.render(), par.render());
+        assert!(!seq.diagnostics.is_empty());
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod render;
 pub mod stdlib;
 pub mod suppress;
 
-pub use driver::{CheckResult, Linter};
+pub use driver::{stdlib_cache_hits, CheckResult, Linter};
 pub use flags::{FlagError, Flags};
 pub use render::{render_all, RenderedDiagnostic, RenderedNote};
 pub use stdlib::STDLIB_SOURCE;

@@ -19,7 +19,12 @@
 #![warn(missing_docs)]
 
 pub mod program;
+pub mod scope;
 pub mod types;
 
-pub use program::{const_eval, CheckedFunction, FunctionSig, GlobalVar, Program, SemaError};
+pub use program::{
+    const_eval, const_eval_with, CheckedFunction, FunctionSig, GlobalVar, Program, SemaError,
+    SymbolSource,
+};
+pub use scope::LocalScope;
 pub use types::{Field, FnType, GlobalUse, ParamType, QualType, StructDef, StructId, StructTable, Type};

@@ -6,7 +6,7 @@
 //! offending entity gets [`Type::Error`], so one bad declaration does not
 //! abort checking of the rest of the file (LCLint's behaviour).
 
-use crate::types::{Field, FnType, ParamType, QualType, StructTable, Type};
+use crate::types::{Field, FnType, ParamType, QualType, StructId, StructTable, Type};
 use lclint_syntax::annot::AnnotSet;
 use lclint_syntax::ast::*;
 use lclint_syntax::span::Span;
@@ -241,59 +241,7 @@ impl Program {
 
     /// Resolves a type specifier to a [`QualType`] (no declarator applied).
     pub fn resolve_type_spec(&mut self, ts: &TypeSpec, span: Span) -> QualType {
-        match ts {
-            TypeSpec::Void => QualType::plain(Type::Void),
-            TypeSpec::Char { .. } => QualType::plain(Type::Char),
-            TypeSpec::Int { signed, size } => {
-                QualType::plain(Type::Int { signed: *signed, size: *size })
-            }
-            TypeSpec::Float => QualType::plain(Type::Float),
-            TypeSpec::Double => QualType::plain(Type::Double),
-            TypeSpec::Named(n) => match self.typedefs.get(n) {
-                Some(q) => q.clone(),
-                None => {
-                    self.err(format!("unknown type name `{n}`"), span);
-                    QualType::plain(Type::Error)
-                }
-            },
-            TypeSpec::Struct(s) => {
-                let id = match &s.name {
-                    Some(tag) => self.structs.intern_tag(tag, s.is_union),
-                    None => self.structs.fresh_anon(s.is_union),
-                };
-                if let Some(field_decls) = &s.fields {
-                    let mut fields = Vec::new();
-                    for fd in field_decls {
-                        let base = self.resolve_type_spec(&fd.specs.ty, fd.specs.span);
-                        for dcl in &fd.declarators {
-                            let fty =
-                                self.build_declared_type(base.clone(), &fd.specs.annots, dcl);
-                            if let Some(fname) = &dcl.name {
-                                fields.push(Field { name: fname.clone(), ty: fty });
-                            }
-                        }
-                    }
-                    self.structs.complete(id, fields);
-                }
-                QualType::plain(Type::Struct(id))
-            }
-            TypeSpec::Enum(e) => {
-                let name = e.name.clone().unwrap_or_else(|| "<anon>".to_owned());
-                if let Some(vs) = &e.variants {
-                    let mut next = 0i64;
-                    for (vn, val) in vs {
-                        if let Some(expr) = val {
-                            if let Some(v) = const_eval(expr, &self.enum_consts) {
-                                next = v;
-                            }
-                        }
-                        self.enum_consts.insert(vn.clone(), next);
-                        next += 1;
-                    }
-                }
-                QualType::plain(Type::Enum(name))
-            }
-        }
+        resolve_type_spec_in(self, ts, span)
     }
 
     /// Applies a declarator's derived parts to a base type and attaches the
@@ -306,57 +254,7 @@ impl Program {
         spec_annots: &AnnotSet,
         declarator: &Declarator,
     ) -> QualType {
-        let mut ty = base;
-        // derived is in reading order; wrap from the innermost (last) outward.
-        for part in declarator.derived.iter().rev() {
-            ty = match part {
-                Derived::Pointer { annots, .. } => {
-                    let mut q = QualType::plain(Type::Pointer(Box::new(ty)));
-                    q.annots = annots.clone();
-                    q
-                }
-                Derived::Array(size) => {
-                    let n = size
-                        .as_ref()
-                        .and_then(|e| const_eval(e, &self.enum_consts))
-                        .map(|v| v.max(0) as u64);
-                    QualType::plain(Type::Array(Box::new(ty), n))
-                }
-                Derived::Function { params, variadic, globals } => {
-                    let mut ps = Vec::new();
-                    for p in params {
-                        let pbase = self.resolve_type_spec(&p.specs.ty, p.specs.span);
-                        let pty =
-                            self.build_declared_type(pbase, &p.specs.annots, &p.declarator);
-                        ps.push(ParamType { name: p.declarator.name.clone(), ty: pty });
-                    }
-                    QualType::plain(Type::Function(Box::new(FnType {
-                        ret: ty,
-                        params: ps,
-                        variadic: *variadic,
-                        globals: globals.as_ref().map(|gs| {
-                            gs.iter()
-                                .map(|g| crate::types::GlobalUse {
-                                    name: g.name.clone(),
-                                    undef: g.undef,
-                                })
-                                .collect()
-                        }),
-                    })))
-                }
-            };
-        }
-        // Attach specifier annotations.
-        if let Type::Function(ft) = &mut ty.ty {
-            let mut merged = spec_annots.clone();
-            merged.inherit(&ft.ret.annots);
-            ft.ret.annots = merged;
-        } else {
-            let mut merged = spec_annots.clone();
-            merged.inherit(&ty.annots);
-            ty.annots = merged;
-        }
-        ty
+        build_declared_type_in(self, base, spec_annots, declarator)
     }
 
     /// Resolves the type of a local declaration (used by the checker for
@@ -381,13 +279,196 @@ impl Program {
     }
 }
 
+/// The symbol-table operations declaration resolution needs. Implemented by
+/// [`Program`] (build time, writes to the shared tables) and by
+/// [`crate::scope::LocalScope`] (check time, writes to a per-function overlay
+/// so the shared program stays immutable and checking can run in parallel).
+pub trait SymbolSource {
+    /// Resolves a typedef name.
+    fn lookup_typedef(&self, name: &str) -> Option<QualType>;
+    /// Returns the id for a tagged struct/union, creating an incomplete entry
+    /// if new. `defines_body` is true when the specifier carries a field list
+    /// (an overlay uses it to shadow rather than mutate a shared definition).
+    fn intern_struct(&mut self, tag: &str, is_union: bool, defines_body: bool) -> StructId;
+    /// Creates a fresh anonymous struct/union.
+    fn fresh_anon_struct(&mut self, is_union: bool) -> StructId;
+    /// Attaches a body to a struct created by this source.
+    fn complete_struct(&mut self, id: StructId, fields: Vec<Field>);
+    /// Resolves an enumerator constant.
+    fn enum_const(&self, name: &str) -> Option<i64>;
+    /// Defines an enumerator constant.
+    fn define_enum_const(&mut self, name: String, value: i64);
+    /// Records a non-fatal resolution problem.
+    fn report(&mut self, message: String, span: Span);
+}
+
+impl SymbolSource for Program {
+    fn lookup_typedef(&self, name: &str) -> Option<QualType> {
+        self.typedefs.get(name).cloned()
+    }
+
+    fn intern_struct(&mut self, tag: &str, is_union: bool, _defines_body: bool) -> StructId {
+        self.structs.intern_tag(tag, is_union)
+    }
+
+    fn fresh_anon_struct(&mut self, is_union: bool) -> StructId {
+        self.structs.fresh_anon(is_union)
+    }
+
+    fn complete_struct(&mut self, id: StructId, fields: Vec<Field>) {
+        self.structs.complete(id, fields);
+    }
+
+    fn enum_const(&self, name: &str) -> Option<i64> {
+        self.enum_consts.get(name).copied()
+    }
+
+    fn define_enum_const(&mut self, name: String, value: i64) {
+        self.enum_consts.insert(name, value);
+    }
+
+    fn report(&mut self, message: String, span: Span) {
+        self.err(message, span);
+    }
+}
+
+/// Resolves a type specifier to a [`QualType`] against any [`SymbolSource`]
+/// (no declarator applied).
+pub fn resolve_type_spec_in<S: SymbolSource + ?Sized>(
+    src: &mut S,
+    ts: &TypeSpec,
+    span: Span,
+) -> QualType {
+    match ts {
+        TypeSpec::Void => QualType::plain(Type::Void),
+        TypeSpec::Char { .. } => QualType::plain(Type::Char),
+        TypeSpec::Int { signed, size } => {
+            QualType::plain(Type::Int { signed: *signed, size: *size })
+        }
+        TypeSpec::Float => QualType::plain(Type::Float),
+        TypeSpec::Double => QualType::plain(Type::Double),
+        TypeSpec::Named(n) => match src.lookup_typedef(n) {
+            Some(q) => q,
+            None => {
+                src.report(format!("unknown type name `{n}`"), span);
+                QualType::plain(Type::Error)
+            }
+        },
+        TypeSpec::Struct(s) => {
+            let id = match &s.name {
+                Some(tag) => src.intern_struct(tag, s.is_union, s.fields.is_some()),
+                None => src.fresh_anon_struct(s.is_union),
+            };
+            if let Some(field_decls) = &s.fields {
+                let mut fields = Vec::new();
+                for fd in field_decls {
+                    let base = resolve_type_spec_in(src, &fd.specs.ty, fd.specs.span);
+                    for dcl in &fd.declarators {
+                        let fty =
+                            build_declared_type_in(src, base.clone(), &fd.specs.annots, dcl);
+                        if let Some(fname) = &dcl.name {
+                            fields.push(Field { name: fname.clone(), ty: fty });
+                        }
+                    }
+                }
+                src.complete_struct(id, fields);
+            }
+            QualType::plain(Type::Struct(id))
+        }
+        TypeSpec::Enum(e) => {
+            let name = e.name.clone().unwrap_or_else(|| "<anon>".to_owned());
+            if let Some(vs) = &e.variants {
+                let mut next = 0i64;
+                for (vn, val) in vs {
+                    if let Some(expr) = val {
+                        if let Some(v) = const_eval_with(expr, &|n| src.enum_const(n)) {
+                            next = v;
+                        }
+                    }
+                    src.define_enum_const(vn.clone(), next);
+                    next += 1;
+                }
+            }
+            QualType::plain(Type::Enum(name))
+        }
+    }
+}
+
+/// Applies a declarator's derived parts to a base type against any
+/// [`SymbolSource`]. See [`Program::build_declared_type`].
+pub fn build_declared_type_in<S: SymbolSource + ?Sized>(
+    src: &mut S,
+    base: QualType,
+    spec_annots: &AnnotSet,
+    declarator: &Declarator,
+) -> QualType {
+    let mut ty = base;
+    // derived is in reading order; wrap from the innermost (last) outward.
+    for part in declarator.derived.iter().rev() {
+        ty = match part {
+            Derived::Pointer { annots, .. } => {
+                let mut q = QualType::plain(Type::Pointer(Box::new(ty)));
+                q.annots = annots.clone();
+                q
+            }
+            Derived::Array(size) => {
+                let n = size
+                    .as_ref()
+                    .and_then(|e| const_eval_with(e, &|n| src.enum_const(n)))
+                    .map(|v| v.max(0) as u64);
+                QualType::plain(Type::Array(Box::new(ty), n))
+            }
+            Derived::Function { params, variadic, globals } => {
+                let mut ps = Vec::new();
+                for p in params {
+                    let pbase = resolve_type_spec_in(src, &p.specs.ty, p.specs.span);
+                    let pty =
+                        build_declared_type_in(src, pbase, &p.specs.annots, &p.declarator);
+                    ps.push(ParamType { name: p.declarator.name.clone(), ty: pty });
+                }
+                QualType::plain(Type::Function(Box::new(FnType {
+                    ret: ty,
+                    params: ps,
+                    variadic: *variadic,
+                    globals: globals.as_ref().map(|gs| {
+                        gs.iter()
+                            .map(|g| crate::types::GlobalUse {
+                                name: g.name.clone(),
+                                undef: g.undef,
+                            })
+                            .collect()
+                    }),
+                })))
+            }
+        };
+    }
+    // Attach specifier annotations.
+    if let Type::Function(ft) = &mut ty.ty {
+        let mut merged = spec_annots.clone();
+        merged.inherit(&ft.ret.annots);
+        ft.ret.annots = merged;
+    } else {
+        let mut merged = spec_annots.clone();
+        merged.inherit(&ty.annots);
+        ty.annots = merged;
+    }
+    ty
+}
+
 /// Evaluates a constant integer expression (enough for array sizes and enum
 /// values). Returns `None` for anything non-constant.
 pub fn const_eval(e: &Expr, enums: &HashMap<String, i64>) -> Option<i64> {
+    const_eval_with(e, &|n| enums.get(n).copied())
+}
+
+/// [`const_eval`] with a caller-supplied enumerator lookup, so overlays that
+/// layer local enum constants over a shared table can evaluate too.
+pub fn const_eval_with(e: &Expr, enums: &dyn Fn(&str) -> Option<i64>) -> Option<i64> {
+    let const_eval = const_eval_with;
     match &e.kind {
         ExprKind::IntLit(v) => Some(*v),
         ExprKind::CharLit(v) => Some(*v),
-        ExprKind::Ident(n) => enums.get(n).copied(),
+        ExprKind::Ident(n) => enums(n),
         ExprKind::Unary(UnOp::Neg, inner) => Some(-const_eval(inner, enums)?),
         ExprKind::Unary(UnOp::Plus, inner) => const_eval(inner, enums),
         ExprKind::Unary(UnOp::Not, inner) => Some(i64::from(const_eval(inner, enums)? == 0)),

@@ -1,0 +1,255 @@
+//! Per-function symbol overlay.
+//!
+//! The checker resolves block-scope declarations (local typedefs, struct
+//! bodies, enum constants) while walking a function body. Historically that
+//! mutated the shared [`Program`] tables, forcing `check_program` to clone the
+//! whole program per run and serializing all checking. [`LocalScope`] layers
+//! those function-local definitions over an immutable `&Program` instead:
+//! lookups consult the overlay first and fall through to the shared tables,
+//! writes always land in the overlay. Every function can then be checked
+//! concurrently against the same shared `Program`.
+//!
+//! Struct identity is preserved by partitioning the [`StructId`] space: ids
+//! below `base.structs.len()` refer to the shared table, ids at or above it
+//! refer to this overlay's private definitions.
+
+use crate::program::{
+    build_declared_type_in, resolve_type_spec_in, FunctionSig, GlobalVar, Program, SemaError,
+    SymbolSource,
+};
+use crate::types::{Field, QualType, StructDef, StructId};
+use lclint_syntax::ast::{DeclSpecs, Declarator, TypeSpec};
+use lclint_syntax::span::Span;
+use std::collections::HashMap;
+
+/// A function-local view of the program's symbol tables: reads fall through
+/// to the shared [`Program`], writes stay private to this scope.
+#[derive(Debug)]
+pub struct LocalScope<'p> {
+    base: &'p Program,
+    /// Typedefs introduced in this function (shadow the shared ones).
+    typedefs: HashMap<String, QualType>,
+    /// Struct/union definitions introduced in this function. Entry `i` has
+    /// id `struct_base + i`.
+    local_structs: Vec<StructDef>,
+    /// Tag lookup for the local definitions.
+    local_by_tag: HashMap<String, StructId>,
+    /// First [`StructId`] owned by this overlay (= `base.structs.len()`).
+    struct_base: u32,
+    /// Enum constants introduced in this function.
+    enum_consts: HashMap<String, i64>,
+    /// Resolution problems found while checking. The shared program's error
+    /// list is frozen by the time checking runs, so these stay local.
+    errors: Vec<SemaError>,
+}
+
+impl<'p> LocalScope<'p> {
+    /// Creates an empty overlay over `base`.
+    pub fn new(base: &'p Program) -> Self {
+        LocalScope {
+            base,
+            typedefs: HashMap::new(),
+            local_structs: Vec::new(),
+            local_by_tag: HashMap::new(),
+            struct_base: base.structs.len() as u32,
+            enum_consts: HashMap::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// The shared program this scope overlays.
+    pub fn base(&self) -> &'p Program {
+        self.base
+    }
+
+    /// Looks up a function signature in the shared program. The returned
+    /// reference borrows from the program, not from this scope.
+    pub fn function(&self, name: &str) -> Option<&'p FunctionSig> {
+        self.base.function(name)
+    }
+
+    /// Looks up a global variable in the shared program.
+    pub fn global(&self, name: &str) -> Option<&'p GlobalVar> {
+        self.base.global(name)
+    }
+
+    /// Resolves a struct id against whichever table owns it.
+    pub fn struct_def(&self, id: StructId) -> &StructDef {
+        if id.0 < self.struct_base {
+            self.base.structs.get(id)
+        } else {
+            &self.local_structs[(id.0 - self.struct_base) as usize]
+        }
+    }
+
+    /// Defines a local typedef (shadows any shared typedef of that name).
+    pub fn add_typedef(&mut self, name: String, ty: QualType) {
+        self.typedefs.insert(name, ty);
+    }
+
+    /// Resolves a type specifier (registering any struct/enum bodies in this
+    /// overlay).
+    pub fn resolve_type_spec(&mut self, ts: &TypeSpec, span: Span) -> QualType {
+        resolve_type_spec_in(self, ts, span)
+    }
+
+    /// Resolves the type of a block-scope declaration.
+    pub fn resolve_local_declarator(
+        &mut self,
+        specs: &DeclSpecs,
+        declarator: &Declarator,
+    ) -> QualType {
+        let base = resolve_type_spec_in(self, &specs.ty, specs.span);
+        build_declared_type_in(self, base, &specs.annots, declarator)
+    }
+
+    /// Problems recorded while resolving local declarations.
+    pub fn errors(&self) -> &[SemaError] {
+        &self.errors
+    }
+
+    fn push_local(&mut self, def: StructDef) -> StructId {
+        let id = StructId(self.struct_base + self.local_structs.len() as u32);
+        self.local_structs.push(def);
+        id
+    }
+}
+
+impl SymbolSource for LocalScope<'_> {
+    fn lookup_typedef(&self, name: &str) -> Option<QualType> {
+        self.typedefs
+            .get(name)
+            .cloned()
+            .or_else(|| self.base.typedefs.get(name).cloned())
+    }
+
+    fn intern_struct(&mut self, tag: &str, is_union: bool, defines_body: bool) -> StructId {
+        if let Some(id) = self.local_by_tag.get(tag) {
+            return *id;
+        }
+        if !defines_body {
+            // A bare reference resolves to the shared definition when one
+            // exists; otherwise it introduces a local incomplete entry.
+            if let Some(id) = self.base.structs.by_tag(tag) {
+                return id;
+            }
+        }
+        // A body (re)defines the tag locally, shadowing any shared entry.
+        let id = self.push_local(StructDef {
+            tag: tag.to_owned(),
+            is_union,
+            fields: Vec::new(),
+            complete: false,
+        });
+        self.local_by_tag.insert(tag.to_owned(), id);
+        id
+    }
+
+    fn fresh_anon_struct(&mut self, is_union: bool) -> StructId {
+        let n = self.struct_base as usize + self.local_structs.len();
+        self.push_local(StructDef {
+            tag: format!("<anon {n}>"),
+            is_union,
+            fields: Vec::new(),
+            complete: false,
+        })
+    }
+
+    fn complete_struct(&mut self, id: StructId, fields: Vec<Field>) {
+        debug_assert!(id.0 >= self.struct_base, "overlay cannot complete a shared struct");
+        let def = &mut self.local_structs[(id.0 - self.struct_base) as usize];
+        def.fields = fields;
+        def.complete = true;
+    }
+
+    fn enum_const(&self, name: &str) -> Option<i64> {
+        self.enum_consts
+            .get(name)
+            .copied()
+            .or_else(|| self.base.enum_consts.get(name).copied())
+    }
+
+    fn define_enum_const(&mut self, name: String, value: i64) {
+        self.enum_consts.insert(name, value);
+    }
+
+    fn report(&mut self, message: String, span: Span) {
+        self.errors.push(SemaError { message, span });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+    use lclint_syntax::parse_translation_unit;
+
+    fn program(src: &str) -> Program {
+        let (tu, _, _) = parse_translation_unit("t.c", src).unwrap();
+        Program::from_unit(&tu)
+    }
+
+    #[test]
+    fn overlay_reads_fall_through() {
+        let p = program("typedef int myint; struct _s { int v; }; enum e { A = 7 };");
+        let scope = LocalScope::new(&p);
+        assert!(scope.lookup_typedef("myint").is_some());
+        assert_eq!(scope.enum_const("A"), Some(7));
+        let sid = p.structs.by_tag("_s").unwrap();
+        assert!(scope.struct_def(sid).complete);
+    }
+
+    #[test]
+    fn overlay_writes_stay_local() {
+        let p = program("typedef int shared;");
+        let shared_structs = p.structs.len();
+        let mut scope = LocalScope::new(&p);
+        scope.add_typedef("local_t".into(), QualType::plain(Type::Char));
+        scope.define_enum_const("L".into(), 3);
+        let id = scope.intern_struct("_local", false, true);
+        scope.complete_struct(
+            id,
+            vec![Field { name: "x".into(), ty: QualType::plain(Type::int()) }],
+        );
+        // The shared program is untouched.
+        assert_eq!(p.structs.len(), shared_structs);
+        assert!(p.typedefs.get("local_t").is_none());
+        assert!(p.enum_consts.get("L").is_none());
+        // The overlay sees everything.
+        assert!(scope.lookup_typedef("local_t").is_some());
+        assert!(scope.lookup_typedef("shared").is_some());
+        assert_eq!(scope.enum_const("L"), Some(3));
+        assert!(scope.struct_def(id).complete);
+        assert_eq!(scope.struct_def(id).field("x").unwrap().name, "x");
+    }
+
+    #[test]
+    fn local_struct_body_shadows_shared_tag() {
+        let p = program("struct _s { int a; int b; };");
+        let shared_id = p.structs.by_tag("_s").unwrap();
+        let mut scope = LocalScope::new(&p);
+        // A bare reference resolves to the shared definition.
+        assert_eq!(scope.intern_struct("_s", false, false), shared_id);
+        // A body shadows it with a fresh local id.
+        let local_id = scope.intern_struct("_s", false, true);
+        assert_ne!(local_id, shared_id);
+        assert!(local_id.0 >= p.structs.len() as u32);
+        // Later references within the function see the local definition.
+        assert_eq!(scope.intern_struct("_s", false, false), local_id);
+    }
+
+    #[test]
+    fn resolve_local_declarator_matches_program_resolution() {
+        let src = "typedef /*@null@*/ char *str; str s;";
+        let p = program(src);
+        let (tu, _, _) = parse_translation_unit("d.c", src).expect("parse");
+        let decl = match &tu.items[1] {
+            lclint_syntax::ast::Item::Decl(d) => d,
+            _ => panic!("expected decl"),
+        };
+        let mut scope = LocalScope::new(&p);
+        let ty = scope.resolve_local_declarator(&decl.specs, &decl.declarators[0].declarator);
+        assert!(ty.is_pointerish());
+        assert!(scope.errors().is_empty());
+    }
+}
