@@ -1,0 +1,447 @@
+//! The incremental check cache: fingerprint-keyed per-function results.
+//!
+//! Per-function checking is modular (paper §2 — no interprocedural
+//! fixpoint), so a function's diagnostics are a pure function of
+//!
+//! 1. its own preprocessed text (hashed span-free, so edits elsewhere in
+//!    the file do not disturb it),
+//! 2. its resolved signature (which folds in prototype annotations),
+//! 3. the interface facts it resolved while being checked — callee
+//!    signatures, globals, typedefs, struct bodies, enum constants —
+//!    recorded as a [`DepSet`] by the `LocalScope` overlay,
+//! 4. the [`AnalysisOptions`] (except `jobs`, which never changes output),
+//!    and the loaded interface libraries.
+//!
+//! The **fingerprint** hashes all four with the run-stable FNV hasher from
+//! `lclint_syntax::stable_hash`. A cached entry stores the fingerprint, the
+//! dependency names, and the diagnostics in *relocatable* form: every span
+//! is expressed relative to a named anchor (the function's own definition
+//! span, a global's declaration span, a callee's declaration span) so the
+//! entry survives edits that move the function and can be rebased against
+//! the current program on a hit. An entry whose spans cannot all be
+//! anchored is not stored (counted as uncacheable) — the cache never
+//! guesses.
+//!
+//! Validation follows the depfile pattern: on lookup, the stored dependency
+//! *names* are re-digested against the current program and combined with
+//! the current body hash; only if the resulting candidate fingerprint
+//! matches the stored one is the entry reused. Filtering by message-class
+//! flags and suppression comments happens *above* this layer, so flag
+//! changes never invalidate the cache.
+
+use crate::checker::{check_function_recording, effective_jobs};
+use crate::diag::{DiagKind, Diagnostic, Note};
+use crate::options::AnalysisOptions;
+use lclint_sema::deps::{digest_deps, DepSet};
+use lclint_sema::{CheckedFunction, Program};
+use lclint_syntax::span::Span;
+use lclint_syntax::stable_hash::{function_def_hash, StableHasher};
+use std::collections::HashMap;
+
+/// Bumped whenever fingerprinting, dependency recording, or the
+/// relocatable-diagnostic encoding changes meaning; on-disk caches carry it
+/// and are discarded wholesale on mismatch.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Digest of the analysis options that can change checking output.
+/// `jobs` is deliberately excluded: output is identical for any worker
+/// count, so a cache populated at `--jobs 1` must hit at `--jobs 8`.
+pub fn options_digest(opts: &AnalysisOptions) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u32(CACHE_FORMAT_VERSION);
+    h.write_bool(opts.implicit_only_returns);
+    h.write_bool(opts.implicit_only_globals);
+    h.write_bool(opts.implicit_only_fields);
+    h.write_bool(opts.gc_mode);
+    h.write_bool(opts.report_implicit_temp);
+    h.write_u8(match opts.loop_model {
+        lclint_cfg::LoopModel::ZeroOrOne => 0,
+        lclint_cfg::LoopModel::ZeroOneOrTwo => 1,
+    });
+    h.finish()
+}
+
+/// A span expressed relative to a named, recomputable anchor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelocSpan {
+    /// A synthetic (location-free) span.
+    Synthetic,
+    /// Inside the function's own definition; offsets from its span start.
+    Local {
+        /// Offset of `span.start` from the definition's start.
+        start: u32,
+        /// Offset of `span.end` from the definition's start.
+        end: u32,
+    },
+    /// Inside a global variable's declaration; offsets from its span start.
+    GlobalDecl {
+        /// The global's name.
+        name: String,
+        /// Offset from the declaration's start.
+        start: u32,
+        /// Offset of the end from the declaration's start.
+        end: u32,
+    },
+    /// Inside another function's declaration (e.g. a callee prototype).
+    FuncDecl {
+        /// The function's name.
+        name: String,
+        /// Offset from the declaration's start.
+        start: u32,
+        /// Offset of the end from the declaration's start.
+        end: u32,
+    },
+}
+
+/// A diagnostic with every span made relocatable. `in_function` is implied
+/// by the entry's key and re-attached on rebase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelocDiag {
+    /// Message category.
+    pub kind: DiagKind,
+    /// Primary message text.
+    pub message: String,
+    /// Primary location, anchored.
+    pub span: RelocSpan,
+    /// History notes: message plus anchored location.
+    pub notes: Vec<(String, RelocSpan)>,
+}
+
+/// One cached per-function result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// Fingerprint the entry was stored under.
+    pub fingerprint: u64,
+    /// Shared-program names the function's checking resolved.
+    pub deps: DepSet,
+    /// The function's diagnostics, relocatable.
+    pub diags: Vec<RelocDiag>,
+}
+
+/// Counters for one checking run (reset by [`CheckCache::take_stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Definitions whose cached result was reused.
+    pub hits: usize,
+    /// Definitions with no cache entry at all.
+    pub misses: usize,
+    /// Definitions whose entry existed but no longer matched (edited body,
+    /// changed dependency, different options/libraries).
+    pub invalidations: usize,
+    /// Freshly checked results that could not be stored because a span had
+    /// no stable anchor.
+    pub uncacheable: usize,
+    /// Names of the definitions actually (re-)checked, in definition order.
+    pub checked: Vec<String>,
+}
+
+impl CacheStats {
+    /// Definitions examined in total.
+    pub fn lookups(&self) -> usize {
+        self.hits + self.misses + self.invalidations
+    }
+}
+
+/// The in-memory incremental cache, keyed by function name.
+#[derive(Debug, Default)]
+pub struct CheckCache {
+    entries: HashMap<String, CacheEntry>,
+    stats: CacheStats,
+}
+
+impl CheckCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CheckCache::default()
+    }
+
+    /// Number of cached functions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters accumulated since the last [`CheckCache::take_stats`].
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Returns and resets the counters (call once per checking run).
+    pub fn take_stats(&mut self) -> CacheStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Iterates the stored entries (deterministic order not guaranteed;
+    /// serialization sorts by name).
+    pub fn entries(&self) -> impl Iterator<Item = (&String, &CacheEntry)> {
+        self.entries.iter()
+    }
+
+    /// Inserts a deserialized entry (used when loading a disk cache).
+    pub fn insert_entry(&mut self, name: String, entry: CacheEntry) {
+        self.entries.insert(name, entry);
+    }
+}
+
+/// The candidate fingerprint for `def` under the current program: combine
+/// the options/library digests, the signature, the span-free body hash, and
+/// the current digest of every recorded dependency.
+fn fingerprint(
+    program: &Program,
+    opts_digest: u64,
+    lib_digest: u64,
+    def: &CheckedFunction,
+    body_hash: u64,
+    deps: &DepSet,
+) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u32(CACHE_FORMAT_VERSION);
+    h.write_u64(opts_digest);
+    h.write_u64(lib_digest);
+    lclint_sema::deps::hash_function_sig(program, &def.sig, &mut h);
+    h.write_u64(body_hash);
+    digest_deps(program, deps, &mut h);
+    h.finish()
+}
+
+/// Converts a concrete span to an anchored one, or `None` when no stable
+/// anchor covers it.
+fn to_reloc_span(span: Span, anchor: Span, program: &Program, deps: &DepSet) -> Option<RelocSpan> {
+    if span.is_synthetic() {
+        return Some(RelocSpan::Synthetic);
+    }
+    let contains = |outer: Span| {
+        outer.file == span.file && span.start >= outer.start && span.end <= outer.end
+    };
+    if contains(anchor) {
+        return Some(RelocSpan::Local { start: span.start - anchor.start, end: span.end - anchor.start });
+    }
+    // Out-of-function spans can only point at declarations the function
+    // resolved — which are exactly the recorded dependencies.
+    for name in &deps.globals {
+        if let Some(g) = program.global(name) {
+            if contains(g.span) {
+                return Some(RelocSpan::GlobalDecl {
+                    name: name.clone(),
+                    start: span.start - g.span.start,
+                    end: span.end - g.span.start,
+                });
+            }
+        }
+    }
+    for name in &deps.functions {
+        if let Some(sig) = program.function(name) {
+            if contains(sig.span) {
+                return Some(RelocSpan::FuncDecl {
+                    name: name.clone(),
+                    start: span.start - sig.span.start,
+                    end: span.end - sig.span.start,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Rebases an anchored span against the current program. `None` when the
+/// anchor no longer exists (treated as an invalidation by the caller).
+fn from_reloc_span(rs: &RelocSpan, anchor: Span, program: &Program) -> Option<Span> {
+    match rs {
+        RelocSpan::Synthetic => Some(Span::synthetic()),
+        RelocSpan::Local { start, end } => {
+            Some(Span::new(anchor.file, anchor.start + start, anchor.start + end))
+        }
+        RelocSpan::GlobalDecl { name, start, end } => {
+            let g = program.global(name)?;
+            Some(Span::new(g.span.file, g.span.start + start, g.span.start + end))
+        }
+        RelocSpan::FuncDecl { name, start, end } => {
+            let sig = program.function(name)?;
+            Some(Span::new(sig.span.file, sig.span.start + start, sig.span.start + end))
+        }
+    }
+}
+
+/// Converts a function's diagnostics to relocatable form. `None` when any
+/// span lacks a stable anchor (the result is then not cached).
+fn to_reloc_diags(
+    diags: &[Diagnostic],
+    anchor: Span,
+    program: &Program,
+    deps: &DepSet,
+) -> Option<Vec<RelocDiag>> {
+    diags
+        .iter()
+        .map(|d| {
+            let span = to_reloc_span(d.span, anchor, program, deps)?;
+            let notes = d
+                .notes
+                .iter()
+                .map(|n| Some((n.message.clone(), to_reloc_span(n.span, anchor, program, deps)?)))
+                .collect::<Option<Vec<_>>>()?;
+            Some(RelocDiag { kind: d.kind, message: d.message.clone(), span, notes })
+        })
+        .collect()
+}
+
+/// Rebases a cached entry's diagnostics against the current program.
+fn rebase_diags(entry: &CacheEntry, def: &CheckedFunction, program: &Program) -> Option<Vec<Diagnostic>> {
+    let anchor = def.sig.span;
+    entry
+        .diags
+        .iter()
+        .map(|rd| {
+            let span = from_reloc_span(&rd.span, anchor, program)?;
+            let notes = rd
+                .notes
+                .iter()
+                .map(|(m, rs)| {
+                    Some(Note { message: m.clone(), span: from_reloc_span(rs, anchor, program)? })
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some(Diagnostic {
+                kind: rd.kind,
+                message: rd.message.clone(),
+                span,
+                notes,
+                in_function: Some(def.sig.name.clone()),
+            })
+        })
+        .collect()
+}
+
+/// Checks every definition in `program` through the cache: probe first,
+/// fan out only the misses over the parallel work queue, then merge in
+/// definition order (so output is byte-identical to [`check_program`] for
+/// any job count).
+///
+/// `lib_digest` is the caller's digest of the loaded interface libraries
+/// (and anything else outside `program` that can change checking).
+///
+/// [`check_program`]: crate::checker::check_program
+pub fn check_program_cached(
+    program: &Program,
+    opts: &AnalysisOptions,
+    lib_digest: u64,
+    cache: &mut CheckCache,
+) -> Vec<Diagnostic> {
+    let od = options_digest(opts);
+    let defs = &program.defs;
+    let mut slots: Vec<Option<Vec<Diagnostic>>> = vec![None; defs.len()];
+    let mut misses: Vec<usize> = Vec::new();
+
+    // Phase 1 — sequential probe. Hashing and digesting are orders of
+    // magnitude cheaper than checking, so this is not worth parallelizing.
+    for (i, def) in defs.iter().enumerate() {
+        let body_hash = function_def_hash(&def.ast);
+        match cache.entries.get(&def.sig.name) {
+            Some(entry) => {
+                let fp = fingerprint(program, od, lib_digest, def, body_hash, &entry.deps);
+                if fp == entry.fingerprint {
+                    if let Some(diags) = rebase_diags(entry, def, program) {
+                        cache.stats.hits += 1;
+                        slots[i] = Some(diags);
+                        continue;
+                    }
+                }
+                cache.stats.invalidations += 1;
+                misses.push(i);
+            }
+            None => {
+                cache.stats.misses += 1;
+                misses.push(i);
+            }
+        }
+    }
+
+    // Phase 2 — check the misses, in parallel when it pays.
+    let jobs = effective_jobs(opts.jobs, misses.len());
+    let fresh: Vec<(usize, Vec<Diagnostic>, DepSet)> = if jobs <= 1 {
+        misses
+            .iter()
+            .map(|&i| {
+                let def = &defs[i];
+                let (diags, deps) = check_function_recording(program, &def.sig, &def.ast, opts);
+                (i, diags, deps)
+            })
+            .collect()
+    } else {
+        check_misses_parallel(program, opts, &misses, jobs)
+    };
+
+    // Phase 3 — store fresh results and merge.
+    for (i, diags, deps) in fresh {
+        let def = &defs[i];
+        let body_hash = function_def_hash(&def.ast);
+        match to_reloc_diags(&diags, def.sig.span, program, &deps) {
+            Some(reloc) => {
+                let fp = fingerprint(program, od, lib_digest, def, body_hash, &deps);
+                cache.entries.insert(
+                    def.sig.name.clone(),
+                    CacheEntry { fingerprint: fp, deps, diags: reloc },
+                );
+            }
+            None => cache.stats.uncacheable += 1,
+        }
+        cache.stats.checked.push(def.sig.name.clone());
+        slots[i] = Some(diags);
+    }
+
+    slots.into_iter().flatten().flatten().collect()
+}
+
+#[cfg(feature = "parallel")]
+fn check_misses_parallel(
+    program: &Program,
+    opts: &AnalysisOptions,
+    misses: &[usize],
+    jobs: usize,
+) -> Vec<(usize, Vec<Diagnostic>, DepSet)> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let defs = &program.defs;
+    let next = AtomicUsize::new(0);
+    const WORKER_STACK: usize = 8 * 1024 * 1024;
+    let per_worker: Vec<Vec<(usize, Vec<Diagnostic>, DepSet)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                let next = &next;
+                std::thread::Builder::new()
+                    .name("lclint-check".to_owned())
+                    .stack_size(WORKER_STACK)
+                    .spawn_scoped(s, move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let w = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = misses.get(w) else { break };
+                            let def = &defs[i];
+                            let (diags, deps) =
+                                check_function_recording(program, &def.sig, &def.ast, opts);
+                            out.push((i, diags, deps));
+                        }
+                        out
+                    })
+                    .expect("spawn checker worker")
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("checker worker panicked")).collect()
+    });
+    let mut flat: Vec<(usize, Vec<Diagnostic>, DepSet)> =
+        per_worker.into_iter().flatten().collect();
+    // Deterministic order for phase 3 (stores and `checked` names).
+    flat.sort_by_key(|(i, _, _)| *i);
+    flat
+}
+
+#[cfg(not(feature = "parallel"))]
+fn check_misses_parallel(
+    _program: &Program,
+    _opts: &AnalysisOptions,
+    _misses: &[usize],
+    _jobs: usize,
+) -> Vec<(usize, Vec<Diagnostic>, DepSet)> {
+    unreachable!("effective_jobs returns 1 without the parallel feature")
+}

@@ -35,7 +35,7 @@ pub fn check_program(program: &Program, opts: &AnalysisOptions) -> Vec<Diagnosti
 
 /// The worker count to use for `requested` (0 = all cores) over `work_items`
 /// definitions. Always 1 when the `parallel` feature is off.
-fn effective_jobs(requested: usize, work_items: usize) -> usize {
+pub(crate) fn effective_jobs(requested: usize, work_items: usize) -> usize {
     if !cfg!(feature = "parallel") {
         return 1;
     }
@@ -101,7 +101,32 @@ pub fn check_function(
     ast: &FunctionDef,
     opts: &AnalysisOptions,
 ) -> Vec<Diagnostic> {
+    check_function_impl(program, sig, ast, opts, false).0
+}
+
+/// Like [`check_function`], but also returns the set of shared-program
+/// names the checking resolved (the function's dependency set, used by the
+/// incremental cache). Recording changes nothing about the diagnostics.
+pub fn check_function_recording(
+    program: &Program,
+    sig: &FunctionSig,
+    ast: &FunctionDef,
+    opts: &AnalysisOptions,
+) -> (Vec<Diagnostic>, lclint_sema::DepSet) {
+    check_function_impl(program, sig, ast, opts, true)
+}
+
+fn check_function_impl(
+    program: &Program,
+    sig: &FunctionSig,
+    ast: &FunctionDef,
+    opts: &AnalysisOptions,
+    recording: bool,
+) -> (Vec<Diagnostic>, lclint_sema::DepSet) {
     let mut checker = Checker::new(program, sig, opts);
+    if recording {
+        checker.scope = LocalScope::recording(program);
+    }
     let cfg = Cfg::build_with(ast, opts.loop_model);
     for span in &cfg.unreachable_stmts {
         checker.report(Diagnostic::new(
@@ -112,13 +137,14 @@ pub fn check_function(
     }
     let entry = checker.entry_env();
     lclint_cfg::run(&cfg, &mut checker, entry);
+    let deps = checker.scope.take_deps();
     let mut diags = checker.diags;
     for d in &mut diags {
         d.in_function = Some(sig.name.clone());
     }
     // Report in source order.
     diags.sort_by_key(|d| (d.span.file, d.span.start));
-    diags
+    (diags, deps)
 }
 
 /// Mutable analysis context for one function. All shared program state is

@@ -31,11 +31,13 @@
 mod checker;
 mod eval;
 
+pub mod cache;
 pub mod diag;
 pub mod options;
 pub mod refs;
 pub mod state;
 
+pub use cache::{check_program_cached, options_digest, CacheStats, CheckCache, CACHE_FORMAT_VERSION};
 pub use checker::{check_function, check_program};
 pub use diag::{DiagKind, Diagnostic, Note};
 pub use options::AnalysisOptions;

@@ -6,7 +6,7 @@
 
 #![warn(missing_docs)]
 
-use lclint_core::{Flags, Linter};
+use lclint_core::{Flags, IncrementalSession, Linter};
 use lclint_corpus::database::{database_roots, database_sources, DbStage};
 use lclint_corpus::figures;
 use lclint_corpus::generator::{generate, GenConfig};
@@ -319,6 +319,75 @@ pub fn stdlib_cache_stats(calls: usize) -> StdlibCacheStats {
     }
 }
 
+/// One scenario of the incremental warm-vs-cold table (E10, incremental
+/// variant).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct IncrRow {
+    /// Scenario label: `cold`, `warm-no-change`, or `warm-one-edit`.
+    pub scenario: String,
+    /// Wall-clock for the whole pipeline call, in milliseconds (includes
+    /// preprocessing, parsing, and program construction, which the cache
+    /// does not accelerate).
+    pub ms: f64,
+    /// Wall-clock for the checking phase alone, in milliseconds — the part
+    /// the fingerprint cache short-circuits.
+    pub check_ms: f64,
+    /// Cache hits.
+    pub hits: usize,
+    /// Cache misses (no entry).
+    pub misses: usize,
+    /// Entries present but no longer valid.
+    pub invalidations: usize,
+    /// Functions actually (re-)checked.
+    pub checked: usize,
+    /// True when the output was byte-identical to an uncached run (must be).
+    pub identical: bool,
+}
+
+/// E10 (incremental variant): cold run, no-change warm run, and
+/// one-function-edit warm run over a generated program of roughly
+/// `target_loc` lines, through one in-memory [`IncrementalSession`].
+/// Each scenario's rendered output is compared against an uncached check of
+/// the same sources, so the table doubles as a correctness check.
+pub fn incremental_table(target_loc: usize) -> Vec<IncrRow> {
+    let linter = Linter::new(Flags::default());
+    let p = generate(&GenConfig::with_target_loc(target_loc));
+    // The one-function edit: append a dead statement to the body of
+    // `m0_calc0` (a filler function every generated program has). The
+    // interface is untouched, so exactly this function should re-check.
+    let at = p.source.find("int m0_calc0").expect("generated filler present");
+    let ret = p.source[at..].find("return acc;").expect("filler returns") + at;
+    let edited = format!("{}acc = acc + 0;\n  {}", &p.source[..ret], &p.source[ret..]);
+
+    let mut session = IncrementalSession::in_memory();
+    let mut run = |scenario: &str, src: &str| {
+        let files = vec![("gen.c".to_owned(), src.to_owned())];
+        let roots = vec!["gen.c".to_owned()];
+        let reference = linter.check_files(&files, &roots).expect("parses").render();
+        let start = Instant::now();
+        let r = linter
+            .check_files_with(&files, &roots, Some(&mut session))
+            .expect("parses");
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        let cs = r.cache_stats.as_ref().expect("incremental run has stats");
+        IncrRow {
+            scenario: scenario.to_owned(),
+            ms,
+            check_ms: r.check_ms,
+            hits: cs.hits,
+            misses: cs.misses,
+            invalidations: cs.invalidations,
+            checked: cs.checked.len(),
+            identical: r.render() == reference,
+        }
+    };
+    vec![
+        run("cold", &p.source),
+        run("warm-no-change", &p.source),
+        run("warm-one-edit", &edited),
+    ]
+}
+
 /// E9 (library variant): time to check a module + client from full source
 /// vs checking the client against the module's interface library (§7's
 /// "libraries to store interface information"). Returns `(full_ms, lib_ms)`.
@@ -395,6 +464,24 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert!(rows[0].identical, "parallel output diverged from sequential");
         assert!(rows[0].jobs >= 1);
+    }
+
+    #[test]
+    fn incremental_table_hits_on_warm_runs() {
+        let rows = incremental_table(2_000);
+        let by: BTreeMap<&str, &IncrRow> =
+            rows.iter().map(|r| (r.scenario.as_str(), r)).collect();
+        let cold = by["cold"];
+        assert_eq!(cold.hits, 0, "{cold:?}");
+        assert!(cold.misses > 0, "{cold:?}");
+        let warm = by["warm-no-change"];
+        assert_eq!(warm.checked, 0, "{warm:?}");
+        assert_eq!(warm.hits, cold.misses, "{warm:?}");
+        let edit = by["warm-one-edit"];
+        assert_eq!(edit.checked, 1, "only the edited function re-checks: {edit:?}");
+        for r in &rows {
+            assert!(r.identical, "{} diverged from uncached output", r.scenario);
+        }
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! ```
 
 use lclint_bench::{
-    annotation_sweep, database_table, detection_table, figure_table, library_speedup,
-    par_speedup_table, scaling_table, stdlib_cache_stats,
+    annotation_sweep, database_table, detection_table, figure_table, incremental_table,
+    library_speedup, par_speedup_table, scaling_table, stdlib_cache_stats, IncrRow,
 };
 
 fn main() {
@@ -107,6 +107,32 @@ fn main() {
          \u{20}        100k-line program, nearly all eliminated by annotations."
     );
 
+    // E10b --------------------------------------------------------------------
+    let incr_loc = if quick { 5_000 } else { 20_000 };
+    println!("\nE10b. Incremental checking: warm vs cold ({incr_loc}-line program)\n");
+    println!(
+        "{:<16} {:>10} {:>11} {:>6} {:>7} {:>13} {:>9} {:>10}",
+        "scenario", "total (ms)", "check (ms)", "hits", "misses", "invalidations", "checked",
+        "identical"
+    );
+    let incr = incremental_table(incr_loc);
+    for row in &incr {
+        println!(
+            "{:<16} {:>10.1} {:>11.1} {:>6} {:>7} {:>13} {:>9} {:>10}",
+            row.scenario, row.ms, row.check_ms, row.hits, row.misses, row.invalidations,
+            row.checked, row.identical
+        );
+    }
+    println!(
+        "\n  fingerprint cache: no-change warm check phase {:.1}x faster than cold\n\
+         \u{20}  ({:.1}x end-to-end; parsing is not cached); a one-function edit\n\
+         \u{20}  re-checks {} of {} functions.",
+        incr[0].check_ms / incr[1].check_ms.max(1e-9),
+        incr[0].ms / incr[1].ms.max(1e-9),
+        incr[2].checked,
+        incr[0].misses
+    );
+
     // E11 ---------------------------------------------------------------------
     let (mutants, budgets): (usize, &[usize]) =
         if quick { (4, &[1, 10]) } else { (10, &[1, 5, 25, 125]) };
@@ -137,10 +163,57 @@ fn main() {
             "par_speedup": par_speedup,
             "stdlib_cache": cache,
             "annotation_sweep": sweep,
+            "incremental": incr,
             "detection": detect,
         });
         std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serializes"))
             .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
         println!("\nresults written to {path}");
+
+        // Snapshot of the incremental benchmark at the repo root, hand
+        // rendered so it is valid JSON even when a stub serializer is
+        // linked in offline builds.
+        let snap = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_PR2.json");
+        match std::fs::write(&snap, render_incr_snapshot(&incr, incr_loc)) {
+            Ok(()) => println!("incremental snapshot written to {}", snap.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
+        }
     }
+}
+
+/// Renders the E10b rows as a JSON document without going through a
+/// serializer (offline builds stub `serde_json`).
+fn render_incr_snapshot(rows: &[IncrRow], loc: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"incremental-warm-vs-cold\",\n");
+    out.push_str(&format!("  \"target_loc\": {loc},\n"));
+    out.push_str(&format!(
+        "  \"warm_speedup\": {:.2},\n",
+        rows[0].check_ms / rows[1].check_ms.max(1e-9)
+    ));
+    out.push_str(&format!(
+        "  \"warm_speedup_total\": {:.2},\n",
+        rows[0].ms / rows[1].ms.max(1e-9)
+    ));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"ms\": {:.3}, \"check_ms\": {:.3}, \"hits\": {}, \
+             \"misses\": {}, \"invalidations\": {}, \"checked\": {}, \"identical\": {}}}{}\n",
+            r.scenario,
+            r.ms,
+            r.check_ms,
+            r.hits,
+            r.misses,
+            r.invalidations,
+            r.checked,
+            r.identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

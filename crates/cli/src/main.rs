@@ -15,9 +15,11 @@
 //!   --lib FILE      load an interface library
 //!   --emit-lib      print the interface library of the inputs and exit
 //!   --run ENTRY     interpret ENTRY() after checking (runtime baseline)
+//!   --incremental DIR  persist a per-function result cache under DIR
+//!   --stats         print cache/checking counters to stderr
 //! ```
 
-use lclint_core::{library, Flags, Linter};
+use lclint_core::{library, Flags, IncrementalSession, Linter};
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -28,7 +30,8 @@ fn usage() -> ! {
          classes: {}\n\
          modes: allimponly imponlyreturns imponlyglobals imponlyfields gcmode\n\
          \u{20}       supcomments stdlib memchecks all\n\
-         options: --json --jobs N --lib FILE --emit-lib --run ENTRY",
+         options: --json --jobs N --lib FILE --emit-lib --run ENTRY\n\
+         \u{20}        --incremental DIR --stats",
         lclint_core::DiagKind::all()
             .iter()
             .map(|k| k.flag_name())
@@ -50,6 +53,8 @@ fn main() -> ExitCode {
     let mut emit_lib = false;
     let mut run_entry: Option<String> = None;
     let mut libs: Vec<(String, String)> = Vec::new();
+    let mut incremental_dir: Option<String> = None;
+    let mut stats = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -85,6 +90,12 @@ fn main() -> ExitCode {
                 let Some(entry) = args.get(i) else { usage() };
                 run_entry = Some(entry.clone());
             }
+            "--incremental" => {
+                i += 1;
+                let Some(dir) = args.get(i) else { usage() };
+                incremental_dir = Some(dir.clone());
+            }
+            "--stats" => stats = true,
             _ if a.starts_with('+') || (a.starts_with('-') && !a.starts_with("--")) => {
                 if let Err(e) = flags.apply(a) {
                     eprintln!("rlclint: {e}");
@@ -128,7 +139,20 @@ fn main() -> ExitCode {
     for (n, t) in libs {
         linter.add_library(n, t);
     }
-    let result = match linter.check_files(&files, &roots) {
+    let mut session = match incremental_dir {
+        Some(dir) => match IncrementalSession::at_dir(&dir) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("rlclint: cannot use incremental dir {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        // --stats without --incremental still reports counters, from a
+        // run-local in-memory cache (all misses, but the numbers are real).
+        None if stats => Some(IncrementalSession::in_memory()),
+        None => None,
+    };
+    let result = match linter.check_files_with(&files, &roots, session.as_mut()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("rlclint: parse error: {e}");
@@ -138,6 +162,18 @@ fn main() -> ExitCode {
 
     for e in &result.sema_errors {
         eprintln!("rlclint: {e}");
+    }
+    if stats {
+        if let Some(cs) = &result.cache_stats {
+            eprintln!(
+                "rlclint: cache: {} hits, {} misses, {} invalidations, {} uncacheable, {} checked",
+                cs.hits,
+                cs.misses,
+                cs.invalidations,
+                cs.uncacheable,
+                cs.checked.len()
+            );
+        }
     }
     if json {
         match serde_json::to_string_pretty(&result.diagnostics) {

@@ -4,11 +4,14 @@
 //! suppression-comment filtering.
 
 use crate::flags::Flags;
+use crate::incremental::IncrementalSession;
 use crate::render::RenderedDiagnostic;
 use crate::stdlib::STDLIB_SOURCE;
 use crate::suppress::SuppressionSet;
+use lclint_analysis::cache::{check_program_cached, options_digest, CacheStats};
 use lclint_analysis::check_program;
 use lclint_sema::Program;
+use lclint_syntax::stable_hash::StableHasher;
 use lclint_syntax::lexer::ControlComment;
 use lclint_syntax::pp::{preprocess, MemoryProvider};
 use lclint_syntax::span::SourceMap;
@@ -66,6 +69,14 @@ pub struct CheckResult {
     pub sema_errors: Vec<String>,
     /// The source map of the run (for custom rendering).
     pub source_map: SourceMap,
+    /// Incremental-cache counters, present when the run went through an
+    /// [`IncrementalSession`].
+    pub cache_stats: Option<CacheStats>,
+    /// Wall-clock milliseconds spent in the checking phase alone (dataflow
+    /// analysis and cache probing; excludes preprocessing, parsing, and
+    /// program construction). This is the phase the incremental cache
+    /// accelerates, so benchmarks report it alongside total time.
+    pub check_ms: f64,
 }
 
 impl CheckResult {
@@ -146,6 +157,38 @@ impl Linter {
     ///
     /// Returns the first lexing/preprocessing/parsing error.
     pub fn check_files(&self, files: &[(String, String)], roots: &[String]) -> Result<CheckResult> {
+        self.check_files_with(files, roots, None)
+    }
+
+    /// Digest of everything outside the parsed program that feeds checking:
+    /// whether the annotated stdlib is loaded, and the text of every added
+    /// interface library. Part of every cache fingerprint.
+    fn library_digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_bool(self.flags.use_stdlib);
+        h.write_u64(self.libraries.len() as u64);
+        for (name, text) in &self.libraries {
+            h.write_str(name);
+            h.write_str(text);
+        }
+        h.finish()
+    }
+
+    /// Like [`Linter::check_files`], but routes checking through an
+    /// incremental session when one is given: previously cached functions
+    /// whose fingerprints still match are not re-checked, and
+    /// [`CheckResult::cache_stats`] reports hits/misses/invalidations.
+    /// Output is byte-identical to the uncached path for any `jobs` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first lexing/preprocessing/parsing error.
+    pub fn check_files_with(
+        &self,
+        files: &[(String, String)],
+        roots: &[String],
+        incremental: Option<&mut IncrementalSession>,
+    ) -> Result<CheckResult> {
         let mut provider = MemoryProvider::new();
         for (n, t) in files {
             provider.insert(n.clone(), t.clone());
@@ -221,7 +264,29 @@ impl Linter {
             })
             .collect();
 
-        let mut diags = check_program(&program, &self.flags.analysis);
+        // The cache sits *below* flag and suppression filtering: entries
+        // hold the full per-function diagnostics, so toggling message
+        // classes or suppression comments never invalidates anything.
+        let check_start = std::time::Instant::now();
+        let (mut diags, cache_stats) = match incremental {
+            None => (check_program(&program, &self.flags.analysis), None),
+            Some(session) => {
+                let od = options_digest(&self.flags.analysis);
+                let lib = self.library_digest();
+                session.prepare(od, lib);
+                let diags = check_program_cached(
+                    &program,
+                    &self.flags.analysis,
+                    lib,
+                    &mut session.cache,
+                );
+                // Best-effort: a failed save costs the next run its warm
+                // start, never this run its result.
+                let _ = session.persist(od, lib);
+                (diags, Some(session.take_stats()))
+            }
+        };
+        let check_ms = check_start.elapsed().as_secs_f64() * 1000.0;
         diags.retain(|d| self.flags.enabled(d.kind));
         diags.sort_by_key(|d| (d.span.file, d.span.start));
 
@@ -234,7 +299,14 @@ impl Linter {
 
         let rendered =
             diags.iter().map(|d| RenderedDiagnostic::resolve(d, &sm)).collect();
-        Ok(CheckResult { diagnostics: rendered, suppressed, sema_errors, source_map: sm })
+        Ok(CheckResult {
+            diagnostics: rendered,
+            suppressed,
+            sema_errors,
+            source_map: sm,
+            cache_stats,
+            check_ms,
+        })
     }
 }
 

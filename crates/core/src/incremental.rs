@@ -1,0 +1,389 @@
+//! Incremental checking sessions: an in-memory [`CheckCache`] for batch
+//! runs, optionally persisted to a directory (`--incremental <dir>`).
+//!
+//! The on-disk format is a single `cache.bin` file, length-prefixed binary
+//! with no external dependencies:
+//!
+//! ```text
+//! magic    8 bytes   b"LCLINCR1"
+//! version  u32 LE    lclint_analysis::CACHE_FORMAT_VERSION
+//! options  u64 LE    options_digest of the run that wrote the file
+//! library  u64 LE    digest of (use_stdlib, loaded interface libraries)
+//! count    u32 LE    number of entries
+//! entry*   name, fingerprint, DepSet, relocatable diagnostics
+//! ```
+//!
+//! Strings are `u32 LE length + UTF-8 bytes`; sets and lists carry a
+//! `u32 LE` count. Writes go to `cache.bin.tmp` and are renamed into place,
+//! so a crashed run never leaves a torn file. Reads are **never trusted**:
+//! any magic/version/stamp mismatch, truncation, or malformed field discards
+//! the whole file and the run proceeds from a cold cache. Even a loaded
+//! entry is only reused after its fingerprint revalidates against the
+//! current program, so a corrupted-but-well-formed file costs correctness
+//! nothing.
+
+use lclint_analysis::cache::{CacheEntry, CacheStats, CheckCache, RelocDiag, RelocSpan};
+use lclint_analysis::DiagKind;
+use lclint_sema::DepSet;
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"LCLINCR1";
+const CACHE_FILE: &str = "cache.bin";
+
+/// A reusable incremental-checking state: the cache plus (optionally) the
+/// directory it is persisted in.
+///
+/// # Examples
+///
+/// ```
+/// use lclint_core::{Flags, IncrementalSession, Linter};
+///
+/// let linter = Linter::new(Flags::default());
+/// let mut session = IncrementalSession::in_memory();
+/// let files = [("m.c".to_owned(), "void f(void) { char *p = (char *) malloc(10); }\n".to_owned())];
+/// let cold = linter.check_files_with(&files, &["m.c".to_owned()], Some(&mut session)).unwrap();
+/// let warm = linter.check_files_with(&files, &["m.c".to_owned()], Some(&mut session)).unwrap();
+/// assert_eq!(cold.render(), warm.render());
+/// assert_eq!(warm.cache_stats.as_ref().unwrap().hits, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct IncrementalSession {
+    pub(crate) cache: CheckCache,
+    dir: Option<PathBuf>,
+    /// The `(options_digest, lib_digest)` stamp of the loaded disk file;
+    /// checked before first use so a foreign cache is dropped wholesale.
+    loaded_stamp: Option<(u64, u64)>,
+}
+
+impl IncrementalSession {
+    /// A purely in-memory session (for batch runs over many check calls).
+    pub fn in_memory() -> Self {
+        IncrementalSession::default()
+    }
+
+    /// A session persisted under `dir`: loads `dir/cache.bin` when present
+    /// and valid, and rewrites it after every checking run. The directory
+    /// is created if missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the directory cannot be created; an
+    /// unreadable or invalid cache file is silently treated as cold.
+    pub fn at_dir(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut s = IncrementalSession { dir: Some(dir), ..Default::default() };
+        s.load();
+        Ok(s)
+    }
+
+    /// Number of cached functions currently held.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Called by the driver before checking: drop a disk-loaded cache whose
+    /// stamp does not match the current run (different options, libraries,
+    /// or format version — the file was written by a different world).
+    pub(crate) fn prepare(&mut self, options_digest: u64, lib_digest: u64) {
+        if let Some(stamp) = self.loaded_stamp.take() {
+            if stamp != (options_digest, lib_digest) {
+                self.cache = CheckCache::new();
+            }
+        }
+    }
+
+    /// Called by the driver after checking: persist if a directory is
+    /// attached. Save failures are reported but do not fail the check run.
+    pub(crate) fn persist(&self, options_digest: u64, lib_digest: u64) -> io::Result<()> {
+        let Some(dir) = &self.dir else { return Ok(()) };
+        save_cache(dir, &self.cache, options_digest, lib_digest)
+    }
+
+    /// Takes the counters accumulated by the last run.
+    pub(crate) fn take_stats(&mut self) -> CacheStats {
+        self.cache.take_stats()
+    }
+
+    fn load(&mut self) {
+        let Some(dir) = &self.dir else { return };
+        if let Some((stamp, cache)) = load_cache(&dir.join(CACHE_FILE)) {
+            self.loaded_stamp = Some(stamp);
+            self.cache = cache;
+        }
+    }
+}
+
+/// Serializes and atomically writes the cache.
+fn save_cache(dir: &Path, cache: &CheckCache, options_digest: u64, lib_digest: u64) -> io::Result<()> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    w_u32(&mut buf, lclint_analysis::CACHE_FORMAT_VERSION);
+    w_u64(&mut buf, options_digest);
+    w_u64(&mut buf, lib_digest);
+    let mut entries: Vec<(&String, &CacheEntry)> = cache.entries().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    w_u32(&mut buf, entries.len() as u32);
+    for (name, e) in entries {
+        w_str(&mut buf, name);
+        w_u64(&mut buf, e.fingerprint);
+        w_set(&mut buf, &e.deps.typedefs);
+        w_set(&mut buf, &e.deps.structs);
+        w_set(&mut buf, &e.deps.enum_consts);
+        w_set(&mut buf, &e.deps.functions);
+        w_set(&mut buf, &e.deps.globals);
+        w_u32(&mut buf, e.diags.len() as u32);
+        for d in &e.diags {
+            w_u8(&mut buf, kind_code(d.kind));
+            w_str(&mut buf, &d.message);
+            w_span(&mut buf, &d.span);
+            w_u32(&mut buf, d.notes.len() as u32);
+            for (m, s) in &d.notes {
+                w_str(&mut buf, m);
+                w_span(&mut buf, s);
+            }
+        }
+    }
+    let tmp = dir.join(format!("{CACHE_FILE}.tmp"));
+    fs::write(&tmp, &buf)?;
+    fs::rename(&tmp, dir.join(CACHE_FILE))
+}
+
+/// Parses a cache file. `None` on any mismatch or malformation — the
+/// caller starts cold.
+fn load_cache(path: &Path) -> Option<((u64, u64), CheckCache)> {
+    let data = fs::read(path).ok()?;
+    let mut r = data.as_slice();
+    if r_bytes(&mut r, 8)? != MAGIC.as_slice() {
+        return None;
+    }
+    if r_u32(&mut r)? != lclint_analysis::CACHE_FORMAT_VERSION {
+        return None;
+    }
+    let options_digest = r_u64(&mut r)?;
+    let lib_digest = r_u64(&mut r)?;
+    let count = r_u32(&mut r)?;
+    let mut cache = CheckCache::new();
+    for _ in 0..count {
+        let name = r_str(&mut r)?;
+        let fingerprint = r_u64(&mut r)?;
+        let deps = DepSet {
+            typedefs: r_set(&mut r)?,
+            structs: r_set(&mut r)?,
+            enum_consts: r_set(&mut r)?,
+            functions: r_set(&mut r)?,
+            globals: r_set(&mut r)?,
+        };
+        let ndiags = r_u32(&mut r)?;
+        let mut diags = Vec::with_capacity(ndiags.min(1024) as usize);
+        for _ in 0..ndiags {
+            let kind = kind_from_code(r_u8(&mut r)?)?;
+            let message = r_str(&mut r)?;
+            let span = r_span(&mut r)?;
+            let nnotes = r_u32(&mut r)?;
+            let mut notes = Vec::with_capacity(nnotes.min(1024) as usize);
+            for _ in 0..nnotes {
+                let m = r_str(&mut r)?;
+                let s = r_span(&mut r)?;
+                notes.push((m, s));
+            }
+            diags.push(RelocDiag { kind, message, span, notes });
+        }
+        cache.insert_entry(name, CacheEntry { fingerprint, deps, diags });
+    }
+    if !r.is_empty() {
+        return None; // trailing garbage: not a file we wrote
+    }
+    Some(((options_digest, lib_digest), cache))
+}
+
+/// Diagnostic kinds are encoded by position in [`DiagKind::all`]; the order
+/// is part of the format, guarded by `CACHE_FORMAT_VERSION`.
+fn kind_code(kind: DiagKind) -> u8 {
+    DiagKind::all().iter().position(|k| *k == kind).expect("kind in all()") as u8
+}
+
+fn kind_from_code(code: u8) -> Option<DiagKind> {
+    DiagKind::all().get(code as usize).copied()
+}
+
+fn w_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn w_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_str(buf: &mut Vec<u8>, s: &str) {
+    w_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn w_set(buf: &mut Vec<u8>, set: &BTreeSet<String>) {
+    w_u32(buf, set.len() as u32);
+    for s in set {
+        w_str(buf, s);
+    }
+}
+
+fn w_span(buf: &mut Vec<u8>, s: &RelocSpan) {
+    match s {
+        RelocSpan::Synthetic => w_u8(buf, 0),
+        RelocSpan::Local { start, end } => {
+            w_u8(buf, 1);
+            w_u32(buf, *start);
+            w_u32(buf, *end);
+        }
+        RelocSpan::GlobalDecl { name, start, end } => {
+            w_u8(buf, 2);
+            w_str(buf, name);
+            w_u32(buf, *start);
+            w_u32(buf, *end);
+        }
+        RelocSpan::FuncDecl { name, start, end } => {
+            w_u8(buf, 3);
+            w_str(buf, name);
+            w_u32(buf, *start);
+            w_u32(buf, *end);
+        }
+    }
+}
+
+fn r_bytes<'a>(r: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if r.len() < n {
+        return None;
+    }
+    let (head, tail) = r.split_at(n);
+    *r = tail;
+    Some(head)
+}
+
+fn r_u8(r: &mut &[u8]) -> Option<u8> {
+    Some(r_bytes(r, 1)?[0])
+}
+
+fn r_u32(r: &mut &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(r_bytes(r, 4)?.try_into().ok()?))
+}
+
+fn r_u64(r: &mut &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(r_bytes(r, 8)?.try_into().ok()?))
+}
+
+fn r_str(r: &mut &[u8]) -> Option<String> {
+    let n = r_u32(r)? as usize;
+    String::from_utf8(r_bytes(r, n)?.to_vec()).ok()
+}
+
+fn r_set(r: &mut &[u8]) -> Option<BTreeSet<String>> {
+    let n = r_u32(r)?;
+    let mut set = BTreeSet::new();
+    for _ in 0..n {
+        set.insert(r_str(r)?);
+    }
+    Some(set)
+}
+
+fn r_span(r: &mut &[u8]) -> Option<RelocSpan> {
+    Some(match r_u8(r)? {
+        0 => RelocSpan::Synthetic,
+        1 => RelocSpan::Local { start: r_u32(r)?, end: r_u32(r)? },
+        2 => RelocSpan::GlobalDecl { name: r_str(r)?, start: r_u32(r)?, end: r_u32(r)? },
+        3 => RelocSpan::FuncDecl { name: r_str(r)?, start: r_u32(r)?, end: r_u32(r)? },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Flags, Linter};
+
+    fn files(src: &str) -> Vec<(String, String)> {
+        vec![("m.c".to_owned(), src.to_owned())]
+    }
+
+    const SRC: &str = "extern char *gname;\n\
+                       void setName(/*@null@*/ char *pname)\n{\n  gname = pname;\n}\n\
+                       void ok(void)\n{\n  char *p = (char *) malloc(4);\n  free(p);\n}\n";
+
+    #[test]
+    fn disk_cache_round_trips() {
+        let dir = std::env::temp_dir().join(format!("lclint-incr-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let linter = Linter::new(Flags::default());
+
+        let mut s1 = IncrementalSession::at_dir(&dir).unwrap();
+        let cold = linter.check_files_with(&files(SRC), &["m.c".to_owned()], Some(&mut s1)).unwrap();
+        let st = cold.cache_stats.as_ref().unwrap();
+        assert_eq!((st.hits, st.misses), (0, 2), "{st:?}");
+        assert!(dir.join(CACHE_FILE).exists());
+
+        // A fresh process (modelled by a fresh session) loads the file and
+        // hits on everything, with byte-identical output.
+        let mut s2 = IncrementalSession::at_dir(&dir).unwrap();
+        assert_eq!(s2.len(), 2);
+        let warm = linter.check_files_with(&files(SRC), &["m.c".to_owned()], Some(&mut s2)).unwrap();
+        let st = warm.cache_stats.as_ref().unwrap();
+        assert_eq!((st.hits, st.misses, st.invalidations), (2, 0, 0), "{st:?}");
+        assert_eq!(cold.render(), warm.render());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_foreign_cache_is_ignored() {
+        let dir = std::env::temp_dir().join(format!("lclint-incr-bad-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+
+        // Garbage file: load silently starts cold.
+        fs::write(dir.join(CACHE_FILE), b"not a cache").unwrap();
+        let s = IncrementalSession::at_dir(&dir).unwrap();
+        assert!(s.is_empty());
+
+        // Truncated but well-magic'd file: also cold.
+        let linter = Linter::new(Flags::default());
+        let mut s1 = IncrementalSession::at_dir(&dir).unwrap();
+        linter.check_files_with(&files(SRC), &["m.c".to_owned()], Some(&mut s1)).unwrap();
+        let full = fs::read(dir.join(CACHE_FILE)).unwrap();
+        fs::write(dir.join(CACHE_FILE), &full[..full.len() / 2]).unwrap();
+        let s2 = IncrementalSession::at_dir(&dir).unwrap();
+        assert!(s2.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stamp_mismatch_discards_disk_cache() {
+        let dir = std::env::temp_dir().join(format!("lclint-incr-stamp-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let linter = Linter::new(Flags::default());
+        let mut s1 = IncrementalSession::at_dir(&dir).unwrap();
+        linter.check_files_with(&files(SRC), &["m.c".to_owned()], Some(&mut s1)).unwrap();
+
+        // A run with different analysis options must not trust the file:
+        // everything is a miss (wholesale discard), not an invalidation.
+        let mut flags = Flags::default();
+        flags.analysis.gc_mode = true;
+        let other = Linter::new(flags);
+        let mut s2 = IncrementalSession::at_dir(&dir).unwrap();
+        let res = other.check_files_with(&files(SRC), &["m.c".to_owned()], Some(&mut s2)).unwrap();
+        let st = res.cache_stats.as_ref().unwrap();
+        assert_eq!(st.hits, 0, "{st:?}");
+        assert_eq!(st.invalidations, 0, "{st:?}");
+        assert_eq!(st.misses, 2, "{st:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod driver;
 pub mod flags;
+pub mod incremental;
 pub mod library;
 pub mod render;
 pub mod stdlib;
@@ -28,6 +29,8 @@ pub mod suppress;
 
 pub use driver::{stdlib_cache_hits, CheckResult, Linter};
 pub use flags::{FlagError, Flags};
+pub use incremental::IncrementalSession;
+pub use lclint_analysis::cache::CacheStats;
 pub use render::{render_all, RenderedDiagnostic, RenderedNote};
 pub use stdlib::STDLIB_SOURCE;
 pub use suppress::SuppressionSet;

@@ -1,0 +1,341 @@
+//! Dependency recording and stable digests for incremental checking.
+//!
+//! Per-function checking is a pure function of (a) the function's own text,
+//! (b) the interface facts it resolves from the shared [`Program`] —
+//! signatures of callees, globals, typedefs, struct bodies, enum constants —
+//! and (c) the analysis options. A [`DepSet`] is the record of (b), filled
+//! in by [`LocalScope`](crate::LocalScope) while the checker runs (the
+//! "depfile" pattern: discover dependencies during the build, validate them
+//! on the next one). [`digest_deps`] then folds the *current* resolution of
+//! every recorded name into a [`StableHasher`], so a cached result is reused
+//! only when everything the function ever looked at still resolves to
+//! something that hashes identically.
+//!
+//! Absence is a fact too: a name that resolved to nothing is recorded and
+//! digested as "absent", so *introducing* a symbol invalidates functions
+//! that previously failed to find it.
+//!
+//! Nothing here hashes a [`StructId`] or a [`Span`](lclint_syntax::Span):
+//! ids are table indexes (unstable across edits), spans move with every
+//! keystroke. Struct references hash their tag and body, recursively, with
+//! a visited set to terminate on recursive types.
+
+use crate::program::{FunctionSig, GlobalVar, Program};
+use crate::types::{FnType, QualType, StructDef, StructId, Type};
+use lclint_syntax::ast::IntSize;
+use lclint_syntax::stable_hash::StableHasher;
+use std::collections::BTreeSet;
+
+/// The set of shared-program names one function's checking resolved,
+/// grouped by namespace. Ordered sets so iteration (and therefore hashing
+/// and serialization) is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepSet {
+    /// Typedef names looked up (and not shadowed locally).
+    pub typedefs: BTreeSet<String>,
+    /// Struct/union tags resolved against the shared table (anonymous
+    /// structs appear under their synthesized `<anon N>` tag).
+    pub structs: BTreeSet<String>,
+    /// Enum constant names looked up (and not defined locally).
+    pub enum_consts: BTreeSet<String>,
+    /// Function signatures looked up (callees, function-pointer sources).
+    pub functions: BTreeSet<String>,
+    /// Globals looked up.
+    pub globals: BTreeSet<String>,
+}
+
+impl DepSet {
+    /// An empty dependency set.
+    pub fn new() -> Self {
+        DepSet::default()
+    }
+
+    /// Total number of recorded names across all namespaces.
+    pub fn len(&self) -> usize {
+        self.typedefs.len()
+            + self.structs.len()
+            + self.enum_consts.len()
+            + self.functions.len()
+            + self.globals.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Digests the *current* resolution of every name in `deps` against
+/// `program`. Two calls agree exactly when every recorded symbol (or its
+/// absence) is semantically unchanged.
+pub fn digest_deps(program: &Program, deps: &DepSet, h: &mut StableHasher) {
+    for name in &deps.typedefs {
+        h.write_u8(b'T');
+        h.write_str(name);
+        match program.typedefs.get(name) {
+            Some(t) => {
+                h.write_bool(true);
+                hash_qual_type(program, t, h, &mut Vec::new());
+            }
+            None => h.write_bool(false),
+        }
+    }
+    for tag in &deps.structs {
+        h.write_u8(b'S');
+        h.write_str(tag);
+        match struct_by_tag(program, tag) {
+            Some(def) => {
+                h.write_bool(true);
+                hash_struct_body(program, def, h, &mut Vec::new());
+            }
+            None => h.write_bool(false),
+        }
+    }
+    for name in &deps.enum_consts {
+        h.write_u8(b'E');
+        h.write_str(name);
+        match program.enum_consts.get(name) {
+            Some(v) => {
+                h.write_bool(true);
+                h.write_i64(*v);
+            }
+            None => h.write_bool(false),
+        }
+    }
+    for name in &deps.functions {
+        h.write_u8(b'F');
+        h.write_str(name);
+        match program.function(name) {
+            Some(sig) => {
+                h.write_bool(true);
+                hash_function_sig(program, sig, h);
+            }
+            None => h.write_bool(false),
+        }
+    }
+    for name in &deps.globals {
+        h.write_u8(b'G');
+        h.write_str(name);
+        match program.global(name) {
+            Some(g) => {
+                h.write_bool(true);
+                hash_global(program, g, h);
+            }
+            None => h.write_bool(false),
+        }
+    }
+}
+
+/// Resolves a tag against the shared table. The `by_tag` map does not index
+/// anonymous structs, so fall back to scanning for the synthesized tag.
+fn struct_by_tag<'p>(program: &'p Program, tag: &str) -> Option<&'p StructDef> {
+    if let Some(id) = program.structs.by_tag(tag) {
+        return Some(program.structs.get(id));
+    }
+    program.structs.iter().map(|(_, d)| d).find(|d| d.tag == tag)
+}
+
+/// Digests a function signature, spans excluded.
+pub fn hash_function_sig(program: &Program, sig: &FunctionSig, h: &mut StableHasher) {
+    h.write_str(&sig.name);
+    h.write_bool(sig.is_static);
+    h.write_bool(sig.has_def);
+    hash_fn_type(program, &sig.ty, h, &mut Vec::new());
+}
+
+/// Digests a global declaration, span excluded.
+pub fn hash_global(program: &Program, g: &GlobalVar, h: &mut StableHasher) {
+    h.write_str(&g.name);
+    h.write_bool(g.is_static);
+    h.write_bool(g.is_extern);
+    h.write_bool(g.has_init);
+    hash_qual_type(program, &g.ty, h, &mut Vec::new());
+}
+
+fn hash_fn_type(program: &Program, f: &FnType, h: &mut StableHasher, visited: &mut Vec<StructId>) {
+    hash_qual_type(program, &f.ret, h, visited);
+    h.write_u64(f.params.len() as u64);
+    for p in &f.params {
+        match &p.name {
+            Some(n) => {
+                h.write_bool(true);
+                h.write_str(n);
+            }
+            None => h.write_bool(false),
+        }
+        hash_qual_type(program, &p.ty, h, visited);
+    }
+    h.write_bool(f.variadic);
+    match &f.globals {
+        None => h.write_bool(false),
+        Some(gs) => {
+            h.write_bool(true);
+            h.write_u64(gs.len() as u64);
+            for g in gs {
+                h.write_str(&g.name);
+                h.write_bool(g.undef);
+            }
+        }
+    }
+}
+
+/// Digests an annotated type. Struct references hash tag + body (not the
+/// [`StructId`], which is a table index); `visited` breaks recursion.
+pub fn hash_qual_type(
+    program: &Program,
+    t: &QualType,
+    h: &mut StableHasher,
+    visited: &mut Vec<StructId>,
+) {
+    // AnnotSet's Display is its canonical `/*@...@*/` rendering.
+    h.write_str(&t.annots.to_string());
+    match &t.ty {
+        Type::Void => h.write_u8(0),
+        Type::Char => h.write_u8(1),
+        Type::Int { signed, size } => {
+            h.write_u8(2);
+            h.write_bool(*signed);
+            h.write_u8(match size {
+                IntSize::Short => 0,
+                IntSize::Int => 1,
+                IntSize::Long => 2,
+            });
+        }
+        Type::Float => h.write_u8(3),
+        Type::Double => h.write_u8(4),
+        Type::Enum(name) => {
+            h.write_u8(5);
+            h.write_str(name);
+        }
+        Type::Pointer(inner) => {
+            h.write_u8(6);
+            hash_qual_type(program, inner, h, visited);
+        }
+        Type::Array(inner, len) => {
+            h.write_u8(7);
+            hash_qual_type(program, inner, h, visited);
+            match len {
+                Some(n) => {
+                    h.write_bool(true);
+                    h.write_u64(*n);
+                }
+                None => h.write_bool(false),
+            }
+        }
+        Type::Function(f) => {
+            h.write_u8(8);
+            hash_fn_type(program, f, h, visited);
+        }
+        Type::Struct(id) => {
+            h.write_u8(9);
+            if id.0 < program.structs.len() as u32 {
+                hash_struct_body(program, program.structs.get(*id), h, visited);
+            } else {
+                // A function-local overlay id leaked into a shared type —
+                // cannot happen for program-level declarations, but hash a
+                // marker rather than panic.
+                h.write_str("<local-struct>");
+            }
+        }
+        Type::Error => h.write_u8(10),
+    }
+}
+
+fn hash_struct_body(
+    program: &Program,
+    def: &StructDef,
+    h: &mut StableHasher,
+    visited: &mut Vec<StructId>,
+) {
+    h.write_str(&def.tag);
+    h.write_bool(def.is_union);
+    h.write_bool(def.complete);
+    // Recursive types (struct _list { struct _list *next; }): hash the tag
+    // only on re-entry.
+    if let Some(id) = program.structs.by_tag(&def.tag) {
+        if visited.contains(&id) {
+            return;
+        }
+        visited.push(id);
+    }
+    h.write_u64(def.fields.len() as u64);
+    for f in &def.fields {
+        h.write_str(&f.name);
+        hash_qual_type(program, &f.ty, h, visited);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lclint_syntax::parse_translation_unit;
+
+    fn program(src: &str) -> Program {
+        let (tu, _, _) = parse_translation_unit("t.c", src).unwrap();
+        Program::from_unit(&tu)
+    }
+
+    fn digest(p: &Program, deps: &DepSet) -> u64 {
+        let mut h = StableHasher::new();
+        digest_deps(p, deps, &mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn dep_digest_tracks_typedef_changes_only() {
+        let p1 = program("typedef char *str; typedef int other;");
+        let p2 = program("typedef /*@null@*/ char *str; typedef int other;");
+        let mut deps = DepSet::new();
+        deps.typedefs.insert("str".into());
+        assert_ne!(digest(&p1, &deps), digest(&p2, &deps));
+        // A function that never looked at `str` sees no change.
+        let mut unrelated = DepSet::new();
+        unrelated.typedefs.insert("other".into());
+        assert_eq!(digest(&p1, &unrelated), digest(&p2, &unrelated));
+    }
+
+    #[test]
+    fn dep_digest_sees_absence() {
+        let p1 = program("int x;");
+        let p2 = program("int x; enum e { MISSING = 4 };");
+        let mut deps = DepSet::new();
+        deps.enum_consts.insert("MISSING".into());
+        assert_ne!(digest(&p1, &deps), digest(&p2, &deps));
+    }
+
+    #[test]
+    fn dep_digest_tracks_callee_annotations() {
+        let p1 = program("extern char *get(void);");
+        let p2 = program("extern /*@only@*/ char *get(void);");
+        let mut deps = DepSet::new();
+        deps.functions.insert("get".into());
+        assert_ne!(digest(&p1, &deps), digest(&p2, &deps));
+    }
+
+    #[test]
+    fn dep_digest_recursive_struct_terminates() {
+        let p = program(
+            "struct _list { /*@null@*/ struct _list *next; int v; };",
+        );
+        let mut deps = DepSet::new();
+        deps.structs.insert("_list".into());
+        let d1 = digest(&p, &deps);
+        let d2 = digest(&p, &deps);
+        assert_eq!(d1, d2);
+        let q = program(
+            "struct _list { /*@null@*/ struct _list *next; char v; };",
+        );
+        assert_ne!(d1, digest(&q, &deps));
+    }
+
+    #[test]
+    fn dep_digest_is_span_independent() {
+        let p1 = program("typedef char *str; extern /*@only@*/ char *get(void); char *g;");
+        let p2 = program("\n\n/* moved */\ntypedef char *str;\nextern /*@only@*/ char *get(void);\nchar *g;");
+        let mut deps = DepSet::new();
+        deps.typedefs.insert("str".into());
+        deps.functions.insert("get".into());
+        deps.globals.insert("g".into());
+        assert_eq!(digest(&p1, &deps), digest(&p2, &deps));
+    }
+}

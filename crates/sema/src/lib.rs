@@ -18,10 +18,12 @@
 
 #![warn(missing_docs)]
 
+pub mod deps;
 pub mod program;
 pub mod scope;
 pub mod types;
 
+pub use deps::{digest_deps, hash_function_sig, DepSet};
 pub use program::{
     const_eval, const_eval_with, CheckedFunction, FunctionSig, GlobalVar, Program, SemaError,
     SymbolSource,

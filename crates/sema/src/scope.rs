@@ -13,6 +13,7 @@
 //! below `base.structs.len()` refer to the shared table, ids at or above it
 //! refer to this overlay's private definitions.
 
+use crate::deps::DepSet;
 use crate::program::{
     build_declared_type_in, resolve_type_spec_in, FunctionSig, GlobalVar, Program, SemaError,
     SymbolSource,
@@ -20,6 +21,7 @@ use crate::program::{
 use crate::types::{Field, QualType, StructDef, StructId};
 use lclint_syntax::ast::{DeclSpecs, Declarator, TypeSpec};
 use lclint_syntax::span::Span;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// A function-local view of the program's symbol tables: reads fall through
@@ -41,6 +43,11 @@ pub struct LocalScope<'p> {
     /// Resolution problems found while checking. The shared program's error
     /// list is frozen by the time checking runs, so these stay local.
     errors: Vec<SemaError>,
+    /// When present, every lookup that consults the shared program is
+    /// recorded here — the dependency set of the function being checked
+    /// (the incremental cache's "depfile"). `RefCell` because several
+    /// [`SymbolSource`] lookups take `&self`.
+    recorded: Option<RefCell<DepSet>>,
 }
 
 impl<'p> LocalScope<'p> {
@@ -54,6 +61,27 @@ impl<'p> LocalScope<'p> {
             struct_base: base.structs.len() as u32,
             enum_consts: HashMap::new(),
             errors: Vec::new(),
+            recorded: None,
+        }
+    }
+
+    /// Creates an overlay that records every shared-program lookup (hits
+    /// *and* misses — absence of a symbol is a dependency too).
+    pub fn recording(base: &'p Program) -> Self {
+        let mut s = LocalScope::new(base);
+        s.recorded = Some(RefCell::new(DepSet::new()));
+        s
+    }
+
+    /// Takes the dependency set recorded so far (empty unless this scope
+    /// was created with [`LocalScope::recording`]).
+    pub fn take_deps(&mut self) -> DepSet {
+        self.recorded.take().map(RefCell::into_inner).unwrap_or_default()
+    }
+
+    fn record<F: FnOnce(&mut DepSet)>(&self, f: F) {
+        if let Some(r) = &self.recorded {
+            f(&mut r.borrow_mut());
         }
     }
 
@@ -65,18 +93,28 @@ impl<'p> LocalScope<'p> {
     /// Looks up a function signature in the shared program. The returned
     /// reference borrows from the program, not from this scope.
     pub fn function(&self, name: &str) -> Option<&'p FunctionSig> {
+        self.record(|d| {
+            d.functions.insert(name.to_owned());
+        });
         self.base.function(name)
     }
 
     /// Looks up a global variable in the shared program.
     pub fn global(&self, name: &str) -> Option<&'p GlobalVar> {
+        self.record(|d| {
+            d.globals.insert(name.to_owned());
+        });
         self.base.global(name)
     }
 
     /// Resolves a struct id against whichever table owns it.
     pub fn struct_def(&self, id: StructId) -> &StructDef {
         if id.0 < self.struct_base {
-            self.base.structs.get(id)
+            let def = self.base.structs.get(id);
+            self.record(|d| {
+                d.structs.insert(def.tag.clone());
+            });
+            def
         } else {
             &self.local_structs[(id.0 - self.struct_base) as usize]
         }
@@ -117,10 +155,15 @@ impl<'p> LocalScope<'p> {
 
 impl SymbolSource for LocalScope<'_> {
     fn lookup_typedef(&self, name: &str) -> Option<QualType> {
-        self.typedefs
-            .get(name)
-            .cloned()
-            .or_else(|| self.base.typedefs.get(name).cloned())
+        if let Some(t) = self.typedefs.get(name) {
+            return Some(t.clone());
+        }
+        // Only fall-throughs to the shared table are dependencies; a local
+        // shadow makes the shared entry irrelevant.
+        self.record(|d| {
+            d.typedefs.insert(name.to_owned());
+        });
+        self.base.typedefs.get(name).cloned()
     }
 
     fn intern_struct(&mut self, tag: &str, is_union: bool, defines_body: bool) -> StructId {
@@ -130,6 +173,11 @@ impl SymbolSource for LocalScope<'_> {
         if !defines_body {
             // A bare reference resolves to the shared definition when one
             // exists; otherwise it introduces a local incomplete entry.
+            // Either way the *outcome* depends on the shared table, so
+            // record the consultation even on a miss.
+            self.record(|d| {
+                d.structs.insert(tag.to_owned());
+            });
             if let Some(id) = self.base.structs.by_tag(tag) {
                 return id;
             }
@@ -163,10 +211,13 @@ impl SymbolSource for LocalScope<'_> {
     }
 
     fn enum_const(&self, name: &str) -> Option<i64> {
-        self.enum_consts
-            .get(name)
-            .copied()
-            .or_else(|| self.base.enum_consts.get(name).copied())
+        if let Some(v) = self.enum_consts.get(name) {
+            return Some(*v);
+        }
+        self.record(|d| {
+            d.enum_consts.insert(name.to_owned());
+        });
+        self.base.enum_consts.get(name).copied()
     }
 
     fn define_enum_const(&mut self, name: String, value: i64) {

@@ -31,6 +31,7 @@ pub mod parser;
 pub mod pp;
 pub mod pretty;
 pub mod span;
+pub mod stable_hash;
 pub mod token;
 
 pub use annot::{AllocAnnot, Annot, AnnotSet, DefAnnot, ExposureAnnot, NullAnnot};
@@ -39,8 +40,9 @@ pub use error::{Result, SyntaxError};
 pub use lexer::{ControlComment, ControlKind, Lexer};
 pub use parser::Parser;
 pub use pp::{DiskProvider, FileProvider, MemoryProvider, PpOutput, Preprocessor};
-pub use pretty::pretty_print;
+pub use pretty::{pretty_print, pretty_print_function};
 pub use span::{FileId, Loc, SourceMap, Span};
+pub use stable_hash::{function_def_hash, token_stream_hash, StableHasher};
 
 use std::collections::HashMap;
 

@@ -17,6 +17,20 @@ pub fn pretty_print(tu: &TranslationUnit) -> String {
     p.out
 }
 
+/// Pretty-prints a single function definition (specifiers, declarator with
+/// its annotations, and body). This is the canonical span-free rendering the
+/// incremental cache hashes, so it must cover everything that can change a
+/// function's checking — see `lclint_syntax::stable_hash`.
+pub fn pretty_print_function(f: &FunctionDef) -> String {
+    let mut p = Printer::new();
+    p.specs(&f.specs);
+    p.out.push(' ');
+    p.declarator(&f.declarator);
+    p.out.push('\n');
+    p.stmt(&f.body);
+    p.out
+}
+
 struct Printer {
     out: String,
     indent: usize,

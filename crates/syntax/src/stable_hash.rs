@@ -1,0 +1,188 @@
+//! Run-stable hashing for incremental checking.
+//!
+//! The incremental cache keys per-function results by content fingerprints
+//! that must survive process restarts and land in on-disk caches, so the
+//! hashes here are *stable*: plain FNV-1a 64 over canonical byte
+//! renderings, never [`std::hash::DefaultHasher`] (whose output is
+//! randomized per process) and never anything containing a [`Span`]
+//! (editing one function must not invalidate its neighbours below it).
+//!
+//! [`Span`]: crate::span::Span
+
+use crate::ast::FunctionDef;
+use crate::token::{Token, TokenKind};
+
+/// FNV-1a 64-bit. Deliberately boring: stable across runs, platforms and
+/// toolchain updates, with no dependencies.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a string with a length prefix (so `"ab" + "c"` and
+    /// `"a" + "bc"` hash differently).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Absorbs a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `i64` (little-endian).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a bool as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Hashes a preprocessed token stream, excluding spans and layout trivia.
+///
+/// Two streams hash equal exactly when their token payloads match in
+/// order — whitespace, comments (other than semantic `/*@...@*/`
+/// annotations, which are tokens) and source positions are invisible, so
+/// edits *above* a region do not change the region's hash.
+pub fn token_stream_hash(tokens: &[Token]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(tokens.len() as u64);
+    for t in tokens {
+        // The discriminant byte keeps `Ident("int")` and `Kw(Int)` apart
+        // even where their renderings collide.
+        let tag: u8 = match &t.kind {
+            TokenKind::Ident(_) => 0,
+            TokenKind::Kw(_) => 1,
+            TokenKind::Int(_) => 2,
+            TokenKind::Float(_) => 3,
+            TokenKind::Char(_) => 4,
+            TokenKind::Str(_) => 5,
+            TokenKind::Punct(_) => 6,
+            TokenKind::Annot(_) => 7,
+            TokenKind::HeaderName(_) => 8,
+            TokenKind::Eof => 9,
+        };
+        h.write_u8(tag);
+        h.write_str(&t.kind.to_string());
+    }
+    h.finish()
+}
+
+/// Hashes one function definition: the span-free canonical rendering of its
+/// declaration specifiers, declarator (annotations included — they are part
+/// of the printed form) and body.
+pub fn function_def_hash(f: &FunctionDef) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(&crate::pretty::pretty_print_function(f));
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Item;
+    use crate::lexer::Lexer;
+    use crate::parse_translation_unit;
+    use crate::span::FileId;
+
+    fn tokens(src: &str) -> Vec<Token> {
+        Lexer::tokenize(src, FileId(0)).expect("lexes").0
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // The empty input is the offset basis; one step of FNV-1a is
+        // (basis ^ byte) * prime.
+        assert_eq!(StableHasher::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = StableHasher::new();
+        h.write_u8(b'a');
+        assert_eq!(h.finish(), (0xcbf2_9ce4_8422_2325_u64 ^ b'a' as u64).wrapping_mul(0x100_0000_01b3));
+    }
+
+    #[test]
+    fn token_hash_ignores_layout_but_not_content() {
+        let a = tokens("int x = 1;");
+        let b = tokens("\n\n  int   x /* c */ =\n 1;");
+        let c = tokens("int x = 2;");
+        assert_eq!(token_stream_hash(&a), token_stream_hash(&b));
+        assert_ne!(token_stream_hash(&a), token_stream_hash(&c));
+    }
+
+    #[test]
+    fn token_hash_sees_annotations() {
+        let a = tokens("char *p;");
+        let b = tokens("/*@null@*/ char *p;");
+        assert_ne!(token_stream_hash(&a), token_stream_hash(&b));
+    }
+
+    fn only_fn_hash(src: &str) -> u64 {
+        let (tu, _, _) = parse_translation_unit("h.c", src).expect("parses");
+        let f = tu
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Function(f) => Some(f),
+                _ => None,
+            })
+            .expect("has a function");
+        function_def_hash(f)
+    }
+
+    #[test]
+    fn function_hash_is_position_independent() {
+        let lone = only_fn_hash("int f(int a) { return a + 1; }");
+        let shifted = only_fn_hash("int g;\nlong h;\n\n\nint f(int a) { return a + 1; }");
+        assert_eq!(lone, shifted);
+    }
+
+    #[test]
+    fn function_hash_sees_body_and_annotation_edits() {
+        let base = only_fn_hash("int f(char *p) { return 0; }");
+        let body = only_fn_hash("int f(char *p) { return 1; }");
+        let annot = only_fn_hash("int f(/*@temp@*/ char *p) { return 0; }");
+        assert_ne!(base, body);
+        assert_ne!(base, annot);
+    }
+}
