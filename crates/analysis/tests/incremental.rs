@@ -170,3 +170,22 @@ fn library_digest_is_part_of_the_fingerprint() {
     let stats = cache.take_stats();
     assert_eq!(stats.invalidations, 3, "{stats:?}");
 }
+
+#[test]
+fn review_intra_function_whitespace_edit() {
+    let src = "extern /*@null out only@*/ void *malloc(int size);\n\
+               void leak(void)\n{\n  char *p = (char *) malloc(4);\n  if (p != 0) { *p = 'a'; }\n}\n";
+    // Insert extra whitespace INSIDE the function body (token stream unchanged).
+    let edited = src.replace("  char *p", "        char *p");
+    let p1 = program(src);
+    let p2 = program(&edited);
+    let opts = AnalysisOptions::default();
+    let mut cache = CheckCache::new();
+    let _ = check_program_cached(&p1, &opts, 0, &mut cache);
+    cache.take_stats();
+    let warm = check_program_cached(&p2, &opts, 0, &mut cache);
+    let stats = cache.take_stats();
+    eprintln!("stats: hits={} misses={} inval={}", stats.hits, stats.misses, stats.invalidations);
+    let cold = check_program(&p2, &opts);
+    assert_eq!(warm, cold, "warm spans must match a cold run after intra-function whitespace edit");
+}
