@@ -41,7 +41,7 @@ use std::collections::HashMap;
 /// Bumped whenever fingerprinting, dependency recording, or the
 /// relocatable-diagnostic encoding changes meaning; on-disk caches carry it
 /// and are discarded wholesale on mismatch.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// Digest of the analysis options that can change checking output.
 /// `jobs` is deliberately excluded: output is identical for any worker
@@ -190,6 +190,12 @@ impl CheckCache {
 /// The candidate fingerprint for `def` under the current program: combine
 /// the options/library digests, the signature, the span-free body hash, and
 /// the current digest of every recorded dependency.
+///
+/// The definition's span *length* is folded in as well: `Local` reloc spans
+/// are byte offsets from the definition start, so an intra-function layout
+/// edit (which leaves the token stream — and hence the body hash — intact)
+/// must invalidate the entry rather than rebase stale offsets. Moving the
+/// whole definition preserves its length and still hits.
 fn fingerprint(
     program: &Program,
     opts_digest: u64,
@@ -204,6 +210,7 @@ fn fingerprint(
     h.write_u64(lib_digest);
     lclint_sema::deps::hash_function_sig(program, &def.sig, &mut h);
     h.write_u64(body_hash);
+    h.write_u32(def.sig.span.end.wrapping_sub(def.sig.span.start));
     digest_deps(program, deps, &mut h);
     h.finish()
 }
@@ -214,11 +221,13 @@ fn to_reloc_span(span: Span, anchor: Span, program: &Program, deps: &DepSet) -> 
     if span.is_synthetic() {
         return Some(RelocSpan::Synthetic);
     }
-    let contains = |outer: Span| {
-        outer.file == span.file && span.start >= outer.start && span.end <= outer.end
-    };
+    let contains =
+        |outer: Span| outer.file == span.file && span.start >= outer.start && span.end <= outer.end;
     if contains(anchor) {
-        return Some(RelocSpan::Local { start: span.start - anchor.start, end: span.end - anchor.start });
+        return Some(RelocSpan::Local {
+            start: span.start - anchor.start,
+            end: span.end - anchor.start,
+        });
     }
     // Out-of-function spans can only point at declarations the function
     // resolved — which are exactly the recorded dependencies.
@@ -289,7 +298,11 @@ fn to_reloc_diags(
 }
 
 /// Rebases a cached entry's diagnostics against the current program.
-fn rebase_diags(entry: &CacheEntry, def: &CheckedFunction, program: &Program) -> Option<Vec<Diagnostic>> {
+fn rebase_diags(
+    entry: &CacheEntry,
+    def: &CheckedFunction,
+    program: &Program,
+) -> Option<Vec<Diagnostic>> {
     let anchor = def.sig.span;
     entry
         .diags

@@ -116,6 +116,23 @@ pub fn check_function_recording(
     check_function_impl(program, sig, ast, opts, true)
 }
 
+/// Runs the checker in summary mode over one definition, returning the
+/// inference observations. Diagnostics are discarded; nothing about the
+/// transfer functions changes except the additional observation.
+pub(crate) fn check_function_summary(
+    program: &Program,
+    sig: &FunctionSig,
+    ast: &FunctionDef,
+    opts: &AnalysisOptions,
+) -> crate::summary::SummaryObs {
+    let mut checker = Checker::new(program, sig, opts);
+    checker.summary = Some(Box::new(crate::summary::SummaryObs::for_params(sig.ty.params.len())));
+    let cfg = Cfg::build_with(ast, opts.loop_model);
+    let entry = checker.entry_env();
+    lclint_cfg::run(&cfg, &mut checker, entry);
+    *checker.summary.expect("installed above")
+}
+
 fn check_function_impl(
     program: &Program,
     sig: &FunctionSig,
@@ -168,6 +185,9 @@ pub(crate) struct Checker<'p> {
     /// When true, evaluation emits no diagnostics and performs no effects
     /// (used for guard re-resolution).
     pub(crate) quiet: bool,
+    /// Summary-mode observations for annotation inference (`None` during
+    /// ordinary checking — see the `summary` module).
+    pub(crate) summary: Option<Box<crate::summary::SummaryObs>>,
 }
 
 impl<'p> Checker<'p> {
@@ -194,6 +214,7 @@ impl<'p> Checker<'p> {
             globals_list,
             reported_globals: std::collections::HashSet::new(),
             quiet: false,
+            summary: None,
         }
     }
 
@@ -214,9 +235,8 @@ impl<'p> Checker<'p> {
                 Some(n) => n.clone(),
                 None => continue,
             };
-            let local = self
-                .table
-                .intern_typed(Path::root(RefBase::Param(i, name.clone())), p.ty.clone());
+            let local =
+                self.table.intern_typed(Path::root(RefBase::Param(i, name.clone())), p.ty.clone());
             let shadow =
                 self.table.intern_typed(Path::root(RefBase::Arg(i, name.clone())), p.ty.clone());
             let st = self.entry_param_state(&p.ty, fn_span);
@@ -289,7 +309,8 @@ impl<'p> Checker<'p> {
             },
             None => None,
         };
-        let id = self.table.intern_typed(Path::root(RefBase::Global(name.to_owned())), g.ty.clone());
+        let id =
+            self.table.intern_typed(Path::root(RefBase::Global(name.to_owned())), g.ty.clone());
         if !env.contains(id) {
             let def = if listed_undef == Some(true) {
                 DefState::Undefined
@@ -552,15 +573,11 @@ impl<'p> Checker<'p> {
                     }
                     match ds.def {
                         DefState::Undefined => return Some(self.table.name(d)),
-                        DefState::Allocated => {
-                            if self
-                                .table
-                                .ty(d)
-                                .map(|t| t.annots.def() == Some(DefAnnot::Out))
-                                != Some(true)
-                            {
-                                return Some(format!("*{}", self.table.name(d)));
-                            }
+                        DefState::Allocated
+                            if self.table.ty(d).map(|t| t.annots.def() == Some(DefAnnot::Out))
+                                != Some(true) =>
+                        {
+                            return Some(format!("*{}", self.table.name(d)));
                         }
                         _ => {}
                     }
@@ -644,18 +661,18 @@ impl<'p> Checker<'p> {
         let ret_ty = &self.sig.ty.ret;
         if let Some(e) = value {
             let v = self.eval_expr(env, e);
+            self.observe_returned_value(env, &v);
             self.check_returned_value(env, &v, ret_ty, span);
         } else if !ret_ty.is_void() && !ret_ty.annots.is_noreturn() {
             let fname = self.sig.name.clone();
             self.report(Diagnostic::new(
                 DiagKind::MissingReturn,
-                format!(
-                    "Path with no return in function {fname} declared to return a value"
-                ),
+                format!("Path with no return in function {fname} declared to return a value"),
                 span,
             ));
         }
         self.check_globals_at_return(env, span);
+        self.observe_params_at_return(env, span);
         self.check_params_at_return(env, span);
         self.check_local_leaks_at_return(env, span);
         env.unreachable = true;
@@ -680,14 +697,18 @@ impl<'p> Checker<'p> {
             }
         };
         match v {
-            Value::Null(_) => {
-                if ret_ty.is_pointerish() && ret_ty.annots.null().is_none() {
-                    self.report(Diagnostic::new(
-                        DiagKind::NullMismatch,
-                        "Null storage returned as non-null result".to_owned(),
-                        span,
-                    ));
-                }
+            Value::Null(_)
+                if ret_ty.is_pointerish()
+                    && !matches!(
+                        ret_ty.annots.null(),
+                        Some(NullAnnot::Null | NullAnnot::RelNull)
+                    ) =>
+            {
+                self.report(Diagnostic::new(
+                    DiagKind::NullMismatch,
+                    "Null storage returned as non-null result".to_owned(),
+                    span,
+                ));
             }
             Value::Ref(r) => {
                 let r = *r;
@@ -695,7 +716,7 @@ impl<'p> Checker<'p> {
                 let name = self.table.name(r);
                 // Null-state of the result itself.
                 if ret_ty.is_pointerish()
-                    && ret_ty.annots.null().is_none()
+                    && !matches!(ret_ty.annots.null(), Some(NullAnnot::Null | NullAnnot::RelNull))
                     && st.null.may_be_null()
                 {
                     let mut d = Diagnostic::new(
@@ -721,9 +742,7 @@ impl<'p> Checker<'p> {
                         let dname = self.table.name(dref);
                         let mut d = Diagnostic::new(
                             DiagKind::NullMismatch,
-                            format!(
-                                "Null storage {dname} derivable from return value: {name}"
-                            ),
+                            format!("Null storage {dname} derivable from return value: {name}"),
                             span,
                         );
                         if let Some(site) = ds.null_site {
@@ -758,9 +777,7 @@ impl<'p> Checker<'p> {
                             span,
                         ));
                     }
-                } else if st.alloc.has_obligation()
-                    && !self.opts.gc_mode
-                    && ret_ty.is_pointerish()
+                } else if st.alloc.has_obligation() && !self.opts.gc_mode && ret_ty.is_pointerish()
                 {
                     // Fresh storage escapes through a result that does not
                     // transfer the obligation: suspected leak (§6).
@@ -794,7 +811,10 @@ impl<'p> Checker<'p> {
             let gname = gname.clone();
             let Some(ty) = self.table.ty(r) else { continue };
             // Null state must match the declaration.
-            if ty.is_pointerish() && ty.annots.null().is_none() && st.null.may_be_null() {
+            if ty.is_pointerish()
+                && !matches!(ty.annots.null(), Some(NullAnnot::Null | NullAnnot::RelNull))
+                && st.null.may_be_null()
+            {
                 let mut d = Diagnostic::new(
                     DiagKind::NullMismatch,
                     format!(
@@ -823,11 +843,8 @@ impl<'p> Checker<'p> {
             // (allocated-but-unwritten contents are tolerated — the paper's
             // database example fills pool arrays lazily). A global marked
             // `undef` in this function's globals list is exempt.
-            let undef_listed = self
-                .globals_list
-                .as_ref()
-                .and_then(|l| l.get(&gname).copied())
-                == Some(true);
+            let undef_listed =
+                self.globals_list.as_ref().and_then(|l| l.get(&gname).copied()) == Some(true);
             if !undef_listed
                 && !matches!(
                     ty.annots.def(),
@@ -855,8 +872,7 @@ impl<'p> Checker<'p> {
         let sig = self.sig;
         for (i, p) in sig.ty.params.iter().enumerate() {
             let Some(name) = p.name.clone() else { continue };
-            let Some(shadow) = self.table.lookup(&Path::root(RefBase::Arg(i, name.clone())))
-            else {
+            let Some(shadow) = self.table.lookup(&Path::root(RefBase::Arg(i, name.clone()))) else {
                 continue;
             };
             let st = self.state_of(env, shadow);
@@ -864,8 +880,7 @@ impl<'p> Checker<'p> {
             // All parameters (and out parameters especially) must reference
             // completely defined storage when the function returns.
             if p.ty.is_pointerish() || is_out {
-                let describe =
-                    if is_out { "Out parameter" } else { "Parameter" };
+                let describe = if is_out { "Out parameter" } else { "Parameter" };
                 self.check_completely_defined_shadow(env, shadow, span, describe, &name);
             }
             // An `only` (or `killref`) parameter whose obligation was never
@@ -929,18 +944,13 @@ impl<'p> Checker<'p> {
                 st.alloc.has_obligation()
                     && st.alloc != AllocState::Keep
                     && st.null != NullState::Null
-                    && matches!(
-                        self.table.path(*r).base,
-                        RefBase::Local(_) | RefBase::Temp(_)
-                    )
+                    && matches!(self.table.path(*r).base, RefBase::Local(_) | RefBase::Temp(_))
                     && self.table.path(*r).steps.is_empty()
             })
             .map(|(r, _)| r)
             .collect();
         // Prefer reporting named locals over compiler temporaries.
-        holders.sort_by_key(|r| {
-            (matches!(self.table.path(*r).base, RefBase::Temp(_)), *r)
-        });
+        holders.sort_by_key(|r| (matches!(self.table.path(*r).base, RefBase::Temp(_)), *r));
         let mut reported: std::collections::BTreeSet<RefId> = Default::default();
         for r in holders {
             if reported.contains(&r) {
@@ -952,10 +962,7 @@ impl<'p> Checker<'p> {
             let aliases = env.all_aliases_of(r);
             if aliases.iter().any(|a| {
                 self.is_external(*a)
-                    || matches!(
-                        self.state_of(env, *a).alloc,
-                        AllocState::Kept | AllocState::Dead
-                    )
+                    || matches!(self.state_of(env, *a).alloc, AllocState::Kept | AllocState::Dead)
             }) {
                 continue;
             }
@@ -996,10 +1003,7 @@ impl<'p> Checker<'p> {
             // reference or a still-live local shares the storage.
             let survives = env.all_aliases_of(r).iter().any(|a| {
                 self.is_external(*a)
-                    || matches!(
-                        self.state_of(env, *a).alloc,
-                        AllocState::Kept | AllocState::Dead
-                    )
+                    || matches!(self.state_of(env, *a).alloc, AllocState::Kept | AllocState::Dead)
                     || matches!(
                         &self.table.path(*a).base,
                         RefBase::Local(n)
@@ -1117,6 +1121,7 @@ impl<'p> Checker<'p> {
     }
 
     pub(crate) fn set_nullness(&mut self, env: &mut Env, r: RefId, is_null: bool, site: Span) {
+        self.observe_null_test(env, r);
         let mut st = self.state_of(env, r);
         if is_null {
             st.null = NullState::Null;

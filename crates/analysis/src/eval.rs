@@ -7,7 +7,7 @@ use crate::diag::{DiagKind, Diagnostic};
 use crate::refs::{RefId, RefStep};
 use crate::state::{AllocState, DefState, Env, NullState, RefState};
 use lclint_sema::{FunctionSig, QualType, SymbolSource as _, Type};
-use lclint_syntax::annot::{AllocAnnot, DefAnnot, ExposureAnnot};
+use lclint_syntax::annot::{AllocAnnot, DefAnnot, ExposureAnnot, NullAnnot};
 use lclint_syntax::ast::*;
 use lclint_syntax::span::Span;
 
@@ -268,6 +268,7 @@ impl Checker<'_> {
                 return;
             }
         }
+        self.observe_deref(r);
         let mut st = self.state_of(env, r);
         let name = self.table.name(r);
         let mut changed = false;
@@ -295,9 +296,9 @@ impl Checker<'_> {
         }
         if st.null.may_be_null() {
             let msg = match kind {
-                AccessKind::Arrow => format!(
-                    "Arrow access from possibly null pointer {name}: {name}->{field}"
-                ),
+                AccessKind::Arrow => {
+                    format!("Arrow access from possibly null pointer {name}: {name}->{field}")
+                }
                 AccessKind::Deref => {
                     format!("Dereference of possibly null pointer {name}: *{name}")
                 }
@@ -322,6 +323,7 @@ impl Checker<'_> {
         if self.quiet {
             return;
         }
+        self.observe_rvalue_use(r);
         let mut st = self.state_of(env, r);
         let name = self.table.name(r);
         let mut changed = false;
@@ -378,6 +380,7 @@ impl Checker<'_> {
             }
             _ => None,
         };
+        self.observe_assign(env, lhs, &v);
 
         // Exposure: observer storage may not be modified.
         if let Some(ty) = self.table.ty(lhs) {
@@ -435,7 +438,8 @@ impl Checker<'_> {
                     span,
                 );
                 if let Some(site) = old.alloc_site {
-                    let verb = if old.alloc == AllocState::Fresh { "allocated" } else { "becomes only" };
+                    let verb =
+                        if old.alloc == AllocState::Fresh { "allocated" } else { "becomes only" };
                     d = d.with_note(format!("Storage {name} {verb}"), site);
                 }
                 self.report(d);
@@ -458,12 +462,9 @@ impl Checker<'_> {
         // without an annotation can never be discharged (§6, eref_pool).
         // Structures reachable from parameters stay silent — the caller can
         // still release through them.
-        let lhs_external =
-            matches!(self.table.path(lhs).base, crate::refs::RefBase::Global(_));
-        let declared_only = matches!(
-            declared,
-            Some(AllocState::Only | AllocState::Owned | AllocState::Keep)
-        );
+        let lhs_external = matches!(self.table.path(lhs).base, crate::refs::RefBase::Global(_));
+        let declared_only =
+            matches!(declared, Some(AllocState::Only | AllocState::Owned | AllocState::Keep));
 
         let mut new = match v {
             Value::Null(_) => {
@@ -518,10 +519,7 @@ impl Checker<'_> {
                                     span,
                                 );
                                 if let Some(site) = st.alloc_site {
-                                    d = d.with_note(
-                                        format!("Storage {r_name} becomes temp"),
-                                        site,
-                                    );
+                                    d = d.with_note(format!("Storage {r_name} becomes temp"), site);
                                 }
                                 self.report(d);
                                 new.alloc = declared.expect("declared_only implies declared");
@@ -716,14 +714,14 @@ impl Checker<'_> {
                 call.span,
             ));
         }
-        self.check_args(env, &sig, &callee, args, &values, call.span);
-        self.check_unique_params(env, &sig, &callee, &values, call.span);
-        self.apply_postconditions(env, &sig, &values, call.span);
+        self.check_args(env, sig, &callee, args, &values, call.span);
+        self.check_unique_params(env, sig, &callee, &values, call.span);
+        self.apply_postconditions(env, sig, &values, call.span);
         if sig.ty.ret.annots.is_noreturn() {
             env.unreachable = true;
             return Value::Opaque;
         }
-        self.call_result(env, &sig, &values, call.span)
+        self.call_result(env, sig, &values, call.span)
     }
 
     fn check_args(
@@ -740,12 +738,17 @@ impl Checker<'_> {
             let pty = &p.ty;
             let arg_span = args.get(i).map(|a| a.span).unwrap_or(span);
             // Null checking.
-            if pty.is_pointerish() && pty.annots.null().is_none() {
+            if pty.is_pointerish()
+                && !matches!(pty.annots.null(), Some(NullAnnot::Null | NullAnnot::RelNull))
+            {
                 match v {
                     Value::Null(_) => {
                         self.report(Diagnostic::new(
                             DiagKind::NullMismatch,
-                            format!("Null storage passed as non-null param: {callee} (param {})", i + 1),
+                            format!(
+                                "Null storage passed as non-null param: {callee} (param {})",
+                                i + 1
+                            ),
                             arg_span,
                         ));
                     }
@@ -781,15 +784,11 @@ impl Checker<'_> {
                         // assigned is an anomaly; allocated storage with
                         // undefined *contents* is exactly what `out` admits.
                         let st = self.state_of(env, *r);
-                        if st.def == DefState::Undefined
-                            && self.table.path(*r).steps.is_empty()
-                        {
+                        if st.def == DefState::Undefined && self.table.path(*r).steps.is_empty() {
                             let name = self.table.name(*r);
                             self.report(Diagnostic::new(
                                 DiagKind::UseBeforeDef,
-                                format!(
-                                    "Unallocated storage {name} passed as out param: {callee}"
-                                ),
+                                format!("Unallocated storage {name} passed as out param: {callee}"),
                                 arg_span,
                             ));
                         }
@@ -806,8 +805,10 @@ impl Checker<'_> {
             // defined argument is expected — the §6 path to discovering the
             // `out` annotation through complete-definition checking.
             if let Value::AddrOf(r) = v {
-                if !matches!(pty.annots.def(), Some(DefAnnot::Out | DefAnnot::Partial | DefAnnot::RelDef))
-                {
+                if !matches!(
+                    pty.annots.def(),
+                    Some(DefAnnot::Out | DefAnnot::Partial | DefAnnot::RelDef)
+                ) {
                     let st = self.state_of(env, *r);
                     if st.def != DefState::Defined {
                         let name = self.table.name(*r);
@@ -896,11 +897,9 @@ impl Checker<'_> {
     ) {
         let st = self.state_of(env, r);
         let name = self.table.name(r);
-        let observer = self
-            .table
-            .ty(r)
-            .map(|t| t.annots.exposure() == Some(ExposureAnnot::Observer))
-            == Some(true);
+        let observer =
+            self.table.ty(r).map(|t| t.annots.exposure() == Some(ExposureAnnot::Observer))
+                == Some(true);
         match pa {
             AllocAnnot::Only | AllocAnnot::Keep => {
                 if st.null == NullState::Null {
@@ -909,9 +908,7 @@ impl Checker<'_> {
                 if observer {
                     self.report(Diagnostic::new(
                         DiagKind::ExposureViolation,
-                        format!(
-                            "Observer storage {name} passed as only param: {callee} ({name})"
-                        ),
+                        format!("Observer storage {name} passed as only param: {callee} ({name})"),
                         span,
                     ));
                     return;
@@ -933,22 +930,31 @@ impl Checker<'_> {
                     return;
                 }
                 if st.alloc.has_obligation() {
-                    let new_state = if pa == AllocAnnot::Only {
-                        AllocState::Dead
-                    } else {
-                        AllocState::Kept
-                    };
+                    self.observe_release(env, r);
+                    let new_state =
+                        if pa == AllocAnnot::Only { AllocState::Dead } else { AllocState::Kept };
+                    let site = if pa == AllocAnnot::Only { Some(span) } else { None };
+                    self.alloc_write_all(env, r, new_state, site);
+                    return;
+                }
+                // Summary mode: an implicitly temp argument released through
+                // an only/keep parameter is inference evidence, and marking
+                // it released keeps the caller-visible shadow flow-accurate
+                // for the return observation.
+                if self.summary.is_some()
+                    && matches!(st.alloc, AllocState::Temp | AllocState::Unknown)
+                {
+                    self.observe_release(env, r);
+                    let new_state =
+                        if pa == AllocAnnot::Only { AllocState::Dead } else { AllocState::Kept };
                     let site = if pa == AllocAnnot::Only { Some(span) } else { None };
                     self.alloc_write_all(env, r, new_state, site);
                     return;
                 }
                 match st.alloc {
                     AllocState::Temp | AllocState::Unknown => {
-                        let explicit = self
-                            .table
-                            .ty(r)
-                            .map(|t| t.annots.alloc().is_some())
-                            == Some(true);
+                        let explicit =
+                            self.table.ty(r).map(|t| t.annots.alloc().is_some()) == Some(true);
                         if !explicit && !self.opts.report_implicit_temp {
                             return;
                         }
@@ -1106,9 +1112,7 @@ impl Checker<'_> {
         {
             return false;
         }
-        let unique = |r: RefId| {
-            self.table.ty(r).map(|t| t.annots.is_unique()) == Some(true)
-        };
+        let unique = |r: RefId| self.table.ty(r).map(|t| t.annots.is_unique()) == Some(true);
         if unique(a) || unique(b) {
             return false;
         }

@@ -1,0 +1,363 @@
+//! Whole-program annotation inference.
+//!
+//! The paper's workflow is gradual: programmers add annotations one at a
+//! time, guided by the checker's messages (§5). This module automates the
+//! first pass over *unannotated* code: it recovers the `null` / `only` /
+//! `out` / `notnull` annotations the code's own behaviour implies, so that
+//! checking the annotated result reports genuine anomalies instead of an
+//! avalanche of implicit-contract violations.
+//!
+//! # How it works
+//!
+//! A call graph over the program's definitions is condensed into strongly
+//! connected components ([`lclint_sema::CallGraph::sccs`], callees first).
+//! Each SCC is visited bottom-up; every member function is re-driven
+//! through the ordinary checker transfer functions in *summary mode*
+//! (diagnostics discarded), which records:
+//!
+//! - how each `return` behaves (may it yield null? does every returned
+//!   value carry a release obligation?),
+//! - whether each pointer parameter is always released or transferred
+//!   before returning, is dereferenced before any null test, or has its
+//!   pointee written before being read,
+//! - which struct fields are assigned null, compared against null, or
+//!   handed storage that carries a release obligation.
+//!
+//! Observations become annotation proposals, which are patched into a
+//! working copy of the program immediately, so later functions (and later
+//! fixpoint rounds) see them as implicit entry/call contracts. Within an
+//! SCC the members iterate until no new proposal appears (monotone: the
+//! pass only ever *adds* annotations, and at most one per category per
+//! target, so it terminates); whole-program sweeps repeat until quiescent
+//! because field annotations discovered deep in the graph feed back into
+//! earlier components.
+//!
+//! # The never-override rule
+//!
+//! Inference fills gaps: a target that already carries an annotation in a
+//! category is never touched in that category. Running inference over a
+//! fully annotated program proposes nothing that changes checking.
+
+use crate::checker::check_function_summary;
+use crate::options::AnalysisOptions;
+use crate::summary::{ParamObs, PointeeAccess, SummaryObs};
+use lclint_sema::{CallGraph, Program, StructId};
+use lclint_syntax::annot::{Annot, AnnotSet};
+use lclint_syntax::span::Span;
+
+/// Where an inferred annotation attaches.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InferTarget {
+    /// The return type of a function.
+    FnReturn {
+        /// Function name.
+        name: String,
+    },
+    /// One parameter of a function.
+    FnParam {
+        /// Function name.
+        name: String,
+        /// Zero-based parameter index.
+        index: usize,
+        /// Parameter name.
+        param: String,
+    },
+    /// A struct/union field.
+    StructField {
+        /// Struct tag (synthesized `<anon N>` for anonymous structs).
+        tag: String,
+        /// A typedef naming the struct, when one exists — the way an
+        /// anonymous struct is found in source.
+        typedef: Option<String>,
+        /// Field name.
+        field: String,
+    },
+}
+
+impl std::fmt::Display for InferTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferTarget::FnReturn { name } => write!(f, "{name}: return"),
+            InferTarget::FnParam { name, param, .. } => write!(f, "{name}: param {param}"),
+            InferTarget::StructField { tag, typedef, field } => match typedef {
+                Some(td) => write!(f, "{td}.{field}"),
+                None => write!(f, "struct {tag}.{field}"),
+            },
+        }
+    }
+}
+
+/// One recovered annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferredAnnot {
+    /// Where it attaches.
+    pub target: InferTarget,
+    /// The annotation word.
+    pub annot: Annot,
+}
+
+/// The outcome of one inference run.
+#[derive(Debug, Clone, Default)]
+pub struct InferResult {
+    /// Every accepted proposal, in discovery order.
+    pub annots: Vec<InferredAnnot>,
+    /// Whole-program sweeps executed (1 when a single bottom-up pass
+    /// sufficed).
+    pub rounds: usize,
+    /// Strongly connected components in the call graph.
+    pub sccs: usize,
+}
+
+impl InferResult {
+    /// True when no annotation was recovered.
+    pub fn is_empty(&self) -> bool {
+        self.annots.is_empty()
+    }
+}
+
+/// Caps on the fixpoint, far above what monotone growth can need; they
+/// bound the damage of a (hypothetical) oscillation bug, not real runs.
+const MAX_SWEEPS: usize = 5;
+const MAX_SCC_ROUNDS: usize = 4;
+
+/// Runs whole-program annotation inference and returns the accepted
+/// proposals.
+pub fn infer_annotations(program: &Program, opts: &AnalysisOptions) -> InferResult {
+    infer_annotations_into(program, opts).0
+}
+
+/// Like [`infer_annotations`], but also returns the working program with
+/// every accepted annotation patched in (used to re-check with inferred
+/// contracts without re-parsing).
+pub fn infer_annotations_into(program: &Program, opts: &AnalysisOptions) -> (InferResult, Program) {
+    let mut working = program.clone();
+    let graph = CallGraph::build(program);
+    let sccs = graph.sccs();
+    let mut result = InferResult { sccs: sccs.len(), ..InferResult::default() };
+
+    // Definition index by name (first definition wins on duplicates, like
+    // checking itself).
+    let mut def_index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for (i, d) in working.defs.iter().enumerate() {
+        def_index.entry(d.sig.name.clone()).or_insert(i);
+    }
+
+    for sweep in 0..MAX_SWEEPS {
+        let mut sweep_changed = false;
+        for comp in &sccs {
+            // Members of a cycle see each other's fresh annotations only on
+            // the next round, so iterate the component to its own fixpoint.
+            let rounds = if comp.len() > 1 || graph.callees(comp[0]).contains(&comp[0]) {
+                MAX_SCC_ROUNDS
+            } else {
+                1
+            };
+            for _ in 0..rounds {
+                let mut comp_changed = false;
+                for &node in comp {
+                    let Some(&di) = def_index.get(graph.name(node)) else { continue };
+                    let obs = {
+                        let def = &working.defs[di];
+                        check_function_summary(&working, &def.sig, &def.ast, opts)
+                    };
+                    let proposals = derive_proposals(&working, di, &obs);
+                    for p in proposals {
+                        if apply_proposal(&mut working, &p) {
+                            result.annots.push(p);
+                            comp_changed = true;
+                        }
+                    }
+                }
+                if comp_changed {
+                    sweep_changed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        result.rounds = sweep + 1;
+        if !sweep_changed {
+            break;
+        }
+    }
+    (result, working)
+}
+
+/// Turns one function's summary observations into annotation proposals
+/// against the current working program. Targets that already carry an
+/// annotation in the relevant category are skipped (never-override).
+fn derive_proposals(working: &Program, def_index: usize, obs: &SummaryObs) -> Vec<InferredAnnot> {
+    let def = &working.defs[def_index];
+    let sig = &def.sig;
+    let mut out = Vec::new();
+
+    // Result annotations, from return-path behaviour.
+    if sig.ty.ret.is_pointerish() && obs.ret_ptr_paths > 0 {
+        if sig.ty.ret.annots.alloc().is_none() && !obs.ret_obligation_broken {
+            out.push(InferredAnnot {
+                target: InferTarget::FnReturn { name: sig.name.clone() },
+                annot: Annot::from_word("only").expect("known word"),
+            });
+        }
+        if sig.ty.ret.annots.null().is_none() && obs.ret_maynull {
+            out.push(InferredAnnot {
+                target: InferTarget::FnReturn { name: sig.name.clone() },
+                annot: Annot::from_word("null").expect("known word"),
+            });
+        }
+    }
+
+    // Parameter annotations.
+    for (i, p) in sig.ty.params.iter().enumerate() {
+        let Some(po) = obs.params.get(i) else { break };
+        let Some(pname) = &p.name else { continue };
+        if !p.ty.is_pointerish() {
+            continue;
+        }
+        let target =
+            || InferTarget::FnParam { name: sig.name.clone(), index: i, param: pname.clone() };
+        if p.ty.annots.alloc().is_none() && param_always_released(po) {
+            out.push(InferredAnnot {
+                target: target(),
+                annot: Annot::from_word("only").expect("known word"),
+            });
+        }
+        if p.ty.annots.null().is_none() && po.deref_before_test {
+            out.push(InferredAnnot {
+                target: target(),
+                annot: Annot::from_word("notnull").expect("known word"),
+            });
+        }
+        if p.ty.annots.def().is_none()
+            && po.pointee_first == Some(PointeeAccess::Write)
+            && po.pointee_written
+            && !po.pointee_incomplete_at_return
+        {
+            out.push(InferredAnnot {
+                target: target(),
+                annot: Annot::from_word("out").expect("known word"),
+            });
+        }
+    }
+
+    // Field annotations, from null/obligation flow observed anywhere in the
+    // function.
+    for (tag, field) in &obs.field_null {
+        if let Some(t) = field_target(working, tag, field, |a| a.null().is_none()) {
+            out.push(InferredAnnot {
+                target: t,
+                annot: Annot::from_word("null").expect("known word"),
+            });
+        }
+    }
+    for (tag, field) in &obs.field_only {
+        if let Some(t) = field_target(working, tag, field, |a| a.alloc().is_none()) {
+            out.push(InferredAnnot {
+                target: t,
+                annot: Annot::from_word("only").expect("known word"),
+            });
+        }
+    }
+    out
+}
+
+/// `only` on a parameter: every reachable return saw the caller-visible
+/// shadow released or transferred, and at least one release actually
+/// happened (a merely-unused parameter is not evidence).
+fn param_always_released(po: &ParamObs) -> bool {
+    po.return_seen && !po.release_broken && po.release_seen
+}
+
+/// Resolves a tag to its struct id. Scans the table because anonymous
+/// structs carry synthesized `<anon N>` tags that are not interned in the
+/// by-tag map.
+fn struct_by_tag(working: &Program, tag: &str) -> Option<StructId> {
+    working.structs.iter().find(|(_, d)| d.tag == tag).map(|(id, _)| id)
+}
+
+/// Builds a field target when the field exists, is pointer-shaped, and the
+/// category is still open.
+fn field_target(
+    working: &Program,
+    tag: &str,
+    field: &str,
+    open: impl Fn(&AnnotSet) -> bool,
+) -> Option<InferTarget> {
+    let id = struct_by_tag(working, tag)?;
+    let def = working.structs.get(id);
+    let f = def.field(field)?;
+    if !f.ty.is_pointerish() || !open(&f.ty.annots) {
+        return None;
+    }
+    Some(InferTarget::StructField {
+        tag: tag.to_owned(),
+        typedef: typedef_naming(working, id),
+        field: field.to_owned(),
+    })
+}
+
+/// A typedef whose underlying type is (a pointer to) the given struct —
+/// the handle by which anonymous structs are located in source. Smallest
+/// name wins for determinism.
+fn typedef_naming(working: &Program, id: StructId) -> Option<String> {
+    let mut best: Option<&String> = None;
+    for (name, ty) in &working.typedefs {
+        let sty = ty.pointee().unwrap_or(ty);
+        if sty.ty == lclint_sema::Type::Struct(id) && best.map(|b| name < b).unwrap_or(true) {
+            best = Some(name);
+        }
+    }
+    best.cloned()
+}
+
+/// Patches one accepted proposal into the working program (signature
+/// tables, definition signatures, struct table). Returns `false` when the
+/// annotation could not be attached (e.g. a category conflict surfaced
+/// only at add time) — the proposal is then dropped.
+fn apply_proposal(working: &mut Program, p: &InferredAnnot) -> bool {
+    let span = Span::synthetic();
+    match &p.target {
+        InferTarget::FnReturn { name } => {
+            let mut ok = false;
+            if let Some(sig) = working.functions.get_mut(name) {
+                ok = sig.ty.ret.annots.add(p.annot, span).is_ok();
+            }
+            if ok {
+                for def in &mut working.defs {
+                    if &def.sig.name == name {
+                        let _ = def.sig.ty.ret.annots.add(p.annot, span);
+                    }
+                }
+            }
+            ok
+        }
+        InferTarget::FnParam { name, index, .. } => {
+            let mut ok = false;
+            if let Some(sig) = working.functions.get_mut(name) {
+                if let Some(pt) = sig.ty.params.get_mut(*index) {
+                    ok = pt.ty.annots.add(p.annot, span).is_ok();
+                }
+            }
+            if ok {
+                for def in &mut working.defs {
+                    if &def.sig.name == name {
+                        if let Some(pt) = def.sig.ty.params.get_mut(*index) {
+                            let _ = pt.ty.annots.add(p.annot, span);
+                        }
+                    }
+                }
+            }
+            ok
+        }
+        InferTarget::StructField { tag, field, .. } => {
+            let Some(id) = struct_by_tag(working, tag) else { return false };
+            let mut fields = working.structs.get(id).fields.clone();
+            let Some(f) = fields.iter_mut().find(|f| &f.name == field) else { return false };
+            if f.ty.annots.add(p.annot, span).is_err() {
+                return false;
+            }
+            working.structs.complete(id, fields);
+            true
+        }
+    }
+}

@@ -30,16 +30,23 @@
 
 mod checker;
 mod eval;
+mod summary;
 
 pub mod cache;
 pub mod diag;
+pub mod infer;
 pub mod options;
 pub mod refs;
 pub mod state;
 
-pub use cache::{check_program_cached, options_digest, CacheStats, CheckCache, CACHE_FORMAT_VERSION};
+pub use cache::{
+    check_program_cached, options_digest, CacheStats, CheckCache, CACHE_FORMAT_VERSION,
+};
 pub use checker::{check_function, check_program};
 pub use diag::{DiagKind, Diagnostic, Note};
+pub use infer::{
+    infer_annotations, infer_annotations_into, InferResult, InferTarget, InferredAnnot,
+};
 pub use options::AnalysisOptions;
 pub use refs::{Path, RefBase, RefId, RefStep, RefTable};
 pub use state::{AllocState, DefState, Env, NullState, RefState};

@@ -379,17 +379,12 @@ pub fn implicit_state(env: &Env, table: &RefTable, r: RefId) -> RefState {
     // Walk up to the nearest tracked ancestor.
     let mut anc_def = DefState::Defined;
     let mut cur = r;
-    loop {
-        match table.parent(cur) {
-            Some(p) => {
-                if let Some(s) = env.get(p) {
-                    anc_def = s.def;
-                    break;
-                }
-                cur = p;
-            }
-            None => break,
+    while let Some(p) = table.parent(cur) {
+        if let Some(s) = env.get(p) {
+            anc_def = s.def;
+            break;
         }
+        cur = p;
     }
     let def = match anc_def {
         DefState::Defined | DefState::Partial => DefState::Defined,
@@ -444,9 +439,7 @@ pub fn merge_env(
         // A temporary or local missing on one side simply did not exist
         // there (different scope/path) — use the tracked state rather than
         // synthesizing a conflicting one from type annotations.
-        if (is_temp || is_local)
-            && (!a.states.contains_key(&r) || !b.states.contains_key(&r))
-        {
+        if (is_temp || is_local) && (!a.states.contains_key(&r) || !b.states.contains_key(&r)) {
             let st = a
                 .states
                 .remove(&r)
@@ -496,8 +489,7 @@ pub fn merge_env(
         );
     }
     // Possible aliases at a confluence point are the union (paper §5).
-    let alias_keys: BTreeSet<RefId> =
-        a.aliases.keys().chain(b.aliases.keys()).copied().collect();
+    let alias_keys: BTreeSet<RefId> = a.aliases.keys().chain(b.aliases.keys()).copied().collect();
     for r in alias_keys {
         let mut set = a.aliases.remove(&r).unwrap_or_default();
         set.extend(b.aliases.remove(&r).unwrap_or_default());

@@ -1,0 +1,317 @@
+//! Summary-mode observation for whole-program annotation inference.
+//!
+//! When a [`Checker`] carries a [`SummaryObs`], the ordinary transfer
+//! functions additionally *observe* facts that annotation inference turns
+//! into proposals: how return values behave on every path, whether
+//! parameters are always released before returning, which struct fields are
+//! assigned null / tested against null / handed fresh obligations, and
+//! whether pointer parameters are written through before being read. The
+//! observations never change what the checker reports — a summary run
+//! simply discards its diagnostics.
+
+use std::collections::BTreeSet;
+
+use crate::checker::Checker;
+use crate::eval::Value;
+use crate::refs::{RefBase, RefId, RefStep};
+use crate::state::{AllocState, Env, NullState};
+use lclint_sema::Type;
+use lclint_syntax::span::Span;
+
+/// First access to a parameter's pointee (selects `out` candidates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PointeeAccess {
+    /// The pointee (or one of its fields) was read first.
+    Read,
+    /// The pointee was written first.
+    Write,
+}
+
+/// Per-parameter observations.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ParamObs {
+    /// The parameter itself was compared against null somewhere.
+    pub seen_null_test: bool,
+    /// The parameter was dereferenced before any null test on it.
+    pub deref_before_test: bool,
+    /// Some reachable return left the caller-visible shadow neither
+    /// released nor transferred (breaks an `only` proposal).
+    pub release_broken: bool,
+    /// At least one reachable return observed the shadow.
+    pub return_seen: bool,
+    /// The parameter was released (or transferred) through at least one
+    /// call or return on some path.
+    pub release_seen: bool,
+    /// First access to the pointee, in dataflow-visit order.
+    pub pointee_first: Option<PointeeAccess>,
+    /// The pointee was written somewhere.
+    pub pointee_written: bool,
+    /// Some reachable return left the pointee incompletely defined
+    /// (breaks an `out` proposal).
+    pub pointee_incomplete_at_return: bool,
+}
+
+/// Whole-function observations collected by one summary-mode run.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SummaryObs {
+    /// Reachable `return <expr>` paths where the declared result type is a
+    /// pointer.
+    pub ret_ptr_paths: usize,
+    /// Some pointer-returning path may return null.
+    pub ret_maynull: bool,
+    /// Some pointer-returning path returned a value that carries no
+    /// release obligation (breaks an `only` proposal on the result).
+    pub ret_obligation_broken: bool,
+    /// Per-parameter observations, indexed like the signature.
+    pub params: Vec<ParamObs>,
+    /// `(struct tag, field)` pairs observed holding or being tested for
+    /// null.
+    pub field_null: BTreeSet<(String, String)>,
+    /// `(struct tag, field)` pairs observed receiving or surrendering a
+    /// release obligation.
+    pub field_only: BTreeSet<(String, String)>,
+}
+
+impl SummaryObs {
+    pub(crate) fn for_params(n: usize) -> Self {
+        SummaryObs { params: vec![ParamObs::default(); n], ..Default::default() }
+    }
+}
+
+impl Checker<'_> {
+    /// The `(struct tag, field name)` a field-terminated reference names,
+    /// if its parent is (a pointer to) a struct.
+    fn field_owner(&mut self, r: RefId) -> Option<(String, String)> {
+        let path = self.table.path(r);
+        let RefStep::Field(fname) = path.steps.last()? else { return None };
+        let fname = fname.clone();
+        let parent = self.table.parent(r)?;
+        let pty = self.table.ty(parent)?.clone();
+        let sty = pty.pointee().cloned().unwrap_or(pty);
+        let Type::Struct(id) = sty.ty else { return None };
+        let tag = self.scope.struct_def(id).tag.clone();
+        Some((tag, fname))
+    }
+
+    /// The parameter index a root reference names (local view or
+    /// caller-visible shadow), if any.
+    fn param_root(&self, r: RefId) -> Option<usize> {
+        let path = self.table.path(r);
+        if !path.steps.is_empty() {
+            return None;
+        }
+        match &path.base {
+            RefBase::Param(i, _) | RefBase::Arg(i, _) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The parameter index a *derived* reference hangs off, if any.
+    fn param_base(&self, r: RefId) -> Option<usize> {
+        let path = self.table.path(r);
+        if path.steps.is_empty() {
+            return None;
+        }
+        match &path.base {
+            RefBase::Param(i, _) | RefBase::Arg(i, _) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Records a null comparison (either polarity) on `r` — programmer
+    /// evidence that the storage is meant to admit null.
+    pub(crate) fn observe_null_test(&mut self, env: &Env, r: RefId) {
+        if self.summary.is_none() {
+            return;
+        }
+        let mut refs: Vec<RefId> = vec![r];
+        refs.extend(env.all_aliases_of(r));
+        let mut fields = Vec::new();
+        let mut params = Vec::new();
+        for x in refs {
+            if let Some(i) = self.param_root(x) {
+                params.push(i);
+            }
+            if let Some(owner) = self.field_owner(x) {
+                fields.push(owner);
+            }
+        }
+        let obs = self.summary.as_mut().expect("checked above");
+        for owner in fields {
+            obs.field_null.insert(owner);
+        }
+        for i in params {
+            if let Some(p) = obs.params.get_mut(i) {
+                p.seen_null_test = true;
+            }
+        }
+    }
+
+    /// Records a dereference of `r` (before any null test on a parameter
+    /// root, that is `notnull` evidence; on derived parameter storage it is
+    /// a pointee read).
+    pub(crate) fn observe_deref(&mut self, r: RefId) {
+        if self.summary.is_none() {
+            return;
+        }
+        let root = self.param_root(r);
+        let derived = self.param_base(r);
+        let obs = self.summary.as_mut().expect("checked above");
+        if let Some(i) = root {
+            if let Some(p) = obs.params.get_mut(i) {
+                if !p.seen_null_test {
+                    p.deref_before_test = true;
+                }
+            }
+        }
+        if let Some(i) = derived {
+            if let Some(p) = obs.params.get_mut(i) {
+                p.pointee_first.get_or_insert(PointeeAccess::Read);
+            }
+        }
+    }
+
+    /// Records a read of derived parameter storage.
+    pub(crate) fn observe_rvalue_use(&mut self, r: RefId) {
+        if self.summary.is_none() {
+            return;
+        }
+        let derived = self.param_base(r);
+        let obs = self.summary.as_mut().expect("checked above");
+        if let Some(i) = derived {
+            if let Some(p) = obs.params.get_mut(i) {
+                p.pointee_first.get_or_insert(PointeeAccess::Read);
+            }
+        }
+    }
+
+    /// Records an assignment `lhs = v`: null / obligation flow into struct
+    /// fields, and writes through parameters.
+    pub(crate) fn observe_assign(&mut self, env: &Env, lhs: RefId, v: &Value) {
+        if self.summary.is_none() {
+            return;
+        }
+        let lhs_ptr = self.table.ty(lhs).map(|t| t.is_pointerish()) == Some(true);
+        let (is_null, may_null, has_obligation) = match v {
+            Value::Null(_) => (true, true, false),
+            Value::Int(0) if lhs_ptr => (true, true, false),
+            Value::Ref(r) => {
+                let st = self.state_of(env, *r);
+                (false, st.null.may_be_null(), st.alloc.has_obligation())
+            }
+            _ => (false, false, false),
+        };
+        let owner = self.field_owner(lhs);
+        let derived = self.param_base(lhs);
+        let obs = self.summary.as_mut().expect("checked above");
+        if let Some(owner) = owner {
+            if is_null || may_null {
+                obs.field_null.insert(owner.clone());
+            }
+            if has_obligation {
+                obs.field_only.insert(owner);
+            }
+        }
+        if let Some(i) = derived {
+            if let Some(p) = obs.params.get_mut(i) {
+                p.pointee_first.get_or_insert(PointeeAccess::Write);
+                p.pointee_written = true;
+            }
+        }
+    }
+
+    /// Records a release through a call (`free(x)`-shaped `only`/`keep`
+    /// argument positions): field evidence plus the parameter flag.
+    pub(crate) fn observe_release(&mut self, env: &Env, r: RefId) {
+        if self.summary.is_none() {
+            return;
+        }
+        let mut refs: Vec<RefId> = vec![r];
+        refs.extend(env.all_aliases_of(r));
+        let mut fields = Vec::new();
+        let mut params = Vec::new();
+        for x in refs {
+            if let Some(owner) = self.field_owner(x) {
+                fields.push(owner);
+            }
+            if let Some(i) = self.param_root(x) {
+                params.push(i);
+            }
+        }
+        let obs = self.summary.as_mut().expect("checked above");
+        for owner in fields {
+            obs.field_only.insert(owner);
+        }
+        for i in params {
+            if let Some(p) = obs.params.get_mut(i) {
+                p.release_seen = true;
+            }
+        }
+    }
+
+    /// Observes the value leaving through a reachable `return <expr>`,
+    /// *before* the return checks transfer obligations away.
+    pub(crate) fn observe_returned_value(&mut self, env: &Env, v: &Value) {
+        if self.summary.is_none() {
+            return;
+        }
+        if !self.sig.ty.ret.is_pointerish() {
+            return;
+        }
+        let (may_null, obligation_ok) = match v {
+            // Returning null is compatible with an `only` result (the
+            // caller may pass it to free).
+            Value::Null(_) => (true, true),
+            Value::Ref(r) => {
+                let st = self.state_of(env, *r);
+                (st.null.may_be_null(), st.alloc.has_obligation() || st.null == NullState::Null)
+            }
+            _ => (false, false),
+        };
+        let obs = self.summary.as_mut().expect("checked above");
+        obs.ret_ptr_paths += 1;
+        if may_null {
+            obs.ret_maynull = true;
+        }
+        if !obligation_ok {
+            obs.ret_obligation_broken = true;
+        }
+    }
+
+    /// Observes every parameter's caller-visible shadow at a reachable
+    /// return (after return-value obligation transfer, so a
+    /// returned-as-only parameter counts as transferred).
+    pub(crate) fn observe_params_at_return(&mut self, env: &Env, span: Span) {
+        if self.summary.is_none() {
+            return;
+        }
+        let nparams = self.sig.ty.params.len();
+        for i in 0..nparams {
+            let p = &self.sig.ty.params[i];
+            let Some(name) = p.name.clone() else { continue };
+            if !p.ty.is_pointerish() {
+                continue;
+            }
+            let shadow = self.table.lookup(&crate::refs::Path::root(RefBase::Arg(i, name)));
+            let Some(shadow) = shadow else { continue };
+            let st = self.state_of(env, shadow);
+            let released = matches!(st.alloc, AllocState::Dead | AllocState::Kept)
+                || st.null == NullState::Null;
+            let incomplete = self.find_incomplete(env, shadow, 4).is_some();
+            let obs = self.summary.as_mut().expect("checked above");
+            let Some(po) = obs.params.get_mut(i) else { continue };
+            po.return_seen = true;
+            if released {
+                if st.null != NullState::Null {
+                    po.release_seen = true;
+                }
+            } else {
+                po.release_broken = true;
+            }
+            if incomplete {
+                po.pointee_incomplete_at_return = true;
+            }
+        }
+        let _ = span;
+    }
+}

@@ -64,9 +64,7 @@ fn free_of_compound_shifted_pointer_reported() {
 
 #[test]
 fn free_of_unshifted_pointer_still_clean() {
-    let diags = check(
-        "void f(void)\n{\n  char *p = (char *) malloc(8);\n  free(p);\n}\n",
-    );
+    let diags = check("void f(void)\n{\n  char *p = (char *) malloc(8);\n  free(p);\n}\n");
     assert_clean(&diags);
 }
 
@@ -82,9 +80,7 @@ fn pointer_arithmetic_without_free_is_clean() {
 
 #[test]
 fn free_of_string_literal_reported() {
-    let diags = check(
-        "void f(void)\n{\n  char *s = \"static storage\";\n  free(s);\n}\n",
-    );
+    let diags = check("void f(void)\n{\n  char *s = \"static storage\";\n  free(s);\n}\n");
     assert_has(&diags, DiagKind::AllocMismatch, "Static storage s passed as only param");
 }
 
@@ -223,25 +219,18 @@ fn switch_branches_merge_like_if() {
     );
     // Both arms release; the merge must not report a confluence error, and
     // the fall-through edge (no case taken) conservatively merges too.
-    assert!(
-        diags.iter().all(|d| d.kind != DiagKind::UseAfterRelease),
-        "{diags:#?}"
-    );
+    assert!(diags.iter().all(|d| d.kind != DiagKind::UseAfterRelease), "{diags:#?}");
 }
 
 #[test]
 fn ternary_guard_refinement() {
-    let diags = check(
-        "int f(/*@null@*/ int *p)\n{\n  return (p != NULL) ? *p : 0;\n}\n",
-    );
+    let diags = check("int f(/*@null@*/ int *p)\n{\n  return (p != NULL) ? *p : 0;\n}\n");
     assert_clean(&diags);
 }
 
 #[test]
 fn string_literal_assignment_is_static_not_leak() {
-    let diags = check(
-        "void f(void)\n{\n  char *s = \"hello\";\n  s = \"world\";\n}\n",
-    );
+    let diags = check("void f(void)\n{\n  char *s = \"hello\";\n  s = \"world\";\n}\n");
     assert_clean(&diags);
 }
 
@@ -270,9 +259,7 @@ fn variadic_calls_accept_extra_arguments() {
 
 #[test]
 fn unreachable_code_reported() {
-    let diags = check(
-        "int f(int x)\n{\n  return x;\n  x = x + 1;\n  return x;\n}\n",
-    );
+    let diags = check("int f(int x)\n{\n  return x;\n  x = x + 1;\n  return x;\n}\n");
     assert_has(&diags, DiagKind::UnreachableCode, "Unreachable code");
 }
 

@@ -16,11 +16,7 @@ fn run(cache: &mut CheckCache, p: &Program) -> (Vec<String>, Vec<lclint_analysis
     let opts = AnalysisOptions::default();
     let diags = check_program_cached(p, &opts, 0, cache);
     let stats = cache.take_stats();
-    assert_eq!(
-        stats.lookups(),
-        p.defs.len(),
-        "every definition must be probed exactly once"
-    );
+    assert_eq!(stats.lookups(), p.defs.len(), "every definition must be probed exactly once");
     (stats.checked, diags)
 }
 
@@ -93,7 +89,10 @@ fn body_edit_recchecks_only_that_function() {
     let mut cache = CheckCache::new();
     run(&mut cache, &p1);
 
-    let edited = BASE.replace("void independent(int v) { int y;", "void independent(int v) { int y; int z; z = v; v = z;");
+    let edited = BASE.replace(
+        "void independent(int v) { int y;",
+        "void independent(int v) { int y; int z; z = v; v = z;",
+    );
     let p2 = program(&edited);
     let (checked, diags) = run(&mut cache, &p2);
     assert_eq!(checked, vec!["independent".to_owned()]);
@@ -126,8 +125,7 @@ fn cached_output_is_jobs_invariant() {
     let p1 = program(src);
     let p2 = program(&moved);
     for jobs in [1usize, 4] {
-        let mut opts = AnalysisOptions::default();
-        opts.jobs = jobs;
+        let opts = AnalysisOptions { jobs, ..Default::default() };
         let mut cache = CheckCache::new();
         let cold = check_program_cached(&p1, &opts, 0, &mut cache);
         assert_eq!(cold, check_program(&p1, &opts), "jobs={jobs}");
@@ -142,12 +140,37 @@ fn cached_output_is_jobs_invariant() {
 }
 
 #[test]
+fn inference_does_not_poison_the_cache() {
+    // `--infer` runs above `check_program_cached` and never writes to the
+    // cache: a warm session must stay warm, with byte-identical
+    // diagnostics, across an inference pass over the same program.
+    let src = "extern /*@null out only@*/ void *malloc(int size);\n\
+               char *mk(void)\n{\n  char *p = (char *) malloc(4);\n  return p;\n}\n\
+               void lose(void)\n{\n  char *q = (char *) malloc(4);\n  if (q != 0) { *q = 'a'; }\n}\n";
+    let p = program(src);
+    let opts = AnalysisOptions::default();
+    let mut cache = CheckCache::new();
+    let cold = check_program_cached(&p, &opts, 0, &mut cache);
+    let stats = cache.take_stats();
+    assert_eq!(stats.misses, 2, "{stats:?}");
+
+    let inferred = lclint_analysis::infer_annotations(&p, &opts);
+    assert!(!inferred.is_empty(), "inference found nothing to recover");
+
+    let warm = check_program_cached(&p, &opts, 0, &mut cache);
+    let stats = cache.take_stats();
+    assert_eq!(stats.hits, 2, "inference invalidated cache entries: {stats:?}");
+    assert_eq!(stats.misses, 0, "{stats:?}");
+    assert!(stats.checked.is_empty(), "re-checked after inference: {:?}", stats.checked);
+    assert_eq!(cold, warm, "diagnostics changed across an inference pass");
+}
+
+#[test]
 fn options_change_invalidates_everything() {
     let p = program(BASE);
     let mut cache = CheckCache::new();
     run(&mut cache, &p);
-    let mut opts = AnalysisOptions::default();
-    opts.gc_mode = true;
+    let opts = AnalysisOptions { gc_mode: true, ..Default::default() };
     check_program_cached(&p, &opts, 0, &mut cache);
     let stats = cache.take_stats();
     assert_eq!(stats.invalidations, 3, "{stats:?}");

@@ -1,0 +1,165 @@
+//! Whole-program annotation inference: recovery on unannotated code, the
+//! never-override rule, and fixpoint behaviour.
+
+use lclint_analysis::{check_program, infer_annotations, infer_annotations_into, AnalysisOptions};
+use lclint_sema::Program;
+use lclint_syntax::parse_translation_unit;
+
+fn program(src: &str) -> Program {
+    let (tu, _, _) = parse_translation_unit("t.c", src).unwrap();
+    let p = Program::from_unit(&tu);
+    assert!(p.errors.is_empty(), "sema errors: {:?}", p.errors);
+    p
+}
+
+fn inferred(src: &str) -> Vec<String> {
+    let p = program(src);
+    let r = infer_annotations(&p, &AnalysisOptions::default());
+    let mut words: Vec<String> =
+        r.annots.iter().map(|a| format!("{} {}", a.target, a.annot)).collect();
+    words.sort();
+    words
+}
+
+const STDLIB: &str = "extern /*@null out only@*/ void *malloc(int size);\n\
+                      extern void free(/*@null only out@*/ void *p);\n";
+
+/// An entirely unannotated list module, the corpus's shape.
+fn list_module() -> String {
+    format!(
+        "{STDLIB}\
+         struct _item {{ int v; struct _item *next; }};\n\
+         typedef struct {{ struct _item *head; }} list;\n\
+         list *create(void)\n{{\n\
+           list *l = (list *) malloc(8);\n\
+           if (l == NULL) {{ return NULL; }}\n\
+           l->head = NULL;\n\
+           return l;\n\
+         }}\n\
+         void push(list *l, int v)\n{{\n\
+           struct _item *it = (struct _item *) malloc(8);\n\
+           if (it == NULL) {{ return; }}\n\
+           it->v = v;\n\
+           it->next = l->head;\n\
+           l->head = it;\n\
+         }}\n\
+         int sum(list *l)\n{{\n\
+           int s = 0;\n\
+           struct _item *p = l->head;\n\
+           while (p != NULL) {{ s = s + p->v; p = p->next; }}\n\
+           return s;\n\
+         }}\n\
+         void final(list *l)\n{{\n\
+           while (l->head != NULL) {{\n\
+             struct _item *p = l->head;\n\
+             l->head = p->next;\n\
+             free(p);\n\
+           }}\n\
+           free(l);\n\
+         }}\n"
+    )
+}
+
+#[test]
+fn recovers_list_module_annotations() {
+    let words = inferred(&list_module());
+    for expected in [
+        "create: return only",
+        "create: return null",
+        "list.head null",
+        "list.head only",
+        "struct _item.next null",
+        "struct _item.next only",
+        "final: param l only",
+    ] {
+        assert!(words.iter().any(|w| w == expected), "missing `{expected}` in {words:#?}");
+    }
+}
+
+#[test]
+fn inference_reduces_messages_on_recheck() {
+    let p = program(&list_module());
+    let opts = AnalysisOptions::default();
+    let before = check_program(&p, &opts);
+    let (r, annotated) = infer_annotations_into(&p, &opts);
+    assert!(!r.is_empty());
+    let after = check_program(&annotated, &opts);
+    assert!(
+        after.len() < before.len(),
+        "expected fewer messages after inference: before={before:#?} after={after:#?}"
+    );
+}
+
+#[test]
+fn out_param_is_inferred_from_write_before_read() {
+    let words = inferred(
+        "void set(int *p)\n{\n  *p = 3;\n}\n\
+         int get(int *p)\n{\n  return *p;\n}\n",
+    );
+    assert!(words.iter().any(|w| w == "set: param p out"), "{words:#?}");
+    assert!(words.iter().any(|w| w == "set: param p notnull"), "{words:#?}");
+    assert!(words.iter().any(|w| w == "get: param p notnull"), "{words:#?}");
+    assert!(!words.iter().any(|w| w == "get: param p out"), "{words:#?}");
+}
+
+#[test]
+fn existing_annotations_are_never_overridden() {
+    // `temp` on final's param and `notnull` on create's result already
+    // occupy the categories inference would fill: no proposal may touch
+    // them, and the remaining open categories still fill in.
+    let src = format!(
+        "{STDLIB}\
+         typedef struct {{ int v; }} box;\n\
+         /*@notnull@*/ box *make(void)\n{{\n\
+           box *b = (box *) malloc(4);\n\
+           if (b == NULL) {{ return NULL; }}\n\
+           b->v = 0;\n\
+           return b;\n\
+         }}\n\
+         void destroy(/*@temp@*/ box *b)\n{{\n\
+           free(b);\n\
+         }}\n"
+    );
+    let p = program(&src);
+    let (r, annotated) = infer_annotations_into(&p, &AnalysisOptions::default());
+    for a in &r.annots {
+        let w = format!("{} {}", a.target, a.annot);
+        assert_ne!(w, "make: return null", "null category on make's result is taken");
+        assert_ne!(w, "make: return notnull", "already present");
+        assert_ne!(w, "destroy: param b only", "alloc category on destroy's param is taken");
+    }
+    // The original annotations survive verbatim in the patched program.
+    let make = annotated.functions.get("make").unwrap();
+    assert_eq!(make.ty.ret.annots.null(), Some(lclint_syntax::annot::NullAnnot::NotNull));
+    let destroy = annotated.functions.get("destroy").unwrap();
+    assert_eq!(
+        destroy.ty.params[0].ty.annots.alloc(),
+        Some(lclint_syntax::annot::AllocAnnot::Temp)
+    );
+}
+
+#[test]
+fn fixpoint_propagates_through_recursion() {
+    // A recursive list walker: releasing the tail through the recursion and
+    // the head directly means the parameter is `only` — visible only once
+    // the recursive callee's own parameter annotation stabilizes.
+    let src = format!(
+        "{STDLIB}\
+         struct _node {{ int v; struct _node *next; }};\n\
+         void freeall(struct _node *n)\n{{\n\
+           if (n == NULL) {{ return; }}\n\
+           freeall(n->next);\n\
+           free(n);\n\
+         }}\n"
+    );
+    let words = inferred(&src);
+    assert!(words.iter().any(|w| w == "freeall: param n only"), "{words:#?}");
+}
+
+#[test]
+fn inference_is_deterministic() {
+    let first = inferred(&list_module());
+    for _ in 0..3 {
+        assert_eq!(inferred(&list_module()), first);
+    }
+}

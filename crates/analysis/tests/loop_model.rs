@@ -74,8 +74,7 @@ fn two_iterations_detect_the_alias() {
     assert!(
         diags.iter().any(|d| (d.kind == DiagKind::UseAfterRelease
             && d.message.contains("p used after being released"))
-            || (d.kind == DiagKind::ConfluenceError
-                && d.message.contains("Storage p is dead"))),
+            || (d.kind == DiagKind::ConfluenceError && d.message.contains("Storage p is dead"))),
         "the unrolled model must catch the released-alias use: {diags:#?}"
     );
 }
@@ -126,14 +125,8 @@ void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)\n\
 }\n";
     for model in [LoopModel::ZeroOrOne, LoopModel::ZeroOneOrTwo] {
         let diags = check_with_model(fig5, model);
-        assert!(
-            diags.iter().any(|d| d.kind == DiagKind::ConfluenceError),
-            "{model:?}: {diags:#?}"
-        );
-        assert!(
-            diags.iter().any(|d| d.kind == DiagKind::IncompleteDef),
-            "{model:?}: {diags:#?}"
-        );
+        assert!(diags.iter().any(|d| d.kind == DiagKind::ConfluenceError), "{model:?}: {diags:#?}");
+        assert!(diags.iter().any(|d| d.kind == DiagKind::IncompleteDef), "{model:?}: {diags:#?}");
     }
 }
 

@@ -163,11 +163,7 @@ fn figure4_only_temp_mismatch() {
          }\n",
     );
     // First message: the leak.
-    assert_has(
-        &diags,
-        DiagKind::MemoryLeak,
-        "Only storage gname not released before assignment",
-    );
+    assert_has(&diags, DiagKind::MemoryLeak, "Only storage gname not released before assignment");
     let leak = diags.iter().find(|d| d.kind == DiagKind::MemoryLeak).unwrap();
     assert!(leak.notes.iter().any(|n| n.message.contains("Storage gname becomes only")));
     // Second message: temp assigned to only.
@@ -223,9 +219,7 @@ fn figure5_confluence_and_incomplete_definition() {
     assert_has(&diags, DiagKind::ConfluenceError, "e is");
     // Anomaly 2: l->next->next is never defined (paper §5, point 11).
     assert!(
-        diags
-            .iter()
-            .any(|d| d.kind == DiagKind::IncompleteDef && d.message.contains("next->next")),
+        diags.iter().any(|d| d.kind == DiagKind::IncompleteDef && d.message.contains("next->next")),
         "expected incomplete-definition anomaly naming ...next->next: {:#?}",
         diags.iter().map(|d| format!("{:?}: {}", d.kind, d.message)).collect::<Vec<_>>()
     );
@@ -346,9 +340,7 @@ fn use_before_definition() {
 
 #[test]
 fn out_param_must_be_defined_by_callee() {
-    let diags = check(
-        "void init(/*@out@*/ int *p) { }\n",
-    );
+    let diags = check("void init(/*@out@*/ int *p) { }\n");
     assert_has(&diags, DiagKind::IncompleteDef, "not completely defined");
 }
 
@@ -680,10 +672,9 @@ fn observer_return_must_not_be_modified() {
          }\n",
     );
     assert!(
-        diags.iter().any(|d| matches!(
-            d.kind,
-            DiagKind::ExposureViolation | DiagKind::AllocMismatch
-        )),
+        diags
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::ExposureViolation | DiagKind::AllocMismatch)),
         "freeing observer storage must be an anomaly: {diags:#?}"
     );
 }
@@ -728,8 +719,7 @@ fn loop_treated_as_zero_or_one_iterations() {
     let diags = check(FIGURE5);
     // l may alias argl or argl->next, but not argl->next->next.
     // The checkable consequence: exactly one incomplete-definition anomaly.
-    let incompletes: Vec<_> =
-        diags.iter().filter(|d| d.kind == DiagKind::IncompleteDef).collect();
+    let incompletes: Vec<_> = diags.iter().filter(|d| d.kind == DiagKind::IncompleteDef).collect();
     assert_eq!(incompletes.len(), 1, "{incompletes:#?}");
 }
 

@@ -68,8 +68,7 @@ int release_then_use(void) {
 fn run_with_jobs(jobs: usize) -> Vec<lclint_analysis::Diagnostic> {
     let (tu, _, _) = parse_translation_unit("par.c", SRC).expect("parse");
     let program = Program::from_unit(&tu);
-    let mut opts = AnalysisOptions::default();
-    opts.jobs = jobs;
+    let opts = AnalysisOptions { jobs, ..Default::default() };
     check_program(&program, &opts)
 }
 
@@ -106,11 +105,7 @@ fn parallel_output_is_byte_identical_to_sequential() {
     for jobs in [2, 3, 4, 8] {
         let par = run_with_jobs(jobs);
         assert_eq!(seq, par, "diagnostics differ at jobs={jobs}");
-        assert_eq!(
-            render(&seq),
-            render(&par),
-            "rendered output differs at jobs={jobs}"
-        );
+        assert_eq!(render(&seq), render(&par), "rendered output differs at jobs={jobs}");
     }
 }
 

@@ -34,22 +34,16 @@ fn balanced_retain_release_is_clean() {
 fn missing_release_is_a_leak() {
     let diags = check("int f(void)\n{\n  rc_t r = rc_create(3);\n  return rc_value(r);\n}\n");
     assert!(
-        diags
-            .iter()
-            .any(|d| d.kind == DiagKind::MemoryLeak && d.message.contains("New reference")),
+        diags.iter().any(|d| d.kind == DiagKind::MemoryLeak && d.message.contains("New reference")),
         "{diags:#?}"
     );
 }
 
 #[test]
 fn double_release_uses_dead_reference() {
-    let diags = check(
-        "void f(void)\n{\n  rc_t r = rc_create(1);\n  rc_release(r);\n  rc_release(r);\n}\n",
-    );
-    assert!(
-        diags.iter().any(|d| d.kind == DiagKind::UseAfterRelease),
-        "{diags:#?}"
-    );
+    let diags =
+        check("void f(void)\n{\n  rc_t r = rc_create(1);\n  rc_release(r);\n  rc_release(r);\n}\n");
+    assert!(diags.iter().any(|d| d.kind == DiagKind::UseAfterRelease), "{diags:#?}");
 }
 
 #[test]
@@ -57,10 +51,7 @@ fn use_after_release_reported() {
     let diags = check(
         "int f(void)\n{\n  rc_t r = rc_create(1);\n  rc_release(r);\n  return rc_value(r);\n}\n",
     );
-    assert!(
-        diags.iter().any(|d| d.kind == DiagKind::UseAfterRelease),
-        "{diags:#?}"
-    );
+    assert!(diags.iter().any(|d| d.kind == DiagKind::UseAfterRelease), "{diags:#?}");
 }
 
 #[test]
@@ -77,31 +68,23 @@ fn killref_param_must_be_consumed_by_callee() {
     // A function taking killref must actually kill it on every path.
     let diags = check("void drop_it(/*@killref@*/ rc_t r)\n{\n}\n");
     assert!(
-        diags
-            .iter()
-            .any(|d| d.kind == DiagKind::MemoryLeak && d.message.contains("not killed")),
+        diags.iter().any(|d| d.kind == DiagKind::MemoryLeak && d.message.contains("not killed")),
         "{diags:#?}"
     );
 }
 
 #[test]
 fn killref_param_forwarded_is_clean() {
-    let diags = check(
-        "void drop_it(/*@killref@*/ rc_t r)\n{\n  rc_release(r);\n}\n",
-    );
+    let diags = check("void drop_it(/*@killref@*/ rc_t r)\n{\n  rc_release(r);\n}\n");
     assert!(diags.is_empty(), "{diags:#?}");
 }
 
 #[test]
 fn releasing_a_tempref_param_reported() {
-    let diags = check(
-        "void peek(/*@tempref@*/ rc_t r)\n{\n  rc_release(r);\n}\n",
-    );
+    let diags = check("void peek(/*@tempref@*/ rc_t r)\n{\n  rc_release(r);\n}\n");
     assert!(
-        diags
-            .iter()
-            .any(|d| d.kind == DiagKind::AllocMismatch
-                && d.message.contains("without a live new reference")),
+        diags.iter().any(|d| d.kind == DiagKind::AllocMismatch
+            && d.message.contains("without a live new reference")),
         "{diags:#?}"
     );
 }

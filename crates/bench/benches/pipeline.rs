@@ -26,9 +26,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut provider = MemoryProvider::new();
     provider.insert("gen.c", p.source.clone());
     let mut sm = SourceMap::new();
-    let tokens = lclint_syntax::pp::preprocess("gen.c", &provider, &mut sm)
-        .expect("ok")
-        .tokens;
+    let tokens = lclint_syntax::pp::preprocess("gen.c", &provider, &mut sm).expect("ok").tokens;
     group.bench_function("parse", |b| {
         b.iter(|| {
             let tu = Parser::new(tokens.clone()).parse_translation_unit().expect("ok");
@@ -55,7 +53,8 @@ fn bench_pipeline(c: &mut Criterion) {
     // §7 interface libraries: module-from-source vs module-from-library.
     let mut group = c.benchmark_group("interface_library");
     group.sample_size(10);
-    let client = "void client(void)\n{\n  m0_list l = m0_create();\n  m0_push(l, 1);\n  m0_final(l);\n}\n";
+    let client =
+        "void client(void)\n{\n  m0_list l = m0_create();\n  m0_push(l, 1);\n  m0_final(l);\n}\n";
     let lib = lclint_core::library::save(&tu);
     group.bench_function("client_vs_full_source", |b| {
         let linter = lclint_core::Linter::new(lclint_core::Flags::default());

@@ -25,7 +25,8 @@ fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("annotation_sweep");
     group.sample_size(10);
     for level in [0.0f64, 0.5, 1.0] {
-        let p = generate(&GenConfig { annotation_level: level, ..GenConfig::with_target_loc(5_000) });
+        let p =
+            generate(&GenConfig { annotation_level: level, ..GenConfig::with_target_loc(5_000) });
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{:.0}pct", level * 100.0)),
             &p.source,

@@ -44,9 +44,8 @@ pub fn figure_table() -> Vec<FigureRow> {
     paper
         .iter()
         .map(|(name, expected)| {
-            let r = linter
-                .check_source(&format!("{name}.c"), sources[name])
-                .expect("figures parse");
+            let r =
+                linter.check_source(&format!("{name}.c"), sources[name]).expect("figures parse");
             // Figure 7/8 are checked for their *specific* anomaly class.
             let measured = match *name {
                 "figure7" => r
@@ -54,9 +53,7 @@ pub fn figure_table() -> Vec<FigureRow> {
                     .iter()
                     .filter(|d| d.message.contains("derivable from return value"))
                     .count(),
-                "figure8" => {
-                    r.diagnostics.iter().filter(|d| d.kind == "aliasunique").count()
-                }
+                "figure8" => r.diagnostics.iter().filter(|d| d.kind == "aliasunique").count(),
                 _ => r.diagnostics.len(),
             };
             FigureRow {
@@ -365,9 +362,7 @@ pub fn incremental_table(target_loc: usize) -> Vec<IncrRow> {
         let roots = vec!["gen.c".to_owned()];
         let reference = linter.check_files(&files, &roots).expect("parses").render();
         let start = Instant::now();
-        let r = linter
-            .check_files_with(&files, &roots, Some(&mut session))
-            .expect("parses");
+        let r = linter.check_files_with(&files, &roots, Some(&mut session)).expect("parses");
         let ms = start.elapsed().as_secs_f64() * 1000.0;
         let cs = r.cache_stats.as_ref().expect("incremental run has stats");
         IncrRow {
@@ -381,11 +376,90 @@ pub fn incremental_table(target_loc: usize) -> Vec<IncrRow> {
             identical: r.render() == reference,
         }
     };
-    vec![
-        run("cold", &p.source),
-        run("warm-no-change", &p.source),
-        run("warm-one-edit", &edited),
-    ]
+    vec![run("cold", &p.source), run("warm-no-change", &p.source), run("warm-one-edit", &edited)]
+}
+
+/// One row of the annotation-inference round trip (E13).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct InferRow {
+    /// Fraction of annotations the generator kept.
+    pub level: f64,
+    /// Ground-truth annotations the stripping removed.
+    pub ground_truth_missing: usize,
+    /// How many of those inference recovered (same target, same word).
+    pub recovered: usize,
+    /// `100 * recovered / ground_truth_missing` (100 when nothing was
+    /// missing).
+    pub recovery_pct: f64,
+    /// Messages when checking the stripped source as-is.
+    pub baseline_messages: usize,
+    /// Messages when re-checking the source with inferred annotations
+    /// applied.
+    pub after_messages: usize,
+    /// `100 * (baseline - after) / baseline` (0 when the baseline is clean).
+    pub reduction_pct: f64,
+    /// Total annotations inference placed (including extras beyond the
+    /// ground truth, e.g. `notnull` on dereferenced parameters).
+    pub inferred_total: usize,
+    /// Wall-clock of the inference pass, in milliseconds.
+    pub ms: f64,
+}
+
+/// E13: whole-program annotation inference round trip. For each stripping
+/// level: generate, strip, infer, score recovery against the generator's
+/// ground truth, and re-check the annotated source to measure the message
+/// reduction.
+pub fn inference_table(target_loc: usize, levels: &[f64]) -> Vec<InferRow> {
+    let linter = Linter::new(Flags::default());
+    levels
+        .iter()
+        .map(|level| {
+            let p = generate(&GenConfig {
+                annotation_level: *level,
+                ..GenConfig::with_target_loc(target_loc)
+            });
+            let baseline =
+                linter.check_source("gen.c", &p.source).expect("parses").diagnostics.len();
+            let start = Instant::now();
+            let out = linter.infer_source("gen.c", &p.source).expect("parses");
+            let ms = start.elapsed().as_secs_f64() * 1000.0;
+            let placed: std::collections::BTreeSet<(String, String)> = out
+                .placed
+                .iter()
+                .filter(|pl| pl.loc.is_some())
+                .map(|pl| (pl.target.clone(), pl.annot.clone()))
+                .collect();
+            let missing: Vec<_> = p.ground_truth.iter().filter(|g| !g.emitted).collect();
+            let recovered = missing
+                .iter()
+                .filter(|g| placed.contains(&(g.target.clone(), g.word.clone())))
+                .count();
+            let after = linter
+                .check_source("gen.c", &out.annotated[0].1)
+                .expect("annotated source parses")
+                .diagnostics
+                .len();
+            InferRow {
+                level: *level,
+                ground_truth_missing: missing.len(),
+                recovered,
+                recovery_pct: if missing.is_empty() {
+                    100.0
+                } else {
+                    100.0 * recovered as f64 / missing.len() as f64
+                },
+                baseline_messages: baseline,
+                after_messages: after,
+                reduction_pct: if baseline == 0 {
+                    0.0
+                } else {
+                    100.0 * baseline.saturating_sub(after) as f64 / baseline as f64
+                },
+                inferred_total: placed.len(),
+                ms,
+            }
+        })
+        .collect()
 }
 
 /// E9 (library variant): time to check a module + client from full source
@@ -393,17 +467,15 @@ pub fn incremental_table(target_loc: usize) -> Vec<IncrRow> {
 /// "libraries to store interface information"). Returns `(full_ms, lib_ms)`.
 pub fn library_speedup(target_loc: usize) -> (f64, f64) {
     let p = generate(&GenConfig::with_target_loc(target_loc));
-    let client = "void client(void)\n{\n  m0_list l = m0_create();\n  m0_push(l, 1);\n  m0_final(l);\n}\n";
+    let client =
+        "void client(void)\n{\n  m0_list l = m0_create();\n  m0_push(l, 1);\n  m0_final(l);\n}\n";
     // Full-source check.
     let linter = Linter::new(Flags::default());
-    let files = vec![
-        ("mod.c".to_owned(), p.source.clone()),
-        ("client.c".to_owned(), client.to_owned()),
-    ];
+    let files =
+        vec![("mod.c".to_owned(), p.source.clone()), ("client.c".to_owned(), client.to_owned())];
     let start = Instant::now();
-    let r = linter
-        .check_files(&files, &["mod.c".to_owned(), "client.c".to_owned()])
-        .expect("parses");
+    let r =
+        linter.check_files(&files, &["mod.c".to_owned(), "client.c".to_owned()]).expect("parses");
     assert!(r.is_clean(), "{}", r.render());
     let full_ms = start.elapsed().as_secs_f64() * 1000.0;
     // Library check: the module is summarized once; only the client is
@@ -426,11 +498,7 @@ mod tests {
     #[test]
     fn figure_table_matches_paper() {
         for row in figure_table() {
-            assert_eq!(
-                row.measured_messages, row.paper_messages,
-                "figure {} diverges",
-                row.figure
-            );
+            assert_eq!(row.measured_messages, row.paper_messages, "figure {} diverges", row.figure);
         }
     }
 
@@ -469,8 +537,7 @@ mod tests {
     #[test]
     fn incremental_table_hits_on_warm_runs() {
         let rows = incremental_table(2_000);
-        let by: BTreeMap<&str, &IncrRow> =
-            rows.iter().map(|r| (r.scenario.as_str(), r)).collect();
+        let by: BTreeMap<&str, &IncrRow> = rows.iter().map(|r| (r.scenario.as_str(), r)).collect();
         let cold = by["cold"];
         assert_eq!(cold.hits, 0, "{cold:?}");
         assert!(cold.misses > 0, "{cold:?}");
@@ -488,6 +555,24 @@ mod tests {
     fn stdlib_cache_hits_every_warm_call() {
         let stats = stdlib_cache_stats(5);
         assert_eq!(stats.hits_delta, 5, "{stats:?}");
+    }
+
+    #[test]
+    fn inference_round_trip_meets_the_acceptance_bars() {
+        let rows = inference_table(2_000, &[0.0, 1.0]);
+        let stripped = &rows[0];
+        assert!(stripped.recovery_pct >= 70.0, "recovery at level 0.0 below 70%: {stripped:?}");
+        assert!(
+            stripped.reduction_pct >= 50.0,
+            "message reduction at level 0.0 below 50%: {stripped:?}"
+        );
+        let full = &rows[1];
+        assert_eq!(full.ground_truth_missing, 0, "{full:?}");
+        assert_eq!(full.baseline_messages, 0, "{full:?}");
+        assert_eq!(
+            full.after_messages, 0,
+            "inference introduced false positives on the annotated corpus: {full:?}"
+        );
     }
 
     #[test]

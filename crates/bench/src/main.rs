@@ -7,15 +7,13 @@
 
 use lclint_bench::{
     annotation_sweep, database_table, detection_table, figure_table, incremental_table,
-    library_speedup, par_speedup_table, scaling_table, stdlib_cache_stats, IncrRow,
+    inference_table, library_speedup, par_speedup_table, scaling_table, stdlib_cache_stats,
+    IncrRow, InferRow,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1).cloned());
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned());
     let quick = args.iter().any(|a| a == "--quick");
 
     println!("================================================================");
@@ -69,7 +67,10 @@ fn main() {
         max / min
     );
     println!("\nE9b. Parallel per-function checking (1 thread vs all cores)\n");
-    println!("{:>9} {:>12} {:>12} {:>9} {:>6} {:>10}", "LOC", "seq (ms)", "par (ms)", "speedup", "jobs", "identical");
+    println!(
+        "{:>9} {:>12} {:>12} {:>9} {:>6} {:>10}",
+        "LOC", "seq (ms)", "par (ms)", "speedup", "jobs", "identical"
+    );
     let par_sizes: &[usize] = if quick { &[2_000, 10_000] } else { &[2_000, 10_000, 50_000] };
     let par_speedup = par_speedup_table(par_sizes);
     for row in &par_speedup {
@@ -112,15 +113,27 @@ fn main() {
     println!("\nE10b. Incremental checking: warm vs cold ({incr_loc}-line program)\n");
     println!(
         "{:<16} {:>10} {:>11} {:>6} {:>7} {:>13} {:>9} {:>10}",
-        "scenario", "total (ms)", "check (ms)", "hits", "misses", "invalidations", "checked",
+        "scenario",
+        "total (ms)",
+        "check (ms)",
+        "hits",
+        "misses",
+        "invalidations",
+        "checked",
         "identical"
     );
     let incr = incremental_table(incr_loc);
     for row in &incr {
         println!(
             "{:<16} {:>10.1} {:>11.1} {:>6} {:>7} {:>13} {:>9} {:>10}",
-            row.scenario, row.ms, row.check_ms, row.hits, row.misses, row.invalidations,
-            row.checked, row.identical
+            row.scenario,
+            row.ms,
+            row.check_ms,
+            row.hits,
+            row.misses,
+            row.invalidations,
+            row.checked,
+            row.identical
         );
     }
     println!(
@@ -155,6 +168,33 @@ fn main() {
          \u{20}  right test cases\"; static checking sees every path."
     );
 
+    // E13 ---------------------------------------------------------------------
+    let infer_loc = if quick { 2_000 } else { 10_000 };
+    println!("\nE13. Annotation inference round trip ({infer_loc}-line program)\n");
+    println!(
+        "{:>7} {:>9} {:>10} {:>10} {:>10} {:>9} {:>11} {:>10}",
+        "level", "missing", "recovered", "recov %", "baseline", "after", "reduction %", "time (ms)"
+    );
+    let infer = inference_table(infer_loc, &[0.0, 0.25, 0.5]);
+    for row in &infer {
+        println!(
+            "{:>6.0}% {:>9} {:>10} {:>9.1}% {:>10} {:>9} {:>10.1}% {:>10.1}",
+            row.level * 100.0,
+            row.ground_truth_missing,
+            row.recovered,
+            row.recovery_pct,
+            row.baseline_messages,
+            row.after_messages,
+            row.reduction_pct,
+            row.ms
+        );
+    }
+    println!(
+        "\n  whole-program SCC fixpoint over the checker's transfer functions in\n\
+         \u{20}  summary mode; recovered annotations are scored against the\n\
+         \u{20}  generator's ground truth, then the annotated source is re-checked."
+    );
+
     if let Some(path) = json_path {
         let blob = serde_json::json!({
             "figures": figs,
@@ -165,6 +205,7 @@ fn main() {
             "annotation_sweep": sweep,
             "incremental": incr,
             "detection": detect,
+            "inference_table": infer,
         });
         std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serializes"))
             .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
@@ -173,14 +214,50 @@ fn main() {
         // Snapshot of the incremental benchmark at the repo root, hand
         // rendered so it is valid JSON even when a stub serializer is
         // linked in offline builds.
-        let snap = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join("BENCH_PR2.json");
+        let snap =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_PR2.json");
         match std::fs::write(&snap, render_incr_snapshot(&incr, incr_loc)) {
             Ok(()) => println!("incremental snapshot written to {}", snap.display()),
             Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
         }
+
+        // Snapshot of the inference round trip, likewise hand rendered.
+        let snap =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_PR3.json");
+        match std::fs::write(&snap, render_infer_snapshot(&infer, infer_loc)) {
+            Ok(()) => println!("inference snapshot written to {}", snap.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
+        }
     }
+}
+
+/// Renders the E13 rows as a JSON document without going through a
+/// serializer (offline builds stub `serde_json`).
+fn render_infer_snapshot(rows: &[InferRow], loc: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"annotation-inference-round-trip\",\n");
+    out.push_str(&format!("  \"target_loc\": {loc},\n"));
+    out.push_str("  \"inference_table\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"level\": {:.2}, \"ground_truth_missing\": {}, \"recovered\": {}, \
+             \"recovery_pct\": {:.1}, \"baseline_messages\": {}, \"after_messages\": {}, \
+             \"reduction_pct\": {:.1}, \"inferred_total\": {}, \"ms\": {:.3}}}{}\n",
+            r.level,
+            r.ground_truth_missing,
+            r.recovered,
+            r.recovery_pct,
+            r.baseline_messages,
+            r.after_messages,
+            r.reduction_pct,
+            r.inferred_total,
+            r.ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders the E10b rows as a JSON document without going through a
@@ -194,10 +271,7 @@ fn render_incr_snapshot(rows: &[IncrRow], loc: usize) -> String {
         "  \"warm_speedup\": {:.2},\n",
         rows[0].check_ms / rows[1].check_ms.max(1e-9)
     ));
-    out.push_str(&format!(
-        "  \"warm_speedup_total\": {:.2},\n",
-        rows[0].ms / rows[1].ms.max(1e-9)
-    ));
+    out.push_str(&format!("  \"warm_speedup_total\": {:.2},\n", rows[0].ms / rows[1].ms.max(1e-9)));
     out.push_str("  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(

@@ -147,9 +147,7 @@ mod tests {
 
     #[test]
     fn branches_merge() {
-        let (r, a) = run_on(
-            "void f(int c) { int x; if (c) { x = 0; } else { x = 0; } }",
-        );
+        let (r, a) = run_on("void f(int c) { int x; if (c) { x = 0; } else { x = 0; } }");
         assert!(a.merges >= 1);
         // Both branches set x to zero → fact survives the merge.
         assert_eq!(r.exit_state.unwrap().x_zero, Some(true));
@@ -157,9 +155,7 @@ mod tests {
 
     #[test]
     fn conflicting_branches_lose_fact() {
-        let (r, _) = run_on(
-            "void f(int c) { int x; if (c) { x = 0; } else { x = 1; } }",
-        );
+        let (r, _) = run_on("void f(int c) { int x; if (c) { x = 0; } else { x = 1; } }");
         assert_eq!(r.exit_state.unwrap().x_zero, None);
     }
 

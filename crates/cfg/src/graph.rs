@@ -129,8 +129,7 @@ impl Cfg {
                 indegree[e.target.0 as usize] += 1;
             }
         }
-        let mut stack: Vec<usize> =
-            (0..n).filter(|i| indegree[*i] == 0).collect();
+        let mut stack: Vec<usize> = (0..n).filter(|i| indegree[*i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = stack.pop() {
             order.push(BlockId(i as u32));
@@ -215,11 +214,8 @@ impl Builder {
             // Falling off the end is an implicit `return;` — the
             // return-point interface checks run there, located at the
             // function's closing brace (matching LCLint's message sites).
-            let close = Span::new(
-                f.body.span.file,
-                f.body.span.end.saturating_sub(1),
-                f.body.span.end,
-            );
+            let close =
+                Span::new(f.body.span.file, f.body.span.end.saturating_sub(1), f.body.span.end);
             self.push(last, Action::Return(None, close));
             self.edge(last, exit, None);
         }
@@ -417,8 +413,16 @@ impl Builder {
                             let body2 = self.new_block(body.span);
                             match cond {
                                 Some(c) => {
-                                    self.edge(cond2, body2, Some(Guard { cond: c.clone(), sense: true }));
-                                    self.edge(cond2, after, Some(Guard { cond: c.clone(), sense: false }));
+                                    self.edge(
+                                        cond2,
+                                        body2,
+                                        Some(Guard { cond: c.clone(), sense: true }),
+                                    );
+                                    self.edge(
+                                        cond2,
+                                        after,
+                                        Some(Guard { cond: c.clone(), sense: false }),
+                                    );
                                 }
                                 None => {
                                     self.edge(cond2, body2, None);
@@ -553,10 +557,11 @@ mod tests {
         let c = cfg_of("void f(int n) { int i; for (i = 0; i < n; i++) { n = n - 1; } }");
         assert_dag(&c);
         // A block containing the step exists.
-        let has_step = c
-            .blocks
-            .iter()
-            .any(|b| b.actions.iter().any(|a| matches!(a, Action::Eval(e) if matches!(e.kind, ExprKind::PostIncDec(_, _)))));
+        let has_step = c.blocks.iter().any(|b| {
+            b.actions.iter().any(
+                |a| matches!(a, Action::Eval(e) if matches!(e.kind, ExprKind::PostIncDec(_, _))),
+            )
+        });
         assert!(has_step);
     }
 
@@ -611,10 +616,11 @@ mod tests {
     #[test]
     fn scope_exit_emitted() {
         let c = cfg_of("void f(void) { { int x; x = 1; } }");
-        let found = c
-            .blocks
-            .iter()
-            .any(|b| b.actions.iter().any(|a| matches!(a, Action::ExitScope(names, _) if names.contains(&"x".to_owned()))));
+        let found = c.blocks.iter().any(|b| {
+            b.actions.iter().any(
+                |a| matches!(a, Action::ExitScope(names, _) if names.contains(&"x".to_owned())),
+            )
+        });
         assert!(found);
     }
 
@@ -628,9 +634,7 @@ mod tests {
     #[test]
     fn figure6_shape() {
         // The paper's list_addh example: if around while, merge points exist.
-        let c = cfg_of(
-            "void f(int l) { if (l != 0) { while (l == 1) { l = 2; } l = 3; } }",
-        );
+        let c = cfg_of("void f(int l) { if (l != 0) { while (l == 1) { l = 2; } l = 3; } }");
         assert_dag(&c);
         // Exit has at least one predecessor and some block has 2 preds
         // (the if/while confluence points).

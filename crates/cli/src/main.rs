@@ -17,6 +17,10 @@
 //!   --run ENTRY     interpret ENTRY() after checking (runtime baseline)
 //!   --incremental DIR  persist a per-function result cache under DIR
 //!   --stats         print cache/checking counters to stderr
+//!   --infer         infer missing null/only/out annotations and print a
+//!                   diff-style report (machine-readable with --json)
+//!   --infer-apply FILE  rewrite FILE (one of the checked .c inputs) with
+//!                   the inferred annotations attached
 //! ```
 
 use lclint_core::{library, Flags, IncrementalSession, Linter};
@@ -31,14 +35,43 @@ fn usage() -> ! {
          modes: allimponly imponlyreturns imponlyglobals imponlyfields gcmode\n\
          \u{20}       supcomments stdlib memchecks all\n\
          options: --json --jobs N --lib FILE --emit-lib --run ENTRY\n\
-         \u{20}        --incremental DIR --stats",
-        lclint_core::DiagKind::all()
-            .iter()
-            .map(|k| k.flag_name())
-            .collect::<Vec<_>>()
-            .join(" ")
+         \u{20}        --incremental DIR --stats --infer --infer-apply FILE",
+        lclint_core::DiagKind::all().iter().map(|k| k.flag_name()).collect::<Vec<_>>().join(" ")
     );
     std::process::exit(2)
+}
+
+/// Renders the `--infer --json` report. Hand-rendered so the shape is
+/// stable regardless of serializer configuration.
+fn render_infer_json(out: &lclint_core::InferOutcome) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"sccs\": {},\n", out.sccs));
+    s.push_str(&format!("  \"sweeps\": {},\n", out.rounds));
+    s.push_str("  \"annotations\": [");
+    for (i, p) in out.placed.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let loc = match &p.loc {
+            Some(l) => format!("\"{}\"", esc(l)),
+            None => "null".to_owned(),
+        };
+        s.push_str(&format!(
+            "\n    {{\"target\": \"{}\", \"annot\": \"{}\", \"loc\": {}}}",
+            esc(&p.target),
+            esc(&p.annot),
+            loc
+        ));
+    }
+    if !out.placed.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}");
+    s
 }
 
 fn main() -> ExitCode {
@@ -55,6 +88,8 @@ fn main() -> ExitCode {
     let mut libs: Vec<(String, String)> = Vec::new();
     let mut incremental_dir: Option<String> = None;
     let mut stats = false;
+    let mut infer = false;
+    let mut infer_apply: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -96,6 +131,12 @@ fn main() -> ExitCode {
                 incremental_dir = Some(dir.clone());
             }
             "--stats" => stats = true,
+            "--infer" => infer = true,
+            "--infer-apply" => {
+                i += 1;
+                let Some(target) = args.get(i) else { usage() };
+                infer_apply = Some(target.clone());
+            }
             _ if a.starts_with('+') || (a.starts_with('-') && !a.starts_with("--")) => {
                 if let Err(e) = flags.apply(a) {
                     eprintln!("rlclint: {e}");
@@ -121,6 +162,22 @@ fn main() -> ExitCode {
         eprintln!("rlclint: no .c files given");
         return ExitCode::from(2);
     }
+    if (infer || infer_apply.is_some()) && emit_lib {
+        eprintln!("rlclint: --infer cannot be combined with --emit-lib");
+        usage();
+    }
+    if infer_apply.is_some() && json {
+        eprintln!(
+            "rlclint: --infer-apply rewrites source files; it cannot be combined with --json"
+        );
+        usage();
+    }
+    if let Some(target) = &infer_apply {
+        if !roots.contains(target) {
+            eprintln!("rlclint: --infer-apply target `{target}` is not among the checked .c files");
+            usage();
+        }
+    }
 
     if emit_lib {
         for (name, text) in files.iter().filter(|(n, _)| n.ends_with(".c")) {
@@ -139,6 +196,48 @@ fn main() -> ExitCode {
     for (n, t) in libs {
         linter.add_library(n, t);
     }
+
+    if infer || infer_apply.is_some() {
+        // Inference never opens the incremental session: it is a read-only
+        // pass over the parsed program, so a cache directory used by plain
+        // checking stays byte-identical.
+        let out = match linter.infer_files(&files, &roots) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("rlclint: parse error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for e in &out.sema_errors {
+            eprintln!("rlclint: {e}");
+        }
+        if let Some(target) = infer_apply {
+            let Some((_, text)) = out.annotated.iter().find(|(n, _)| *n == target) else {
+                eprintln!("rlclint: --infer-apply target `{target}` produced no output");
+                return ExitCode::from(2);
+            };
+            if let Err(e) = std::fs::write(&target, text) {
+                eprintln!("rlclint: cannot write {target}: {e}");
+                return ExitCode::from(2);
+            }
+            let n = out.placed.iter().filter(|p| p.loc.is_some()).count();
+            eprintln!("rlclint: wrote {target} with {n} inferred annotation(s)");
+        } else if json {
+            println!("{}", render_infer_json(&out));
+        } else {
+            print!("{}", out.diff);
+            let n = out.placed.len();
+            println!(
+                "\n{} annotation{} inferred ({} SCCs, {} sweeps)",
+                n,
+                if n == 1 { "" } else { "s" },
+                out.sccs,
+                out.rounds
+            );
+        }
+        return if out.sema_errors.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
     let mut session = match incremental_dir {
         Some(dir) => match IncrementalSession::at_dir(&dir) {
             Ok(s) => Some(s),

@@ -1,0 +1,257 @@
+//! Writing inferred annotations back into source.
+//!
+//! [`crate::Linter::infer_files`] recovers annotations against the resolved
+//! program; this module re-attaches them to the *syntax* of the checked
+//! translation units so they can be reported as a unified-diff-style patch
+//! and written out through the pretty-printer.
+//!
+//! Application is conservative:
+//!
+//! - an annotation is attached only where the category is still free at
+//!   that syntactic position (the sema-level never-override rule already
+//!   guarantees this for the resolved view; the AST check additionally
+//!   protects pointer-level annotations the resolver folded together),
+//! - a struct member declared in a multi-declarator field declaration is
+//!   skipped (a specifier-level annotation would spill onto its siblings),
+//! - prototypes and definitions of the same function are patched together
+//!   so the program stays consistent.
+
+use lclint_analysis::{InferTarget, InferredAnnot};
+use lclint_syntax::annot::Annot;
+use lclint_syntax::ast::*;
+use lclint_syntax::span::{SourceMap, Span};
+use lclint_syntax::{pretty_print_declaration, pretty_print_function};
+use std::fmt::Write as _;
+
+/// One inferred annotation resolved against the source, for reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacedAnnotation {
+    /// Human-readable target (`create: return`, `list.head`, …).
+    pub target: String,
+    /// The annotation word (`null`, `only`, `out`, `notnull`).
+    pub annot: String,
+    /// `file:line` of the patched declaration, when the target was found in
+    /// the checked units.
+    pub loc: Option<String>,
+}
+
+/// The outcome of applying inferred annotations to a set of units.
+#[derive(Debug, Clone, Default)]
+pub struct AppliedAnnotations {
+    /// The patched units, parallel to the input slice.
+    pub units: Vec<TranslationUnit>,
+    /// Every annotation with its resolved location (unplaced ones keep
+    /// `loc: None` — e.g. a target declared only in a library).
+    pub placed: Vec<PlacedAnnotation>,
+    /// Unified-diff-style report over every changed declaration.
+    pub diff: String,
+}
+
+/// Applies `annots` to copies of `units` and renders the diff report.
+pub fn apply_annotations(
+    units: &[TranslationUnit],
+    annots: &[InferredAnnot],
+    sm: &SourceMap,
+) -> AppliedAnnotations {
+    let mut patched: Vec<TranslationUnit> = units.to_vec();
+    let mut placed = Vec::new();
+    for a in annots {
+        let mut loc: Option<String> = None;
+        for unit in &mut patched {
+            for item in &mut unit.items {
+                if let Some(span) = apply_to_item(item, a) {
+                    loc.get_or_insert_with(|| sm.loc(span).to_string());
+                }
+            }
+        }
+        placed.push(PlacedAnnotation {
+            target: a.target.to_string(),
+            annot: a.annot.as_str().to_owned(),
+            loc,
+        });
+    }
+    let diff = render_diff(units, &patched, sm);
+    AppliedAnnotations { units: patched, placed, diff }
+}
+
+/// Applies one annotation to one top-level item when it targets it.
+/// Returns the span of the patched declaration on change.
+fn apply_to_item(item: &mut Item, a: &InferredAnnot) -> Option<Span> {
+    match &a.target {
+        InferTarget::FnReturn { name } => match item {
+            Item::Function(f) if f.name() == name => {
+                try_add(&mut f.specs.annots, a.annot).then_some(f.declarator.span)
+            }
+            Item::Decl(d) => {
+                let mut changed = None;
+                for id in &mut d.declarators {
+                    if id.declarator.name.as_deref() == Some(name) && id.declarator.is_function() {
+                        // Specifier-level annotations on a function
+                        // declarator describe the result; multi-declarator
+                        // prototypes would leak onto siblings.
+                        if d.declarators.len() == 1 && try_add_decl_specs(d, a.annot) {
+                            changed = Some(d.span);
+                        }
+                        break;
+                    }
+                }
+                changed
+            }
+            _ => None,
+        },
+        InferTarget::FnParam { name, index, .. } => {
+            let declarator = match item {
+                Item::Function(f) if f.name() == name => Some(&mut f.declarator),
+                Item::Decl(d) => d
+                    .declarators
+                    .iter_mut()
+                    .map(|id| &mut id.declarator)
+                    .find(|dr| dr.name.as_deref() == Some(name) && dr.is_function()),
+                _ => None,
+            }?;
+            let span = declarator.span;
+            let Some(Derived::Function { params, .. }) = declarator.derived.first_mut() else {
+                return None;
+            };
+            let p = params.get_mut(*index)?;
+            try_add(&mut p.specs.annots, a.annot).then_some(span)
+        }
+        InferTarget::StructField { tag, typedef, field } => {
+            let Item::Decl(d) = item else { return None };
+            let TypeSpec::Struct(s) = &mut d.specs.ty else { return None };
+            let matches_target = match &s.name {
+                Some(n) => n == tag,
+                // Anonymous struct bodies are located through a typedef
+                // naming them.
+                None => {
+                    d.specs.storage == Some(StorageClass::Typedef)
+                        && typedef.as_ref().is_some_and(|td| {
+                            d.declarators
+                                .iter()
+                                .any(|id| id.declarator.name.as_deref() == Some(td.as_str()))
+                        })
+                }
+            };
+            if !matches_target {
+                return None;
+            }
+            let fields = s.fields.as_mut()?;
+            for fd in fields.iter_mut() {
+                if fd.declarators.iter().any(|dr| dr.name.as_deref() == Some(field.as_str())) {
+                    // Skip `int *a, *b;` — a specifier-level annotation
+                    // would apply to every declarator.
+                    if fd.declarators.len() != 1 {
+                        return None;
+                    }
+                    let span = fd.span;
+                    return try_add(&mut fd.specs.annots, a.annot).then_some(span);
+                }
+            }
+            None
+        }
+    }
+}
+
+fn try_add(set: &mut lclint_syntax::annot::AnnotSet, a: Annot) -> bool {
+    set.add(a, Span::synthetic()).is_ok()
+}
+
+fn try_add_decl_specs(d: &mut Declaration, a: Annot) -> bool {
+    try_add(&mut d.specs.annots, a)
+}
+
+/// Renders a unified-diff-style report: one `@@ file:line @@` hunk per
+/// changed declaration, with the old and new renderings of the changed
+/// lines only.
+fn render_diff(before: &[TranslationUnit], after: &[TranslationUnit], sm: &SourceMap) -> String {
+    let mut out = String::new();
+    for (bu, au) in before.iter().zip(after) {
+        for (bi, ai) in bu.items.iter().zip(&au.items) {
+            if bi == ai {
+                continue;
+            }
+            let loc = sm.loc(bi.span());
+            let _ = writeln!(out, "@@ {loc} @@");
+            match (bi, ai) {
+                (Item::Function(bf), Item::Function(af)) => {
+                    let old = pretty_print_function(bf);
+                    let new = pretty_print_function(af);
+                    let _ = writeln!(out, "-{}", first_line(&old));
+                    let _ = writeln!(out, "+{}", first_line(&new));
+                }
+                (Item::Decl(bd), Item::Decl(ad)) => {
+                    let old = pretty_print_declaration(bd);
+                    let new = pretty_print_declaration(ad);
+                    // The renderings are line-aligned (annotations are only
+                    // inserted within lines), so pairwise comparison shows
+                    // exactly the changed declarations/fields.
+                    for (ol, nl) in old.lines().zip(new.lines()) {
+                        if ol != nl {
+                            let _ = writeln!(out, "-{ol}");
+                            let _ = writeln!(out, "+{nl}");
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+fn first_line(s: &str) -> &str {
+    s.lines().next().unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lclint_syntax::parse_translation_unit;
+
+    fn annot(word: &str) -> Annot {
+        Annot::from_word(word).unwrap()
+    }
+
+    #[test]
+    fn field_in_multi_declarator_decl_is_skipped() {
+        let src = "struct _p { int *a, *b; };\n";
+        let mut sm = SourceMap::new();
+        let _ = sm.add_file("t.c", src);
+        let (tu, _, _) = parse_translation_unit("t.c", src).unwrap();
+        let r = apply_annotations(
+            std::slice::from_ref(&tu),
+            &[InferredAnnot {
+                target: InferTarget::StructField {
+                    tag: "_p".to_owned(),
+                    typedef: None,
+                    field: "a".to_owned(),
+                },
+                annot: annot("null"),
+            }],
+            &sm,
+        );
+        assert_eq!(r.units[0], tu, "multi-declarator field must not be patched");
+        assert_eq!(r.placed[0].loc, None);
+        assert!(r.diff.is_empty());
+    }
+
+    #[test]
+    fn prototype_and_definition_are_patched_together() {
+        let src = "extern char *id(char *p);\n\
+                   char *id(char *p) { return p; }\n";
+        let mut sm = SourceMap::new();
+        let _ = sm.add_file("t.c", src);
+        let (tu, _, _) = parse_translation_unit("t.c", src).unwrap();
+        let r = apply_annotations(
+            &[tu],
+            &[InferredAnnot {
+                target: InferTarget::FnReturn { name: "id".to_owned() },
+                annot: annot("null"),
+            }],
+            &sm,
+        );
+        let text = lclint_syntax::pretty_print(&r.units[0]);
+        assert_eq!(text.matches("/*@null@*/").count(), 2, "{text}");
+        assert!(r.diff.contains("+/*@null@*/"), "{}", r.diff);
+    }
+}

@@ -133,20 +133,18 @@ impl Flags {
                     }
                 }
             }
-            other => {
-                match DiagKind::all().iter().find(|k| k.flag_name() == other) {
-                    Some(k) => {
-                        if on {
-                            self.disabled.remove(k);
-                        } else {
-                            self.disabled.insert(*k);
-                        }
-                    }
-                    None => {
-                        return Err(FlagError { message: format!("unknown flag `{word}`") });
+            other => match DiagKind::all().iter().find(|k| k.flag_name() == other) {
+                Some(k) => {
+                    if on {
+                        self.disabled.remove(k);
+                    } else {
+                        self.disabled.insert(*k);
                     }
                 }
-            }
+                None => {
+                    return Err(FlagError { message: format!("unknown flag `{word}`") });
+                }
+            },
         }
         Ok(())
     }

@@ -123,7 +123,12 @@ impl IncrementalSession {
 }
 
 /// Serializes and atomically writes the cache.
-fn save_cache(dir: &Path, cache: &CheckCache, options_digest: u64, lib_digest: u64) -> io::Result<()> {
+fn save_cache(
+    dir: &Path,
+    cache: &CheckCache,
+    options_digest: u64,
+    lib_digest: u64,
+) -> io::Result<()> {
     let mut buf = Vec::new();
     buf.extend_from_slice(MAGIC);
     w_u32(&mut buf, lclint_analysis::CACHE_FORMAT_VERSION);
@@ -327,7 +332,8 @@ mod tests {
         let linter = Linter::new(Flags::default());
 
         let mut s1 = IncrementalSession::at_dir(&dir).unwrap();
-        let cold = linter.check_files_with(&files(SRC), &["m.c".to_owned()], Some(&mut s1)).unwrap();
+        let cold =
+            linter.check_files_with(&files(SRC), &["m.c".to_owned()], Some(&mut s1)).unwrap();
         let st = cold.cache_stats.as_ref().unwrap();
         assert_eq!((st.hits, st.misses), (0, 2), "{st:?}");
         assert!(dir.join(CACHE_FILE).exists());
@@ -336,7 +342,8 @@ mod tests {
         // hits on everything, with byte-identical output.
         let mut s2 = IncrementalSession::at_dir(&dir).unwrap();
         assert_eq!(s2.len(), 2);
-        let warm = linter.check_files_with(&files(SRC), &["m.c".to_owned()], Some(&mut s2)).unwrap();
+        let warm =
+            linter.check_files_with(&files(SRC), &["m.c".to_owned()], Some(&mut s2)).unwrap();
         let st = warm.cache_stats.as_ref().unwrap();
         assert_eq!((st.hits, st.misses, st.invalidations), (2, 0, 0), "{st:?}");
         assert_eq!(cold.render(), warm.render());

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod annotate;
 pub mod driver;
 pub mod flags;
 pub mod incremental;
@@ -27,7 +28,8 @@ pub mod render;
 pub mod stdlib;
 pub mod suppress;
 
-pub use driver::{stdlib_cache_hits, CheckResult, Linter};
+pub use annotate::{apply_annotations, AppliedAnnotations, PlacedAnnotation};
+pub use driver::{stdlib_cache_hits, CheckResult, InferOutcome, Linter};
 pub use flags::{FlagError, Flags};
 pub use incremental::IncrementalSession;
 pub use lclint_analysis::cache::CacheStats;

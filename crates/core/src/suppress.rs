@@ -82,9 +82,8 @@ impl SuppressionSet {
                 continue;
             }
             let loc = sm.loc(span);
-            if let Some(i) = remaining_lines
-                .iter()
-                .position(|(f, line)| *f == span.file && *line == loc.line)
+            if let Some(i) =
+                remaining_lines.iter().position(|(f, line)| *f == span.file && *line == loc.line)
             {
                 remaining_lines.swap_remove(i);
                 suppressed += 1;

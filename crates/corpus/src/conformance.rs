@@ -285,8 +285,7 @@ mod tests {
                     continue;
                 }
             };
-            let got: Vec<&str> =
-                result.diagnostics.iter().map(|d| d.kind.as_str()).collect();
+            let got: Vec<&str> = result.diagnostics.iter().map(|d| d.kind.as_str()).collect();
             if got != case.expected {
                 failures.push(format!(
                     "{}: expected {:?}, got {:?}\n{}",

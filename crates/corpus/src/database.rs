@@ -424,8 +424,7 @@ $FINALWALK$
 const CHOOSE_UNCHECKED: &str = "#define erc_choose(c) ((c->vals)->val)";
 
 /// The checked macro after the assertion is added (stage C onward).
-const CHOOSE_CHECKED: &str =
-    "#define erc_choose(c) ((assert(c->vals != NULL)), (c->vals)->val)";
+const CHOOSE_CHECKED: &str = "#define erc_choose(c) ((assert(c->vals != NULL)), (c->vals)->val)";
 
 const EMPSET_H: &str = r#"#ifndef EMPSET_H
 #define EMPSET_H
@@ -642,31 +641,27 @@ fn subst(src: &str, stage: &DbStage) -> String {
     s = s.replace("$NULLV$", if stage.null_vals { "/*@null@*/" } else { "" });
     s = s.replace("$OUT$", if stage.out_param { "/*@out@*/" } else { "" });
     s = s.replace("$UNIQ$", if stage.unique_param { "/*@unique@*/" } else { "" });
-    s = s.replace(
-        "$CHOOSE$",
-        if stage.asserts { CHOOSE_CHECKED } else { CHOOSE_UNCHECKED },
-    );
-    for (marker, text) in [
-        ("$A2$", "  assert(c->vals != NULL);"),
-        ("$A3$", "  assert(c->vals != NULL);"),
-    ] {
+    s = s.replace("$CHOOSE$", if stage.asserts { CHOOSE_CHECKED } else { CHOOSE_UNCHECKED });
+    for (marker, text) in
+        [("$A2$", "  assert(c->vals != NULL);"), ("$A3$", "  assert(c->vals != NULL);")]
+    {
         s = s.replace(marker, if stage.asserts { text } else { "" });
     }
-    for marker in ["$O_CREATE$", "$O_SPRINT$", "$O_FINAL$", "$O_CONTS$", "$O_STATUS$", "$O_VALS$", "$O_NEXT$"] {
+    for marker in
+        ["$O_CREATE$", "$O_SPRINT$", "$O_FINAL$", "$O_CONTS$", "$O_STATUS$", "$O_VALS$", "$O_NEXT$"]
+    {
         s = s.replace(marker, only(stage.only_core));
     }
-    for marker in ["$O_ES_CREATE$", "$O_ES_SPRINT$", "$O_ES_FINAL$", "$O_DBM$", "$O_DBF$", "$O_DB_SPRINT$"] {
+    for marker in
+        ["$O_ES_CREATE$", "$O_ES_SPRINT$", "$O_ES_FINAL$", "$O_DBM$", "$O_DBF$", "$O_DB_SPRINT$"]
+    {
         s = s.replace(marker, only(stage.only_wrappers));
     }
     // Explicit-deallocation code arrives with the core only annotations
     // (the paper's replacement of garbage collection, §7).
     s = s.replace(
         "$GROWFREE$",
-        if stage.only_core {
-            "  free(eref_pool.conts);\n  free(eref_pool.status);"
-        } else {
-            ""
-        },
+        if stage.only_core { "  free(eref_pool.conts);\n  free(eref_pool.status);" } else { "" },
     );
     s = s.replace("$DELFREE$", if stage.only_core { "    free(cur);" } else { "" });
     s = s.replace(
@@ -688,10 +683,7 @@ fn subst(src: &str, stage: &DbStage) -> String {
         s = s.replace(marker, if stage.driver_frees { text } else { "" });
     }
     // Drop now-empty lines left by removed markers.
-    s.lines()
-        .filter(|l| !l.trim().is_empty() || l.is_empty())
-        .collect::<Vec<_>>()
-        .join("\n")
+    s.lines().filter(|l| !l.trim().is_empty() || l.is_empty()).collect::<Vec<_>>().join("\n")
 }
 
 /// The database sources at a given stage: `(file name, text)` pairs.

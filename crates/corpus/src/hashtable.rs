@@ -202,9 +202,6 @@ mod tests {
         // Overwriting the only key field without releasing the old key.
         let linter = Linter::new(Flags::default());
         let r = linter.check_source("table.c", super::HASHTABLE_BUGGY).expect("parses");
-        assert!(
-            !r.diagnostics.is_empty(),
-            "the update leak must be reported"
-        );
+        assert!(!r.diagnostics.is_empty(), "the update leak must be reported");
     }
 }

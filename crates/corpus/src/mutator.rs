@@ -84,25 +84,15 @@ pub fn inject(base: &Generated, class: BugClass, trigger: i64) -> Mutated {
             "  if (input == {trigger})\n  {{\n    int never_set;\n    total = total + never_set;\n  }}\n"
         ),
     };
-    assert!(
-        base.source.contains("/*MUTATION-POINT*/"),
-        "generator marker missing"
-    );
-    Mutated {
-        source: base.source.replace("/*MUTATION-POINT*/", &snippet),
-        class,
-        trigger,
-    }
+    assert!(base.source.contains("/*MUTATION-POINT*/"), "generator marker missing");
+    Mutated { source: base.source.replace("/*MUTATION-POINT*/", &snippet), class, trigger }
 }
 
 /// Generates a batch of mutants: one per class, with random triggers drawn
 /// from `0..input_space`.
 pub fn mutant_batch(base: &Generated, input_space: i64, seed: u64) -> Vec<Mutated> {
     let mut rng = StdRng::seed_from_u64(seed);
-    BugClass::all()
-        .iter()
-        .map(|c| inject(base, *c, rng.random_range(0..input_space)))
-        .collect()
+    BugClass::all().iter().map(|c| inject(base, *c, rng.random_range(0..input_space))).collect()
 }
 
 #[cfg(test)]

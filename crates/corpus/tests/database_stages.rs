@@ -59,8 +59,7 @@ fn stage_a_out_discovery() {
     // §6 summary: "one out annotation on a parameter (that was detected
     // through complete definition checking)".
     let r = check(&DbStage::stage_a());
-    let compdef: Vec<_> =
-        r.diagnostics.iter().filter(|d| d.kind == "compdef").collect();
+    let compdef: Vec<_> = r.diagnostics.iter().filter(|d| d.kind == "compdef").collect();
     assert_eq!(compdef.len(), 1, "{compdef:#?}");
     assert!(compdef[0].message.contains("employee_init"));
 }
@@ -217,10 +216,7 @@ fn implicit_annotations_need_only_two_onlys() {
     let flags = Flags::parse("+allimponly").unwrap();
     let linter = Linter::new(flags);
     let r = linter.check_files(&files, &database_roots()).unwrap();
-    let remaining: usize = files
-        .iter()
-        .map(|(_, t)| t.matches("/*@only@*/").count())
-        .sum();
+    let remaining: usize = files.iter().map(|(_, t)| t.matches("/*@only@*/").count()).sum();
     assert_eq!(remaining, 2, "exactly the two parameter annotations remain");
     assert!(r.is_clean(), "{}", r.render());
 }
@@ -245,10 +241,7 @@ fn database_runs_correctly_under_the_interpreter() {
         .filter(|(n, _)| n.ends_with(".c"))
         .map(|(_, t)| {
             // Strip includes: we concatenate modules into one unit.
-            t.lines()
-                .filter(|l| !l.starts_with("#include"))
-                .collect::<Vec<_>>()
-                .join("\n")
+            t.lines().filter(|l| !l.starts_with("#include")).collect::<Vec<_>>().join("\n")
         })
         .collect::<Vec<_>>()
         .join("\n");
@@ -266,28 +259,19 @@ fn database_runs_correctly_under_the_interpreter() {
     let program = {
         let merged = files
             .iter()
-            .map(|(n, t)| {
-                if n.ends_with(".h") {
-                    String::new()
-                } else {
-                    t.clone()
-                }
-            })
+            .map(|(n, t)| if n.ends_with(".h") { String::new() } else { t.clone() })
             .collect::<Vec<_>>()
             .join("\n");
         let _ = merged;
         // Parse with include resolution instead of concatenation.
-        let (tu, _, _) = lclint_syntax::parse_with_files("drive_all.c", &all_with_headers(&files), &provider)
-            .expect("parse");
+        let (tu, _, _) =
+            lclint_syntax::parse_with_files("drive_all.c", &all_with_headers(&files), &provider)
+                .expect("parse");
         lclint_sema::Program::from_unit(&tu)
     };
     let _ = all;
-    let result = lclint_interp::run_program(
-        &program,
-        "drive",
-        &[],
-        lclint_interp::Config::default(),
-    );
+    let result =
+        lclint_interp::run_program(&program, "drive", &[], lclint_interp::Config::default());
     // §7: after static checking, "run-time tools were used to look for
     // remaining memory leaks. Several were detected, relating to storage
     // reachable from global and static variables that was not deallocated.

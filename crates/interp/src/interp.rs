@@ -133,7 +133,8 @@ impl Interp {
     fn zero_pointers(&mut self, obj: crate::heap::ObjId, ty: &QualType, base: usize) {
         match &ty.ty {
             Type::Pointer(_) => {
-                let _ = self.heap.write(Pointer { obj, offset: base }, CVal::Null, Span::synthetic());
+                let _ =
+                    self.heap.write(Pointer { obj, offset: base }, CVal::Null, Span::synthetic());
             }
             Type::Struct(id) => {
                 let fields: Vec<_> = self.program.structs.get(*id).fields.clone();
@@ -161,7 +162,9 @@ impl Interp {
             Ok(Flowed::Exited(code)) => (Vec::new(), CVal::Int(code)),
             // `exit()` unwinds as a sentinel error; surface it as a normal
             // termination with the exit code.
-            Err(e) if e.kind == RuntimeErrorKind::Unsupported && e.message.starts_with("<exit ") => {
+            Err(e)
+                if e.kind == RuntimeErrorKind::Unsupported && e.message.starts_with("<exit ") =>
+            {
                 let code: i64 = e
                     .message
                     .trim_start_matches("<exit ")
@@ -231,13 +234,10 @@ impl Interp {
         if let Some(v) = self.builtin(name, args, span)? {
             return Ok(v);
         }
-        let def = self
-            .program
-            .defs
-            .iter()
-            .find(|d| d.sig.name == name)
-            .cloned()
-            .ok_or_else(|| self.unsupported(&format!("call to undefined function `{name}`"), span))?;
+        let def =
+            self.program.defs.iter().find(|d| d.sig.name == name).cloned().ok_or_else(|| {
+                self.unsupported(&format!("call to undefined function `{name}`"), span)
+            })?;
         if self.call_depth >= self.config.max_call_depth {
             return Err(RuntimeError {
                 kind: RuntimeErrorKind::StepLimit,
@@ -262,10 +262,7 @@ impl Interp {
             if v != CVal::Undef {
                 self.heap.write(ptr, v, span)?;
             }
-            self.scopes
-                .last_mut()
-                .expect("frame pushed")
-                .insert(pname, (ptr, p.ty.clone()));
+            self.scopes.last_mut().expect("frame pushed").insert(pname, (ptr, p.ty.clone()));
         }
         let flow = self.exec_stmt(&def.ast.body);
         self.scopes = saved_scopes;
@@ -286,8 +283,7 @@ impl Interp {
             "calloc" => {
                 let n = self.expect_int(args.first(), span)?;
                 let m = self.expect_int(args.get(1), span)?;
-                let obj =
-                    self.heap.alloc_zeroed((n * m).max(1) as usize, ObjKind::Heap, span);
+                let obj = self.heap.alloc_zeroed((n * m).max(1) as usize, ObjKind::Heap, span);
                 Flowed::Value(CVal::Ptr(Pointer { obj, offset: 0 }))
             }
             "realloc" => {
@@ -296,18 +292,8 @@ impl Interp {
                 if let Some(CVal::Ptr(p)) = args.first() {
                     let old_len = self.heap.object(p.obj).data.len();
                     for i in 0..old_len.min(n.max(1) as usize) {
-                        let v = self
-                            .heap
-                            .object(p.obj)
-                            .data
-                            .get(i)
-                            .copied()
-                            .unwrap_or(CVal::Undef);
-                        let _ = self.heap.write(
-                            Pointer { obj: new_obj, offset: i },
-                            v,
-                            span,
-                        );
+                        let v = self.heap.object(p.obj).data.get(i).copied().unwrap_or(CVal::Undef);
+                        let _ = self.heap.write(Pointer { obj: new_obj, offset: i }, v, span);
                     }
                     self.heap.free(*p, span)?;
                 }
@@ -371,10 +357,7 @@ impl Interp {
                 let b = self.read_string(args.get(1), span)?;
                 let (a, b) = if name == "strncmp" {
                     let n = self.expect_int(args.get(2), span)? as usize;
-                    (
-                        a.chars().take(n).collect::<String>(),
-                        b.chars().take(n).collect::<String>(),
-                    )
+                    (a.chars().take(n).collect::<String>(), b.chars().take(n).collect::<String>())
                 } else {
                     (a, b)
                 };
@@ -448,8 +431,10 @@ impl Interp {
                     let n = self.expect_int(Some(n), span)?;
                     let mut result = 0i64;
                     for i in 0..n.max(0) as usize {
-                        let va = self.heap.read(Pointer { obj: a.obj, offset: a.offset + i }, span)?;
-                        let vb = self.heap.read(Pointer { obj: b.obj, offset: b.offset + i }, span)?;
+                        let va =
+                            self.heap.read(Pointer { obj: a.obj, offset: a.offset + i }, span)?;
+                        let vb =
+                            self.heap.read(Pointer { obj: b.obj, offset: b.offset + i }, span)?;
                         let (x, y) = match (va, vb) {
                             (CVal::Int(x), CVal::Int(y)) => (x, y),
                             _ => (0, 0),
@@ -694,11 +679,9 @@ impl Interp {
                         loop {
                             match &inner.kind {
                                 StmtKind::Case { value, stmt } => {
-                                    let cv = lclint_sema::const_eval(
-                                        value,
-                                        &self.program.enum_consts,
-                                    )
-                                    .unwrap_or(0);
+                                    let cv =
+                                        lclint_sema::const_eval(value, &self.program.enum_consts)
+                                            .unwrap_or(0);
                                     if cv == v && start.is_none() {
                                         start = Some(i);
                                     }
@@ -773,10 +756,7 @@ impl Interp {
             let ptr = Pointer { obj, offset: 0 };
             // The declarator is in scope within its own initializer
             // (`node n = malloc(sizeof(*n))`).
-            self.scopes
-                .last_mut()
-                .expect("inside a frame")
-                .insert(name, (ptr, ty));
+            self.scopes.last_mut().expect("inside a frame").insert(name, (ptr, ty));
             match &id.init {
                 Some(Initializer::Expr(e)) => {
                     let v = self.eval(e)?;
@@ -812,9 +792,7 @@ impl Interp {
     fn type_of(&mut self, e: &Expr) -> Option<QualType> {
         match &e.kind {
             ExprKind::Ident(n) => self.lookup_var(n).map(|(_, t)| t),
-            ExprKind::Unary(UnOp::Deref, inner) => {
-                self.type_of(inner)?.pointee().cloned()
-            }
+            ExprKind::Unary(UnOp::Deref, inner) => self.type_of(inner)?.pointee().cloned(),
             ExprKind::Member { base, field, arrow } => {
                 let bt = self.type_of(base)?;
                 let st = if *arrow { bt.pointee()?.clone() } else { bt };
@@ -832,11 +810,7 @@ impl Interp {
             }
             ExprKind::Cast(tn, _) => {
                 let base = self.program.resolve_type_spec(&tn.specs.ty, tn.span);
-                Some(self.program.build_declared_type(
-                    base,
-                    &tn.specs.annots,
-                    &tn.declarator,
-                ))
+                Some(self.program.build_declared_type(base, &tn.specs.annots, &tn.declarator))
             }
             _ => None,
         }
@@ -960,18 +934,16 @@ impl Interp {
                 if let Some(v) = self.program.enum_consts.get(n) {
                     return Ok(CVal::Int(*v));
                 }
-                let (p, ty) = self
-                    .lookup_var(n)
-                    .ok_or_else(|| self.unsupported(&format!("unknown identifier `{n}`"), e.span))?;
+                let (p, ty) = self.lookup_var(n).ok_or_else(|| {
+                    self.unsupported(&format!("unknown identifier `{n}`"), e.span)
+                })?;
                 self.read_place(p, Some(&ty), e.span)
             }
             ExprKind::Unary(UnOp::Addr, inner) => {
                 let (p, _) = self.eval_lvalue(inner)?;
                 Ok(CVal::Ptr(p))
             }
-            ExprKind::Unary(UnOp::Deref, _)
-            | ExprKind::Member { .. }
-            | ExprKind::Index(_, _) => {
+            ExprKind::Unary(UnOp::Deref, _) | ExprKind::Member { .. } | ExprKind::Index(_, _) => {
                 let (p, ty) = self.eval_lvalue(e)?;
                 self.read_place(p, ty.as_ref(), e.span)
             }
@@ -1068,8 +1040,7 @@ impl Interp {
                 let v = self.eval(inner)?;
                 // Numeric casts convert; pointer casts are free.
                 let base = self.program.resolve_type_spec(&tn.specs.ty, tn.span);
-                let ty =
-                    self.program.build_declared_type(base, &tn.specs.annots, &tn.declarator);
+                let ty = self.program.build_declared_type(base, &tn.specs.annots, &tn.declarator);
                 Ok(match (&ty.ty, v) {
                     (Type::Int { .. } | Type::Char | Type::Enum(_), CVal::Double(d)) => {
                         CVal::Int(d as i64)
@@ -1081,15 +1052,12 @@ impl Interp {
             }
             ExprKind::SizeofType(tn) => {
                 let base = self.program.resolve_type_spec(&tn.specs.ty, tn.span);
-                let ty =
-                    self.program.build_declared_type(base, &tn.specs.annots, &tn.declarator);
+                let ty = self.program.build_declared_type(base, &tn.specs.annots, &tn.declarator);
                 Ok(CVal::Int(size_of(&ty.ty, &self.program.structs) as i64))
             }
             ExprKind::SizeofExpr(inner) => {
-                let slots = self
-                    .type_of(inner)
-                    .map(|t| size_of(&t.ty, &self.program.structs))
-                    .unwrap_or(1);
+                let slots =
+                    self.type_of(inner).map(|t| size_of(&t.ty, &self.program.structs)).unwrap_or(1);
                 Ok(CVal::Int(slots as i64))
             }
             ExprKind::Comma(l, r) => {
@@ -1218,9 +1186,7 @@ impl Interp {
             (CVal::Ptr(a), CVal::Ptr(b)) => match op {
                 Eq => Ok(CVal::Int(i64::from(a == b))),
                 Ne => Ok(CVal::Int(i64::from(a != b))),
-                Sub if a.obj == b.obj => {
-                    Ok(CVal::Int(a.offset as i64 - b.offset as i64))
-                }
+                Sub if a.obj == b.obj => Ok(CVal::Int(a.offset as i64 - b.offset as i64)),
                 Lt | Gt | Le | Ge if a.obj == b.obj => {
                     let v = match op {
                         Lt => a.offset < b.offset,

@@ -24,11 +24,7 @@ pub fn size_of(ty: &Type, structs: &StructTable) -> usize {
         Type::Struct(id) => {
             let def = structs.get(*id);
             if def.is_union {
-                def.fields
-                    .iter()
-                    .map(|f| size_of(&f.ty.ty, structs))
-                    .max()
-                    .unwrap_or(1)
+                def.fields.iter().map(|f| size_of(&f.ty.ty, structs)).max().unwrap_or(1)
             } else {
                 def.fields.iter().map(|f| size_of(&f.ty.ty, structs)).sum::<usize>().max(1)
             }

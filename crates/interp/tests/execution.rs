@@ -193,11 +193,7 @@ fn detects_free_of_offset_pointer() {
 #[test]
 fn detects_free_of_static_storage() {
     // §7: "two errors resulting from freeing static storage".
-    let r = run(
-        "int f(void)\n{\n  char *s = \"static\";\n  free(s);\n  return 0;\n}\n",
-        "f",
-        &[],
-    );
+    let r = run("int f(void)\n{\n  char *s = \"static\";\n  free(s);\n  return 0;\n}\n", "f", &[]);
     assert!(r.detected(RuntimeErrorKind::FreeNonHeap));
 }
 
@@ -217,11 +213,7 @@ fn assert_failure_detected() {
 
 #[test]
 fn exit_terminates_cleanly() {
-    let r = run(
-        "int f(int x)\n{\n  if (x == 0) { exit(7); }\n  return 1;\n}\n",
-        "f",
-        &[0],
-    );
+    let r = run("int f(int x)\n{\n  if (x == 0) { exit(7); }\n  return 1;\n}\n", "f", &[0]);
     assert!(r.is_clean(), "{:?}", r.errors);
     assert_eq!(r.return_value, Some(7));
 }

@@ -1,0 +1,319 @@
+//! Call graph over a frozen [`Program`] and its SCC condensation.
+//!
+//! Nodes are function *definitions* (in definition order); edges are direct
+//! calls resolved to other definitions. Calls to declared-but-undefined
+//! functions (prototypes, interface libraries, the stdlib) and to entirely
+//! undeclared functions are recorded separately — they contribute no edges
+//! but callers of the inference engine and diagnostics want to see them.
+//!
+//! [`CallGraph::sccs`] condenses the graph with Tarjan's algorithm and emits
+//! the components in *reverse topological* order: every callee SCC appears
+//! before any of its caller SCCs, which is exactly the bottom-up order the
+//! annotation-inference fixpoint wants. The order is deterministic: nodes are
+//! numbered by definition order and successors are visited in ascending id
+//! order.
+
+use std::collections::HashMap;
+
+use lclint_syntax::ast::{BlockItem, Expr, ExprKind, ForInit, Initializer, Stmt, StmtKind};
+
+use crate::program::Program;
+
+/// A call graph over the function definitions of a [`Program`].
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Function names, one per node, in definition order.
+    names: Vec<String>,
+    /// Name → node id.
+    index: HashMap<String, usize>,
+    /// Resolved edges: `callees[i]` lists the node ids `names[i]` calls
+    /// directly (deduplicated, ascending).
+    callees: Vec<Vec<usize>>,
+    /// Per-node calls to functions that are declared (a prototype or a
+    /// library entry is visible) but have no definition in the program.
+    library_only: Vec<Vec<String>>,
+    /// Per-node calls to names with no visible declaration at all.
+    undeclared: Vec<Vec<String>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph for every definition in `program`.
+    pub fn build(program: &Program) -> CallGraph {
+        let mut names = Vec::with_capacity(program.defs.len());
+        let mut index = HashMap::new();
+        for def in &program.defs {
+            let name = def.sig.name.clone();
+            index.entry(name.clone()).or_insert(names.len());
+            names.push(name);
+        }
+
+        let n = names.len();
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut library_only: Vec<Vec<String>> = vec![Vec::new(); n];
+        let mut undeclared: Vec<Vec<String>> = vec![Vec::new(); n];
+
+        for (i, def) in program.defs.iter().enumerate() {
+            let mut sites: Vec<String> = Vec::new();
+            collect_calls_stmt(&def.ast.body, &mut sites);
+            sites.sort();
+            sites.dedup();
+            for callee in sites {
+                match index.get(&callee) {
+                    Some(&j) => callees[i].push(j),
+                    None if program.functions.contains_key(&callee) => {
+                        library_only[i].push(callee);
+                    }
+                    None => undeclared[i].push(callee),
+                }
+            }
+            callees[i].sort_unstable();
+        }
+
+        CallGraph { names, index, callees, library_only, undeclared }
+    }
+
+    /// Number of nodes (function definitions).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the program has no function definitions.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The function name of node `id`.
+    pub fn name(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+
+    /// The node id for a defined function, if it has a definition.
+    pub fn node(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Direct callees of node `id` that have definitions (ascending ids).
+    pub fn callees(&self, id: usize) -> &[usize] {
+        &self.callees[id]
+    }
+
+    /// Callees of node `id` that are declared but have no definition.
+    pub fn library_only_calls(&self, id: usize) -> &[String] {
+        &self.library_only[id]
+    }
+
+    /// Callees of node `id` with no visible declaration.
+    pub fn undeclared_calls(&self, id: usize) -> &[String] {
+        &self.undeclared[id]
+    }
+
+    /// Strongly connected components in reverse topological order of the
+    /// condensation (callees before callers). Node ids inside each component
+    /// are sorted ascending. Deterministic for a given program.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        Tarjan::new(self).run()
+    }
+}
+
+/// Iterative Tarjan SCC. The classic recursive formulation can overflow the
+/// stack on long call chains in generated corpora, so the DFS is explicit.
+struct Tarjan<'g> {
+    graph: &'g CallGraph,
+    visit_index: Vec<Option<u32>>,
+    lowlink: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<usize>,
+    next_index: u32,
+    out: Vec<Vec<usize>>,
+}
+
+impl<'g> Tarjan<'g> {
+    fn new(graph: &'g CallGraph) -> Self {
+        let n = graph.len();
+        Tarjan {
+            graph,
+            visit_index: vec![None; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next_index: 0,
+            out: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Vec<Vec<usize>> {
+        for v in 0..self.graph.len() {
+            if self.visit_index[v].is_none() {
+                self.visit(v);
+            }
+        }
+        self.out
+    }
+
+    fn visit(&mut self, root: usize) {
+        // Explicit DFS frames: (node, index of the next successor to try).
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        self.open(root);
+        while let Some(&mut (v, ref mut next)) = frames.last_mut() {
+            if let Some(&w) = self.graph.callees(v).get(*next) {
+                *next += 1;
+                match self.visit_index[w] {
+                    None => {
+                        self.open(w);
+                        frames.push((w, 0));
+                    }
+                    Some(wi) if self.on_stack[w] => {
+                        self.lowlink[v] = self.lowlink[v].min(wi);
+                    }
+                    Some(_) => {}
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    self.lowlink[parent] = self.lowlink[parent].min(self.lowlink[v]);
+                }
+                if Some(self.lowlink[v]) == self.visit_index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = self.stack.pop().expect("scc stack underflow");
+                        self.on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    self.out.push(comp);
+                }
+            }
+        }
+    }
+
+    fn open(&mut self, v: usize) {
+        self.visit_index[v] = Some(self.next_index);
+        self.lowlink[v] = self.next_index;
+        self.next_index += 1;
+        self.stack.push(v);
+        self.on_stack[v] = true;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Call-site collection (syntactic walk of a function body)
+// ---------------------------------------------------------------------------
+
+fn collect_calls_stmt(s: &Stmt, out: &mut Vec<String>) {
+    match &s.kind {
+        StmtKind::Compound(items) => {
+            for item in items {
+                match item {
+                    BlockItem::Stmt(s) => collect_calls_stmt(s, out),
+                    BlockItem::Decl(d) => {
+                        for id in &d.declarators {
+                            if let Some(init) = &id.init {
+                                collect_calls_init(init, out);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        StmtKind::Expr(e) => collect_calls_expr(e, out),
+        StmtKind::Empty | StmtKind::Break | StmtKind::Continue | StmtKind::Goto(_) => {}
+        StmtKind::If { cond, then_branch, else_branch } => {
+            collect_calls_expr(cond, out);
+            collect_calls_stmt(then_branch, out);
+            if let Some(e) = else_branch {
+                collect_calls_stmt(e, out);
+            }
+        }
+        StmtKind::While { cond, body } | StmtKind::Switch { cond, body } => {
+            collect_calls_expr(cond, out);
+            collect_calls_stmt(body, out);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            collect_calls_stmt(body, out);
+            collect_calls_expr(cond, out);
+        }
+        StmtKind::For { init, cond, step, body } => {
+            match init {
+                Some(ForInit::Expr(e)) => collect_calls_expr(e, out),
+                Some(ForInit::Decl(d)) => {
+                    for id in &d.declarators {
+                        if let Some(i) = &id.init {
+                            collect_calls_init(i, out);
+                        }
+                    }
+                }
+                None => {}
+            }
+            if let Some(e) = cond {
+                collect_calls_expr(e, out);
+            }
+            if let Some(e) = step {
+                collect_calls_expr(e, out);
+            }
+            collect_calls_stmt(body, out);
+        }
+        StmtKind::Case { value, stmt } => {
+            collect_calls_expr(value, out);
+            collect_calls_stmt(stmt, out);
+        }
+        StmtKind::Default(stmt) | StmtKind::Label { stmt, .. } => collect_calls_stmt(stmt, out),
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                collect_calls_expr(e, out);
+            }
+        }
+    }
+}
+
+fn collect_calls_init(init: &Initializer, out: &mut Vec<String>) {
+    match init {
+        Initializer::Expr(e) => collect_calls_expr(e, out),
+        Initializer::List(items) => {
+            for i in items {
+                collect_calls_init(i, out);
+            }
+        }
+    }
+}
+
+fn collect_calls_expr(e: &Expr, out: &mut Vec<String>) {
+    match &e.kind {
+        ExprKind::Call(f, args) => {
+            if let Some(name) = e.direct_callee() {
+                out.push(name.to_owned());
+            } else {
+                collect_calls_expr(f, out);
+            }
+            for a in args {
+                collect_calls_expr(a, out);
+            }
+        }
+        ExprKind::Ident(_)
+        | ExprKind::IntLit(_)
+        | ExprKind::FloatLit(_)
+        | ExprKind::CharLit(_)
+        | ExprKind::StrLit(_)
+        | ExprKind::SizeofType(_) => {}
+        ExprKind::Unary(_, a)
+        | ExprKind::PreIncDec(_, a)
+        | ExprKind::PostIncDec(_, a)
+        | ExprKind::Cast(_, a)
+        | ExprKind::SizeofExpr(a)
+        | ExprKind::Member { base: a, .. } => collect_calls_expr(a, out),
+        ExprKind::Binary(_, a, b)
+        | ExprKind::Assign(_, a, b)
+        | ExprKind::Index(a, b)
+        | ExprKind::Comma(a, b) => {
+            collect_calls_expr(a, out);
+            collect_calls_expr(b, out);
+        }
+        ExprKind::Cond(c, t, f) => {
+            collect_calls_expr(c, out);
+            collect_calls_expr(t, out);
+            collect_calls_expr(f, out);
+        }
+    }
+}

@@ -314,24 +314,22 @@ mod tests {
 
     #[test]
     fn dep_digest_recursive_struct_terminates() {
-        let p = program(
-            "struct _list { /*@null@*/ struct _list *next; int v; };",
-        );
+        let p = program("struct _list { /*@null@*/ struct _list *next; int v; };");
         let mut deps = DepSet::new();
         deps.structs.insert("_list".into());
         let d1 = digest(&p, &deps);
         let d2 = digest(&p, &deps);
         assert_eq!(d1, d2);
-        let q = program(
-            "struct _list { /*@null@*/ struct _list *next; char v; };",
-        );
+        let q = program("struct _list { /*@null@*/ struct _list *next; char v; };");
         assert_ne!(d1, digest(&q, &deps));
     }
 
     #[test]
     fn dep_digest_is_span_independent() {
         let p1 = program("typedef char *str; extern /*@only@*/ char *get(void); char *g;");
-        let p2 = program("\n\n/* moved */\ntypedef char *str;\nextern /*@only@*/ char *get(void);\nchar *g;");
+        let p2 = program(
+            "\n\n/* moved */\ntypedef char *str;\nextern /*@only@*/ char *get(void);\nchar *g;",
+        );
         let mut deps = DepSet::new();
         deps.typedefs.insert("str".into());
         deps.functions.insert("get".into());

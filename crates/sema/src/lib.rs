@@ -18,15 +18,19 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod deps;
 pub mod program;
 pub mod scope;
 pub mod types;
 
+pub use callgraph::CallGraph;
 pub use deps::{digest_deps, hash_function_sig, DepSet};
 pub use program::{
     const_eval, const_eval_with, CheckedFunction, FunctionSig, GlobalVar, Program, SemaError,
     SymbolSource,
 };
 pub use scope::LocalScope;
-pub use types::{Field, FnType, GlobalUse, ParamType, QualType, StructDef, StructId, StructTable, Type};
+pub use types::{
+    Field, FnType, GlobalUse, ParamType, QualType, StructDef, StructId, StructTable, Type,
+};

@@ -364,8 +364,7 @@ pub fn resolve_type_spec_in<S: SymbolSource + ?Sized>(
                 for fd in field_decls {
                     let base = resolve_type_spec_in(src, &fd.specs.ty, fd.specs.span);
                     for dcl in &fd.declarators {
-                        let fty =
-                            build_declared_type_in(src, base.clone(), &fd.specs.annots, dcl);
+                        let fty = build_declared_type_in(src, base.clone(), &fd.specs.annots, dcl);
                         if let Some(fname) = &dcl.name {
                             fields.push(Field { name: fname.clone(), ty: fty });
                         }
@@ -422,8 +421,7 @@ pub fn build_declared_type_in<S: SymbolSource + ?Sized>(
                 let mut ps = Vec::new();
                 for p in params {
                     let pbase = resolve_type_spec_in(src, &p.specs.ty, p.specs.span);
-                    let pty =
-                        build_declared_type_in(src, pbase, &p.specs.annots, &p.declarator);
+                    let pty = build_declared_type_in(src, pbase, &p.specs.annots, &p.declarator);
                     ps.push(ParamType { name: p.declarator.name.clone(), ty: pty });
                 }
                 QualType::plain(Type::Function(Box::new(FnType {
@@ -577,9 +575,7 @@ mod tests {
 
     #[test]
     fn struct_fields_with_annotations() {
-        let p = program(
-            "typedef struct { /*@null@*/ int *vals; int size; } *erc;",
-        );
+        let p = program("typedef struct { /*@null@*/ int *vals; int size; } *erc;");
         let erc = p.typedefs.get("erc").unwrap();
         let sid = match &erc.pointee().unwrap().ty {
             Type::Struct(id) => *id,

@@ -264,8 +264,8 @@ mod tests {
         );
         // The shared program is untouched.
         assert_eq!(p.structs.len(), shared_structs);
-        assert!(p.typedefs.get("local_t").is_none());
-        assert!(p.enum_consts.get("L").is_none());
+        assert!(!p.typedefs.contains_key("local_t"));
+        assert!(!p.enum_consts.contains_key("L"));
         // The overlay sees everything.
         assert!(scope.lookup_typedef("local_t").is_some());
         assert!(scope.lookup_typedef("shared").is_some());

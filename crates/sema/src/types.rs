@@ -61,7 +61,7 @@ impl QualType {
     pub fn is_arith(&self) -> bool {
         matches!(
             self.ty,
-            Type::Char { .. } | Type::Int { .. } | Type::Float | Type::Double | Type::Enum(_)
+            Type::Char | Type::Int { .. } | Type::Float | Type::Double | Type::Enum(_)
         )
     }
 }

@@ -1,0 +1,121 @@
+//! Call-graph construction and SCC condensation: recursion (direct and
+//! indirect), undeclared and library-only callees, deterministic order.
+
+use lclint_sema::{CallGraph, Program};
+use lclint_syntax::parse_translation_unit;
+
+fn graph(src: &str) -> CallGraph {
+    let (tu, _, _) = parse_translation_unit("t.c", src).unwrap();
+    let p = Program::from_unit(&tu);
+    assert!(p.errors.is_empty(), "sema errors: {:?}", p.errors);
+    CallGraph::build(&p)
+}
+
+fn names(g: &CallGraph, scc: &[usize]) -> Vec<String> {
+    scc.iter().map(|&i| g.name(i).to_owned()).collect()
+}
+
+#[test]
+fn straight_line_chain_is_callees_first() {
+    let g = graph(
+        "void c(void) { }\n\
+         void b(void) { c(); }\n\
+         void a(void) { b(); }\n",
+    );
+    assert_eq!(g.len(), 3);
+    let sccs = g.sccs();
+    assert_eq!(sccs.len(), 3);
+    assert_eq!(names(&g, &sccs[0]), ["c"]);
+    assert_eq!(names(&g, &sccs[1]), ["b"]);
+    assert_eq!(names(&g, &sccs[2]), ["a"]);
+}
+
+#[test]
+fn direct_recursion_forms_singleton_scc_with_self_edge() {
+    let g = graph("int fact(int n) { if (n > 1) { return n * fact(n - 1); } return 1; }\n");
+    let id = g.node("fact").unwrap();
+    assert_eq!(g.callees(id), [id], "self edge");
+    let sccs = g.sccs();
+    assert_eq!(sccs.len(), 1);
+    assert_eq!(names(&g, &sccs[0]), ["fact"]);
+}
+
+#[test]
+fn indirect_recursion_collapses_into_one_scc() {
+    // even/odd are mutually recursive; driver sits above them.
+    let g = graph(
+        "extern int odd(int n);\n\
+         int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }\n\
+         int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }\n\
+         int driver(int n) { return even(n) + odd(n); }\n",
+    );
+    let sccs = g.sccs();
+    assert_eq!(sccs.len(), 2);
+    let mut cycle = names(&g, &sccs[0]);
+    cycle.sort();
+    assert_eq!(cycle, ["even", "odd"], "mutual recursion is one component");
+    assert_eq!(names(&g, &sccs[1]), ["driver"], "caller comes after its callees");
+}
+
+#[test]
+fn library_only_and_undeclared_callees_are_recorded_not_edges() {
+    let g = graph(
+        "extern void *malloc(int size);\n\
+         void f(void) { void *p = malloc(4); mystery(p); }\n",
+    );
+    let id = g.node("f").unwrap();
+    assert!(g.callees(id).is_empty(), "no resolved edges");
+    assert_eq!(g.library_only_calls(id), ["malloc".to_owned()]);
+    assert_eq!(g.undeclared_calls(id), ["mystery".to_owned()]);
+    // Neither phantom callee becomes a node.
+    assert_eq!(g.len(), 1);
+    assert!(g.node("malloc").is_none());
+    assert!(g.node("mystery").is_none());
+}
+
+#[test]
+fn calls_are_collected_from_every_syntactic_position() {
+    let g = graph(
+        "int t(void) { return 1; }\n\
+         void f(int n) {\n\
+           int i;\n\
+           int x = t();\n\
+           for (i = t(); i < t(); i = i + t()) { x = x + 1; }\n\
+           while (t()) { break; }\n\
+           do { x = x - 1; } while (t());\n\
+           switch (t()) { case 1: x = t(); break; default: break; }\n\
+           if (n > 0 ? t() : 0) { x = 0; }\n\
+         }\n",
+    );
+    let f = g.node("f").unwrap();
+    let t = g.node("t").unwrap();
+    assert_eq!(g.callees(f), [t]);
+}
+
+#[test]
+fn scc_order_is_deterministic() {
+    // A diamond plus a cycle: repeated builds must emit the same order.
+    let src = "void leaf(void) { }\n\
+               void left(void) { leaf(); }\n\
+               void right(void) { leaf(); }\n\
+               extern void ping(void);\n\
+               void pong(void) { ping(); }\n\
+               void ping(void) { pong(); }\n\
+               void top(void) { left(); right(); ping(); }\n";
+    let first = {
+        let g = graph(src);
+        let sccs = g.sccs();
+        sccs.iter().map(|c| names(&g, c)).collect::<Vec<_>>()
+    };
+    for _ in 0..5 {
+        let g = graph(src);
+        let again = g.sccs().iter().map(|c| names(&g, c)).collect::<Vec<_>>();
+        assert_eq!(again, first);
+    }
+    // Callees-first: leaf before left/right, the ping/pong cycle before top.
+    let flat: Vec<&str> = first.iter().flat_map(|c| c.iter().map(|s| s.as_str())).collect();
+    let pos = |n: &str| flat.iter().position(|&x| x == n).unwrap();
+    assert!(pos("leaf") < pos("left") && pos("leaf") < pos("right"));
+    assert!(pos("ping") < pos("top") && pos("pong") < pos("top"));
+    assert!(pos("left") < pos("top") && pos("right") < pos("top"));
+}

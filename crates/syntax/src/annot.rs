@@ -224,15 +224,9 @@ impl AnnotSet {
     /// Returns an error if an annotation of the same category is already
     /// present (an incompatible combination, per the paper).
     pub fn add(&mut self, a: Annot, span: Span) -> Result<()> {
-        if let Some(prev) = self
-            .annots
-            .iter()
-            .find(|p| p.category() == a.category() && **p != a)
-        {
+        if let Some(prev) = self.annots.iter().find(|p| p.category() == a.category() && **p != a) {
             return Err(SyntaxError::new(
-                format!(
-                    "incompatible annotations `{prev}` and `{a}` on the same declaration"
-                ),
+                format!("incompatible annotations `{prev}` and `{a}` on the same declaration"),
                 span,
             ));
         }
@@ -251,11 +245,7 @@ impl AnnotSet {
     /// (declaration wins: e.g. `notnull` overriding a typedef's `null`).
     pub fn inherit(&mut self, other: &AnnotSet) {
         for a in &other.annots {
-            if self
-                .annots
-                .iter()
-                .all(|p| p.category() != a.category())
-            {
+            if self.annots.iter().all(|p| p.category() != a.category()) {
                 self.annots.push(*a);
             }
         }
@@ -389,9 +379,26 @@ mod tests {
     #[test]
     fn all_appendix_b_words_parse() {
         for w in [
-            "null", "notnull", "relnull", "out", "in", "partial", "reldef", "undef", "only",
-            "keep", "temp", "owned", "dependent", "shared", "unique", "returned", "observer",
-            "exposed", "truenull", "falsenull",
+            "null",
+            "notnull",
+            "relnull",
+            "out",
+            "in",
+            "partial",
+            "reldef",
+            "undef",
+            "only",
+            "keep",
+            "temp",
+            "owned",
+            "dependent",
+            "shared",
+            "unique",
+            "returned",
+            "observer",
+            "exposed",
+            "truenull",
+            "falsenull",
         ] {
             let a = Annot::from_word(w).unwrap_or_else(|| panic!("{w} must parse"));
             assert_eq!(a.as_str(), w);

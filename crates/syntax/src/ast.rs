@@ -17,6 +17,7 @@ pub struct TranslationUnit {
 
 /// A top-level item.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // AST nodes are built once and boxed nowhere hot
 pub enum Item {
     /// A function definition (with body).
     Function(FunctionDef),
@@ -218,6 +219,7 @@ pub struct InitDeclarator {
 
 /// An initializer.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // AST nodes are built once and boxed nowhere hot
 pub enum Initializer {
     /// `= expr`
     Expr(Expr),
@@ -335,6 +337,7 @@ pub struct Stmt {
 
 /// An item in a compound statement.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // AST nodes are built once and boxed nowhere hot
 pub enum BlockItem {
     /// A local declaration.
     Decl(Declaration),
@@ -353,6 +356,7 @@ pub enum ForInit {
 
 /// Statement payloads.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // AST nodes are built once and boxed nowhere hot
 pub enum StmtKind {
     /// `{ ... }`
     Compound(Vec<BlockItem>),

@@ -179,7 +179,7 @@ impl<'a> Lexer<'a> {
         }
         let mut content = &self.text[content_start..self.pos];
         self.pos += 2; // "*/"
-        // The closing form is `@*/`; strip the trailing `@` if present.
+                       // The closing form is `@*/`; strip the trailing `@` if present.
         if let Some(stripped) = content.strip_suffix('@') {
             content = stripped;
         }
@@ -189,7 +189,11 @@ impl<'a> Lexer<'a> {
             Some("ignore") => Some(ControlKind::Ignore),
             Some("end") => Some(ControlKind::End),
             Some("i") => Some(ControlKind::SuppressNext),
-            Some(w) if w.starts_with('i') && w[1..].chars().all(|c| c.is_ascii_digit()) && w.len() > 1 => {
+            Some(w)
+                if w.starts_with('i')
+                    && w[1..].chars().all(|c| c.is_ascii_digit())
+                    && w.len() > 1 =>
+            {
                 Some(ControlKind::SuppressNext)
             }
             _ => None,
@@ -344,9 +348,8 @@ impl<'a> Lexer<'a> {
             if matches!(self.peek(), b'f' | b'F' | b'l' | b'L') {
                 self.pos += 1;
             }
-            let value: f64 = text
-                .parse()
-                .map_err(|_| self.error("malformed floating literal", start))?;
+            let value: f64 =
+                text.parse().map_err(|_| self.error("malformed floating literal", start))?;
             let span = self.span_from(start);
             return Ok(self.make_token(TokenKind::Float(value), span));
         }
@@ -354,8 +357,7 @@ impl<'a> Lexer<'a> {
             i64::from_str_radix(&text[1..], 8)
                 .map_err(|_| self.error("malformed octal literal", start))?
         } else {
-            text.parse()
-                .map_err(|_| self.error("integer literal out of range", start))?
+            text.parse().map_err(|_| self.error("integer literal out of range", start))?
         };
         self.skip_int_suffix();
         let span = self.span_from(start);
@@ -627,10 +629,7 @@ mod tests {
 
     fn lex(s: &str) -> Vec<TokenKind> {
         let (toks, _) = Lexer::tokenize(s, FileId(0)).unwrap();
-        toks.into_iter()
-            .map(|t| t.kind)
-            .filter(|k| *k != TokenKind::Eof)
-            .collect()
+        toks.into_iter().map(|t| t.kind).filter(|k| *k != TokenKind::Eof).collect()
     }
 
     #[test]
@@ -738,7 +737,8 @@ mod tests {
 
     #[test]
     fn control_comments_diverted() {
-        let (toks, controls) = Lexer::tokenize("x /*@i@*/ y /*@ignore@*/ z /*@end@*/", FileId(0)).unwrap();
+        let (toks, controls) =
+            Lexer::tokenize("x /*@i@*/ y /*@ignore@*/ z /*@end@*/", FileId(0)).unwrap();
         let kinds: Vec<_> = toks.iter().map(|t| t.kind.clone()).collect();
         assert_eq!(
             kinds,
@@ -758,9 +758,7 @@ mod tests {
     #[test]
     fn header_name_after_include() {
         let (toks, _) = Lexer::tokenize("#include <stdio.h>\nint a;", FileId(0)).unwrap();
-        assert!(toks
-            .iter()
-            .any(|t| t.kind == TokenKind::HeaderName("stdio.h".into())));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::HeaderName("stdio.h".into())));
         // '<' elsewhere is an operator.
         let (toks, _) = Lexer::tokenize("a < b", FileId(0)).unwrap();
         assert!(toks.iter().any(|t| t.kind == TokenKind::Punct(Punct::Lt)));
@@ -780,10 +778,7 @@ mod tests {
         // The `42` must not be first-on-line; `y` must be.
         let int_tok = toks.iter().find(|t| t.kind == TokenKind::Int(42)).unwrap();
         assert!(!int_tok.first_on_line);
-        let y = toks
-            .iter()
-            .find(|t| t.kind == TokenKind::Ident("y".into()))
-            .unwrap();
+        let y = toks.iter().find(|t| t.kind == TokenKind::Ident("y".into())).unwrap();
         assert!(y.first_on_line);
     }
 

@@ -40,7 +40,9 @@ pub use error::{Result, SyntaxError};
 pub use lexer::{ControlComment, ControlKind, Lexer};
 pub use parser::Parser;
 pub use pp::{DiskProvider, FileProvider, MemoryProvider, PpOutput, Preprocessor};
-pub use pretty::{pretty_print, pretty_print_function};
+pub use pretty::{
+    pretty_print, pretty_print_declaration, pretty_print_field, pretty_print_function,
+};
 pub use span::{FileId, Loc, SourceMap, Span};
 pub use stable_hash::{function_def_hash, token_stream_hash, StableHasher};
 

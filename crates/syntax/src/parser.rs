@@ -356,10 +356,9 @@ impl Parser {
             Some(b) => b,
             None => {
                 if size.is_none() && signedness.is_none() {
-                    return Err(self.err(format!(
-                        "expected type specifier, found `{}`",
-                        self.peek().kind
-                    )));
+                    return Err(
+                        self.err(format!("expected type specifier, found `{}`", self.peek().kind))
+                    );
                 }
                 TypeSpec::Int {
                     signed: signedness.unwrap_or(true),
@@ -540,9 +539,7 @@ impl Parser {
                 self.pos += 1;
                 Declarator { name: Some(name), derived: Vec::new(), span }
             }
-            TokenKind::Punct(Punct::LParen)
-                if self.is_paren_declarator(allow_abstract) =>
-            {
+            TokenKind::Punct(Punct::LParen) if self.is_paren_declarator(allow_abstract) => {
                 self.pos += 1;
                 let inner = self.parse_declarator(allow_abstract)?;
                 self.expect_punct(Punct::RParen)?;
@@ -624,10 +621,7 @@ impl Parser {
                 continue;
             }
             if !w.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
-                return Err(SyntaxError::new(
-                    format!("malformed globals list entry `{w}`"),
-                    span,
-                ));
+                return Err(SyntaxError::new(format!("malformed globals list entry `{w}`"), span));
             }
             globals.push(GlobalSpec { name: w.to_owned(), undef: undef_next });
             undef_next = false;
@@ -740,11 +734,8 @@ impl Parser {
                 let cond = self.parse_expr()?;
                 self.expect_punct(Punct::RParen)?;
                 let then_branch = Box::new(self.parse_stmt()?);
-                let else_branch = if self.eat_kw(Kw::Else) {
-                    Some(Box::new(self.parse_stmt()?))
-                } else {
-                    None
-                };
+                let else_branch =
+                    if self.eat_kw(Kw::Else) { Some(Box::new(self.parse_stmt()?)) } else { None };
                 let end = else_branch.as_ref().map(|s| s.span).unwrap_or(then_branch.span);
                 Ok(Stmt {
                     kind: StmtKind::If { cond, then_branch, else_branch },
@@ -830,7 +821,8 @@ impl Parser {
             }
             TokenKind::Kw(Kw::Return) => {
                 self.pos += 1;
-                let value = if self.at_punct(Punct::Semi) { None } else { Some(self.parse_expr()?) };
+                let value =
+                    if self.at_punct(Punct::Semi) { None } else { Some(self.parse_expr()?) };
                 let end = self.expect_punct(Punct::Semi)?;
                 Ok(Stmt { kind: StmtKind::Return(value), span: start.to(end) })
             }
@@ -1218,8 +1210,7 @@ mod tests {
         let tu = parse("extern int printf(char *fmt, ...);");
         match &tu.items[0] {
             Item::Decl(d) => {
-                let (_, variadic) =
-                    d.declarators[0].declarator.function_params().unwrap();
+                let (_, variadic) = d.declarators[0].declarator.function_params().unwrap();
                 assert!(variadic);
             }
             _ => panic!(),
@@ -1232,10 +1223,7 @@ mod tests {
         match &tu.items[0] {
             Item::Function(f) => {
                 let (params, _) = f.declarator.function_params().unwrap();
-                assert_eq!(
-                    params[0].specs.annots.null(),
-                    Some(crate::annot::NullAnnot::Null)
-                );
+                assert_eq!(params[0].specs.annots.null(), Some(crate::annot::NullAnnot::Null));
             }
             _ => panic!(),
         }
@@ -1329,9 +1317,7 @@ void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
 
     #[test]
     fn struct_fields_with_annotations() {
-        let tu = parse(
-            "typedef struct { /*@null@*/ int *vals; int size; } *erc;",
-        );
+        let tu = parse("typedef struct { /*@null@*/ int *vals; int size; } *erc;");
         match &tu.items[0] {
             Item::Decl(d) => match &d.specs.ty {
                 TypeSpec::Struct(s) => {

@@ -273,9 +273,9 @@ impl<'p> Preprocessor<'p> {
                 conds.push(Cond { active: active && v != 0, taken: v != 0, parent_active: active });
             }
             "elif" => {
-                let c = conds.last_mut().ok_or_else(|| {
-                    SyntaxError::new("#elif without matching #if", hash_span)
-                })?;
+                let c = conds
+                    .last_mut()
+                    .ok_or_else(|| SyntaxError::new("#elif without matching #if", hash_span))?;
                 if c.taken || !c.parent_active {
                     c.active = false;
                 } else {
@@ -288,16 +288,16 @@ impl<'p> Preprocessor<'p> {
                 }
             }
             "else" => {
-                let c = conds.last_mut().ok_or_else(|| {
-                    SyntaxError::new("#else without matching #if", hash_span)
-                })?;
+                let c = conds
+                    .last_mut()
+                    .ok_or_else(|| SyntaxError::new("#else without matching #if", hash_span))?;
                 c.active = c.parent_active && !c.taken;
                 c.taken = true;
             }
             "endif" => {
-                conds.pop().ok_or_else(|| {
-                    SyntaxError::new("#endif without matching #if", hash_span)
-                })?;
+                conds
+                    .pop()
+                    .ok_or_else(|| SyntaxError::new("#endif without matching #if", hash_span))?;
             }
             "define" if active => self.define(rest, hash_span)?,
             "undef" if active => {
@@ -341,7 +341,8 @@ impl<'p> Preprocessor<'p> {
             .ok_or_else(|| SyntaxError::new("#define requires an identifier", name_tok.span))?
             .to_owned();
         // Function-like only if `(` immediately follows the name (no space).
-        let function_like = matches!(after.first(), Some(t) if t.kind.is_punct(Punct::LParen) && !t.leading_space);
+        let function_like =
+            matches!(after.first(), Some(t) if t.kind.is_punct(Punct::LParen) && !t.leading_space);
         if function_like {
             let mut params = Vec::new();
             let mut j = 1;
@@ -350,9 +351,10 @@ impl<'p> Preprocessor<'p> {
                     let p = after.get(j).ok_or_else(|| {
                         SyntaxError::new("unterminated macro parameter list", name_tok.span)
                     })?;
-                    let pn = p.kind.ident().ok_or_else(|| {
-                        SyntaxError::new("expected macro parameter name", p.span)
-                    })?;
+                    let pn = p
+                        .kind
+                        .ident()
+                        .ok_or_else(|| SyntaxError::new("expected macro parameter name", p.span))?;
                     params.push(pn.to_owned());
                     j += 1;
                     match after.get(j).map(|t| &t.kind) {
@@ -430,7 +432,9 @@ impl<'p> Preprocessor<'p> {
                         continue;
                     }
                     let (args, after) = Self::collect_args(tokens, i + 1, t.span)?;
-                    if args.len() != params.len() && !(params.is_empty() && args.len() == 1 && args[0].is_empty()) {
+                    if args.len() != params.len()
+                        && !(params.is_empty() && args.len() == 1 && args[0].is_empty())
+                    {
                         return Err(SyntaxError::new(
                             format!(
                                 "macro `{name}` expects {} argument(s), got {}",
@@ -464,9 +468,9 @@ impl<'p> Preprocessor<'p> {
         let mut depth = 0usize;
         let mut j = open;
         loop {
-            let t = tokens.get(j).ok_or_else(|| {
-                SyntaxError::new("unterminated macro argument list", site)
-            })?;
+            let t = tokens
+                .get(j)
+                .ok_or_else(|| SyntaxError::new("unterminated macro argument list", site))?;
             match &t.kind {
                 TokenKind::Eof => {
                     return Err(SyntaxError::new("unterminated macro argument list", site));
@@ -508,7 +512,7 @@ impl<'p> Preprocessor<'p> {
             let t = &body[i];
             // Stringize: `# param`
             if t.kind.is_punct(Punct::Hash) {
-                if let Some(p) = body.get(i + 1).and_then(|n| param_index(n)) {
+                if let Some(p) = body.get(i + 1).and_then(param_index) {
                     let text: Vec<String> =
                         raw_args[p].iter().map(|a| a.kind.to_string()).collect();
                     out.push(Token::new(TokenKind::Str(text.join(" ")), site));
@@ -532,8 +536,8 @@ impl<'p> Preprocessor<'p> {
                 let lhs = left_toks.last().map(|x| x.kind.to_string()).unwrap_or_default();
                 let rhs = right_toks.first().map(|x| x.kind.to_string()).unwrap_or_default();
                 let pasted_text = format!("{lhs}{rhs}");
-                let (mut pasted, _) =
-                    Lexer::tokenize(&pasted_text, crate::span::FileId::SYNTHETIC).map_err(|_| {
+                let (mut pasted, _) = Lexer::tokenize(&pasted_text, crate::span::FileId::SYNTHETIC)
+                    .map_err(|_| {
                         SyntaxError::new(
                             format!("token paste produced invalid token `{pasted_text}`"),
                             site,
@@ -571,26 +575,23 @@ impl<'p> Preprocessor<'p> {
         while i < tokens.len() {
             let t = &tokens[i];
             if t.kind.ident() == Some("defined") {
-                let (name, consumed) = if tokens
-                    .get(i + 1)
-                    .map(|x| x.kind.is_punct(Punct::LParen))
-                    == Some(true)
-                {
-                    let n = tokens
-                        .get(i + 2)
-                        .and_then(|x| x.kind.ident())
-                        .ok_or_else(|| SyntaxError::new("malformed `defined`", t.span))?;
-                    if tokens.get(i + 3).map(|x| x.kind.is_punct(Punct::RParen)) != Some(true) {
-                        return Err(SyntaxError::new("malformed `defined`", t.span));
-                    }
-                    (n, 4)
-                } else {
-                    let n = tokens
-                        .get(i + 1)
-                        .and_then(|x| x.kind.ident())
-                        .ok_or_else(|| SyntaxError::new("malformed `defined`", t.span))?;
-                    (n, 2)
-                };
+                let (name, consumed) =
+                    if tokens.get(i + 1).map(|x| x.kind.is_punct(Punct::LParen)) == Some(true) {
+                        let n = tokens
+                            .get(i + 2)
+                            .and_then(|x| x.kind.ident())
+                            .ok_or_else(|| SyntaxError::new("malformed `defined`", t.span))?;
+                        if tokens.get(i + 3).map(|x| x.kind.is_punct(Punct::RParen)) != Some(true) {
+                            return Err(SyntaxError::new("malformed `defined`", t.span));
+                        }
+                        (n, 4)
+                    } else {
+                        let n = tokens
+                            .get(i + 1)
+                            .and_then(|x| x.kind.ident())
+                            .ok_or_else(|| SyntaxError::new("malformed `defined`", t.span))?;
+                        (n, 2)
+                    };
                 let v = i64::from(self.macros.contains_key(name));
                 pre.push(Token::new(TokenKind::Int(v), t.span));
                 i += consumed;
@@ -674,11 +675,8 @@ impl CondEval<'_> {
 
     fn cmp(&mut self) -> Result<i64> {
         let mut v = self.add()?;
-        loop {
-            let p = match self.peek() {
-                Some(TokenKind::Punct(p)) => *p,
-                _ => break,
-            };
+        while let Some(TokenKind::Punct(p)) = self.peek() {
+            let p = *p;
             let f: fn(i64, i64) -> bool = match p {
                 Punct::EqEq => |a, b| a == b,
                 Punct::Ne => |a, b| a != b,
@@ -780,11 +778,7 @@ mod tests {
         }
         let mut sm = SourceMap::new();
         let out = preprocess("main.c", &prov, &mut sm).unwrap();
-        out.tokens
-            .into_iter()
-            .map(|t| t.kind)
-            .filter(|k| *k != TokenKind::Eof)
-            .collect()
+        out.tokens.into_iter().map(|t| t.kind).filter(|k| *k != TokenKind::Eof).collect()
     }
 
     fn ids(kinds: &[TokenKind]) -> Vec<String> {
@@ -807,10 +801,8 @@ mod tests {
 
     #[test]
     fn nested_macro_args() {
-        let k = pp(
-            "#define ADD(a,b) ((a)+(b))\n#define TWO 2\nint x = ADD(TWO, ADD(1, TWO));",
-            &[],
-        );
+        let k =
+            pp("#define ADD(a,b) ((a)+(b))\n#define TWO 2\nint x = ADD(TWO, ADD(1, TWO));", &[]);
         let text = ids(&k).join(" ");
         assert!(text.contains("( ( 2 ) + ( ( ( 1 ) + ( 2 ) ) ) )"), "{text}");
     }
@@ -825,10 +817,7 @@ mod tests {
     fn includes_and_guards() {
         let k = pp(
             "#include \"h.h\"\n#include \"h.h\"\nint tail;",
-            &[(
-                "h.h",
-                "#ifndef H_H\n#define H_H\nint in_header;\n#endif\n",
-            )],
+            &[("h.h", "#ifndef H_H\n#define H_H\nint in_header;\n#endif\n")],
         );
         let names = ids(&k);
         assert_eq!(names.iter().filter(|n| *n == "in_header").count(), 1);
@@ -837,10 +826,7 @@ mod tests {
 
     #[test]
     fn angle_include() {
-        let k = pp(
-            "#include <lib.h>\nint x;",
-            &[("lib.h", "int from_lib;")],
-        );
+        let k = pp("#include <lib.h>\nint x;", &[("lib.h", "int from_lib;")]);
         assert!(ids(&k).contains(&"from_lib".to_owned()));
     }
 
@@ -872,27 +858,18 @@ mod tests {
             &[],
         );
         let names = ids(&k);
-        assert_eq!(
-            names,
-            vec!["int".to_owned(), "two".to_owned(), ";".to_owned()]
-        );
+        assert_eq!(names, vec!["int".to_owned(), "two".to_owned(), ";".to_owned()]);
     }
 
     #[test]
     fn nested_inactive_regions() {
-        let k = pp(
-            "#ifdef NOPE\n#ifdef ALSO_NOPE\nint a;\n#endif\nint b;\n#endif\nint c;\n",
-            &[],
-        );
+        let k = pp("#ifdef NOPE\n#ifdef ALSO_NOPE\nint a;\n#endif\nint b;\n#endif\nint c;\n", &[]);
         assert_eq!(ids(&k), vec!["int", "c", ";"]);
     }
 
     #[test]
     fn defined_operator() {
-        let k = pp(
-            "#define A 1\n#if defined(A) && !defined B\nint ok;\n#endif\n",
-            &[],
-        );
+        let k = pp("#define A 1\n#if defined(A) && !defined B\nint ok;\n#endif\n", &[]);
         assert!(ids(&k).contains(&"ok".to_owned()));
     }
 
@@ -928,7 +905,9 @@ mod tests {
     #[test]
     fn annotations_flow_through() {
         let k = pp("/*@null@*/ char *p;", &[]);
-        assert!(k.iter().any(|t| matches!(t, TokenKind::Annot(w) if w == &vec!["null".to_owned()])));
+        assert!(k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Annot(w) if w == &vec!["null".to_owned()])));
     }
 
     #[test]
@@ -944,11 +923,7 @@ mod tests {
         prov.insert("m.h", "#define MAGIC 42\n");
         let mut sm = SourceMap::new();
         let out = preprocess("main.c", &prov, &mut sm).unwrap();
-        let tok = out
-            .tokens
-            .iter()
-            .find(|t| t.kind == TokenKind::Int(42))
-            .unwrap();
+        let tok = out.tokens.iter().find(|t| t.kind == TokenKind::Int(42)).unwrap();
         assert_eq!(sm.name(tok.span.file), "m.h");
     }
 
@@ -960,10 +935,7 @@ mod tests {
         let mut p = Preprocessor::new(&prov);
         p.predefine("FEATURE", "1");
         let out = p.preprocess("main.c", &mut sm).unwrap();
-        assert!(out
-            .tokens
-            .iter()
-            .any(|t| t.kind == TokenKind::Ident("on".into())));
+        assert!(out.tokens.iter().any(|t| t.kind == TokenKind::Ident("on".into())));
     }
 
     #[test]

@@ -31,6 +31,33 @@ pub fn pretty_print_function(f: &FunctionDef) -> String {
     p.out
 }
 
+/// Pretty-prints a single top-level declaration (prototype, global,
+/// typedef, struct definition).
+pub fn pretty_print_declaration(d: &Declaration) -> String {
+    let mut p = Printer::new();
+    p.declaration(d);
+    p.out
+}
+
+/// Pretty-prints one struct/union member declaration as a single line
+/// (no indentation, no trailing newline).
+pub fn pretty_print_field(f: &FieldDecl) -> String {
+    let mut p = Printer::new();
+    p.specs(&f.specs);
+    let mut first = true;
+    for d in &f.declarators {
+        if first {
+            p.out.push(' ');
+        } else {
+            p.out.push_str(", ");
+        }
+        first = false;
+        p.declarator(d);
+    }
+    p.out.push(';');
+    p.out
+}
+
 struct Printer {
     out: String,
     indent: usize,
@@ -397,12 +424,12 @@ impl Printer {
             }
             StmtKind::Label { name, stmt } => {
                 self.pad();
-                let _ = write!(self.out, "{name}:\n");
+                let _ = writeln!(self.out, "{name}:");
                 self.stmt(stmt);
             }
             StmtKind::Goto(name) => {
                 self.pad();
-                let _ = write!(self.out, "goto {name};\n");
+                let _ = writeln!(self.out, "goto {name};");
             }
         }
     }
@@ -630,8 +657,7 @@ mod tests {
 
     #[test]
     fn printed_annotations_survive() {
-        let (tu, _, _) =
-            parse_translation_unit("a.c", "/*@null@*/ char *g;").unwrap();
+        let (tu, _, _) = parse_translation_unit("a.c", "/*@null@*/ char *g;").unwrap();
         let s = pretty_print(&tu);
         assert!(s.contains("/*@null@*/"), "{s}");
     }

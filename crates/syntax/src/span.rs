@@ -53,11 +53,7 @@ impl Span {
         if self.file != other.file {
             return self;
         }
-        Span {
-            file: self.file,
-            start: self.start.min(other.start),
-            end: self.end.max(other.end),
-        }
+        Span { file: self.file, start: self.start.min(other.start), end: self.end.max(other.end) }
     }
 
     /// Number of bytes covered.
@@ -171,10 +167,7 @@ impl SourceMap {
 
     /// Looks up a file id by registered name.
     pub fn find(&self, name: &str) -> Option<FileId> {
-        self.files
-            .iter()
-            .position(|f| f.name == name)
-            .map(|i| FileId(i as u32))
+        self.files.iter().position(|f| f.name == name).map(|i| FileId(i as u32))
     }
 
     /// Resolves the start of a span to a human-readable location.

@@ -138,7 +138,10 @@ mod tests {
         assert_eq!(StableHasher::new().finish(), 0xcbf2_9ce4_8422_2325);
         let mut h = StableHasher::new();
         h.write_u8(b'a');
-        assert_eq!(h.finish(), (0xcbf2_9ce4_8422_2325_u64 ^ b'a' as u64).wrapping_mul(0x100_0000_01b3));
+        assert_eq!(
+            h.finish(),
+            (0xcbf2_9ce4_8422_2325_u64 ^ b'a' as u64).wrapping_mul(0x100_0000_01b3)
+        );
     }
 
     #[test]

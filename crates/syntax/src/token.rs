@@ -43,6 +43,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Maps an identifier to a keyword, if it is one.
+    #[allow(clippy::should_implement_trait)] // fallible lookup, not a parse
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {

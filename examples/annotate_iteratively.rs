@@ -20,8 +20,8 @@ fn main() {
         database_sources(&DbStage::final_stage()).len()
     );
     println!(
-        "{:<7} {:>5} {:>5} {:>5} {:>5} {:>7}  {}",
-        "stage", "null", "def", "alloc", "alias", "total", "annotations (null/out/only/unique)"
+        "{:<7} {:>5} {:>5} {:>5} {:>5} {:>7}  annotations (null/out/only/unique)",
+        "stage", "null", "def", "alloc", "alias", "total"
     );
 
     for (name, stage) in DbStage::all() {
@@ -31,7 +31,8 @@ fn main() {
         for d in &result.diagnostics {
             *by.entry(d.kind.clone()).or_insert(0usize) += 1;
         }
-        let class = |ks: &[&str]| ks.iter().map(|k| by.get(*k).copied().unwrap_or(0)).sum::<usize>();
+        let class =
+            |ks: &[&str]| ks.iter().map(|k| by.get(*k).copied().unwrap_or(0)).sum::<usize>();
         let counts = annotation_counts(&stage);
         println!(
             "{:<7} {:>5} {:>5} {:>5} {:>5} {:>7}  {}/{}/{}/{}",

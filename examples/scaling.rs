@@ -17,10 +17,7 @@ fn main() {
     let linter = Linter::new(Flags::default());
 
     println!("Checking time vs program size (fully annotated, zero messages):\n");
-    println!(
-        "{:>9} {:>9} {:>12} {:>14}",
-        "LOC", "modules", "time (ms)", "ms per KLOC"
-    );
+    println!("{:>9} {:>9} {:>12} {:>14}", "LOC", "modules", "time (ms)", "ms per KLOC");
     let mut per_kloc = Vec::new();
     for target in [1_000usize, 2_000, 5_000, 10_000, 25_000, 50_000, 100_000] {
         let p = generate(&GenConfig::with_target_loc(target));
@@ -44,10 +41,8 @@ fn main() {
     println!("\nMessages vs annotation level (20k-line program, paper's §7 dynamics):\n");
     println!("{:>18} {:>10}", "annotation level", "messages");
     for level in [1.0, 0.75, 0.5, 0.25, 0.0] {
-        let p = generate(&GenConfig {
-            annotation_level: level,
-            ..GenConfig::with_target_loc(20_000)
-        });
+        let p =
+            generate(&GenConfig { annotation_level: level, ..GenConfig::with_target_loc(20_000) });
         let result = linter.check_source("gen.c", &p.source).expect("parses");
         println!("{:>17}% {:>10}", (level * 100.0) as u32, result.diagnostics.len());
     }

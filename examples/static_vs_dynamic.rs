@@ -51,9 +51,8 @@ fn main() {
                 let mut found = false;
                 for _ in 0..*budget {
                     let input = rng.random_range(0..INPUT_SPACE);
-                    let run =
-                        run_source("m.c", &m.source, "run", &[input], Config::default())
-                            .expect("parses");
+                    let run = run_source("m.c", &m.source, "run", &[input], Config::default())
+                        .expect("parses");
                     if !run.is_clean() {
                         found = true;
                         break;
@@ -64,11 +63,7 @@ fn main() {
                 }
             }
         }
-        print!(
-            "{:<16} {:>7}%",
-            class.label(),
-            100 * static_hits / MUTANTS_PER_CLASS
-        );
+        print!("{:<16} {:>7}%", class.label(), 100 * static_hits / MUTANTS_PER_CLASS);
         for h in &dynamic_hits {
             print!(" {:>8}%", 100 * h / MUTANTS_PER_CLASS);
         }

@@ -39,8 +39,7 @@ fn e3_figure4_exact_messages() {
     let text = r.render();
     assert!(text.contains("sample.c:5: Only storage gname not released before assignment"));
     assert!(text.contains("sample.c:1: Storage gname becomes only"));
-    assert!(text
-        .contains("sample.c:5: Temp storage pname assigned to only gname: gname = pname"));
+    assert!(text.contains("sample.c:5: Temp storage pname assigned to only gname: gname = pname"));
     assert!(text.contains("sample.c:3: Storage pname becomes temp"));
     assert_eq!(r.diagnostics.len(), 2);
 }
@@ -50,10 +49,7 @@ fn e4_figure5_two_anomalies() {
     let r = check(figures::FIGURE5);
     assert_eq!(r.diagnostics.len(), 2, "{}", r.render());
     assert!(r.diagnostics.iter().any(|d| d.kind == "branchstate"));
-    assert!(r
-        .diagnostics
-        .iter()
-        .any(|d| d.kind == "compdef" && d.message.contains("next->next")));
+    assert!(r.diagnostics.iter().any(|d| d.kind == "compdef" && d.message.contains("next->next")));
 }
 
 #[test]
@@ -78,8 +74,9 @@ fn figure8_unique_anomaly_via_stdlib_strcpy() {
     // employee_setName uses the *standard library's* strcpy annotation.
     let r = check(figures::FIGURE8);
     assert!(
-        r.diagnostics.iter().any(|d| d.kind == "aliasunique"
-            && d.message.contains("strcpy is declared unique")),
+        r.diagnostics
+            .iter()
+            .any(|d| d.kind == "aliasunique" && d.message.contains("strcpy is declared unique")),
         "{}",
         r.render()
     );
@@ -89,8 +86,6 @@ fn figure8_unique_anomaly_via_stdlib_strcpy() {
 fn all_figures_parse_through_the_driver() {
     let linter = Linter::new(Flags::default());
     for (name, src) in figures::all_figures() {
-        linter
-            .check_source(&format!("{name}.c"), src)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        linter.check_source(&format!("{name}.c"), src).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }

@@ -11,10 +11,10 @@ use lclint_corpus::generator::{generate, GenConfig};
 
 fn round_trip_at_seed(seed: u64) {
     let p = generate(&GenConfig { modules: 1, seed, ..GenConfig::default() });
-    let (tu, _, _) =
-        lclint_syntax::parse_translation_unit("mod.c", &p.source).expect("parses");
+    let (tu, _, _) = lclint_syntax::parse_translation_unit("mod.c", &p.source).expect("parses");
     let lib = lclint::library::save(&tu);
-    let client = "void client(void)\n{\n  m0_list l = m0_create();\n  m0_push(l, 3);\n  m0_final(l);\n}\n\
+    let client =
+        "void client(void)\n{\n  m0_list l = m0_create();\n  m0_push(l, 3);\n  m0_final(l);\n}\n\
                   void leaky_client(void)\n{\n  m0_list l = m0_create();\n}\n";
     let mut linter = Linter::new(Flags::default());
     linter.add_library("mod.lcs", lib);
@@ -42,8 +42,7 @@ fn neighbouring_seeds_round_trip() {
 fn interface_is_seed_invariant_at_full_annotation() {
     let interface = |seed| {
         let p = generate(&GenConfig { modules: 1, seed, ..GenConfig::default() });
-        let (tu, _, _) =
-            lclint_syntax::parse_translation_unit("mod.c", &p.source).expect("parses");
+        let (tu, _, _) = lclint_syntax::parse_translation_unit("mod.c", &p.source).expect("parses");
         lclint::library::save(&tu)
     };
     let base = interface(0);

@@ -7,10 +7,7 @@ use lclint::{Flags, Linter};
 fn i_comment_suppresses_one_message_on_its_line() {
     let linter = Linter::new(Flags::default());
     let r = linter
-        .check_source(
-            "m.c",
-            "void f(void)\n{\n  /*@i@*/ char *p = (char *) malloc(10);\n}\n",
-        )
+        .check_source("m.c", "void f(void)\n{\n  /*@i@*/ char *p = (char *) malloc(10);\n}\n")
         .unwrap();
     assert!(r.diagnostics.is_empty(), "{}", r.render());
     assert_eq!(r.suppressed, 1);
@@ -52,10 +49,7 @@ fn supcomments_flag_disables_suppression() {
     let flags = Flags::parse("-supcomments").unwrap();
     let linter = Linter::new(flags);
     let r = linter
-        .check_source(
-            "m.c",
-            "void f(void)\n{\n  /*@i@*/ char *p = (char *) malloc(10);\n}\n",
-        )
+        .check_source("m.c", "void f(void)\n{\n  /*@i@*/ char *p = (char *) malloc(10);\n}\n")
         .unwrap();
     assert_eq!(r.diagnostics.len(), 1);
     assert_eq!(r.suppressed, 0);
