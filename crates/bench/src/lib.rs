@@ -462,6 +462,83 @@ pub fn inference_table(target_loc: usize, levels: &[f64]) -> Vec<InferRow> {
         .collect()
 }
 
+/// One row of the E14 soundness table: one bug class at one corpus size.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SoundnessRow {
+    /// Modules per generated program.
+    pub modules: usize,
+    /// Line count of one program at this size.
+    pub loc: usize,
+    /// Bug-class label (`BugClass::label()`).
+    pub class: String,
+    /// Injected mutants scored.
+    pub cases: usize,
+    /// Distinct oracle errors across the input sweeps.
+    pub oracle_errors: usize,
+    /// Static diagnostics matched to an oracle error.
+    pub tp: usize,
+    /// Static diagnostics matching no oracle error.
+    pub fp: usize,
+    /// Oracle errors missed outside the expected-FN taxonomy.
+    pub false_negatives: usize,
+    /// Oracle errors in a documented expected-FN category.
+    pub expected_fn: usize,
+    /// Recall over in-scope oracle errors, percent.
+    pub recall_pct: f64,
+}
+
+/// Summary of the clean (unmutated) corpus leg of E14, across all sizes.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SoundnessClean {
+    /// Unmutated programs checked and run.
+    pub programs: usize,
+    /// Static diagnostics on them (every one is a false positive).
+    pub static_fp: usize,
+    /// Oracle errors on them (every one is a generator/interp bug).
+    pub oracle_errors: usize,
+    /// Checker/oracle disagreements recorded by the harness.
+    pub disagreements: usize,
+}
+
+/// E14: differential soundness. Runs the interpreter-as-oracle harness
+/// (`lclint_corpus::differential`) with `cases` base programs at each corpus
+/// size in `sizes` (modules per program) and flattens the per-class scores
+/// into table rows.
+pub fn soundness_table(
+    sizes: &[usize],
+    cases: usize,
+    seed: u64,
+) -> (Vec<SoundnessRow>, SoundnessClean) {
+    use lclint_corpus::differential::{run_differential, DiffConfig};
+    let mut rows = Vec::new();
+    let mut clean =
+        SoundnessClean { programs: 0, static_fp: 0, oracle_errors: 0, disagreements: 0 };
+    for &modules in sizes {
+        let report =
+            run_differential(&DiffConfig { cases, seed, modules, ..DiffConfig::default() });
+        let loc = generate(&GenConfig { modules, ..GenConfig::default() }).loc;
+        for (label, st) in &report.per_class {
+            rows.push(SoundnessRow {
+                modules,
+                loc,
+                class: (*label).to_owned(),
+                cases: st.cases,
+                oracle_errors: st.oracle_errors,
+                tp: st.tp,
+                fp: st.fp,
+                false_negatives: st.fn_,
+                expected_fn: st.expected_fn,
+                recall_pct: st.recall_pct(),
+            });
+        }
+        clean.programs += report.clean_programs;
+        clean.static_fp += report.clean_fp;
+        clean.oracle_errors += report.clean_oracle_errors;
+        clean.disagreements += report.disagreements.len();
+    }
+    (rows, clean)
+}
+
 /// E9 (library variant): time to check a module + client from full source
 /// vs checking the client against the module's interface library (§7's
 /// "libraries to store interface information"). Returns `(full_ms, lib_ms)`.
@@ -573,6 +650,24 @@ mod tests {
             full.after_messages, 0,
             "inference introduced false positives on the annotated corpus: {full:?}"
         );
+    }
+
+    /// ISSUE 4 acceptance bars: per-bug-class recall ≥ 90% on injected
+    /// mutants outside the documented expected-FN taxonomy, and a false
+    /// positive rate of exactly 0 on the clean fully-annotated corpus.
+    #[test]
+    fn soundness_meets_the_acceptance_bars() {
+        let (rows, clean) = soundness_table(&[1, 2, 4], 2, 1);
+        assert_eq!(rows.len(), 3 * BugClass::all().len(), "one row per class per size");
+        for row in &rows {
+            assert!(row.recall_pct >= 90.0, "recall below the 90% bar: {row:?}");
+            assert_eq!(row.fp, 0, "mutant-leg false positive: {row:?}");
+            assert_eq!(row.false_negatives, 0, "FN outside the expected-FN taxonomy: {row:?}");
+            assert!(row.oracle_errors > 0, "oracle saw nothing — harness broken: {row:?}");
+        }
+        assert_eq!(clean.static_fp, 0, "false positives on the clean corpus: {clean:?}");
+        assert_eq!(clean.oracle_errors, 0, "oracle errors on the clean corpus: {clean:?}");
+        assert_eq!(clean.disagreements, 0, "unshrunk disagreements: {clean:?}");
     }
 
     #[test]

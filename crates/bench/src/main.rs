@@ -7,8 +7,8 @@
 
 use lclint_bench::{
     annotation_sweep, database_table, detection_table, figure_table, incremental_table,
-    inference_table, library_speedup, par_speedup_table, scaling_table, stdlib_cache_stats,
-    IncrRow, InferRow,
+    inference_table, library_speedup, par_speedup_table, scaling_table, soundness_table,
+    stdlib_cache_stats, IncrRow, InferRow, SoundnessClean, SoundnessRow,
 };
 
 fn main() {
@@ -195,6 +195,48 @@ fn main() {
          \u{20}  generator's ground truth, then the annotated source is re-checked."
     );
 
+    // E14 ---------------------------------------------------------------------
+    let (diff_sizes, diff_cases) = if quick { (vec![1, 2], 2) } else { (vec![1, 2, 4], 3) };
+    println!(
+        "\nE14. Differential soundness: static checker vs interpreter oracle\n\
+         \u{20}    ({} corpus sizes x {} programs x 5 injected bug classes, seed 1)\n",
+        diff_sizes.len(),
+        diff_cases
+    );
+    println!(
+        "{:>7} {:>6} {:<16} {:>6} {:>8} {:>5} {:>5} {:>5} {:>8} {:>8}",
+        "modules", "loc", "class", "cases", "oracle", "TP", "FP", "FN", "exp-FN", "recall"
+    );
+    let (soundness, soundness_clean) = soundness_table(&diff_sizes, diff_cases, 1);
+    for row in &soundness {
+        println!(
+            "{:>7} {:>6} {:<16} {:>6} {:>8} {:>5} {:>5} {:>5} {:>8} {:>7.1}%",
+            row.modules,
+            row.loc,
+            row.class,
+            row.cases,
+            row.oracle_errors,
+            row.tp,
+            row.fp,
+            row.false_negatives,
+            row.expected_fn,
+            row.recall_pct
+        );
+    }
+    println!(
+        "  clean corpus: {} programs, {} static FP, {} oracle errors, {} disagreements",
+        soundness_clean.programs,
+        soundness_clean.static_fp,
+        soundness_clean.oracle_errors,
+        soundness_clean.disagreements
+    );
+    println!(
+        "\n  every oracle-detected error is matched to a static diagnostic by kind\n\
+         \u{20}  and line; known-unsound categories (bounds, assertions, termination;\n\
+         \u{20}  sections 2/6/9) score as documented expected FNs, pinned under\n\
+         \u{20}  tests/differential_regressions/."
+    );
+
     if let Some(path) = json_path {
         let blob = serde_json::json!({
             "figures": figs,
@@ -206,6 +248,8 @@ fn main() {
             "incremental": incr,
             "detection": detect,
             "inference_table": infer,
+            "soundness_table": soundness,
+            "soundness_clean": soundness_clean,
         });
         std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serializes"))
             .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
@@ -228,7 +272,50 @@ fn main() {
             Ok(()) => println!("inference snapshot written to {}", snap.display()),
             Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
         }
+
+        // Snapshot of the differential soundness table, likewise hand
+        // rendered.
+        let snap =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_PR4.json");
+        match std::fs::write(&snap, render_soundness_snapshot(&soundness, &soundness_clean)) {
+            Ok(()) => println!("soundness snapshot written to {}", snap.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
+        }
     }
+}
+
+/// Renders the E14 rows as a JSON document without going through a
+/// serializer (offline builds stub `serde_json`).
+fn render_soundness_snapshot(rows: &[SoundnessRow], clean: &SoundnessClean) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"differential-soundness\",\n");
+    out.push_str(&format!(
+        "  \"clean\": {{\"programs\": {}, \"static_fp\": {}, \"oracle_errors\": {}, \
+         \"disagreements\": {}}},\n",
+        clean.programs, clean.static_fp, clean.oracle_errors, clean.disagreements
+    ));
+    out.push_str("  \"soundness_table\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"modules\": {}, \"loc\": {}, \"class\": \"{}\", \"cases\": {}, \
+             \"oracle_errors\": {}, \"tp\": {}, \"fp\": {}, \"false_negatives\": {}, \
+             \"expected_fn\": {}, \"recall_pct\": {:.1}}}{}\n",
+            r.modules,
+            r.loc,
+            r.class,
+            r.cases,
+            r.oracle_errors,
+            r.tp,
+            r.fp,
+            r.false_negatives,
+            r.expected_fn,
+            r.recall_pct,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders the E13 rows as a JSON document without going through a

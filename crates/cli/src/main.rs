@@ -21,6 +21,10 @@
 //!                   diff-style report (machine-readable with --json)
 //!   --infer-apply FILE  rewrite FILE (one of the checked .c inputs) with
 //!                   the inferred annotations attached
+//!   --differential N  run the interpreter-as-oracle differential harness
+//!                   over N generated programs instead of checking files
+//!                   (TP/FP/FN per bug class; --json for machine output)
+//!   --seed S        master seed for --differential (default 1)
 //! ```
 
 use lclint_core::{library, Flags, IncrementalSession, Linter};
@@ -35,7 +39,8 @@ fn usage() -> ! {
          modes: allimponly imponlyreturns imponlyglobals imponlyfields gcmode\n\
          \u{20}       supcomments stdlib memchecks all\n\
          options: --json --jobs N --lib FILE --emit-lib --run ENTRY\n\
-         \u{20}        --incremental DIR --stats --infer --infer-apply FILE",
+         \u{20}        --incremental DIR --stats --infer --infer-apply FILE\n\
+         \u{20}        --differential N --seed S",
         lclint_core::DiagKind::all().iter().map(|k| k.flag_name()).collect::<Vec<_>>().join(" ")
     );
     std::process::exit(2)
@@ -90,6 +95,8 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut infer = false;
     let mut infer_apply: Option<String> = None;
+    let mut differential: Option<usize> = None;
+    let mut seed: u64 = 1;
 
     let mut i = 0;
     while i < args.len() {
@@ -131,6 +138,28 @@ fn main() -> ExitCode {
                 incremental_dir = Some(dir.clone());
             }
             "--stats" => stats = true,
+            "--differential" => {
+                i += 1;
+                let Some(n) = args.get(i) else { usage() };
+                match n.parse::<usize>() {
+                    Ok(n) if n > 0 => differential = Some(n),
+                    _ => {
+                        eprintln!("rlclint: --differential expects a positive count, got `{n}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                let Some(s) = args.get(i) else { usage() };
+                match s.parse::<u64>() {
+                    Ok(s) => seed = s,
+                    Err(_) => {
+                        eprintln!("rlclint: --seed expects a number, got `{s}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--infer" => infer = true,
             "--infer-apply" => {
                 i += 1;
@@ -157,6 +186,27 @@ fn main() -> ExitCode {
             },
         }
         i += 1;
+    }
+    if let Some(cases) = differential {
+        // The harness generates its own corpus; file arguments and
+        // file-oriented modes make no sense here.
+        if !files.is_empty() || emit_lib || infer || infer_apply.is_some() || run_entry.is_some() {
+            eprintln!("rlclint: --differential runs on generated programs; drop the file inputs");
+            return ExitCode::from(2);
+        }
+        use lclint_corpus::differential::{render_diff_json, render_diff_text, run_differential};
+        let report = run_differential(&lclint_corpus::differential::DiffConfig {
+            cases,
+            seed,
+            jobs: flags.analysis.jobs,
+            ..lclint_corpus::differential::DiffConfig::default()
+        });
+        if json {
+            println!("{}", render_diff_json(&report));
+        } else {
+            print!("{}", render_diff_text(&report));
+        }
+        return if report.is_consistent() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
     if roots.is_empty() {
         eprintln!("rlclint: no .c files given");

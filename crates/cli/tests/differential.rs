@@ -1,0 +1,68 @@
+//! End-to-end tests for `rlclint --differential`.
+
+use std::process::{Command, Output};
+
+fn rlclint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rlclint")).args(args).output().expect("rlclint runs")
+}
+
+/// Acceptance criterion: `--differential N --seed S --json` is byte-identical
+/// for a fixed seed regardless of `--jobs` (the checker's parallel merge is
+/// deterministic and the report carries no timings).
+#[test]
+fn differential_json_is_deterministic_across_jobs() {
+    let outputs: Vec<String> = ["1", "4", "0"]
+        .iter()
+        .map(|jobs| {
+            let out = rlclint(&["--differential", "3", "--seed", "11", "--json", "--jobs", jobs]);
+            assert!(out.status.success(), "jobs={jobs}: {}", String::from_utf8_lossy(&out.stderr));
+            String::from_utf8(out.stdout).expect("utf8")
+        })
+        .collect();
+    assert_eq!(outputs[0], outputs[1], "jobs=1 vs jobs=4 differ");
+    assert_eq!(outputs[0], outputs[2], "jobs=1 vs jobs=0 differ");
+    assert!(outputs[0].contains("\"per_class\""));
+    assert!(outputs[0].contains("\"consistent\": true"), "{}", outputs[0]);
+}
+
+#[test]
+fn differential_text_mode_scores_every_class() {
+    let out = rlclint(&["--differential", "2", "--seed", "5"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for label in ["null-deref", "leak", "use-after-free", "double-free", "uninit-read"] {
+        assert!(stdout.contains(label), "missing {label} in:\n{stdout}");
+    }
+    assert!(stdout.contains("no disagreements"), "{stdout}");
+    assert!(stdout.contains("0 static false positives"), "{stdout}");
+}
+
+#[test]
+fn differential_runs_change_with_the_seed() {
+    let a = rlclint(&["--differential", "1", "--seed", "1", "--json"]);
+    let b = rlclint(&["--differential", "1", "--seed", "2", "--json"]);
+    let sa = String::from_utf8_lossy(&a.stdout).to_string();
+    let sb = String::from_utf8_lossy(&b.stdout).to_string();
+    assert!(sa.contains("\"seed\": 1"));
+    assert!(sb.contains("\"seed\": 2"));
+}
+
+#[test]
+fn differential_rejects_file_inputs() {
+    let dir = std::env::temp_dir().join("rlclint_diff_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("x.c");
+    std::fs::write(&file, "int f(void) { return 0; }\n").unwrap();
+    let out = rlclint(&["--differential", "2", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "file inputs must be rejected");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("drop the file inputs"), "{err}");
+}
+
+#[test]
+fn differential_rejects_bad_counts() {
+    let out = rlclint(&["--differential", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = rlclint(&["--differential", "2", "--seed", "banana"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,1016 @@
+//! Differential soundness harness: interpreter-as-oracle validation of the
+//! static checker (experiment E14).
+//!
+//! The paper's central claim is that annotation-driven static checking finds
+//! the same dynamic memory errors run-time tools catch, but on *all* paths
+//! (§1, §9). This module measures that claim: every generated program and
+//! every [`mutator::BugClass`] injection is run through the static checker
+//! *and* through [`lclint_interp`] over a bounded input sweep, and each
+//! static diagnostic is scored as a true or false positive while each
+//! oracle-detected error with no matching diagnostic is a false negative —
+//! matched by error kind and source line via the [taxonomy](static_kinds_for_runtime).
+//!
+//! Known-unsound cases (loops modelled as running zero-or-one time, §2;
+//! properties the checker deliberately does not track, §6/§8) are recorded
+//! in [`EXPECTED_FN_TAXONOMY`] and scored as *expected* false negatives,
+//! pinned by fixtures under `tests/differential_regressions/` so a future
+//! soundness improvement flips a test instead of silently changing rates.
+//!
+//! When a classification disagrees with expectation, the case is shrunk via
+//! the generator's size knobs ([`shrink_config`]) to a minimal reproducer
+//! that can be persisted as a checked-in fixture ([`render_fixture`] /
+//! [`replay_fixture`]).
+
+use crate::generator::{generate, GenConfig};
+use crate::mutator::{inject, BugClass, Mutated};
+use lclint_core::{Flags, Linter, RenderedDiagnostic};
+use lclint_interp::{run_program, Config as InterpConfig, RuntimeErrorKind};
+use lclint_sema::Program;
+use lclint_syntax::SourceMap;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Taxonomy: BugClass ↔ static diagnostic kinds ↔ RuntimeErrorKind.
+// ---------------------------------------------------------------------------
+
+/// Static diagnostic kinds (flag names, see `DiagKind::flag_name`) that count
+/// as detecting an injected bug of `class`.
+pub fn static_kinds(class: BugClass) -> &'static [&'static str] {
+    match class {
+        BugClass::NullDeref => &["nullderef", "nullpass"],
+        BugClass::Leak => &["mustfree", "onlytrans"],
+        BugClass::UseAfterFree => &["usereleased"],
+        BugClass::DoubleFree => &["usereleased"],
+        BugClass::UninitRead => &["usedef", "compdef"],
+    }
+}
+
+/// The oracle error kind an injected bug of `class` produces at its trigger.
+pub fn runtime_kind(class: BugClass) -> RuntimeErrorKind {
+    match class {
+        BugClass::NullDeref => RuntimeErrorKind::NullDeref,
+        BugClass::Leak => RuntimeErrorKind::Leak,
+        BugClass::UseAfterFree => RuntimeErrorKind::UseAfterFree,
+        BugClass::DoubleFree => RuntimeErrorKind::DoubleFree,
+        BugClass::UninitRead => RuntimeErrorKind::UninitRead,
+    }
+}
+
+/// The injectable bug class a runtime error kind corresponds to, if any.
+pub fn class_of_runtime(kind: RuntimeErrorKind) -> Option<BugClass> {
+    match kind {
+        RuntimeErrorKind::NullDeref => Some(BugClass::NullDeref),
+        RuntimeErrorKind::Leak => Some(BugClass::Leak),
+        RuntimeErrorKind::UseAfterFree => Some(BugClass::UseAfterFree),
+        RuntimeErrorKind::DoubleFree => Some(BugClass::DoubleFree),
+        RuntimeErrorKind::UninitRead => Some(BugClass::UninitRead),
+        _ => None,
+    }
+}
+
+/// Static diagnostic kinds that count as detecting a runtime error of `kind`.
+///
+/// An empty slice means the kind lies outside the checker's scope; every
+/// such kind must have an entry in [`EXPECTED_FN_TAXONOMY`] (asserted by a
+/// unit test), so an oracle error of that kind scores as an *expected* false
+/// negative rather than a soundness failure.
+pub fn static_kinds_for_runtime(kind: RuntimeErrorKind) -> &'static [&'static str] {
+    match kind {
+        RuntimeErrorKind::NullDeref => static_kinds(BugClass::NullDeref),
+        RuntimeErrorKind::Leak => static_kinds(BugClass::Leak),
+        RuntimeErrorKind::UseAfterFree => static_kinds(BugClass::UseAfterFree),
+        RuntimeErrorKind::DoubleFree => static_kinds(BugClass::DoubleFree),
+        RuntimeErrorKind::UninitRead => static_kinds(BugClass::UninitRead),
+        // Freeing an offset or non-heap pointer surfaces as an `only`
+        // transfer anomaly ("odd uses of free", paper §7).
+        RuntimeErrorKind::FreeOffset | RuntimeErrorKind::FreeNonHeap => &["onlytrans"],
+        RuntimeErrorKind::OutOfBounds
+        | RuntimeErrorKind::AssertFailure
+        | RuntimeErrorKind::StepLimit
+        | RuntimeErrorKind::Unsupported => &[],
+    }
+}
+
+/// One documented expected-false-negative category.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpectedFn {
+    /// The oracle kind the checker is not expected to flag.
+    pub kind: RuntimeErrorKind,
+    /// Short category label for tables.
+    pub category: &'static str,
+    /// Paper section justifying the omission.
+    pub paper: &'static str,
+    /// Why the checker stays silent.
+    pub why: &'static str,
+}
+
+/// Every runtime error kind the checker deliberately does not detect, with
+/// the paper section defending the omission. Kinds listed here (and only
+/// these) have an empty [`static_kinds_for_runtime`] mapping.
+pub const EXPECTED_FN_TAXONOMY: &[ExpectedFn] = &[
+    ExpectedFn {
+        kind: RuntimeErrorKind::OutOfBounds,
+        category: "bounds",
+        paper: "§9",
+        why: "array and pointer bounds are left to run-time tools; the checks \
+              target allocation-state anomalies, not index arithmetic",
+    },
+    ExpectedFn {
+        kind: RuntimeErrorKind::AssertFailure,
+        category: "assertions",
+        paper: "§6",
+        why: "assertion truth is a dynamic property; the checker trusts \
+              annotations and likely-case assumptions instead of proving them",
+    },
+    ExpectedFn {
+        kind: RuntimeErrorKind::StepLimit,
+        category: "termination",
+        paper: "§2",
+        why: "loops are modelled as running zero or one time, so divergence \
+              is invisible by construction",
+    },
+    ExpectedFn {
+        kind: RuntimeErrorKind::Unsupported,
+        category: "interpreter artifact",
+        paper: "-",
+        why: "not a memory error: the oracle could not model the operation",
+    },
+];
+
+/// The expected-FN entry for `kind`, if the kind is out of checker scope.
+pub fn expected_fn(kind: RuntimeErrorKind) -> Option<&'static ExpectedFn> {
+    EXPECTED_FN_TAXONOMY.iter().find(|e| e.kind == kind)
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: parse once, run the interpreter many times with line-resolved errors.
+// ---------------------------------------------------------------------------
+
+/// One oracle-detected error with its span resolved to a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleError {
+    /// Classification.
+    pub kind: RuntimeErrorKind,
+    /// 1-based source line of the offending operation (0 if synthetic).
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+/// A parsed program plus its source map, reusable across input values.
+pub struct Oracle {
+    program: Program,
+    sm: SourceMap,
+}
+
+impl Oracle {
+    /// Parses `text`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error rendered as a string.
+    pub fn new(name: &str, text: &str) -> Result<Oracle, String> {
+        let (tu, sm, _) =
+            lclint_syntax::parse_translation_unit(name, text).map_err(|e| e.to_string())?;
+        Ok(Oracle { program: Program::from_unit(&tu), sm })
+    }
+
+    /// Runs `run(input)` and returns the ground-truth error list.
+    ///
+    /// A fatal runtime error aborts the run before cleanup code executes, so
+    /// the exit-time leak report after a fatal error describes the abort, not
+    /// the program: those leak entries are filtered out of the ground truth.
+    pub fn run(&self, input: i64, config: InterpConfig) -> Vec<OracleError> {
+        let result = run_program(&self.program, "run", &[input], config);
+        let fatal = result.errors.iter().any(|e| e.kind != RuntimeErrorKind::Leak);
+        result
+            .errors
+            .iter()
+            .filter(|e| !(fatal && e.kind == RuntimeErrorKind::Leak))
+            .map(|e| OracleError {
+                kind: e.kind,
+                line: self.sm.loc(e.span).line,
+                message: e.message.clone(),
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scoring.
+// ---------------------------------------------------------------------------
+
+/// TP/FP/FN counts for one bug class (or the clean corpus leg).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Injected mutants scored.
+    pub cases: usize,
+    /// Distinct oracle errors observed across the input sweeps.
+    pub oracle_errors: usize,
+    /// Static diagnostics matched to an oracle error (true positives).
+    pub tp: usize,
+    /// Static diagnostics matching no oracle error (false positives).
+    pub fp: usize,
+    /// Oracle errors with no matching diagnostic, outside the expected-FN
+    /// taxonomy (soundness failures).
+    pub fn_: usize,
+    /// Oracle errors in a documented [`EXPECTED_FN_TAXONOMY`] category.
+    pub expected_fn: usize,
+    /// Oracle errors covered by at least one matching diagnostic.
+    pub covered: usize,
+}
+
+impl ClassStats {
+    /// Recall over oracle errors the checker is expected to find:
+    /// `covered / (covered + fn_)`, as a percentage (100 when vacuous).
+    pub fn recall_pct(&self) -> f64 {
+        let denom = self.covered + self.fn_;
+        if denom == 0 {
+            100.0
+        } else {
+            self.covered as f64 * 100.0 / denom as f64
+        }
+    }
+
+    fn absorb(&mut self, other: &ClassStats) {
+        self.cases += other.cases;
+        self.oracle_errors += other.oracle_errors;
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.expected_fn += other.expected_fn;
+        self.covered += other.covered;
+    }
+}
+
+/// A checker/oracle disagreement, with its shrunk reproducer.
+#[derive(Debug, Clone)]
+pub struct Disagreement {
+    /// Generator seed of the offending case.
+    pub case_seed: u64,
+    /// Injected class, `None` for the clean (unmutated) leg.
+    pub class: Option<BugClass>,
+    /// Trigger input of the injection (0 for the clean leg).
+    pub trigger: i64,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+    /// Minimal generator configuration that still reproduces the mismatch.
+    pub shrunk_config: GenConfig,
+    /// Line count of the shrunk program.
+    pub shrunk_loc: usize,
+    /// The shrunk source, ready to be persisted as a fixture.
+    pub fixture: String,
+}
+
+/// Differential-run configuration.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Number of generated base programs.
+    pub cases: usize,
+    /// Master seed; per-case generator seeds and triggers derive from it.
+    pub seed: u64,
+    /// Modules per generated program.
+    pub modules: usize,
+    /// Filler functions per module.
+    pub filler_per_module: usize,
+    /// Triggers are drawn from `1..input_space`.
+    pub input_space: i64,
+    /// Checker worker threads (0 = all cores). Results are identical for
+    /// any value; the determinism e2e test exercises exactly this.
+    pub jobs: usize,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            cases: 4,
+            seed: 1,
+            modules: 2,
+            filler_per_module: 2,
+            input_space: 100,
+            jobs: 0,
+        }
+    }
+}
+
+/// The outcome of a differential run.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Base programs generated.
+    pub cases: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Mutants scored (cases × bug classes).
+    pub mutants: usize,
+    /// Clean (unmutated) programs checked.
+    pub clean_programs: usize,
+    /// Diagnostics on clean fully-annotated programs (must be 0: every one
+    /// is a false positive by construction).
+    pub clean_fp: usize,
+    /// Oracle errors on clean programs (must be 0: generator bug otherwise).
+    pub clean_oracle_errors: usize,
+    /// Per-class scores, keyed by `BugClass::label()` (deterministic order).
+    pub per_class: BTreeMap<&'static str, ClassStats>,
+    /// Checker/oracle mismatches, each with a shrunk reproducer.
+    pub disagreements: Vec<Disagreement>,
+}
+
+impl DiffReport {
+    /// True when every mutant scored as expected and the clean leg was clean.
+    pub fn is_consistent(&self) -> bool {
+        self.disagreements.is_empty() && self.clean_fp == 0 && self.clean_oracle_errors == 0
+    }
+}
+
+/// SplitMix64 step — local so case derivation is identical regardless of
+/// which `rand` implementation is linked.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Scores one mutant: static diagnostics vs oracle ground truth over the
+/// bounded input sweep `{trigger - 1, trigger, trigger + 1}`.
+///
+/// Matching is by kind and line: a diagnostic `d` covers an oracle error `g`
+/// when `d.kind ∈ static_kinds_for_runtime(g.kind)` and `d` points either at
+/// `g`'s line or anywhere inside the injected snippet (exit-time leaks are
+/// anchored at allocation sites inside callees, while the checker reports
+/// the lost reference at the injection site).
+pub fn score_mutant(
+    diagnostics: &[RenderedDiagnostic],
+    oracle_errors: &[OracleError],
+    mutant: &Mutated,
+) -> (ClassStats, Vec<String>) {
+    let mut stats = ClassStats { cases: 1, ..ClassStats::default() };
+    let mut details = Vec::new();
+    let mut diag_matched = vec![false; diagnostics.len()];
+
+    // Dedup oracle errors across the sweep by (kind, line).
+    let mut seen = Vec::new();
+    let ground_truth: Vec<&OracleError> = oracle_errors
+        .iter()
+        .filter(|g| {
+            let key = (g.kind, g.line);
+            if seen.contains(&key) {
+                false
+            } else {
+                seen.push(key);
+                true
+            }
+        })
+        .collect();
+    stats.oracle_errors = ground_truth.len();
+
+    for g in &ground_truth {
+        let kinds = static_kinds_for_runtime(g.kind);
+        if kinds.is_empty() {
+            stats.expected_fn += 1;
+            continue;
+        }
+        let mut covered = false;
+        for (i, d) in diagnostics.iter().enumerate() {
+            if kinds.contains(&d.kind.as_str()) && (d.line == g.line || mutant.covers_line(d.line))
+            {
+                diag_matched[i] = true;
+                covered = true;
+            }
+        }
+        if covered {
+            stats.covered += 1;
+        } else {
+            stats.fn_ += 1;
+            details.push(format!(
+                "false negative: oracle {} at line {} has no matching static diagnostic \
+                 (wanted one of {:?})",
+                g.kind.label(),
+                g.line,
+                kinds
+            ));
+        }
+    }
+
+    for (i, d) in diagnostics.iter().enumerate() {
+        if diag_matched[i] {
+            stats.tp += 1;
+        } else {
+            stats.fp += 1;
+            details.push(format!(
+                "false positive: static {} at line {} ({}) matches no oracle error",
+                d.kind, d.line, d.message
+            ));
+        }
+    }
+    (stats, details)
+}
+
+/// Runs the full differential harness.
+pub fn run_differential(cfg: &DiffConfig) -> DiffReport {
+    let mut flags = Flags::default();
+    flags.analysis.jobs = cfg.jobs;
+    let linter = Linter::new(flags);
+
+    let mut report = DiffReport { cases: cfg.cases, seed: cfg.seed, ..DiffReport::default() };
+    for class in BugClass::all() {
+        report.per_class.insert(class.label(), ClassStats::default());
+    }
+
+    let mut state = cfg.seed ^ 0xD1FF_EE00;
+    for _ in 0..cfg.cases {
+        let case_seed = splitmix(&mut state);
+        let gen_cfg = GenConfig {
+            modules: cfg.modules,
+            filler_per_module: cfg.filler_per_module,
+            annotation_level: 1.0,
+            seed: case_seed,
+        };
+        let base = generate(&gen_cfg);
+
+        // Clean leg: fully annotated, unmutated program must be clean both
+        // statically and dynamically.
+        report.clean_programs += 1;
+        let clean_check = linter.check_source("gen.c", &base.source).expect("generated parses");
+        let clean_diags = clean_check.diagnostics.len();
+        report.clean_fp += clean_diags;
+        let oracle = Oracle::new("gen.c", &base.source).expect("generated parses");
+        let clean_inputs = [0, (case_seed % 17) as i64 + 1];
+        let mut clean_oracle = 0usize;
+        let mut clean_detail = Vec::new();
+        for input in clean_inputs {
+            for e in oracle.run(input, InterpConfig::default()) {
+                clean_oracle += 1;
+                clean_detail.push(format!(
+                    "oracle {} at line {} on input {input}",
+                    e.kind.label(),
+                    e.line
+                ));
+            }
+        }
+        report.clean_oracle_errors += clean_oracle;
+        if clean_diags > 0 || clean_oracle > 0 {
+            let mut detail: Vec<String> = clean_check
+                .diagnostics
+                .iter()
+                .map(|d| format!("static {} at line {} ({})", d.kind, d.line, d.message))
+                .collect();
+            detail.extend(clean_detail);
+            report.disagreements.push(shrink_clean_disagreement(
+                &linter,
+                &gen_cfg,
+                detail.join("; "),
+            ));
+        }
+
+        // Mutant legs: one injection per class, swept at trigger ± 1.
+        for class in BugClass::all() {
+            let trigger = 1 + (splitmix(&mut state) % (cfg.input_space.max(2) as u64 - 1)) as i64;
+            let mutant = inject(&base, *class, trigger);
+            report.mutants += 1;
+            let check = linter.check_source("mut.c", &mutant.source).expect("mutant parses");
+            let oracle = Oracle::new("mut.c", &mutant.source).expect("mutant parses");
+            let mut errors = Vec::new();
+            for input in [trigger - 1, trigger, trigger + 1] {
+                errors.extend(oracle.run(input, InterpConfig::default()));
+            }
+            let (stats, details) = score_mutant(&check.diagnostics, &errors, &mutant);
+            report.per_class.get_mut(class.label()).expect("class registered").absorb(&stats);
+            if !details.is_empty() {
+                report.disagreements.push(shrink_mutant_disagreement(
+                    &linter,
+                    &gen_cfg,
+                    *class,
+                    trigger,
+                    details.join("; "),
+                ));
+            }
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking.
+// ---------------------------------------------------------------------------
+
+/// Greedily minimizes a generator configuration while `still_fails` holds.
+///
+/// Candidates strictly reduce one knob at a time (modules → 1, fillers → 0,
+/// then smaller seeds), so the loop terminates; the first reproducing
+/// candidate is adopted and the search restarts from it.
+pub fn shrink_config(start: &GenConfig, still_fails: impl Fn(&GenConfig) -> bool) -> GenConfig {
+    let mut best = start.clone();
+    loop {
+        let mut candidates: Vec<GenConfig> = Vec::new();
+        if best.modules > 1 {
+            candidates.push(GenConfig { modules: 1, ..best.clone() });
+            candidates.push(GenConfig { modules: best.modules / 2, ..best.clone() });
+        }
+        if best.filler_per_module > 0 {
+            candidates.push(GenConfig { filler_per_module: 0, ..best.clone() });
+            candidates
+                .push(GenConfig { filler_per_module: best.filler_per_module / 2, ..best.clone() });
+        }
+        for seed in [0u64, 1, 2] {
+            if seed < best.seed {
+                candidates.push(GenConfig { seed, ..best.clone() });
+            }
+        }
+        match candidates.into_iter().find(|c| *c != best && still_fails(c)) {
+            Some(c) => best = c,
+            None => return best,
+        }
+    }
+}
+
+fn shrink_clean_disagreement(linter: &Linter, start: &GenConfig, detail: String) -> Disagreement {
+    let fails = |c: &GenConfig| {
+        let base = generate(c);
+        let diags = match linter.check_source("gen.c", &base.source) {
+            Ok(r) => r.diagnostics.len(),
+            Err(_) => return true,
+        };
+        let oracle_errors = match Oracle::new("gen.c", &base.source) {
+            Ok(o) => o.run(0, InterpConfig::default()).len(),
+            Err(_) => return true,
+        };
+        diags > 0 || oracle_errors > 0
+    };
+    let shrunk = shrink_config(start, fails);
+    let base = generate(&shrunk);
+    let fixture = render_fixture(
+        &base.source,
+        &["expect-static-clean".to_owned(), "run-clean: 0".to_owned()],
+        &format!("clean generated program disagreed: {detail}"),
+    );
+    Disagreement {
+        case_seed: start.seed,
+        class: None,
+        trigger: 0,
+        detail,
+        shrunk_config: shrunk,
+        shrunk_loc: base.loc,
+        fixture,
+    }
+}
+
+fn shrink_mutant_disagreement(
+    linter: &Linter,
+    start: &GenConfig,
+    class: BugClass,
+    trigger: i64,
+    detail: String,
+) -> Disagreement {
+    let fails = |c: &GenConfig| {
+        let base = generate(c);
+        let mutant = inject(&base, class, trigger);
+        let Ok(check) = linter.check_source("mut.c", &mutant.source) else { return true };
+        let Ok(oracle) = Oracle::new("mut.c", &mutant.source) else { return true };
+        let mut errors = Vec::new();
+        for input in [trigger - 1, trigger, trigger + 1] {
+            errors.extend(oracle.run(input, InterpConfig::default()));
+        }
+        let (_, details) = score_mutant(&check.diagnostics, &errors, &mutant);
+        !details.is_empty()
+    };
+    let shrunk = shrink_config(start, fails);
+    let base = generate(&shrunk);
+    let mutant = inject(&base, class, trigger);
+    let fixture = render_fixture(
+        &mutant.source,
+        &[
+            format!("run: {}", trigger),
+            format!("expect-runtime: {}", runtime_kind(class).label()),
+            format!("expect-static: {}", static_kinds(class)[0]),
+        ],
+        &format!("{} mutant (trigger {trigger}) disagreed: {detail}", class.label()),
+    );
+    Disagreement {
+        case_seed: start.seed,
+        class: Some(class),
+        trigger,
+        detail,
+        shrunk_config: shrunk,
+        shrunk_loc: base.loc,
+        fixture,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures: persisted minimal reproducers with replayable expectations.
+// ---------------------------------------------------------------------------
+
+/// Renders a fixture: a `/*DIFF ... DIFF*/` directive header followed by the
+/// program. The header is an ordinary C comment, so the fixture is a valid
+/// input for both the checker and the oracle as-is.
+pub fn render_fixture(source: &str, directives: &[String], reason: &str) -> String {
+    let mut s = String::from("/*DIFF\n");
+    let _ = writeln!(s, " reason: {reason}");
+    for d in directives {
+        let _ = writeln!(s, " {d}");
+    }
+    s.push_str("DIFF*/\n");
+    s.push_str(source);
+    s
+}
+
+/// Parsed fixture expectations.
+#[derive(Debug, Clone, Default)]
+pub struct FixtureSpec {
+    /// Free-form description of why the fixture exists.
+    pub reason: String,
+    /// Static diagnostic kinds that must be reported.
+    pub expect_static: Vec<String>,
+    /// Static diagnostic kinds that must NOT be reported (pins a known FN).
+    pub forbid_static: Vec<String>,
+    /// Require zero static diagnostics.
+    pub expect_static_clean: bool,
+    /// Inputs to run; their pooled errors feed `expect_runtime`.
+    pub run: Vec<i64>,
+    /// Inputs whose runs must be error-free.
+    pub run_clean: Vec<i64>,
+    /// Runtime kinds that must be detected on some `run` input.
+    pub expect_runtime: Vec<RuntimeErrorKind>,
+    /// Step budget override (for step-limit fixtures).
+    pub max_steps: Option<u64>,
+}
+
+/// Parses the `/*DIFF ... DIFF*/` header of a fixture.
+///
+/// # Errors
+///
+/// Returns a description of the malformed directive.
+pub fn parse_fixture(text: &str) -> Result<FixtureSpec, String> {
+    let start = text.find("/*DIFF").ok_or("missing /*DIFF header")?;
+    let end = text[start..].find("DIFF*/").ok_or("unterminated /*DIFF header")? + start;
+    let mut spec = FixtureSpec::default();
+    // Directive lines carry one leading space; deeper indentation continues
+    // the previous directive's value (used by multi-line `reason` prose).
+    let mut merged: Vec<String> = Vec::new();
+    for raw in text[start + 6..end].lines() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        if raw.starts_with("  ") && !merged.is_empty() {
+            let last = merged.last_mut().expect("non-empty");
+            last.push(' ');
+            last.push_str(raw.trim());
+        } else {
+            merged.push(raw.trim().to_owned());
+        }
+    }
+    for line in &merged {
+        let line = line.as_str();
+        if line == "expect-static-clean" {
+            spec.expect_static_clean = true;
+            continue;
+        }
+        let (key, value) = line.split_once(':').ok_or_else(|| {
+            format!("directive `{line}` is not `key: value` and not a bare keyword")
+        })?;
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "reason" => spec.reason = value.to_owned(),
+            "expect-static" => spec.expect_static.push(value.to_owned()),
+            "forbid-static" => spec.forbid_static.push(value.to_owned()),
+            "expect-static-clean" => spec.expect_static_clean = true,
+            "run" => {
+                for tok in value.split_whitespace() {
+                    spec.run.push(tok.parse().map_err(|_| format!("bad run input `{tok}`"))?);
+                }
+            }
+            "run-clean" => {
+                for tok in value.split_whitespace() {
+                    spec.run_clean
+                        .push(tok.parse().map_err(|_| format!("bad run-clean input `{tok}`"))?);
+                }
+            }
+            "expect-runtime" => spec.expect_runtime.push(
+                RuntimeErrorKind::from_label(value)
+                    .ok_or_else(|| format!("unknown runtime kind `{value}`"))?,
+            ),
+            "max-steps" => {
+                spec.max_steps =
+                    Some(value.parse().map_err(|_| format!("bad max-steps `{value}`"))?);
+            }
+            other => return Err(format!("unknown directive `{other}`")),
+        }
+    }
+    Ok(spec)
+}
+
+/// Replays a fixture: checks it statically, runs the oracle on every listed
+/// input, and verifies every expectation in its header.
+///
+/// # Errors
+///
+/// Returns a description of the first violated expectation.
+pub fn replay_fixture(name: &str, text: &str) -> Result<FixtureSpec, String> {
+    let spec = parse_fixture(text)?;
+    let linter = Linter::new(Flags::default());
+    let check = linter.check_source(name, text).map_err(|e| format!("{name}: parse error: {e}"))?;
+    let static_kinds_seen: Vec<&str> = check.diagnostics.iter().map(|d| d.kind.as_str()).collect();
+
+    if spec.expect_static_clean && !check.diagnostics.is_empty() {
+        return Err(format!(
+            "{name}: expected a clean static report, got {:?}",
+            check
+                .diagnostics
+                .iter()
+                .map(|d| format!("{} at line {}", d.kind, d.line))
+                .collect::<Vec<_>>()
+        ));
+    }
+    for want in &spec.expect_static {
+        if !static_kinds_seen.contains(&want.as_str()) {
+            return Err(format!(
+                "{name}: expected a static `{want}` diagnostic, saw {static_kinds_seen:?}"
+            ));
+        }
+    }
+    for forbidden in &spec.forbid_static {
+        if static_kinds_seen.contains(&forbidden.as_str()) {
+            return Err(format!(
+                "{name}: static `{forbidden}` was reported — a pinned false negative is now \
+                 detected; update the taxonomy and this fixture"
+            ));
+        }
+    }
+
+    let config = InterpConfig {
+        max_steps: spec.max_steps.unwrap_or(InterpConfig::default().max_steps),
+        ..InterpConfig::default()
+    };
+    let oracle = Oracle::new(name, text)?;
+    let mut pooled: Vec<RuntimeErrorKind> = Vec::new();
+    for input in &spec.run {
+        pooled.extend(oracle.run(*input, config.clone()).iter().map(|e| e.kind));
+    }
+    for want in &spec.expect_runtime {
+        if !pooled.contains(want) {
+            return Err(format!(
+                "{name}: oracle did not detect `{}` on inputs {:?} (saw {:?})",
+                want.label(),
+                spec.run,
+                pooled.iter().map(|k| k.label()).collect::<Vec<_>>()
+            ));
+        }
+    }
+    for input in &spec.run_clean {
+        let errors = oracle.run(*input, config.clone());
+        if !errors.is_empty() {
+            return Err(format!(
+                "{name}: run on input {input} must be clean, saw {:?}",
+                errors.iter().map(|e| e.kind.label()).collect::<Vec<_>>()
+            ));
+        }
+    }
+    Ok(spec)
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------------
+
+/// Renders the report as an aligned text table.
+pub fn render_diff_text(report: &DiffReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "differential: {} base programs (seed {}), {} mutants",
+        report.cases, report.seed, report.mutants
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>6} {:>8} {:>5} {:>5} {:>5} {:>8} {:>8}",
+        "class", "cases", "oracle", "TP", "FP", "FN", "exp-FN", "recall"
+    );
+    for (label, st) in &report.per_class {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>6} {:>8} {:>5} {:>5} {:>5} {:>8} {:>7.1}%",
+            label,
+            st.cases,
+            st.oracle_errors,
+            st.tp,
+            st.fp,
+            st.fn_,
+            st.expected_fn,
+            st.recall_pct()
+        );
+    }
+    let _ = writeln!(
+        s,
+        "clean corpus: {} programs, {} static false positives, {} oracle errors",
+        report.clean_programs, report.clean_fp, report.clean_oracle_errors
+    );
+    if report.disagreements.is_empty() {
+        let _ = writeln!(s, "no disagreements");
+    } else {
+        for d in &report.disagreements {
+            let _ = writeln!(
+                s,
+                "DISAGREEMENT (seed {}, class {}, trigger {}): {}\n  shrunk to modules={} \
+                 fillers={} seed={} ({} LOC)",
+                d.case_seed,
+                d.class.map_or("none", |c| c.label()),
+                d.trigger,
+                d.detail,
+                d.shrunk_config.modules,
+                d.shrunk_config.filler_per_module,
+                d.shrunk_config.seed,
+                d.shrunk_loc
+            );
+        }
+    }
+    s
+}
+
+/// Renders the report as JSON. Hand-rendered so the shape is stable and
+/// deterministic (no timings, keys in fixed order) regardless of serializer.
+pub fn render_diff_json(report: &DiffReport) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    }
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"cases\": {},", report.cases);
+    let _ = writeln!(s, "  \"seed\": {},", report.seed);
+    let _ = writeln!(s, "  \"mutants\": {},", report.mutants);
+    let _ = writeln!(s, "  \"clean_programs\": {},", report.clean_programs);
+    let _ = writeln!(s, "  \"clean_fp\": {},", report.clean_fp);
+    let _ = writeln!(s, "  \"clean_oracle_errors\": {},", report.clean_oracle_errors);
+    s.push_str("  \"per_class\": {");
+    for (i, (label, st)) in report.per_class.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ =
+            write!(
+            s,
+            "\n    \"{label}\": {{\"cases\": {}, \"oracle_errors\": {}, \"tp\": {}, \"fp\": {}, \
+             \"fn\": {}, \"expected_fn\": {}, \"covered\": {}, \"recall_pct\": {:.1}}}",
+            st.cases, st.oracle_errors, st.tp, st.fp, st.fn_, st.expected_fn, st.covered,
+            st.recall_pct()
+        );
+    }
+    s.push_str("\n  },\n");
+    s.push_str("  \"disagreements\": [");
+    for (i, d) in report.disagreements.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"case_seed\": {}, \"class\": {}, \"trigger\": {}, \"detail\": \"{}\", \
+             \"shrunk_modules\": {}, \"shrunk_fillers\": {}, \"shrunk_seed\": {}, \
+             \"shrunk_loc\": {}}}",
+            d.case_seed,
+            d.class.map_or("null".to_owned(), |c| format!("\"{}\"", c.label())),
+            d.trigger,
+            esc(&d.detail),
+            d.shrunk_config.modules,
+            d.shrunk_config.filler_per_module,
+            d.shrunk_config.seed,
+            d.shrunk_loc
+        );
+    }
+    if !report.disagreements.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    let _ = writeln!(s, "  \"consistent\": {}", report.is_consistent());
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every runtime kind is either mapped to static kinds or documented as
+    /// an expected FN — never both, never neither.
+    #[test]
+    fn taxonomy_is_total_and_disjoint() {
+        for kind in RuntimeErrorKind::all() {
+            let mapped = !static_kinds_for_runtime(*kind).is_empty();
+            let documented = expected_fn(*kind).is_some();
+            assert!(
+                mapped ^ documented,
+                "{kind:?}: mapped={mapped}, documented={documented} — each kind needs exactly one"
+            );
+        }
+    }
+
+    #[test]
+    fn class_maps_round_trip() {
+        for class in BugClass::all() {
+            assert_eq!(class_of_runtime(runtime_kind(*class)), Some(*class));
+            assert!(!static_kinds(*class).is_empty());
+        }
+    }
+
+    #[test]
+    fn runtime_labels_round_trip() {
+        for kind in RuntimeErrorKind::all() {
+            assert_eq!(RuntimeErrorKind::from_label(kind.label()), Some(*kind));
+        }
+        assert_eq!(RuntimeErrorKind::from_label("no-such-kind"), None);
+    }
+
+    /// A small differential run over the fully-annotated corpus must come
+    /// out consistent: all injected bugs detected, no false positives.
+    #[test]
+    fn small_run_is_consistent() {
+        let report = run_differential(&DiffConfig {
+            cases: 2,
+            seed: 7,
+            modules: 1,
+            filler_per_module: 1,
+            ..DiffConfig::default()
+        });
+        assert_eq!(report.mutants, 2 * BugClass::all().len());
+        assert!(
+            report.is_consistent(),
+            "disagreements: {:#?}",
+            report.disagreements.iter().map(|d| &d.detail).collect::<Vec<_>>()
+        );
+        for (label, st) in &report.per_class {
+            assert_eq!(st.fn_, 0, "{label}: unexpected FN");
+            assert_eq!(st.fp, 0, "{label}: unexpected FP");
+            assert!(st.covered > 0, "{label}: nothing covered");
+            assert_eq!(st.recall_pct(), 100.0);
+        }
+    }
+
+    /// The oracle filters exit-time leak reports that follow a fatal error:
+    /// the abort (not the program) prevented cleanup from running.
+    #[test]
+    fn post_fatal_leaks_are_not_ground_truth() {
+        let src = "int run(int input)\n{\n  char *p = (char *) malloc(2);\n  p[input + 4] = \
+                   (char) 1;\n  free(p);\n  return 0;\n}\n";
+        let oracle = Oracle::new("oob.c", src).unwrap();
+        let errors = oracle.run(0, InterpConfig::default());
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert_eq!(errors[0].kind, RuntimeErrorKind::OutOfBounds);
+    }
+
+    #[test]
+    fn shrinker_minimizes_while_preserving_failure() {
+        let start = GenConfig { modules: 8, filler_per_module: 4, annotation_level: 1.0, seed: 9 };
+        // "Fails" whenever there are at least 2 modules, independent of the
+        // other knobs: the shrinker must reach modules=2 and floor the rest.
+        let shrunk = shrink_config(&start, |c| c.modules >= 2);
+        assert_eq!(shrunk.modules, 2);
+        assert_eq!(shrunk.filler_per_module, 0);
+        assert_eq!(shrunk.seed, 0);
+    }
+
+    #[test]
+    fn fixture_round_trip() {
+        let src = "int run(int input)\n{\n  int x;\n  if (input == 3)\n  {\n    return x;\n  }\n  \
+                   return 0;\n}\n";
+        let fixture = render_fixture(
+            src,
+            &[
+                "run: 3".to_owned(),
+                "expect-runtime: uninit-read".to_owned(),
+                "expect-static: usedef".to_owned(),
+                "run-clean: 2".to_owned(),
+            ],
+            "uninit read behind an input guard",
+        );
+        let spec = replay_fixture("fix.c", &fixture).expect("fixture replays");
+        assert_eq!(spec.run, vec![3]);
+        assert_eq!(spec.expect_runtime, vec![RuntimeErrorKind::UninitRead]);
+        assert_eq!(spec.reason, "uninit read behind an input guard");
+    }
+
+    #[test]
+    fn fixture_violations_are_reported() {
+        let src = "int run(int input)\n{\n  return input;\n}\n";
+        let bad =
+            render_fixture(src, &["run: 1".to_owned(), "expect-runtime: leak".to_owned()], "x");
+        let err = replay_fixture("fix.c", &bad).unwrap_err();
+        assert!(err.contains("did not detect"), "{err}");
+        let unknown = render_fixture(src, &["expect-runtime: bogus".to_owned()], "x");
+        assert!(parse_fixture(&unknown).is_err());
+    }
+
+    #[test]
+    fn json_render_is_wellformed_enough() {
+        let report = run_differential(&DiffConfig {
+            cases: 1,
+            modules: 1,
+            filler_per_module: 0,
+            ..DiffConfig::default()
+        });
+        let json = render_diff_json(&report);
+        assert!(json.contains("\"per_class\""));
+        assert!(json.contains("\"null-deref\""));
+        assert!(json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -7,6 +7,7 @@
 
 pub mod conformance;
 pub mod database;
+pub mod differential;
 pub mod figures;
 pub mod generator;
 pub mod hashtable;

@@ -58,6 +58,21 @@ pub struct Mutated {
     pub class: BugClass,
     /// The input value that triggers the bug at run time.
     pub trigger: i64,
+    /// First line of the injected snippet (1-based, inclusive).
+    pub snippet_first_line: u32,
+    /// Last line of the injected snippet (1-based, inclusive).
+    pub snippet_last_line: u32,
+}
+
+impl Mutated {
+    /// True when `line` falls inside the injected snippet. The differential
+    /// harness uses this to match static diagnostics to the injection site:
+    /// the oracle anchors some errors (exit-time leaks in particular) at
+    /// allocation sites inside callee bodies, so kind+line matching accepts
+    /// any diagnostic of a compatible kind that points into the snippet.
+    pub fn covers_line(&self, line: u32) -> bool {
+        (self.snippet_first_line..=self.snippet_last_line).contains(&line)
+    }
 }
 
 /// Injects `class` into `base` (which must contain the generator's
@@ -84,8 +99,16 @@ pub fn inject(base: &Generated, class: BugClass, trigger: i64) -> Mutated {
             "  if (input == {trigger})\n  {{\n    int never_set;\n    total = total + never_set;\n  }}\n"
         ),
     };
-    assert!(base.source.contains("/*MUTATION-POINT*/"), "generator marker missing");
-    Mutated { source: base.source.replace("/*MUTATION-POINT*/", &snippet), class, trigger }
+    let marker = base.source.find("/*MUTATION-POINT*/").expect("generator marker missing");
+    let first_line = base.source[..marker].bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+    let last_line = first_line + snippet.trim_end_matches('\n').lines().count() as u32 - 1;
+    Mutated {
+        source: base.source.replacen("/*MUTATION-POINT*/", snippet.trim_end_matches('\n'), 1),
+        class,
+        trigger,
+        snippet_first_line: first_line,
+        snippet_last_line: last_line,
+    }
 }
 
 /// Generates a batch of mutants: one per class, with random triggers drawn

@@ -104,6 +104,48 @@ pub enum RuntimeErrorKind {
     Unsupported,
 }
 
+impl RuntimeErrorKind {
+    /// All kinds, in declaration order.
+    pub fn all() -> &'static [RuntimeErrorKind] {
+        &[
+            RuntimeErrorKind::NullDeref,
+            RuntimeErrorKind::UseAfterFree,
+            RuntimeErrorKind::DoubleFree,
+            RuntimeErrorKind::UninitRead,
+            RuntimeErrorKind::OutOfBounds,
+            RuntimeErrorKind::FreeOffset,
+            RuntimeErrorKind::FreeNonHeap,
+            RuntimeErrorKind::Leak,
+            RuntimeErrorKind::AssertFailure,
+            RuntimeErrorKind::StepLimit,
+            RuntimeErrorKind::Unsupported,
+        ]
+    }
+
+    /// Stable machine-readable label (used by the differential harness and
+    /// its checked-in fixtures).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RuntimeErrorKind::NullDeref => "null-deref",
+            RuntimeErrorKind::UseAfterFree => "use-after-free",
+            RuntimeErrorKind::DoubleFree => "double-free",
+            RuntimeErrorKind::UninitRead => "uninit-read",
+            RuntimeErrorKind::OutOfBounds => "out-of-bounds",
+            RuntimeErrorKind::FreeOffset => "free-offset",
+            RuntimeErrorKind::FreeNonHeap => "free-non-heap",
+            RuntimeErrorKind::Leak => "leak",
+            RuntimeErrorKind::AssertFailure => "assert-failure",
+            RuntimeErrorKind::StepLimit => "step-limit",
+            RuntimeErrorKind::Unsupported => "unsupported",
+        }
+    }
+
+    /// Inverse of [`RuntimeErrorKind::label`].
+    pub fn from_label(label: &str) -> Option<RuntimeErrorKind> {
+        RuntimeErrorKind::all().iter().copied().find(|k| k.label() == label)
+    }
+}
+
 impl fmt::Display for RuntimeErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

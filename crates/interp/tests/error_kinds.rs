@@ -1,0 +1,138 @@
+//! One minimal program per [`RuntimeErrorKind`] variant: each must be
+//! detected by the oracle (`RunResult::detected`) and make the run unclean.
+//! The differential harness (crates/corpus) relies on every kind being
+//! reachable, so a regression here would silently weaken the ground truth.
+
+use lclint_interp::{run_source, Config, RuntimeErrorKind};
+
+fn detect(kind: RuntimeErrorKind, source: &str, input: i64, config: Config) {
+    let result = run_source("kind.c", source, "run", &[input], config)
+        .unwrap_or_else(|e| panic!("{kind:?}: parse error: {e}"));
+    assert!(result.detected(kind), "{kind:?} not detected; errors: {:?}", result.errors);
+    assert!(!result.is_clean(), "{kind:?}: run reported clean");
+}
+
+#[test]
+fn null_deref() {
+    detect(
+        RuntimeErrorKind::NullDeref,
+        "int run(int input)\n{\n  int *p = NULL;\n  return *p;\n}\n",
+        0,
+        Config::default(),
+    );
+}
+
+#[test]
+fn use_after_free() {
+    detect(
+        RuntimeErrorKind::UseAfterFree,
+        "int run(int input)\n{\n  int *p = (int *) malloc(sizeof(int));\n  *p = 4;\n  \
+         free(p);\n  return *p;\n}\n",
+        0,
+        Config::default(),
+    );
+}
+
+#[test]
+fn double_free() {
+    detect(
+        RuntimeErrorKind::DoubleFree,
+        "int run(int input)\n{\n  char *p = (char *) malloc(4);\n  free(p);\n  free(p);\n  \
+         return 0;\n}\n",
+        0,
+        Config::default(),
+    );
+}
+
+#[test]
+fn uninit_read() {
+    detect(
+        RuntimeErrorKind::UninitRead,
+        "int run(int input)\n{\n  int x;\n  return x;\n}\n",
+        0,
+        Config::default(),
+    );
+}
+
+#[test]
+fn out_of_bounds() {
+    detect(
+        RuntimeErrorKind::OutOfBounds,
+        "int run(int input)\n{\n  char *p = (char *) malloc(2);\n  p[5] = (char) 1;\n  \
+         free(p);\n  return 0;\n}\n",
+        0,
+        Config::default(),
+    );
+}
+
+#[test]
+fn free_offset() {
+    detect(
+        RuntimeErrorKind::FreeOffset,
+        "int run(int input)\n{\n  char *p = (char *) malloc(4);\n  free(p + 1);\n  return 0;\n}\n",
+        0,
+        Config::default(),
+    );
+}
+
+#[test]
+fn free_non_heap() {
+    detect(
+        RuntimeErrorKind::FreeNonHeap,
+        "int run(int input)\n{\n  int x;\n  x = 3;\n  free(&x);\n  return x;\n}\n",
+        0,
+        Config::default(),
+    );
+}
+
+#[test]
+fn leak() {
+    detect(
+        RuntimeErrorKind::Leak,
+        "int run(int input)\n{\n  char *p = (char *) malloc(8);\n  *p = (char) 1;\n  \
+         return 0;\n}\n",
+        0,
+        Config::default(),
+    );
+}
+
+#[test]
+fn assert_failure() {
+    detect(
+        RuntimeErrorKind::AssertFailure,
+        "int run(int input)\n{\n  assert(input > 5);\n  return input;\n}\n",
+        1,
+        Config::default(),
+    );
+}
+
+#[test]
+fn step_limit() {
+    detect(
+        RuntimeErrorKind::StepLimit,
+        "int run(int input)\n{\n  while (input > 0)\n  {\n    input = input + 1;\n  }\n  \
+         return input;\n}\n",
+        1,
+        Config { max_steps: 5_000, ..Config::default() },
+    );
+}
+
+#[test]
+fn unsupported() {
+    detect(
+        RuntimeErrorKind::Unsupported,
+        "int mystery(int x);\n\nint run(int input)\n{\n  return mystery(input);\n}\n",
+        0,
+        Config::default(),
+    );
+}
+
+/// The label round-trip the fixture format depends on, exercised from the
+/// public API.
+#[test]
+fn labels_cover_every_kind() {
+    assert_eq!(RuntimeErrorKind::all().len(), 11);
+    for kind in RuntimeErrorKind::all() {
+        assert_eq!(RuntimeErrorKind::from_label(kind.label()), Some(*kind));
+    }
+}

@@ -1,0 +1,66 @@
+//! Replays every checked-in differential fixture under
+//! `tests/differential_regressions/`.
+//!
+//! Each fixture is a C program with a `/*DIFF ... DIFF*/` directive header
+//! (see `lclint_corpus::differential::parse_fixture`) pinning a checker/
+//! oracle relationship: the documented expected-false-negative categories of
+//! the E14 taxonomy, the detected `onlytrans` mappings, and the clean-corpus
+//! agreement. A failure here means a soundness property changed — update the
+//! taxonomy in `crates/corpus/src/differential.rs` and the fixture together.
+
+use lclint_corpus::differential::{expected_fn, replay_fixture, FixtureSpec};
+use lclint_interp::RuntimeErrorKind;
+use std::fs;
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/differential_regressions")
+}
+
+fn load_all() -> Vec<(String, FixtureSpec)> {
+    let mut out = Vec::new();
+    let mut paths: Vec<PathBuf> = fs::read_dir(fixture_dir())
+        .expect("fixture directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "c"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().expect("file name").to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).expect("readable fixture");
+        match replay_fixture(&name, &text) {
+            Ok(spec) => out.push((name, spec)),
+            Err(e) => panic!("fixture replay failed: {e}"),
+        }
+    }
+    out
+}
+
+#[test]
+fn every_fixture_replays() {
+    let fixtures = load_all();
+    assert!(fixtures.len() >= 8, "fixture set shrank: {:?}", fixtures.len());
+    for (name, spec) in &fixtures {
+        assert!(!spec.reason.is_empty(), "{name}: fixtures must state a reason");
+    }
+}
+
+/// Every kind-level expected-FN category in the taxonomy is pinned by at
+/// least one fixture that demonstrates the oracle detecting it while the
+/// static report stays silent about it. (`Unsupported` is an interpreter
+/// artifact, not a memory error, and needs no pin.)
+#[test]
+fn every_expected_fn_kind_is_pinned() {
+    let fixtures = load_all();
+    for kind in RuntimeErrorKind::all() {
+        let entry = expected_fn(*kind);
+        if entry.is_none() || *kind == RuntimeErrorKind::Unsupported {
+            continue;
+        }
+        let pinned = fixtures.iter().any(|(_, spec)| {
+            spec.expect_runtime.contains(kind)
+                && (spec.expect_static_clean || !spec.forbid_static.is_empty())
+        });
+        assert!(pinned, "expected-FN kind {:?} ({}) has no pinning fixture", kind, kind.label());
+    }
+}

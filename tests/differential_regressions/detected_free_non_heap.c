@@ -1,0 +1,18 @@
+/*DIFF
+ reason: NOT an expected FN: freeing non-heap storage surfaces statically as
+   an only-transfer anomaly (dependent storage passed as the only parameter
+   of free, paper section 7), so the taxonomy maps the oracle's
+   free-non-heap kind to onlytrans. This fixture pins the detection.
+ expect-static: onlytrans
+ run: 1
+ expect-runtime: free-non-heap
+DIFF*/
+int run(int input)
+{
+  int x;
+  int *p;
+  x = input;
+  p = &x;
+  free(p);
+  return x;
+}

@@ -1,0 +1,16 @@
+/*DIFF
+ reason: NOT an expected FN: freeing an offset pointer surfaces statically as
+   an only-transfer anomaly (paper section 7, "odd uses of free"), so the
+   taxonomy maps the oracle's free-offset kind to onlytrans. This fixture
+   pins the detection so the mapping stays honest.
+ expect-static: onlytrans
+ run: 1
+ expect-runtime: free-offset
+ run-clean: 0
+DIFF*/
+int run(int input)
+{
+  char *p = (char *) malloc(4);
+  free(p + input);
+  return 0;
+}

@@ -1,0 +1,15 @@
+/*DIFF
+ reason: expected FN (taxonomy category "assertions", paper section 6):
+   assertion truth is a dynamic property; the checker trusts annotations and
+   likely-case assumptions instead of proving them. The oracle sees the
+   failure on input 1 and a clean run on input 9.
+ expect-static-clean
+ run: 1
+ expect-runtime: assert-failure
+ run-clean: 9
+DIFF*/
+int run(int input)
+{
+  assert(input > 5);
+  return input;
+}

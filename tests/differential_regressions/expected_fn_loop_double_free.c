@@ -1,0 +1,25 @@
+/*DIFF
+ reason: expected FN (loop-carried, paper section 2): the zero-or-one loop
+   model sees at most one execution of the conditional free, so the second
+   free never happens statically and no use-after-release is reported; the
+   checker does flag the dead/fresh confluence at the loop merge
+   (branchstate), which is pinned here as the partial detection. The oracle
+   double-frees on the second real iteration.
+ expect-static: branchstate
+ forbid-static: usereleased
+ run: 1
+ expect-runtime: double-free
+DIFF*/
+int run(int input)
+{
+  int i;
+  char *p = (char *) malloc(4);
+  for (i = 0; i < 2; i = i + 1)
+  {
+    if (input > 0)
+    {
+      free(p);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+/*DIFF
+ reason: expected FN (loop-carried, paper section 2): in the zero-or-one loop
+   model the single modelled iteration reads p before the conditional free,
+   so no use-after-release is visible; at run time the second iteration reads
+   storage freed by the first. Mirrors the SECOND_ITERATION_ALIAS case in
+   crates/analysis/tests/loop_model.rs. If forbid-static fails, the loop
+   model has become more precise and this pin must move to the TP column.
+ forbid-static: usereleased
+ run: 1
+ expect-runtime: use-after-free
+DIFF*/
+int run(int input)
+{
+  int i;
+  int total = 0;
+  int *p = (int *) malloc(sizeof(int));
+  if (p == NULL)
+  {
+    return 0;
+  }
+  *p = input;
+  for (i = 0; i < 2; i = i + 1)
+  {
+    total = total + *p;
+    if (input > 0)
+    {
+      free(p);
+    }
+  }
+  return total;
+}

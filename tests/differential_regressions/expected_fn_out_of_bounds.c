@@ -1,0 +1,20 @@
+/*DIFF
+ reason: expected FN (taxonomy category "bounds", paper section 9): array and
+   pointer bounds are out of the checker's scope; the runtime oracle detects
+   the out-of-bounds store. If expect-static-clean ever fails here, the
+   checker has grown bounds checking and the taxonomy entry must be retired.
+ expect-static-clean
+ run: 0
+ expect-runtime: out-of-bounds
+DIFF*/
+int run(int input)
+{
+  char *p = (char *) malloc(2);
+  if (p == NULL)
+  {
+    return 0;
+  }
+  p[input + 4] = (char) 1;
+  free(p);
+  return 0;
+}

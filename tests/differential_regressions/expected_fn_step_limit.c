@@ -1,0 +1,18 @@
+/*DIFF
+ reason: expected FN (taxonomy category "termination", paper section 2):
+   loops are modelled as running zero or one time, so divergence is invisible
+   to the checker by construction; the oracle hits its step budget.
+ expect-static-clean
+ run: 1
+ expect-runtime: step-limit
+ run-clean: 0
+ max-steps: 10000
+DIFF*/
+int run(int input)
+{
+  while (input > 0)
+  {
+    input = input + 1;
+  }
+  return input;
+}

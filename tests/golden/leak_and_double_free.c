@@ -1,0 +1,14 @@
+int leaky(int n)
+{
+  int *p = (int *) malloc(sizeof(int));
+  int *q = (int *) malloc(sizeof(int));
+  if (p == NULL || q == NULL)
+  {
+    return 0;
+  }
+  *p = n;
+  *q = n + 1;
+  free(q);
+  free(q);
+  return *p;
+}

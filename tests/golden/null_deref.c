@@ -1,0 +1,7 @@
+/*@null@*/ int *lookup(int key);
+
+int client(int key)
+{
+  int *r = lookup(key);
+  return *r;
+}

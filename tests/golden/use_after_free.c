@@ -1,0 +1,11 @@
+int stale(void)
+{
+  int *p = (int *) malloc(sizeof(int));
+  if (p == NULL)
+  {
+    return 0;
+  }
+  *p = 3;
+  free(p);
+  return *p;
+}
