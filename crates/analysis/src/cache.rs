@@ -29,7 +29,7 @@
 //! flags and suppression comments happens *above* this layer, so flag
 //! changes never invalidate the cache.
 
-use crate::checker::{check_function_recording, effective_jobs};
+use crate::checker::{check_function_isolated, effective_jobs};
 use crate::diag::{DiagKind, Diagnostic, Note};
 use crate::options::AnalysisOptions;
 use lclint_sema::deps::{digest_deps, DepSet};
@@ -37,6 +37,10 @@ use lclint_sema::{CheckedFunction, Program};
 use lclint_syntax::span::Span;
 use lclint_syntax::stable_hash::{function_def_hash, StableHasher};
 use std::collections::HashMap;
+
+/// One freshly checked definition: its index, diagnostics, and recorded
+/// dependencies (`None` when the check degraded and must not be cached).
+type FreshResult = (usize, Vec<Diagnostic>, Option<DepSet>);
 
 /// Bumped whenever fingerprinting, dependency recording, or the
 /// relocatable-diagnostic encoding changes meaning; on-disk caches carry it
@@ -58,6 +62,14 @@ pub fn options_digest(opts: &AnalysisOptions) -> u64 {
         lclint_cfg::LoopModel::ZeroOrOne => 0,
         lclint_cfg::LoopModel::ZeroOneOrTwo => 1,
     });
+    // Budget and fault-injection settings change which diagnostics a
+    // function produces, so they are part of the digest even though
+    // degraded results themselves are never stored.
+    h.write_bool(opts.max_steps.is_some());
+    h.write_u64(opts.max_steps.unwrap_or(0));
+    h.write_u64(opts.max_scc_rounds as u64);
+    h.write_bool(opts.debug_panic_fn.is_some());
+    h.write_str(opts.debug_panic_fn.as_deref().unwrap_or(""));
     h.finish()
 }
 
@@ -131,6 +143,10 @@ pub struct CacheStats {
     /// Freshly checked results that could not be stored because a span had
     /// no stable anchor.
     pub uncacheable: usize,
+    /// Functions degraded by the fault guard (checker panic or exhausted
+    /// budget). Degraded results are never stored, so fixing the cause
+    /// re-checks exactly those functions.
+    pub degraded: usize,
     /// Names of the definitions actually (re-)checked, in definition order.
     pub checked: Vec<String>,
 }
@@ -371,34 +387,41 @@ pub fn check_program_cached(
         }
     }
 
-    // Phase 2 — check the misses, in parallel when it pays.
+    // Phase 2 — check the misses, in parallel when it pays. Each miss runs
+    // inside the per-function fault guard; a degraded function carries no
+    // dependency set.
     let jobs = effective_jobs(opts.jobs, misses.len());
-    let fresh: Vec<(usize, Vec<Diagnostic>, DepSet)> = if jobs <= 1 {
+    let fresh: Vec<(usize, Vec<Diagnostic>, Option<DepSet>)> = if jobs <= 1 {
         misses
             .iter()
             .map(|&i| {
                 let def = &defs[i];
-                let (diags, deps) = check_function_recording(program, &def.sig, &def.ast, opts);
-                (i, diags, deps)
+                let r = check_function_isolated(program, &def.sig, &def.ast, opts, true);
+                (i, r.diags, r.deps)
             })
             .collect()
     } else {
         check_misses_parallel(program, opts, &misses, jobs)
     };
 
-    // Phase 3 — store fresh results and merge.
+    // Phase 3 — store fresh results and merge. Degraded results (no deps)
+    // are never stored: their diagnostics describe the failure, not the
+    // function, and a warm run must re-check them.
     for (i, diags, deps) in fresh {
         let def = &defs[i];
         let body_hash = function_def_hash(&def.ast);
-        match to_reloc_diags(&diags, def.sig.span, program, &deps) {
-            Some(reloc) => {
-                let fp = fingerprint(program, od, lib_digest, def, body_hash, &deps);
-                cache.entries.insert(
-                    def.sig.name.clone(),
-                    CacheEntry { fingerprint: fp, deps, diags: reloc },
-                );
-            }
-            None => cache.stats.uncacheable += 1,
+        match deps {
+            Some(deps) => match to_reloc_diags(&diags, def.sig.span, program, &deps) {
+                Some(reloc) => {
+                    let fp = fingerprint(program, od, lib_digest, def, body_hash, &deps);
+                    cache.entries.insert(
+                        def.sig.name.clone(),
+                        CacheEntry { fingerprint: fp, deps, diags: reloc },
+                    );
+                }
+                None => cache.stats.uncacheable += 1,
+            },
+            None => cache.stats.degraded += 1,
         }
         cache.stats.checked.push(def.sig.name.clone());
         slots[i] = Some(diags);
@@ -413,12 +436,12 @@ fn check_misses_parallel(
     opts: &AnalysisOptions,
     misses: &[usize],
     jobs: usize,
-) -> Vec<(usize, Vec<Diagnostic>, DepSet)> {
+) -> Vec<FreshResult> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let defs = &program.defs;
     let next = AtomicUsize::new(0);
     const WORKER_STACK: usize = 8 * 1024 * 1024;
-    let per_worker: Vec<Vec<(usize, Vec<Diagnostic>, DepSet)>> = std::thread::scope(|s| {
+    let per_worker: Vec<Vec<FreshResult>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 let next = &next;
@@ -431,9 +454,9 @@ fn check_misses_parallel(
                             let w = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&i) = misses.get(w) else { break };
                             let def = &defs[i];
-                            let (diags, deps) =
-                                check_function_recording(program, &def.sig, &def.ast, opts);
-                            out.push((i, diags, deps));
+                            let r =
+                                check_function_isolated(program, &def.sig, &def.ast, opts, true);
+                            out.push((i, r.diags, r.deps));
                         }
                         out
                     })
@@ -442,7 +465,7 @@ fn check_misses_parallel(
             .collect();
         handles.into_iter().map(|h| h.join().expect("checker worker panicked")).collect()
     });
-    let mut flat: Vec<(usize, Vec<Diagnostic>, DepSet)> =
+    let mut flat: Vec<FreshResult> =
         per_worker.into_iter().flatten().collect();
     // Deterministic order for phase 3 (stores and `checked` names).
     flat.sort_by_key(|(i, _, _)| *i);
@@ -455,6 +478,6 @@ fn check_misses_parallel(
     _opts: &AnalysisOptions,
     _misses: &[usize],
     _jobs: usize,
-) -> Vec<(usize, Vec<Diagnostic>, DepSet)> {
+) -> Vec<FreshResult> {
     unreachable!("effective_jobs returns 1 without the parallel feature")
 }

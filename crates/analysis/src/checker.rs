@@ -3,6 +3,7 @@
 //! scope exits (paper §2, §5).
 
 use crate::diag::{DiagKind, Diagnostic};
+use crate::guard::{run_guarded, GuardOutcome};
 use crate::options::AnalysisOptions;
 use crate::refs::{Path, RefBase, RefId, RefStep, RefTable};
 use crate::state::{implicit_state, merge_env, AllocState, DefState, Env, NullState, RefState};
@@ -27,7 +28,7 @@ pub fn check_program(program: &Program, opts: &AnalysisOptions) -> Vec<Diagnosti
         return program
             .defs
             .iter()
-            .flat_map(|def| check_function(program, &def.sig, &def.ast, opts))
+            .flat_map(|def| check_function_isolated(program, &def.sig, &def.ast, opts, false).diags)
             .collect();
     }
     check_program_parallel(program, opts, jobs)
@@ -68,7 +69,9 @@ fn check_program_parallel(
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(def) = defs.get(i) else { break };
-                            out.push((i, check_function(program, &def.sig, &def.ast, opts)));
+                            let r =
+                                check_function_isolated(program, &def.sig, &def.ast, opts, false);
+                            out.push((i, r.diags));
                         }
                         out
                     })
@@ -104,16 +107,58 @@ pub fn check_function(
     check_function_impl(program, sig, ast, opts, false).0
 }
 
-/// Like [`check_function`], but also returns the set of shared-program
-/// names the checking resolved (the function's dependency set, used by the
-/// incremental cache). Recording changes nothing about the diagnostics.
-pub fn check_function_recording(
+/// Result of one fault-isolated per-function check
+/// ([`check_function_isolated`]).
+pub struct FunctionOutcome {
+    /// The function's diagnostics. A degraded function (checker panic or
+    /// budget overrun) yields exactly one `internal` or `budget` diagnostic.
+    pub diags: Vec<Diagnostic>,
+    /// The recorded dependency set when the function completed normally;
+    /// `None` for degraded functions, which must never enter the incremental
+    /// cache (mirroring the unanchorable-diagnostic rule).
+    pub deps: Option<lclint_sema::DepSet>,
+}
+
+/// Checks one function inside the per-function fault guard: a panic in the
+/// checker or a budget overrun costs exactly this function's results, which
+/// are replaced by a single degradation diagnostic anchored at the function
+/// definition.
+pub fn check_function_isolated(
     program: &Program,
     sig: &FunctionSig,
     ast: &FunctionDef,
     opts: &AnalysisOptions,
-) -> (Vec<Diagnostic>, lclint_sema::DepSet) {
-    check_function_impl(program, sig, ast, opts, true)
+    recording: bool,
+) -> FunctionOutcome {
+    match run_guarded(|| check_function_impl(program, sig, ast, opts, recording)) {
+        GuardOutcome::Ok((diags, deps)) => FunctionOutcome { diags, deps: Some(deps) },
+        GuardOutcome::Budget => {
+            let limit = opts.max_steps.unwrap_or(0);
+            let mut d = Diagnostic::new(
+                DiagKind::BudgetExceeded,
+                format!(
+                    "Analysis budget exceeded in function {} (limit {limit} steps); \
+                     function assumed safe, not checked",
+                    sig.name
+                ),
+                ast.span,
+            );
+            d.in_function = Some(sig.name.clone());
+            FunctionOutcome { diags: vec![d], deps: None }
+        }
+        GuardOutcome::Panicked(payload) => {
+            let mut d = Diagnostic::new(
+                DiagKind::InternalError,
+                format!(
+                    "Internal checker error in function {} (please report): {payload}",
+                    sig.name
+                ),
+                ast.span,
+            );
+            d.in_function = Some(sig.name.clone());
+            FunctionOutcome { diags: vec![d], deps: None }
+        }
+    }
 }
 
 /// Runs the checker in summary mode over one definition, returning the
@@ -125,6 +170,9 @@ pub(crate) fn check_function_summary(
     ast: &FunctionDef,
     opts: &AnalysisOptions,
 ) -> crate::summary::SummaryObs {
+    if opts.debug_panic_fn.as_deref() == Some(sig.name.as_str()) {
+        panic!("debug-injected panic in function {}", sig.name);
+    }
     let mut checker = Checker::new(program, sig, opts);
     checker.summary = Some(Box::new(crate::summary::SummaryObs::for_params(sig.ty.params.len())));
     let cfg = Cfg::build_with(ast, opts.loop_model);
@@ -140,6 +188,9 @@ fn check_function_impl(
     opts: &AnalysisOptions,
     recording: bool,
 ) -> (Vec<Diagnostic>, lclint_sema::DepSet) {
+    if opts.debug_panic_fn.as_deref() == Some(sig.name.as_str()) {
+        panic!("debug-injected panic in function {}", sig.name);
+    }
     let mut checker = Checker::new(program, sig, opts);
     if recording {
         checker.scope = LocalScope::recording(program);
@@ -188,6 +239,9 @@ pub(crate) struct Checker<'p> {
     /// Summary-mode observations for annotation inference (`None` during
     /// ordinary checking — see the `summary` module).
     pub(crate) summary: Option<Box<crate::summary::SummaryObs>>,
+    /// Deterministic work-step counter for the analysis budget (counts
+    /// dataflow actions and expression evaluations, never wall-clock).
+    pub(crate) steps: u64,
 }
 
 impl<'p> Checker<'p> {
@@ -215,12 +269,25 @@ impl<'p> Checker<'p> {
             reported_globals: std::collections::HashSet::new(),
             quiet: false,
             summary: None,
+            steps: 0,
         }
     }
 
     pub(crate) fn report(&mut self, d: Diagnostic) {
         if !self.quiet {
             self.diags.push(d);
+        }
+    }
+
+    /// Counts one unit of analysis work against the per-function budget.
+    /// Exhausting the budget unwinds to the fault guard (see the `guard`
+    /// module), which degrades this one function to a `budget` diagnostic.
+    pub(crate) fn tick(&mut self) {
+        if let Some(max) = self.opts.max_steps {
+            self.steps += 1;
+            if self.steps > max {
+                std::panic::panic_any(crate::guard::BudgetOverrun);
+            }
         }
     }
 
@@ -1148,6 +1215,7 @@ impl lclint_cfg::Analysis for Checker<'_> {
         if state.unreachable {
             return;
         }
+        self.tick();
         match action {
             Action::Eval(e) => {
                 self.eval_expr(state, e);

@@ -44,6 +44,15 @@ pub enum DiagKind {
     UnreachableCode,
     /// A non-void function may fall off the end without returning a value.
     MissingReturn,
+    /// A parse error recovered by the parser (the surrounding declarations
+    /// were still checked).
+    SyntaxError,
+    /// The checker itself failed on one function (panic caught); results for
+    /// that function are unavailable, every other function is unaffected.
+    InternalError,
+    /// The per-function analysis budget was exhausted; the function was
+    /// degraded to assume-safe rather than checked.
+    BudgetExceeded,
 }
 
 impl DiagKind {
@@ -63,10 +72,14 @@ impl DiagKind {
             DiagKind::InterfaceViolation => "interface",
             DiagKind::UnreachableCode => "unreachable",
             DiagKind::MissingReturn => "noret",
+            DiagKind::SyntaxError => "syntax",
+            DiagKind::InternalError => "internal",
+            DiagKind::BudgetExceeded => "budget",
         }
     }
 
-    /// All kinds (for flag enumeration).
+    /// All kinds (for flag enumeration). New kinds must be appended: the
+    /// position in this slice is the on-disk cache encoding of the kind.
     pub fn all() -> &'static [DiagKind] {
         &[
             DiagKind::NullDeref,
@@ -82,6 +95,9 @@ impl DiagKind {
             DiagKind::InterfaceViolation,
             DiagKind::UnreachableCode,
             DiagKind::MissingReturn,
+            DiagKind::SyntaxError,
+            DiagKind::InternalError,
+            DiagKind::BudgetExceeded,
         ]
     }
 }

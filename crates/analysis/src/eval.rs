@@ -39,6 +39,7 @@ enum AccessKind {
 impl Checker<'_> {
     /// Evaluates `e` for its value and effects, performing rvalue-use checks.
     pub(crate) fn eval_expr(&mut self, env: &mut Env, e: &Expr) -> Value {
+        self.tick();
         match &e.kind {
             ExprKind::Ident(name) => {
                 if name == "NULL" {

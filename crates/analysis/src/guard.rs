@@ -1,0 +1,104 @@
+//! Per-function fault isolation.
+//!
+//! Each function definition is an independent work item (the paper's
+//! analysis is strictly per-procedure), so a defect in the checker itself —
+//! or a pathological function that exhausts its analysis budget — should
+//! cost exactly that one function's results, not the process. [`run_guarded`]
+//! wraps one unit of per-function work in `catch_unwind`, suppresses the
+//! default panic printing while capturing, and classifies the outcome so
+//! callers can degrade a single function to a diagnostic.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Panic payload raised by the checker when a function's deterministic
+/// work-step budget is exhausted. Unwinding out of the (deeply recursive)
+/// evaluation keeps the budget check to a single counter test instead of
+/// threading a `Result` through every transfer path; [`run_guarded`]
+/// intercepts the payload before it can escape.
+pub(crate) struct BudgetOverrun;
+
+/// Outcome of one guarded unit of per-function work.
+pub(crate) enum GuardOutcome<T> {
+    /// Completed normally.
+    Ok(T),
+    /// The work-step budget was exhausted ([`BudgetOverrun`] caught).
+    Budget,
+    /// The work panicked; the payload is rendered to a string.
+    Panicked(String),
+}
+
+thread_local! {
+    /// True while this thread is inside `run_guarded`: the process panic
+    /// hook stays silent (the panic becomes a diagnostic, not stderr spam).
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+/// Installs the quiet-while-capturing panic hook exactly once, delegating
+/// to whatever hook was installed before (so panics outside guarded regions
+/// keep their normal reporting).
+fn install_hook() {
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !CAPTURING.with(|c| c.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, converting a panic into a [`GuardOutcome`] instead of
+/// unwinding further. Budget overruns (see [`BudgetOverrun`]) are
+/// distinguished from genuine checker defects.
+pub(crate) fn run_guarded<T>(f: impl FnOnce() -> T) -> GuardOutcome<T> {
+    install_hook();
+    let was_capturing = CAPTURING.with(|c| c.replace(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CAPTURING.with(|c| c.set(was_capturing));
+    match result {
+        Ok(v) => GuardOutcome::Ok(v),
+        Err(payload) => {
+            if payload.downcast_ref::<BudgetOverrun>().is_some() {
+                GuardOutcome::Budget
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                GuardOutcome::Panicked((*s).to_owned())
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                GuardOutcome::Panicked(s.clone())
+            } else {
+                GuardOutcome::Panicked("opaque panic payload".to_owned())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_outcomes() {
+        assert!(matches!(run_guarded(|| 7), GuardOutcome::Ok(7)));
+        match run_guarded(|| -> i32 { panic!("boom {}", 42) }) {
+            GuardOutcome::Panicked(msg) => assert_eq!(msg, "boom 42"),
+            _ => panic!("expected Panicked"),
+        }
+        assert!(matches!(
+            run_guarded(|| -> i32 { std::panic::panic_any(BudgetOverrun) }),
+            GuardOutcome::Budget
+        ));
+    }
+
+    #[test]
+    fn nested_guards_restore_capture_flag() {
+        let out = run_guarded(|| {
+            let inner = run_guarded(|| -> i32 { panic!("inner") });
+            assert!(matches!(inner, GuardOutcome::Panicked(_)));
+            11
+        });
+        assert!(matches!(out, GuardOutcome::Ok(11)));
+    }
+}

@@ -115,10 +115,10 @@ impl InferResult {
     }
 }
 
-/// Caps on the fixpoint, far above what monotone growth can need; they
-/// bound the damage of a (hypothetical) oscillation bug, not real runs.
+/// Cap on whole-program sweeps, far above what monotone growth can need; it
+/// bounds the damage of a (hypothetical) oscillation bug, not real runs.
+/// The per-SCC round cap is `AnalysisOptions::max_scc_rounds`.
 const MAX_SWEEPS: usize = 5;
-const MAX_SCC_ROUNDS: usize = 4;
 
 /// Runs whole-program annotation inference and returns the accepted
 /// proposals.
@@ -148,7 +148,7 @@ pub fn infer_annotations_into(program: &Program, opts: &AnalysisOptions) -> (Inf
             // Members of a cycle see each other's fresh annotations only on
             // the next round, so iterate the component to its own fixpoint.
             let rounds = if comp.len() > 1 || graph.callees(comp[0]).contains(&comp[0]) {
-                MAX_SCC_ROUNDS
+                opts.max_scc_rounds.max(1)
             } else {
                 1
             };
@@ -156,9 +156,19 @@ pub fn infer_annotations_into(program: &Program, opts: &AnalysisOptions) -> (Inf
                 let mut comp_changed = false;
                 for &node in comp {
                     let Some(&di) = def_index.get(graph.name(node)) else { continue };
+                    // Summary extraction runs inside the fault guard: a
+                    // function the checker cannot analyze (panic or budget
+                    // overrun) simply contributes no proposals, leaving its
+                    // interface as written.
                     let obs = {
                         let def = &working.defs[di];
-                        check_function_summary(&working, &def.sig, &def.ast, opts)
+                        match crate::guard::run_guarded(|| {
+                            check_function_summary(&working, &def.sig, &def.ast, opts)
+                        }) {
+                            crate::guard::GuardOutcome::Ok(obs) => obs,
+                            crate::guard::GuardOutcome::Budget
+                            | crate::guard::GuardOutcome::Panicked(_) => continue,
+                        }
                     };
                     let proposals = derive_proposals(&working, di, &obs);
                     for p in proposals {

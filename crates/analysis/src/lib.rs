@@ -30,6 +30,7 @@
 
 mod checker;
 mod eval;
+mod guard;
 mod summary;
 
 pub mod cache;
@@ -42,7 +43,7 @@ pub mod state;
 pub use cache::{
     check_program_cached, options_digest, CacheStats, CheckCache, CACHE_FORMAT_VERSION,
 };
-pub use checker::{check_function, check_program};
+pub use checker::{check_function, check_function_isolated, check_program, FunctionOutcome};
 pub use diag::{DiagKind, Diagnostic, Note};
 pub use infer::{
     infer_annotations, infer_annotations_into, InferResult, InferTarget, InferredAnnot,

@@ -31,6 +31,20 @@ pub struct AnalysisOptions {
     /// effect when the `parallel` feature is disabled. Output is identical
     /// regardless of the value.
     pub jobs: usize,
+    /// Per-function work-step budget (`None` = unlimited). Steps count
+    /// dataflow transfer work deterministically — never wall-clock — so
+    /// results are byte-identical for any `jobs` value. A function that
+    /// exhausts its budget is degraded to a single `budget` diagnostic with
+    /// assume-safe (top-of-lattice) state instead of being checked.
+    pub max_steps: Option<u64>,
+    /// Iteration cap for the per-SCC inference fixpoint (whole-program
+    /// annotation inference); cyclic call graphs stop proposing after this
+    /// many rounds even if not yet stable.
+    pub max_scc_rounds: usize,
+    /// Test-only fault injection: checking a function with this exact name
+    /// panics inside the per-function guard. Exercises the panic-isolation
+    /// path end to end; never set in production use.
+    pub debug_panic_fn: Option<String>,
 }
 
 impl Default for AnalysisOptions {
@@ -43,6 +57,9 @@ impl Default for AnalysisOptions {
             report_implicit_temp: true,
             loop_model: lclint_cfg::LoopModel::ZeroOrOne,
             jobs: 0,
+            max_steps: None,
+            max_scc_rounds: 4,
+            debug_panic_fn: None,
         }
     }
 }

@@ -195,6 +195,79 @@ fn library_digest_is_part_of_the_fingerprint() {
 }
 
 #[test]
+fn ice_degraded_function_is_never_cached() {
+    // A function that panics inside the checker must produce its `internal`
+    // diagnostic from a fresh run every time: caching an ICE would make a
+    // transient checker bug permanent for that fingerprint.
+    let p = program(BASE);
+    let opts =
+        AnalysisOptions { debug_panic_fn: Some("independent".to_owned()), ..Default::default() };
+    let mut cache = CheckCache::new();
+    let cold = check_program_cached(&p, &opts, 0, &mut cache);
+    assert!(
+        cold.iter().any(|d| d.kind == lclint_analysis::DiagKind::InternalError),
+        "injected panic must surface as an internal diagnostic: {cold:?}"
+    );
+    let stats = cache.take_stats();
+    assert_eq!(stats.misses, 3, "{stats:?}");
+    assert_eq!(stats.degraded, 1, "the ICE'd function must not be stored: {stats:?}");
+
+    // Warm, same input and options: healthy functions hit, the ICE'd one
+    // re-checks (and degrades again, deterministically).
+    let warm = check_program_cached(&p, &opts, 0, &mut cache);
+    let stats = cache.take_stats();
+    assert_eq!(stats.hits, 2, "{stats:?}");
+    assert_eq!(stats.checked, vec!["independent".to_owned()], "{stats:?}");
+    assert_eq!(stats.degraded, 1, "{stats:?}");
+    assert_eq!(cold, warm, "degraded output must be stable across runs");
+}
+
+#[test]
+fn budget_degraded_function_is_never_cached() {
+    // One function far over the step budget, one far under. Only the
+    // over-budget one degrades, and it re-checks on every warm run.
+    let mut big = String::from("void big(int v)\n{\n  int a; a = v;\n");
+    for _ in 0..60 {
+        big.push_str("  a = a + 1;\n");
+    }
+    big.push_str("  if (a > 0) { a = 0; }\n}\n");
+    let src = format!("{big}void small(void)\n{{\n  int x; x = 1;\n}}\n");
+    let p = program(&src);
+    let opts = AnalysisOptions { max_steps: Some(50), ..Default::default() };
+    let mut cache = CheckCache::new();
+    let cold = check_program_cached(&p, &opts, 0, &mut cache);
+    assert!(
+        cold.iter().any(|d| d.kind == lclint_analysis::DiagKind::BudgetExceeded),
+        "big must exceed the 50-step budget: {cold:?}"
+    );
+    let stats = cache.take_stats();
+    assert_eq!(stats.degraded, 1, "{stats:?}");
+
+    let warm = check_program_cached(&p, &opts, 0, &mut cache);
+    let stats = cache.take_stats();
+    assert_eq!(stats.hits, 1, "small must hit: {stats:?}");
+    assert_eq!(stats.checked, vec!["big".to_owned()], "{stats:?}");
+    assert_eq!(cold, warm);
+
+    // Shrinking the body under the budget re-checks big, stores it, and a
+    // further warm run is fully cached.
+    let shrunk = src.replace("  a = a + 1;\n", "");
+    let p2 = program(&shrunk);
+    let relieved = check_program_cached(&p2, &opts, 0, &mut cache);
+    assert!(
+        !relieved.iter().any(|d| d.kind == lclint_analysis::DiagKind::BudgetExceeded),
+        "shrunk body must fit the budget: {relieved:?}"
+    );
+    let stats = cache.take_stats();
+    assert_eq!(stats.checked, vec!["big".to_owned()], "{stats:?}");
+    assert_eq!(stats.degraded, 0, "{stats:?}");
+    let warm2 = check_program_cached(&p2, &opts, 0, &mut cache);
+    let stats = cache.take_stats();
+    assert_eq!(stats.hits, 2, "{stats:?}");
+    assert_eq!(relieved, warm2);
+}
+
+#[test]
 fn review_intra_function_whitespace_edit() {
     let src = "extern /*@null out only@*/ void *malloc(int size);\n\
                void leak(void)\n{\n  char *p = (char *) malloc(4);\n  if (p != 0) { *p = 'a'; }\n}\n";

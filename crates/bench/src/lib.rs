@@ -568,6 +568,144 @@ pub fn library_speedup(target_loc: usize) -> (f64, f64) {
     (full_ms, lib_ms)
 }
 
+/// E15: crash resilience under syntax mutation.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ResilienceReport {
+    /// Requested size of the base program in lines.
+    pub target_loc: usize,
+    /// Actual line count of the base program.
+    pub loc: usize,
+    /// Syntax mutants checked.
+    pub mutants: usize,
+    /// Runs that panicked or hard-failed instead of producing a report.
+    pub aborts: usize,
+    /// `syntax` diagnostics produced across all mutant runs.
+    pub syntax_diags: usize,
+    /// Function definitions that still parsed across all mutant runs.
+    pub surviving_functions: usize,
+    /// Baseline diagnostics belonging to surviving functions (denominator).
+    pub expected_diags: usize,
+    /// Of those, diagnostics reproduced byte-identically on the mutant.
+    pub retained_diags: usize,
+    /// `retained_diags / expected_diags`, percent.
+    pub retention_pct: f64,
+    /// Best-of-N strict parse of the clean base program, milliseconds.
+    pub strict_parse_ms: f64,
+    /// Best-of-N recovering parse of the same clean program, milliseconds.
+    pub recovering_parse_ms: f64,
+    /// Relative cost of error recovery on error-free input, percent.
+    pub recovery_overhead_pct: f64,
+}
+
+/// E15: checks `mutants` syntax-broken copies of a generated program and
+/// measures (a) that no run aborts, (b) how many diagnostics of the
+/// *surviving* functions are still reported byte-identically, and (c) what
+/// the recovering parser costs on clean input versus the strict one.
+///
+/// Mutations other than truncation replace bytes in place, so a surviving
+/// function's diagnostics keep their line numbers; a function damaged by the
+/// mutation almost always fails to re-parse and drops out of the metric.
+pub fn resilience_table(target_loc: usize, mutants: usize, seed: u64) -> ResilienceReport {
+    use lclint_corpus::mutator::syntax_mutant_batch;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let base = generate(&GenConfig {
+        // Half the annotations stripped: the baseline must have real
+        // diagnostics, otherwise retention is vacuous.
+        annotation_level: 0.5,
+        ..GenConfig::with_target_loc(target_loc)
+    });
+    let linter = Linter::new(Flags::default());
+    let baseline = linter.check_source("gen.c", &base.source).expect("base parses");
+    let mut per_fn: BTreeMap<String, Vec<(String, u32, String)>> = BTreeMap::new();
+    for d in &baseline.diagnostics {
+        if let Some(f) = &d.function {
+            per_fn.entry(f.clone()).or_default().push((d.kind.clone(), d.line, d.message.clone()));
+        }
+    }
+
+    let batch = syntax_mutant_batch(&base.source, mutants, seed);
+    let mut report = ResilienceReport {
+        target_loc,
+        loc: base.loc,
+        mutants: batch.len(),
+        aborts: 0,
+        syntax_diags: 0,
+        surviving_functions: 0,
+        expected_diags: 0,
+        retained_diags: 0,
+        retention_pct: 100.0,
+        strict_parse_ms: 0.0,
+        recovering_parse_ms: 0.0,
+        recovery_overhead_pct: 0.0,
+    };
+    for m in &batch {
+        let run = catch_unwind(AssertUnwindSafe(|| linter.check_source("gen.c", &m.source)));
+        let result = match run {
+            Ok(Ok(r)) => r,
+            // A parse `Err` (front end gave up on the whole input) counts as
+            // an abort too: the pipeline's contract is a report, always.
+            Ok(Err(_)) | Err(_) => {
+                report.aborts += 1;
+                continue;
+            }
+        };
+        report.syntax_diags += result.diagnostics.iter().filter(|d| d.kind == "syntax").count();
+        // Ground truth for what survived: re-parse the mutant and take the
+        // function definitions that are still present.
+        let Ok((tu, _, _, _)) =
+            lclint_syntax::parse_translation_unit_recovering("gen.c", &m.source)
+        else {
+            continue;
+        };
+        let survivors = lclint_sema::Program::from_unit(&tu);
+        let mutant_keys: std::collections::BTreeSet<(String, String, u32, String)> = result
+            .diagnostics
+            .iter()
+            .filter_map(|d| {
+                d.function.as_ref().map(|f| (f.clone(), d.kind.clone(), d.line, d.message.clone()))
+            })
+            .collect();
+        for def in &survivors.defs {
+            report.surviving_functions += 1;
+            let Some(expected) = per_fn.get(def.sig.name.as_str()) else { continue };
+            for (kind, line, message) in expected {
+                report.expected_diags += 1;
+                if mutant_keys.contains(&(
+                    def.sig.name.clone(),
+                    kind.clone(),
+                    *line,
+                    message.clone(),
+                )) {
+                    report.retained_diags += 1;
+                }
+            }
+        }
+    }
+    if report.expected_diags > 0 {
+        report.retention_pct = 100.0 * report.retained_diags as f64 / report.expected_diags as f64;
+    }
+
+    // Recovery overhead on clean input: best-of-5, interleaved, parse only.
+    let mut strict = f64::INFINITY;
+    let mut recovering = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        let _ = lclint_syntax::parse_translation_unit("gen.c", &base.source).expect("parses");
+        strict = strict.min(t.elapsed().as_secs_f64() * 1000.0);
+        let t = Instant::now();
+        let (_, _, _, errors) =
+            lclint_syntax::parse_translation_unit_recovering("gen.c", &base.source)
+                .expect("parses");
+        assert!(errors.is_empty(), "clean input must recover no errors");
+        recovering = recovering.min(t.elapsed().as_secs_f64() * 1000.0);
+    }
+    report.strict_parse_ms = strict;
+    report.recovering_parse_ms = recovering;
+    report.recovery_overhead_pct = 100.0 * (recovering - strict) / strict.max(1e-9);
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,6 +806,20 @@ mod tests {
         assert_eq!(clean.static_fp, 0, "false positives on the clean corpus: {clean:?}");
         assert_eq!(clean.oracle_errors, 0, "oracle errors on the clean corpus: {clean:?}");
         assert_eq!(clean.disagreements, 0, "unshrunk disagreements: {clean:?}");
+    }
+
+    /// ISSUE 5 acceptance bars: 50+ syntax mutants, zero aborts, >=95%
+    /// diagnostic retention for the functions the mutation left intact, and
+    /// error recovery costing <=5% on error-free input.
+    #[test]
+    fn resilience_meets_the_acceptance_bars() {
+        let r = resilience_table(2_000, 51, 7);
+        assert!(r.mutants >= 50, "{r:?}");
+        assert_eq!(r.aborts, 0, "a syntax mutant aborted the pipeline: {r:?}");
+        assert!(r.syntax_diags > 0, "no mutant produced a syntax diagnostic: {r:?}");
+        assert!(r.expected_diags > 0, "baseline produced no diagnostics to retain: {r:?}");
+        assert!(r.retention_pct >= 95.0, "retention below the 95% bar: {r:?}");
+        assert!(r.recovery_overhead_pct <= 5.0, "recovery overhead on clean input above 5%: {r:?}");
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //!                   over N generated programs instead of checking files
 //!                   (TP/FP/FN per bug class; --json for machine output)
 //!   --seed S        master seed for --differential (default 1)
+//!   --max-steps N   per-function analysis budget in work steps; a function
+//!                   that exceeds it is assumed safe and reported with a
+//!                   `budget` diagnostic (default: unlimited)
+//!
+//! Exit codes: 0 clean, 1 diagnostics reported, 2 usage or I/O error,
+//! 3 completed but one or more functions hit an internal checker error.
 //! ```
 
 use lclint_core::{library, Flags, IncrementalSession, Linter};
@@ -40,7 +46,8 @@ fn usage() -> ! {
          \u{20}       supcomments stdlib memchecks all\n\
          options: --json --jobs N --lib FILE --emit-lib --run ENTRY\n\
          \u{20}        --incremental DIR --stats --infer --infer-apply FILE\n\
-         \u{20}        --differential N --seed S",
+         \u{20}        --differential N --seed S --max-steps N\n\
+         exit codes: 0 clean, 1 warnings, 2 usage/IO error, 3 internal checker error",
         lclint_core::DiagKind::all().iter().map(|k| k.flag_name()).collect::<Vec<_>>().join(" ")
     );
     std::process::exit(2)
@@ -85,6 +92,14 @@ fn main() -> ExitCode {
         usage();
     }
     let mut flags = Flags::default();
+    // Test hook: inject a panic into the named function's checker so the
+    // isolation path can be exercised end-to-end. Deliberately an environment
+    // variable rather than a flag: it is not part of the user interface.
+    if let Ok(name) = std::env::var("RLCLINT_DEBUG_PANIC_FN") {
+        if !name.is_empty() {
+            flags.analysis.debug_panic_fn = Some(name);
+        }
+    }
     let mut files: Vec<(String, String)> = Vec::new();
     let mut roots: Vec<String> = Vec::new();
     let mut json = false;
@@ -156,6 +171,17 @@ fn main() -> ExitCode {
                     Ok(s) => seed = s,
                     Err(_) => {
                         eprintln!("rlclint: --seed expects a number, got `{s}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--max-steps" => {
+                i += 1;
+                let Some(n) = args.get(i) else { usage() };
+                match n.parse::<u64>() {
+                    Ok(n) if n > 0 => flags.analysis.max_steps = Some(n),
+                    _ => {
+                        eprintln!("rlclint: --max-steps expects a positive number, got `{n}`");
                         return ExitCode::from(2);
                     }
                 }
@@ -373,7 +399,12 @@ fn main() -> ExitCode {
         }
     }
 
-    if result.diagnostics.is_empty() && result.sema_errors.is_empty() {
+    // Internal checker errors dominate the exit status: the run completed,
+    // but part of the program went unchecked, which scripts should be able
+    // to distinguish from ordinary warnings.
+    if result.diagnostics.iter().any(|d| d.kind == "internal") {
+        ExitCode::from(3)
+    } else if result.diagnostics.is_empty() && result.sema_errors.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -243,6 +243,112 @@ fn infer_flag_conflicts_are_usage_errors() {
 }
 
 #[test]
+fn pathological_inputs_never_abort() {
+    // Every fixture under tests/pathological/ is designed to break the
+    // front end in a different way (unterminated comment, 10k-deep nesting,
+    // mid-token truncation, conflicting typedefs). The binary must exit
+    // normally — never by signal or abort — and still produce output.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/pathological");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("fixture dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_none_or(|e| e != "c") {
+            continue;
+        }
+        seen += 1;
+        let out = rlclint().arg("--json").arg(&path).output().expect("runs");
+        assert!(
+            out.status.code().is_some(),
+            "{}: killed by signal instead of exiting",
+            path.display()
+        );
+        assert!(
+            matches!(out.status.code(), Some(0..=3)),
+            "{}: unexpected exit {:?}",
+            path.display(),
+            out.status.code()
+        );
+        assert!(!out.stdout.is_empty(), "{}: no output produced", path.display());
+        if serde_json_is_real() {
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            let parsed: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+            assert!(
+                parsed.as_array().is_some(),
+                "{}: diagnostics must be an array",
+                path.display()
+            );
+        }
+    }
+    assert!(seen >= 4, "expected at least 4 pathological fixtures, found {seen}");
+}
+
+#[test]
+fn broken_file_in_a_batch_still_reports_the_other_files() {
+    let bad = write_temp("bad_batch.c", "void broken(void) { return }\n");
+    let good = write_temp(
+        "good_batch.c",
+        "extern char *gname;\n\nvoid setName(/*@null@*/ char *pname)\n{\n  gname = pname;\n}\n",
+    );
+    let out = rlclint().arg(&bad).arg(&good).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Parse error:"), "{stdout}");
+    assert!(
+        stdout.contains("Function returns with non-null global gname referencing null storage"),
+        "the good file must still be checked: {stdout}"
+    );
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+}
+
+#[test]
+fn injected_checker_panic_reports_ice_and_exit_3() {
+    let path = write_temp(
+        "icefn.c",
+        "void victim(void)\n{\n  int x; x = 1;\n}\n\
+         void bystander(void)\n{\n  char *p = (char *) malloc(8);\n}\n",
+    );
+    let out = rlclint().env("RLCLINT_DEBUG_PANIC_FN", "victim").arg(&path).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Internal checker error in function victim (please report)"),
+        "{stdout}"
+    );
+    // The other function's real diagnostic survives the ICE.
+    assert!(stdout.contains("Fresh storage p not released"), "{stdout}");
+    assert_eq!(out.status.code(), Some(3), "{stdout}");
+
+    // The same run across worker counts is byte-identical.
+    let one = rlclint()
+        .env("RLCLINT_DEBUG_PANIC_FN", "victim")
+        .args(["--jobs", "1"])
+        .arg(&path)
+        .output()
+        .expect("runs");
+    let four = rlclint()
+        .env("RLCLINT_DEBUG_PANIC_FN", "victim")
+        .args(["--jobs", "4"])
+        .arg(&path)
+        .output()
+        .expect("runs");
+    assert_eq!(one.stdout, four.stdout, "ICE output must be jobs-invariant");
+    assert_eq!(one.status.code(), four.status.code());
+}
+
+#[test]
+fn max_steps_budget_degrades_instead_of_hanging() {
+    let path = write_temp(
+        "budget.c",
+        "void heavy(int v)\n{\n  int a; a = v;\n  a = a + 1;\n  a = a + 2;\n  a = a + 3;\n}\n",
+    );
+    let out = rlclint().args(["--max-steps", "2"]).arg(&path).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Analysis budget exceeded in function heavy"), "{stdout}");
+    assert_eq!(out.status.code(), Some(1), "budget exhaustion is a warning, not an ICE");
+
+    let bad = rlclint().args(["--max-steps", "zero"]).arg(&path).output().expect("runs");
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
 fn multi_file_database_from_disk() {
     // The full section-6 database, written to disk with real #include
     // resolution, checked through the binary at two stages.

@@ -28,14 +28,18 @@ fn normalize(s: &str) -> String {
 }
 
 fn check_golden(name: &str) {
+    check_golden_env(name, &[]);
+}
+
+fn check_golden_env(name: &str, env: &[(&str, &str)]) {
     let dir = golden_dir();
     // Run with the golden directory as cwd so diagnostics print bare file
     // names — the snapshot stays machine-independent.
-    let out = Command::new(env!("CARGO_BIN_EXE_rlclint"))
-        .arg(format!("{name}.c"))
-        .current_dir(&dir)
-        .output()
-        .expect("rlclint runs");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rlclint"));
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.arg(format!("{name}.c")).current_dir(&dir).output().expect("rlclint runs");
     let actual = normalize(&String::from_utf8_lossy(&out.stdout));
     let expected_path = dir.join(format!("{name}.expected"));
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
@@ -67,6 +71,20 @@ fn golden_use_after_free() {
     check_golden("use_after_free");
 }
 
+#[test]
+fn golden_syntax_error() {
+    check_golden("syntax_error");
+}
+
+/// The `internal` diagnostic message is part of the user interface: its
+/// wording is pinned here via the panic-injection hook. The message contains
+/// only the panic payload — no file/line of the panic site — precisely so
+/// this snapshot does not churn with unrelated checker edits.
+#[test]
+fn golden_internal_error() {
+    check_golden_env("internal_error", &[("RLCLINT_DEBUG_PANIC_FN", "victim")]);
+}
+
 /// The golden set must stay in sync: every .c has a .expected and vice versa.
 #[test]
 fn golden_set_is_complete() {
@@ -85,5 +103,5 @@ fn golden_set_is_complete() {
     cs.sort();
     expecteds.sort();
     assert_eq!(cs, expecteds, "every golden .c needs a .expected and vice versa");
-    assert_eq!(cs.len(), 3, "golden set changed; update the per-file tests too");
+    assert_eq!(cs.len(), 5, "golden set changed; update the per-file tests too");
 }

@@ -10,13 +10,13 @@ use crate::render::RenderedDiagnostic;
 use crate::stdlib::STDLIB_SOURCE;
 use crate::suppress::SuppressionSet;
 use lclint_analysis::cache::{check_program_cached, options_digest, CacheStats};
-use lclint_analysis::{check_program, infer_annotations};
+use lclint_analysis::{check_program, infer_annotations, DiagKind, Diagnostic};
 use lclint_sema::Program;
 use lclint_syntax::lexer::ControlComment;
 use lclint_syntax::pp::{preprocess, MemoryProvider};
-use lclint_syntax::span::SourceMap;
+use lclint_syntax::span::{SourceMap, Span};
 use lclint_syntax::stable_hash::StableHasher;
-use lclint_syntax::{Parser, Result, TranslationUnit};
+use lclint_syntax::{Parser, Result, SyntaxError, TranslationUnit};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -31,7 +31,7 @@ struct StdlibCache {
     source_map: SourceMap,
 }
 
-static STDLIB_CACHE: OnceLock<Option<StdlibCache>> = OnceLock::new();
+static STDLIB_CACHE: OnceLock<std::result::Result<StdlibCache, SyntaxError>> = OnceLock::new();
 static STDLIB_CACHE_HITS: AtomicUsize = AtomicUsize::new(0);
 
 /// How many check runs have reused the cached stdlib parse instead of
@@ -40,20 +40,22 @@ pub fn stdlib_cache_hits() -> usize {
     STDLIB_CACHE_HITS.load(Ordering::Relaxed)
 }
 
-fn cached_stdlib() -> Option<&'static StdlibCache> {
+/// The process-wide stdlib parse, or the error that prevented it. The error
+/// is kept (not discarded) so every run can surface it as a diagnostic
+/// instead of silently checking without the standard library.
+fn cached_stdlib() -> std::result::Result<&'static StdlibCache, &'static SyntaxError> {
     let mut initializing = false;
     let slot = STDLIB_CACHE.get_or_init(|| {
         initializing = true;
         let mut sm = SourceMap::new();
         let mut p = MemoryProvider::new();
         p.insert("<stdlib>", STDLIB_SOURCE);
-        let out = preprocess("<stdlib>", &p, &mut sm).ok()?;
-        let parser = Parser::new(out.tokens);
-        let unit = parser.parse_translation_unit().ok()?;
+        let out = preprocess("<stdlib>", &p, &mut sm)?;
+        let unit = Parser::new(out.tokens).parse_translation_unit()?;
         let typedefs = collect_typedef_names(&unit);
-        Some(StdlibCache { unit, typedefs, source_map: sm })
+        Ok(StdlibCache { unit, typedefs, source_map: sm })
     });
-    if !initializing && slot.is_some() {
+    if !initializing && slot.is_ok() {
         STDLIB_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
     }
     slot.as_ref()
@@ -66,10 +68,15 @@ struct BuiltProgram {
     sm: SourceMap,
     controls: Vec<ControlComment>,
     /// Every parsed unit in load order; `root_start` indexes the first unit
-    /// belonging to `roots` (earlier ones are the stdlib fallback parse and
-    /// interface libraries).
+    /// belonging to `roots` (earlier ones are interface libraries). A root
+    /// that failed to lex or preprocess contributes an *empty* unit so the
+    /// `roots` indices stay aligned.
     units: Vec<TranslationUnit>,
     root_start: usize,
+    /// Diagnostics produced while building: recovered parse errors in root
+    /// files and a stdlib-unavailable notice. Merged into the check output
+    /// so broken input degrades to messages instead of aborting the run.
+    syntax_diags: Vec<Diagnostic>,
 }
 
 /// The result of one inference run ([`Linter::infer_files`]).
@@ -216,6 +223,7 @@ impl Linter {
         let mut sm = SourceMap::new();
         let mut controls: Vec<ControlComment> = Vec::new();
         let mut units: Vec<TranslationUnit> = Vec::new();
+        let mut syntax_diags: Vec<Diagnostic> = Vec::new();
         // Typedef names accumulate across units so that interface libraries
         // (which carry type definitions like LCLint's .lcs files) make their
         // types usable in later translation units.
@@ -238,24 +246,29 @@ impl Linter {
         let mut stdlib_unit: Option<&'static TranslationUnit> = None;
         if self.flags.use_stdlib {
             match cached_stdlib() {
-                Some(cache) => {
+                Ok(cache) => {
                     sm = cache.source_map.clone();
                     typedefs.extend(cache.typedefs.iter().cloned());
                     stdlib_unit = Some(&cache.unit);
                 }
-                None => {
+                Err(e) => {
                     // The stdlib failed to preprocess or parse (should not
-                    // happen): take the uncached path so the error reaches
-                    // the caller.
-                    let out = {
-                        let mut p = MemoryProvider::new();
-                        p.insert("<stdlib>", STDLIB_SOURCE);
-                        preprocess("<stdlib>", &p, &mut sm)?
-                    };
-                    units.push(parse_unit(out.tokens, &mut typedefs)?);
+                    // happen): say so and check without it, rather than
+                    // silently dropping the standard interfaces or killing
+                    // the whole run.
+                    syntax_diags.push(Diagnostic::new(
+                        DiagKind::SyntaxError,
+                        format!(
+                            "Annotated standard library unavailable ({e}); \
+                             checking continues without it"
+                        ),
+                        Span::synthetic(),
+                    ));
                 }
             }
         }
+        // Interface libraries are trusted configuration, not checked input:
+        // a broken library stays a hard error.
         for (name, text) in &self.libraries {
             let mut p = MemoryProvider::new();
             p.insert(name.clone(), text.clone());
@@ -264,9 +277,36 @@ impl Linter {
         }
         let root_start = units.len();
         for root in roots {
-            let out = preprocess(root, &provider, &mut sm)?;
-            controls.extend(out.controls.clone());
-            units.push(parse_unit(out.tokens, &mut typedefs)?);
+            match preprocess(root, &provider, &mut sm) {
+                Ok(out) => {
+                    controls.extend(out.controls.clone());
+                    let mut parser = Parser::new(out.tokens);
+                    for t in typedefs.iter() {
+                        parser.add_typedef(t.clone());
+                    }
+                    let (tu, errors) = parser.parse_translation_unit_recovering();
+                    typedefs.extend(collect_typedef_names(&tu));
+                    for e in errors {
+                        syntax_diags.push(Diagnostic::new(
+                            DiagKind::SyntaxError,
+                            format!("Parse error: {}", e.message),
+                            e.span,
+                        ));
+                    }
+                    units.push(tu);
+                }
+                Err(e) => {
+                    // Lexing or preprocessing failed — nothing survives from
+                    // this root. Report it and keep the batch alive with an
+                    // empty unit so the other roots are still checked.
+                    syntax_diags.push(Diagnostic::new(
+                        DiagKind::SyntaxError,
+                        format!("Parse error: {}", e.message),
+                        e.span,
+                    ));
+                    units.push(TranslationUnit { items: Vec::new() });
+                }
+            }
         }
 
         let mut program = Program::new();
@@ -276,7 +316,7 @@ impl Linter {
         for u in &units {
             program.extend_with(u);
         }
-        Ok(BuiltProgram { program, sm, controls, units, root_start })
+        Ok(BuiltProgram { program, sm, controls, units, root_start, syntax_diags })
     }
 
     /// Like [`Linter::check_files`], but routes checking through an
@@ -294,7 +334,8 @@ impl Linter {
         roots: &[String],
         incremental: Option<&mut IncrementalSession>,
     ) -> Result<CheckResult> {
-        let BuiltProgram { program, sm, controls, .. } = self.build_program(files, roots)?;
+        let BuiltProgram { program, sm, controls, syntax_diags, .. } =
+            self.build_program(files, roots)?;
         let sema_errors: Vec<String> = program
             .errors
             .iter()
@@ -323,6 +364,7 @@ impl Linter {
             }
         };
         let check_ms = check_start.elapsed().as_secs_f64() * 1000.0;
+        diags.extend(syntax_diags);
         diags.retain(|d| self.flags.enabled(d.kind));
         diags.sort_by_key(|d| (d.span.file, d.span.start));
 

@@ -118,6 +118,117 @@ pub fn mutant_batch(base: &Generated, input_space: i64, seed: u64) -> Vec<Mutate
     BugClass::all().iter().map(|c| inject(base, *c, rng.random_range(0..input_space))).collect()
 }
 
+/// The ways a syntax mutant breaks a source file (resilience experiment E15).
+///
+/// Deliberately *not* a [`BugClass`]: these mutants break the program text
+/// rather than its memory behaviour, so they are invisible to the
+/// interpreter oracle and would skew the E11 detection tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SyntaxBreak {
+    /// Source cut off at a token boundary, as if the file were half-written.
+    Truncate,
+    /// One `{` or `}` replaced by a space, unbalancing the braces.
+    DeleteBrace,
+    /// One annotation word scrambled into an unknown annotation.
+    CorruptAnnot,
+}
+
+impl SyntaxBreak {
+    /// All classes.
+    pub fn all() -> &'static [SyntaxBreak] {
+        &[SyntaxBreak::Truncate, SyntaxBreak::DeleteBrace, SyntaxBreak::CorruptAnnot]
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SyntaxBreak::Truncate => "truncate",
+            SyntaxBreak::DeleteBrace => "delete-brace",
+            SyntaxBreak::CorruptAnnot => "corrupt-annot",
+        }
+    }
+}
+
+/// A source file with one injected syntax error.
+#[derive(Debug, Clone)]
+pub struct SyntaxMutant {
+    /// The broken source.
+    pub source: String,
+    /// The class that was actually applied (a [`SyntaxBreak::CorruptAnnot`]
+    /// request falls back to [`SyntaxBreak::DeleteBrace`] when the input has
+    /// no annotation comments).
+    pub kind: SyntaxBreak,
+}
+
+/// Breaks `source` with the given class. Mutations other than truncation
+/// replace bytes in place, so every surviving line keeps its 1-based line
+/// number — the resilience experiment relies on that to match diagnostics
+/// before and after mutation.
+pub fn break_syntax(source: &str, kind: SyntaxBreak, seed: u64) -> SyntaxMutant {
+    let mut state = seed;
+    let bytes = source.as_bytes();
+    match kind {
+        SyntaxBreak::Truncate => {
+            // Cut in the second half of the file, on whitespace, so the cut
+            // lands between tokens and leaves some declarations intact.
+            let cuts: Vec<usize> = (bytes.len() / 2..bytes.len())
+                .filter(|&i| bytes[i] == b' ' || bytes[i] == b'\n')
+                .collect();
+            let source = match cuts.is_empty() {
+                true => String::new(),
+                false => {
+                    let at = cuts
+                        [(crate::differential::splitmix(&mut state) % cuts.len() as u64) as usize];
+                    source[..at].to_owned()
+                }
+            };
+            SyntaxMutant { source, kind }
+        }
+        SyntaxBreak::DeleteBrace => {
+            let braces: Vec<usize> =
+                (0..bytes.len()).filter(|&i| bytes[i] == b'{' || bytes[i] == b'}').collect();
+            let mut out = bytes.to_vec();
+            if !braces.is_empty() {
+                let at = braces
+                    [(crate::differential::splitmix(&mut state) % braces.len() as u64) as usize];
+                out[at] = b' ';
+            }
+            SyntaxMutant { source: String::from_utf8(out).expect("ascii edit"), kind }
+        }
+        SyntaxBreak::CorruptAnnot => {
+            // First letter of an annotation word becomes `z` (or `q` if it
+            // already is `z`): same length, unknown to the parser.
+            let annots: Vec<usize> = source
+                .match_indices("/*@")
+                .map(|(i, _)| i + 3)
+                .filter(|&i| bytes.get(i).is_some_and(|b| b.is_ascii_alphabetic()))
+                .collect();
+            if annots.is_empty() {
+                return break_syntax(source, SyntaxBreak::DeleteBrace, seed);
+            }
+            let at =
+                annots[(crate::differential::splitmix(&mut state) % annots.len() as u64) as usize];
+            let mut out = bytes.to_vec();
+            out[at] = if out[at] == b'z' || out[at] == b'Z' { b'q' } else { b'z' };
+            SyntaxMutant { source: String::from_utf8(out).expect("ascii edit"), kind }
+        }
+    }
+}
+
+/// Generates `count` syntax mutants of `source`, cycling through the break
+/// classes with per-mutant seeds derived from `seed` (SplitMix64, so the
+/// batch is reproducible independent of the linked `rand`).
+pub fn syntax_mutant_batch(source: &str, count: usize, seed: u64) -> Vec<SyntaxMutant> {
+    let mut state = seed;
+    (0..count)
+        .map(|i| {
+            let class = SyntaxBreak::all()[i % SyntaxBreak::all().len()];
+            let s = crate::differential::splitmix(&mut state);
+            break_syntax(source, class, s)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +292,60 @@ mod tests {
         for m in &mutants {
             assert!((0..1000).contains(&m.trigger));
         }
+    }
+
+    #[test]
+    fn syntax_breaks_change_source_and_preserve_line_numbers() {
+        let b = base();
+        for (i, kind) in SyntaxBreak::all().iter().enumerate() {
+            let m = break_syntax(&b.source, *kind, 11 + i as u64);
+            assert_ne!(m.source, b.source, "{kind:?} must change the source");
+            if m.kind != SyntaxBreak::Truncate {
+                // In-place mutations keep every line where it was.
+                assert_eq!(
+                    m.source.lines().count(),
+                    b.source.lines().count(),
+                    "{kind:?} must preserve line numbers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn syntax_mutant_batch_is_reproducible_and_cycles_classes() {
+        let b = base();
+        let a = syntax_mutant_batch(&b.source, 9, 5);
+        let c = syntax_mutant_batch(&b.source, 9, 5);
+        assert_eq!(a.len(), 9);
+        for (x, y) in a.iter().zip(&c) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.source, y.source);
+        }
+        for kind in SyntaxBreak::all() {
+            assert!(a.iter().any(|m| m.kind == *kind), "batch of 9 must include {kind:?}");
+        }
+    }
+
+    #[test]
+    fn broken_file_in_a_batch_does_not_mask_the_clean_files_diagnostics() {
+        let b = base();
+        let broken = break_syntax(&b.source, SyntaxBreak::DeleteBrace, 7);
+        let leaky = "extern /*@only@*/ char *dupname(const char *s);\n\
+                     void keep(const char *s)\n{\n  char *p = dupname(s);\n}\n";
+        let files =
+            vec![("broken.c".to_owned(), broken.source), ("leaky.c".to_owned(), leaky.to_owned())];
+        let roots = vec!["broken.c".to_owned(), "leaky.c".to_owned()];
+        let linter = Linter::new(Flags::default());
+        let r = linter.check_files(&files, &roots).expect("batch must not hard-fail");
+        assert!(
+            r.diagnostics.iter().any(|d| d.kind == "syntax"),
+            "the broken file must surface a syntax diagnostic: {:?}",
+            r.diagnostics
+        );
+        assert!(
+            r.diagnostics.iter().any(|d| d.file == "leaky.c" && d.kind == "mustfree"),
+            "the clean file's leak must still be reported: {:?}",
+            r.diagnostics
+        );
     }
 }

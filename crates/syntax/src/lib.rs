@@ -84,3 +84,23 @@ pub fn parse_with_files(
     let tu = Parser::new(out.tokens).parse_translation_unit()?;
     Ok((tu, sm, out.controls))
 }
+
+/// Parses a single in-memory source file with parser error recovery: parse
+/// errors inside top-level declarations are collected instead of aborting,
+/// and the surviving declarations are returned alongside them.
+///
+/// # Errors
+///
+/// Lexing and preprocessing errors are still fatal (there is no token
+/// stream to recover over); only parse errors are recovered.
+pub fn parse_translation_unit_recovering(
+    name: &str,
+    text: &str,
+) -> Result<(ast::TranslationUnit, SourceMap, Vec<ControlComment>, Vec<SyntaxError>)> {
+    let mut provider = MemoryProvider::new();
+    provider.insert(name, text);
+    let mut sm = SourceMap::new();
+    let out = pp::preprocess(name, &provider, &mut sm)?;
+    let (tu, errors) = Parser::new(out.tokens).parse_translation_unit_recovering();
+    Ok((tu, sm, out.controls, errors))
+}

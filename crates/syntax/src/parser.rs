@@ -13,11 +13,40 @@ use crate::span::Span;
 use crate::token::{Keyword as Kw, Punct, Token, TokenKind};
 use std::collections::HashSet;
 
+/// Maximum recursive-descent nesting depth (expressions, statements,
+/// declarators, initializers share one counter). Deeply nested input —
+/// e.g. thousands of nested parentheses — is rejected with a syntax error
+/// instead of overflowing the stack.
+const MAX_NESTING_DEPTH: u32 = 256;
+
+/// Stack size for the dedicated parse thread. Recursive descent in an
+/// unoptimized build burns tens of kilobytes of stack per nesting level, so
+/// legal inputs near [`MAX_NESTING_DEPTH`] need far more head-room than the
+/// 2 MiB default of Rust test threads; a fixed large stack plus the depth
+/// cap bounds worst-case consumption no matter which thread the caller
+/// parses from.
+const PARSE_STACK: usize = 64 * 1024 * 1024;
+
+/// Runs `f` on a thread with [`PARSE_STACK`] bytes of stack, propagating
+/// panics to the caller.
+fn on_parse_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    let handle = std::thread::Builder::new()
+        .name("rlclint-parse".into())
+        .stack_size(PARSE_STACK)
+        .spawn(f)
+        .expect("spawn parse thread");
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
 /// The parser.
 pub struct Parser {
     toks: Vec<Token>,
     pos: usize,
     typedefs: HashSet<String>,
+    depth: u32,
 }
 
 impl Parser {
@@ -29,7 +58,7 @@ impl Parser {
         for t in ["size_t", "FILE", "va_list", "bool_", "ptrdiff_t"] {
             typedefs.insert(t.to_owned());
         }
-        Parser { toks, pos: 0, typedefs }
+        Parser { toks, pos: 0, typedefs, depth: 0 }
     }
 
     /// Registers an extra typedef name before parsing.
@@ -111,6 +140,21 @@ impl Parser {
         self.peek().kind == TokenKind::Eof
     }
 
+    /// Bumps the shared nesting counter, erroring out past the cap so
+    /// pathological nesting cannot overflow the native stack. Callers must
+    /// pair every successful `enter_nested` with a `leave_nested`.
+    fn enter_nested(&mut self) -> Result<()> {
+        if self.depth >= MAX_NESTING_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn leave_nested(&mut self) {
+        self.depth -= 1;
+    }
+
     // -- entry points -------------------------------------------------------
 
     /// Parses the whole token stream as a translation unit.
@@ -118,7 +162,11 @@ impl Parser {
     /// # Errors
     ///
     /// Returns the first syntax error encountered.
-    pub fn parse_translation_unit(mut self) -> Result<TranslationUnit> {
+    pub fn parse_translation_unit(self) -> Result<TranslationUnit> {
+        on_parse_stack(move || self.parse_translation_unit_on_stack())
+    }
+
+    fn parse_translation_unit_on_stack(mut self) -> Result<TranslationUnit> {
         let mut items = Vec::new();
         while !self.at_eof() {
             // Tolerate stray semicolons between items.
@@ -128,6 +176,68 @@ impl Parser {
             items.push(self.parse_external_item()?);
         }
         Ok(TranslationUnit { items })
+    }
+
+    /// Parses the whole token stream, recovering at top-level boundaries.
+    ///
+    /// Each syntax error is recorded and the parser synchronizes to the next
+    /// plausible top-level declaration (the next `;` at brace depth zero, or
+    /// the `}` closing the outermost open brace), so one malformed
+    /// declaration does not discard the rest of the file. Returns whatever
+    /// parsed cleanly together with every error encountered.
+    pub fn parse_translation_unit_recovering(self) -> (TranslationUnit, Vec<SyntaxError>) {
+        on_parse_stack(move || self.parse_translation_unit_recovering_on_stack())
+    }
+
+    fn parse_translation_unit_recovering_on_stack(mut self) -> (TranslationUnit, Vec<SyntaxError>) {
+        let mut items = Vec::new();
+        let mut errors = Vec::new();
+        while !self.at_eof() {
+            // Tolerate stray semicolons between items.
+            if self.eat_punct(Punct::Semi) {
+                continue;
+            }
+            let before = self.pos;
+            match self.parse_external_item() {
+                Ok(item) => items.push(item),
+                Err(e) => {
+                    errors.push(e);
+                    self.synchronize(before);
+                }
+            }
+        }
+        (TranslationUnit { items }, errors)
+    }
+
+    /// Skips ahead to a likely top-level boundary after a parse error: the
+    /// next `;` at brace depth zero, or the `}` that closes the outermost
+    /// brace opened during the skip. Guarantees at least one token of
+    /// progress past `before` so recovery always terminates.
+    fn synchronize(&mut self, before: usize) {
+        if self.pos == before && !self.at_eof() {
+            self.pos += 1;
+        }
+        let mut depth: i32 = 0;
+        while !self.at_eof() {
+            match &self.peek().kind {
+                TokenKind::Punct(Punct::Semi) if depth == 0 => {
+                    self.pos += 1;
+                    return;
+                }
+                TokenKind::Punct(Punct::LBrace) => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                TokenKind::Punct(Punct::RBrace) => {
+                    self.pos += 1;
+                    depth -= 1;
+                    if depth <= 0 {
+                        return;
+                    }
+                }
+                _ => self.pos += 1,
+            }
+        }
     }
 
     fn parse_external_item(&mut self) -> Result<Item> {
@@ -452,6 +562,13 @@ impl Parser {
     /// Parses a declarator. With `allow_abstract`, the identifier may be
     /// omitted (parameter and type-name positions).
     fn parse_declarator(&mut self, allow_abstract: bool) -> Result<Declarator> {
+        self.enter_nested()?;
+        let r = self.parse_declarator_inner(allow_abstract);
+        self.leave_nested();
+        r
+    }
+
+    fn parse_declarator_inner(&mut self, allow_abstract: bool) -> Result<Declarator> {
         let start = self.peek().span;
         // Prefix pointers, each optionally annotated/qualified.
         let mut pointers: Vec<Derived> = Vec::new();
@@ -658,6 +775,13 @@ impl Parser {
     }
 
     fn parse_initializer(&mut self) -> Result<Initializer> {
+        self.enter_nested()?;
+        let r = self.parse_initializer_inner();
+        self.leave_nested();
+        r
+    }
+
+    fn parse_initializer_inner(&mut self) -> Result<Initializer> {
         if self.at_punct(Punct::LBrace) {
             self.pos += 1;
             let mut items = Vec::new();
@@ -721,6 +845,13 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt> {
+        self.enter_nested()?;
+        let r = self.parse_stmt_inner();
+        self.leave_nested();
+        r
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<Stmt> {
         let start = self.peek().span;
         match self.peek().kind.clone() {
             TokenKind::Punct(Punct::LBrace) => self.parse_compound(),
@@ -861,6 +992,13 @@ impl Parser {
     }
 
     fn parse_assignment_expr(&mut self) -> Result<Expr> {
+        self.enter_nested()?;
+        let r = self.parse_assignment_expr_inner();
+        self.leave_nested();
+        r
+    }
+
+    fn parse_assignment_expr_inner(&mut self) -> Result<Expr> {
         let lhs = self.parse_cond_expr()?;
         let op = match &self.peek().kind {
             TokenKind::Punct(Punct::Eq) => Some(AssignOp::Assign),
@@ -1481,5 +1619,94 @@ void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
             }
             _ => panic!(),
         }
+    }
+
+    // -- error recovery -----------------------------------------------------
+
+    fn parse_recovering(src: &str) -> (TranslationUnit, Vec<SyntaxError>) {
+        let (tu, _, _, errors) = crate::parse_translation_unit_recovering("t.c", src).unwrap();
+        (tu, errors)
+    }
+
+    #[test]
+    fn recovery_skips_bad_declaration_to_semicolon() {
+        let (tu, errors) = parse_recovering("int 3 = 4;\nint ok;\n");
+        assert_eq!(errors.len(), 1);
+        assert_eq!(tu.items.len(), 1);
+        match &tu.items[0] {
+            Item::Decl(d) => {
+                assert_eq!(d.declarators[0].declarator.name.as_deref(), Some("ok"))
+            }
+            _ => panic!("expected decl"),
+        }
+    }
+
+    #[test]
+    fn recovery_skips_bad_function_body_to_closing_brace() {
+        let src = "void bad(void) { return }\nvoid good(void) { return; }\n";
+        let (tu, errors) = parse_recovering(src);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("expected expression"));
+        assert_eq!(tu.items.len(), 1);
+        match &tu.items[0] {
+            Item::Function(f) => assert_eq!(f.declarator.name.as_deref(), Some("good")),
+            _ => panic!("expected function"),
+        }
+    }
+
+    #[test]
+    fn recovery_collects_multiple_errors() {
+        let src = "int 1;\nint a;\nint 2;\nint b;\n";
+        let (tu, errors) = parse_recovering(src);
+        assert_eq!(errors.len(), 2);
+        assert_eq!(tu.items.len(), 2);
+    }
+
+    #[test]
+    fn recovery_handles_truncated_file() {
+        // The body never closes; the error is recorded and parsing stops at
+        // EOF instead of looping.
+        let (tu, errors) = parse_recovering("int a;\nvoid f(void) { int x = 1;\n");
+        assert_eq!(tu.items.len(), 1);
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn recovery_of_error_free_input_matches_strict_parse() {
+        let src = "int g;\nvoid f(/*@null@*/ char *p) { if (p) { g = 1; } }\n";
+        let strict = parse(src);
+        let (recovered, errors) = parse_recovering(src);
+        assert!(errors.is_empty());
+        assert_eq!(strict.items.len(), recovered.items.len());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let mut expr = String::new();
+        for _ in 0..10_000 {
+            expr.push('(');
+        }
+        expr.push('1');
+        for _ in 0..10_000 {
+            expr.push(')');
+        }
+        let err = parse_err(&format!("int x = {expr};"));
+        assert!(err.message.contains("nesting too deep"), "got: {}", err.message);
+        // And the recovering parser survives it too.
+        let (_, errors) = parse_recovering(&format!("int x = {expr};\nint ok;\n"));
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn moderate_nesting_still_parses() {
+        let mut expr = String::new();
+        for _ in 0..100 {
+            expr.push('(');
+        }
+        expr.push('1');
+        for _ in 0..100 {
+            expr.push(')');
+        }
+        parse(&format!("int x = {expr};"));
     }
 }

@@ -1,0 +1,11 @@
+/* Rendered with RLCLINT_DEBUG_PANIC_FN=victim: the injected panic becomes
+   an internal-error diagnostic, and the other function is still checked. */
+void victim(void)
+{
+  int x; x = 1;
+}
+
+void bystander(void)
+{
+  char *p = (char *) malloc(8);
+}

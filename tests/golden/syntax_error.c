@@ -1,0 +1,8 @@
+/* One declaration is malformed; the parser recovers and the next function's
+   real diagnostic must still be reported alongside the syntax message. */
+void broken(void) { return }
+
+void keeper(void)
+{
+  char *p = (char *) malloc(8);
+}

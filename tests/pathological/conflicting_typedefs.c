@@ -1,0 +1,6 @@
+/* Crash-resilience fixture: the same name is typedef'd twice with
+   conflicting shapes, then used both ways. */
+typedef int t;
+typedef char *t;
+t confused(t x) { return x; }
+int user(void) { t v = 0; return (int) v; }

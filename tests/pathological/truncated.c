@@ -1,0 +1,5 @@
+void half_written(void)
+{
+  char *p = (char *) malloc(4);
+  if (p != 0) {
+    *p = 

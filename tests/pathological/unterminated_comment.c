@@ -1,0 +1,5 @@
+/* Crash-resilience fixture: the comment below never closes, so lexing the
+   file fails. The checker must degrade to a syntax diagnostic, not abort. */
+int before(void) { return 1; }
+/* this comment has no terminator
+int after(void) { return 2; }
