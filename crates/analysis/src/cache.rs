@@ -36,7 +36,8 @@ use lclint_sema::deps::{digest_deps, DepSet};
 use lclint_sema::{CheckedFunction, Program};
 use lclint_syntax::span::Span;
 use lclint_syntax::stable_hash::{function_def_hash, StableHasher};
-use std::collections::HashMap;
+use lclint_syntax::Symbol;
+use lclint_syntax::fx::FxHashMap;
 
 /// One freshly checked definition: its index, diagnostics, and recorded
 /// dependencies (`None` when the check degraded and must not be cached).
@@ -44,8 +45,10 @@ type FreshResult = (usize, Vec<Diagnostic>, Option<DepSet>);
 
 /// Bumped whenever fingerprinting, dependency recording, or the
 /// relocatable-diagnostic encoding changes meaning; on-disk caches carry it
-/// and are discarded wholesale on mismatch.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+/// and are discarded wholesale on mismatch. Version 3: the flat-arena AST
+/// changed `function_def_hash`'s traversal and dep digests hash interned
+/// symbol text — caches written by earlier builds must never validate.
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
 /// Digest of the analysis options that can change checking output.
 /// `jobs` is deliberately excluded: output is identical for any worker
@@ -88,7 +91,7 @@ pub enum RelocSpan {
     /// Inside a global variable's declaration; offsets from its span start.
     GlobalDecl {
         /// The global's name.
-        name: String,
+        name: Symbol,
         /// Offset from the declaration's start.
         start: u32,
         /// Offset of the end from the declaration's start.
@@ -97,7 +100,7 @@ pub enum RelocSpan {
     /// Inside another function's declaration (e.g. a callee prototype).
     FuncDecl {
         /// The function's name.
-        name: String,
+        name: Symbol,
         /// Offset from the declaration's start.
         start: u32,
         /// Offset of the end from the declaration's start.
@@ -161,7 +164,7 @@ impl CacheStats {
 /// The in-memory incremental cache, keyed by function name.
 #[derive(Debug, Default)]
 pub struct CheckCache {
-    entries: HashMap<String, CacheEntry>,
+    entries: FxHashMap<Symbol, CacheEntry>,
     stats: CacheStats,
 }
 
@@ -193,12 +196,12 @@ impl CheckCache {
 
     /// Iterates the stored entries (deterministic order not guaranteed;
     /// serialization sorts by name).
-    pub fn entries(&self) -> impl Iterator<Item = (&String, &CacheEntry)> {
+    pub fn entries(&self) -> impl Iterator<Item = (&Symbol, &CacheEntry)> {
         self.entries.iter()
     }
 
     /// Inserts a deserialized entry (used when loading a disk cache).
-    pub fn insert_entry(&mut self, name: String, entry: CacheEntry) {
+    pub fn insert_entry(&mut self, name: Symbol, entry: CacheEntry) {
         self.entries.insert(name, entry);
     }
 }
@@ -247,22 +250,22 @@ fn to_reloc_span(span: Span, anchor: Span, program: &Program, deps: &DepSet) -> 
     }
     // Out-of-function spans can only point at declarations the function
     // resolved — which are exactly the recorded dependencies.
-    for name in &deps.globals {
+    for &name in &deps.globals {
         if let Some(g) = program.global(name) {
             if contains(g.span) {
                 return Some(RelocSpan::GlobalDecl {
-                    name: name.clone(),
+                    name,
                     start: span.start - g.span.start,
                     end: span.end - g.span.start,
                 });
             }
         }
     }
-    for name in &deps.functions {
+    for &name in &deps.functions {
         if let Some(sig) = program.function(name) {
             if contains(sig.span) {
                 return Some(RelocSpan::FuncDecl {
-                    name: name.clone(),
+                    name,
                     start: span.start - sig.span.start,
                     end: span.end - sig.span.start,
                 });
@@ -281,11 +284,11 @@ fn from_reloc_span(rs: &RelocSpan, anchor: Span, program: &Program) -> Option<Sp
             Some(Span::new(anchor.file, anchor.start + start, anchor.start + end))
         }
         RelocSpan::GlobalDecl { name, start, end } => {
-            let g = program.global(name)?;
+            let g = program.global(*name)?;
             Some(Span::new(g.span.file, g.span.start + start, g.span.start + end))
         }
         RelocSpan::FuncDecl { name, start, end } => {
-            let sig = program.function(name)?;
+            let sig = program.function(*name)?;
             Some(Span::new(sig.span.file, sig.span.start + start, sig.span.start + end))
         }
     }
@@ -337,7 +340,7 @@ fn rebase_diags(
                 message: rd.message.clone(),
                 span,
                 notes,
-                in_function: Some(def.sig.name.clone()),
+                in_function: Some(def.sig.name.to_string()),
             })
         })
         .collect()
@@ -366,7 +369,7 @@ pub fn check_program_cached(
     // Phase 1 — sequential probe. Hashing and digesting are orders of
     // magnitude cheaper than checking, so this is not worth parallelizing.
     for (i, def) in defs.iter().enumerate() {
-        let body_hash = function_def_hash(&def.ast);
+        let body_hash = function_def_hash(&def.arena, &def.ast);
         match cache.entries.get(&def.sig.name) {
             Some(entry) => {
                 let fp = fingerprint(program, od, lib_digest, def, body_hash, &entry.deps);
@@ -396,7 +399,7 @@ pub fn check_program_cached(
             .iter()
             .map(|&i| {
                 let def = &defs[i];
-                let r = check_function_isolated(program, &def.sig, &def.ast, opts, true);
+                let r = check_function_isolated(program, def, opts, true);
                 (i, r.diags, r.deps)
             })
             .collect()
@@ -409,21 +412,20 @@ pub fn check_program_cached(
     // function, and a warm run must re-check them.
     for (i, diags, deps) in fresh {
         let def = &defs[i];
-        let body_hash = function_def_hash(&def.ast);
+        let body_hash = function_def_hash(&def.arena, &def.ast);
         match deps {
             Some(deps) => match to_reloc_diags(&diags, def.sig.span, program, &deps) {
                 Some(reloc) => {
                     let fp = fingerprint(program, od, lib_digest, def, body_hash, &deps);
-                    cache.entries.insert(
-                        def.sig.name.clone(),
-                        CacheEntry { fingerprint: fp, deps, diags: reloc },
-                    );
+                    cache
+                        .entries
+                        .insert(def.sig.name, CacheEntry { fingerprint: fp, deps, diags: reloc });
                 }
                 None => cache.stats.uncacheable += 1,
             },
             None => cache.stats.degraded += 1,
         }
-        cache.stats.checked.push(def.sig.name.clone());
+        cache.stats.checked.push(def.sig.name.to_string());
         slots[i] = Some(diags);
     }
 
@@ -454,8 +456,7 @@ fn check_misses_parallel(
                             let w = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&i) = misses.get(w) else { break };
                             let def = &defs[i];
-                            let r =
-                                check_function_isolated(program, &def.sig, &def.ast, opts, true);
+                            let r = check_function_isolated(program, def, opts, true);
                             out.push((i, r.diags, r.deps));
                         }
                         out

@@ -8,11 +8,12 @@ use crate::options::AnalysisOptions;
 use crate::refs::{Path, RefBase, RefId, RefStep, RefTable};
 use crate::state::{implicit_state, merge_env, AllocState, DefState, Env, NullState, RefState};
 use lclint_cfg::{Action, Cfg};
-use lclint_sema::{FunctionSig, LocalScope, Program, QualType, Type};
+use lclint_sema::{CheckedFunction, FunctionSig, LocalScope, Program, QualType, Type};
 use lclint_syntax::annot::{DefAnnot, NullAnnot};
 use lclint_syntax::ast::*;
 use lclint_syntax::span::Span;
-use std::collections::HashMap;
+use lclint_syntax::Symbol;
+use lclint_syntax::fx::{FxHashMap, FxHashSet};
 
 /// Checks every function definition in `program`, returning all diagnostics
 /// in source order.
@@ -28,7 +29,7 @@ pub fn check_program(program: &Program, opts: &AnalysisOptions) -> Vec<Diagnosti
         return program
             .defs
             .iter()
-            .flat_map(|def| check_function_isolated(program, &def.sig, &def.ast, opts, false).diags)
+            .flat_map(|def| check_function_isolated(program, def, opts, false).diags)
             .collect();
     }
     check_program_parallel(program, opts, jobs)
@@ -69,8 +70,7 @@ fn check_program_parallel(
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(def) = defs.get(i) else { break };
-                            let r =
-                                check_function_isolated(program, &def.sig, &def.ast, opts, false);
+                            let r = check_function_isolated(program, def, opts, false);
                             out.push((i, r.diags));
                         }
                         out
@@ -100,11 +100,10 @@ fn check_program_parallel(
 /// Checks one function definition against its interface.
 pub fn check_function(
     program: &Program,
-    sig: &FunctionSig,
-    ast: &FunctionDef,
+    def: &CheckedFunction,
     opts: &AnalysisOptions,
 ) -> Vec<Diagnostic> {
-    check_function_impl(program, sig, ast, opts, false).0
+    check_function_impl(program, def, opts, false).0
 }
 
 /// Result of one fault-isolated per-function check
@@ -125,12 +124,12 @@ pub struct FunctionOutcome {
 /// definition.
 pub fn check_function_isolated(
     program: &Program,
-    sig: &FunctionSig,
-    ast: &FunctionDef,
+    def: &CheckedFunction,
     opts: &AnalysisOptions,
     recording: bool,
 ) -> FunctionOutcome {
-    match run_guarded(|| check_function_impl(program, sig, ast, opts, recording)) {
+    let sig = &def.sig;
+    match run_guarded(|| check_function_impl(program, def, opts, recording)) {
         GuardOutcome::Ok((diags, deps)) => FunctionOutcome { diags, deps: Some(deps) },
         GuardOutcome::Budget => {
             let limit = opts.max_steps.unwrap_or(0);
@@ -141,9 +140,9 @@ pub fn check_function_isolated(
                      function assumed safe, not checked",
                     sig.name
                 ),
-                ast.span,
+                def.ast.span,
             );
-            d.in_function = Some(sig.name.clone());
+            d.in_function = Some(sig.name.to_string());
             FunctionOutcome { diags: vec![d], deps: None }
         }
         GuardOutcome::Panicked(payload) => {
@@ -153,9 +152,9 @@ pub fn check_function_isolated(
                     "Internal checker error in function {} (please report): {payload}",
                     sig.name
                 ),
-                ast.span,
+                def.ast.span,
             );
-            d.in_function = Some(sig.name.clone());
+            d.in_function = Some(sig.name.to_string());
             FunctionOutcome { diags: vec![d], deps: None }
         }
     }
@@ -166,16 +165,16 @@ pub fn check_function_isolated(
 /// transfer functions changes except the additional observation.
 pub(crate) fn check_function_summary(
     program: &Program,
-    sig: &FunctionSig,
-    ast: &FunctionDef,
+    def: &CheckedFunction,
     opts: &AnalysisOptions,
 ) -> crate::summary::SummaryObs {
+    let sig = &def.sig;
     if opts.debug_panic_fn.as_deref() == Some(sig.name.as_str()) {
         panic!("debug-injected panic in function {}", sig.name);
     }
-    let mut checker = Checker::new(program, sig, opts);
+    let mut checker = Checker::new(program, sig, &def.arena, opts);
     checker.summary = Some(Box::new(crate::summary::SummaryObs::for_params(sig.ty.params.len())));
-    let cfg = Cfg::build_with(ast, opts.loop_model);
+    let cfg = Cfg::build_with(&def.arena, &def.ast, opts.loop_model);
     let entry = checker.entry_env();
     lclint_cfg::run(&cfg, &mut checker, entry);
     *checker.summary.expect("installed above")
@@ -183,19 +182,19 @@ pub(crate) fn check_function_summary(
 
 fn check_function_impl(
     program: &Program,
-    sig: &FunctionSig,
-    ast: &FunctionDef,
+    def: &CheckedFunction,
     opts: &AnalysisOptions,
     recording: bool,
 ) -> (Vec<Diagnostic>, lclint_sema::DepSet) {
+    let sig = &def.sig;
     if opts.debug_panic_fn.as_deref() == Some(sig.name.as_str()) {
         panic!("debug-injected panic in function {}", sig.name);
     }
-    let mut checker = Checker::new(program, sig, opts);
+    let mut checker = Checker::new(program, sig, &def.arena, opts);
     if recording {
         checker.scope = LocalScope::recording(program);
     }
-    let cfg = Cfg::build_with(ast, opts.loop_model);
+    let cfg = Cfg::build_with(&def.arena, &def.ast, opts.loop_model);
     for span in &cfg.unreachable_stmts {
         checker.report(Diagnostic::new(
             DiagKind::UnreachableCode,
@@ -208,7 +207,7 @@ fn check_function_impl(
     let deps = checker.scope.take_deps();
     let mut diags = checker.diags;
     for d in &mut diags {
-        d.in_function = Some(sig.name.clone());
+        d.in_function = Some(sig.name.to_string());
     }
     // Report in source order.
     diags.sort_by_key(|d| (d.span.file, d.span.start));
@@ -218,21 +217,24 @@ fn check_function_impl(
 /// Mutable analysis context for one function. All shared program state is
 /// read through `scope`, which overlays function-local definitions on an
 /// immutable [`Program`] — nothing here writes to shared state, which is
-/// what makes [`check_program`]'s fan-out sound.
+/// what makes [`check_program`]'s fan-out sound. Expression and statement
+/// payloads are read out of the translation unit's frozen node arena `ast`.
 pub(crate) struct Checker<'p> {
     pub(crate) scope: LocalScope<'p>,
     pub(crate) opts: &'p AnalysisOptions,
     pub(crate) sig: &'p FunctionSig,
+    /// The frozen node arena the function body's ids index into.
+    pub(crate) ast: &'p Ast,
     pub(crate) table: RefTable,
     pub(crate) diags: Vec<Diagnostic>,
     /// Types of locals currently in scope (flat — shadowing collapses).
-    pub(crate) local_types: HashMap<String, QualType>,
+    pub(crate) local_types: FxHashMap<Symbol, QualType>,
     /// Parameter indexes by name.
-    pub(crate) param_index: HashMap<String, usize>,
+    pub(crate) param_index: FxHashMap<Symbol, usize>,
     /// The declared globals list (`None` = unchecked): name → undef flag.
-    pub(crate) globals_list: Option<HashMap<String, bool>>,
+    pub(crate) globals_list: Option<FxHashMap<Symbol, bool>>,
     /// Globals already reported as undocumented uses.
-    pub(crate) reported_globals: std::collections::HashSet<String>,
+    pub(crate) reported_globals: FxHashSet<Symbol>,
     /// When true, evaluation emits no diagnostics and performs no effects
     /// (used for guard re-resolution).
     pub(crate) quiet: bool,
@@ -245,28 +247,31 @@ pub(crate) struct Checker<'p> {
 }
 
 impl<'p> Checker<'p> {
-    fn new(program: &'p Program, sig: &'p FunctionSig, opts: &'p AnalysisOptions) -> Self {
-        let mut param_index = HashMap::new();
+    fn new(
+        program: &'p Program,
+        sig: &'p FunctionSig,
+        ast: &'p Ast,
+        opts: &'p AnalysisOptions,
+    ) -> Self {
+        let mut param_index = FxHashMap::default();
         for (i, p) in sig.ty.params.iter().enumerate() {
-            if let Some(n) = &p.name {
-                param_index.insert(n.clone(), i);
+            if let Some(n) = p.name {
+                param_index.insert(n, i);
             }
         }
-        let globals_list = sig
-            .ty
-            .globals
-            .as_ref()
-            .map(|gs| gs.iter().map(|g| (g.name.clone(), g.undef)).collect());
+        let globals_list =
+            sig.ty.globals.as_ref().map(|gs| gs.iter().map(|g| (g.name, g.undef)).collect());
         Checker {
             scope: LocalScope::new(program),
             opts,
             sig,
+            ast,
             table: RefTable::new(),
             diags: Vec::new(),
-            local_types: HashMap::new(),
+            local_types: FxHashMap::default(),
             param_index,
             globals_list,
-            reported_globals: std::collections::HashSet::new(),
+            reported_globals: FxHashSet::default(),
             quiet: false,
             summary: None,
             steps: 0,
@@ -298,14 +303,14 @@ impl<'p> Checker<'p> {
         let sig = self.sig;
         let fn_span = sig.span;
         for (i, p) in sig.ty.params.iter().enumerate() {
-            let name = match &p.name {
-                Some(n) => n.clone(),
+            let name = match p.name {
+                Some(n) => n,
                 None => continue,
             };
             let local =
-                self.table.intern_typed(Path::root(RefBase::Param(i, name.clone())), p.ty.clone());
+                self.table.intern_typed(Path::root(RefBase::Param(i, name)), p.ty.clone());
             let shadow =
-                self.table.intern_typed(Path::root(RefBase::Arg(i, name.clone())), p.ty.clone());
+                self.table.intern_typed(Path::root(RefBase::Arg(i, name)), p.ty.clone());
             let st = self.entry_param_state(&p.ty, fn_span);
             let is_out = p.ty.annots.def() == Some(DefAnnot::Out);
             env.set(local, st.clone());
@@ -352,16 +357,16 @@ impl<'p> Checker<'p> {
     /// Lazily seeds a global's state from its declaration annotations and
     /// the function's globals list (paper §4: `undef` in the list means the
     /// global may be undefined when this function is called).
-    pub(crate) fn global_ref(&mut self, env: &mut Env, name: &str) -> Option<RefId> {
+    pub(crate) fn global_ref(&mut self, env: &mut Env, name: Symbol) -> Option<RefId> {
         let g = self.scope.global(name)?;
         // With a declared globals list, uses of unlisted globals are
         // undocumented-interface anomalies.
         let listed_undef = match &self.globals_list {
-            Some(list) => match list.get(name) {
+            Some(list) => match list.get(&name) {
                 Some(undef) => Some(*undef),
                 None => {
-                    if self.reported_globals.insert(name.to_owned()) && !self.quiet {
-                        let fname = self.sig.name.clone();
+                    if self.reported_globals.insert(name) && !self.quiet {
+                        let fname = self.sig.name;
                         self.report(Diagnostic::new(
                             DiagKind::InterfaceViolation,
                             format!(
@@ -376,8 +381,7 @@ impl<'p> Checker<'p> {
             },
             None => None,
         };
-        let id =
-            self.table.intern_typed(Path::root(RefBase::Global(name.to_owned())), g.ty.clone());
+        let id = self.table.intern_typed(Path::root(RefBase::Global(name)), g.ty.clone());
         if !env.contains(id) {
             let def = if listed_undef == Some(true) {
                 DefState::Undefined
@@ -415,15 +419,13 @@ impl<'p> Checker<'p> {
 
     /// Resolves a name to its reference: locals shadow parameters shadow
     /// globals.
-    pub(crate) fn base_ref(&mut self, env: &mut Env, name: &str) -> Option<RefId> {
-        if let Some(ty) = self.local_types.get(name).cloned() {
-            return Some(self.table.intern_typed(Path::root(RefBase::Local(name.to_owned())), ty));
+    pub(crate) fn base_ref(&mut self, env: &mut Env, name: Symbol) -> Option<RefId> {
+        if let Some(ty) = self.local_types.get(&name).cloned() {
+            return Some(self.table.intern_typed(Path::root(RefBase::Local(name)), ty));
         }
-        if let Some(&i) = self.param_index.get(name) {
+        if let Some(&i) = self.param_index.get(&name) {
             let ty = self.sig.ty.params[i].ty.clone();
-            return Some(
-                self.table.intern_typed(Path::root(RefBase::Param(i, name.to_owned())), ty),
-            );
+            return Some(self.table.intern_typed(Path::root(RefBase::Param(i, name)), ty));
         }
         self.global_ref(env, name)
     }
@@ -517,7 +519,7 @@ impl<'p> Checker<'p> {
         step: RefStep,
         ty: Option<QualType>,
     ) -> RefId {
-        let path = self.table.path(base).extended(step.clone());
+        let path = self.table.path(base).extended(step);
         let id = match ty.clone() {
             Some(t) => self.table.intern_typed(path, t),
             None => self.table.intern(path),
@@ -529,7 +531,7 @@ impl<'p> Checker<'p> {
         for a in env.all_aliases_of(base) {
             // Only extend through named storage (not temporaries — their
             // paths are meaningless to users).
-            let apath = self.table.path(a).extended(step.clone());
+            let apath = self.table.path(a).extended(step);
             let aid = match ty.clone() {
                 Some(t) => self.table.intern_typed(apath, t),
                 None => self.table.intern(apath),
@@ -720,7 +722,7 @@ impl<'p> Checker<'p> {
     /// The return-point checks: the function must satisfy the constraints
     /// implied by the annotations on its return value, parameters and the
     /// globals it uses (paper §2).
-    pub(crate) fn check_return(&mut self, env: &mut Env, value: Option<&Expr>, span: Span) {
+    pub(crate) fn check_return(&mut self, env: &mut Env, value: Option<ExprId>, span: Span) {
         if env.unreachable {
             return;
         }
@@ -729,9 +731,10 @@ impl<'p> Checker<'p> {
         if let Some(e) = value {
             let v = self.eval_expr(env, e);
             self.observe_returned_value(env, &v);
-            self.check_returned_value(env, &v, ret_ty, span);
+            let ret_ty = self.sig.ty.ret.clone();
+            self.check_returned_value(env, &v, &ret_ty, span);
         } else if !ret_ty.is_void() && !ret_ty.annots.is_noreturn() {
-            let fname = self.sig.name.clone();
+            let fname = self.sig.name;
             self.report(Diagnostic::new(
                 DiagKind::MissingReturn,
                 format!("Path with no return in function {fname} declared to return a value"),
@@ -807,12 +810,13 @@ impl<'p> Checker<'p> {
                     let declared = self.table.ty(dref).and_then(|t| t.annots.null());
                     if declared.is_none() {
                         let dname = self.table.name(dref);
+                        let ds_null_site = ds.null_site;
                         let mut d = Diagnostic::new(
                             DiagKind::NullMismatch,
                             format!("Null storage {dname} derivable from return value: {name}"),
                             span,
                         );
-                        if let Some(site) = ds.null_site {
+                        if let Some(site) = ds_null_site {
                             d = d.with_note(format!("Storage {dname} becomes null"), site);
                         }
                         self.report(d);
@@ -871,11 +875,10 @@ impl<'p> Checker<'p> {
         let mut reported: Vec<Diagnostic> = Vec::new();
         for (r, st) in env.iter() {
             let path = self.table.path(r);
-            let RefBase::Global(gname) = &path.base else { continue };
+            let RefBase::Global(gname) = path.base else { continue };
             if !path.steps.is_empty() {
                 continue;
             }
-            let gname = gname.clone();
             let Some(ty) = self.table.ty(r) else { continue };
             // Null state must match the declaration.
             if ty.is_pointerish()
@@ -938,8 +941,8 @@ impl<'p> Checker<'p> {
     fn check_params_at_return(&mut self, env: &Env, span: Span) {
         let sig = self.sig;
         for (i, p) in sig.ty.params.iter().enumerate() {
-            let Some(name) = p.name.clone() else { continue };
-            let Some(shadow) = self.table.lookup(&Path::root(RefBase::Arg(i, name.clone()))) else {
+            let Some(name) = p.name else { continue };
+            let Some(shadow) = self.table.lookup(&Path::root(RefBase::Arg(i, name))) else {
                 continue;
             };
             let st = self.state_of(env, shadow);
@@ -948,7 +951,7 @@ impl<'p> Checker<'p> {
             // completely defined storage when the function returns.
             if p.ty.is_pointerish() || is_out {
                 let describe = if is_out { "Out parameter" } else { "Parameter" };
-                self.check_completely_defined_shadow(env, shadow, span, describe, &name);
+                self.check_completely_defined_shadow(env, shadow, span, describe, name);
             }
             // An `only` (or `killref`) parameter whose obligation was never
             // discharged leaks (unless it is null).
@@ -978,7 +981,7 @@ impl<'p> Checker<'p> {
         shadow: RefId,
         span: Span,
         describe: &str,
-        user_name: &str,
+        user_name: Symbol,
     ) {
         if let Some(ty) = self.table.ty(shadow) {
             if matches!(ty.annots.def(), Some(DefAnnot::Partial | DefAnnot::RelDef)) {
@@ -1059,10 +1062,10 @@ impl<'p> Checker<'p> {
         }
     }
 
-    fn exit_scope(&mut self, env: &mut Env, names: &[String], span: Span) {
-        for name in names {
-            let Some(r) = self.table.lookup(&Path::root(RefBase::Local(name.clone()))) else {
-                self.local_types.remove(name);
+    fn exit_scope(&mut self, env: &mut Env, names: &[Symbol], span: Span) {
+        for &name in names {
+            let Some(r) = self.table.lookup(&Path::root(RefBase::Local(name))) else {
+                self.local_types.remove(&name);
                 continue;
             };
             let st = self.state_of(env, r);
@@ -1109,7 +1112,7 @@ impl<'p> Checker<'p> {
                 env.remove(dref);
             }
             env.remove(r);
-            self.local_types.remove(name);
+            self.local_types.remove(&name);
         }
     }
 
@@ -1117,51 +1120,54 @@ impl<'p> Checker<'p> {
 
     /// Refines `env` assuming `cond` evaluated with polarity `sense`
     /// (paper §4's null checking: comparisons and truenull/falsenull calls).
-    pub(crate) fn refine(&mut self, env: &mut Env, cond: &Expr, sense: bool) {
-        match &cond.kind {
-            ExprKind::Unary(UnOp::Not, inner) => self.refine(env, inner, !sense),
+    pub(crate) fn refine(&mut self, env: &mut Env, cond: ExprId, sense: bool) {
+        let ast = self.ast;
+        let span = ast.expr_span(cond);
+        match ast.expr(cond) {
+            ExprKind::Unary(UnOp::Not, inner) => self.refine(env, *inner, !sense),
             ExprKind::Binary(BinOp::LogAnd, l, r) => {
+                let (l, r) = (*l, *r);
                 if sense {
                     self.refine(env, l, true);
                     self.refine(env, r, true);
                 }
             }
             ExprKind::Binary(BinOp::LogOr, l, r) => {
+                let (l, r) = (*l, *r);
                 if !sense {
                     self.refine(env, l, false);
                     self.refine(env, r, false);
                 }
             }
             ExprKind::Binary(op @ (BinOp::Eq | BinOp::Ne), l, r) => {
-                let (ptr, other) = if r.is_null_constant() {
-                    (l, r)
-                } else if l.is_null_constant() {
-                    (r, l)
+                let (op, l, r) = (*op, *l, *r);
+                let ptr = if ast.is_null_constant(r) {
+                    l
+                } else if ast.is_null_constant(l) {
+                    r
                 } else {
                     return;
                 };
-                let _ = other;
-                let is_null = (*op == BinOp::Eq) == sense;
-                self.refine_null(env, ptr, is_null, cond.span);
+                let is_null = (op == BinOp::Eq) == sense;
+                self.refine_null(env, ptr, is_null, span);
             }
             ExprKind::Call(_, args) => {
-                let Some(callee) = cond.direct_callee() else { return };
+                let arg0 = if args.len() == 1 { Some(args[0]) } else { None };
+                let Some(callee) = ast.direct_callee(cond) else { return };
                 let Some(sig) = self.scope.function(callee) else { return };
                 let (truenull, falsenull) =
                     (sig.ty.ret.annots.is_truenull(), sig.ty.ret.annots.is_falsenull());
-                if args.len() != 1 {
-                    return;
-                }
+                let Some(arg0) = arg0 else { return };
                 if truenull {
                     // f(x) true exactly when x is null.
-                    self.refine_null(env, &args[0], sense, cond.span);
+                    self.refine_null(env, arg0, sense, span);
                 } else if falsenull && sense {
                     // f(x) true only when x is not null.
-                    self.refine_null(env, &args[0], false, cond.span);
+                    self.refine_null(env, arg0, false, span);
                 }
             }
-            ExprKind::Cast(_, inner) => self.refine(env, inner, sense),
-            ExprKind::Comma(_, r) => self.refine(env, r, sense),
+            ExprKind::Cast(_, inner) => self.refine(env, *inner, sense),
+            ExprKind::Comma(_, r) => self.refine(env, *r, sense),
             // `if (p)` on a pointer.
             _ => {
                 let was_quiet = self.quiet;
@@ -1170,14 +1176,14 @@ impl<'p> Checker<'p> {
                 self.quiet = was_quiet;
                 if let Some(r) = r {
                     if self.table.ty(r).map(|t| t.is_pointerish()) == Some(true) {
-                        self.set_nullness(env, r, !sense, cond.span);
+                        self.set_nullness(env, r, !sense, span);
                     }
                 }
             }
         }
     }
 
-    fn refine_null(&mut self, env: &mut Env, ptr: &Expr, is_null: bool, site: Span) {
+    fn refine_null(&mut self, env: &mut Env, ptr: ExprId, is_null: bool, site: Span) {
         let was_quiet = self.quiet;
         self.quiet = true;
         let r = self.ref_of_expr(env, ptr);
@@ -1218,15 +1224,15 @@ impl lclint_cfg::Analysis for Checker<'_> {
         self.tick();
         match action {
             Action::Eval(e) => {
-                self.eval_expr(state, e);
+                self.eval_expr(state, *e);
             }
-            Action::Decl(d) => self.transfer_decl(state, d),
-            Action::Return(v, span) => self.check_return(state, v.as_ref(), *span),
+            Action::Decl(d) => self.transfer_decl(state, *d),
+            Action::Return(v, span) => self.check_return(state, *v, *span),
             Action::ExitScope(names, span) => self.exit_scope(state, names, *span),
         }
     }
 
-    fn apply_guard(&mut self, cond: &Expr, sense: bool, state: &mut Env) {
+    fn apply_guard(&mut self, cond: ExprId, sense: bool, state: &mut Env) {
         if state.unreachable {
             return;
         }
@@ -1244,20 +1250,22 @@ impl lclint_cfg::Analysis for Checker<'_> {
 }
 
 impl Checker<'_> {
-    fn transfer_decl(&mut self, env: &mut Env, d: &Declaration) {
+    fn transfer_decl(&mut self, env: &mut Env, d: DeclId) {
+        let ast = self.ast;
+        let d = ast.decl(d);
         if d.specs.storage == Some(StorageClass::Typedef) {
             for id in &d.declarators {
-                if let Some(n) = &id.declarator.name {
-                    let ty = self.scope.resolve_local_declarator(&d.specs, &id.declarator);
-                    self.scope.add_typedef(n.clone(), ty);
+                if let Some(n) = id.declarator.name {
+                    let ty = self.scope.resolve_local_declarator(ast, &d.specs, &id.declarator);
+                    self.scope.add_typedef(n, ty);
                 }
             }
             return;
         }
         for id in &d.declarators {
-            let Some(name) = id.declarator.name.clone() else { continue };
-            let ty = self.scope.resolve_local_declarator(&d.specs, &id.declarator);
-            self.local_types.insert(name.clone(), ty.clone());
+            let Some(name) = id.declarator.name else { continue };
+            let ty = self.scope.resolve_local_declarator(ast, &d.specs, &id.declarator);
+            self.local_types.insert(name, ty.clone());
             let r = self.table.intern_typed(Path::root(RefBase::Local(name)), ty.clone());
             // A (re)declaration severs old aliases and derived state.
             for dref in self.table.derived_of(r) {
@@ -1269,8 +1277,10 @@ impl Checker<'_> {
             env.set(r, st);
             match &id.init {
                 Some(Initializer::Expr(e)) => {
+                    let e = *e;
                     let v = self.eval_expr(env, e);
-                    self.do_assign(env, r, v, e.span);
+                    let site = self.ast.expr_span(e);
+                    self.do_assign(env, r, v, site);
                 }
                 Some(Initializer::List(_)) => {
                     let mut st = RefState::defined();

@@ -9,7 +9,9 @@ use crate::state::{AllocState, DefState, Env, NullState, RefState};
 use lclint_sema::{FunctionSig, QualType, SymbolSource as _, Type};
 use lclint_syntax::annot::{AllocAnnot, DefAnnot, ExposureAnnot, NullAnnot};
 use lclint_syntax::ast::*;
+use lclint_syntax::intern::sym;
 use lclint_syntax::span::Span;
+use lclint_syntax::Symbol;
 
 /// The abstract value of an expression.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,19 +40,22 @@ enum AccessKind {
 
 impl Checker<'_> {
     /// Evaluates `e` for its value and effects, performing rvalue-use checks.
-    pub(crate) fn eval_expr(&mut self, env: &mut Env, e: &Expr) -> Value {
+    pub(crate) fn eval_expr(&mut self, env: &mut Env, e: ExprId) -> Value {
         self.tick();
-        match &e.kind {
+        let ast = self.ast;
+        let span = ast.expr_span(e);
+        match ast.expr(e) {
             ExprKind::Ident(name) => {
+                let name = *name;
                 if name == "NULL" {
-                    return Value::Null(e.span);
+                    return Value::Null(span);
                 }
                 if let Some(v) = self.scope.enum_const(name) {
                     return Value::Int(v);
                 }
                 match self.base_ref(env, name) {
                     Some(r) => {
-                        self.use_rvalue(env, r, e.span);
+                        self.use_rvalue(env, r, span);
                         Value::Ref(r)
                     }
                     None => Value::Opaque,
@@ -59,42 +64,45 @@ impl Checker<'_> {
             ExprKind::IntLit(v) => Value::Int(*v),
             ExprKind::FloatLit(_) => Value::Opaque,
             ExprKind::CharLit(v) => Value::Int(*v),
-            ExprKind::StrLit(_) => Value::Str(e.span),
+            ExprKind::StrLit(_) => Value::Str(span),
             ExprKind::Member { .. } | ExprKind::Index(_, _) | ExprKind::Unary(UnOp::Deref, _) => {
                 match self.ref_of_expr(env, e) {
                     Some(r) => {
-                        self.use_rvalue(env, r, e.span);
+                        self.use_rvalue(env, r, span);
                         Value::Ref(r)
                     }
                     None => Value::Opaque,
                 }
             }
-            ExprKind::Unary(UnOp::Addr, inner) => match self.ref_of_expr(env, inner) {
+            ExprKind::Unary(UnOp::Addr, inner) => match self.ref_of_expr(env, *inner) {
                 Some(r) => Value::AddrOf(r),
                 None => Value::Opaque,
             },
-            ExprKind::Unary(_, inner) => {
+            ExprKind::Unary(op, inner) => {
+                let (op, inner) = (*op, *inner);
                 let v = self.eval_expr(env, inner);
-                match (&e.kind, v) {
-                    (ExprKind::Unary(UnOp::Neg, _), Value::Int(i)) => Value::Int(-i),
-                    (ExprKind::Unary(UnOp::Not, _), Value::Int(i)) => Value::Int(i64::from(i == 0)),
+                match (op, v) {
+                    (UnOp::Neg, Value::Int(i)) => Value::Int(-i),
+                    (UnOp::Not, Value::Int(i)) => Value::Int(i64::from(i == 0)),
                     _ => Value::Opaque,
                 }
             }
             ExprKind::PreIncDec(_, inner) | ExprKind::PostIncDec(_, inner) => {
+                let inner = *inner;
                 if let Some(r) = self.ref_of_expr(env, inner) {
-                    self.use_rvalue(env, r, e.span);
+                    self.use_rvalue(env, r, span);
                     self.mark_offset(env, r);
                 }
                 Value::Opaque
             }
-            ExprKind::Binary(BinOp::LogAnd, l, r) => self.eval_short_circuit(env, l, r, true),
-            ExprKind::Binary(BinOp::LogOr, l, r) => self.eval_short_circuit(env, l, r, false),
+            ExprKind::Binary(BinOp::LogAnd, l, r) => self.eval_short_circuit(env, *l, *r, true),
+            ExprKind::Binary(BinOp::LogOr, l, r) => self.eval_short_circuit(env, *l, *r, false),
             ExprKind::Binary(op, l, r) => {
+                let (op, l, r) = (*op, *l, *r);
                 let lv = self.eval_expr(env, l);
                 let rv = self.eval_expr(env, r);
                 match (lv, rv) {
-                    (Value::Int(a), Value::Int(b)) => const_binop(*op, a, b),
+                    (Value::Int(a), Value::Int(b)) => const_binop(op, a, b),
                     // Pointer arithmetic yields an offset pointer into the
                     // same storage.
                     (Value::Ref(p), _) | (_, Value::Ref(p))
@@ -107,21 +115,23 @@ impl Checker<'_> {
                 }
             }
             ExprKind::Assign(AssignOp::Assign, lhs, rhs) => {
+                let (lhs, rhs) = (*lhs, *rhs);
                 let v = self.eval_expr(env, rhs);
                 match self.ref_of_expr(env, lhs) {
                     Some(lr) => {
-                        self.do_assign(env, lr, v, e.span);
+                        self.do_assign(env, lr, v, span);
                         Value::Ref(lr)
                     }
                     None => v,
                 }
             }
             ExprKind::Assign(op, lhs, rhs) => {
+                let (op, lhs, rhs) = (*op, *lhs, *rhs);
                 // Compound assignment: both a use and a definition of an
                 // arithmetic (or pointer-offset) lvalue; no transfer.
                 let _ = self.eval_expr(env, rhs);
                 if let Some(lr) = self.ref_of_expr(env, lhs) {
-                    self.use_rvalue(env, lr, e.span);
+                    self.use_rvalue(env, lr, span);
                     if matches!(op, AssignOp::Add | AssignOp::Sub)
                         && self.table.ty(lr).map(|t| t.is_pointerish()) == Some(true)
                     {
@@ -133,6 +143,7 @@ impl Checker<'_> {
                 }
             }
             ExprKind::Cond(c, t, f) => {
+                let (c, t, f) = (*c, *t, *f);
                 let _ = self.eval_expr(env, c);
                 let mut env_t = env.clone();
                 let mut env_f = env.clone();
@@ -141,7 +152,7 @@ impl Checker<'_> {
                 let vt = self.eval_expr(&mut env_t, t);
                 let vf = self.eval_expr(&mut env_f, f);
                 let mut diags = Vec::new();
-                *env = crate::state::merge_env(env_t, env_f, e.span, &self.table, &mut diags);
+                *env = crate::state::merge_env(env_t, env_f, span, &self.table, &mut diags);
                 for d in diags {
                     self.report(d);
                 }
@@ -151,19 +162,20 @@ impl Checker<'_> {
                     Value::Opaque
                 }
             }
-            ExprKind::Call(f, args) => self.eval_call(env, e, f, args),
-            ExprKind::Cast(_, inner) => self.eval_expr(env, inner),
+            ExprKind::Call(f, args) => self.eval_call(env, e, *f, args),
+            ExprKind::Cast(_, inner) => self.eval_expr(env, *inner),
             // `sizeof` does not need the value of its argument (paper §3
             // footnote) — the operand is not evaluated or checked.
             ExprKind::SizeofExpr(_) | ExprKind::SizeofType(_) => Value::Opaque,
             ExprKind::Comma(l, r) => {
+                let (l, r) = (*l, *r);
                 let _ = self.eval_expr(env, l);
                 self.eval_expr(env, r)
             }
         }
     }
 
-    fn eval_short_circuit(&mut self, env: &mut Env, l: &Expr, r: &Expr, is_and: bool) -> Value {
+    fn eval_short_circuit(&mut self, env: &mut Env, l: ExprId, r: ExprId, is_and: bool) -> Value {
         let _ = self.eval_expr(env, l);
         // The right operand only executes when the left took one polarity;
         // evaluate it under that refinement, then merge with the
@@ -174,7 +186,8 @@ impl Checker<'_> {
         let mut skipped = env.clone();
         self.refine(&mut skipped, l, !is_and);
         let mut diags = Vec::new();
-        *env = crate::state::merge_env(taken, skipped, l.span, &self.table, &mut diags);
+        let at = self.ast.expr_span(l);
+        *env = crate::state::merge_env(taken, skipped, at, &self.table, &mut diags);
         for d in diags {
             self.report(d);
         }
@@ -184,39 +197,47 @@ impl Checker<'_> {
     /// Resolves a path-shaped expression to a reference, checking
     /// intermediate dereferences. In quiet mode, performs no checks and
     /// triggers no call evaluation.
-    pub(crate) fn ref_of_expr(&mut self, env: &mut Env, e: &Expr) -> Option<RefId> {
-        match &e.kind {
+    pub(crate) fn ref_of_expr(&mut self, env: &mut Env, e: ExprId) -> Option<RefId> {
+        let ast = self.ast;
+        match ast.expr(e) {
             ExprKind::Ident(name) => {
+                let name = *name;
                 if name == "NULL" {
                     return None;
                 }
                 self.base_ref(env, name)
             }
             ExprKind::Member { base, field, arrow } => {
+                let (base, field, arrow) = (*base, *field, *arrow);
                 let br = self.ref_of_expr(env, base)?;
-                if *arrow {
-                    self.check_deref(env, br, base.span, AccessKind::Arrow, field);
+                if arrow {
+                    let at = ast.expr_span(base);
+                    self.check_deref(env, br, at, AccessKind::Arrow, field);
                 }
-                let fty = self.field_type(br, field, *arrow);
-                Some(self.extend_ref(env, br, RefStep::Field(field.clone()), fty))
+                let fty = self.field_type(br, field, arrow);
+                Some(self.extend_ref(env, br, RefStep::Field(field), fty))
             }
             ExprKind::Unary(UnOp::Deref, inner) => {
+                let inner = *inner;
                 let br = self.ref_of_expr(env, inner)?;
-                self.check_deref(env, br, inner.span, AccessKind::Deref, "");
+                let at = ast.expr_span(inner);
+                self.check_deref(env, br, at, AccessKind::Deref, sym::empty());
                 let ty = self.table.ty(br).and_then(|t| t.pointee().cloned());
                 Some(self.extend_ref(env, br, RefStep::Deref, ty))
             }
             ExprKind::Index(base, idx) => {
+                let (base, idx) = (*base, *idx);
                 let br = self.ref_of_expr(env, base)?;
                 if !self.quiet {
                     let _ = self.eval_expr(env, idx);
                 }
-                self.check_deref(env, br, base.span, AccessKind::Index, "");
+                let at = ast.expr_span(base);
+                self.check_deref(env, br, at, AccessKind::Index, sym::empty());
                 let ty = self.table.ty(br).and_then(|t| t.pointee().cloned());
                 Some(self.extend_ref(env, br, RefStep::Index, ty))
             }
-            ExprKind::Cast(_, inner) => self.ref_of_expr(env, inner),
-            ExprKind::Comma(_, r) => self.ref_of_expr(env, r),
+            ExprKind::Cast(_, inner) => self.ref_of_expr(env, *inner),
+            ExprKind::Comma(_, r) => self.ref_of_expr(env, *r),
             _ => {
                 if self.quiet {
                     return None;
@@ -230,7 +251,7 @@ impl Checker<'_> {
     }
 
     /// The type of `base->field` / `base.field`.
-    fn field_type(&mut self, base: RefId, field: &str, arrow: bool) -> Option<QualType> {
+    fn field_type(&mut self, base: RefId, field: Symbol, arrow: bool) -> Option<QualType> {
         let bty = self.table.ty(base)?.clone();
         let sty = if arrow { bty.pointee()?.clone() } else { bty };
         match sty.ty {
@@ -258,7 +279,14 @@ impl Checker<'_> {
 
     /// Checks a dereference of `r` (null, dead and undefined anomalies),
     /// then squelches the reported fact to avoid message cascades.
-    fn check_deref(&mut self, env: &mut Env, r: RefId, span: Span, kind: AccessKind, field: &str) {
+    fn check_deref(
+        &mut self,
+        env: &mut Env,
+        r: RefId,
+        span: Span,
+        kind: AccessKind,
+        field: Symbol,
+    ) {
         if self.quiet {
             return;
         }
@@ -402,7 +430,7 @@ impl Checker<'_> {
         // declared with an owning annotation carry a provable obligation at
         // the overwrite point; untouched derived storage may hold null or
         // already-shared values.
-        let is_static_global = match &self.table.path(lhs).base {
+        let is_static_global = match self.table.path(lhs).base {
             crate::refs::RefBase::Global(g) => {
                 self.scope.global(g).map(|gv| gv.is_static) == Some(true)
             }
@@ -625,7 +653,7 @@ impl Checker<'_> {
                     let mut cur = lhs;
                     for (i, step) in rel.iter().enumerate() {
                         let t = if i == rel.len() - 1 { ty.clone() } else { None };
-                        cur = self.extend_ref(env, cur, step.clone(), t);
+                        cur = self.extend_ref(env, cur, *step, t);
                     }
                     env.set(cur, ds);
                     if !is_stale(&self.table, orig) {
@@ -669,13 +697,8 @@ impl Checker<'_> {
         let Some(ty) = self.table.ty(r).cloned() else { return };
         let Some(pointee) = ty.pointee() else { return };
         let Type::Struct(id) = pointee.ty else { return };
-        let fields: Vec<(String, QualType)> = self
-            .scope
-            .struct_def(id)
-            .fields
-            .iter()
-            .map(|f| (f.name.clone(), f.ty.clone()))
-            .collect();
+        let fields: Vec<(Symbol, QualType)> =
+            self.scope.struct_def(id).fields.iter().map(|f| (f.name, f.ty.clone())).collect();
         for (fname, fty) in fields {
             let _ = self.extend_ref(env, r, RefStep::Field(fname), Some(fty));
         }
@@ -683,18 +706,21 @@ impl Checker<'_> {
 
     // -- calls ----------------------------------------------------------------
 
-    fn eval_call(&mut self, env: &mut Env, call: &Expr, f: &Expr, args: &[Expr]) -> Value {
-        let callee = call.direct_callee().map(str::to_owned);
+    fn eval_call(&mut self, env: &mut Env, call: ExprId, f: ExprId, args: &[ExprId]) -> Value {
+        let ast = self.ast;
+        let span = ast.expr_span(call);
+        let callee = ast.direct_callee(call);
         // assert(cond): refine the condition to true afterwards.
-        if let Some(name) = &callee {
+        if let Some(name) = callee {
             if name == "assert" && args.len() == 1 {
-                let _ = self.eval_expr(env, &args[0]);
-                self.refine(env, &args[0], true);
+                let a0 = args[0];
+                let _ = self.eval_expr(env, a0);
+                self.refine(env, a0, true);
                 return Value::Opaque;
             }
         }
-        let sig = callee.as_deref().and_then(|n| self.scope.function(n));
-        let values: Vec<Value> = args.iter().map(|a| self.eval_expr(env, a)).collect();
+        let sig = callee.and_then(|n| self.scope.function(n));
+        let values: Vec<Value> = args.iter().map(|&a| self.eval_expr(env, a)).collect();
         let Some(sig) = sig else {
             // Unknown callee: effects unknown, result opaque but defined.
             let _ = self.ref_of_expr(env, f);
@@ -712,32 +738,32 @@ impl Checker<'_> {
                     if values.len() == 1 { "" } else { "s" },
                     nparams
                 ),
-                call.span,
+                span,
             ));
         }
-        self.check_args(env, sig, &callee, args, &values, call.span);
-        self.check_unique_params(env, sig, &callee, &values, call.span);
-        self.apply_postconditions(env, sig, &values, call.span);
+        self.check_args(env, sig, callee, args, &values, span);
+        self.check_unique_params(env, sig, callee, &values, span);
+        self.apply_postconditions(env, sig, &values, span);
         if sig.ty.ret.annots.is_noreturn() {
             env.unreachable = true;
             return Value::Opaque;
         }
-        self.call_result(env, sig, &values, call.span)
+        self.call_result(env, sig, &values, span)
     }
 
     fn check_args(
         &mut self,
         env: &mut Env,
         sig: &FunctionSig,
-        callee: &str,
-        args: &[Expr],
+        callee: Symbol,
+        args: &[ExprId],
         values: &[Value],
         span: Span,
     ) {
         for (i, p) in sig.ty.params.iter().enumerate() {
             let Some(v) = values.get(i) else { break };
             let pty = &p.ty;
-            let arg_span = args.get(i).map(|a| a.span).unwrap_or(span);
+            let arg_span = args.get(i).map(|&a| self.ast.expr_span(a)).unwrap_or(span);
             // Null checking.
             if pty.is_pointerish()
                 && !matches!(pty.annots.null(), Some(NullAnnot::Null | NullAnnot::RelNull))
@@ -893,7 +919,7 @@ impl Checker<'_> {
         env: &mut Env,
         r: RefId,
         pa: AllocAnnot,
-        callee: &str,
+        callee: Symbol,
         span: Span,
     ) {
         let st = self.state_of(env, r);
@@ -1006,7 +1032,7 @@ impl Checker<'_> {
 
     /// Reports live unshared storage reachable from `r` (destructor-argument
     /// completeness, paper footnote 5).
-    fn check_destroyed_completely(&mut self, env: &Env, r: RefId, callee: &str, span: Span) {
+    fn check_destroyed_completely(&mut self, env: &Env, r: RefId, callee: Symbol, span: Span) {
         let mut derived = self.table.derived_of(r);
         derived.sort();
         let mut reported = Vec::new();
@@ -1040,7 +1066,7 @@ impl Checker<'_> {
         &mut self,
         env: &mut Env,
         sig: &FunctionSig,
-        callee: &str,
+        callee: Symbol,
         values: &[Value],
         span: Span,
     ) {

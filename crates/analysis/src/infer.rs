@@ -44,6 +44,7 @@ use crate::summary::{ParamObs, PointeeAccess, SummaryObs};
 use lclint_sema::{CallGraph, Program, StructId};
 use lclint_syntax::annot::{Annot, AnnotSet};
 use lclint_syntax::span::Span;
+use lclint_syntax::Symbol;
 
 /// Where an inferred annotation attaches.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -51,26 +52,26 @@ pub enum InferTarget {
     /// The return type of a function.
     FnReturn {
         /// Function name.
-        name: String,
+        name: Symbol,
     },
     /// One parameter of a function.
     FnParam {
         /// Function name.
-        name: String,
+        name: Symbol,
         /// Zero-based parameter index.
         index: usize,
         /// Parameter name.
-        param: String,
+        param: Symbol,
     },
     /// A struct/union field.
     StructField {
         /// Struct tag (synthesized `<anon N>` for anonymous structs).
-        tag: String,
+        tag: Symbol,
         /// A typedef naming the struct, when one exists — the way an
         /// anonymous struct is found in source.
-        typedef: Option<String>,
+        typedef: Option<Symbol>,
         /// Field name.
-        field: String,
+        field: Symbol,
     },
 }
 
@@ -137,9 +138,9 @@ pub fn infer_annotations_into(program: &Program, opts: &AnalysisOptions) -> (Inf
 
     // Definition index by name (first definition wins on duplicates, like
     // checking itself).
-    let mut def_index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut def_index: std::collections::HashMap<Symbol, usize> = std::collections::HashMap::new();
     for (i, d) in working.defs.iter().enumerate() {
-        def_index.entry(d.sig.name.clone()).or_insert(i);
+        def_index.entry(d.sig.name).or_insert(i);
     }
 
     for sweep in 0..MAX_SWEEPS {
@@ -155,7 +156,7 @@ pub fn infer_annotations_into(program: &Program, opts: &AnalysisOptions) -> (Inf
             for _ in 0..rounds {
                 let mut comp_changed = false;
                 for &node in comp {
-                    let Some(&di) = def_index.get(graph.name(node)) else { continue };
+                    let Some(&di) = def_index.get(&graph.name(node)) else { continue };
                     // Summary extraction runs inside the fault guard: a
                     // function the checker cannot analyze (panic or budget
                     // overrun) simply contributes no proposals, leaving its
@@ -163,7 +164,7 @@ pub fn infer_annotations_into(program: &Program, opts: &AnalysisOptions) -> (Inf
                     let obs = {
                         let def = &working.defs[di];
                         match crate::guard::run_guarded(|| {
-                            check_function_summary(&working, &def.sig, &def.ast, opts)
+                            check_function_summary(&working, def, opts)
                         }) {
                             crate::guard::GuardOutcome::Ok(obs) => obs,
                             crate::guard::GuardOutcome::Budget
@@ -205,13 +206,13 @@ fn derive_proposals(working: &Program, def_index: usize, obs: &SummaryObs) -> Ve
     if sig.ty.ret.is_pointerish() && obs.ret_ptr_paths > 0 {
         if sig.ty.ret.annots.alloc().is_none() && !obs.ret_obligation_broken {
             out.push(InferredAnnot {
-                target: InferTarget::FnReturn { name: sig.name.clone() },
+                target: InferTarget::FnReturn { name: sig.name },
                 annot: Annot::from_word("only").expect("known word"),
             });
         }
         if sig.ty.ret.annots.null().is_none() && obs.ret_maynull {
             out.push(InferredAnnot {
-                target: InferTarget::FnReturn { name: sig.name.clone() },
+                target: InferTarget::FnReturn { name: sig.name },
                 annot: Annot::from_word("null").expect("known word"),
             });
         }
@@ -220,12 +221,11 @@ fn derive_proposals(working: &Program, def_index: usize, obs: &SummaryObs) -> Ve
     // Parameter annotations.
     for (i, p) in sig.ty.params.iter().enumerate() {
         let Some(po) = obs.params.get(i) else { break };
-        let Some(pname) = &p.name else { continue };
+        let Some(pname) = p.name else { continue };
         if !p.ty.is_pointerish() {
             continue;
         }
-        let target =
-            || InferTarget::FnParam { name: sig.name.clone(), index: i, param: pname.clone() };
+        let target = || InferTarget::FnParam { name: sig.name, index: i, param: pname };
         if p.ty.annots.alloc().is_none() && param_always_released(po) {
             out.push(InferredAnnot {
                 target: target(),
@@ -252,7 +252,7 @@ fn derive_proposals(working: &Program, def_index: usize, obs: &SummaryObs) -> Ve
 
     // Field annotations, from null/obligation flow observed anywhere in the
     // function.
-    for (tag, field) in &obs.field_null {
+    for &(tag, field) in &obs.field_null {
         if let Some(t) = field_target(working, tag, field, |a| a.null().is_none()) {
             out.push(InferredAnnot {
                 target: t,
@@ -260,7 +260,7 @@ fn derive_proposals(working: &Program, def_index: usize, obs: &SummaryObs) -> Ve
             });
         }
     }
-    for (tag, field) in &obs.field_only {
+    for &(tag, field) in &obs.field_only {
         if let Some(t) = field_target(working, tag, field, |a| a.alloc().is_none()) {
             out.push(InferredAnnot {
                 target: t,
@@ -281,7 +281,7 @@ fn param_always_released(po: &ParamObs) -> bool {
 /// Resolves a tag to its struct id. Scans the table because anonymous
 /// structs carry synthesized `<anon N>` tags that are not interned in the
 /// by-tag map.
-fn struct_by_tag(working: &Program, tag: &str) -> Option<StructId> {
+fn struct_by_tag(working: &Program, tag: Symbol) -> Option<StructId> {
     working.structs.iter().find(|(_, d)| d.tag == tag).map(|(id, _)| id)
 }
 
@@ -289,8 +289,8 @@ fn struct_by_tag(working: &Program, tag: &str) -> Option<StructId> {
 /// category is still open.
 fn field_target(
     working: &Program,
-    tag: &str,
-    field: &str,
+    tag: Symbol,
+    field: Symbol,
     open: impl Fn(&AnnotSet) -> bool,
 ) -> Option<InferTarget> {
     let id = struct_by_tag(working, tag)?;
@@ -299,25 +299,21 @@ fn field_target(
     if !f.ty.is_pointerish() || !open(&f.ty.annots) {
         return None;
     }
-    Some(InferTarget::StructField {
-        tag: tag.to_owned(),
-        typedef: typedef_naming(working, id),
-        field: field.to_owned(),
-    })
+    Some(InferTarget::StructField { tag, typedef: typedef_naming(working, id), field })
 }
 
 /// A typedef whose underlying type is (a pointer to) the given struct —
 /// the handle by which anonymous structs are located in source. Smallest
-/// name wins for determinism.
-fn typedef_naming(working: &Program, id: StructId) -> Option<String> {
-    let mut best: Option<&String> = None;
-    for (name, ty) in &working.typedefs {
+/// name wins for determinism (`Symbol` orders by text).
+fn typedef_naming(working: &Program, id: StructId) -> Option<Symbol> {
+    let mut best: Option<Symbol> = None;
+    for (&name, ty) in &working.typedefs {
         let sty = ty.pointee().unwrap_or(ty);
         if sty.ty == lclint_sema::Type::Struct(id) && best.map(|b| name < b).unwrap_or(true) {
             best = Some(name);
         }
     }
-    best.cloned()
+    best
 }
 
 /// Patches one accepted proposal into the working program (signature
@@ -334,7 +330,7 @@ fn apply_proposal(working: &mut Program, p: &InferredAnnot) -> bool {
             }
             if ok {
                 for def in &mut working.defs {
-                    if &def.sig.name == name {
+                    if def.sig.name == *name {
                         let _ = def.sig.ty.ret.annots.add(p.annot, span);
                     }
                 }
@@ -350,7 +346,7 @@ fn apply_proposal(working: &mut Program, p: &InferredAnnot) -> bool {
             }
             if ok {
                 for def in &mut working.defs {
-                    if &def.sig.name == name {
+                    if def.sig.name == *name {
                         if let Some(pt) = def.sig.ty.params.get_mut(*index) {
                             let _ = pt.ty.annots.add(p.annot, span);
                         }
@@ -360,9 +356,9 @@ fn apply_proposal(working: &mut Program, p: &InferredAnnot) -> bool {
             ok
         }
         InferTarget::StructField { tag, field, .. } => {
-            let Some(id) = struct_by_tag(working, tag) else { return false };
+            let Some(id) = struct_by_tag(working, *tag) else { return false };
             let mut fields = working.structs.get(id).fields.clone();
-            let Some(f) = fields.iter_mut().find(|f| &f.name == field) else { return false };
+            let Some(f) = fields.iter_mut().find(|f| f.name == *field) else { return false };
             if f.ty.annots.add(p.annot, span).is_err() {
                 return false;
             }

@@ -10,35 +10,37 @@
 //! the local aliases the shadow.
 
 use lclint_sema::QualType;
-use std::collections::HashMap;
+use lclint_syntax::Symbol;
+use lclint_syntax::fx::FxHashMap;
 use std::fmt;
 
 /// Identifies an interned reference within one function analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RefId(pub u32);
 
-/// The root of an access path.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// The root of an access path. Names are interned [`Symbol`]s, so the whole
+/// base is `Copy` — path construction never allocates for the root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RefBase {
     /// A local variable.
-    Local(String),
+    Local(Symbol),
     /// The i-th parameter (its in-body variable).
-    Param(usize, String),
+    Param(usize, Symbol),
     /// The externally visible storage of the i-th parameter (`argN`).
-    Arg(usize, String),
+    Arg(usize, Symbol),
     /// A global (or file-static) variable.
-    Global(String),
+    Global(Symbol),
     /// A compiler temporary holding an unnamed value (e.g. a call result).
     Temp(u32),
 }
 
-/// One step extending a path.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// One step extending a path. `Copy` — field names are interned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RefStep {
     /// Pointer dereference `*p` (also the storage `p` points to).
     Deref,
     /// Struct/union field selection (through a pointer or directly).
-    Field(String),
+    Field(Symbol),
     /// Array element; compile-time-unknown indexes collapse to a single
     /// summary element (paper §2).
     Index,
@@ -63,7 +65,7 @@ impl Path {
     pub fn extended(&self, step: RefStep) -> Self {
         let mut steps = self.steps.clone();
         steps.push(step);
-        Path { base: self.base.clone(), steps }
+        Path { base: self.base, steps }
     }
 
     /// The parent path (one step shorter), if any.
@@ -73,14 +75,14 @@ impl Path {
         }
         let mut steps = self.steps.clone();
         steps.pop();
-        Some(Path { base: self.base.clone(), steps })
+        Some(Path { base: self.base, steps })
     }
 }
 
 impl fmt::Display for Path {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let base = match &self.base {
-            RefBase::Local(n) | RefBase::Param(_, n) | RefBase::Global(n) => n.clone(),
+            RefBase::Local(n) | RefBase::Param(_, n) | RefBase::Global(n) => n.to_string(),
             RefBase::Arg(i, n) => format!("arg{} ({n})", i + 1),
             RefBase::Temp(i) => format!("<tmp{i}>"),
         };
@@ -105,7 +107,7 @@ impl fmt::Display for Path {
 pub struct RefTable {
     paths: Vec<Path>,
     types: Vec<Option<QualType>>,
-    by_path: HashMap<Path, RefId>,
+    by_path: FxHashMap<Path, RefId>,
     /// ids whose *nearest interned ancestor* is this ref.
     children: Vec<Vec<RefId>>,
     next_temp: u32,

@@ -6,10 +6,11 @@
 //! (corresponding to the allocation annotation, e.g., only, temp)."
 
 use crate::diag::{DiagKind, Diagnostic};
+use lclint_syntax::fx::FxHashMap;
 use crate::refs::{RefId, RefTable};
 use lclint_syntax::annot::{AllocAnnot, DefAnnot, NullAnnot};
 use lclint_syntax::span::Span;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Definition state of a reference's storage.
@@ -263,13 +264,13 @@ pub struct Env {
     /// False after a `noreturn` call (state is dead; checks are disabled and
     /// merges ignore it).
     pub unreachable: bool,
-    states: HashMap<RefId, RefState>,
-    aliases: HashMap<RefId, BTreeSet<RefId>>,
+    states: FxHashMap<RefId, RefState>,
+    aliases: FxHashMap<RefId, BTreeSet<RefId>>,
     /// Location aliases: two references naming the *same memory location*
     /// (derived-reference pairs such as `l->next` and `argl->next` when `l`
     /// aliases `argl`). Unlike value aliases these survive assignment —
     /// writing through one writes the other.
-    loc_aliases: HashMap<RefId, BTreeSet<RefId>>,
+    loc_aliases: FxHashMap<RefId, BTreeSet<RefId>>,
 }
 
 impl Env {

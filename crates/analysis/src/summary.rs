@@ -17,6 +17,7 @@ use crate::refs::{RefBase, RefId, RefStep};
 use crate::state::{AllocState, Env, NullState};
 use lclint_sema::Type;
 use lclint_syntax::span::Span;
+use lclint_syntax::Symbol;
 
 /// First access to a parameter's pointee (selects `out` candidates).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,10 +67,10 @@ pub(crate) struct SummaryObs {
     pub params: Vec<ParamObs>,
     /// `(struct tag, field)` pairs observed holding or being tested for
     /// null.
-    pub field_null: BTreeSet<(String, String)>,
+    pub field_null: BTreeSet<(Symbol, Symbol)>,
     /// `(struct tag, field)` pairs observed receiving or surrendering a
     /// release obligation.
-    pub field_only: BTreeSet<(String, String)>,
+    pub field_only: BTreeSet<(Symbol, Symbol)>,
 }
 
 impl SummaryObs {
@@ -81,15 +82,14 @@ impl SummaryObs {
 impl Checker<'_> {
     /// The `(struct tag, field name)` a field-terminated reference names,
     /// if its parent is (a pointer to) a struct.
-    fn field_owner(&mut self, r: RefId) -> Option<(String, String)> {
+    fn field_owner(&mut self, r: RefId) -> Option<(Symbol, Symbol)> {
         let path = self.table.path(r);
-        let RefStep::Field(fname) = path.steps.last()? else { return None };
-        let fname = fname.clone();
+        let RefStep::Field(fname) = *path.steps.last()? else { return None };
         let parent = self.table.parent(r)?;
         let pty = self.table.ty(parent)?.clone();
         let sty = pty.pointee().cloned().unwrap_or(pty);
         let Type::Struct(id) = sty.ty else { return None };
-        let tag = self.scope.struct_def(id).tag.clone();
+        let tag = self.scope.struct_def(id).tag;
         Some((tag, fname))
     }
 
@@ -206,7 +206,7 @@ impl Checker<'_> {
         let obs = self.summary.as_mut().expect("checked above");
         if let Some(owner) = owner {
             if is_null || may_null {
-                obs.field_null.insert(owner.clone());
+                obs.field_null.insert(owner);
             }
             if has_obligation {
                 obs.field_only.insert(owner);
@@ -288,7 +288,7 @@ impl Checker<'_> {
         let nparams = self.sig.ty.params.len();
         for i in 0..nparams {
             let p = &self.sig.ty.params[i];
-            let Some(name) = p.name.clone() else { continue };
+            let Some(name) = p.name else { continue };
             if !p.ty.is_pointerish() {
                 continue;
             }

@@ -129,9 +129,9 @@ fn existing_annotations_are_never_overridden() {
         assert_ne!(w, "destroy: param b only", "alloc category on destroy's param is taken");
     }
     // The original annotations survive verbatim in the patched program.
-    let make = annotated.functions.get("make").unwrap();
+    let make = annotated.functions.get(&lclint_syntax::Symbol::intern("make")).unwrap();
     assert_eq!(make.ty.ret.annots.null(), Some(lclint_syntax::annot::NullAnnot::NotNull));
-    let destroy = annotated.functions.get("destroy").unwrap();
+    let destroy = annotated.functions.get(&lclint_syntax::Symbol::intern("destroy")).unwrap();
     assert_eq!(
         destroy.ty.params[0].ty.annots.alloc(),
         Some(lclint_syntax::annot::AllocAnnot::Temp)

@@ -141,8 +141,8 @@ fn unrolled_cfgs_are_still_acyclic() {
         lclint_syntax::Item::Function(f) => f,
         _ => unreachable!(),
     };
-    let one = lclint_cfg::Cfg::build_with(f, LoopModel::ZeroOrOne);
-    let two = lclint_cfg::Cfg::build_with(f, LoopModel::ZeroOneOrTwo);
+    let one = lclint_cfg::Cfg::build_with(&tu.arena, f, LoopModel::ZeroOrOne);
+    let two = lclint_cfg::Cfg::build_with(&tu.arena, f, LoopModel::ZeroOneOrTwo);
     assert_eq!(one.topo_order().len(), one.len());
     assert_eq!(two.topo_order().len(), two.len());
     assert!(two.len() > one.len(), "unrolling must grow the graph");

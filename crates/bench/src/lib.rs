@@ -672,7 +672,7 @@ pub fn resilience_table(target_loc: usize, mutants: usize, seed: u64) -> Resilie
             for (kind, line, message) in expected {
                 report.expected_diags += 1;
                 if mutant_keys.contains(&(
-                    def.sig.name.clone(),
+                    def.sig.name.to_string(),
                     kind.clone(),
                     *line,
                     message.clone(),
@@ -704,6 +704,91 @@ pub fn resilience_table(target_loc: usize, mutants: usize, seed: u64) -> Resilie
     report.recovering_parse_ms = recovering;
     report.recovery_overhead_pct = 100.0 * (recovering - strict) / strict.max(1e-9);
     report
+}
+
+/// One row of the throughput-scaling table (E16).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ThroughputRow {
+    /// Program size in lines.
+    pub loc: usize,
+    /// Preprocess + parse milliseconds.
+    pub parse_ms: f64,
+    /// Program-construction (sema) milliseconds.
+    pub sema_ms: f64,
+    /// Checking milliseconds.
+    pub check_ms: f64,
+    /// Cold end-to-end milliseconds (parse + sema + check + rendering).
+    pub total_ms: f64,
+    /// Cold end-to-end lines per second.
+    pub loc_per_sec: f64,
+    /// Peak resident set size in bytes after the run (0 when unavailable).
+    pub peak_rss_bytes: u64,
+    /// Flat-arena payload + side-table bytes for the run's units.
+    pub arena_bytes: usize,
+    /// Interned symbols alive in the process after the run.
+    pub symbols: usize,
+    /// Mean microseconds to fingerprint one function over the flat arena.
+    pub flat_hash_us_per_fn: f64,
+    /// Mean microseconds for the pre-arena fingerprint (hash of the
+    /// pretty-printed text) on the same functions.
+    pub pretty_hash_us_per_fn: f64,
+}
+
+/// The pre-refactor cold end-to-end time for the 100k-LOC E16 corpus on the
+/// boxed-`Expr`/`String`-keyed representation, release mode, measured on the
+/// reference machine before the flat-arena rewrite. The substrate must hold
+/// at least a 2x improvement against it.
+pub const PRE_FLAT_BASELINE_MS_100K: f64 = 2240.6;
+
+/// E16: cold end-to-end throughput vs corpus size on the flat substrate,
+/// with per-phase breakdown, memory footprint, and fingerprint cost.
+pub fn throughput_table(sizes: &[usize]) -> Vec<ThroughputRow> {
+    let linter = Linter::new(Flags::default());
+    sizes
+        .iter()
+        .map(|target| {
+            let p = generate(&GenConfig::with_target_loc(*target));
+            let start = Instant::now();
+            let r = linter.check_source("gen.c", &p.source).expect("parses");
+            let total_ms = start.elapsed().as_secs_f64() * 1000.0;
+            assert!(r.is_clean(), "{}", r.render());
+
+            // Fingerprint microbench on the same corpus: flat structural
+            // walk vs hashing the pretty-printed text (the old approach).
+            let (tu, _, _) =
+                lclint_syntax::parse_translation_unit("gen.c", &p.source).expect("parses");
+            let program = lclint_sema::Program::from_unit(&tu);
+            let n = program.defs.len().max(1) as f64;
+            let t = Instant::now();
+            for def in &program.defs {
+                std::hint::black_box(lclint_syntax::stable_hash::function_def_hash(
+                    &def.arena, &def.ast,
+                ));
+            }
+            let flat_hash_us_per_fn = t.elapsed().as_secs_f64() * 1e6 / n;
+            let t = Instant::now();
+            for def in &program.defs {
+                std::hint::black_box(lclint_syntax::stable_hash::function_def_hash_pretty(
+                    &def.arena, &def.ast,
+                ));
+            }
+            let pretty_hash_us_per_fn = t.elapsed().as_secs_f64() * 1e6 / n;
+
+            ThroughputRow {
+                loc: p.loc,
+                parse_ms: r.parse_ms,
+                sema_ms: r.sema_ms,
+                check_ms: r.check_ms,
+                total_ms,
+                loc_per_sec: p.loc as f64 / (total_ms / 1000.0).max(1e-9),
+                peak_rss_bytes: lclint_core::peak_rss_bytes().unwrap_or(0),
+                arena_bytes: r.substrate.arena.total_bytes(),
+                symbols: r.substrate.symbols,
+                flat_hash_us_per_fn,
+                pretty_hash_us_per_fn,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -831,5 +916,48 @@ mod tests {
             let large = row.dynamic_rates[1].1;
             assert!(large >= small, "{row:?}");
         }
+    }
+
+    /// E16 structural sanity at a size cheap enough for debug builds: the
+    /// phases are all measured, the substrate counters are populated, and
+    /// the flat fingerprint beats re-rendering the function.
+    #[test]
+    fn throughput_rows_are_fully_populated() {
+        let rows = throughput_table(&[2_000]);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.loc >= 1_500, "{r:?}");
+        assert!(r.parse_ms > 0.0 && r.sema_ms > 0.0 && r.check_ms > 0.0, "{r:?}");
+        assert!(r.total_ms >= r.parse_ms + r.sema_ms + r.check_ms - 1e-3, "{r:?}");
+        assert!(r.loc_per_sec > 0.0, "{r:?}");
+        assert!(r.arena_bytes > 0 && r.symbols > 0, "{r:?}");
+        assert!(
+            r.flat_hash_us_per_fn < r.pretty_hash_us_per_fn,
+            "flat fingerprint must beat the pretty-print hash: {r:?}"
+        );
+    }
+
+    /// ISSUE 6 acceptance bar: >=2x cold end-to-end throughput at 100k LOC
+    /// against the pre-refactor baseline. Wall-clock is only meaningful with
+    /// optimizations, so the debug profile skips the timing assertion (CI's
+    /// throughput-smoke job runs this test in release mode).
+    #[test]
+    fn e16_flat_substrate_doubles_cold_throughput_at_100k() {
+        if cfg!(debug_assertions) {
+            eprintln!("skipping timing assertion in debug profile");
+            return;
+        }
+        let rows = throughput_table(&[100_000]);
+        let r = &rows[0];
+        let bar = PRE_FLAT_BASELINE_MS_100K / 2.0;
+        assert!(
+            r.total_ms <= bar,
+            "cold end-to-end at {} LOC took {:.1} ms; the 2x bar against the \
+             pre-refactor baseline ({:.1} ms) is {:.1} ms — row: {r:?}",
+            r.loc,
+            r.total_ms,
+            PRE_FLAT_BASELINE_MS_100K,
+            bar,
+        );
     }
 }

@@ -8,8 +8,8 @@
 use lclint_bench::{
     annotation_sweep, database_table, detection_table, figure_table, incremental_table,
     inference_table, library_speedup, par_speedup_table, resilience_table, scaling_table,
-    soundness_table, stdlib_cache_stats, IncrRow, InferRow, ResilienceReport, SoundnessClean,
-    SoundnessRow,
+    soundness_table, stdlib_cache_stats, throughput_table, IncrRow, InferRow, ResilienceReport,
+    SoundnessClean, SoundnessRow, ThroughputRow, PRE_FLAT_BASELINE_MS_100K,
 };
 
 fn main() {
@@ -266,6 +266,34 @@ fn main() {
          \u{20}  checked and reports byte-identical diagnostics."
     );
 
+    // E16 ---------------------------------------------------------------------
+    let tp_sizes: &[usize] = if quick { &[5_000, 20_000] } else { &[5_000, 100_000, 1_000_000] };
+    println!("\nE16. Cold end-to-end throughput on the flat substrate\n");
+    println!(
+        "{:>9} {:>9} {:>8} {:>9} {:>9} {:>11} {:>9} {:>8} {:>8}",
+        "LOC", "parse ms", "sema ms", "check ms", "total ms", "LOC/s", "RSS MiB", "fp us", "pp us"
+    );
+    let throughput = throughput_table(tp_sizes);
+    for row in &throughput {
+        println!(
+            "{:>9} {:>9.1} {:>8.1} {:>9.1} {:>9.1} {:>11.0} {:>9.1} {:>8.2} {:>8.2}",
+            row.loc,
+            row.parse_ms,
+            row.sema_ms,
+            row.check_ms,
+            row.total_ms,
+            row.loc_per_sec,
+            row.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            row.flat_hash_us_per_fn,
+            row.pretty_hash_us_per_fn,
+        );
+    }
+    println!(
+        "\n  pre-refactor baseline at 100k LOC: {PRE_FLAT_BASELINE_MS_100K:.1} ms cold \
+         (the 2x acceptance bar is {:.1} ms).",
+        PRE_FLAT_BASELINE_MS_100K / 2.0
+    );
+
     if let Some(path) = json_path {
         let blob = serde_json::json!({
             "figures": figs,
@@ -280,6 +308,7 @@ fn main() {
             "soundness_table": soundness,
             "soundness_clean": soundness_clean,
             "resilience": resilience,
+            "throughput": throughput,
         });
         std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serializes"))
             .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
@@ -319,7 +348,49 @@ fn main() {
             Ok(()) => println!("resilience snapshot written to {}", snap.display()),
             Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
         }
+
+        // Snapshot of the throughput scaling run, likewise hand rendered.
+        let snap =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_PR6.json");
+        match std::fs::write(&snap, render_throughput_snapshot(&throughput)) {
+            Ok(()) => println!("throughput snapshot written to {}", snap.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
+        }
     }
+}
+
+/// Renders the E16 table as a JSON document without going through a
+/// serializer (offline builds stub `serde_json`).
+fn render_throughput_snapshot(rows: &[ThroughputRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"flat-substrate-throughput\",\n");
+    out.push_str(&format!(
+        "  \"pre_flat_baseline_ms_100k\": {PRE_FLAT_BASELINE_MS_100K:.1},\n"
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"loc\": {}, \"parse_ms\": {:.3}, \"sema_ms\": {:.3}, \
+             \"check_ms\": {:.3}, \"total_ms\": {:.3}, \"loc_per_sec\": {:.0}, \
+             \"peak_rss_bytes\": {}, \"arena_bytes\": {}, \"symbols\": {}, \
+             \"flat_hash_us_per_fn\": {:.3}, \"pretty_hash_us_per_fn\": {:.3}}}{}\n",
+            r.loc,
+            r.parse_ms,
+            r.sema_ms,
+            r.check_ms,
+            r.total_ms,
+            r.loc_per_sec,
+            r.peak_rss_bytes,
+            r.arena_bytes,
+            r.symbols,
+            r.flat_hash_us_per_fn,
+            r.pretty_hash_us_per_fn,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders the E15 report as a JSON document without going through a

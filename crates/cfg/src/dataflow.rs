@@ -5,11 +5,13 @@
 //! dataflow solution — the paper's "the analysis can be done efficiently
 //! without any need to do iteration".
 
-use crate::graph::{Action, BlockId, Cfg};
-use lclint_syntax::ast::Expr;
+use crate::graph::{Action, Cfg};
+use lclint_syntax::ast::ExprId;
 use lclint_syntax::span::Span;
 
 /// A client analysis: state type, transfer functions and merge.
+/// Implementations hold a reference to the node arena to interpret the ids
+/// carried by [`Action`]s and guards.
 pub trait Analysis {
     /// The dataflow state attached to program points.
     type State: Clone;
@@ -21,7 +23,7 @@ pub trait Analysis {
     /// given polarity). The condition's *effects* already happened via
     /// [`Analysis::transfer`]; this hook only refines facts (e.g. null
     /// states).
-    fn apply_guard(&mut self, cond: &Expr, sense: bool, state: &mut Self::State);
+    fn apply_guard(&mut self, cond: ExprId, sense: bool, state: &mut Self::State);
 
     /// Merges two states at a confluence point. Implementations report
     /// confluence anomalies (e.g. storage released on only one branch).
@@ -31,16 +33,20 @@ pub trait Analysis {
 /// The result of a dataflow run.
 #[derive(Debug, Clone)]
 pub struct DataflowResult<S> {
-    /// The in-state of every block (`None` for unreachable blocks).
-    pub block_in: Vec<Option<S>>,
-    /// The state at the exit block (after its actions), if reachable.
+    /// Per-block reachability (a block is reachable when some in-state
+    /// flowed into it).
+    pub reached: Vec<bool>,
+    /// The in-state of the exit block, if reachable.
     pub exit_state: Option<S>,
 }
 
 /// Runs `analysis` over `cfg` starting from `entry_state`.
 ///
 /// Visits blocks in topological order; each block's in-state is the merge of
-/// its predecessors' out-states with edge guards applied.
+/// its predecessors' out-states with edge guards applied. In-states are
+/// consumed as blocks are processed (topological order guarantees all
+/// predecessors contributed first), so the only per-edge cost is one state
+/// clone for each out-edge beyond the last.
 pub fn run<A: Analysis>(
     cfg: &Cfg,
     analysis: &mut A,
@@ -48,21 +54,31 @@ pub fn run<A: Analysis>(
 ) -> DataflowResult<A::State> {
     let n = cfg.len();
     let mut block_in: Vec<Option<A::State>> = vec![None; n];
-    let mut block_out: Vec<Option<A::State>> = vec![None; n];
+    let mut reached = vec![false; n];
     block_in[cfg.entry.0 as usize] = Some(entry_state);
+    let mut exit_state = None;
 
     for id in cfg.topo_order() {
         let i = id.0 as usize;
-        let Some(state) = block_in[i].clone() else { continue };
-        let mut s = state;
+        let Some(mut s) = block_in[i].take() else { continue };
+        reached[i] = true;
+        if id == cfg.exit {
+            exit_state = Some(s.clone());
+        }
         for action in &cfg.block(id).actions {
             analysis.transfer(action, &mut s);
         }
-        // Propagate along out-edges.
-        for e in &cfg.block(id).succs {
-            let mut edge_state = s.clone();
+        // Propagate along out-edges; the state moves into the last edge.
+        let succs = &cfg.block(id).succs;
+        let mut s = Some(s);
+        for (k, e) in succs.iter().enumerate() {
+            let mut edge_state = if k + 1 == succs.len() {
+                s.take().expect("state consumed only by the last edge")
+            } else {
+                s.as_ref().expect("state present until the last edge").clone()
+            };
             if let Some(g) = &e.guard {
-                analysis.apply_guard(&g.cond, g.sense, &mut edge_state);
+                analysis.apply_guard(g.cond, g.sense, &mut edge_state);
             }
             let t = e.target.0 as usize;
             let at = cfg.block(e.target).span;
@@ -71,26 +87,21 @@ pub fn run<A: Analysis>(
                 None => edge_state,
             });
         }
-        block_out[i] = Some(s);
     }
 
-    let exit_state = block_in[cfg.exit.0 as usize].clone();
-    DataflowResult { block_in, exit_state }
-}
-
-/// Convenience: true when a block is reachable in a result.
-pub fn reachable<S>(result: &DataflowResult<S>, id: BlockId) -> bool {
-    result.block_in[id.0 as usize].is_some()
+    DataflowResult { reached, exit_state }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lclint_syntax::ast::{ExprKind, Item};
+    use lclint_syntax::ast::{Ast, ExprKind, Item};
     use lclint_syntax::parse_translation_unit;
+    use std::sync::Arc;
 
     /// A toy analysis: counts assignments, tracks "x is definitely zero".
     struct CountAssigns {
+        ast: Arc<Ast>,
         merges: u32,
     }
 
@@ -105,14 +116,14 @@ mod tests {
 
         fn transfer(&mut self, action: &Action, state: &mut S) {
             if let Action::Eval(e) = action {
-                if let ExprKind::Assign(_, _, rhs) = &e.kind {
+                if let ExprKind::Assign(_, _, rhs) = self.ast.expr(*e) {
                     state.assigns += 1;
-                    state.x_zero = Some(matches!(rhs.kind, ExprKind::IntLit(0)));
+                    state.x_zero = Some(matches!(self.ast.expr(*rhs), ExprKind::IntLit(0)));
                 }
             }
         }
 
-        fn apply_guard(&mut self, _cond: &Expr, _sense: bool, _state: &mut S) {}
+        fn apply_guard(&mut self, _cond: ExprId, _sense: bool, _state: &mut S) {}
 
         fn merge(&mut self, a: S, b: S, _at: Span) -> S {
             self.merges += 1;
@@ -133,8 +144,8 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        let cfg = crate::graph::Cfg::build(f);
-        let mut a = CountAssigns { merges: 0 };
+        let cfg = crate::graph::Cfg::build(&tu.arena, f);
+        let mut a = CountAssigns { ast: Arc::clone(&tu.arena), merges: 0 };
         let r = run(&cfg, &mut a, S { assigns: 0, x_zero: None });
         (r, a)
     }

@@ -13,7 +13,7 @@
 //!     "void f(int a) { while (a) { a = a - 1; } }",
 //! ).unwrap();
 //! let f = match &tu.items[0] { Item::Function(f) => f, _ => unreachable!() };
-//! let cfg = Cfg::build(f);
+//! let cfg = Cfg::build(&tu.arena, f);
 //! // Acyclic: a topological order covers every block.
 //! assert_eq!(cfg.topo_order().len(), cfg.len());
 //! ```

@@ -349,6 +349,43 @@ fn main() -> ExitCode {
                 cs.checked.len()
             );
         }
+        let sub = &result.substrate;
+        let rss = lclint_core::peak_rss_bytes();
+        if json {
+            // Machine-readable substrate counters, one line on stderr so the
+            // stdout diagnostics array keeps its shape.
+            eprintln!(
+                "{{\"substrate\": {{\"exprs\": {}, \"expr_bytes\": {}, \"stmts\": {}, \
+                 \"stmt_bytes\": {}, \"decls\": {}, \"decl_bytes\": {}, \"span_bytes\": {}, \
+                 \"arena_bytes\": {}, \"symbols\": {}, \"peak_rss_bytes\": {}}}}}",
+                sub.arena.exprs,
+                sub.arena.expr_bytes,
+                sub.arena.stmts,
+                sub.arena.stmt_bytes,
+                sub.arena.decls,
+                sub.arena.decl_bytes,
+                sub.arena.span_bytes,
+                sub.arena.total_bytes(),
+                sub.symbols,
+                rss.map_or_else(|| "null".to_owned(), |b| b.to_string()),
+            );
+        } else {
+            eprintln!(
+                "rlclint: arena: {} exprs ({} B), {} stmts ({} B), {} decls ({} B), {} B spans, {} B total",
+                sub.arena.exprs,
+                sub.arena.expr_bytes,
+                sub.arena.stmts,
+                sub.arena.stmt_bytes,
+                sub.arena.decls,
+                sub.arena.decl_bytes,
+                sub.arena.span_bytes,
+                sub.arena.total_bytes(),
+            );
+            eprintln!("rlclint: interner: {} symbols", sub.symbols);
+            if let Some(b) = rss {
+                eprintln!("rlclint: peak RSS: {} KiB", b / 1024);
+            }
+        }
     }
     if json {
         match serde_json::to_string_pretty(&result.diagnostics) {

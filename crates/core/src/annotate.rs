@@ -15,6 +15,9 @@
 //!   skipped (a specifier-level annotation would spill onto its siblings),
 //! - prototypes and definitions of the same function are patched together
 //!   so the program stays consistent.
+//!
+//! Patched units copy their node arena on first write (`Arc::make_mut`),
+//! so the caller's originals are never disturbed.
 
 use lclint_analysis::{InferTarget, InferredAnnot};
 use lclint_syntax::annot::Annot;
@@ -22,6 +25,7 @@ use lclint_syntax::ast::*;
 use lclint_syntax::span::{SourceMap, Span};
 use lclint_syntax::{pretty_print_declaration, pretty_print_function};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// One inferred annotation resolved against the source, for reports.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,8 +62,18 @@ pub fn apply_annotations(
     for a in annots {
         let mut loc: Option<String> = None;
         for unit in &mut patched {
-            for item in &mut unit.items {
-                if let Some(span) = apply_to_item(item, a) {
+            for i in 0..unit.items.len() {
+                let span = match &unit.items[i] {
+                    Item::Decl(id) => {
+                        let id = *id;
+                        apply_to_decl(Arc::make_mut(&mut unit.arena).decl_mut(id), a)
+                    }
+                    Item::Function(_) => {
+                        let Item::Function(f) = &mut unit.items[i] else { unreachable!() };
+                        apply_to_function(f, a)
+                    }
+                };
+                if let Some(span) = span {
                     loc.get_or_insert_with(|| sm.loc(span).to_string());
                 }
             }
@@ -74,41 +88,50 @@ pub fn apply_annotations(
     AppliedAnnotations { units: patched, placed, diff }
 }
 
-/// Applies one annotation to one top-level item when it targets it.
-/// Returns the span of the patched declaration on change.
-fn apply_to_item(item: &mut Item, a: &InferredAnnot) -> Option<Span> {
+/// Applies one annotation to a function definition when it targets it.
+/// Returns the span of the patched declarator on change.
+fn apply_to_function(f: &mut FunctionDef, a: &InferredAnnot) -> Option<Span> {
     match &a.target {
-        InferTarget::FnReturn { name } => match item {
-            Item::Function(f) if f.name() == name => {
-                try_add(&mut f.specs.annots, a.annot).then_some(f.declarator.span)
-            }
-            Item::Decl(d) => {
-                let mut changed = None;
-                for id in &mut d.declarators {
-                    if id.declarator.name.as_deref() == Some(name) && id.declarator.is_function() {
-                        // Specifier-level annotations on a function
-                        // declarator describe the result; multi-declarator
-                        // prototypes would leak onto siblings.
-                        if d.declarators.len() == 1 && try_add_decl_specs(d, a.annot) {
-                            changed = Some(d.span);
-                        }
-                        break;
+        InferTarget::FnReturn { name } if f.name() == *name => {
+            try_add(&mut f.specs.annots, a.annot).then_some(f.declarator.span)
+        }
+        InferTarget::FnParam { name, index, .. } if f.name() == *name => {
+            let span = f.declarator.span;
+            let Some(Derived::Function { params, .. }) = f.declarator.derived.first_mut() else {
+                return None;
+            };
+            let p = params.get_mut(*index)?;
+            try_add(&mut p.specs.annots, a.annot).then_some(span)
+        }
+        _ => None,
+    }
+}
+
+/// Applies one annotation to a top-level declaration when it targets it.
+/// Returns the span of the patched declaration on change.
+fn apply_to_decl(d: &mut Declaration, a: &InferredAnnot) -> Option<Span> {
+    match &a.target {
+        InferTarget::FnReturn { name } => {
+            let mut changed = None;
+            for id in &d.declarators {
+                if id.declarator.name == Some(*name) && id.declarator.is_function() {
+                    // Specifier-level annotations on a function
+                    // declarator describe the result; multi-declarator
+                    // prototypes would leak onto siblings.
+                    if d.declarators.len() == 1 && try_add(&mut d.specs.annots, a.annot) {
+                        changed = Some(d.span);
                     }
+                    break;
                 }
-                changed
             }
-            _ => None,
-        },
+            changed
+        }
         InferTarget::FnParam { name, index, .. } => {
-            let declarator = match item {
-                Item::Function(f) if f.name() == name => Some(&mut f.declarator),
-                Item::Decl(d) => d
-                    .declarators
-                    .iter_mut()
-                    .map(|id| &mut id.declarator)
-                    .find(|dr| dr.name.as_deref() == Some(name) && dr.is_function()),
-                _ => None,
-            }?;
+            let declarator = d
+                .declarators
+                .iter_mut()
+                .map(|id| &mut id.declarator)
+                .find(|dr| dr.name == Some(*name) && dr.is_function())?;
             let span = declarator.span;
             let Some(Derived::Function { params, .. }) = declarator.derived.first_mut() else {
                 return None;
@@ -117,18 +140,15 @@ fn apply_to_item(item: &mut Item, a: &InferredAnnot) -> Option<Span> {
             try_add(&mut p.specs.annots, a.annot).then_some(span)
         }
         InferTarget::StructField { tag, typedef, field } => {
-            let Item::Decl(d) = item else { return None };
             let TypeSpec::Struct(s) = &mut d.specs.ty else { return None };
-            let matches_target = match &s.name {
-                Some(n) => n == tag,
+            let matches_target = match s.name {
+                Some(n) => n == *tag,
                 // Anonymous struct bodies are located through a typedef
                 // naming them.
                 None => {
                     d.specs.storage == Some(StorageClass::Typedef)
-                        && typedef.as_ref().is_some_and(|td| {
-                            d.declarators
-                                .iter()
-                                .any(|id| id.declarator.name.as_deref() == Some(td.as_str()))
+                        && typedef.is_some_and(|td| {
+                            d.declarators.iter().any(|id| id.declarator.name == Some(td))
                         })
                 }
             };
@@ -137,7 +157,7 @@ fn apply_to_item(item: &mut Item, a: &InferredAnnot) -> Option<Span> {
             }
             let fields = s.fields.as_mut()?;
             for fd in fields.iter_mut() {
-                if fd.declarators.iter().any(|dr| dr.name.as_deref() == Some(field.as_str())) {
+                if fd.declarators.iter().any(|dr| dr.name == Some(*field)) {
                     // Skip `int *a, *b;` — a specifier-level annotation
                     // would apply to every declarator.
                     if fd.declarators.len() != 1 {
@@ -156,10 +176,6 @@ fn try_add(set: &mut lclint_syntax::annot::AnnotSet, a: Annot) -> bool {
     set.add(a, Span::synthetic()).is_ok()
 }
 
-fn try_add_decl_specs(d: &mut Declaration, a: Annot) -> bool {
-    try_add(&mut d.specs.annots, a)
-}
-
 /// Renders a unified-diff-style report: one `@@ file:line @@` hunk per
 /// changed declaration, with the old and new renderings of the changed
 /// lines only.
@@ -167,21 +183,29 @@ fn render_diff(before: &[TranslationUnit], after: &[TranslationUnit], sm: &Sourc
     let mut out = String::new();
     for (bu, au) in before.iter().zip(after) {
         for (bi, ai) in bu.items.iter().zip(&au.items) {
-            if bi == ai {
-                continue;
-            }
-            let loc = sm.loc(bi.span());
-            let _ = writeln!(out, "@@ {loc} @@");
             match (bi, ai) {
                 (Item::Function(bf), Item::Function(af)) => {
-                    let old = pretty_print_function(bf);
-                    let new = pretty_print_function(af);
+                    if bf == af {
+                        continue;
+                    }
+                    let loc = sm.loc(bf.span);
+                    let _ = writeln!(out, "@@ {loc} @@");
+                    let old = pretty_print_function(&bu.arena, bf);
+                    let new = pretty_print_function(&au.arena, af);
                     let _ = writeln!(out, "-{}", first_line(&old));
                     let _ = writeln!(out, "+{}", first_line(&new));
                 }
                 (Item::Decl(bd), Item::Decl(ad)) => {
-                    let old = pretty_print_declaration(bd);
-                    let new = pretty_print_declaration(ad);
+                    // The ids coincide (patching preserves shape); the
+                    // payloads live in each unit's own arena.
+                    let (bd, ad) = (bu.arena.decl(*bd), au.arena.decl(*ad));
+                    if bd == ad {
+                        continue;
+                    }
+                    let loc = sm.loc(bd.span);
+                    let _ = writeln!(out, "@@ {loc} @@");
+                    let old = pretty_print_declaration(&bu.arena, bd);
+                    let new = pretty_print_declaration(&au.arena, ad);
                     // The renderings are line-aligned (annotations are only
                     // inserted within lines), so pairwise comparison shows
                     // exactly the changed declarations/fields.
@@ -222,9 +246,9 @@ mod tests {
             std::slice::from_ref(&tu),
             &[InferredAnnot {
                 target: InferTarget::StructField {
-                    tag: "_p".to_owned(),
+                    tag: "_p".into(),
                     typedef: None,
-                    field: "a".to_owned(),
+                    field: "a".into(),
                 },
                 annot: annot("null"),
             }],
@@ -245,7 +269,7 @@ mod tests {
         let r = apply_annotations(
             &[tu],
             &[InferredAnnot {
-                target: InferTarget::FnReturn { name: "id".to_owned() },
+                target: InferTarget::FnReturn { name: "id".into() },
                 annot: annot("null"),
             }],
             &sm,

@@ -16,7 +16,7 @@ use lclint_syntax::lexer::ControlComment;
 use lclint_syntax::pp::{preprocess, MemoryProvider};
 use lclint_syntax::span::{SourceMap, Span};
 use lclint_syntax::stable_hash::StableHasher;
-use lclint_syntax::{Parser, Result, SyntaxError, TranslationUnit};
+use lclint_syntax::{Parser, Result, Symbol, SyntaxError, TranslationUnit};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -27,7 +27,7 @@ use std::sync::OnceLock;
 #[derive(Debug)]
 struct StdlibCache {
     unit: TranslationUnit,
-    typedefs: Vec<String>,
+    typedefs: Vec<Symbol>,
     source_map: SourceMap,
 }
 
@@ -61,6 +61,36 @@ fn cached_stdlib() -> std::result::Result<&'static StdlibCache, &'static SyntaxE
     slot.as_ref()
 }
 
+/// Substrate counters: the flat-arena footprint of every parsed unit and
+/// the process-wide interner size. Reported by `--stats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubstrateStats {
+    /// Aggregated node-arena sizes across the run's units (stdlib included).
+    pub arena: lclint_syntax::ast::ArenaStats,
+    /// Interned symbols alive in the process after the run.
+    pub symbols: usize,
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM`), when the
+/// platform exposes it. `None` elsewhere — callers print it best-effort.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
 /// Everything one build of the program produces: the resolved tables plus
 /// the per-unit syntax needed for rendering and annotation write-back.
 struct BuiltProgram {
@@ -73,6 +103,12 @@ struct BuiltProgram {
     /// `roots` indices stay aligned.
     units: Vec<TranslationUnit>,
     root_start: usize,
+    /// Wall-clock milliseconds preprocessing and parsing every unit.
+    parse_ms: f64,
+    /// Wall-clock milliseconds resolving the program (name/type binding).
+    sema_ms: f64,
+    /// Arena/interner counters for this build.
+    substrate: SubstrateStats,
     /// Diagnostics produced while building: recovered parse errors in root
     /// files and a stdlib-unavailable notice. Merged into the check output
     /// so broken input degrades to messages instead of aborting the run.
@@ -116,6 +152,12 @@ pub struct CheckResult {
     /// program construction). This is the phase the incremental cache
     /// accelerates, so benchmarks report it alongside total time.
     pub check_ms: f64,
+    /// Wall-clock milliseconds spent preprocessing and parsing.
+    pub parse_ms: f64,
+    /// Wall-clock milliseconds spent building the resolved program.
+    pub sema_ms: f64,
+    /// Flat-arena and interner counters for the run.
+    pub substrate: SubstrateStats,
 }
 
 impl CheckResult {
@@ -227,12 +269,13 @@ impl Linter {
         // Typedef names accumulate across units so that interface libraries
         // (which carry type definitions like LCLint's .lcs files) make their
         // types usable in later translation units.
-        let mut typedefs: Vec<String> = Vec::new();
+        let mut typedefs: Vec<Symbol> = Vec::new();
+        let parse_start = std::time::Instant::now();
 
-        let parse_unit = |tokens, typedefs: &mut Vec<String>| -> Result<TranslationUnit> {
+        let parse_unit = |tokens, typedefs: &mut Vec<Symbol>| -> Result<TranslationUnit> {
             let mut parser = Parser::new(tokens);
             for t in typedefs.iter() {
-                parser.add_typedef(t.clone());
+                parser.add_typedef(t.as_str());
             }
             let tu = parser.parse_translation_unit()?;
             typedefs.extend(collect_typedef_names(&tu));
@@ -248,7 +291,7 @@ impl Linter {
             match cached_stdlib() {
                 Ok(cache) => {
                     sm = cache.source_map.clone();
-                    typedefs.extend(cache.typedefs.iter().cloned());
+                    typedefs.extend(cache.typedefs.iter().copied());
                     stdlib_unit = Some(&cache.unit);
                 }
                 Err(e) => {
@@ -282,7 +325,7 @@ impl Linter {
                     controls.extend(out.controls.clone());
                     let mut parser = Parser::new(out.tokens);
                     for t in typedefs.iter() {
-                        parser.add_typedef(t.clone());
+                        parser.add_typedef(t.as_str());
                     }
                     let (tu, errors) = parser.parse_translation_unit_recovering();
                     typedefs.extend(collect_typedef_names(&tu));
@@ -304,11 +347,13 @@ impl Linter {
                         format!("Parse error: {}", e.message),
                         e.span,
                     ));
-                    units.push(TranslationUnit { items: Vec::new() });
+                    units.push(TranslationUnit::default());
                 }
             }
         }
+        let parse_ms = parse_start.elapsed().as_secs_f64() * 1000.0;
 
+        let sema_start = std::time::Instant::now();
         let mut program = Program::new();
         if let Some(u) = stdlib_unit {
             program.extend_with(u);
@@ -316,7 +361,27 @@ impl Linter {
         for u in &units {
             program.extend_with(u);
         }
-        Ok(BuiltProgram { program, sm, controls, units, root_start, syntax_diags })
+        let sema_ms = sema_start.elapsed().as_secs_f64() * 1000.0;
+
+        let mut substrate = SubstrateStats::default();
+        if let Some(u) = stdlib_unit {
+            substrate.arena.absorb(&u.arena.stats());
+        }
+        for u in &units {
+            substrate.arena.absorb(&u.arena.stats());
+        }
+        substrate.symbols = lclint_syntax::intern::symbol_count();
+        Ok(BuiltProgram {
+            program,
+            sm,
+            controls,
+            units,
+            root_start,
+            syntax_diags,
+            parse_ms,
+            sema_ms,
+            substrate,
+        })
     }
 
     /// Like [`Linter::check_files`], but routes checking through an
@@ -334,7 +399,7 @@ impl Linter {
         roots: &[String],
         incremental: Option<&mut IncrementalSession>,
     ) -> Result<CheckResult> {
-        let BuiltProgram { program, sm, controls, syntax_diags, .. } =
+        let BuiltProgram { program, sm, controls, syntax_diags, parse_ms, sema_ms, substrate, .. } =
             self.build_program(files, roots)?;
         let sema_errors: Vec<String> = program
             .errors
@@ -383,6 +448,9 @@ impl Linter {
             source_map: sm,
             cache_stats,
             check_ms,
+            parse_ms,
+            sema_ms,
+            substrate,
         })
     }
 }
@@ -443,15 +511,16 @@ impl Linter {
 }
 
 /// Names introduced by `typedef` declarations in a unit.
-fn collect_typedef_names(tu: &TranslationUnit) -> Vec<String> {
+fn collect_typedef_names(tu: &TranslationUnit) -> Vec<Symbol> {
     use lclint_syntax::ast::{Item, StorageClass};
     let mut names = Vec::new();
     for item in &tu.items {
         if let Item::Decl(d) = item {
+            let d = tu.arena.decl(*d);
             if d.specs.storage == Some(StorageClass::Typedef) {
                 for id in &d.declarators {
-                    if let Some(n) = &id.declarator.name {
-                        names.push(n.clone());
+                    if let Some(n) = id.declarator.name {
+                        names.push(n);
                     }
                 }
             }

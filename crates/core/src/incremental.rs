@@ -25,6 +25,7 @@
 use lclint_analysis::cache::{CacheEntry, CacheStats, CheckCache, RelocDiag, RelocSpan};
 use lclint_analysis::DiagKind;
 use lclint_sema::DepSet;
+use lclint_syntax::Symbol;
 use std::collections::BTreeSet;
 use std::fs;
 use std::io;
@@ -134,11 +135,11 @@ fn save_cache(
     w_u32(&mut buf, lclint_analysis::CACHE_FORMAT_VERSION);
     w_u64(&mut buf, options_digest);
     w_u64(&mut buf, lib_digest);
-    let mut entries: Vec<(&String, &CacheEntry)> = cache.entries().collect();
+    let mut entries: Vec<(&Symbol, &CacheEntry)> = cache.entries().collect();
     entries.sort_by(|a, b| a.0.cmp(b.0));
     w_u32(&mut buf, entries.len() as u32);
     for (name, e) in entries {
-        w_str(&mut buf, name);
+        w_str(&mut buf, name.as_str());
         w_u64(&mut buf, e.fingerprint);
         w_set(&mut buf, &e.deps.typedefs);
         w_set(&mut buf, &e.deps.structs);
@@ -202,7 +203,7 @@ fn load_cache(path: &Path) -> Option<((u64, u64), CheckCache)> {
             }
             diags.push(RelocDiag { kind, message, span, notes });
         }
-        cache.insert_entry(name, CacheEntry { fingerprint, deps, diags });
+        cache.insert_entry(Symbol::intern(&name), CacheEntry { fingerprint, deps, diags });
     }
     if !r.is_empty() {
         return None; // trailing garbage: not a file we wrote
@@ -237,10 +238,12 @@ fn w_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(s.as_bytes());
 }
 
-fn w_set(buf: &mut Vec<u8>, set: &BTreeSet<String>) {
+/// Dep sets hold interned symbols in memory; the wire format stays plain
+/// text so the file is meaningful across processes.
+fn w_set(buf: &mut Vec<u8>, set: &BTreeSet<Symbol>) {
     w_u32(buf, set.len() as u32);
     for s in set {
-        w_str(buf, s);
+        w_str(buf, s.as_str());
     }
 }
 
@@ -254,13 +257,13 @@ fn w_span(buf: &mut Vec<u8>, s: &RelocSpan) {
         }
         RelocSpan::GlobalDecl { name, start, end } => {
             w_u8(buf, 2);
-            w_str(buf, name);
+            w_str(buf, name.as_str());
             w_u32(buf, *start);
             w_u32(buf, *end);
         }
         RelocSpan::FuncDecl { name, start, end } => {
             w_u8(buf, 3);
-            w_str(buf, name);
+            w_str(buf, name.as_str());
             w_u32(buf, *start);
             w_u32(buf, *end);
         }
@@ -293,11 +296,11 @@ fn r_str(r: &mut &[u8]) -> Option<String> {
     String::from_utf8(r_bytes(r, n)?.to_vec()).ok()
 }
 
-fn r_set(r: &mut &[u8]) -> Option<BTreeSet<String>> {
+fn r_set(r: &mut &[u8]) -> Option<BTreeSet<Symbol>> {
     let n = r_u32(r)?;
     let mut set = BTreeSet::new();
     for _ in 0..n {
-        set.insert(r_str(r)?);
+        set.insert(Symbol::intern(&r_str(r)?));
     }
     Some(set)
 }
@@ -306,8 +309,8 @@ fn r_span(r: &mut &[u8]) -> Option<RelocSpan> {
     Some(match r_u8(r)? {
         0 => RelocSpan::Synthetic,
         1 => RelocSpan::Local { start: r_u32(r)?, end: r_u32(r)? },
-        2 => RelocSpan::GlobalDecl { name: r_str(r)?, start: r_u32(r)?, end: r_u32(r)? },
-        3 => RelocSpan::FuncDecl { name: r_str(r)?, start: r_u32(r)?, end: r_u32(r)? },
+        2 => RelocSpan::GlobalDecl { name: Symbol::intern(&r_str(r)?), start: r_u32(r)?, end: r_u32(r)? },
+        3 => RelocSpan::FuncDecl { name: Symbol::intern(&r_str(r)?), start: r_u32(r)?, end: r_u32(r)? },
         _ => return None,
     })
 }
@@ -369,6 +372,34 @@ mod tests {
         fs::write(dir.join(CACHE_FILE), &full[..full.len() / 2]).unwrap();
         let s2 = IncrementalSession::at_dir(&dir).unwrap();
         assert!(s2.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn older_format_version_discards_disk_cache_wholesale() {
+        let dir = std::env::temp_dir().join(format!("lclint-incr-ver-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let linter = Linter::new(Flags::default());
+        let mut s1 = IncrementalSession::at_dir(&dir).unwrap();
+        let cold =
+            linter.check_files_with(&files(SRC), &["m.c".to_owned()], Some(&mut s1)).unwrap();
+
+        // Rewrite the version field (bytes 8..12, little-endian, right after
+        // the magic) to the previous format: a flat-AST build must drop a
+        // pre-flat cache.bin wholesale rather than trying to read entries.
+        let path = dir.join(CACHE_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let old = lclint_analysis::CACHE_FORMAT_VERSION - 1;
+        bytes[8..12].copy_from_slice(&old.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+
+        let mut s2 = IncrementalSession::at_dir(&dir).unwrap();
+        assert!(s2.is_empty(), "stale-version cache must load as empty");
+        let rerun =
+            linter.check_files_with(&files(SRC), &["m.c".to_owned()], Some(&mut s2)).unwrap();
+        let st = rerun.cache_stats.as_ref().unwrap();
+        assert_eq!((st.hits, st.misses, st.invalidations), (0, 2, 0), "{st:?}");
+        assert_eq!(cold.render(), rerun.render());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -29,7 +29,7 @@ pub mod stdlib;
 pub mod suppress;
 
 pub use annotate::{apply_annotations, AppliedAnnotations, PlacedAnnotation};
-pub use driver::{stdlib_cache_hits, CheckResult, InferOutcome, Linter};
+pub use driver::{peak_rss_bytes, stdlib_cache_hits, CheckResult, InferOutcome, Linter, SubstrateStats};
 pub use flags::{FlagError, Flags};
 pub use incremental::IncrementalSession;
 pub use lclint_analysis::cache::CacheStats;

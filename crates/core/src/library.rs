@@ -10,19 +10,22 @@
 
 use lclint_syntax::ast::{Declaration, FunctionDef, InitDeclarator, Item, TranslationUnit};
 use lclint_syntax::pretty_print;
+use std::sync::Arc;
 
 /// Extracts the interface of a translation unit: function definitions become
-/// prototypes, everything else is kept as-is.
+/// prototypes, everything else is kept as-is. The prototypes are appended to
+/// a copy of the unit's arena; existing node ids stay valid in the result.
 pub fn interface_of(tu: &TranslationUnit) -> TranslationUnit {
+    let mut arena = (*tu.arena).clone();
     let items = tu
         .items
         .iter()
         .map(|item| match item {
-            Item::Function(f) => Item::Decl(prototype_of(f)),
-            Item::Decl(d) => Item::Decl(d.clone()),
+            Item::Function(f) => Item::Decl(arena.alloc_decl(prototype_of(f))),
+            Item::Decl(d) => Item::Decl(*d),
         })
         .collect();
-    TranslationUnit { items }
+    TranslationUnit { items, arena: Arc::new(arena) }
 }
 
 /// The prototype declaration of a function definition.

@@ -10,6 +10,7 @@ use crate::layout::{field_offset, size_of};
 use lclint_sema::{Program, QualType, Type};
 use lclint_syntax::ast::*;
 use lclint_syntax::span::Span;
+use lclint_syntax::Symbol;
 use std::collections::HashMap;
 
 /// Interpreter configuration.
@@ -70,8 +71,8 @@ type EResult<T> = Result<T, RuntimeError>;
 pub struct Interp {
     program: Program,
     heap: Heap,
-    globals: HashMap<String, (Pointer, QualType)>,
-    scopes: Vec<HashMap<String, (Pointer, QualType)>>,
+    globals: HashMap<Symbol, (Pointer, QualType)>,
+    scopes: Vec<HashMap<Symbol, (Pointer, QualType)>>,
     output: String,
     steps: u64,
     call_depth: u32,
@@ -114,12 +115,8 @@ impl Interp {
             call_depth: 0,
             config,
         };
-        let globals: Vec<_> = interp
-            .program
-            .globals
-            .values()
-            .map(|g| (g.name.clone(), g.ty.clone(), g.span))
-            .collect();
+        let globals: Vec<_> =
+            interp.program.globals.values().map(|g| (g.name, g.ty.clone(), g.span)).collect();
         for (name, ty, span) in globals {
             let slots = size_of(&ty.ty, &interp.program.structs);
             let obj = interp.heap.alloc_zeroed(slots, ObjKind::Global, span);
@@ -219,13 +216,13 @@ impl Interp {
 
     // -- name resolution ------------------------------------------------------
 
-    fn lookup_var(&self, name: &str) -> Option<(Pointer, QualType)> {
+    fn lookup_var(&self, name: Symbol) -> Option<(Pointer, QualType)> {
         for scope in self.scopes.iter().rev() {
-            if let Some(v) = scope.get(name) {
+            if let Some(v) = scope.get(&name) {
                 return Some(v.clone());
             }
         }
-        self.globals.get(name).cloned()
+        self.globals.get(&name).cloned()
     }
 
     // -- calls ------------------------------------------------------------------
@@ -254,7 +251,7 @@ impl Interp {
         self.scopes.push(HashMap::new());
         let params = def.sig.ty.params.clone();
         for (i, p) in params.iter().enumerate() {
-            let Some(pname) = p.name.clone() else { continue };
+            let Some(pname) = p.name else { continue };
             let slots = size_of(&p.ty.ty, &self.program.structs);
             let obj = self.heap.alloc(slots, ObjKind::Stack, span);
             let ptr = Pointer { obj, offset: 0 };
@@ -264,7 +261,7 @@ impl Interp {
             }
             self.scopes.last_mut().expect("frame pushed").insert(pname, (ptr, p.ty.clone()));
         }
-        let flow = self.exec_stmt(&def.ast.body);
+        let flow = self.exec_stmt(&def.arena, def.ast.body);
         self.scopes = saved_scopes;
         self.call_depth -= 1;
         match flow? {
@@ -574,17 +571,18 @@ impl Interp {
 
     // -- statements ---------------------------------------------------------------
 
-    fn exec_stmt(&mut self, s: &Stmt) -> EResult<Flow> {
-        self.step(s.span)?;
-        match &s.kind {
+    fn exec_stmt(&mut self, ast: &Ast, s: StmtId) -> EResult<Flow> {
+        let span = ast.stmt_span(s);
+        self.step(span)?;
+        match ast.stmt(s) {
             StmtKind::Compound(items) => {
                 self.scopes.push(HashMap::new());
                 let mut flow = Flow::Normal;
                 for item in items {
                     match item {
-                        BlockItem::Decl(d) => self.exec_decl(d)?,
+                        BlockItem::Decl(d) => self.exec_decl(ast, *d)?,
                         BlockItem::Stmt(st) => {
-                            flow = self.exec_stmt(st)?;
+                            flow = self.exec_stmt(ast, *st)?;
                             if !matches!(flow, Flow::Normal) {
                                 break;
                             }
@@ -595,24 +593,26 @@ impl Interp {
                 Ok(flow)
             }
             StmtKind::Expr(e) => {
-                self.eval(e)?;
+                self.eval(ast, *e)?;
                 Ok(Flow::Normal)
             }
             StmtKind::Empty => Ok(Flow::Normal),
             StmtKind::If { cond, then_branch, else_branch } => {
-                let c = self.eval_cond(cond)?;
+                let (cond, then_branch, else_branch) = (*cond, *then_branch, *else_branch);
+                let c = self.eval_cond(ast, cond)?;
                 if c {
-                    self.exec_stmt(then_branch)
+                    self.exec_stmt(ast, then_branch)
                 } else if let Some(e) = else_branch {
-                    self.exec_stmt(e)
+                    self.exec_stmt(ast, e)
                 } else {
                     Ok(Flow::Normal)
                 }
             }
             StmtKind::While { cond, body } => {
-                while self.eval_cond(cond)? {
-                    self.step(s.span)?;
-                    match self.exec_stmt(body)? {
+                let (cond, body) = (*cond, *body);
+                while self.eval_cond(ast, cond)? {
+                    self.step(span)?;
+                    match self.exec_stmt(ast, body)? {
                         Flow::Break => break,
                         Flow::Continue | Flow::Normal => {}
                         other => return Ok(other),
@@ -621,77 +621,80 @@ impl Interp {
                 Ok(Flow::Normal)
             }
             StmtKind::DoWhile { body, cond } => {
+                let (body, cond) = (*body, *cond);
                 loop {
-                    self.step(s.span)?;
-                    match self.exec_stmt(body)? {
+                    self.step(span)?;
+                    match self.exec_stmt(ast, body)? {
                         Flow::Break => break,
                         Flow::Continue | Flow::Normal => {}
                         other => return Ok(other),
                     }
-                    if !self.eval_cond(cond)? {
+                    if !self.eval_cond(ast, cond)? {
                         break;
                     }
                 }
                 Ok(Flow::Normal)
             }
             StmtKind::For { init, cond, step, body } => {
+                let (init, cond, step, body) = (*init, *cond, *step, *body);
                 self.scopes.push(HashMap::new());
                 match init {
-                    Some(ForInit::Decl(d)) => self.exec_decl(d)?,
+                    Some(ForInit::Decl(d)) => self.exec_decl(ast, d)?,
                     Some(ForInit::Expr(e)) => {
-                        self.eval(e)?;
+                        self.eval(ast, e)?;
                     }
                     None => {}
                 }
                 let flow = loop {
-                    self.step(s.span)?;
+                    self.step(span)?;
                     let go = match cond {
-                        Some(c) => self.eval_cond(c)?,
+                        Some(c) => self.eval_cond(ast, c)?,
                         None => true,
                     };
                     if !go {
                         break Flow::Normal;
                     }
-                    match self.exec_stmt(body)? {
+                    match self.exec_stmt(ast, body)? {
                         Flow::Break => break Flow::Normal,
                         Flow::Continue | Flow::Normal => {}
                         other => break other,
                     }
                     if let Some(st) = step {
-                        self.eval(st)?;
+                        self.eval(ast, st)?;
                     }
                 };
                 self.scopes.pop();
                 Ok(flow)
             }
             StmtKind::Switch { cond, body } => {
-                let cv = self.eval(cond)?;
-                let v = self.expect_int(Some(&cv), cond.span)?;
+                let (cond, body) = (*cond, *body);
+                let cv = self.eval(ast, cond)?;
+                let v = self.expect_int(Some(&cv), ast.expr_span(cond))?;
                 // Collect (case value, item index) pairs from the body.
-                let StmtKind::Compound(items) = &body.kind else {
-                    return Err(self.unsupported("non-compound switch body", s.span));
+                let StmtKind::Compound(items) = ast.stmt(body) else {
+                    return Err(self.unsupported("non-compound switch body", span));
                 };
                 let mut start = None;
                 let mut default = None;
                 for (i, item) in items.iter().enumerate() {
                     if let BlockItem::Stmt(st) = item {
-                        let mut inner = st;
+                        let mut inner = *st;
                         loop {
-                            match &inner.kind {
+                            match ast.stmt(inner) {
                                 StmtKind::Case { value, stmt } => {
                                     let cv =
-                                        lclint_sema::const_eval(value, &self.program.enum_consts)
+                                        lclint_sema::const_eval(ast, *value, &self.program.enum_consts)
                                             .unwrap_or(0);
                                     if cv == v && start.is_none() {
                                         start = Some(i);
                                     }
-                                    inner = stmt;
+                                    inner = *stmt;
                                 }
                                 StmtKind::Default(stmt) => {
                                     if default.is_none() {
                                         default = Some(i);
                                     }
-                                    inner = stmt;
+                                    inner = *stmt;
                                 }
                                 _ => break,
                             }
@@ -705,18 +708,18 @@ impl Interp {
                 let mut flow = Flow::Normal;
                 for item in &items[begin..] {
                     match item {
-                        BlockItem::Decl(d) => self.exec_decl(d)?,
+                        BlockItem::Decl(d) => self.exec_decl(ast, *d)?,
                         BlockItem::Stmt(st) => {
                             // Unwrap case labels when executing.
-                            let mut inner = st;
+                            let mut inner = *st;
                             loop {
-                                match &inner.kind {
-                                    StmtKind::Case { stmt, .. } => inner = stmt,
-                                    StmtKind::Default(stmt) => inner = stmt,
+                                match ast.stmt(inner) {
+                                    StmtKind::Case { stmt, .. } => inner = *stmt,
+                                    StmtKind::Default(stmt) => inner = *stmt,
                                     _ => break,
                                 }
                             }
-                            flow = self.exec_stmt(inner)?;
+                            flow = self.exec_stmt(ast, inner)?;
                             if !matches!(flow, Flow::Normal) {
                                 break;
                             }
@@ -729,28 +732,29 @@ impl Interp {
                     other => Ok(other),
                 }
             }
-            StmtKind::Case { stmt, .. } | StmtKind::Default(stmt) => self.exec_stmt(stmt),
+            StmtKind::Case { stmt, .. } | StmtKind::Default(stmt) => self.exec_stmt(ast, *stmt),
             StmtKind::Break => Ok(Flow::Break),
             StmtKind::Continue => Ok(Flow::Continue),
             StmtKind::Return(v) => {
-                let val = match v {
-                    Some(e) => self.eval(e)?,
+                let val = match *v {
+                    Some(e) => self.eval(ast, e)?,
                     None => CVal::Undef,
                 };
                 Ok(Flow::Return(val))
             }
-            StmtKind::Label { stmt, .. } => self.exec_stmt(stmt),
-            StmtKind::Goto(_) => Err(self.unsupported("goto", s.span)),
+            StmtKind::Label { stmt, .. } => self.exec_stmt(ast, *stmt),
+            StmtKind::Goto(_) => Err(self.unsupported("goto", span)),
         }
     }
 
-    fn exec_decl(&mut self, d: &Declaration) -> EResult<()> {
+    fn exec_decl(&mut self, ast: &Ast, d: DeclId) -> EResult<()> {
+        let d = ast.decl(d);
         if d.specs.storage == Some(StorageClass::Typedef) {
             return Ok(());
         }
         for id in &d.declarators {
-            let Some(name) = id.declarator.name.clone() else { continue };
-            let ty = self.program.resolve_local_declarator(&d.specs, &id.declarator);
+            let Some(name) = id.declarator.name else { continue };
+            let ty = self.program.resolve_local_declarator(ast, &d.specs, &id.declarator);
             let slots = size_of(&ty.ty, &self.program.structs);
             let obj = self.heap.alloc(slots, ObjKind::Stack, d.span);
             let ptr = Pointer { obj, offset: 0 };
@@ -759,13 +763,13 @@ impl Interp {
             self.scopes.last_mut().expect("inside a frame").insert(name, (ptr, ty));
             match &id.init {
                 Some(Initializer::Expr(e)) => {
-                    let v = self.eval(e)?;
+                    let v = self.eval(ast, *e)?;
                     self.heap.write(ptr, v, d.span)?;
                 }
                 Some(Initializer::List(items)) => {
                     for (i, it) in items.iter().enumerate() {
                         if let Initializer::Expr(e) = it {
-                            let v = self.eval(e)?;
+                            let v = self.eval(ast, *e)?;
                             self.heap.write(Pointer { obj, offset: i }, v, d.span)?;
                         }
                     }
@@ -778,102 +782,107 @@ impl Interp {
 
     // -- expressions -----------------------------------------------------------------
 
-    fn eval_cond(&mut self, e: &Expr) -> EResult<bool> {
-        let v = self.eval(e)?;
+    fn eval_cond(&mut self, ast: &Ast, e: ExprId) -> EResult<bool> {
+        let v = self.eval(ast, e)?;
         v.truthy().ok_or(RuntimeError {
             kind: RuntimeErrorKind::UninitRead,
             message: "branch on uninitialized value".to_owned(),
-            span: e.span,
+            span: ast.expr_span(e),
         })
     }
 
     /// The type of an lvalue/rvalue expression where derivable (for member
     /// offsets, sizeof and pointer arithmetic).
-    fn type_of(&mut self, e: &Expr) -> Option<QualType> {
-        match &e.kind {
-            ExprKind::Ident(n) => self.lookup_var(n).map(|(_, t)| t),
-            ExprKind::Unary(UnOp::Deref, inner) => self.type_of(inner)?.pointee().cloned(),
+    fn type_of(&mut self, ast: &Ast, e: ExprId) -> Option<QualType> {
+        match ast.expr(e) {
+            ExprKind::Ident(n) => self.lookup_var(*n).map(|(_, t)| t),
+            ExprKind::Unary(UnOp::Deref, inner) => self.type_of(ast, *inner)?.pointee().cloned(),
             ExprKind::Member { base, field, arrow } => {
-                let bt = self.type_of(base)?;
-                let st = if *arrow { bt.pointee()?.clone() } else { bt };
+                let (base, field, arrow) = (*base, *field, *arrow);
+                let bt = self.type_of(ast, base)?;
+                let st = if arrow { bt.pointee()?.clone() } else { bt };
                 match st.ty {
                     Type::Struct(id) => {
-                        field_offset(id, field, &self.program.structs).map(|(_, t)| t)
+                        field_offset(id, field.as_str(), &self.program.structs).map(|(_, t)| t)
                     }
                     _ => None,
                 }
             }
-            ExprKind::Index(base, _) => self.type_of(base)?.pointee().cloned(),
+            ExprKind::Index(base, _) => self.type_of(ast, *base)?.pointee().cloned(),
             ExprKind::Call(_, _) => {
-                let name = e.direct_callee()?;
+                let name = ast.direct_callee(e)?;
                 Some(self.program.function(name)?.ty.ret.clone())
             }
             ExprKind::Cast(tn, _) => {
-                let base = self.program.resolve_type_spec(&tn.specs.ty, tn.span);
-                Some(self.program.build_declared_type(base, &tn.specs.annots, &tn.declarator))
+                let base = self.program.resolve_type_spec(ast, &tn.specs.ty, tn.span);
+                Some(self.program.build_declared_type(ast, base, &tn.specs.annots, &tn.declarator))
             }
             _ => None,
         }
     }
 
     /// Size in slots of the pointee of `e`'s type (for pointer arithmetic).
-    fn pointee_slots(&mut self, e: &Expr) -> usize {
-        self.type_of(e)
+    fn pointee_slots(&mut self, ast: &Ast, e: ExprId) -> usize {
+        self.type_of(ast, e)
             .and_then(|t| t.pointee().map(|p| size_of(&p.ty, &self.program.structs)))
             .unwrap_or(1)
     }
 
-    fn eval_lvalue(&mut self, e: &Expr) -> EResult<(Pointer, Option<QualType>)> {
-        self.step(e.span)?;
-        match &e.kind {
-            ExprKind::Ident(n) => match self.lookup_var(n) {
+    fn eval_lvalue(&mut self, ast: &Ast, e: ExprId) -> EResult<(Pointer, Option<QualType>)> {
+        let span = ast.expr_span(e);
+        self.step(span)?;
+        match ast.expr(e) {
+            ExprKind::Ident(n) => match self.lookup_var(*n) {
                 Some((p, t)) => Ok((p, Some(t))),
-                None => Err(self.unsupported(&format!("unknown variable `{n}`"), e.span)),
+                None => Err(self.unsupported(&format!("unknown variable `{n}`"), span)),
             },
             ExprKind::Unary(UnOp::Deref, inner) => {
-                let ty = self.type_of(inner).and_then(|t| t.pointee().cloned());
-                let v = self.eval(inner)?;
+                let inner = *inner;
+                let ty = self.type_of(ast, inner).and_then(|t| t.pointee().cloned());
+                let v = self.eval(ast, inner)?;
                 match v {
                     CVal::Ptr(p) => Ok((p, ty)),
                     CVal::Null | CVal::Int(0) => Err(RuntimeError {
                         kind: RuntimeErrorKind::NullDeref,
                         message: "dereference of null pointer".to_owned(),
-                        span: e.span,
+                        span,
                     }),
-                    _ => Err(self.unsupported("dereference of non-pointer", e.span)),
+                    _ => Err(self.unsupported("dereference of non-pointer", span)),
                 }
             }
             ExprKind::Member { base, field, arrow } => {
-                let (bptr, sty) = if *arrow {
-                    let bt = self.type_of(base).and_then(|t| t.pointee().cloned());
-                    let v = self.eval(base)?;
+                let (base, field, arrow) = (*base, *field, *arrow);
+                let (bptr, sty) = if arrow {
+                    let bt = self.type_of(ast, base).and_then(|t| t.pointee().cloned());
+                    let v = self.eval(ast, base)?;
                     match v {
                         CVal::Ptr(p) => (p, bt),
                         CVal::Null | CVal::Int(0) => {
                             return Err(RuntimeError {
                                 kind: RuntimeErrorKind::NullDeref,
                                 message: format!("null pointer in `->{field}`"),
-                                span: e.span,
+                                span,
                             });
                         }
-                        _ => return Err(self.unsupported("arrow on non-pointer", e.span)),
+                        _ => return Err(self.unsupported("arrow on non-pointer", span)),
                     }
                 } else {
-                    let (p, t) = self.eval_lvalue(base)?;
+                    let (p, t) = self.eval_lvalue(ast, base)?;
                     (p, t)
                 };
                 let Some(QualType { ty: Type::Struct(id), .. }) = sty else {
-                    return Err(self.unsupported("member of non-struct", e.span));
+                    return Err(self.unsupported("member of non-struct", span));
                 };
-                let (off, fty) = field_offset(id, field, &self.program.structs)
-                    .ok_or_else(|| self.unsupported(&format!("no field `{field}`"), e.span))?;
+                let (off, fty) = field_offset(id, field.as_str(), &self.program.structs)
+                    .ok_or_else(|| self.unsupported(&format!("no field `{field}`"), span))?;
                 Ok((Pointer { obj: bptr.obj, offset: bptr.offset + off }, Some(fty)))
             }
             ExprKind::Index(base, idx) => {
-                let elem = self.pointee_slots(base);
-                let b = self.eval(base)?;
-                let iv = self.eval(idx)?;
-                let i = self.expect_int(Some(&iv), idx.span)?;
+                let (base, idx) = (*base, *idx);
+                let elem = self.pointee_slots(ast, base);
+                let b = self.eval(ast, base)?;
+                let iv = self.eval(ast, idx)?;
+                let i = self.expect_int(Some(&iv), ast.expr_span(idx))?;
                 match b {
                     CVal::Ptr(p) => {
                         let off = p.offset as i64 + i * elem as i64;
@@ -881,22 +890,22 @@ impl Interp {
                             return Err(RuntimeError {
                                 kind: RuntimeErrorKind::OutOfBounds,
                                 message: "negative index".to_owned(),
-                                span: e.span,
+                                span,
                             });
                         }
-                        let ty = self.type_of(base).and_then(|t| t.pointee().cloned());
+                        let ty = self.type_of(ast, base).and_then(|t| t.pointee().cloned());
                         Ok((Pointer { obj: p.obj, offset: off as usize }, ty))
                     }
                     CVal::Null | CVal::Int(0) => Err(RuntimeError {
                         kind: RuntimeErrorKind::NullDeref,
                         message: "index of null pointer".to_owned(),
-                        span: e.span,
+                        span,
                     }),
-                    _ => Err(self.unsupported("index of non-pointer", e.span)),
+                    _ => Err(self.unsupported("index of non-pointer", span)),
                 }
             }
-            ExprKind::Cast(_, inner) => self.eval_lvalue(inner),
-            _ => Err(self.unsupported("expression is not an lvalue", e.span)),
+            ExprKind::Cast(_, inner) => self.eval_lvalue(ast, *inner),
+            _ => Err(self.unsupported("expression is not an lvalue", span)),
         }
     }
 
@@ -915,85 +924,96 @@ impl Interp {
         self.heap.read(p, span)
     }
 
-    fn eval(&mut self, e: &Expr) -> EResult<CVal> {
-        self.step(e.span)?;
-        match &e.kind {
+    fn eval(&mut self, ast: &Ast, e: ExprId) -> EResult<CVal> {
+        let span = ast.expr_span(e);
+        self.step(span)?;
+        match ast.expr(e) {
             ExprKind::IntLit(v) => Ok(CVal::Int(*v)),
             ExprKind::FloatLit(v) => Ok(CVal::Double(*v)),
             ExprKind::CharLit(v) => Ok(CVal::Int(*v)),
             ExprKind::StrLit(s) => {
-                let obj = self.heap.alloc(s.len() + 1, ObjKind::Static, e.span);
+                let s = s.as_str();
+                let obj = self.heap.alloc(s.len() + 1, ObjKind::Static, span);
                 let p = Pointer { obj, offset: 0 };
-                self.write_string(p, s, e.span)?;
+                self.write_string(p, s, span)?;
                 Ok(CVal::Ptr(p))
             }
             ExprKind::Ident(n) => {
+                let n = *n;
                 if n == "NULL" {
                     return Ok(CVal::Null);
                 }
-                if let Some(v) = self.program.enum_consts.get(n) {
+                if let Some(v) = self.program.enum_consts.get(&n) {
                     return Ok(CVal::Int(*v));
                 }
-                let (p, ty) = self.lookup_var(n).ok_or_else(|| {
-                    self.unsupported(&format!("unknown identifier `{n}`"), e.span)
-                })?;
-                self.read_place(p, Some(&ty), e.span)
+                let (p, ty) = self
+                    .lookup_var(n)
+                    .ok_or_else(|| self.unsupported(&format!("unknown identifier `{n}`"), span))?;
+                self.read_place(p, Some(&ty), span)
             }
             ExprKind::Unary(UnOp::Addr, inner) => {
-                let (p, _) = self.eval_lvalue(inner)?;
+                let (p, _) = self.eval_lvalue(ast, *inner)?;
                 Ok(CVal::Ptr(p))
             }
             ExprKind::Unary(UnOp::Deref, _) | ExprKind::Member { .. } | ExprKind::Index(_, _) => {
-                let (p, ty) = self.eval_lvalue(e)?;
-                self.read_place(p, ty.as_ref(), e.span)
+                let (p, ty) = self.eval_lvalue(ast, e)?;
+                self.read_place(p, ty.as_ref(), span)
             }
             ExprKind::Unary(op, inner) => {
-                let v = self.eval(inner)?;
-                self.unop(*op, v, e.span)
+                let (op, inner) = (*op, *inner);
+                let v = self.eval(ast, inner)?;
+                self.unop(op, v, span)
             }
             ExprKind::PreIncDec(op, inner) => {
-                let (p, ty) = self.eval_lvalue(inner)?;
-                let old = self.read_place(p, ty.as_ref(), e.span)?;
-                let delta = if *op == IncDec::Inc { 1 } else { -1 };
-                let new = self.add_value(old, delta, inner, e.span)?;
-                self.heap.write(p, new, e.span)?;
+                let (op, inner) = (*op, *inner);
+                let (p, ty) = self.eval_lvalue(ast, inner)?;
+                let old = self.read_place(p, ty.as_ref(), span)?;
+                let delta = if op == IncDec::Inc { 1 } else { -1 };
+                let new = self.add_value(ast, old, delta, inner, span)?;
+                self.heap.write(p, new, span)?;
                 Ok(new)
             }
             ExprKind::PostIncDec(op, inner) => {
-                let (p, ty) = self.eval_lvalue(inner)?;
-                let old = self.read_place(p, ty.as_ref(), e.span)?;
-                let delta = if *op == IncDec::Inc { 1 } else { -1 };
-                let new = self.add_value(old, delta, inner, e.span)?;
-                self.heap.write(p, new, e.span)?;
+                let (op, inner) = (*op, *inner);
+                let (p, ty) = self.eval_lvalue(ast, inner)?;
+                let old = self.read_place(p, ty.as_ref(), span)?;
+                let delta = if op == IncDec::Inc { 1 } else { -1 };
+                let new = self.add_value(ast, old, delta, inner, span)?;
+                self.heap.write(p, new, span)?;
                 Ok(old)
             }
             ExprKind::Binary(BinOp::LogAnd, l, r) => {
-                if !self.eval_cond(l)? {
+                let (l, r) = (*l, *r);
+                if !self.eval_cond(ast, l)? {
                     return Ok(CVal::Int(0));
                 }
-                Ok(CVal::Int(i64::from(self.eval_cond(r)?)))
+                Ok(CVal::Int(i64::from(self.eval_cond(ast, r)?)))
             }
             ExprKind::Binary(BinOp::LogOr, l, r) => {
-                if self.eval_cond(l)? {
+                let (l, r) = (*l, *r);
+                if self.eval_cond(ast, l)? {
                     return Ok(CVal::Int(1));
                 }
-                Ok(CVal::Int(i64::from(self.eval_cond(r)?)))
+                Ok(CVal::Int(i64::from(self.eval_cond(ast, r)?)))
             }
             ExprKind::Binary(op, l, r) => {
-                let lv = self.eval(l)?;
-                let rv = self.eval(r)?;
-                self.binop(*op, lv, rv, l, e.span)
+                let (op, l, r) = (*op, *l, *r);
+                let lv = self.eval(ast, l)?;
+                let rv = self.eval(ast, r)?;
+                self.binop(ast, op, lv, rv, l, span)
             }
             ExprKind::Assign(AssignOp::Assign, lhs, rhs) => {
-                let v = self.eval(rhs)?;
-                let (p, _) = self.eval_lvalue(lhs)?;
-                self.heap.write(p, v, e.span)?;
+                let (lhs, rhs) = (*lhs, *rhs);
+                let v = self.eval(ast, rhs)?;
+                let (p, _) = self.eval_lvalue(ast, lhs)?;
+                self.heap.write(p, v, span)?;
                 Ok(v)
             }
             ExprKind::Assign(op, lhs, rhs) => {
-                let (p, ty) = self.eval_lvalue(lhs)?;
-                let old = self.read_place(p, ty.as_ref(), e.span)?;
-                let rv = self.eval(rhs)?;
+                let (op, lhs, rhs) = (*op, *lhs, *rhs);
+                let (p, ty) = self.eval_lvalue(ast, lhs)?;
+                let old = self.read_place(p, ty.as_ref(), span)?;
+                let rv = self.eval(ast, rhs)?;
                 let bop = match op {
                     AssignOp::Add => BinOp::Add,
                     AssignOp::Sub => BinOp::Sub,
@@ -1007,40 +1027,42 @@ impl Interp {
                     AssignOp::Or => BinOp::BitOr,
                     AssignOp::Assign => unreachable!("handled above"),
                 };
-                let new = self.binop(bop, old, rv, lhs, e.span)?;
-                self.heap.write(p, new, e.span)?;
+                let new = self.binop(ast, bop, old, rv, lhs, span)?;
+                self.heap.write(p, new, span)?;
                 Ok(new)
             }
             ExprKind::Cond(c, t, f) => {
-                if self.eval_cond(c)? {
-                    self.eval(t)
+                let (c, t, f) = (*c, *t, *f);
+                if self.eval_cond(ast, c)? {
+                    self.eval(ast, t)
                 } else {
-                    self.eval(f)
+                    self.eval(ast, f)
                 }
             }
-            ExprKind::Call(f, args) => {
-                let name = match &f.peel_casts().kind {
-                    ExprKind::Ident(n) => n.clone(),
-                    _ => return Err(self.unsupported("indirect call", e.span)),
+            ExprKind::Call(_, args) => {
+                let Some(name) = ast.direct_callee(e) else {
+                    return Err(self.unsupported("indirect call", span));
                 };
                 let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(self.eval(a)?);
+                for &a in args {
+                    vals.push(self.eval(ast, a)?);
                 }
-                match self.call_named(&name, &vals, e.span)? {
+                match self.call_named(name.as_str(), &vals, span)? {
                     Flowed::Value(v) => Ok(v),
                     Flowed::Exited(code) => Err(RuntimeError {
                         kind: RuntimeErrorKind::Unsupported,
                         message: format!("<exit {code}>"),
-                        span: e.span,
+                        span,
                     }),
                 }
             }
             ExprKind::Cast(tn, inner) => {
-                let v = self.eval(inner)?;
+                let inner = *inner;
+                let v = self.eval(ast, inner)?;
                 // Numeric casts convert; pointer casts are free.
-                let base = self.program.resolve_type_spec(&tn.specs.ty, tn.span);
-                let ty = self.program.build_declared_type(base, &tn.specs.annots, &tn.declarator);
+                let base = self.program.resolve_type_spec(ast, &tn.specs.ty, tn.span);
+                let ty =
+                    self.program.build_declared_type(ast, base, &tn.specs.annots, &tn.declarator);
                 Ok(match (&ty.ty, v) {
                     (Type::Int { .. } | Type::Char | Type::Enum(_), CVal::Double(d)) => {
                         CVal::Int(d as i64)
@@ -1051,28 +1073,39 @@ impl Interp {
                 })
             }
             ExprKind::SizeofType(tn) => {
-                let base = self.program.resolve_type_spec(&tn.specs.ty, tn.span);
-                let ty = self.program.build_declared_type(base, &tn.specs.annots, &tn.declarator);
+                let base = self.program.resolve_type_spec(ast, &tn.specs.ty, tn.span);
+                let ty =
+                    self.program.build_declared_type(ast, base, &tn.specs.annots, &tn.declarator);
                 Ok(CVal::Int(size_of(&ty.ty, &self.program.structs) as i64))
             }
             ExprKind::SizeofExpr(inner) => {
-                let slots =
-                    self.type_of(inner).map(|t| size_of(&t.ty, &self.program.structs)).unwrap_or(1);
+                let slots = self
+                    .type_of(ast, *inner)
+                    .map(|t| size_of(&t.ty, &self.program.structs))
+                    .unwrap_or(1);
                 Ok(CVal::Int(slots as i64))
             }
             ExprKind::Comma(l, r) => {
-                self.eval(l)?;
-                self.eval(r)
+                let (l, r) = (*l, *r);
+                self.eval(ast, l)?;
+                self.eval(ast, r)
             }
         }
     }
 
-    fn add_value(&mut self, v: CVal, delta: i64, base_expr: &Expr, span: Span) -> EResult<CVal> {
+    fn add_value(
+        &mut self,
+        ast: &Ast,
+        v: CVal,
+        delta: i64,
+        base_expr: ExprId,
+        span: Span,
+    ) -> EResult<CVal> {
         match v {
             CVal::Int(i) => Ok(CVal::Int(i + delta)),
             CVal::Double(d) => Ok(CVal::Double(d + delta as f64)),
             CVal::Ptr(p) => {
-                let elem = self.pointee_slots(base_expr) as i64;
+                let elem = self.pointee_slots(ast, base_expr) as i64;
                 let off = p.offset as i64 + delta * elem;
                 if off < 0 {
                     return Err(RuntimeError {
@@ -1119,7 +1152,15 @@ impl Interp {
         }
     }
 
-    fn binop(&mut self, op: BinOp, l: CVal, r: CVal, lexpr: &Expr, span: Span) -> EResult<CVal> {
+    fn binop(
+        &mut self,
+        ast: &Ast,
+        op: BinOp,
+        l: CVal,
+        r: CVal,
+        lexpr: ExprId,
+        span: Span,
+    ) -> EResult<CVal> {
         use BinOp::*;
         // Null/zero interchange for pointer comparisons.
         let norm = |v: CVal| match v {
@@ -1171,8 +1212,8 @@ impl Interp {
             (CVal::Double(a), CVal::Int(b)) => self.float_binop(op, a, b as f64, span),
             (CVal::Int(a), CVal::Double(b)) => self.float_binop(op, a as f64, b, span),
             (CVal::Ptr(p), CVal::Int(i)) => match op {
-                Add => self.add_value(CVal::Ptr(p), i, lexpr, span),
-                Sub => self.add_value(CVal::Ptr(p), -i, lexpr, span),
+                Add => self.add_value(ast, CVal::Ptr(p), i, lexpr, span),
+                Sub => self.add_value(ast, CVal::Ptr(p), -i, lexpr, span),
                 Eq => Ok(CVal::Int(i64::from(false))),
                 Ne => Ok(CVal::Int(i64::from(true))),
                 _ => Err(self.unsupported("pointer/integer operation", span)),
@@ -1180,7 +1221,7 @@ impl Interp {
             (CVal::Int(_), CVal::Ptr(p)) => match op {
                 Eq => Ok(CVal::Int(0)),
                 Ne => Ok(CVal::Int(1)),
-                Add => self.add_value(CVal::Ptr(p), 0, lexpr, span),
+                Add => self.add_value(ast, CVal::Ptr(p), 0, lexpr, span),
                 _ => Err(self.unsupported("integer/pointer operation", span)),
             },
             (CVal::Ptr(a), CVal::Ptr(b)) => match op {

@@ -15,7 +15,8 @@
 
 use std::collections::HashMap;
 
-use lclint_syntax::ast::{BlockItem, Expr, ExprKind, ForInit, Initializer, Stmt, StmtKind};
+use lclint_syntax::ast::{Ast, BlockItem, ExprId, ExprKind, ForInit, Initializer, StmtId, StmtKind};
+use lclint_syntax::Symbol;
 
 use crate::program::Program;
 
@@ -23,17 +24,17 @@ use crate::program::Program;
 #[derive(Debug, Clone)]
 pub struct CallGraph {
     /// Function names, one per node, in definition order.
-    names: Vec<String>,
+    names: Vec<Symbol>,
     /// Name → node id.
-    index: HashMap<String, usize>,
+    index: HashMap<Symbol, usize>,
     /// Resolved edges: `callees[i]` lists the node ids `names[i]` calls
     /// directly (deduplicated, ascending).
     callees: Vec<Vec<usize>>,
     /// Per-node calls to functions that are declared (a prototype or a
     /// library entry is visible) but have no definition in the program.
-    library_only: Vec<Vec<String>>,
+    library_only: Vec<Vec<Symbol>>,
     /// Per-node calls to names with no visible declaration at all.
-    undeclared: Vec<Vec<String>>,
+    undeclared: Vec<Vec<Symbol>>,
 }
 
 impl CallGraph {
@@ -42,19 +43,19 @@ impl CallGraph {
         let mut names = Vec::with_capacity(program.defs.len());
         let mut index = HashMap::new();
         for def in &program.defs {
-            let name = def.sig.name.clone();
-            index.entry(name.clone()).or_insert(names.len());
+            let name = def.sig.name;
+            index.entry(name).or_insert(names.len());
             names.push(name);
         }
 
         let n = names.len();
         let mut callees: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut library_only: Vec<Vec<String>> = vec![Vec::new(); n];
-        let mut undeclared: Vec<Vec<String>> = vec![Vec::new(); n];
+        let mut library_only: Vec<Vec<Symbol>> = vec![Vec::new(); n];
+        let mut undeclared: Vec<Vec<Symbol>> = vec![Vec::new(); n];
 
         for (i, def) in program.defs.iter().enumerate() {
-            let mut sites: Vec<String> = Vec::new();
-            collect_calls_stmt(&def.ast.body, &mut sites);
+            let mut sites: Vec<Symbol> = Vec::new();
+            collect_calls_stmt(&def.arena, def.ast.body, &mut sites);
             sites.sort();
             sites.dedup();
             for callee in sites {
@@ -83,13 +84,13 @@ impl CallGraph {
     }
 
     /// The function name of node `id`.
-    pub fn name(&self, id: usize) -> &str {
-        &self.names[id]
+    pub fn name(&self, id: usize) -> Symbol {
+        self.names[id]
     }
 
     /// The node id for a defined function, if it has a definition.
-    pub fn node(&self, name: &str) -> Option<usize> {
-        self.index.get(name).copied()
+    pub fn node<S: Into<Symbol>>(&self, name: S) -> Option<usize> {
+        self.index.get(&name.into()).copied()
     }
 
     /// Direct callees of node `id` that have definitions (ascending ids).
@@ -98,12 +99,12 @@ impl CallGraph {
     }
 
     /// Callees of node `id` that are declared but have no definition.
-    pub fn library_only_calls(&self, id: usize) -> &[String] {
+    pub fn library_only_calls(&self, id: usize) -> &[Symbol] {
         &self.library_only[id]
     }
 
     /// Callees of node `id` with no visible declaration.
-    pub fn undeclared_calls(&self, id: usize) -> &[String] {
+    pub fn undeclared_calls(&self, id: usize) -> &[Symbol] {
         &self.undeclared[id]
     }
 
@@ -202,93 +203,95 @@ impl<'g> Tarjan<'g> {
 // Call-site collection (syntactic walk of a function body)
 // ---------------------------------------------------------------------------
 
-fn collect_calls_stmt(s: &Stmt, out: &mut Vec<String>) {
-    match &s.kind {
+fn collect_calls_stmt(ast: &Ast, s: StmtId, out: &mut Vec<Symbol>) {
+    match ast.stmt(s) {
         StmtKind::Compound(items) => {
             for item in items {
                 match item {
-                    BlockItem::Stmt(s) => collect_calls_stmt(s, out),
+                    BlockItem::Stmt(s) => collect_calls_stmt(ast, *s, out),
                     BlockItem::Decl(d) => {
-                        for id in &d.declarators {
+                        for id in &ast.decl(*d).declarators {
                             if let Some(init) = &id.init {
-                                collect_calls_init(init, out);
+                                collect_calls_init(ast, init, out);
                             }
                         }
                     }
                 }
             }
         }
-        StmtKind::Expr(e) => collect_calls_expr(e, out),
+        StmtKind::Expr(e) => collect_calls_expr(ast, *e, out),
         StmtKind::Empty | StmtKind::Break | StmtKind::Continue | StmtKind::Goto(_) => {}
         StmtKind::If { cond, then_branch, else_branch } => {
-            collect_calls_expr(cond, out);
-            collect_calls_stmt(then_branch, out);
+            collect_calls_expr(ast, *cond, out);
+            collect_calls_stmt(ast, *then_branch, out);
             if let Some(e) = else_branch {
-                collect_calls_stmt(e, out);
+                collect_calls_stmt(ast, *e, out);
             }
         }
         StmtKind::While { cond, body } | StmtKind::Switch { cond, body } => {
-            collect_calls_expr(cond, out);
-            collect_calls_stmt(body, out);
+            collect_calls_expr(ast, *cond, out);
+            collect_calls_stmt(ast, *body, out);
         }
         StmtKind::DoWhile { body, cond } => {
-            collect_calls_stmt(body, out);
-            collect_calls_expr(cond, out);
+            collect_calls_stmt(ast, *body, out);
+            collect_calls_expr(ast, *cond, out);
         }
         StmtKind::For { init, cond, step, body } => {
             match init {
-                Some(ForInit::Expr(e)) => collect_calls_expr(e, out),
+                Some(ForInit::Expr(e)) => collect_calls_expr(ast, *e, out),
                 Some(ForInit::Decl(d)) => {
-                    for id in &d.declarators {
+                    for id in &ast.decl(*d).declarators {
                         if let Some(i) = &id.init {
-                            collect_calls_init(i, out);
+                            collect_calls_init(ast, i, out);
                         }
                     }
                 }
                 None => {}
             }
             if let Some(e) = cond {
-                collect_calls_expr(e, out);
+                collect_calls_expr(ast, *e, out);
             }
             if let Some(e) = step {
-                collect_calls_expr(e, out);
+                collect_calls_expr(ast, *e, out);
             }
-            collect_calls_stmt(body, out);
+            collect_calls_stmt(ast, *body, out);
         }
         StmtKind::Case { value, stmt } => {
-            collect_calls_expr(value, out);
-            collect_calls_stmt(stmt, out);
+            collect_calls_expr(ast, *value, out);
+            collect_calls_stmt(ast, *stmt, out);
         }
-        StmtKind::Default(stmt) | StmtKind::Label { stmt, .. } => collect_calls_stmt(stmt, out),
+        StmtKind::Default(stmt) | StmtKind::Label { stmt, .. } => {
+            collect_calls_stmt(ast, *stmt, out)
+        }
         StmtKind::Return(e) => {
             if let Some(e) = e {
-                collect_calls_expr(e, out);
+                collect_calls_expr(ast, *e, out);
             }
         }
     }
 }
 
-fn collect_calls_init(init: &Initializer, out: &mut Vec<String>) {
+fn collect_calls_init(ast: &Ast, init: &Initializer, out: &mut Vec<Symbol>) {
     match init {
-        Initializer::Expr(e) => collect_calls_expr(e, out),
+        Initializer::Expr(e) => collect_calls_expr(ast, *e, out),
         Initializer::List(items) => {
             for i in items {
-                collect_calls_init(i, out);
+                collect_calls_init(ast, i, out);
             }
         }
     }
 }
 
-fn collect_calls_expr(e: &Expr, out: &mut Vec<String>) {
-    match &e.kind {
+fn collect_calls_expr(ast: &Ast, e: ExprId, out: &mut Vec<Symbol>) {
+    match ast.expr(e) {
         ExprKind::Call(f, args) => {
-            if let Some(name) = e.direct_callee() {
-                out.push(name.to_owned());
+            if let Some(name) = ast.direct_callee(e) {
+                out.push(name);
             } else {
-                collect_calls_expr(f, out);
+                collect_calls_expr(ast, *f, out);
             }
             for a in args {
-                collect_calls_expr(a, out);
+                collect_calls_expr(ast, *a, out);
             }
         }
         ExprKind::Ident(_)
@@ -302,18 +305,18 @@ fn collect_calls_expr(e: &Expr, out: &mut Vec<String>) {
         | ExprKind::PostIncDec(_, a)
         | ExprKind::Cast(_, a)
         | ExprKind::SizeofExpr(a)
-        | ExprKind::Member { base: a, .. } => collect_calls_expr(a, out),
+        | ExprKind::Member { base: a, .. } => collect_calls_expr(ast, *a, out),
         ExprKind::Binary(_, a, b)
         | ExprKind::Assign(_, a, b)
         | ExprKind::Index(a, b)
         | ExprKind::Comma(a, b) => {
-            collect_calls_expr(a, out);
-            collect_calls_expr(b, out);
+            collect_calls_expr(ast, *a, out);
+            collect_calls_expr(ast, *b, out);
         }
         ExprKind::Cond(c, t, f) => {
-            collect_calls_expr(c, out);
-            collect_calls_expr(t, out);
-            collect_calls_expr(f, out);
+            collect_calls_expr(ast, *c, out);
+            collect_calls_expr(ast, *t, out);
+            collect_calls_expr(ast, *f, out);
         }
     }
 }

@@ -15,33 +15,37 @@
 //! digested as "absent", so *introducing* a symbol invalidates functions
 //! that previously failed to find it.
 //!
-//! Nothing here hashes a [`StructId`] or a [`Span`](lclint_syntax::Span):
-//! ids are table indexes (unstable across edits), spans move with every
-//! keystroke. Struct references hash their tag and body, recursively, with
-//! a visited set to terminate on recursive types.
+//! Names are [`Symbol`]s; the digest folds each symbol's *text hash* (stable
+//! across processes — interner ids are not) via
+//! [`StableHasher::write_symbol`]. Nothing here hashes a [`StructId`] or a
+//! [`Span`](lclint_syntax::Span): ids are table indexes (unstable across
+//! edits), spans move with every keystroke. Struct references hash their tag
+//! and body, recursively, with a visited set to terminate on recursive types.
 
 use crate::program::{FunctionSig, GlobalVar, Program};
 use crate::types::{FnType, QualType, StructDef, StructId, Type};
 use lclint_syntax::ast::IntSize;
 use lclint_syntax::stable_hash::StableHasher;
+use lclint_syntax::Symbol;
 use std::collections::BTreeSet;
 
 /// The set of shared-program names one function's checking resolved,
 /// grouped by namespace. Ordered sets so iteration (and therefore hashing
-/// and serialization) is deterministic.
+/// and serialization) is deterministic — [`Symbol`]s order by their text,
+/// so the order matches the old string-keyed form and is process-stable.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DepSet {
     /// Typedef names looked up (and not shadowed locally).
-    pub typedefs: BTreeSet<String>,
+    pub typedefs: BTreeSet<Symbol>,
     /// Struct/union tags resolved against the shared table (anonymous
     /// structs appear under their synthesized `<anon N>` tag).
-    pub structs: BTreeSet<String>,
+    pub structs: BTreeSet<Symbol>,
     /// Enum constant names looked up (and not defined locally).
-    pub enum_consts: BTreeSet<String>,
+    pub enum_consts: BTreeSet<Symbol>,
     /// Function signatures looked up (callees, function-pointer sources).
-    pub functions: BTreeSet<String>,
+    pub functions: BTreeSet<Symbol>,
     /// Globals looked up.
-    pub globals: BTreeSet<String>,
+    pub globals: BTreeSet<Symbol>,
 }
 
 impl DepSet {
@@ -71,7 +75,7 @@ impl DepSet {
 pub fn digest_deps(program: &Program, deps: &DepSet, h: &mut StableHasher) {
     for name in &deps.typedefs {
         h.write_u8(b'T');
-        h.write_str(name);
+        h.write_symbol(*name);
         match program.typedefs.get(name) {
             Some(t) => {
                 h.write_bool(true);
@@ -82,8 +86,8 @@ pub fn digest_deps(program: &Program, deps: &DepSet, h: &mut StableHasher) {
     }
     for tag in &deps.structs {
         h.write_u8(b'S');
-        h.write_str(tag);
-        match struct_by_tag(program, tag) {
+        h.write_symbol(*tag);
+        match struct_by_tag(program, *tag) {
             Some(def) => {
                 h.write_bool(true);
                 hash_struct_body(program, def, h, &mut Vec::new());
@@ -93,7 +97,7 @@ pub fn digest_deps(program: &Program, deps: &DepSet, h: &mut StableHasher) {
     }
     for name in &deps.enum_consts {
         h.write_u8(b'E');
-        h.write_str(name);
+        h.write_symbol(*name);
         match program.enum_consts.get(name) {
             Some(v) => {
                 h.write_bool(true);
@@ -104,8 +108,8 @@ pub fn digest_deps(program: &Program, deps: &DepSet, h: &mut StableHasher) {
     }
     for name in &deps.functions {
         h.write_u8(b'F');
-        h.write_str(name);
-        match program.function(name) {
+        h.write_symbol(*name);
+        match program.function(*name) {
             Some(sig) => {
                 h.write_bool(true);
                 hash_function_sig(program, sig, h);
@@ -115,8 +119,8 @@ pub fn digest_deps(program: &Program, deps: &DepSet, h: &mut StableHasher) {
     }
     for name in &deps.globals {
         h.write_u8(b'G');
-        h.write_str(name);
-        match program.global(name) {
+        h.write_symbol(*name);
+        match program.global(*name) {
             Some(g) => {
                 h.write_bool(true);
                 hash_global(program, g, h);
@@ -128,7 +132,7 @@ pub fn digest_deps(program: &Program, deps: &DepSet, h: &mut StableHasher) {
 
 /// Resolves a tag against the shared table. The `by_tag` map does not index
 /// anonymous structs, so fall back to scanning for the synthesized tag.
-fn struct_by_tag<'p>(program: &'p Program, tag: &str) -> Option<&'p StructDef> {
+fn struct_by_tag(program: &Program, tag: Symbol) -> Option<&StructDef> {
     if let Some(id) = program.structs.by_tag(tag) {
         return Some(program.structs.get(id));
     }
@@ -137,7 +141,7 @@ fn struct_by_tag<'p>(program: &'p Program, tag: &str) -> Option<&'p StructDef> {
 
 /// Digests a function signature, spans excluded.
 pub fn hash_function_sig(program: &Program, sig: &FunctionSig, h: &mut StableHasher) {
-    h.write_str(&sig.name);
+    h.write_symbol(sig.name);
     h.write_bool(sig.is_static);
     h.write_bool(sig.has_def);
     hash_fn_type(program, &sig.ty, h, &mut Vec::new());
@@ -145,7 +149,7 @@ pub fn hash_function_sig(program: &Program, sig: &FunctionSig, h: &mut StableHas
 
 /// Digests a global declaration, span excluded.
 pub fn hash_global(program: &Program, g: &GlobalVar, h: &mut StableHasher) {
-    h.write_str(&g.name);
+    h.write_symbol(g.name);
     h.write_bool(g.is_static);
     h.write_bool(g.is_extern);
     h.write_bool(g.has_init);
@@ -156,10 +160,10 @@ fn hash_fn_type(program: &Program, f: &FnType, h: &mut StableHasher, visited: &m
     hash_qual_type(program, &f.ret, h, visited);
     h.write_u64(f.params.len() as u64);
     for p in &f.params {
-        match &p.name {
+        match p.name {
             Some(n) => {
                 h.write_bool(true);
-                h.write_str(n);
+                h.write_symbol(n);
             }
             None => h.write_bool(false),
         }
@@ -172,7 +176,7 @@ fn hash_fn_type(program: &Program, f: &FnType, h: &mut StableHasher, visited: &m
             h.write_bool(true);
             h.write_u64(gs.len() as u64);
             for g in gs {
-                h.write_str(&g.name);
+                h.write_symbol(g.name);
                 h.write_bool(g.undef);
             }
         }
@@ -205,7 +209,7 @@ pub fn hash_qual_type(
         Type::Double => h.write_u8(4),
         Type::Enum(name) => {
             h.write_u8(5);
-            h.write_str(name);
+            h.write_symbol(*name);
         }
         Type::Pointer(inner) => {
             h.write_u8(6);
@@ -247,12 +251,12 @@ fn hash_struct_body(
     h: &mut StableHasher,
     visited: &mut Vec<StructId>,
 ) {
-    h.write_str(&def.tag);
+    h.write_symbol(def.tag);
     h.write_bool(def.is_union);
     h.write_bool(def.complete);
     // Recursive types (struct _list { struct _list *next; }): hash the tag
     // only on re-entry.
-    if let Some(id) = program.structs.by_tag(&def.tag) {
+    if let Some(id) = program.structs.by_tag(def.tag) {
         if visited.contains(&id) {
             return;
         }
@@ -260,7 +264,7 @@ fn hash_struct_body(
     }
     h.write_u64(def.fields.len() as u64);
     for f in &def.fields {
-        h.write_str(&f.name);
+        h.write_symbol(f.name);
         hash_qual_type(program, &f.ty, h, visited);
     }
 }
@@ -281,16 +285,20 @@ mod tests {
         h.finish()
     }
 
+    fn s(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+
     #[test]
     fn dep_digest_tracks_typedef_changes_only() {
         let p1 = program("typedef char *str; typedef int other;");
         let p2 = program("typedef /*@null@*/ char *str; typedef int other;");
         let mut deps = DepSet::new();
-        deps.typedefs.insert("str".into());
+        deps.typedefs.insert(s("str"));
         assert_ne!(digest(&p1, &deps), digest(&p2, &deps));
         // A function that never looked at `str` sees no change.
         let mut unrelated = DepSet::new();
-        unrelated.typedefs.insert("other".into());
+        unrelated.typedefs.insert(s("other"));
         assert_eq!(digest(&p1, &unrelated), digest(&p2, &unrelated));
     }
 
@@ -299,7 +307,7 @@ mod tests {
         let p1 = program("int x;");
         let p2 = program("int x; enum e { MISSING = 4 };");
         let mut deps = DepSet::new();
-        deps.enum_consts.insert("MISSING".into());
+        deps.enum_consts.insert(s("MISSING"));
         assert_ne!(digest(&p1, &deps), digest(&p2, &deps));
     }
 
@@ -308,7 +316,7 @@ mod tests {
         let p1 = program("extern char *get(void);");
         let p2 = program("extern /*@only@*/ char *get(void);");
         let mut deps = DepSet::new();
-        deps.functions.insert("get".into());
+        deps.functions.insert(s("get"));
         assert_ne!(digest(&p1, &deps), digest(&p2, &deps));
     }
 
@@ -316,7 +324,7 @@ mod tests {
     fn dep_digest_recursive_struct_terminates() {
         let p = program("struct _list { /*@null@*/ struct _list *next; int v; };");
         let mut deps = DepSet::new();
-        deps.structs.insert("_list".into());
+        deps.structs.insert(s("_list"));
         let d1 = digest(&p, &deps);
         let d2 = digest(&p, &deps);
         assert_eq!(d1, d2);
@@ -331,9 +339,9 @@ mod tests {
             "\n\n/* moved */\ntypedef char *str;\nextern /*@only@*/ char *get(void);\nchar *g;",
         );
         let mut deps = DepSet::new();
-        deps.typedefs.insert("str".into());
-        deps.functions.insert("get".into());
-        deps.globals.insert("g".into());
+        deps.typedefs.insert(s("str"));
+        deps.functions.insert(s("get"));
+        deps.globals.insert(s("g"));
         assert_eq!(digest(&p1, &deps), digest(&p2, &deps));
     }
 }

@@ -5,13 +5,19 @@
 //! Resolution is tolerant: problems are collected as [`SemaError`]s and the
 //! offending entity gets [`Type::Error`], so one bad declaration does not
 //! abort checking of the rest of the file (LCLint's behaviour).
+//!
+//! All tables are keyed by interned [`Symbol`]s, and function definitions are
+//! retained as a lightweight header ([`FunctionDef`] is a few ids) plus a
+//! shared handle on the unit's node arena — nothing re-clones a syntax tree.
 
 use crate::types::{Field, FnType, ParamType, QualType, StructId, StructTable, Type};
 use lclint_syntax::annot::AnnotSet;
 use lclint_syntax::ast::*;
 use lclint_syntax::span::Span;
-use std::collections::HashMap;
+use lclint_syntax::{sym, Symbol};
+use lclint_syntax::fx::FxHashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A non-fatal semantic problem found while building the program tables.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +40,7 @@ impl std::error::Error for SemaError {}
 #[derive(Debug, Clone, PartialEq)]
 pub struct FunctionSig {
     /// Function name.
-    pub name: String,
+    pub name: Symbol,
     /// Signature (return annotations describe the result; `truenull` /
     /// `falsenull` / `noreturn` also live on the return type's annotations).
     pub ty: FnType,
@@ -50,7 +56,7 @@ pub struct FunctionSig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct GlobalVar {
     /// Variable name.
-    pub name: String,
+    pub name: Symbol,
     /// Declared type with annotations.
     pub ty: QualType,
     /// `static` storage.
@@ -63,14 +69,17 @@ pub struct GlobalVar {
     pub span: Span,
 }
 
-/// A function definition retained for checking: its resolved signature plus
-/// the original AST body.
-#[derive(Debug, Clone, PartialEq)]
+/// A function definition retained for checking: its resolved signature, the
+/// definition header (declarator + body id) and a shared handle on the arena
+/// the ids point into.
+#[derive(Debug, Clone)]
 pub struct CheckedFunction {
     /// The resolved signature.
     pub sig: FunctionSig,
-    /// The AST of the definition.
+    /// The definition header; `ast.body` indexes [`CheckedFunction::arena`].
     pub ast: FunctionDef,
+    /// The node arena of the translation unit that defined this function.
+    pub arena: Arc<Ast>,
 }
 
 /// The resolved program: every table the checker needs.
@@ -79,13 +88,13 @@ pub struct Program {
     /// Struct/union definitions.
     pub structs: StructTable,
     /// Typedefs by name.
-    pub typedefs: HashMap<String, QualType>,
+    pub typedefs: FxHashMap<Symbol, QualType>,
     /// Function signatures by name.
-    pub functions: HashMap<String, FunctionSig>,
+    pub functions: FxHashMap<Symbol, FunctionSig>,
     /// Globals by name.
-    pub globals: HashMap<String, GlobalVar>,
+    pub globals: FxHashMap<Symbol, GlobalVar>,
     /// Enumerator constants by name.
-    pub enum_consts: HashMap<String, i64>,
+    pub enum_consts: FxHashMap<Symbol, i64>,
     /// Function definitions, in source order.
     pub defs: Vec<CheckedFunction>,
     /// Collected semantic problems.
@@ -97,11 +106,11 @@ impl Program {
     pub fn new() -> Self {
         let mut p = Program::default();
         p.typedefs.insert(
-            "size_t".to_owned(),
+            sym::size_t(),
             QualType::plain(Type::Int { signed: false, size: IntSize::Long }),
         );
         let file_id = p.structs.intern_tag("_FILE", false);
-        p.typedefs.insert("FILE".to_owned(), QualType::plain(Type::Struct(file_id)));
+        p.typedefs.insert(sym::file_t(), QualType::plain(Type::Struct(file_id)));
         p
     }
 
@@ -117,8 +126,8 @@ impl Program {
     pub fn extend_with(&mut self, tu: &TranslationUnit) {
         for item in &tu.items {
             match item {
-                Item::Decl(d) => self.add_declaration(d, false),
-                Item::Function(f) => self.add_function_def(f),
+                Item::Decl(d) => self.add_declaration(&tu.arena, tu.arena.decl(*d)),
+                Item::Function(f) => self.add_function_def(&tu.arena, f),
             }
         }
     }
@@ -127,13 +136,13 @@ impl Program {
         self.errors.push(SemaError { message: message.into(), span });
     }
 
-    fn add_declaration(&mut self, d: &Declaration, _local: bool) {
+    fn add_declaration(&mut self, ast: &Arc<Ast>, d: &Declaration) {
         // Resolve the specifier type once (registers struct/enum bodies).
-        let base = self.resolve_type_spec(&d.specs.ty, d.specs.span);
+        let base = self.resolve_type_spec(ast, &d.specs.ty, d.specs.span);
         for id in &d.declarators {
-            let ty = self.build_declared_type(base.clone(), &d.specs.annots, &id.declarator);
-            let name = match &id.declarator.name {
-                Some(n) => n.clone(),
+            let ty = self.build_declared_type(ast, base.clone(), &d.specs.annots, &id.declarator);
+            let name = match id.declarator.name {
+                Some(n) => n,
                 None => continue,
             };
             match d.specs.storage {
@@ -152,7 +161,7 @@ impl Program {
                     } else {
                         let is_extern = d.specs.storage == Some(StorageClass::Extern);
                         let gv = GlobalVar {
-                            name: name.clone(),
+                            name,
                             ty,
                             is_static: d.specs.storage == Some(StorageClass::Static),
                             is_extern,
@@ -191,15 +200,15 @@ impl Program {
                 }
             }
             None => {
-                self.functions.insert(sig.name.clone(), sig);
+                self.functions.insert(sig.name, sig);
             }
         }
     }
 
-    fn add_function_def(&mut self, f: &FunctionDef) {
-        let base = self.resolve_type_spec(&f.specs.ty, f.specs.span);
-        let ty = self.build_declared_type(base, &f.specs.annots, &f.declarator);
-        let name = f.name().to_owned();
+    fn add_function_def(&mut self, ast: &Arc<Ast>, f: &FunctionDef) {
+        let base = self.resolve_type_spec(ast, &f.specs.ty, f.specs.span);
+        let ty = self.build_declared_type(ast, base, &f.specs.annots, &f.declarator);
+        let name = f.name();
         let ft = match ty.ty {
             Type::Function(ft) => *ft,
             _ => {
@@ -208,7 +217,7 @@ impl Program {
             }
         };
         let sig = FunctionSig {
-            name: name.clone(),
+            name,
             ty: ft,
             is_static: f.specs.storage == Some(StorageClass::Static),
             has_def: true,
@@ -236,12 +245,12 @@ impl Program {
             _ => sig.clone(),
         };
         self.functions.insert(name, merged.clone());
-        self.defs.push(CheckedFunction { sig: merged, ast: f.clone() });
+        self.defs.push(CheckedFunction { sig: merged, ast: f.clone(), arena: Arc::clone(ast) });
     }
 
     /// Resolves a type specifier to a [`QualType`] (no declarator applied).
-    pub fn resolve_type_spec(&mut self, ts: &TypeSpec, span: Span) -> QualType {
-        resolve_type_spec_in(self, ts, span)
+    pub fn resolve_type_spec(&mut self, ast: &Ast, ts: &TypeSpec, span: Span) -> QualType {
+        resolve_type_spec_in(self, ast, ts, span)
     }
 
     /// Applies a declarator's derived parts to a base type and attaches the
@@ -250,32 +259,34 @@ impl Program {
     /// result annotations).
     pub fn build_declared_type(
         &mut self,
+        ast: &Ast,
         base: QualType,
         spec_annots: &AnnotSet,
         declarator: &Declarator,
     ) -> QualType {
-        build_declared_type_in(self, base, spec_annots, declarator)
+        build_declared_type_in(self, ast, base, spec_annots, declarator)
     }
 
     /// Resolves the type of a local declaration (used by the checker for
     /// block-scope declarations).
     pub fn resolve_local_declarator(
         &mut self,
+        ast: &Ast,
         specs: &DeclSpecs,
         declarator: &Declarator,
     ) -> QualType {
-        let base = self.resolve_type_spec(&specs.ty, specs.span);
-        self.build_declared_type(base, &specs.annots, declarator)
+        let base = self.resolve_type_spec(ast, &specs.ty, specs.span);
+        self.build_declared_type(ast, base, &specs.annots, declarator)
     }
 
     /// Looks up a function signature.
-    pub fn function(&self, name: &str) -> Option<&FunctionSig> {
-        self.functions.get(name)
+    pub fn function<S: Into<Symbol>>(&self, name: S) -> Option<&FunctionSig> {
+        self.functions.get(&name.into())
     }
 
     /// Looks up a global variable.
-    pub fn global(&self, name: &str) -> Option<&GlobalVar> {
-        self.globals.get(name)
+    pub fn global<S: Into<Symbol>>(&self, name: S) -> Option<&GlobalVar> {
+        self.globals.get(&name.into())
     }
 }
 
@@ -285,29 +296,29 @@ impl Program {
 /// so the shared program stays immutable and checking can run in parallel).
 pub trait SymbolSource {
     /// Resolves a typedef name.
-    fn lookup_typedef(&self, name: &str) -> Option<QualType>;
+    fn lookup_typedef(&self, name: Symbol) -> Option<QualType>;
     /// Returns the id for a tagged struct/union, creating an incomplete entry
     /// if new. `defines_body` is true when the specifier carries a field list
     /// (an overlay uses it to shadow rather than mutate a shared definition).
-    fn intern_struct(&mut self, tag: &str, is_union: bool, defines_body: bool) -> StructId;
+    fn intern_struct(&mut self, tag: Symbol, is_union: bool, defines_body: bool) -> StructId;
     /// Creates a fresh anonymous struct/union.
     fn fresh_anon_struct(&mut self, is_union: bool) -> StructId;
     /// Attaches a body to a struct created by this source.
     fn complete_struct(&mut self, id: StructId, fields: Vec<Field>);
     /// Resolves an enumerator constant.
-    fn enum_const(&self, name: &str) -> Option<i64>;
+    fn enum_const(&self, name: Symbol) -> Option<i64>;
     /// Defines an enumerator constant.
-    fn define_enum_const(&mut self, name: String, value: i64);
+    fn define_enum_const(&mut self, name: Symbol, value: i64);
     /// Records a non-fatal resolution problem.
     fn report(&mut self, message: String, span: Span);
 }
 
 impl SymbolSource for Program {
-    fn lookup_typedef(&self, name: &str) -> Option<QualType> {
-        self.typedefs.get(name).cloned()
+    fn lookup_typedef(&self, name: Symbol) -> Option<QualType> {
+        self.typedefs.get(&name).cloned()
     }
 
-    fn intern_struct(&mut self, tag: &str, is_union: bool, _defines_body: bool) -> StructId {
+    fn intern_struct(&mut self, tag: Symbol, is_union: bool, _defines_body: bool) -> StructId {
         self.structs.intern_tag(tag, is_union)
     }
 
@@ -319,11 +330,11 @@ impl SymbolSource for Program {
         self.structs.complete(id, fields);
     }
 
-    fn enum_const(&self, name: &str) -> Option<i64> {
-        self.enum_consts.get(name).copied()
+    fn enum_const(&self, name: Symbol) -> Option<i64> {
+        self.enum_consts.get(&name).copied()
     }
 
-    fn define_enum_const(&mut self, name: String, value: i64) {
+    fn define_enum_const(&mut self, name: Symbol, value: i64) {
         self.enum_consts.insert(name, value);
     }
 
@@ -336,6 +347,7 @@ impl SymbolSource for Program {
 /// (no declarator applied).
 pub fn resolve_type_spec_in<S: SymbolSource + ?Sized>(
     src: &mut S,
+    ast: &Ast,
     ts: &TypeSpec,
     span: Span,
 ) -> QualType {
@@ -347,7 +359,7 @@ pub fn resolve_type_spec_in<S: SymbolSource + ?Sized>(
         }
         TypeSpec::Float => QualType::plain(Type::Float),
         TypeSpec::Double => QualType::plain(Type::Double),
-        TypeSpec::Named(n) => match src.lookup_typedef(n) {
+        TypeSpec::Named(n) => match src.lookup_typedef(*n) {
             Some(q) => q,
             None => {
                 src.report(format!("unknown type name `{n}`"), span);
@@ -355,18 +367,19 @@ pub fn resolve_type_spec_in<S: SymbolSource + ?Sized>(
             }
         },
         TypeSpec::Struct(s) => {
-            let id = match &s.name {
+            let id = match s.name {
                 Some(tag) => src.intern_struct(tag, s.is_union, s.fields.is_some()),
                 None => src.fresh_anon_struct(s.is_union),
             };
             if let Some(field_decls) = &s.fields {
                 let mut fields = Vec::new();
                 for fd in field_decls {
-                    let base = resolve_type_spec_in(src, &fd.specs.ty, fd.specs.span);
+                    let base = resolve_type_spec_in(src, ast, &fd.specs.ty, fd.specs.span);
                     for dcl in &fd.declarators {
-                        let fty = build_declared_type_in(src, base.clone(), &fd.specs.annots, dcl);
-                        if let Some(fname) = &dcl.name {
-                            fields.push(Field { name: fname.clone(), ty: fty });
+                        let fty =
+                            build_declared_type_in(src, ast, base.clone(), &fd.specs.annots, dcl);
+                        if let Some(fname) = dcl.name {
+                            fields.push(Field { name: fname, ty: fty });
                         }
                     }
                 }
@@ -375,16 +388,16 @@ pub fn resolve_type_spec_in<S: SymbolSource + ?Sized>(
             QualType::plain(Type::Struct(id))
         }
         TypeSpec::Enum(e) => {
-            let name = e.name.clone().unwrap_or_else(|| "<anon>".to_owned());
+            let name = e.name.unwrap_or_else(|| Symbol::intern("<anon>"));
             if let Some(vs) = &e.variants {
                 let mut next = 0i64;
                 for (vn, val) in vs {
                     if let Some(expr) = val {
-                        if let Some(v) = const_eval_with(expr, &|n| src.enum_const(n)) {
+                        if let Some(v) = const_eval_with(ast, *expr, &|n| src.enum_const(n)) {
                             next = v;
                         }
                     }
-                    src.define_enum_const(vn.clone(), next);
+                    src.define_enum_const(*vn, next);
                     next += 1;
                 }
             }
@@ -397,6 +410,7 @@ pub fn resolve_type_spec_in<S: SymbolSource + ?Sized>(
 /// [`SymbolSource`]. See [`Program::build_declared_type`].
 pub fn build_declared_type_in<S: SymbolSource + ?Sized>(
     src: &mut S,
+    ast: &Ast,
     base: QualType,
     spec_annots: &AnnotSet,
     declarator: &Declarator,
@@ -412,17 +426,17 @@ pub fn build_declared_type_in<S: SymbolSource + ?Sized>(
             }
             Derived::Array(size) => {
                 let n = size
-                    .as_ref()
-                    .and_then(|e| const_eval_with(e, &|n| src.enum_const(n)))
+                    .and_then(|e| const_eval_with(ast, e, &|n| src.enum_const(n)))
                     .map(|v| v.max(0) as u64);
                 QualType::plain(Type::Array(Box::new(ty), n))
             }
             Derived::Function { params, variadic, globals } => {
                 let mut ps = Vec::new();
                 for p in params {
-                    let pbase = resolve_type_spec_in(src, &p.specs.ty, p.specs.span);
-                    let pty = build_declared_type_in(src, pbase, &p.specs.annots, &p.declarator);
-                    ps.push(ParamType { name: p.declarator.name.clone(), ty: pty });
+                    let pbase = resolve_type_spec_in(src, ast, &p.specs.ty, p.specs.span);
+                    let pty =
+                        build_declared_type_in(src, ast, pbase, &p.specs.annots, &p.declarator);
+                    ps.push(ParamType { name: p.declarator.name, ty: pty });
                 }
                 QualType::plain(Type::Function(Box::new(FnType {
                     ret: ty,
@@ -430,10 +444,7 @@ pub fn build_declared_type_in<S: SymbolSource + ?Sized>(
                     variadic: *variadic,
                     globals: globals.as_ref().map(|gs| {
                         gs.iter()
-                            .map(|g| crate::types::GlobalUse {
-                                name: g.name.clone(),
-                                undef: g.undef,
-                            })
+                            .map(|g| crate::types::GlobalUse { name: g.name, undef: g.undef })
                             .collect()
                     }),
                 })))
@@ -455,25 +466,25 @@ pub fn build_declared_type_in<S: SymbolSource + ?Sized>(
 
 /// Evaluates a constant integer expression (enough for array sizes and enum
 /// values). Returns `None` for anything non-constant.
-pub fn const_eval(e: &Expr, enums: &HashMap<String, i64>) -> Option<i64> {
-    const_eval_with(e, &|n| enums.get(n).copied())
+pub fn const_eval(ast: &Ast, e: ExprId, enums: &FxHashMap<Symbol, i64>) -> Option<i64> {
+    const_eval_with(ast, e, &|n| enums.get(&n).copied())
 }
 
 /// [`const_eval`] with a caller-supplied enumerator lookup, so overlays that
 /// layer local enum constants over a shared table can evaluate too.
-pub fn const_eval_with(e: &Expr, enums: &dyn Fn(&str) -> Option<i64>) -> Option<i64> {
-    let const_eval = const_eval_with;
-    match &e.kind {
+pub fn const_eval_with(ast: &Ast, e: ExprId, enums: &dyn Fn(Symbol) -> Option<i64>) -> Option<i64> {
+    let const_eval = |e| const_eval_with(ast, e, enums);
+    match ast.expr(e) {
         ExprKind::IntLit(v) => Some(*v),
         ExprKind::CharLit(v) => Some(*v),
-        ExprKind::Ident(n) => enums(n),
-        ExprKind::Unary(UnOp::Neg, inner) => Some(-const_eval(inner, enums)?),
-        ExprKind::Unary(UnOp::Plus, inner) => const_eval(inner, enums),
-        ExprKind::Unary(UnOp::Not, inner) => Some(i64::from(const_eval(inner, enums)? == 0)),
-        ExprKind::Unary(UnOp::BitNot, inner) => Some(!const_eval(inner, enums)?),
+        ExprKind::Ident(n) => enums(*n),
+        ExprKind::Unary(UnOp::Neg, inner) => Some(-const_eval(*inner)?),
+        ExprKind::Unary(UnOp::Plus, inner) => const_eval(*inner),
+        ExprKind::Unary(UnOp::Not, inner) => Some(i64::from(const_eval(*inner)? == 0)),
+        ExprKind::Unary(UnOp::BitNot, inner) => Some(!const_eval(*inner)?),
         ExprKind::Binary(op, l, r) => {
-            let a = const_eval(l, enums)?;
-            let b = const_eval(r, enums)?;
+            let a = const_eval(*l)?;
+            let b = const_eval(*r)?;
             Some(match op {
                 BinOp::Add => a.wrapping_add(b),
                 BinOp::Sub => a.wrapping_sub(b),
@@ -506,13 +517,13 @@ pub fn const_eval_with(e: &Expr, enums: &dyn Fn(&str) -> Option<i64>) -> Option<
             })
         }
         ExprKind::Cond(c, t, f) => {
-            if const_eval(c, enums)? != 0 {
-                const_eval(t, enums)
+            if const_eval(*c)? != 0 {
+                const_eval(*t)
             } else {
-                const_eval(f, enums)
+                const_eval(*f)
             }
         }
-        ExprKind::Cast(_, inner) => const_eval(inner, enums),
+        ExprKind::Cast(_, inner) => const_eval(*inner),
         _ => None,
     }
 }
@@ -576,7 +587,7 @@ mod tests {
     #[test]
     fn struct_fields_with_annotations() {
         let p = program("typedef struct { /*@null@*/ int *vals; int size; } *erc;");
-        let erc = p.typedefs.get("erc").unwrap();
+        let erc = p.typedefs.get(&Symbol::intern("erc")).unwrap();
         let sid = match &erc.pointee().unwrap().ty {
             Type::Struct(id) => *id,
             other => panic!("expected struct, got {other:?}"),
@@ -615,9 +626,9 @@ mod tests {
     #[test]
     fn enum_constants() {
         let p = program("enum color { RED, GREEN = 5, BLUE };");
-        assert_eq!(p.enum_consts["RED"], 0);
-        assert_eq!(p.enum_consts["GREEN"], 5);
-        assert_eq!(p.enum_consts["BLUE"], 6);
+        assert_eq!(p.enum_consts[&Symbol::intern("RED")], 0);
+        assert_eq!(p.enum_consts[&Symbol::intern("GREEN")], 5);
+        assert_eq!(p.enum_consts[&Symbol::intern("BLUE")], 6);
     }
 
     #[test]
@@ -651,7 +662,7 @@ mod tests {
     #[test]
     fn defs_retained_in_order() {
         let p = program("void a(void) {} void b(void) {}");
-        let names: Vec<_> = p.defs.iter().map(|d| d.sig.name.clone()).collect();
+        let names: Vec<_> = p.defs.iter().map(|d| d.sig.name.as_str()).collect();
         assert_eq!(names, vec!["a", "b"]);
     }
 

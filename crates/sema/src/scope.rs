@@ -19,10 +19,11 @@ use crate::program::{
     SymbolSource,
 };
 use crate::types::{Field, QualType, StructDef, StructId};
-use lclint_syntax::ast::{DeclSpecs, Declarator, TypeSpec};
+use lclint_syntax::ast::{Ast, DeclSpecs, Declarator, TypeSpec};
 use lclint_syntax::span::Span;
+use lclint_syntax::Symbol;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use lclint_syntax::fx::FxHashMap;
 
 /// A function-local view of the program's symbol tables: reads fall through
 /// to the shared [`Program`], writes stay private to this scope.
@@ -30,16 +31,16 @@ use std::collections::HashMap;
 pub struct LocalScope<'p> {
     base: &'p Program,
     /// Typedefs introduced in this function (shadow the shared ones).
-    typedefs: HashMap<String, QualType>,
+    typedefs: FxHashMap<Symbol, QualType>,
     /// Struct/union definitions introduced in this function. Entry `i` has
     /// id `struct_base + i`.
     local_structs: Vec<StructDef>,
     /// Tag lookup for the local definitions.
-    local_by_tag: HashMap<String, StructId>,
+    local_by_tag: FxHashMap<Symbol, StructId>,
     /// First [`StructId`] owned by this overlay (= `base.structs.len()`).
     struct_base: u32,
     /// Enum constants introduced in this function.
-    enum_consts: HashMap<String, i64>,
+    enum_consts: FxHashMap<Symbol, i64>,
     /// Resolution problems found while checking. The shared program's error
     /// list is frozen by the time checking runs, so these stay local.
     errors: Vec<SemaError>,
@@ -55,11 +56,11 @@ impl<'p> LocalScope<'p> {
     pub fn new(base: &'p Program) -> Self {
         LocalScope {
             base,
-            typedefs: HashMap::new(),
+            typedefs: FxHashMap::default(),
             local_structs: Vec::new(),
-            local_by_tag: HashMap::new(),
+            local_by_tag: FxHashMap::default(),
             struct_base: base.structs.len() as u32,
-            enum_consts: HashMap::new(),
+            enum_consts: FxHashMap::default(),
             errors: Vec::new(),
             recorded: None,
         }
@@ -92,17 +93,17 @@ impl<'p> LocalScope<'p> {
 
     /// Looks up a function signature in the shared program. The returned
     /// reference borrows from the program, not from this scope.
-    pub fn function(&self, name: &str) -> Option<&'p FunctionSig> {
+    pub fn function(&self, name: Symbol) -> Option<&'p FunctionSig> {
         self.record(|d| {
-            d.functions.insert(name.to_owned());
+            d.functions.insert(name);
         });
         self.base.function(name)
     }
 
     /// Looks up a global variable in the shared program.
-    pub fn global(&self, name: &str) -> Option<&'p GlobalVar> {
+    pub fn global(&self, name: Symbol) -> Option<&'p GlobalVar> {
         self.record(|d| {
-            d.globals.insert(name.to_owned());
+            d.globals.insert(name);
         });
         self.base.global(name)
     }
@@ -112,7 +113,7 @@ impl<'p> LocalScope<'p> {
         if id.0 < self.struct_base {
             let def = self.base.structs.get(id);
             self.record(|d| {
-                d.structs.insert(def.tag.clone());
+                d.structs.insert(def.tag);
             });
             def
         } else {
@@ -121,24 +122,25 @@ impl<'p> LocalScope<'p> {
     }
 
     /// Defines a local typedef (shadows any shared typedef of that name).
-    pub fn add_typedef(&mut self, name: String, ty: QualType) {
+    pub fn add_typedef(&mut self, name: Symbol, ty: QualType) {
         self.typedefs.insert(name, ty);
     }
 
     /// Resolves a type specifier (registering any struct/enum bodies in this
     /// overlay).
-    pub fn resolve_type_spec(&mut self, ts: &TypeSpec, span: Span) -> QualType {
-        resolve_type_spec_in(self, ts, span)
+    pub fn resolve_type_spec(&mut self, ast: &Ast, ts: &TypeSpec, span: Span) -> QualType {
+        resolve_type_spec_in(self, ast, ts, span)
     }
 
     /// Resolves the type of a block-scope declaration.
     pub fn resolve_local_declarator(
         &mut self,
+        ast: &Ast,
         specs: &DeclSpecs,
         declarator: &Declarator,
     ) -> QualType {
-        let base = resolve_type_spec_in(self, &specs.ty, specs.span);
-        build_declared_type_in(self, base, &specs.annots, declarator)
+        let base = resolve_type_spec_in(self, ast, &specs.ty, specs.span);
+        build_declared_type_in(self, ast, base, &specs.annots, declarator)
     }
 
     /// Problems recorded while resolving local declarations.
@@ -154,20 +156,20 @@ impl<'p> LocalScope<'p> {
 }
 
 impl SymbolSource for LocalScope<'_> {
-    fn lookup_typedef(&self, name: &str) -> Option<QualType> {
-        if let Some(t) = self.typedefs.get(name) {
+    fn lookup_typedef(&self, name: Symbol) -> Option<QualType> {
+        if let Some(t) = self.typedefs.get(&name) {
             return Some(t.clone());
         }
         // Only fall-throughs to the shared table are dependencies; a local
         // shadow makes the shared entry irrelevant.
         self.record(|d| {
-            d.typedefs.insert(name.to_owned());
+            d.typedefs.insert(name);
         });
-        self.base.typedefs.get(name).cloned()
+        self.base.typedefs.get(&name).cloned()
     }
 
-    fn intern_struct(&mut self, tag: &str, is_union: bool, defines_body: bool) -> StructId {
-        if let Some(id) = self.local_by_tag.get(tag) {
+    fn intern_struct(&mut self, tag: Symbol, is_union: bool, defines_body: bool) -> StructId {
+        if let Some(id) = self.local_by_tag.get(&tag) {
             return *id;
         }
         if !defines_body {
@@ -176,27 +178,23 @@ impl SymbolSource for LocalScope<'_> {
             // Either way the *outcome* depends on the shared table, so
             // record the consultation even on a miss.
             self.record(|d| {
-                d.structs.insert(tag.to_owned());
+                d.structs.insert(tag);
             });
             if let Some(id) = self.base.structs.by_tag(tag) {
                 return id;
             }
         }
         // A body (re)defines the tag locally, shadowing any shared entry.
-        let id = self.push_local(StructDef {
-            tag: tag.to_owned(),
-            is_union,
-            fields: Vec::new(),
-            complete: false,
-        });
-        self.local_by_tag.insert(tag.to_owned(), id);
+        let id =
+            self.push_local(StructDef { tag, is_union, fields: Vec::new(), complete: false });
+        self.local_by_tag.insert(tag, id);
         id
     }
 
     fn fresh_anon_struct(&mut self, is_union: bool) -> StructId {
         let n = self.struct_base as usize + self.local_structs.len();
         self.push_local(StructDef {
-            tag: format!("<anon {n}>"),
+            tag: Symbol::intern(&format!("<anon {n}>")),
             is_union,
             fields: Vec::new(),
             complete: false,
@@ -210,17 +208,17 @@ impl SymbolSource for LocalScope<'_> {
         def.complete = true;
     }
 
-    fn enum_const(&self, name: &str) -> Option<i64> {
-        if let Some(v) = self.enum_consts.get(name) {
+    fn enum_const(&self, name: Symbol) -> Option<i64> {
+        if let Some(v) = self.enum_consts.get(&name) {
             return Some(*v);
         }
         self.record(|d| {
-            d.enum_consts.insert(name.to_owned());
+            d.enum_consts.insert(name);
         });
-        self.base.enum_consts.get(name).copied()
+        self.base.enum_consts.get(&name).copied()
     }
 
-    fn define_enum_const(&mut self, name: String, value: i64) {
+    fn define_enum_const(&mut self, name: Symbol, value: i64) {
         self.enum_consts.insert(name, value);
     }
 
@@ -240,12 +238,16 @@ mod tests {
         Program::from_unit(&tu)
     }
 
+    fn s(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+
     #[test]
     fn overlay_reads_fall_through() {
         let p = program("typedef int myint; struct _s { int v; }; enum e { A = 7 };");
         let scope = LocalScope::new(&p);
-        assert!(scope.lookup_typedef("myint").is_some());
-        assert_eq!(scope.enum_const("A"), Some(7));
+        assert!(scope.lookup_typedef(s("myint")).is_some());
+        assert_eq!(scope.enum_const(s("A")), Some(7));
         let sid = p.structs.by_tag("_s").unwrap();
         assert!(scope.struct_def(sid).complete);
     }
@@ -255,21 +257,21 @@ mod tests {
         let p = program("typedef int shared;");
         let shared_structs = p.structs.len();
         let mut scope = LocalScope::new(&p);
-        scope.add_typedef("local_t".into(), QualType::plain(Type::Char));
-        scope.define_enum_const("L".into(), 3);
-        let id = scope.intern_struct("_local", false, true);
+        scope.add_typedef(s("local_t"), QualType::plain(Type::Char));
+        scope.define_enum_const(s("L"), 3);
+        let id = scope.intern_struct(s("_local"), false, true);
         scope.complete_struct(
             id,
             vec![Field { name: "x".into(), ty: QualType::plain(Type::int()) }],
         );
         // The shared program is untouched.
         assert_eq!(p.structs.len(), shared_structs);
-        assert!(!p.typedefs.contains_key("local_t"));
-        assert!(!p.enum_consts.contains_key("L"));
+        assert!(!p.typedefs.contains_key(&s("local_t")));
+        assert!(!p.enum_consts.contains_key(&s("L")));
         // The overlay sees everything.
-        assert!(scope.lookup_typedef("local_t").is_some());
-        assert!(scope.lookup_typedef("shared").is_some());
-        assert_eq!(scope.enum_const("L"), Some(3));
+        assert!(scope.lookup_typedef(s("local_t")).is_some());
+        assert!(scope.lookup_typedef(s("shared")).is_some());
+        assert_eq!(scope.enum_const(s("L")), Some(3));
         assert!(scope.struct_def(id).complete);
         assert_eq!(scope.struct_def(id).field("x").unwrap().name, "x");
     }
@@ -280,13 +282,13 @@ mod tests {
         let shared_id = p.structs.by_tag("_s").unwrap();
         let mut scope = LocalScope::new(&p);
         // A bare reference resolves to the shared definition.
-        assert_eq!(scope.intern_struct("_s", false, false), shared_id);
+        assert_eq!(scope.intern_struct(s("_s"), false, false), shared_id);
         // A body shadows it with a fresh local id.
-        let local_id = scope.intern_struct("_s", false, true);
+        let local_id = scope.intern_struct(s("_s"), false, true);
         assert_ne!(local_id, shared_id);
         assert!(local_id.0 >= p.structs.len() as u32);
         // Later references within the function see the local definition.
-        assert_eq!(scope.intern_struct("_s", false, false), local_id);
+        assert_eq!(scope.intern_struct(s("_s"), false, false), local_id);
     }
 
     #[test]
@@ -295,11 +297,12 @@ mod tests {
         let p = program(src);
         let (tu, _, _) = parse_translation_unit("d.c", src).expect("parse");
         let decl = match &tu.items[1] {
-            lclint_syntax::ast::Item::Decl(d) => d,
+            lclint_syntax::ast::Item::Decl(d) => tu.arena.decl(*d),
             _ => panic!("expected decl"),
         };
         let mut scope = LocalScope::new(&p);
-        let ty = scope.resolve_local_declarator(&decl.specs, &decl.declarators[0].declarator);
+        let ty =
+            scope.resolve_local_declarator(&tu.arena, &decl.specs, &decl.declarators[0].declarator);
         assert!(ty.is_pointerish());
         assert!(scope.errors().is_empty());
     }

@@ -3,9 +3,13 @@
 //! Types carry annotation sets at every level ([`QualType`]), because the
 //! checker's dataflow values are seeded from the annotations reachable from a
 //! declaration's type (e.g. the `only` on a struct field type definition).
+//!
+//! All names here are interned [`Symbol`]s: equality is an integer compare,
+//! and the tables key on symbols rather than owned strings.
 
 use lclint_syntax::annot::AnnotSet;
 use lclint_syntax::ast::IntSize;
+use lclint_syntax::Symbol;
 use std::fmt;
 
 /// Identifies a struct/union in the [`StructTable`].
@@ -85,7 +89,7 @@ pub enum Type {
     /// `double`
     Double,
     /// An enum type, by tag (or synthesized name).
-    Enum(String),
+    Enum(Symbol),
     /// Pointer to a type.
     Pointer(Box<QualType>),
     /// Array of a type with optional constant length.
@@ -120,10 +124,10 @@ pub struct FnType {
 }
 
 /// One declared global use of a function.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GlobalUse {
     /// Global name.
-    pub name: String,
+    pub name: Symbol,
     /// May be undefined at entry (`undef` in the list).
     pub undef: bool,
 }
@@ -132,7 +136,7 @@ pub struct GlobalUse {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParamType {
     /// Parameter name, when declared with one.
-    pub name: Option<String>,
+    pub name: Option<Symbol>,
     /// Parameter type (annotations describe the argument contract).
     pub ty: QualType,
 }
@@ -141,7 +145,7 @@ pub struct ParamType {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Field {
     /// Field name.
-    pub name: String,
+    pub name: Symbol,
     /// Field type (annotations here come from the type definition).
     pub ty: QualType,
 }
@@ -150,7 +154,7 @@ pub struct Field {
 #[derive(Debug, Clone, PartialEq)]
 pub struct StructDef {
     /// Tag name (synthesized `<anon N>` for anonymous structs).
-    pub tag: String,
+    pub tag: Symbol,
     /// True for unions.
     pub is_union: bool,
     /// Members, in declaration order. Empty until the body is seen.
@@ -161,7 +165,8 @@ pub struct StructDef {
 
 impl StructDef {
     /// Looks up a field by name.
-    pub fn field(&self, name: &str) -> Option<&Field> {
+    pub fn field<S: Into<Symbol>>(&self, name: S) -> Option<&Field> {
+        let name = name.into();
         self.fields.iter().find(|f| f.name == name)
     }
 }
@@ -170,7 +175,7 @@ impl StructDef {
 #[derive(Debug, Clone, Default)]
 pub struct StructTable {
     defs: Vec<StructDef>,
-    by_tag: std::collections::HashMap<String, StructId>,
+    by_tag: lclint_syntax::fx::FxHashMap<Symbol, StructId>,
 }
 
 impl StructTable {
@@ -180,18 +185,14 @@ impl StructTable {
     }
 
     /// Returns the id for `tag`, creating an incomplete entry if new.
-    pub fn intern_tag(&mut self, tag: &str, is_union: bool) -> StructId {
-        if let Some(id) = self.by_tag.get(tag) {
+    pub fn intern_tag<S: Into<Symbol>>(&mut self, tag: S, is_union: bool) -> StructId {
+        let tag = tag.into();
+        if let Some(id) = self.by_tag.get(&tag) {
             return *id;
         }
         let id = StructId(self.defs.len() as u32);
-        self.defs.push(StructDef {
-            tag: tag.to_owned(),
-            is_union,
-            fields: Vec::new(),
-            complete: false,
-        });
-        self.by_tag.insert(tag.to_owned(), id);
+        self.defs.push(StructDef { tag, is_union, fields: Vec::new(), complete: false });
+        self.by_tag.insert(tag, id);
         id
     }
 
@@ -199,7 +200,7 @@ impl StructTable {
     pub fn fresh_anon(&mut self, is_union: bool) -> StructId {
         let id = StructId(self.defs.len() as u32);
         self.defs.push(StructDef {
-            tag: format!("<anon {}>", id.0),
+            tag: Symbol::intern(&format!("<anon {}>", id.0)),
             is_union,
             fields: Vec::new(),
             complete: false,
@@ -220,8 +221,8 @@ impl StructTable {
     }
 
     /// Looks up a struct by tag.
-    pub fn by_tag(&self, tag: &str) -> Option<StructId> {
-        self.by_tag.get(tag).copied()
+    pub fn by_tag<S: Into<Symbol>>(&self, tag: S) -> Option<StructId> {
+        self.by_tag.get(&tag.into()).copied()
     }
 
     /// Number of definitions.
@@ -257,7 +258,7 @@ impl fmt::Display for Type {
             }
             Type::Float => f.write_str("float"),
             Type::Double => f.write_str("double"),
-            Type::Enum(n) => write!(f, "enum {n}"),
+            Type::Enum(n) => write!(f, "enum {}", n.as_str()),
             Type::Pointer(inner) => write!(f, "{} *", inner.ty),
             Type::Array(inner, Some(n)) => write!(f, "{} [{n}]", inner.ty),
             Type::Array(inner, None) => write!(f, "{} []", inner.ty),
@@ -308,6 +309,7 @@ mod tests {
         let a = t.fresh_anon(false);
         let b = t.fresh_anon(false);
         assert_ne!(a, b);
+        assert_ne!(t.get(a).tag, t.get(b).tag);
     }
 
     #[test]

@@ -12,7 +12,7 @@ fn graph(src: &str) -> CallGraph {
 }
 
 fn names(g: &CallGraph, scc: &[usize]) -> Vec<String> {
-    scc.iter().map(|&i| g.name(i).to_owned()).collect()
+    scc.iter().map(|&i| g.name(i).as_str().to_owned()).collect()
 }
 
 #[test]
@@ -65,8 +65,8 @@ fn library_only_and_undeclared_callees_are_recorded_not_edges() {
     );
     let id = g.node("f").unwrap();
     assert!(g.callees(id).is_empty(), "no resolved edges");
-    assert_eq!(g.library_only_calls(id), ["malloc".to_owned()]);
-    assert_eq!(g.undeclared_calls(id), ["mystery".to_owned()]);
+    assert_eq!(g.library_only_calls(id), [lclint_syntax::Symbol::intern("malloc")]);
+    assert_eq!(g.undeclared_calls(id), [lclint_syntax::Symbol::intern("mystery")]);
     // Neither phantom callee becomes a node.
     assert_eq!(g.len(), 1);
     assert!(g.node("malloc").is_none());

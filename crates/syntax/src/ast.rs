@@ -1,37 +1,230 @@
-//! Abstract syntax tree for the supported C subset.
+//! Flat, arena-based abstract syntax tree for the supported C subset.
 //!
-//! The tree preserves annotation placement: declaration specifiers and each
-//! pointer level carry an [`AnnotSet`], mirroring the paper's rule that an
-//! annotation applies only to the outer level of a declaration.
+//! Nodes live in contiguous `Vec`s inside an [`Ast`] arena and refer to each
+//! other through 4-byte ids ([`ExprId`], [`StmtId`], [`DeclId`]) instead of
+//! `Box` pointers, with spans in side tables so the hot payload stays dense.
+//! Identifiers are interned [`Symbol`]s. The arena is built once by the
+//! parser, wrapped in an `Arc`, and immutable afterwards — traversals are
+//! index chases through two or three cache-resident arrays, and copying a
+//! node reference is a `u32` copy (the old representation deep-cloned
+//! subtrees into the CFG).
+//!
+//! The tree still preserves annotation placement: declaration specifiers and
+//! each pointer level carry an [`AnnotSet`], mirroring the paper's rule that
+//! an annotation applies only to the outer level of a declaration.
 
 use crate::annot::AnnotSet;
+use crate::intern::{sym, Symbol};
 use crate::span::Span;
 use std::fmt;
+use std::sync::Arc;
 
-/// A complete parsed source file (after preprocessing).
+/// Index of an expression node in its [`Ast`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+/// Index of a statement node in its [`Ast`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+/// Index of a declaration node in its [`Ast`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeclId(pub u32);
+
+/// The node arena backing one translation unit: payloads in contiguous
+/// `Vec`s, spans in parallel side tables.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Ast {
+    exprs: Vec<ExprKind>,
+    expr_spans: Vec<Span>,
+    stmts: Vec<StmtKind>,
+    stmt_spans: Vec<Span>,
+    decls: Vec<Declaration>,
+}
+
+/// Per-node-kind arena footprint, for `--stats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArenaStats {
+    /// Expression nodes.
+    pub exprs: usize,
+    /// Bytes of expression payload storage.
+    pub expr_bytes: usize,
+    /// Statement nodes.
+    pub stmts: usize,
+    /// Bytes of statement payload storage.
+    pub stmt_bytes: usize,
+    /// Declaration nodes.
+    pub decls: usize,
+    /// Bytes of declaration payload storage.
+    pub decl_bytes: usize,
+    /// Bytes of span side tables.
+    pub span_bytes: usize,
+}
+
+impl ArenaStats {
+    /// Merges another arena's counters into this one.
+    pub fn absorb(&mut self, other: &ArenaStats) {
+        self.exprs += other.exprs;
+        self.expr_bytes += other.expr_bytes;
+        self.stmts += other.stmts;
+        self.stmt_bytes += other.stmt_bytes;
+        self.decls += other.decls;
+        self.decl_bytes += other.decl_bytes;
+        self.span_bytes += other.span_bytes;
+    }
+
+    /// Total payload + side-table bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.expr_bytes + self.stmt_bytes + self.decl_bytes + self.span_bytes
+    }
+}
+
+impl Ast {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Ast::default()
+    }
+
+    /// Allocates an expression node.
+    pub fn alloc_expr(&mut self, kind: ExprKind, span: Span) -> ExprId {
+        let id = ExprId(self.exprs.len() as u32);
+        self.exprs.push(kind);
+        self.expr_spans.push(span);
+        id
+    }
+
+    /// Allocates a statement node.
+    pub fn alloc_stmt(&mut self, kind: StmtKind, span: Span) -> StmtId {
+        let id = StmtId(self.stmts.len() as u32);
+        self.stmts.push(kind);
+        self.stmt_spans.push(span);
+        id
+    }
+
+    /// Allocates a declaration node.
+    pub fn alloc_decl(&mut self, d: Declaration) -> DeclId {
+        let id = DeclId(self.decls.len() as u32);
+        self.decls.push(d);
+        id
+    }
+
+    /// The expression payload behind `id`.
+    #[inline]
+    pub fn expr(&self, id: ExprId) -> &ExprKind {
+        &self.exprs[id.0 as usize]
+    }
+
+    /// The expression's span.
+    #[inline]
+    pub fn expr_span(&self, id: ExprId) -> Span {
+        self.expr_spans[id.0 as usize]
+    }
+
+    /// The statement payload behind `id`.
+    #[inline]
+    pub fn stmt(&self, id: StmtId) -> &StmtKind {
+        &self.stmts[id.0 as usize]
+    }
+
+    /// The statement's span.
+    #[inline]
+    pub fn stmt_span(&self, id: StmtId) -> Span {
+        self.stmt_spans[id.0 as usize]
+    }
+
+    /// The declaration behind `id`.
+    #[inline]
+    pub fn decl(&self, id: DeclId) -> &Declaration {
+        &self.decls[id.0 as usize]
+    }
+
+    /// Mutable access to a declaration. Annotation write-back patches
+    /// declarations through a copy-on-write clone of a frozen arena.
+    #[inline]
+    pub fn decl_mut(&mut self, id: DeclId) -> &mut Declaration {
+        &mut self.decls[id.0 as usize]
+    }
+
+    /// Rewrites an expression's span (the parser re-spans parenthesized
+    /// expressions to include the parentheses).
+    pub fn set_expr_span(&mut self, id: ExprId, span: Span) {
+        self.expr_spans[id.0 as usize] = span;
+    }
+
+    /// Arena sizes for `--stats`.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            exprs: self.exprs.len(),
+            expr_bytes: self.exprs.len() * std::mem::size_of::<ExprKind>(),
+            stmts: self.stmts.len(),
+            stmt_bytes: self.stmts.len() * std::mem::size_of::<StmtKind>(),
+            decls: self.decls.len(),
+            decl_bytes: self.decls.len() * std::mem::size_of::<Declaration>(),
+            span_bytes: (self.expr_spans.len() + self.stmt_spans.len())
+                * std::mem::size_of::<Span>(),
+        }
+    }
+
+    // -- expression helpers (the old `Expr` methods, arena-directed) --------
+
+    /// True when `e` is the literal `0` (a null pointer constant) or the
+    /// identifier `NULL`, looking through casts.
+    pub fn is_null_constant(&self, e: ExprId) -> bool {
+        match self.expr(e) {
+            ExprKind::IntLit(0) => true,
+            ExprKind::Ident(n) => *n == sym::null_const(),
+            ExprKind::Cast(_, inner) => self.is_null_constant(*inner),
+            _ => false,
+        }
+    }
+
+    /// Strips casts, returning the underlying value-producing expression.
+    pub fn peel_casts(&self, e: ExprId) -> ExprId {
+        match self.expr(e) {
+            ExprKind::Cast(_, inner) => self.peel_casts(*inner),
+            _ => e,
+        }
+    }
+
+    /// The callee name if `e` is a direct call `f(...)`.
+    pub fn direct_callee(&self, e: ExprId) -> Option<Symbol> {
+        match self.expr(e) {
+            ExprKind::Call(f, _) => match self.expr(self.peel_casts(*f)) {
+                ExprKind::Ident(name) => Some(*name),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// A complete parsed source file (after preprocessing). The arena holding
+/// every node of the unit rides along behind an `Arc`, so sharing a unit
+/// (or a single function of it) across threads is a refcount bump.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TranslationUnit {
     /// Top-level items in source order.
     pub items: Vec<Item>,
+    /// The node arena every id in `items` points into.
+    pub arena: Arc<Ast>,
 }
 
 /// A top-level item.
 #[derive(Debug, Clone, PartialEq)]
-#[allow(clippy::large_enum_variant)] // AST nodes are built once and boxed nowhere hot
 pub enum Item {
     /// A function definition (with body).
     Function(FunctionDef),
     /// Any other declaration: globals, prototypes, typedefs, struct/enum
     /// definitions.
-    Decl(Declaration),
+    Decl(DeclId),
 }
 
 impl Item {
     /// The item's span.
-    pub fn span(&self) -> Span {
+    pub fn span(&self, ast: &Ast) -> Span {
         match self {
             Item::Function(f) => f.span,
-            Item::Decl(d) => d.span,
+            Item::Decl(d) => ast.decl(*d).span,
         }
     }
 }
@@ -44,7 +237,7 @@ pub struct FunctionDef {
     /// Declarator (must contain a [`Derived::Function`] part).
     pub declarator: Declarator,
     /// The function body (always a compound statement).
-    pub body: Stmt,
+    pub body: StmtId,
     /// Full span of the definition.
     pub span: Span,
 }
@@ -56,8 +249,8 @@ impl FunctionDef {
     ///
     /// Panics if the declarator is anonymous, which the parser never produces
     /// for function definitions.
-    pub fn name(&self) -> &str {
-        self.declarator.name.as_deref().expect("function definitions are named")
+    pub fn name(&self) -> Symbol {
+        self.declarator.name.expect("function definitions are named")
     }
 }
 
@@ -133,7 +326,7 @@ pub enum TypeSpec {
     /// `double` (and `long double`)
     Double,
     /// A typedef name.
-    Named(String),
+    Named(Symbol),
     /// A struct or union specifier.
     Struct(StructSpec),
     /// An enum specifier.
@@ -146,7 +339,7 @@ pub struct StructSpec {
     /// True for `union`.
     pub is_union: bool,
     /// The tag, if named.
-    pub name: Option<String>,
+    pub name: Option<Symbol>,
     /// The member declarations, if this specifier defines the body.
     pub fields: Option<Vec<FieldDecl>>,
     /// Span of the specifier.
@@ -168,9 +361,9 @@ pub struct FieldDecl {
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnumSpec {
     /// The tag, if named.
-    pub name: Option<String>,
+    pub name: Option<Symbol>,
     /// Enumerators `(name, explicit value)`, if the body is present.
-    pub variants: Option<Vec<(String, Option<Expr>)>>,
+    pub variants: Option<Vec<(Symbol, Option<ExprId>)>>,
     /// Span.
     pub span: Span,
 }
@@ -219,10 +412,9 @@ pub struct InitDeclarator {
 
 /// An initializer.
 #[derive(Debug, Clone, PartialEq)]
-#[allow(clippy::large_enum_variant)] // AST nodes are built once and boxed nowhere hot
 pub enum Initializer {
     /// `= expr`
-    Expr(Expr),
+    Expr(ExprId),
     /// `= { ... }`
     List(Vec<Initializer>),
 }
@@ -235,7 +427,7 @@ pub enum Initializer {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Declarator {
     /// The declared identifier; `None` for abstract declarators.
-    pub name: Option<String>,
+    pub name: Option<Symbol>,
     /// Derived parts in reading order.
     pub derived: Vec<Derived>,
     /// Span of the declarator.
@@ -274,7 +466,7 @@ pub enum Derived {
         is_const: bool,
     },
     /// An array part with optional constant size expression.
-    Array(Option<Box<Expr>>),
+    Array(Option<ExprId>),
     /// A function part with its parameters.
     Function {
         /// The parameters.
@@ -289,10 +481,10 @@ pub enum Derived {
 }
 
 /// One entry of a function's globals list.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GlobalSpec {
     /// The global's name.
-    pub name: String,
+    pub name: Symbol,
     /// True when prefixed with `undef` (may be undefined at entry).
     pub undef: bool,
 }
@@ -310,8 +502,8 @@ pub struct ParamDecl {
 
 impl ParamDecl {
     /// The parameter name, if present.
-    pub fn name(&self) -> Option<&str> {
-        self.declarator.name.as_deref()
+    pub fn name(&self) -> Option<Symbol> {
+        self.declarator.name
     }
 
     /// True for the `void` parameter list marker: `f(void)`.
@@ -326,123 +518,103 @@ impl ParamDecl {
 // Statements
 // ---------------------------------------------------------------------------
 
-/// A statement.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Stmt {
-    /// The statement's payload.
-    pub kind: StmtKind,
-    /// Span.
-    pub span: Span,
-}
-
 /// An item in a compound statement.
-#[derive(Debug, Clone, PartialEq)]
-#[allow(clippy::large_enum_variant)] // AST nodes are built once and boxed nowhere hot
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BlockItem {
     /// A local declaration.
-    Decl(Declaration),
+    Decl(DeclId),
     /// A statement.
-    Stmt(Stmt),
+    Stmt(StmtId),
 }
 
 /// The clause initializing a `for` loop.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ForInit {
     /// A declaration (C99-style, accepted for convenience).
-    Decl(Declaration),
+    Decl(DeclId),
     /// An expression.
-    Expr(Expr),
+    Expr(ExprId),
 }
 
 /// Statement payloads.
 #[derive(Debug, Clone, PartialEq)]
-#[allow(clippy::large_enum_variant)] // AST nodes are built once and boxed nowhere hot
 pub enum StmtKind {
     /// `{ ... }`
     Compound(Vec<BlockItem>),
     /// An expression statement.
-    Expr(Expr),
+    Expr(ExprId),
     /// `;`
     Empty,
     /// `if (cond) then else`
     If {
         /// Condition.
-        cond: Expr,
+        cond: ExprId,
         /// Then branch.
-        then_branch: Box<Stmt>,
+        then_branch: StmtId,
         /// Else branch, if any.
-        else_branch: Option<Box<Stmt>>,
+        else_branch: Option<StmtId>,
     },
     /// `while (cond) body`
     While {
         /// Condition.
-        cond: Expr,
+        cond: ExprId,
         /// Body.
-        body: Box<Stmt>,
+        body: StmtId,
     },
     /// `do body while (cond);`
     DoWhile {
         /// Body.
-        body: Box<Stmt>,
+        body: StmtId,
         /// Condition.
-        cond: Expr,
+        cond: ExprId,
     },
     /// `for (init; cond; step) body`
     For {
         /// Init clause.
         init: Option<ForInit>,
         /// Condition.
-        cond: Option<Expr>,
+        cond: Option<ExprId>,
         /// Step expression.
-        step: Option<Expr>,
+        step: Option<ExprId>,
         /// Body.
-        body: Box<Stmt>,
+        body: StmtId,
     },
     /// `switch (cond) body`
     Switch {
         /// Scrutinee.
-        cond: Expr,
+        cond: ExprId,
         /// Body (normally a compound with `case` labels).
-        body: Box<Stmt>,
+        body: StmtId,
     },
     /// `case value: stmt`
     Case {
         /// The case value (constant expression).
-        value: Expr,
+        value: ExprId,
         /// The labeled statement.
-        stmt: Box<Stmt>,
+        stmt: StmtId,
     },
     /// `default: stmt`
-    Default(Box<Stmt>),
+    Default(StmtId),
     /// `break;`
     Break,
     /// `continue;`
     Continue,
     /// `return expr?;`
-    Return(Option<Expr>),
+    Return(Option<ExprId>),
     /// `name: stmt`
     Label {
         /// Label name.
-        name: String,
+        name: Symbol,
         /// Labeled statement.
-        stmt: Box<Stmt>,
+        stmt: StmtId,
     },
     /// `goto name;`
-    Goto(String),
+    Goto(Symbol),
 }
 
 // ---------------------------------------------------------------------------
 // Expressions
 // ---------------------------------------------------------------------------
-
-/// An expression.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Expr {
-    /// The expression's payload.
-    pub kind: ExprKind,
-    /// Span.
-    pub span: Span,
-}
 
 /// Unary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -625,90 +797,53 @@ pub struct TypeName {
     pub span: Span,
 }
 
-/// Expression payloads.
+/// Expression payloads. Child references are arena ids; the large
+/// [`TypeName`] payloads are boxed to keep the variant footprint small.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExprKind {
     /// An identifier use.
-    Ident(String),
+    Ident(Symbol),
     /// Integer literal.
     IntLit(i64),
     /// Floating literal.
     FloatLit(f64),
     /// Character literal.
     CharLit(i64),
-    /// String literal.
-    StrLit(String),
+    /// String literal (interned).
+    StrLit(Symbol),
     /// A unary operation.
-    Unary(UnOp, Box<Expr>),
+    Unary(UnOp, ExprId),
     /// Prefix `++x` / `--x`.
-    PreIncDec(IncDec, Box<Expr>),
+    PreIncDec(IncDec, ExprId),
     /// Postfix `x++` / `x--`.
-    PostIncDec(IncDec, Box<Expr>),
+    PostIncDec(IncDec, ExprId),
     /// A binary operation.
-    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Binary(BinOp, ExprId, ExprId),
     /// An assignment.
-    Assign(AssignOp, Box<Expr>, Box<Expr>),
+    Assign(AssignOp, ExprId, ExprId),
     /// `c ? t : e`
-    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    Cond(ExprId, ExprId, ExprId),
     /// A function call.
-    Call(Box<Expr>, Vec<Expr>),
+    Call(ExprId, Vec<ExprId>),
     /// `base.field` or `base->field`.
     Member {
         /// The accessed object.
-        base: Box<Expr>,
+        base: ExprId,
         /// Field name.
-        field: String,
+        field: Symbol,
         /// True for `->`.
         arrow: bool,
     },
     /// `base[index]`
-    Index(Box<Expr>, Box<Expr>),
+    Index(ExprId, ExprId),
     /// `(type) expr`
-    Cast(TypeName, Box<Expr>),
+    Cast(Box<TypeName>, ExprId),
     /// `sizeof expr`
-    SizeofExpr(Box<Expr>),
+    SizeofExpr(ExprId),
     /// `sizeof (type)`
-    SizeofType(TypeName),
+    SizeofType(Box<TypeName>),
     /// `a, b`
-    Comma(Box<Expr>, Box<Expr>),
-}
-
-impl Expr {
-    /// Creates an expression node.
-    pub fn new(kind: ExprKind, span: Span) -> Self {
-        Expr { kind, span }
-    }
-
-    /// True when this expression is the literal `0` (a null pointer constant)
-    /// or the identifier `NULL`.
-    pub fn is_null_constant(&self) -> bool {
-        match &self.kind {
-            ExprKind::IntLit(0) => true,
-            ExprKind::Ident(n) => n == "NULL",
-            ExprKind::Cast(_, inner) => inner.is_null_constant(),
-            _ => false,
-        }
-    }
-
-    /// Strips casts and comma-right associations, returning the underlying
-    /// value-producing expression.
-    pub fn peel_casts(&self) -> &Expr {
-        match &self.kind {
-            ExprKind::Cast(_, inner) => inner.peel_casts(),
-            _ => self,
-        }
-    }
-
-    /// The callee name if this is a direct call `f(...)`.
-    pub fn direct_callee(&self) -> Option<&str> {
-        match &self.kind {
-            ExprKind::Call(f, _) => match &f.peel_casts().kind {
-                ExprKind::Ident(name) => Some(name),
-                _ => None,
-            },
-            _ => None,
-        }
-    }
+    Comma(ExprId, ExprId),
 }
 
 impl fmt::Display for BinOp {
@@ -735,26 +870,23 @@ mod tests {
 
     #[test]
     fn null_constant_detection() {
-        let z = Expr::new(ExprKind::IntLit(0), Span::synthetic());
-        assert!(z.is_null_constant());
-        let n = Expr::new(ExprKind::Ident("NULL".into()), Span::synthetic());
-        assert!(n.is_null_constant());
-        let one = Expr::new(ExprKind::IntLit(1), Span::synthetic());
-        assert!(!one.is_null_constant());
+        let mut ast = Ast::new();
+        let z = ast.alloc_expr(ExprKind::IntLit(0), Span::synthetic());
+        assert!(ast.is_null_constant(z));
+        let n = ast.alloc_expr(ExprKind::Ident(Symbol::intern("NULL")), Span::synthetic());
+        assert!(ast.is_null_constant(n));
+        let one = ast.alloc_expr(ExprKind::IntLit(1), Span::synthetic());
+        assert!(!ast.is_null_constant(one));
     }
 
     #[test]
     fn direct_callee() {
-        let call = Expr::new(
-            ExprKind::Call(
-                Box::new(Expr::new(ExprKind::Ident("malloc".into()), Span::synthetic())),
-                vec![],
-            ),
-            Span::synthetic(),
-        );
-        assert_eq!(call.direct_callee(), Some("malloc"));
-        let not_call = Expr::new(ExprKind::IntLit(1), Span::synthetic());
-        assert_eq!(not_call.direct_callee(), None);
+        let mut ast = Ast::new();
+        let callee = ast.alloc_expr(ExprKind::Ident(Symbol::intern("malloc")), Span::synthetic());
+        let call = ast.alloc_expr(ExprKind::Call(callee, vec![]), Span::synthetic());
+        assert_eq!(ast.direct_callee(call), Some(Symbol::intern("malloc")));
+        let not_call = ast.alloc_expr(ExprKind::IntLit(1), Span::synthetic());
+        assert_eq!(ast.direct_callee(not_call), None);
     }
 
     #[test]
@@ -775,5 +907,25 @@ mod tests {
             span: Span::synthetic(),
         };
         assert!(p.is_void_marker());
+    }
+
+    #[test]
+    fn arena_nodes_are_compact() {
+        // The point of the flat representation: ids, not boxes. Guard the
+        // payload sizes so a later change can't quietly re-fatten the arena.
+        assert!(std::mem::size_of::<ExprKind>() <= 40, "{}", std::mem::size_of::<ExprKind>());
+        assert!(std::mem::size_of::<StmtKind>() <= 32, "{}", std::mem::size_of::<StmtKind>());
+        assert_eq!(std::mem::size_of::<ExprId>(), 4);
+    }
+
+    #[test]
+    fn arena_stats_count_nodes() {
+        let mut ast = Ast::new();
+        let a = ast.alloc_expr(ExprKind::IntLit(1), Span::synthetic());
+        ast.alloc_stmt(StmtKind::Expr(a), Span::synthetic());
+        let st = ast.stats();
+        assert_eq!(st.exprs, 1);
+        assert_eq!(st.stmts, 1);
+        assert!(st.total_bytes() > 0);
     }
 }

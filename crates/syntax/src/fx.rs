@@ -1,0 +1,109 @@
+//! A fast, non-cryptographic hasher for the checker's hot maps.
+//!
+//! The dataflow environment, reference tables and program symbol tables
+//! key their maps by dense `u32` ids (interned [`crate::intern::Symbol`]s,
+//! analysis ref ids). The standard library's SipHash is DoS-resistant but
+//! costs ~10x more than needed for trusted, in-process keys; this is the
+//! multiply-and-rotate scheme used by rustc (FxHash), implemented locally
+//! to keep the crate dependency-free.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc FxHash function: one multiply and one rotate per word.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_small_keys_hash_distinctly() {
+        let h = |x: u32| {
+            let mut f = FxHasher::default();
+            f.write_u32(x);
+            f.finish()
+        };
+        assert_ne!(h(0), h(1));
+        assert_ne!(h(1), h(2));
+        assert_ne!(h(0x0001_0000), h(0x0000_0001));
+    }
+
+    #[test]
+    fn byte_slices_respect_length() {
+        let h = |b: &[u8]| {
+            let mut f = FxHasher::default();
+            f.write(b);
+            f.finish()
+        };
+        assert_ne!(h(b"a"), h(b"a\0"));
+        assert_ne!(h(b"abcdefgh"), h(b"abcdefg"));
+    }
+
+    #[test]
+    fn maps_work_end_to_end() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(11, "eleven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -26,6 +26,8 @@
 pub mod annot;
 pub mod ast;
 pub mod error;
+pub mod fx;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod pp;
@@ -37,6 +39,7 @@ pub mod token;
 pub use annot::{AllocAnnot, Annot, AnnotSet, DefAnnot, ExposureAnnot, NullAnnot};
 pub use ast::*;
 pub use error::{Result, SyntaxError};
+pub use intern::{sym, symbol_count, Symbol};
 pub use lexer::{ControlComment, ControlKind, Lexer};
 pub use parser::Parser;
 pub use pp::{DiskProvider, FileProvider, MemoryProvider, PpOutput, Preprocessor};
@@ -44,7 +47,9 @@ pub use pretty::{
     pretty_print, pretty_print_declaration, pretty_print_field, pretty_print_function,
 };
 pub use span::{FileId, Loc, SourceMap, Span};
-pub use stable_hash::{function_def_hash, token_stream_hash, StableHasher};
+pub use stable_hash::{
+    function_def_hash, function_def_hash_pretty, token_stream_hash, StableHasher,
+};
 
 use std::collections::HashMap;
 

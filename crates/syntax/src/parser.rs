@@ -1,17 +1,20 @@
 //! Recursive-descent parser for the C subset.
 //!
 //! The parser consumes the preprocessed token stream and produces a
-//! [`TranslationUnit`]. It maintains the classic typedef-name set so that
-//! `(list) expr` parses as a cast once `list` has been declared with
-//! `typedef`, and it attaches annotation tokens to the declaration positions
-//! where they appear (specifier level and per pointer level).
+//! [`TranslationUnit`] whose nodes live in a single flat [`Ast`] arena.
+//! It maintains the classic typedef-name set so that `(list) expr` parses as
+//! a cast once `list` has been declared with `typedef`, and it attaches
+//! annotation tokens to the declaration positions where they appear
+//! (specifier level and per pointer level).
 
 use crate::annot::{Annot, AnnotSet};
 use crate::ast::*;
 use crate::error::{Result, SyntaxError};
+use crate::intern::Symbol;
 use crate::span::Span;
 use crate::token::{Keyword as Kw, Punct, Token, TokenKind};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Maximum recursive-descent nesting depth (expressions, statements,
 /// declarators, initializers share one counter). Deeply nested input —
@@ -47,6 +50,7 @@ pub struct Parser {
     pos: usize,
     typedefs: HashSet<String>,
     depth: u32,
+    ast: Ast,
 }
 
 impl Parser {
@@ -58,7 +62,7 @@ impl Parser {
         for t in ["size_t", "FILE", "va_list", "bool_", "ptrdiff_t"] {
             typedefs.insert(t.to_owned());
         }
-        Parser { toks, pos: 0, typedefs, depth: 0 }
+        Parser { toks, pos: 0, typedefs, depth: 0, ast: Ast::new() }
     }
 
     /// Registers an extra typedef name before parsing.
@@ -120,10 +124,10 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self) -> Result<(String, Span)> {
+    fn expect_ident(&mut self) -> Result<(Symbol, Span)> {
         match &self.peek().kind {
             TokenKind::Ident(s) => {
-                let s = s.clone();
+                let s = Symbol::intern(s);
                 let span = self.peek().span;
                 self.pos += 1;
                 Ok((s, span))
@@ -175,7 +179,7 @@ impl Parser {
             }
             items.push(self.parse_external_item()?);
         }
-        Ok(TranslationUnit { items })
+        Ok(TranslationUnit { items, arena: Arc::new(self.ast) })
     }
 
     /// Parses the whole token stream, recovering at top-level boundaries.
@@ -206,7 +210,7 @@ impl Parser {
                 }
             }
         }
-        (TranslationUnit { items }, errors)
+        (TranslationUnit { items, arena: Arc::new(self.ast) }, errors)
     }
 
     /// Skips ahead to a likely top-level boundary after a parse error: the
@@ -246,17 +250,14 @@ impl Parser {
         // Bare `struct S { ... };` or `enum E { ... };`
         if self.at_punct(Punct::Semi) {
             let end = self.bump().span;
-            return Ok(Item::Decl(Declaration {
-                specs,
-                declarators: Vec::new(),
-                span: start.to(end),
-            }));
+            let d = Declaration { specs, declarators: Vec::new(), span: start.to(end) };
+            return Ok(Item::Decl(self.ast.alloc_decl(d)));
         }
         let first = self.parse_declarator(false)?;
         // Function definition: function declarator followed by `{`.
         if self.at_punct(Punct::LBrace) && first.is_function() {
             let body = self.parse_compound()?;
-            let span = start.to(body.span);
+            let span = start.to(self.ast.stmt_span(body));
             return Ok(Item::Function(FunctionDef { specs, declarator: first, body, span }));
         }
         // Otherwise an ordinary declaration (possibly several declarators).
@@ -272,13 +273,14 @@ impl Parser {
             declarators.push(InitDeclarator { declarator: d, init });
         }
         let end = self.expect_punct(Punct::Semi)?;
-        Ok(Item::Decl(Declaration { specs, declarators, span: start.to(end) }))
+        let d = Declaration { specs, declarators, span: start.to(end) };
+        Ok(Item::Decl(self.ast.alloc_decl(d)))
     }
 
     fn register_typedef(&mut self, specs: &DeclSpecs, d: &Declarator) {
         if specs.storage == Some(StorageClass::Typedef) {
-            if let Some(n) = &d.name {
-                self.typedefs.insert(n.clone());
+            if let Some(n) = d.name {
+                self.typedefs.insert(n.as_str().to_owned());
             }
         }
     }
@@ -434,7 +436,7 @@ impl Parser {
                     // A typedef name is only a type specifier if no other
                     // type words have been seen (so `unsigned x;` keeps `x`
                     // as the declarator).
-                    base = Some(TypeSpec::Named(n.clone()));
+                    base = Some(TypeSpec::Named(Symbol::intern(n)));
                     self.pos += 1;
                 }
                 TokenKind::Annot(words) => {
@@ -486,7 +488,7 @@ impl Parser {
         self.pos += 1; // struct/union keyword
         let name = match &self.peek().kind {
             TokenKind::Ident(n) => {
-                let n = n.clone();
+                let n = Symbol::intern(n);
                 self.pos += 1;
                 Some(n)
             }
@@ -527,7 +529,7 @@ impl Parser {
         self.pos += 1; // enum
         let name = match &self.peek().kind {
             TokenKind::Ident(n) => {
-                let n = n.clone();
+                let n = Symbol::intern(n);
                 self.pos += 1;
                 Some(n)
             }
@@ -651,7 +653,7 @@ impl Parser {
         // Direct declarator.
         let mut direct = match &self.peek().kind {
             TokenKind::Ident(n) => {
-                let name = n.clone();
+                let name = Symbol::intern(n);
                 let span = self.peek().span;
                 self.pos += 1;
                 Declarator { name: Some(name), derived: Vec::new(), span }
@@ -676,7 +678,7 @@ impl Parser {
                 let size = if self.at_punct(Punct::RBracket) {
                     None
                 } else {
-                    Some(Box::new(self.parse_assignment_expr()?))
+                    Some(self.parse_assignment_expr()?)
                 };
                 self.expect_punct(Punct::RBracket)?;
                 suffixes.push(Derived::Array(size));
@@ -740,7 +742,7 @@ impl Parser {
             if !w.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
                 return Err(SyntaxError::new(format!("malformed globals list entry `{w}`"), span));
             }
-            globals.push(GlobalSpec { name: w.to_owned(), undef: undef_next });
+            globals.push(GlobalSpec { name: Symbol::intern(w), undef: undef_next });
             undef_next = false;
         }
         Ok(Some(globals))
@@ -798,7 +800,7 @@ impl Parser {
         }
     }
 
-    fn parse_local_declaration(&mut self) -> Result<Declaration> {
+    fn parse_local_declaration(&mut self) -> Result<DeclId> {
         let start = self.peek().span;
         let specs = self.parse_decl_specs()?;
         let mut declarators = Vec::new();
@@ -815,12 +817,12 @@ impl Parser {
             }
         }
         let end = self.expect_punct(Punct::Semi)?;
-        Ok(Declaration { specs, declarators, span: start.to(end) })
+        Ok(self.ast.alloc_decl(Declaration { specs, declarators, span: start.to(end) }))
     }
 
     // -- statements ---------------------------------------------------------
 
-    fn parse_compound(&mut self) -> Result<Stmt> {
+    fn parse_compound(&mut self) -> Result<StmtId> {
         let start = self.expect_punct(Punct::LBrace)?;
         let mut items = Vec::new();
         while !self.at_punct(Punct::RBrace) {
@@ -834,7 +836,7 @@ impl Parser {
             }
         }
         let end = self.expect_punct(Punct::RBrace)?;
-        Ok(Stmt { kind: StmtKind::Compound(items), span: start.to(end) })
+        Ok(self.ast.alloc_stmt(StmtKind::Compound(items), start.to(end)))
     }
 
     /// True when the next two tokens are `ident :` (a label, which could
@@ -844,47 +846,47 @@ impl Parser {
             && self.peek_at(1).kind.is_punct(Punct::Colon)
     }
 
-    fn parse_stmt(&mut self) -> Result<Stmt> {
+    fn parse_stmt(&mut self) -> Result<StmtId> {
         self.enter_nested()?;
         let r = self.parse_stmt_inner();
         self.leave_nested();
         r
     }
 
-    fn parse_stmt_inner(&mut self) -> Result<Stmt> {
+    fn parse_stmt_inner(&mut self) -> Result<StmtId> {
         let start = self.peek().span;
         match self.peek().kind.clone() {
             TokenKind::Punct(Punct::LBrace) => self.parse_compound(),
             TokenKind::Punct(Punct::Semi) => {
                 self.pos += 1;
-                Ok(Stmt { kind: StmtKind::Empty, span: start })
+                Ok(self.ast.alloc_stmt(StmtKind::Empty, start))
             }
             TokenKind::Kw(Kw::If) => {
                 self.pos += 1;
                 self.expect_punct(Punct::LParen)?;
                 let cond = self.parse_expr()?;
                 self.expect_punct(Punct::RParen)?;
-                let then_branch = Box::new(self.parse_stmt()?);
-                let else_branch =
-                    if self.eat_kw(Kw::Else) { Some(Box::new(self.parse_stmt()?)) } else { None };
-                let end = else_branch.as_ref().map(|s| s.span).unwrap_or(then_branch.span);
-                Ok(Stmt {
-                    kind: StmtKind::If { cond, then_branch, else_branch },
-                    span: start.to(end),
-                })
+                let then_branch = self.parse_stmt()?;
+                let else_branch = if self.eat_kw(Kw::Else) { Some(self.parse_stmt()?) } else { None };
+                let end = else_branch
+                    .map(|s| self.ast.stmt_span(s))
+                    .unwrap_or_else(|| self.ast.stmt_span(then_branch));
+                Ok(self
+                    .ast
+                    .alloc_stmt(StmtKind::If { cond, then_branch, else_branch }, start.to(end)))
             }
             TokenKind::Kw(Kw::While) => {
                 self.pos += 1;
                 self.expect_punct(Punct::LParen)?;
                 let cond = self.parse_expr()?;
                 self.expect_punct(Punct::RParen)?;
-                let body = Box::new(self.parse_stmt()?);
-                let end = body.span;
-                Ok(Stmt { kind: StmtKind::While { cond, body }, span: start.to(end) })
+                let body = self.parse_stmt()?;
+                let end = self.ast.stmt_span(body);
+                Ok(self.ast.alloc_stmt(StmtKind::While { cond, body }, start.to(end)))
             }
             TokenKind::Kw(Kw::Do) => {
                 self.pos += 1;
-                let body = Box::new(self.parse_stmt()?);
+                let body = self.parse_stmt()?;
                 if !self.eat_kw(Kw::While) {
                     return Err(self.err("expected `while` after do-body"));
                 }
@@ -892,7 +894,7 @@ impl Parser {
                 let cond = self.parse_expr()?;
                 self.expect_punct(Punct::RParen)?;
                 let end = self.expect_punct(Punct::Semi)?;
-                Ok(Stmt { kind: StmtKind::DoWhile { body, cond }, span: start.to(end) })
+                Ok(self.ast.alloc_stmt(StmtKind::DoWhile { body, cond }, start.to(end)))
             }
             TokenKind::Kw(Kw::For) => {
                 self.pos += 1;
@@ -912,67 +914,68 @@ impl Parser {
                 let step =
                     if self.at_punct(Punct::RParen) { None } else { Some(self.parse_expr()?) };
                 self.expect_punct(Punct::RParen)?;
-                let body = Box::new(self.parse_stmt()?);
-                let end = body.span;
-                Ok(Stmt { kind: StmtKind::For { init, cond, step, body }, span: start.to(end) })
+                let body = self.parse_stmt()?;
+                let end = self.ast.stmt_span(body);
+                Ok(self.ast.alloc_stmt(StmtKind::For { init, cond, step, body }, start.to(end)))
             }
             TokenKind::Kw(Kw::Switch) => {
                 self.pos += 1;
                 self.expect_punct(Punct::LParen)?;
                 let cond = self.parse_expr()?;
                 self.expect_punct(Punct::RParen)?;
-                let body = Box::new(self.parse_stmt()?);
-                let end = body.span;
-                Ok(Stmt { kind: StmtKind::Switch { cond, body }, span: start.to(end) })
+                let body = self.parse_stmt()?;
+                let end = self.ast.stmt_span(body);
+                Ok(self.ast.alloc_stmt(StmtKind::Switch { cond, body }, start.to(end)))
             }
             TokenKind::Kw(Kw::Case) => {
                 self.pos += 1;
                 let value = self.parse_cond_expr()?;
                 self.expect_punct(Punct::Colon)?;
-                let stmt = Box::new(self.parse_stmt()?);
-                let end = stmt.span;
-                Ok(Stmt { kind: StmtKind::Case { value, stmt }, span: start.to(end) })
+                let stmt = self.parse_stmt()?;
+                let end = self.ast.stmt_span(stmt);
+                Ok(self.ast.alloc_stmt(StmtKind::Case { value, stmt }, start.to(end)))
             }
             TokenKind::Kw(Kw::Default) => {
                 self.pos += 1;
                 self.expect_punct(Punct::Colon)?;
-                let stmt = Box::new(self.parse_stmt()?);
-                let end = stmt.span;
-                Ok(Stmt { kind: StmtKind::Default(stmt), span: start.to(end) })
+                let stmt = self.parse_stmt()?;
+                let end = self.ast.stmt_span(stmt);
+                Ok(self.ast.alloc_stmt(StmtKind::Default(stmt), start.to(end)))
             }
             TokenKind::Kw(Kw::Break) => {
                 self.pos += 1;
                 let end = self.expect_punct(Punct::Semi)?;
-                Ok(Stmt { kind: StmtKind::Break, span: start.to(end) })
+                Ok(self.ast.alloc_stmt(StmtKind::Break, start.to(end)))
             }
             TokenKind::Kw(Kw::Continue) => {
                 self.pos += 1;
                 let end = self.expect_punct(Punct::Semi)?;
-                Ok(Stmt { kind: StmtKind::Continue, span: start.to(end) })
+                Ok(self.ast.alloc_stmt(StmtKind::Continue, start.to(end)))
             }
             TokenKind::Kw(Kw::Return) => {
                 self.pos += 1;
                 let value =
                     if self.at_punct(Punct::Semi) { None } else { Some(self.parse_expr()?) };
                 let end = self.expect_punct(Punct::Semi)?;
-                Ok(Stmt { kind: StmtKind::Return(value), span: start.to(end) })
+                Ok(self.ast.alloc_stmt(StmtKind::Return(value), start.to(end)))
             }
             TokenKind::Kw(Kw::Goto) => {
                 self.pos += 1;
                 let (name, _) = self.expect_ident()?;
                 let end = self.expect_punct(Punct::Semi)?;
-                Ok(Stmt { kind: StmtKind::Goto(name), span: start.to(end) })
+                Ok(self.ast.alloc_stmt(StmtKind::Goto(name), start.to(end)))
             }
             TokenKind::Ident(name) if self.at_label() => {
+                let name = Symbol::intern(&name);
                 self.pos += 2; // ident, colon
-                let stmt = Box::new(self.parse_stmt()?);
-                let end = stmt.span;
-                Ok(Stmt { kind: StmtKind::Label { name, stmt }, span: start.to(end) })
+                let stmt = self.parse_stmt()?;
+                let end = self.ast.stmt_span(stmt);
+                Ok(self.ast.alloc_stmt(StmtKind::Label { name, stmt }, start.to(end)))
             }
             _ => {
                 let e = self.parse_expr()?;
                 let end = self.expect_punct(Punct::Semi)?;
-                Ok(Stmt { kind: StmtKind::Expr(e), span: start.to(end) })
+                Ok(self.ast.alloc_stmt(StmtKind::Expr(e), start.to(end)))
             }
         }
     }
@@ -980,25 +983,25 @@ impl Parser {
     // -- expressions ---------------------------------------------------------
 
     /// Parses a full expression (including the comma operator).
-    pub fn parse_expr(&mut self) -> Result<Expr> {
+    pub fn parse_expr(&mut self) -> Result<ExprId> {
         let mut e = self.parse_assignment_expr()?;
         while self.at_punct(Punct::Comma) {
             self.pos += 1;
             let rhs = self.parse_assignment_expr()?;
-            let span = e.span.to(rhs.span);
-            e = Expr::new(ExprKind::Comma(Box::new(e), Box::new(rhs)), span);
+            let span = self.ast.expr_span(e).to(self.ast.expr_span(rhs));
+            e = self.ast.alloc_expr(ExprKind::Comma(e, rhs), span);
         }
         Ok(e)
     }
 
-    fn parse_assignment_expr(&mut self) -> Result<Expr> {
+    fn parse_assignment_expr(&mut self) -> Result<ExprId> {
         self.enter_nested()?;
         let r = self.parse_assignment_expr_inner();
         self.leave_nested();
         r
     }
 
-    fn parse_assignment_expr_inner(&mut self) -> Result<Expr> {
+    fn parse_assignment_expr_inner(&mut self) -> Result<ExprId> {
         let lhs = self.parse_cond_expr()?;
         let op = match &self.peek().kind {
             TokenKind::Punct(Punct::Eq) => Some(AssignOp::Assign),
@@ -1017,23 +1020,20 @@ impl Parser {
         if let Some(op) = op {
             self.pos += 1;
             let rhs = self.parse_assignment_expr()?;
-            let span = lhs.span.to(rhs.span);
-            return Ok(Expr::new(ExprKind::Assign(op, Box::new(lhs), Box::new(rhs)), span));
+            let span = self.ast.expr_span(lhs).to(self.ast.expr_span(rhs));
+            return Ok(self.ast.alloc_expr(ExprKind::Assign(op, lhs, rhs), span));
         }
         Ok(lhs)
     }
 
-    fn parse_cond_expr(&mut self) -> Result<Expr> {
+    fn parse_cond_expr(&mut self) -> Result<ExprId> {
         let cond = self.parse_binary_expr(0)?;
         if self.eat_punct(Punct::Question) {
             let then_e = self.parse_expr()?;
             self.expect_punct(Punct::Colon)?;
             let else_e = self.parse_cond_expr()?;
-            let span = cond.span.to(else_e.span);
-            return Ok(Expr::new(
-                ExprKind::Cond(Box::new(cond), Box::new(then_e), Box::new(else_e)),
-                span,
-            ));
+            let span = self.ast.expr_span(cond).to(self.ast.expr_span(else_e));
+            return Ok(self.ast.alloc_expr(ExprKind::Cond(cond, then_e, else_e), span));
         }
         Ok(cond)
     }
@@ -1066,7 +1066,7 @@ impl Parser {
         })
     }
 
-    fn parse_binary_expr(&mut self, min_prec: u8) -> Result<Expr> {
+    fn parse_binary_expr(&mut self, min_prec: u8) -> Result<ExprId> {
         let mut lhs = self.parse_cast_expr()?;
         while let Some((op, prec)) = self.binop_at() {
             if prec < min_prec {
@@ -1074,21 +1074,21 @@ impl Parser {
             }
             self.pos += 1;
             let rhs = self.parse_binary_expr(prec + 1)?;
-            let span = lhs.span.to(rhs.span);
-            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+            let span = self.ast.expr_span(lhs).to(self.ast.expr_span(rhs));
+            lhs = self.ast.alloc_expr(ExprKind::Binary(op, lhs, rhs), span);
         }
         Ok(lhs)
     }
 
-    fn parse_cast_expr(&mut self) -> Result<Expr> {
+    fn parse_cast_expr(&mut self) -> Result<ExprId> {
         if self.at_punct(Punct::LParen) && self.at_type_start(1) {
             let start = self.peek().span;
             self.pos += 1;
             let tn = self.parse_type_name()?;
             self.expect_punct(Punct::RParen)?;
             let inner = self.parse_cast_expr()?;
-            let span = start.to(inner.span);
-            return Ok(Expr::new(ExprKind::Cast(tn, Box::new(inner)), span));
+            let span = start.to(self.ast.expr_span(inner));
+            return Ok(self.ast.alloc_expr(ExprKind::Cast(Box::new(tn), inner), span));
         }
         self.parse_unary_expr()
     }
@@ -1102,20 +1102,20 @@ impl Parser {
         Ok(TypeName { specs, declarator, span: start.to(end) })
     }
 
-    fn parse_unary_expr(&mut self) -> Result<Expr> {
+    fn parse_unary_expr(&mut self) -> Result<ExprId> {
         let start = self.peek().span;
         match &self.peek().kind {
             TokenKind::Punct(Punct::PlusPlus) => {
                 self.pos += 1;
                 let e = self.parse_unary_expr()?;
-                let span = start.to(e.span);
-                Ok(Expr::new(ExprKind::PreIncDec(IncDec::Inc, Box::new(e)), span))
+                let span = start.to(self.ast.expr_span(e));
+                Ok(self.ast.alloc_expr(ExprKind::PreIncDec(IncDec::Inc, e), span))
             }
             TokenKind::Punct(Punct::MinusMinus) => {
                 self.pos += 1;
                 let e = self.parse_unary_expr()?;
-                let span = start.to(e.span);
-                Ok(Expr::new(ExprKind::PreIncDec(IncDec::Dec, Box::new(e)), span))
+                let span = start.to(self.ast.expr_span(e));
+                Ok(self.ast.alloc_expr(ExprKind::PreIncDec(IncDec::Dec, e), span))
             }
             TokenKind::Punct(p) => {
                 let op = match p {
@@ -1131,8 +1131,8 @@ impl Parser {
                     Some(op) => {
                         self.pos += 1;
                         let e = self.parse_cast_expr()?;
-                        let span = start.to(e.span);
-                        Ok(Expr::new(ExprKind::Unary(op, Box::new(e)), span))
+                        let span = start.to(self.ast.expr_span(e));
+                        Ok(self.ast.alloc_expr(ExprKind::Unary(op, e), span))
                     }
                     None => self.parse_postfix_expr(),
                 }
@@ -1143,21 +1143,21 @@ impl Parser {
                     self.pos += 1;
                     let tn = self.parse_type_name()?;
                     let end = self.expect_punct(Punct::RParen)?;
-                    Ok(Expr::new(ExprKind::SizeofType(tn), start.to(end)))
+                    Ok(self.ast.alloc_expr(ExprKind::SizeofType(Box::new(tn)), start.to(end)))
                 } else {
                     let e = self.parse_unary_expr()?;
-                    let span = start.to(e.span);
-                    Ok(Expr::new(ExprKind::SizeofExpr(Box::new(e)), span))
+                    let span = start.to(self.ast.expr_span(e));
+                    Ok(self.ast.alloc_expr(ExprKind::SizeofExpr(e), span))
                 }
             }
             _ => self.parse_postfix_expr(),
         }
     }
 
-    fn parse_postfix_expr(&mut self) -> Result<Expr> {
+    fn parse_postfix_expr(&mut self) -> Result<ExprId> {
         let mut e = self.parse_primary_expr()?;
         loop {
-            let start = e.span;
+            let start = self.ast.expr_span(e);
             match &self.peek().kind {
                 TokenKind::Punct(Punct::LParen) => {
                     self.pos += 1;
@@ -1171,37 +1171,37 @@ impl Parser {
                         }
                     }
                     let end = self.expect_punct(Punct::RParen)?;
-                    e = Expr::new(ExprKind::Call(Box::new(e), args), start.to(end));
+                    e = self.ast.alloc_expr(ExprKind::Call(e, args), start.to(end));
                 }
                 TokenKind::Punct(Punct::LBracket) => {
                     self.pos += 1;
                     let idx = self.parse_expr()?;
                     let end = self.expect_punct(Punct::RBracket)?;
-                    e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), start.to(end));
+                    e = self.ast.alloc_expr(ExprKind::Index(e, idx), start.to(end));
                 }
                 TokenKind::Punct(Punct::Dot) => {
                     self.pos += 1;
                     let (field, fspan) = self.expect_ident()?;
-                    e = Expr::new(
-                        ExprKind::Member { base: Box::new(e), field, arrow: false },
+                    e = self.ast.alloc_expr(
+                        ExprKind::Member { base: e, field, arrow: false },
                         start.to(fspan),
                     );
                 }
                 TokenKind::Punct(Punct::Arrow) => {
                     self.pos += 1;
                     let (field, fspan) = self.expect_ident()?;
-                    e = Expr::new(
-                        ExprKind::Member { base: Box::new(e), field, arrow: true },
+                    e = self.ast.alloc_expr(
+                        ExprKind::Member { base: e, field, arrow: true },
                         start.to(fspan),
                     );
                 }
                 TokenKind::Punct(Punct::PlusPlus) => {
                     let end = self.bump().span;
-                    e = Expr::new(ExprKind::PostIncDec(IncDec::Inc, Box::new(e)), start.to(end));
+                    e = self.ast.alloc_expr(ExprKind::PostIncDec(IncDec::Inc, e), start.to(end));
                 }
                 TokenKind::Punct(Punct::MinusMinus) => {
                     let end = self.bump().span;
-                    e = Expr::new(ExprKind::PostIncDec(IncDec::Dec, Box::new(e)), start.to(end));
+                    e = self.ast.alloc_expr(ExprKind::PostIncDec(IncDec::Dec, e), start.to(end));
                 }
                 _ => break,
             }
@@ -1209,24 +1209,24 @@ impl Parser {
         Ok(e)
     }
 
-    fn parse_primary_expr(&mut self) -> Result<Expr> {
+    fn parse_primary_expr(&mut self) -> Result<ExprId> {
         let t = self.peek().clone();
         match t.kind {
             TokenKind::Ident(name) => {
                 self.pos += 1;
-                Ok(Expr::new(ExprKind::Ident(name), t.span))
+                Ok(self.ast.alloc_expr(ExprKind::Ident(Symbol::intern(&name)), t.span))
             }
             TokenKind::Int(v) => {
                 self.pos += 1;
-                Ok(Expr::new(ExprKind::IntLit(v), t.span))
+                Ok(self.ast.alloc_expr(ExprKind::IntLit(v), t.span))
             }
             TokenKind::Float(v) => {
                 self.pos += 1;
-                Ok(Expr::new(ExprKind::FloatLit(v), t.span))
+                Ok(self.ast.alloc_expr(ExprKind::FloatLit(v), t.span))
             }
             TokenKind::Char(v) => {
                 self.pos += 1;
-                Ok(Expr::new(ExprKind::CharLit(v), t.span))
+                Ok(self.ast.alloc_expr(ExprKind::CharLit(v), t.span))
             }
             TokenKind::Str(s) => {
                 self.pos += 1;
@@ -1238,13 +1238,15 @@ impl Parser {
                     span = span.to(self.peek().span);
                     self.pos += 1;
                 }
-                Ok(Expr::new(ExprKind::StrLit(full), span))
+                Ok(self.ast.alloc_expr(ExprKind::StrLit(Symbol::intern(&full)), span))
             }
             TokenKind::Punct(Punct::LParen) => {
                 self.pos += 1;
                 let e = self.parse_expr()?;
                 let end = self.expect_punct(Punct::RParen)?;
-                Ok(Expr::new(e.kind, t.span.to(end)))
+                // Widen the node's span to include the parentheses.
+                self.ast.set_expr_span(e, t.span.to(end));
+                Ok(e)
             }
             other => Err(self.err(format!("expected expression, found `{other}`"))),
         }
@@ -1264,30 +1266,26 @@ mod tests {
         parse_translation_unit("t.c", src).unwrap_err()
     }
 
-    #[test]
-    fn simple_global() {
-        let tu = parse("int x;");
-        assert_eq!(tu.items.len(), 1);
-        match &tu.items[0] {
-            Item::Decl(d) => {
-                assert_eq!(d.declarators[0].declarator.name.as_deref(), Some("x"));
-                assert_eq!(d.specs.ty, TypeSpec::Int { signed: true, size: IntSize::Int });
-            }
+    fn decl<'a>(tu: &'a TranslationUnit, i: usize) -> &'a Declaration {
+        match &tu.items[i] {
+            Item::Decl(d) => tu.arena.decl(*d),
             _ => panic!("expected decl"),
         }
     }
 
     #[test]
+    fn simple_global() {
+        let tu = parse("int x;");
+        assert_eq!(tu.items.len(), 1);
+        let d = decl(&tu, 0);
+        assert_eq!(d.declarators[0].declarator.name.unwrap(), "x");
+        assert_eq!(d.specs.ty, TypeSpec::Int { signed: true, size: IntSize::Int });
+    }
+
+    #[test]
     fn multi_word_types() {
         let tu = parse("unsigned long a; short int b; signed char c; long double d; unsigned u;");
-        let tys: Vec<_> = tu
-            .items
-            .iter()
-            .map(|i| match i {
-                Item::Decl(d) => d.specs.ty.clone(),
-                _ => panic!(),
-            })
-            .collect();
+        let tys: Vec<_> = (0..5).map(|i| decl(&tu, i).specs.ty.clone()).collect();
         assert_eq!(tys[0], TypeSpec::Int { signed: false, size: IntSize::Long });
         assert_eq!(tys[1], TypeSpec::Int { signed: true, size: IntSize::Short });
         assert_eq!(tys[2], TypeSpec::Char { signed: Some(true) });
@@ -1298,10 +1296,7 @@ mod tests {
     #[test]
     fn pointer_declarators() {
         let tu = parse("char **p; char *a[3]; char (*pa)[10]; int (*fp)(int, char *);");
-        let get = |i: usize| match &tu.items[i] {
-            Item::Decl(d) => d.declarators[0].declarator.clone(),
-            _ => panic!(),
-        };
+        let get = |i: usize| decl(&tu, i).declarators[0].declarator.clone();
         let p = get(0);
         assert_eq!(p.derived.len(), 2);
         assert!(matches!(p.derived[0], Derived::Pointer { .. }));
@@ -1325,7 +1320,7 @@ mod tests {
                 let (params, variadic) = f.declarator.function_params().unwrap();
                 assert_eq!(params.len(), 2);
                 assert!(!variadic);
-                assert_eq!(params[0].name(), Some("a"));
+                assert_eq!(params[0].name().unwrap(), "a");
             }
             _ => panic!("expected function"),
         }
@@ -1346,13 +1341,9 @@ mod tests {
     #[test]
     fn variadic_prototype() {
         let tu = parse("extern int printf(char *fmt, ...);");
-        match &tu.items[0] {
-            Item::Decl(d) => {
-                let (_, variadic) = d.declarators[0].declarator.function_params().unwrap();
-                assert!(variadic);
-            }
-            _ => panic!(),
-        }
+        let d = decl(&tu, 0);
+        let (_, variadic) = d.declarators[0].declarator.function_params().unwrap();
+        assert!(variadic);
     }
 
     #[test]
@@ -1370,24 +1361,16 @@ mod tests {
     #[test]
     fn malloc_signature() {
         let tu = parse("/*@null@*/ /*@out@*/ /*@only@*/ void *malloc(size_t size);");
-        match &tu.items[0] {
-            Item::Decl(d) => {
-                let a = &d.specs.annots;
-                assert!(a.null().is_some());
-                assert!(a.def().is_some());
-                assert!(a.alloc().is_some());
-            }
-            _ => panic!(),
-        }
+        let a = &decl(&tu, 0).specs.annots;
+        assert!(a.null().is_some());
+        assert!(a.def().is_some());
+        assert!(a.alloc().is_some());
     }
 
     #[test]
     fn combined_annotation_comment() {
         let tu = parse("/*@null out only@*/ void *malloc(size_t size);");
-        match &tu.items[0] {
-            Item::Decl(d) => assert_eq!(d.specs.annots.len(), 3),
-            _ => panic!(),
-        }
+        assert_eq!(decl(&tu, 0).specs.annots.len(), 3);
     }
 
     #[test]
@@ -1397,18 +1380,19 @@ mod tests {
              void f(void) { list l; l = (list) 0; }",
         );
         assert_eq!(tu.items.len(), 2);
+        let ast = &tu.arena;
         // The cast must have parsed as a cast, not a call.
         match &tu.items[1] {
             Item::Function(f) => {
-                let body = match &f.body.kind {
+                let body = match ast.stmt(f.body) {
                     StmtKind::Compound(items) => items,
                     _ => panic!(),
                 };
                 match &body[1] {
-                    BlockItem::Stmt(s) => match &s.kind {
-                        StmtKind::Expr(e) => match &e.kind {
+                    BlockItem::Stmt(s) => match ast.stmt(*s) {
+                        StmtKind::Expr(e) => match ast.expr(*e) {
                             ExprKind::Assign(_, _, rhs) => {
-                                assert!(matches!(rhs.kind, ExprKind::Cast(_, _)));
+                                assert!(matches!(ast.expr(*rhs), ExprKind::Cast(_, _)));
                             }
                             _ => panic!("expected assign"),
                         },
@@ -1456,15 +1440,12 @@ void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
     #[test]
     fn struct_fields_with_annotations() {
         let tu = parse("typedef struct { /*@null@*/ int *vals; int size; } *erc;");
-        match &tu.items[0] {
-            Item::Decl(d) => match &d.specs.ty {
-                TypeSpec::Struct(s) => {
-                    let fields = s.fields.as_ref().unwrap();
-                    assert_eq!(fields.len(), 2);
-                    assert!(fields[0].specs.annots.null().is_some());
-                }
-                _ => panic!(),
-            },
+        match &decl(&tu, 0).specs.ty {
+            TypeSpec::Struct(s) => {
+                let fields = s.fields.as_ref().unwrap();
+                assert_eq!(fields.len(), 2);
+                assert!(fields[0].specs.annots.null().is_some());
+            }
             _ => panic!(),
         }
     }
@@ -1472,19 +1453,16 @@ void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
     #[test]
     fn expressions_precedence() {
         let tu = parse("int x = 1 + 2 * 3 == 7 && 4 < 5;");
-        match &tu.items[0] {
-            Item::Decl(d) => {
-                let init = d.declarators[0].init.as_ref().unwrap();
-                match init {
-                    Initializer::Expr(e) => match &e.kind {
-                        ExprKind::Binary(BinOp::LogAnd, l, _) => {
-                            assert!(matches!(l.kind, ExprKind::Binary(BinOp::Eq, _, _)));
-                        }
-                        other => panic!("unexpected: {other:?}"),
-                    },
-                    _ => panic!(),
+        let ast = &tu.arena;
+        let d = decl(&tu, 0);
+        let init = d.declarators[0].init.as_ref().unwrap();
+        match init {
+            Initializer::Expr(e) => match ast.expr(*e) {
+                ExprKind::Binary(BinOp::LogAnd, l, _) => {
+                    assert!(matches!(ast.expr(*l), ExprKind::Binary(BinOp::Eq, _, _)));
                 }
-            }
+                other => panic!("unexpected: {other:?}"),
+            },
             _ => panic!(),
         }
     }
@@ -1517,13 +1495,10 @@ void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
     #[test]
     fn string_concatenation() {
         let tu = parse("char *s = \"ab\" \"cd\";");
-        match &tu.items[0] {
-            Item::Decl(d) => match d.declarators[0].init.as_ref().unwrap() {
-                Initializer::Expr(e) => {
-                    assert_eq!(e.kind, ExprKind::StrLit("abcd".into()));
-                }
-                _ => panic!(),
-            },
+        match decl(&tu, 0).declarators[0].init.as_ref().unwrap() {
+            Initializer::Expr(e) => {
+                assert_eq!(*tu.arena.expr(*e), ExprKind::StrLit(Symbol::intern("abcd")));
+            }
             _ => panic!(),
         }
     }
@@ -1531,16 +1506,13 @@ void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
     #[test]
     fn enum_declaration() {
         let tu = parse("enum color { RED, GREEN = 5, BLUE };");
-        match &tu.items[0] {
-            Item::Decl(d) => match &d.specs.ty {
-                TypeSpec::Enum(e) => {
-                    let vs = e.variants.as_ref().unwrap();
-                    assert_eq!(vs.len(), 3);
-                    assert_eq!(vs[1].0, "GREEN");
-                    assert!(vs[1].1.is_some());
-                }
-                _ => panic!(),
-            },
+        match &decl(&tu, 0).specs.ty {
+            TypeSpec::Enum(e) => {
+                let vs = e.variants.as_ref().unwrap();
+                assert_eq!(vs.len(), 3);
+                assert_eq!(vs[1].0, "GREEN");
+                assert!(vs[1].1.is_some());
+            }
             _ => panic!(),
         }
     }
@@ -1575,10 +1547,7 @@ void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
     #[test]
     fn multiple_declarators() {
         let tu = parse("int a, *b, c[4];");
-        match &tu.items[0] {
-            Item::Decl(d) => assert_eq!(d.declarators.len(), 3),
-            _ => panic!(),
-        }
+        assert_eq!(decl(&tu, 0).declarators.len(), 3);
     }
 
     #[test]
@@ -1594,13 +1563,8 @@ void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
     fn annotated_pointer_levels() {
         // Annotation between stars applies to that pointer level.
         let tu = parse("char * /*@null@*/ * p;");
-        match &tu.items[0] {
-            Item::Decl(d) => {
-                let dcl = &d.declarators[0].declarator;
-                assert_eq!(dcl.derived.len(), 2);
-            }
-            _ => panic!(),
-        }
+        let dcl = &decl(&tu, 0).declarators[0].declarator;
+        assert_eq!(dcl.derived.len(), 2);
     }
 
     #[test]
@@ -1611,14 +1575,9 @@ void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
     #[test]
     fn function_returning_pointer() {
         let tu = parse("char *dup(const char *s);");
-        match &tu.items[0] {
-            Item::Decl(d) => {
-                let dcl = &d.declarators[0].declarator;
-                assert!(matches!(dcl.derived[0], Derived::Function { .. }));
-                assert!(matches!(dcl.derived[1], Derived::Pointer { .. }));
-            }
-            _ => panic!(),
-        }
+        let dcl = &decl(&tu, 0).declarators[0].declarator;
+        assert!(matches!(dcl.derived[0], Derived::Function { .. }));
+        assert!(matches!(dcl.derived[1], Derived::Pointer { .. }));
     }
 
     // -- error recovery -----------------------------------------------------
@@ -1635,7 +1594,7 @@ void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
         assert_eq!(tu.items.len(), 1);
         match &tu.items[0] {
             Item::Decl(d) => {
-                assert_eq!(d.declarators[0].declarator.name.as_deref(), Some("ok"))
+                assert_eq!(tu.arena.decl(*d).declarators[0].declarator.name.unwrap(), "ok")
             }
             _ => panic!("expected decl"),
         }
@@ -1649,7 +1608,7 @@ void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
         assert!(errors[0].message.contains("expected expression"));
         assert_eq!(tu.items.len(), 1);
         match &tu.items[0] {
-            Item::Function(f) => assert_eq!(f.declarator.name.as_deref(), Some("good")),
+            Item::Function(f) => assert_eq!(f.declarator.name.unwrap(), "good"),
             _ => panic!("expected function"),
         }
     }

@@ -2,14 +2,14 @@
 //!
 //! Used by the corpus generator (programs are built as ASTs and emitted as
 //! text) and by round-trip property tests (`parse(print(ast)) == ast` up to
-//! spans).
+//! spans). Printers walk the flat [`Ast`] arena by id.
 
 use crate::ast::*;
 use std::fmt::Write;
 
 /// Pretty-prints a translation unit to C source.
 pub fn pretty_print(tu: &TranslationUnit) -> String {
-    let mut p = Printer::new();
+    let mut p = Printer::new(&tu.arena);
     for item in &tu.items {
         p.item(item);
         p.out.push('\n');
@@ -19,30 +19,31 @@ pub fn pretty_print(tu: &TranslationUnit) -> String {
 
 /// Pretty-prints a single function definition (specifiers, declarator with
 /// its annotations, and body). This is the canonical span-free rendering the
-/// incremental cache hashes, so it must cover everything that can change a
-/// function's checking — see `lclint_syntax::stable_hash`.
-pub fn pretty_print_function(f: &FunctionDef) -> String {
-    let mut p = Printer::new();
+/// incremental cache used to hash; kept both for diagnostics and as the
+/// reference the structural fingerprint is benchmarked against — see
+/// `lclint_syntax::stable_hash`.
+pub fn pretty_print_function(ast: &Ast, f: &FunctionDef) -> String {
+    let mut p = Printer::new(ast);
     p.specs(&f.specs);
     p.out.push(' ');
     p.declarator(&f.declarator);
     p.out.push('\n');
-    p.stmt(&f.body);
+    p.stmt(f.body);
     p.out
 }
 
 /// Pretty-prints a single top-level declaration (prototype, global,
 /// typedef, struct definition).
-pub fn pretty_print_declaration(d: &Declaration) -> String {
-    let mut p = Printer::new();
+pub fn pretty_print_declaration(ast: &Ast, d: &Declaration) -> String {
+    let mut p = Printer::new(ast);
     p.declaration(d);
     p.out
 }
 
 /// Pretty-prints one struct/union member declaration as a single line
 /// (no indentation, no trailing newline).
-pub fn pretty_print_field(f: &FieldDecl) -> String {
-    let mut p = Printer::new();
+pub fn pretty_print_field(ast: &Ast, f: &FieldDecl) -> String {
+    let mut p = Printer::new(ast);
     p.specs(&f.specs);
     let mut first = true;
     for d in &f.declarators {
@@ -58,14 +59,15 @@ pub fn pretty_print_field(f: &FieldDecl) -> String {
     p.out
 }
 
-struct Printer {
+struct Printer<'a> {
+    ast: &'a Ast,
     out: String,
     indent: usize,
 }
 
-impl Printer {
-    fn new() -> Self {
-        Printer { out: String::new(), indent: 0 }
+impl<'a> Printer<'a> {
+    fn new(ast: &'a Ast) -> Self {
+        Printer { ast, out: String::new(), indent: 0 }
     }
 
     fn pad(&mut self) {
@@ -81,9 +83,9 @@ impl Printer {
                 self.out.push(' ');
                 self.declarator(&f.declarator);
                 self.out.push('\n');
-                self.stmt(&f.body);
+                self.stmt(f.body);
             }
-            Item::Decl(d) => self.declaration(d),
+            Item::Decl(d) => self.declaration(self.ast.decl(*d)),
         }
     }
 
@@ -147,7 +149,7 @@ impl Printer {
             }
             TypeSpec::Float => self.out.push_str("float"),
             TypeSpec::Double => self.out.push_str("double"),
-            TypeSpec::Named(n) => self.out.push_str(n),
+            TypeSpec::Named(n) => self.out.push_str(n.as_str()),
             TypeSpec::Struct(s) => {
                 self.out.push_str(if s.is_union { "union" } else { "struct" });
                 if let Some(n) = &s.name {
@@ -189,10 +191,10 @@ impl Printer {
                             self.out.push_str(", ");
                         }
                         first = false;
-                        self.out.push_str(n);
+                        self.out.push_str(n.as_str());
                         if let Some(v) = v {
                             self.out.push_str(" = ");
-                            self.expr(v);
+                            self.expr(*v);
                         }
                     }
                     self.out.push_str(" }");
@@ -205,11 +207,11 @@ impl Printer {
     /// reconstructs C's inside-out syntax, inserting parentheses when a
     /// pointer is applied before an array/function part.
     fn declarator(&mut self, d: &Declarator) {
-        let inner = Self::declarator_str(d.name.as_deref(), &d.derived);
+        let inner = self.declarator_str(d.name.map(|n| n.as_str()), &d.derived);
         self.out.push_str(&inner);
     }
 
-    fn declarator_str(name: Option<&str>, derived: &[Derived]) -> String {
+    fn declarator_str(&self, name: Option<&str>, derived: &[Derived]) -> String {
         // derived[0] binds tightest to the name, so apply parts in order,
         // wrapping the accumulated string.
         let mut s = name.unwrap_or("").to_owned();
@@ -235,8 +237,8 @@ impl Printer {
                     }
                     match sz {
                         Some(e) => {
-                            let mut p = Printer::new();
-                            p.expr(e);
+                            let mut p = Printer::new(self.ast);
+                            p.expr(*e);
                             s = format!("{s}[{}]", p.out);
                         }
                         None => s = format!("{s}[]"),
@@ -250,10 +252,10 @@ impl Printer {
                     let mut ps: Vec<String> = params
                         .iter()
                         .map(|p| {
-                            let mut pr = Printer::new();
+                            let mut pr = Printer::new(self.ast);
                             pr.specs(&p.specs);
-                            let d = Self::declarator_str(
-                                p.declarator.name.as_deref(),
+                            let d = self.declarator_str(
+                                p.declarator.name.map(|n| n.as_str()),
                                 &p.declarator.derived,
                             );
                             if d.is_empty() {
@@ -276,7 +278,7 @@ impl Printer {
                             if g.undef {
                                 words.push("undef".to_owned());
                             }
-                            words.push(g.name.clone());
+                            words.push(g.name.as_str().to_owned());
                         }
                         s = format!("{s} /*@globals {}@*/", words.join(" "));
                     }
@@ -289,7 +291,7 @@ impl Printer {
 
     fn initializer(&mut self, init: &Initializer) {
         match init {
-            Initializer::Expr(e) => self.expr(e),
+            Initializer::Expr(e) => self.expr(*e),
             Initializer::List(items) => {
                 self.out.push_str("{ ");
                 let mut first = true;
@@ -305,16 +307,16 @@ impl Printer {
         }
     }
 
-    fn stmt(&mut self, s: &Stmt) {
-        match &s.kind {
+    fn stmt(&mut self, s: StmtId) {
+        match self.ast.stmt(s) {
             StmtKind::Compound(items) => {
                 self.pad();
                 self.out.push_str("{\n");
                 self.indent += 1;
                 for item in items {
                     match item {
-                        BlockItem::Decl(d) => self.declaration(d),
-                        BlockItem::Stmt(s) => self.stmt(s),
+                        BlockItem::Decl(d) => self.declaration(self.ast.decl(*d)),
+                        BlockItem::Stmt(s) => self.stmt(*s),
                     }
                 }
                 self.indent -= 1;
@@ -323,7 +325,7 @@ impl Printer {
             }
             StmtKind::Expr(e) => {
                 self.pad();
-                self.expr(e);
+                self.expr(*e);
                 self.out.push_str(";\n");
             }
             StmtKind::Empty => {
@@ -333,29 +335,29 @@ impl Printer {
             StmtKind::If { cond, then_branch, else_branch } => {
                 self.pad();
                 self.out.push_str("if (");
-                self.expr(cond);
+                self.expr(*cond);
                 self.out.push_str(")\n");
-                self.nested(then_branch);
+                self.nested(*then_branch);
                 if let Some(e) = else_branch {
                     self.pad();
                     self.out.push_str("else\n");
-                    self.nested(e);
+                    self.nested(*e);
                 }
             }
             StmtKind::While { cond, body } => {
                 self.pad();
                 self.out.push_str("while (");
-                self.expr(cond);
+                self.expr(*cond);
                 self.out.push_str(")\n");
-                self.nested(body);
+                self.nested(*body);
             }
             StmtKind::DoWhile { body, cond } => {
                 self.pad();
                 self.out.push_str("do\n");
-                self.nested(body);
+                self.nested(*body);
                 self.pad();
                 self.out.push_str("while (");
-                self.expr(cond);
+                self.expr(*cond);
                 self.out.push_str(");\n");
             }
             StmtKind::For { init, cond, step, body } => {
@@ -363,13 +365,13 @@ impl Printer {
                 self.out.push_str("for (");
                 match init {
                     Some(ForInit::Expr(e)) => {
-                        self.expr(e);
+                        self.expr(*e);
                         self.out.push_str("; ");
                     }
                     Some(ForInit::Decl(d)) => {
                         // Inline declaration without trailing newline.
-                        let mut p = Printer::new();
-                        p.declaration(d);
+                        let mut p = Printer::new(self.ast);
+                        p.declaration(self.ast.decl(*d));
                         let txt = p.out.trim_end().to_owned();
                         self.out.push_str(&txt);
                         self.out.push(' ');
@@ -377,33 +379,33 @@ impl Printer {
                     None => self.out.push_str("; "),
                 }
                 if let Some(c) = cond {
-                    self.expr(c);
+                    self.expr(*c);
                 }
                 self.out.push_str("; ");
                 if let Some(st) = step {
-                    self.expr(st);
+                    self.expr(*st);
                 }
                 self.out.push_str(")\n");
-                self.nested(body);
+                self.nested(*body);
             }
             StmtKind::Switch { cond, body } => {
                 self.pad();
                 self.out.push_str("switch (");
-                self.expr(cond);
+                self.expr(*cond);
                 self.out.push_str(")\n");
-                self.nested(body);
+                self.nested(*body);
             }
             StmtKind::Case { value, stmt } => {
                 self.pad();
                 self.out.push_str("case ");
-                self.expr(value);
+                self.expr(*value);
                 self.out.push_str(":\n");
-                self.nested(stmt);
+                self.nested(*stmt);
             }
             StmtKind::Default(stmt) => {
                 self.pad();
                 self.out.push_str("default:\n");
-                self.nested(stmt);
+                self.nested(*stmt);
             }
             StmtKind::Break => {
                 self.pad();
@@ -418,14 +420,14 @@ impl Printer {
                 self.out.push_str("return");
                 if let Some(e) = v {
                     self.out.push(' ');
-                    self.expr(e);
+                    self.expr(*e);
                 }
                 self.out.push_str(";\n");
             }
             StmtKind::Label { name, stmt } => {
                 self.pad();
                 let _ = writeln!(self.out, "{name}:");
-                self.stmt(stmt);
+                self.stmt(*stmt);
             }
             StmtKind::Goto(name) => {
                 self.pad();
@@ -434,8 +436,8 @@ impl Printer {
         }
     }
 
-    fn nested(&mut self, s: &Stmt) {
-        if matches!(s.kind, StmtKind::Compound(_)) {
+    fn nested(&mut self, s: StmtId) {
+        if matches!(self.ast.stmt(s), StmtKind::Compound(_)) {
             self.stmt(s);
         } else {
             self.indent += 1;
@@ -444,9 +446,9 @@ impl Printer {
         }
     }
 
-    fn expr(&mut self, e: &Expr) {
-        match &e.kind {
-            ExprKind::Ident(n) => self.out.push_str(n),
+    fn expr(&mut self, e: ExprId) {
+        match self.ast.expr(e) {
+            ExprKind::Ident(n) => self.out.push_str(n.as_str()),
             ExprKind::IntLit(v) => {
                 let _ = write!(self.out, "{v}");
             }
@@ -469,39 +471,39 @@ impl Printer {
                 }
             }
             ExprKind::StrLit(s) => {
-                let _ = write!(self.out, "\"{}\"", s.escape_default());
+                let _ = write!(self.out, "\"{}\"", s.as_str().escape_default());
             }
             ExprKind::Unary(op, inner) => {
                 let _ = write!(self.out, "{}", op.as_str());
-                self.paren_expr(inner);
+                self.paren_expr(*inner);
             }
             ExprKind::PreIncDec(op, inner) => {
                 let _ = write!(self.out, "{}", op.as_str());
-                self.paren_expr(inner);
+                self.paren_expr(*inner);
             }
             ExprKind::PostIncDec(op, inner) => {
-                self.paren_expr(inner);
+                self.paren_expr(*inner);
                 let _ = write!(self.out, "{}", op.as_str());
             }
             ExprKind::Binary(op, l, r) => {
-                self.paren_expr(l);
+                self.paren_expr(*l);
                 let _ = write!(self.out, " {} ", op.as_str());
-                self.paren_expr(r);
+                self.paren_expr(*r);
             }
             ExprKind::Assign(op, l, r) => {
-                self.paren_expr(l);
+                self.paren_expr(*l);
                 let _ = write!(self.out, " {} ", op.as_str());
-                self.paren_expr(r);
+                self.paren_expr(*r);
             }
             ExprKind::Cond(c, t, f) => {
-                self.paren_expr(c);
+                self.paren_expr(*c);
                 self.out.push_str(" ? ");
-                self.paren_expr(t);
+                self.paren_expr(*t);
                 self.out.push_str(" : ");
-                self.paren_expr(f);
+                self.paren_expr(*f);
             }
             ExprKind::Call(f, args) => {
-                self.paren_expr(f);
+                self.paren_expr(*f);
                 self.out.push('(');
                 let mut first = true;
                 for a in args {
@@ -509,29 +511,29 @@ impl Printer {
                         self.out.push_str(", ");
                     }
                     first = false;
-                    self.expr(a);
+                    self.expr(*a);
                 }
                 self.out.push(')');
             }
             ExprKind::Member { base, field, arrow } => {
-                self.paren_expr(base);
+                self.paren_expr(*base);
                 let _ = write!(self.out, "{}{field}", if *arrow { "->" } else { "." });
             }
             ExprKind::Index(b, i) => {
-                self.paren_expr(b);
+                self.paren_expr(*b);
                 self.out.push('[');
-                self.expr(i);
+                self.expr(*i);
                 self.out.push(']');
             }
             ExprKind::Cast(tn, inner) => {
                 self.out.push('(');
                 self.type_name(tn);
                 self.out.push_str(") ");
-                self.paren_expr(inner);
+                self.paren_expr(*inner);
             }
             ExprKind::SizeofExpr(inner) => {
                 self.out.push_str("sizeof(");
-                self.expr(inner);
+                self.expr(*inner);
                 self.out.push(')');
             }
             ExprKind::SizeofType(tn) => {
@@ -541,9 +543,9 @@ impl Printer {
             }
             ExprKind::Comma(l, r) => {
                 self.out.push('(');
-                self.expr(l);
+                self.expr(*l);
                 self.out.push_str(", ");
-                self.expr(r);
+                self.expr(*r);
                 self.out.push(')');
             }
         }
@@ -551,9 +553,9 @@ impl Printer {
 
     /// Prints a subexpression, adding parentheses for anything that is not
     /// atomic (conservative but always correct).
-    fn paren_expr(&mut self, e: &Expr) {
+    fn paren_expr(&mut self, e: ExprId) {
         let atomic = matches!(
-            e.kind,
+            self.ast.expr(e),
             ExprKind::Ident(_)
                 | ExprKind::IntLit(_)
                 | ExprKind::FloatLit(_)
@@ -574,7 +576,7 @@ impl Printer {
 
     fn type_name(&mut self, tn: &TypeName) {
         self.specs(&tn.specs);
-        let d = Self::declarator_str(None, &tn.declarator.derived);
+        let d = self.declarator_str(None, &tn.declarator.derived);
         if !d.is_empty() {
             self.out.push(' ');
             self.out.push_str(&d);
