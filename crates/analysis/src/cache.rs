@@ -34,10 +34,10 @@ use crate::diag::{DiagKind, Diagnostic, Note};
 use crate::options::AnalysisOptions;
 use lclint_sema::deps::{digest_deps, DepSet};
 use lclint_sema::{CheckedFunction, Program};
+use lclint_syntax::fx::FxHashMap;
 use lclint_syntax::span::Span;
 use lclint_syntax::stable_hash::{function_def_hash, StableHasher};
 use lclint_syntax::Symbol;
-use lclint_syntax::fx::FxHashMap;
 
 /// One freshly checked definition: its index, diagnostics, and recorded
 /// dependencies (`None` when the check degraded and must not be cached).
@@ -204,6 +204,11 @@ impl CheckCache {
     pub fn insert_entry(&mut self, name: Symbol, entry: CacheEntry) {
         self.entries.insert(name, entry);
     }
+
+    /// The stored entry for a function, if any.
+    pub fn entry(&self, name: Symbol) -> Option<&CacheEntry> {
+        self.entries.get(&name)
+    }
 }
 
 /// The candidate fingerprint for `def` under the current program: combine
@@ -361,14 +366,47 @@ pub fn check_program_cached(
     lib_digest: u64,
     cache: &mut CheckCache,
 ) -> Vec<Diagnostic> {
+    let indices: Vec<usize> = (0..program.defs.len()).collect();
+    let mut slots: Vec<Option<Vec<Diagnostic>>> = vec![None; program.defs.len()];
+    check_program_cached_slots(program, opts, lib_digest, cache, &indices, &mut slots);
+    slots.into_iter().flatten().flatten().collect()
+}
+
+/// The slot-filling core of [`check_program_cached`], restricted to a
+/// subset of definitions: probes and (re-)checks exactly the definitions
+/// at `indices`, writing each one's diagnostics into `slots[i]` and
+/// leaving every other slot untouched. Callers that can prove the other
+/// definitions' results unchanged (incremental sessions with a dirty set)
+/// pre-fill those slots and skip even the probe cost.
+///
+/// Returns the indices (ascending) of *unstable* results: definitions
+/// whose outcome is not backed by a validated cache entry this run —
+/// degraded by the fault guard or unanchorable. An incremental caller must
+/// treat these as dirty on every subsequent run, because nothing recorded
+/// can prove them unchanged.
+///
+/// `indices` must be sorted ascending; diagnostics within each slot are in
+/// check order, so concatenating filled slots in index order reproduces
+/// [`check_program`]'s output byte-for-byte for any job count.
+///
+/// [`check_program`]: crate::checker::check_program
+pub fn check_program_cached_slots(
+    program: &Program,
+    opts: &AnalysisOptions,
+    lib_digest: u64,
+    cache: &mut CheckCache,
+    indices: &[usize],
+    slots: &mut [Option<Vec<Diagnostic>>],
+) -> Vec<usize> {
     let od = options_digest(opts);
     let defs = &program.defs;
-    let mut slots: Vec<Option<Vec<Diagnostic>>> = vec![None; defs.len()];
     let mut misses: Vec<usize> = Vec::new();
+    let mut unstable: Vec<usize> = Vec::new();
 
     // Phase 1 — sequential probe. Hashing and digesting are orders of
     // magnitude cheaper than checking, so this is not worth parallelizing.
-    for (i, def) in defs.iter().enumerate() {
+    for &i in indices {
+        let def = &defs[i];
         let body_hash = function_def_hash(&def.arena, &def.ast);
         match cache.entries.get(&def.sig.name) {
             Some(entry) => {
@@ -421,15 +459,21 @@ pub fn check_program_cached(
                         .entries
                         .insert(def.sig.name, CacheEntry { fingerprint: fp, deps, diags: reloc });
                 }
-                None => cache.stats.uncacheable += 1,
+                None => {
+                    cache.stats.uncacheable += 1;
+                    unstable.push(i);
+                }
             },
-            None => cache.stats.degraded += 1,
+            None => {
+                cache.stats.degraded += 1;
+                unstable.push(i);
+            }
         }
         cache.stats.checked.push(def.sig.name.to_string());
         slots[i] = Some(diags);
     }
 
-    slots.into_iter().flatten().flatten().collect()
+    unstable
 }
 
 #[cfg(feature = "parallel")]
@@ -466,8 +510,7 @@ fn check_misses_parallel(
             .collect();
         handles.into_iter().map(|h| h.join().expect("checker worker panicked")).collect()
     });
-    let mut flat: Vec<FreshResult> =
-        per_worker.into_iter().flatten().collect();
+    let mut flat: Vec<FreshResult> = per_worker.into_iter().flatten().collect();
     // Deterministic order for phase 3 (stores and `checked` names).
     flat.sort_by_key(|(i, _, _)| *i);
     flat

@@ -11,9 +11,9 @@ use lclint_cfg::{Action, Cfg};
 use lclint_sema::{CheckedFunction, FunctionSig, LocalScope, Program, QualType, Type};
 use lclint_syntax::annot::{DefAnnot, NullAnnot};
 use lclint_syntax::ast::*;
+use lclint_syntax::fx::{FxHashMap, FxHashSet};
 use lclint_syntax::span::Span;
 use lclint_syntax::Symbol;
-use lclint_syntax::fx::{FxHashMap, FxHashSet};
 
 /// Checks every function definition in `program`, returning all diagnostics
 /// in source order.
@@ -307,10 +307,8 @@ impl<'p> Checker<'p> {
                 Some(n) => n,
                 None => continue,
             };
-            let local =
-                self.table.intern_typed(Path::root(RefBase::Param(i, name)), p.ty.clone());
-            let shadow =
-                self.table.intern_typed(Path::root(RefBase::Arg(i, name)), p.ty.clone());
+            let local = self.table.intern_typed(Path::root(RefBase::Param(i, name)), p.ty.clone());
+            let shadow = self.table.intern_typed(Path::root(RefBase::Arg(i, name)), p.ty.clone());
             let st = self.entry_param_state(&p.ty, fn_span);
             let is_out = p.ty.annots.def() == Some(DefAnnot::Out);
             env.set(local, st.clone());

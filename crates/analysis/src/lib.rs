@@ -41,7 +41,8 @@ pub mod refs;
 pub mod state;
 
 pub use cache::{
-    check_program_cached, options_digest, CacheStats, CheckCache, CACHE_FORMAT_VERSION,
+    check_program_cached, check_program_cached_slots, options_digest, CacheStats, CheckCache,
+    CACHE_FORMAT_VERSION,
 };
 pub use checker::{check_function, check_function_isolated, check_program, FunctionOutcome};
 pub use diag::{DiagKind, Diagnostic, Note};

@@ -10,8 +10,8 @@
 //! the local aliases the shadow.
 
 use lclint_sema::QualType;
-use lclint_syntax::Symbol;
 use lclint_syntax::fx::FxHashMap;
+use lclint_syntax::Symbol;
 use std::fmt;
 
 /// Identifies an interned reference within one function analysis.

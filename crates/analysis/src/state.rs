@@ -6,9 +6,9 @@
 //! (corresponding to the allocation annotation, e.g., only, temp)."
 
 use crate::diag::{DiagKind, Diagnostic};
-use lclint_syntax::fx::FxHashMap;
 use crate::refs::{RefId, RefTable};
 use lclint_syntax::annot::{AllocAnnot, DefAnnot, NullAnnot};
+use lclint_syntax::fx::FxHashMap;
 use lclint_syntax::span::Span;
 use std::collections::BTreeSet;
 use std::fmt;

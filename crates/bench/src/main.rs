@@ -6,10 +6,11 @@
 //! ```
 
 use lclint_bench::{
-    annotation_sweep, database_table, detection_table, figure_table, incremental_table,
-    inference_table, library_speedup, par_speedup_table, resilience_table, scaling_table,
-    soundness_table, stdlib_cache_stats, throughput_table, IncrRow, InferRow, ResilienceReport,
-    SoundnessClean, SoundnessRow, ThroughputRow, PRE_FLAT_BASELINE_MS_100K,
+    annotation_sweep, daemon_table, database_table, detection_table, figure_table,
+    incremental_table, inference_table, library_speedup, par_speedup_table, resilience_table,
+    scaling_table, soundness_table, stdlib_cache_stats, throughput_table, DaemonRow, IncrRow,
+    InferRow, ResilienceReport, SoundnessClean, SoundnessRow, ThroughputRow, PR6_PARSE_MS_100K,
+    PRE_FLAT_BASELINE_MS_100K,
 };
 
 fn main() {
@@ -294,6 +295,40 @@ fn main() {
         PRE_FLAT_BASELINE_MS_100K / 2.0
     );
 
+    // E17 ---------------------------------------------------------------------
+    let (daemon_loc, daemon_files, daemon_edits) =
+        if quick { (10_000, 10, 40) } else { (100_000, 50, 200) };
+    println!(
+        "\nE17. Daemon edit-to-diagnostic latency \
+         ({daemon_loc} LOC across {daemon_files} files)\n"
+    );
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>8} {:>8} {:>10}",
+        "scenario", "requests", "p50 ms", "p99 ms", "rps", "patches", "identical"
+    );
+    let daemon = daemon_table(daemon_loc, daemon_files, daemon_edits);
+    for row in &daemon {
+        println!(
+            "{:<22} {:>9} {:>9.2} {:>9.2} {:>8.1} {:>8} {:>10}",
+            row.scenario,
+            row.requests,
+            row.p50_ms,
+            row.p99_ms,
+            row.rps,
+            row.fast_patches,
+            row.byte_identical
+        );
+    }
+    let cold_parse = daemon[0].parse_ms;
+    println!(
+        "\n  warm sessions keep the parsed program, check cache, and stdlib\n\
+         \u{20}  resident; an edit re-checks only the dirty functions. Cold\n\
+         \u{20}  preprocess+parse: {cold_parse:.1} ms vs the PR6 snapshot's \
+         {PR6_PARSE_MS_100K:.1} ms\n\
+         \u{20}  ({:+.1}%). Every response is byte-identical to a cold batch run.",
+        (cold_parse - PR6_PARSE_MS_100K) / PR6_PARSE_MS_100K * 100.0
+    );
+
     if let Some(path) = json_path {
         let blob = serde_json::json!({
             "figures": figs,
@@ -309,6 +344,7 @@ fn main() {
             "soundness_clean": soundness_clean,
             "resilience": resilience,
             "throughput": throughput,
+            "daemon": daemon,
         });
         std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serializes"))
             .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
@@ -356,7 +392,48 @@ fn main() {
             Ok(()) => println!("throughput snapshot written to {}", snap.display()),
             Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
         }
+
+        // Snapshot of the daemon latency run, likewise hand rendered.
+        let snap =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_PR7.json");
+        match std::fs::write(&snap, render_daemon_snapshot(&daemon, daemon_loc, daemon_files)) {
+            Ok(()) => println!("daemon snapshot written to {}", snap.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
+        }
     }
+}
+
+/// Renders the E17 table as a JSON document without going through a
+/// serializer (offline builds stub `serde_json`).
+fn render_daemon_snapshot(rows: &[DaemonRow], loc: usize, files: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"daemon-edit-to-diagnostic\",\n");
+    out.push_str(&format!("  \"target_loc\": {loc},\n"));
+    out.push_str(&format!("  \"file_count\": {files},\n"));
+    out.push_str(&format!("  \"pr6_parse_ms_100k\": {PR6_PARSE_MS_100K:.3},\n"));
+    out.push_str(
+        "  \"bars\": {\"warm_one_edit_p50_ms\": 10.0, \"throughput_4_clients_rps\": 100.0},\n",
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"requests\": {}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"rps\": {:.1}, \"byte_identical\": {}, \
+             \"fast_patches\": {}, \"parse_ms\": {:.3}}}{}\n",
+            r.scenario,
+            r.requests,
+            r.p50_ms,
+            r.p99_ms,
+            r.rps,
+            r.byte_identical,
+            r.fast_patches,
+            r.parse_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders the E16 table as a JSON document without going through a
@@ -365,9 +442,7 @@ fn render_throughput_snapshot(rows: &[ThroughputRow]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"flat-substrate-throughput\",\n");
-    out.push_str(&format!(
-        "  \"pre_flat_baseline_ms_100k\": {PRE_FLAT_BASELINE_MS_100K:.1},\n"
-    ));
+    out.push_str(&format!("  \"pre_flat_baseline_ms_100k\": {PRE_FLAT_BASELINE_MS_100K:.1},\n"));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(

@@ -222,8 +222,7 @@ impl<'a> Builder<'a> {
             // return-point interface checks run there, located at the
             // function's closing brace (matching LCLint's message sites).
             let body_span = self.ast.stmt_span(f.body);
-            let close =
-                Span::new(body_span.file, body_span.end.saturating_sub(1), body_span.end);
+            let close = Span::new(body_span.file, body_span.end.saturating_sub(1), body_span.end);
             self.push(last, Action::Return(None, close));
             self.edge(last, exit, None);
         }
@@ -422,16 +421,8 @@ impl<'a> Builder<'a> {
                             let body2 = self.new_block(self.ast.stmt_span(body));
                             match cond {
                                 Some(c) => {
-                                    self.edge(
-                                        cond2,
-                                        body2,
-                                        Some(Guard { cond: c, sense: true }),
-                                    );
-                                    self.edge(
-                                        cond2,
-                                        after,
-                                        Some(Guard { cond: c, sense: false }),
-                                    );
+                                    self.edge(cond2, body2, Some(Guard { cond: c, sense: true }));
+                                    self.edge(cond2, after, Some(Guard { cond: c, sense: false }));
                                 }
                                 None => {
                                     self.edge(cond2, body2, None);

@@ -28,13 +28,24 @@
 //!   --max-steps N   per-function analysis budget in work steps; a function
 //!                   that exceeds it is assumed safe and reported with a
 //!                   `budget` diagnostic (default: unlimited)
+//!   --watch         keep running: poll the input files and re-check on
+//!                   change through a warm session (--watch-poll-ms N
+//!                   sets the poll interval, default 50)
+//!   --daemon        serve the rlclintd JSON protocol over stdio (or
+//!                   --socket PATH / --tcp ADDR) with a warm session;
+//!                   identical to running the rlclintd binary
 //!
 //! Exit codes: 0 clean, 1 diagnostics reported, 2 usage or I/O error,
 //! 3 completed but one or more functions hit an internal checker error.
+//! --watch and --daemon serve many checks, so per-check status cannot be
+//! an exit code: both exit 0 on a clean shutdown (stdin EOF or a
+//! `shutdown` request) and 2 on usage or I/O errors.
 //! ```
 
-use lclint_core::{library, Flags, IncrementalSession, Linter};
+use lclint_core::{library, Flags, IncrementalSession, Linter, Session};
 use std::process::ExitCode;
+
+mod watch;
 
 fn usage() -> ! {
     eprintln!(
@@ -47,7 +58,9 @@ fn usage() -> ! {
          options: --json --jobs N --lib FILE --emit-lib --run ENTRY\n\
          \u{20}        --incremental DIR --stats --infer --infer-apply FILE\n\
          \u{20}        --differential N --seed S --max-steps N\n\
-         exit codes: 0 clean, 1 warnings, 2 usage/IO error, 3 internal checker error",
+         \u{20}        --watch [--watch-poll-ms N] --daemon [--socket PATH | --tcp ADDR]\n\
+         exit codes: 0 clean, 1 warnings, 2 usage/IO error, 3 internal checker error\n\
+         \u{20}           (--watch/--daemon: 0 clean shutdown, 2 usage/IO error)",
         lclint_core::DiagKind::all().iter().map(|k| k.flag_name()).collect::<Vec<_>>().join(" ")
     );
     std::process::exit(2)
@@ -112,6 +125,11 @@ fn main() -> ExitCode {
     let mut infer_apply: Option<String> = None;
     let mut differential: Option<usize> = None;
     let mut seed: u64 = 1;
+    let mut watch_mode = false;
+    let mut watch_poll_ms: u64 = 50;
+    let mut daemon = false;
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -186,6 +204,29 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--watch" => watch_mode = true,
+            "--watch-poll-ms" => {
+                i += 1;
+                let Some(n) = args.get(i) else { usage() };
+                match n.parse::<u64>() {
+                    Ok(n) if n > 0 => watch_poll_ms = n,
+                    _ => {
+                        eprintln!("rlclint: --watch-poll-ms expects a positive number, got `{n}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--daemon" => daemon = true,
+            "--socket" => {
+                i += 1;
+                let Some(p) = args.get(i) else { usage() };
+                socket = Some(p.clone());
+            }
+            "--tcp" => {
+                i += 1;
+                let Some(a) = args.get(i) else { usage() };
+                tcp = Some(a.clone());
+            }
             "--infer" => infer = true,
             "--infer-apply" => {
                 i += 1;
@@ -238,6 +279,20 @@ fn main() -> ExitCode {
         eprintln!("rlclint: no .c files given");
         return ExitCode::from(2);
     }
+    if daemon && watch_mode {
+        eprintln!("rlclint: --daemon and --watch are mutually exclusive");
+        return ExitCode::from(2);
+    }
+    if (daemon || watch_mode)
+        && (emit_lib || infer || infer_apply.is_some() || run_entry.is_some() || json)
+    {
+        eprintln!("rlclint: --watch/--daemon serve plain checks; drop the other mode flags");
+        return ExitCode::from(2);
+    }
+    if (socket.is_some() || tcp.is_some()) && !daemon {
+        eprintln!("rlclint: --socket/--tcp require --daemon");
+        return ExitCode::from(2);
+    }
     if (infer || infer_apply.is_some()) && emit_lib {
         eprintln!("rlclint: --infer cannot be combined with --emit-lib");
         usage();
@@ -271,6 +326,59 @@ fn main() -> ExitCode {
     let mut linter = Linter::new(flags);
     for (n, t) in libs {
         linter.add_library(n, t);
+    }
+
+    if daemon || watch_mode {
+        let session = match &incremental_dir {
+            Some(dir) => match Session::at_dir(linter, files, roots, dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("rlclint: cannot use incremental dir {dir}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => Session::new(linter, files, roots),
+        };
+        if watch_mode {
+            let max_cycles =
+                std::env::var("RLCLINT_WATCH_CYCLES").ok().and_then(|v| v.parse::<u64>().ok());
+            let cfg = watch::WatchConfig { poll_ms: watch_poll_ms, max_cycles };
+            return ExitCode::from(watch::run_watch(session, cfg));
+        }
+        let d = std::sync::Arc::new(lclint_server::Daemon::new(session));
+        let served = if let Some(path) = socket {
+            eprintln!("rlclint: listening {path}");
+            lclint_server::serve_unix(&d, std::path::Path::new(&path))
+        } else if let Some(addr) = tcp {
+            match std::net::TcpListener::bind(&addr) {
+                Ok(listener) => {
+                    match listener.local_addr() {
+                        Ok(local) => eprintln!("rlclint: listening {local}"),
+                        Err(_) => eprintln!("rlclint: listening {addr}"),
+                    }
+                    lclint_server::serve_tcp(&d, listener)
+                }
+                Err(e) => {
+                    eprintln!("rlclint: cannot bind {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            lclint_server::serve_connection(
+                &d,
+                std::io::BufReader::new(stdin.lock()),
+                stdout.lock(),
+            )
+        };
+        return match served {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("rlclint: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
 
     if infer || infer_apply.is_some() {

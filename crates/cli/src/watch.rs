@@ -1,0 +1,103 @@
+//! `rlclint --watch`: a thin single-client wrapper over a warm
+//! [`Session`]. The registered files are polled for content changes
+//! (a portable fallback — no inotify dependency); each change is fed
+//! through [`Session::did_change`], so re-checks take the same patch
+//! fast path the daemon uses, and the printed diagnostics stay
+//! byte-identical to a cold batch run over the files' current contents.
+//!
+//! The watcher exits when stdin reaches end-of-file (so `rlclint
+//! --watch ... < /dev/null` checks once and returns) or, for tests and
+//! scripts, after `RLCLINT_WATCH_CYCLES` polls.
+
+use lclint_core::Session;
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Watch-mode settings, from the command line.
+pub struct WatchConfig {
+    /// Poll interval in milliseconds.
+    pub poll_ms: u64,
+    /// Stop after this many polls (None = until stdin EOF). Driven by
+    /// the `RLCLINT_WATCH_CYCLES` environment variable.
+    pub max_cycles: Option<u64>,
+}
+
+fn print_result(result: &lclint_core::CheckResult) {
+    print!("{}", result.render());
+    let n = result.diagnostics.len();
+    if n > 0 || result.suppressed > 0 {
+        println!(
+            "\n{} code warning{} ({} suppressed)",
+            n,
+            if n == 1 { "" } else { "s" },
+            result.suppressed
+        );
+    }
+    for e in &result.sema_errors {
+        eprintln!("rlclint: {e}");
+    }
+}
+
+/// Runs the watch loop to completion. Returns the process exit code:
+/// 0 for a clean exit, 2 when the initial build fails.
+pub fn run_watch(mut session: Session, cfg: WatchConfig) -> u8 {
+    let initial = match session.check(None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rlclint: {e}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "rlclint: watching {} file(s), polling every {} ms (end stdin to stop)",
+        session.file_names().len(),
+        cfg.poll_ms
+    );
+    print_result(&initial);
+
+    // Stdin EOF is the stop signal: a reader thread drains it so the
+    // poll loop never blocks on input.
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut sink = [0u8; 1024];
+            let mut stdin = std::io::stdin();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            stop.store(true, Ordering::SeqCst);
+        });
+    }
+
+    let mut cycles = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        if let Some(max) = cfg.max_cycles {
+            if cycles >= max {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(cfg.poll_ms));
+        cycles += 1;
+        for name in session.file_names() {
+            let Ok(text) = std::fs::read_to_string(&name) else {
+                // Transient: the editor may be mid-save. Next poll sees it.
+                continue;
+            };
+            if session.file_text(&name) == Some(text.as_str()) {
+                continue;
+            }
+            eprintln!("rlclint: {name} changed");
+            match session.did_change(&name, &text, None) {
+                Ok(r) => print_result(&r),
+                Err(e) => eprintln!("rlclint: {e}"),
+            }
+        }
+    }
+    let s = session.stats();
+    eprintln!(
+        "rlclint: watch done: {} rebuild(s), {} fast patch(es), {} no-op(s)",
+        s.rebuilds, s.fast_patches, s.no_ops
+    );
+    0
+}

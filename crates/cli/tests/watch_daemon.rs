@@ -1,0 +1,125 @@
+//! End-to-end tests of `rlclint --watch` and `rlclint --daemon`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+fn rlclint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rlclint"))
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlclint-watch-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn watch_rechecks_on_change_and_exits_on_stdin_eof() {
+    let dir = scratch_dir("watch");
+    let src = dir.join("w.c");
+    std::fs::write(&src, "void f(void)\n{\n  char *p = (char *) malloc(4);\n  free(p);\n}\n")
+        .unwrap();
+
+    let mut child = rlclint()
+        .arg("--watch")
+        .arg("--watch-poll-ms")
+        .arg("20")
+        .arg(&src)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // Give the watcher time to finish the cold check, then introduce a
+    // leak on disk, wait for a poll to notice it, and close stdin.
+    std::thread::sleep(Duration::from_millis(400));
+    std::fs::write(
+        &src,
+        "void f(void)\n{\n  char *p = (char *) malloc(4);\n  p = (char *) 0;\n}\n",
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    drop(child.stdin.take());
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("changed"), "stderr: {stderr}");
+    assert!(
+        stdout.contains("Fresh storage p not released before assignment"),
+        "stdout: {stdout}\nstderr: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watch_cycle_bound_exits_without_stdin_eof() {
+    let dir = scratch_dir("cycles");
+    let src = dir.join("c.c");
+    std::fs::write(&src, "void f(void)\n{\n  int x = 1;\n  x = x;\n}\n").unwrap();
+    let out = rlclint()
+        .arg("--watch")
+        .arg("--watch-poll-ms")
+        .arg("5")
+        .arg(&src)
+        .env("RLCLINT_WATCH_CYCLES", "3")
+        .stdin(Stdio::piped()) // held open: the cycle bound must fire
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("watch done"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_mode_serves_the_json_protocol_over_stdio() {
+    let dir = scratch_dir("daemon");
+    let src = dir.join("d.c");
+    std::fs::write(&src, "void f(void)\n{\n  char *p = (char *) malloc(4);\n  free(p);\n}\n")
+        .unwrap();
+
+    let mut child = rlclint()
+        .arg("--daemon")
+        .arg(&src)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+
+    writeln!(stdin, r#"{{"id": 1, "method": "check"}}"#).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""clean":true"#), "{line}");
+
+    writeln!(stdin, r#"{{"id": 2, "method": "shutdown"}}"#).unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("result"), "{line}");
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watch_and_daemon_flag_conflicts_are_usage_errors() {
+    let dir = scratch_dir("conflicts");
+    let src = dir.join("x.c");
+    std::fs::write(&src, "void f(void)\n{\n}\n").unwrap();
+    let both = rlclint().arg("--watch").arg("--daemon").arg(&src).output().unwrap();
+    assert_eq!(both.status.code(), Some(2));
+    let json = rlclint().arg("--watch").arg("--json").arg(&src).output().unwrap();
+    assert_eq!(json.status.code(), Some(2));
+    let sock = rlclint().arg("--socket").arg("/tmp/x.sock").arg(&src).output().unwrap();
+    assert_eq!(sock.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -93,26 +93,53 @@ pub fn peak_rss_bytes() -> Option<u64> {
 
 /// Everything one build of the program produces: the resolved tables plus
 /// the per-unit syntax needed for rendering and annotation write-back.
-struct BuiltProgram {
-    program: Program,
-    sm: SourceMap,
-    controls: Vec<ControlComment>,
+///
+/// The per-root records (`root_file_plans`, `root_controls`,
+/// `root_syntax_diags`, `typedef_prefix`, `def_counts`) exist for the
+/// incremental [`Session`](crate::session::Session): they let a warm
+/// session re-derive exactly one root's contribution and splice it into
+/// the built program instead of rebuilding everything.
+pub(crate) struct BuiltProgram {
+    pub(crate) program: Program,
+    pub(crate) sm: SourceMap,
+    pub(crate) controls: Vec<ControlComment>,
     /// Every parsed unit in load order; `root_start` indexes the first unit
     /// belonging to `roots` (earlier ones are interface libraries). A root
     /// that failed to lex or preprocess contributes an *empty* unit so the
     /// `roots` indices stay aligned.
-    units: Vec<TranslationUnit>,
-    root_start: usize,
+    pub(crate) units: Vec<TranslationUnit>,
+    pub(crate) root_start: usize,
     /// Wall-clock milliseconds preprocessing and parsing every unit.
-    parse_ms: f64,
+    pub(crate) parse_ms: f64,
     /// Wall-clock milliseconds resolving the program (name/type binding).
-    sema_ms: f64,
+    pub(crate) sema_ms: f64,
     /// Arena/interner counters for this build.
-    substrate: SubstrateStats,
+    pub(crate) substrate: SubstrateStats,
+    /// The stdlib's share of `substrate.arena` (sessions recompute the unit
+    /// share after patches, but never re-parse the stdlib).
+    pub(crate) stdlib_arena: lclint_syntax::ast::ArenaStats,
     /// Diagnostics produced while building: recovered parse errors in root
     /// files and a stdlib-unavailable notice. Merged into the check output
     /// so broken input degrades to messages instead of aborting the run.
-    syntax_diags: Vec<Diagnostic>,
+    pub(crate) syntax_diags: Vec<Diagnostic>,
+    /// Source-map file ids registered while preprocessing each root, in
+    /// registration order (the replay plan for re-preprocessing that root).
+    pub(crate) root_file_plans: Vec<Vec<lclint_syntax::FileId>>,
+    /// Control comments contributed by each root.
+    pub(crate) root_controls: Vec<Vec<ControlComment>>,
+    /// Build diagnostics that precede every root's (currently only the
+    /// stdlib-unavailable notice).
+    pub(crate) pre_root_diags: Vec<Diagnostic>,
+    /// Recovered parse / preprocess diagnostics per root.
+    pub(crate) root_syntax_diags: Vec<Vec<Diagnostic>>,
+    /// Typedef names accumulated across units, in registration order.
+    pub(crate) typedefs: Vec<Symbol>,
+    /// Length of `typedefs` before each root's unit was parsed.
+    pub(crate) typedef_prefix: Vec<usize>,
+    /// `program.defs.len()` marks: `def_counts[0]` after the stdlib,
+    /// `def_counts[k + 1]` after `units[k]` — so unit `k` contributed the
+    /// definitions `def_counts[k]..def_counts[k + 1]`.
+    pub(crate) def_counts: Vec<usize>,
 }
 
 /// The result of one inference run ([`Linter::infer_files`]).
@@ -244,7 +271,7 @@ impl Linter {
     /// Digest of everything outside the parsed program that feeds checking:
     /// whether the annotated stdlib is loaded, and the text of every added
     /// interface library. Part of every cache fingerprint.
-    fn library_digest(&self) -> u64 {
+    pub(crate) fn library_digest(&self) -> u64 {
         let mut h = StableHasher::new();
         h.write_bool(self.flags.use_stdlib);
         h.write_u64(self.libraries.len() as u64);
@@ -256,16 +283,24 @@ impl Linter {
     }
 
     /// Preprocesses and parses everything (stdlib, libraries, roots) and
-    /// builds the resolved program. Shared by checking and inference.
-    fn build_program(&self, files: &[(String, String)], roots: &[String]) -> Result<BuiltProgram> {
+    /// builds the resolved program. Shared by checking, inference, and the
+    /// incremental session.
+    pub(crate) fn build_program(
+        &self,
+        files: &[(String, String)],
+        roots: &[String],
+    ) -> Result<BuiltProgram> {
         let mut provider = MemoryProvider::new();
         for (n, t) in files {
             provider.insert(n.clone(), t.clone());
         }
         let mut sm = SourceMap::new();
-        let mut controls: Vec<ControlComment> = Vec::new();
         let mut units: Vec<TranslationUnit> = Vec::new();
-        let mut syntax_diags: Vec<Diagnostic> = Vec::new();
+        let mut pre_root_diags: Vec<Diagnostic> = Vec::new();
+        let mut root_file_plans: Vec<Vec<lclint_syntax::FileId>> = Vec::new();
+        let mut root_controls: Vec<Vec<ControlComment>> = Vec::new();
+        let mut root_syntax_diags: Vec<Vec<Diagnostic>> = Vec::new();
+        let mut typedef_prefix: Vec<usize> = Vec::new();
         // Typedef names accumulate across units so that interface libraries
         // (which carry type definitions like LCLint's .lcs files) make their
         // types usable in later translation units.
@@ -299,7 +334,7 @@ impl Linter {
                     // happen): say so and check without it, rather than
                     // silently dropping the standard interfaces or killing
                     // the whole run.
-                    syntax_diags.push(Diagnostic::new(
+                    pre_root_diags.push(Diagnostic::new(
                         DiagKind::SyntaxError,
                         format!(
                             "Annotated standard library unavailable ({e}); \
@@ -320,9 +355,12 @@ impl Linter {
         }
         let root_start = units.len();
         for root in roots {
+            typedef_prefix.push(typedefs.len());
+            let mut root_diags: Vec<Diagnostic> = Vec::new();
+            let files_before = sm.len();
             match preprocess(root, &provider, &mut sm) {
                 Ok(out) => {
-                    controls.extend(out.controls.clone());
+                    root_controls.push(out.controls);
                     let mut parser = Parser::new(out.tokens);
                     for t in typedefs.iter() {
                         parser.add_typedef(t.as_str());
@@ -330,7 +368,7 @@ impl Linter {
                     let (tu, errors) = parser.parse_translation_unit_recovering();
                     typedefs.extend(collect_typedef_names(&tu));
                     for e in errors {
-                        syntax_diags.push(Diagnostic::new(
+                        root_diags.push(Diagnostic::new(
                             DiagKind::SyntaxError,
                             format!("Parse error: {}", e.message),
                             e.span,
@@ -342,7 +380,8 @@ impl Linter {
                     // Lexing or preprocessing failed — nothing survives from
                     // this root. Report it and keep the batch alive with an
                     // empty unit so the other roots are still checked.
-                    syntax_diags.push(Diagnostic::new(
+                    root_controls.push(Vec::new());
+                    root_diags.push(Diagnostic::new(
                         DiagKind::SyntaxError,
                         format!("Parse error: {}", e.message),
                         e.span,
@@ -350,27 +389,38 @@ impl Linter {
                     units.push(TranslationUnit::default());
                 }
             }
+            root_syntax_diags.push(root_diags);
+            root_file_plans
+                .push((files_before..sm.len()).map(|i| lclint_syntax::FileId(i as u32)).collect());
         }
         let parse_ms = parse_start.elapsed().as_secs_f64() * 1000.0;
 
         let sema_start = std::time::Instant::now();
         let mut program = Program::new();
+        let mut def_counts: Vec<usize> = Vec::with_capacity(units.len() + 1);
         if let Some(u) = stdlib_unit {
             program.extend_with(u);
         }
+        def_counts.push(program.defs.len());
         for u in &units {
             program.extend_with(u);
+            def_counts.push(program.defs.len());
         }
         let sema_ms = sema_start.elapsed().as_secs_f64() * 1000.0;
 
         let mut substrate = SubstrateStats::default();
+        let mut stdlib_arena = lclint_syntax::ast::ArenaStats::default();
         if let Some(u) = stdlib_unit {
+            stdlib_arena.absorb(&u.arena.stats());
             substrate.arena.absorb(&u.arena.stats());
         }
         for u in &units {
             substrate.arena.absorb(&u.arena.stats());
         }
         substrate.symbols = lclint_syntax::intern::symbol_count();
+        let controls = root_controls.iter().flatten().cloned().collect();
+        let syntax_diags =
+            pre_root_diags.iter().chain(root_syntax_diags.iter().flatten()).cloned().collect();
         Ok(BuiltProgram {
             program,
             sm,
@@ -381,6 +431,14 @@ impl Linter {
             parse_ms,
             sema_ms,
             substrate,
+            stdlib_arena,
+            root_file_plans,
+            root_controls,
+            pre_root_diags,
+            root_syntax_diags,
+            typedefs,
+            typedef_prefix,
+            def_counts,
         })
     }
 
@@ -399,8 +457,9 @@ impl Linter {
         roots: &[String],
         incremental: Option<&mut IncrementalSession>,
     ) -> Result<CheckResult> {
-        let BuiltProgram { program, sm, controls, syntax_diags, parse_ms, sema_ms, substrate, .. } =
-            self.build_program(files, roots)?;
+        let BuiltProgram {
+            program, sm, controls, syntax_diags, parse_ms, sema_ms, substrate, ..
+        } = self.build_program(files, roots)?;
         let sema_errors: Vec<String> = program
             .errors
             .iter()

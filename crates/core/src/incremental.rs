@@ -309,8 +309,16 @@ fn r_span(r: &mut &[u8]) -> Option<RelocSpan> {
     Some(match r_u8(r)? {
         0 => RelocSpan::Synthetic,
         1 => RelocSpan::Local { start: r_u32(r)?, end: r_u32(r)? },
-        2 => RelocSpan::GlobalDecl { name: Symbol::intern(&r_str(r)?), start: r_u32(r)?, end: r_u32(r)? },
-        3 => RelocSpan::FuncDecl { name: Symbol::intern(&r_str(r)?), start: r_u32(r)?, end: r_u32(r)? },
+        2 => RelocSpan::GlobalDecl {
+            name: Symbol::intern(&r_str(r)?),
+            start: r_u32(r)?,
+            end: r_u32(r)?,
+        },
+        3 => RelocSpan::FuncDecl {
+            name: Symbol::intern(&r_str(r)?),
+            start: r_u32(r)?,
+            end: r_u32(r)?,
+        },
         _ => return None,
     })
 }

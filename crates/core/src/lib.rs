@@ -25,15 +25,19 @@ pub mod flags;
 pub mod incremental;
 pub mod library;
 pub mod render;
+pub mod session;
 pub mod stdlib;
 pub mod suppress;
 
 pub use annotate::{apply_annotations, AppliedAnnotations, PlacedAnnotation};
-pub use driver::{peak_rss_bytes, stdlib_cache_hits, CheckResult, InferOutcome, Linter, SubstrateStats};
+pub use driver::{
+    peak_rss_bytes, stdlib_cache_hits, CheckResult, InferOutcome, Linter, SubstrateStats,
+};
 pub use flags::{FlagError, Flags};
 pub use incremental::IncrementalSession;
 pub use lclint_analysis::cache::CacheStats;
 pub use render::{render_all, RenderedDiagnostic, RenderedNote};
+pub use session::{Session, SessionStats};
 pub use stdlib::STDLIB_SOURCE;
 pub use suppress::SuppressionSet;
 

@@ -427,6 +427,7 @@ pub fn run_differential(cfg: &DiffConfig) -> DiffReport {
             filler_per_module: cfg.filler_per_module,
             annotation_level: 1.0,
             seed: case_seed,
+            ..GenConfig::default()
         };
         let base = generate(&gen_cfg);
 
@@ -959,7 +960,13 @@ mod tests {
 
     #[test]
     fn shrinker_minimizes_while_preserving_failure() {
-        let start = GenConfig { modules: 8, filler_per_module: 4, annotation_level: 1.0, seed: 9 };
+        let start = GenConfig {
+            modules: 8,
+            filler_per_module: 4,
+            annotation_level: 1.0,
+            seed: 9,
+            ..GenConfig::default()
+        };
         // "Fails" whenever there are at least 2 modules, independent of the
         // other knobs: the shrinker must reach modules=2 and floor the rest.
         let shrunk = shrink_config(&start, |c| c.modules >= 2);

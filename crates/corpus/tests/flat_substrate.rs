@@ -12,7 +12,7 @@ use lclint_syntax::pretty::pretty_print;
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Print → parse → print over the flat arena is byte-identical for every
     /// generator seed and annotation density.
@@ -22,7 +22,7 @@ proptest! {
         modules in 1usize..5,
         level in prop::sample::select(vec![0.0f64, 0.5, 1.0]),
     ) {
-        let cfg = GenConfig { modules, filler_per_module: 2, annotation_level: level, seed };
+        let cfg = GenConfig { modules, filler_per_module: 2, annotation_level: level, seed, ..GenConfig::default() };
         let g = generate(&cfg);
         let (tu, _, _) = parse_translation_unit("g.c", &g.source).expect("generated code parses");
         let first = pretty_print(&tu);
@@ -36,7 +36,13 @@ proptest! {
 /// run of the same generated program.
 #[test]
 fn cached_diagnostics_are_byte_identical_to_uncached() {
-    let g = generate(&GenConfig { modules: 3, filler_per_module: 2, annotation_level: 0.4, seed: 7 });
+    let g = generate(&GenConfig {
+        modules: 3,
+        filler_per_module: 2,
+        annotation_level: 0.4,
+        seed: 7,
+        ..GenConfig::default()
+    });
     let files = vec![("g.c".to_owned(), g.source)];
     let roots = vec!["g.c".to_owned()];
 

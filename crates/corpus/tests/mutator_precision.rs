@@ -34,6 +34,7 @@ proptest! {
             filler_per_module: 1,
             annotation_level: 1.0,
             seed,
+            ..GenConfig::default()
         });
         let class = BugClass::all()[class_idx];
         let m = inject(&base, class, trigger);

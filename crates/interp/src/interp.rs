@@ -682,9 +682,12 @@ impl Interp {
                         loop {
                             match ast.stmt(inner) {
                                 StmtKind::Case { value, stmt } => {
-                                    let cv =
-                                        lclint_sema::const_eval(ast, *value, &self.program.enum_consts)
-                                            .unwrap_or(0);
+                                    let cv = lclint_sema::const_eval(
+                                        ast,
+                                        *value,
+                                        &self.program.enum_consts,
+                                    )
+                                    .unwrap_or(0);
                                     if cv == v && start.is_none() {
                                         start = Some(i);
                                     }

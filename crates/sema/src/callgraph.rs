@@ -15,7 +15,9 @@
 
 use std::collections::HashMap;
 
-use lclint_syntax::ast::{Ast, BlockItem, ExprId, ExprKind, ForInit, Initializer, StmtId, StmtKind};
+use lclint_syntax::ast::{
+    Ast, BlockItem, ExprId, ExprKind, ForInit, Initializer, StmtId, StmtKind,
+};
 use lclint_syntax::Symbol;
 
 use crate::program::Program;

@@ -13,9 +13,9 @@
 use crate::types::{Field, FnType, ParamType, QualType, StructId, StructTable, Type};
 use lclint_syntax::annot::AnnotSet;
 use lclint_syntax::ast::*;
+use lclint_syntax::fx::FxHashMap;
 use lclint_syntax::span::Span;
 use lclint_syntax::{sym, Symbol};
-use lclint_syntax::fx::FxHashMap;
 use std::fmt;
 use std::sync::Arc;
 

@@ -20,10 +20,10 @@ use crate::program::{
 };
 use crate::types::{Field, QualType, StructDef, StructId};
 use lclint_syntax::ast::{Ast, DeclSpecs, Declarator, TypeSpec};
+use lclint_syntax::fx::FxHashMap;
 use lclint_syntax::span::Span;
 use lclint_syntax::Symbol;
 use std::cell::RefCell;
-use lclint_syntax::fx::FxHashMap;
 
 /// A function-local view of the program's symbol tables: reads fall through
 /// to the shared [`Program`], writes stay private to this scope.
@@ -185,8 +185,7 @@ impl SymbolSource for LocalScope<'_> {
             }
         }
         // A body (re)defines the tag locally, shadowing any shared entry.
-        let id =
-            self.push_local(StructDef { tag, is_union, fields: Vec::new(), complete: false });
+        let id = self.push_local(StructDef { tag, is_union, fields: Vec::new(), complete: false });
         self.local_by_tag.insert(tag, id);
         id
     }

@@ -1,0 +1,419 @@
+//! `rlclintd` — a persistent analysis server with warm in-memory sessions.
+//!
+//! The daemon keeps a [`Session`] alive across requests: the parsed
+//! program (shared AST arenas), the per-function check cache, and the
+//! annotated standard library all stay warm, so an edit re-checks only
+//! the functions the edit could affect. Diagnostics are byte-identical
+//! to a cold batch `rlclint` run over the same file contents — the
+//! daemon is a latency optimisation, never a semantics change.
+//!
+//! # Protocol
+//!
+//! Line-delimited JSON over stdio, a Unix socket, or TCP. One request
+//! object per line, one response object per line:
+//!
+//! ```text
+//! --> {"id": 1, "method": "check", "params": {"file": "a.c", "text": "..."}}
+//! <-- {"id": 1, "result": {"rendered": "...", "diagnostics": [...], ...}}
+//! ```
+//!
+//! Methods:
+//!
+//! | method      | params                     | effect                                    |
+//! |-------------|----------------------------|-------------------------------------------|
+//! | `check`     | none                       | check the current canonical file set      |
+//! | `check`     | `{file, text, jobs?}`      | overlay check: canonical state untouched  |
+//! | `didChange` | `{file, text, jobs?}`      | persist the edit, then check              |
+//! | `stats`     | none                       | session/cache/interner/arena counters     |
+//! | `shutdown`  | none                       | acknowledge and stop serving              |
+//!
+//! Requests against one daemon are serialized (the session is behind a
+//! mutex), which is what makes concurrent clients deterministic: any
+//! interleaving of overlay `check`s yields the same bytes as running
+//! them sequentially.
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+use json::{Json, Writer};
+use lclint_core::{CheckResult, RenderedDiagnostic, Session};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Cumulative cache counters across every request the daemon has served.
+#[derive(Debug, Default, Clone, Copy)]
+struct Totals {
+    requests: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// A running analysis server: one warm session plus request bookkeeping.
+pub struct Daemon {
+    session: Mutex<(Session, Totals)>,
+    shutdown: AtomicBool,
+}
+
+impl Daemon {
+    /// Wraps a session for serving. The session may be cold; the first
+    /// request pays the build.
+    pub fn new(session: Session) -> Self {
+        Daemon {
+            session: Mutex::new((session, Totals::default())),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// True once a `shutdown` request has been served.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Handles one request line and returns the response line (without a
+    /// trailing newline). Malformed input gets an `error` response with
+    /// `id: null` rather than killing the connection.
+    pub fn handle_line(&self, line: &str) -> String {
+        let req = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return error_response(None, &format!("bad request: {e}")),
+        };
+        let id = req.get("id").and_then(Json::as_f64);
+        let Some(method) = req.get("method").and_then(Json::as_str) else {
+            return error_response(id, "missing method");
+        };
+        let params = req.get("params");
+        match method {
+            "check" | "didChange" => self.handle_check(id, method, params),
+            "stats" => self.handle_stats(id),
+            "shutdown" => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                result_response(id, &Writer::obj().bool("ok", true).done())
+            }
+            other => error_response(id, &format!("unknown method `{other}`")),
+        }
+    }
+
+    fn handle_check(&self, id: Option<f64>, method: &str, params: Option<&Json>) -> String {
+        let file = params.and_then(|p| p.get("file")).and_then(Json::as_str);
+        let text = params.and_then(|p| p.get("text")).and_then(Json::as_str);
+        let jobs = params.and_then(|p| p.get("jobs")).and_then(Json::as_usize);
+        let started = Instant::now();
+        let mut guard = self.session.lock().unwrap_or_else(|e| e.into_inner());
+        let (session, totals) = &mut *guard;
+        let outcome = match (method, file, text) {
+            ("didChange", Some(f), Some(t)) => session.did_change(f, t, jobs),
+            ("check", Some(f), Some(t)) => session.check_overlay(f, t, jobs),
+            ("check", None, None) => session.check(jobs),
+            _ => {
+                return error_response(id, "check/didChange take both `file` and `text` or neither")
+            }
+        };
+        let result = match outcome {
+            Ok(r) => r,
+            Err(e) => return error_response(id, &format!("build failed: {e}")),
+        };
+        totals.requests += 1;
+        if let Some(cs) = &result.cache_stats {
+            totals.cache_hits += cs.hits as u64;
+            totals.cache_misses += cs.misses as u64;
+        }
+        let ms = started.elapsed().as_secs_f64() * 1000.0;
+        result_response(id, &render_check(&result, ms))
+    }
+
+    fn handle_stats(&self, id: Option<f64>) -> String {
+        let guard = self.session.lock().unwrap_or_else(|e| e.into_inner());
+        let (session, totals) = &*guard;
+        let s = session.stats();
+        let hit_rate = if totals.cache_hits + totals.cache_misses > 0 {
+            totals.cache_hits as f64 / (totals.cache_hits + totals.cache_misses) as f64
+        } else {
+            0.0
+        };
+        let body = Writer::obj()
+            .num("requests", totals.requests as usize)
+            .num("rebuilds", s.rebuilds)
+            .num("fast_patches", s.fast_patches)
+            .num("no_ops", s.no_ops)
+            .num("cache_entries", s.cache_entries)
+            .num("cache_hits", totals.cache_hits as usize)
+            .num("cache_misses", totals.cache_misses as usize)
+            .ms("cache_hit_rate", hit_rate)
+            .num("defs", s.defs)
+            .num("symbols", s.symbols)
+            .num("interned_bytes", s.interned_bytes)
+            .num("arena_bytes", s.arena_bytes)
+            .done();
+        result_response(id, &body)
+    }
+}
+
+fn render_note(out: &mut String, n: &lclint_core::RenderedNote) {
+    out.push_str(
+        &Writer::obj()
+            .str("file", &n.file)
+            .num("line", n.line as usize)
+            .str("message", &n.message)
+            .done(),
+    );
+}
+
+fn render_diag(out: &mut String, d: &RenderedDiagnostic) {
+    let mut notes = String::from("[");
+    for (i, n) in d.notes.iter().enumerate() {
+        if i > 0 {
+            notes.push(',');
+        }
+        render_note(&mut notes, n);
+    }
+    notes.push(']');
+    let mut w = Writer::obj()
+        .str("file", &d.file)
+        .num("line", d.line as usize)
+        .num("col", d.col as usize)
+        .str("kind", &d.kind)
+        .str("message", &d.message);
+    w = match &d.function {
+        Some(f) => w.str("function", f),
+        None => w.raw("function", "null"),
+    };
+    out.push_str(&w.raw("notes", &notes).done());
+}
+
+/// Renders a check result as the daemon's `result` object. `ms` is the
+/// request's wall-clock service time (lock wait included).
+fn render_check(r: &CheckResult, ms: f64) -> String {
+    let mut diags = String::from("[");
+    for (i, d) in r.diagnostics.iter().enumerate() {
+        if i > 0 {
+            diags.push(',');
+        }
+        render_diag(&mut diags, d);
+    }
+    diags.push(']');
+    Writer::obj()
+        .bool("clean", r.is_clean())
+        .raw("diagnostics", &diags)
+        .num("suppressed", r.suppressed)
+        .str_arr("sema_errors", &r.sema_errors)
+        .str("rendered", &r.render())
+        .ms("ms", ms)
+        .done()
+}
+
+fn result_response(id: Option<f64>, body: &str) -> String {
+    let mut w = Writer::obj();
+    w = match id {
+        Some(id) if id.fract() == 0.0 && id >= 0.0 => w.num("id", id as usize),
+        Some(id) => w.ms("id", id),
+        None => w.raw("id", "null"),
+    };
+    w.raw("result", body).done()
+}
+
+fn error_response(id: Option<f64>, message: &str) -> String {
+    let mut w = Writer::obj();
+    w = match id {
+        Some(id) if id.fract() == 0.0 && id >= 0.0 => w.num("id", id as usize),
+        Some(id) => w.ms("id", id),
+        None => w.raw("id", "null"),
+    };
+    w.raw("error", &Writer::obj().str("message", message).done()).done()
+}
+
+/// Serves one connection: reads request lines from `reader` until EOF or
+/// a `shutdown` request, writing one response line each.
+///
+/// # Errors
+///
+/// Propagates I/O errors on the connection.
+pub fn serve_connection(
+    daemon: &Daemon,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = daemon.handle_line(&line);
+        writer.write_all(resp.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if daemon.is_shut_down() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Accept loop shared by the Unix-socket and TCP listeners: polls a
+/// non-blocking accept so a `shutdown` served on any connection stops
+/// the daemon promptly.
+fn accept_loop<L, S>(
+    daemon: &Arc<Daemon>,
+    listener: L,
+    accept: fn(&L) -> io::Result<S>,
+) -> io::Result<()>
+where
+    S: io::Read + Write + Send + 'static,
+{
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !daemon.is_shut_down() {
+        match accept(&listener) {
+            Ok(stream) => {
+                let daemon = Arc::clone(daemon);
+                workers.push(std::thread::spawn(move || {
+                    let mut stream = stream;
+                    // A per-connection failure (client gone) is not a
+                    // daemon failure.
+                    let reader = BufReader::new(&mut stream as &mut dyn ReadWrite);
+                    let _ = serve_split(&daemon, reader);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+        workers.retain(|w| !w.is_finished());
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(())
+}
+
+/// Object-safe `Read + Write` so one connection handler serves both
+/// stream flavours.
+trait ReadWrite: io::Read + io::Write {}
+impl<T: io::Read + io::Write> ReadWrite for T {}
+
+fn serve_split(daemon: &Daemon, mut reader: BufReader<&mut dyn ReadWrite>) -> io::Result<()> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = daemon.handle_line(line.trim_end());
+        let stream = reader.get_mut();
+        stream.write_all(resp.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        if daemon.is_shut_down() {
+            return Ok(());
+        }
+    }
+}
+
+/// Serves on a Unix-domain socket at `path` (removing a stale socket
+/// file first). Returns when a `shutdown` request has been handled.
+///
+/// # Errors
+///
+/// Propagates bind/accept failures.
+pub fn serve_unix(daemon: &Arc<Daemon>, path: &Path) -> io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let r = accept_loop(daemon, listener, |l| {
+        let (s, _) = l.accept()?;
+        // Accepted sockets inherit the listener's non-blocking mode;
+        // connection handlers expect blocking reads.
+        s.set_nonblocking(false)?;
+        Ok(s)
+    });
+    let _ = std::fs::remove_file(path);
+    r
+}
+
+/// Serves on a TCP listener (e.g. `127.0.0.1:0`). Returns when a
+/// `shutdown` request has been handled.
+///
+/// # Errors
+///
+/// Propagates bind/accept failures.
+pub fn serve_tcp(daemon: &Arc<Daemon>, listener: TcpListener) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    accept_loop(daemon, listener, |l| {
+        let (s, _) = l.accept()?;
+        s.set_nonblocking(false)?;
+        Ok(s)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lclint_core::{Flags, Linter};
+
+    fn demo_session() -> Session {
+        let files = vec![(
+            "a.c".to_owned(),
+            "void f(void)\n{\n  char *p = (char *) malloc(4);\n  free(p);\n}\n".to_owned(),
+        )];
+        Session::new(Linter::new(Flags::default()), files, vec!["a.c".to_owned()])
+    }
+
+    #[test]
+    fn check_then_stats_round_trip() {
+        let d = Daemon::new(demo_session());
+        let r = d.handle_line(r#"{"id": 1, "method": "check"}"#);
+        let v = json::parse(&r).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_usize), Some(1));
+        let result = v.get("result").expect("result");
+        assert_eq!(result.get("clean"), Some(&Json::Bool(true)));
+        let s = d.handle_line(r#"{"id": 2, "method": "stats"}"#);
+        let v = json::parse(&s).unwrap();
+        let stats = v.get("result").unwrap();
+        assert_eq!(stats.get("requests").and_then(Json::as_usize), Some(1));
+        assert_eq!(stats.get("rebuilds").and_then(Json::as_usize), Some(1));
+    }
+
+    #[test]
+    fn overlay_check_does_not_persist() {
+        let d = Daemon::new(demo_session());
+        d.handle_line(r#"{"id": 1, "method": "check"}"#);
+        let leaky = r#"{"id": 2, "method": "check", "params": {"file": "a.c", "text": "void f(void)\n{\n  char *p = (char *) malloc(4);\n  p = (char *) 0;\n}\n"}}"#;
+        let r = d.handle_line(leaky);
+        let v = json::parse(&r).unwrap();
+        assert_eq!(v.get("result").unwrap().get("clean"), Some(&Json::Bool(false)));
+        // The canonical file set is unchanged: a bare check is clean again.
+        let r = d.handle_line(r#"{"id": 3, "method": "check"}"#);
+        let v = json::parse(&r).unwrap();
+        assert_eq!(v.get("result").unwrap().get("clean"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_error_responses() {
+        let d = Daemon::new(demo_session());
+        let r = d.handle_line("{nope");
+        assert!(json::parse(&r).unwrap().get("error").is_some());
+        let r = d.handle_line(r#"{"id": 9, "method": "frobnicate"}"#);
+        let v = json::parse(&r).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_usize), Some(9));
+        assert!(v.get("error").is_some());
+        let r = d.handle_line(r#"{"id": 10, "method": "check", "params": {"file": "a.c"}}"#);
+        assert!(json::parse(&r).unwrap().get("error").is_some());
+    }
+
+    #[test]
+    fn shutdown_flips_the_flag() {
+        let d = Daemon::new(demo_session());
+        assert!(!d.is_shut_down());
+        let r = d.handle_line(r#"{"id": 1, "method": "shutdown"}"#);
+        assert!(json::parse(&r).unwrap().get("result").is_some());
+        assert!(d.is_shut_down());
+    }
+}

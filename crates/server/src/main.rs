@@ -1,0 +1,171 @@
+//! `rlclintd` — the persistent analysis server.
+//!
+//! ```text
+//! rlclintd [flags] [options] file.c [more.c ...]
+//!
+//! LCLint-style flags (+name / -name) configure the session exactly like
+//! the batch `rlclint` checker. Options:
+//!   --jobs N           default checker worker threads (0 = all cores)
+//!   --incremental DIR  persist the per-function cache under DIR, so a
+//!                      restarted daemon starts warm
+//!   --socket PATH      serve on a Unix-domain socket instead of stdio
+//!   --tcp ADDR         serve on a TCP address (e.g. 127.0.0.1:7357)
+//!
+//! With --socket/--tcp the daemon prints one `listening <endpoint>` line
+//! on stderr once it accepts connections, and exits after a `shutdown`
+//! request. On stdio it also exits at end-of-input.
+//!
+//! Exit codes: 0 clean shutdown (or end of stdin), 2 usage or I/O error.
+//! ```
+
+use lclint_core::{Flags, Linter, Session};
+use lclint_server::{serve_connection, serve_tcp, serve_unix, Daemon};
+use std::io::{BufReader, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rlclintd [flags] [--jobs N] [--incremental DIR] [--socket PATH | --tcp ADDR] file.c [...]\n\
+         \n\
+         Serves line-delimited JSON requests (check / didChange / stats / shutdown)\n\
+         over stdio (default), a Unix socket, or TCP, keeping the parsed program\n\
+         and check cache warm between requests.\n\
+         exit codes: 0 clean shutdown, 2 usage/IO error"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut flags = Flags::default();
+    let mut files: Vec<(String, String)> = Vec::new();
+    let mut roots: Vec<String> = Vec::new();
+    let mut libs: Vec<(String, String)> = Vec::new();
+    let mut incremental_dir: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        match a.as_str() {
+            "--help" | "-h" => usage(),
+            "--jobs" => {
+                i += 1;
+                let Some(n) = args.get(i) else { usage() };
+                match n.parse::<usize>() {
+                    Ok(n) => flags.analysis.jobs = n,
+                    Err(_) => {
+                        eprintln!("rlclintd: --jobs expects a number, got `{n}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--lib" => {
+                i += 1;
+                let Some(path) = args.get(i) else { usage() };
+                match std::fs::read_to_string(path) {
+                    Ok(text) => libs.push((path.clone(), text)),
+                    Err(e) => {
+                        eprintln!("rlclintd: cannot read library {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--incremental" => {
+                i += 1;
+                let Some(dir) = args.get(i) else { usage() };
+                incremental_dir = Some(dir.clone());
+            }
+            "--socket" => {
+                i += 1;
+                let Some(p) = args.get(i) else { usage() };
+                socket = Some(p.clone());
+            }
+            "--tcp" => {
+                i += 1;
+                let Some(a) = args.get(i) else { usage() };
+                tcp = Some(a.clone());
+            }
+            _ if a.starts_with('+') || (a.starts_with('-') && !a.starts_with("--")) => {
+                if let Err(e) = flags.apply(a) {
+                    eprintln!("rlclintd: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            path => match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    files.push((path.to_owned(), text));
+                    if path.ends_with(".c") {
+                        roots.push(path.to_owned());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("rlclintd: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+        }
+        i += 1;
+    }
+    if roots.is_empty() {
+        eprintln!("rlclintd: no .c files given");
+        return ExitCode::from(2);
+    }
+    if socket.is_some() && tcp.is_some() {
+        eprintln!("rlclintd: --socket and --tcp are mutually exclusive");
+        return ExitCode::from(2);
+    }
+
+    let mut linter = Linter::new(flags);
+    for (n, t) in libs {
+        linter.add_library(n, t);
+    }
+    let session = match incremental_dir {
+        Some(dir) => match Session::at_dir(linter, files, roots, &dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rlclintd: cannot use incremental dir {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => Session::new(linter, files, roots),
+    };
+    let daemon = Arc::new(Daemon::new(session));
+
+    let served = if let Some(path) = socket {
+        eprintln!("rlclintd: listening {path}");
+        serve_unix(&daemon, std::path::Path::new(&path))
+    } else if let Some(addr) = tcp {
+        match std::net::TcpListener::bind(&addr) {
+            Ok(listener) => {
+                match listener.local_addr() {
+                    Ok(local) => eprintln!("rlclintd: listening {local}"),
+                    Err(_) => eprintln!("rlclintd: listening {addr}"),
+                }
+                serve_tcp(&daemon, listener)
+            }
+            Err(e) => {
+                eprintln!("rlclintd: cannot bind {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let r = serve_connection(&daemon, BufReader::new(stdin.lock()), stdout.lock());
+        let _ = std::io::stdout().flush();
+        r
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rlclintd: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

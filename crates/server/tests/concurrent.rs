@@ -1,0 +1,131 @@
+//! Determinism under concurrency: N clients with interleaved overlay
+//! `check` requests get responses byte-identical to a sequential
+//! single-client run, for `--jobs 1` and `--jobs N`.
+
+use lclint_core::{Flags, Linter, Session};
+use lclint_server::{serve_tcp, Daemon};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+fn demo_files() -> (Vec<(String, String)>, Vec<String>) {
+    let a = "extern /*@only@*/ char *gname;\n\
+             void setName(/*@temp@*/ char *pname)\n{\n  gname = pname;\n}\n";
+    let b = "void worker(void)\n{\n  char *q = (char *) malloc(8);\n  free(q);\n}\n";
+    (
+        vec![("a.c".to_owned(), a.to_owned()), ("b.c".to_owned(), b.to_owned())],
+        vec!["a.c".to_owned(), "b.c".to_owned()],
+    )
+}
+
+fn new_session() -> Session {
+    let (files, roots) = demo_files();
+    Session::new(Linter::new(Flags::default()), files, roots)
+}
+
+/// The per-request service time varies run to run; everything else in a
+/// response must be byte-identical. `ms` is always the last member of
+/// the result object, so it can be cut off textually.
+fn strip_ms(resp: &str) -> String {
+    match resp.rfind(",\"ms\":") {
+        Some(i) => format!("{}}}}}", &resp[..i]),
+        None => resp.to_owned(),
+    }
+}
+
+/// One client's request script: `count` overlay checks that alternate
+/// between a leaking and a clean body, with ids unique per client.
+fn script(client: usize, count: usize, jobs: usize) -> Vec<String> {
+    (0..count)
+        .map(|k| {
+            let body = if k % 2 == 0 {
+                "  char *q = (char *) malloc(8);\\n  q = (char *) 0;\\n"
+            } else {
+                "  char *q = (char *) malloc(8);\\n  free(q);\\n"
+            };
+            format!(
+                r#"{{"id": {}, "method": "check", "params": {{"file": "b.c", "text": "void worker(void)\n{{\n{}}}\n", "jobs": {}}}}}"#,
+                client * 1000 + k,
+                body,
+                jobs
+            )
+        })
+        .collect()
+}
+
+/// Sequential single-client reference: every request served in-process
+/// against a fresh daemon.
+fn sequential_reference(clients: usize, count: usize, jobs: usize) -> Vec<Vec<String>> {
+    let daemon = Daemon::new(new_session());
+    (0..clients)
+        .map(|c| {
+            script(c, count, jobs).iter().map(|req| strip_ms(&daemon.handle_line(req))).collect()
+        })
+        .collect()
+}
+
+fn run_concurrent(clients: usize, count: usize, jobs: usize) -> Vec<Vec<String>> {
+    let daemon = Arc::new(Daemon::new(new_session()));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = {
+        let daemon = Arc::clone(&daemon);
+        std::thread::spawn(move || serve_tcp(&daemon, listener))
+    };
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut stream = stream;
+                let mut got = Vec::new();
+                for req in script(c, count, jobs) {
+                    stream.write_all(req.as_bytes()).unwrap();
+                    stream.write_all(b"\n").unwrap();
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    got.push(strip_ms(line.trim_end()));
+                }
+                got
+            })
+        })
+        .collect();
+    let results: Vec<Vec<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Stop the daemon.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    stream.write_all(b"{\"id\": 0, \"method\": \"shutdown\"}\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    server.join().unwrap().unwrap();
+    results
+}
+
+#[test]
+fn concurrent_clients_match_sequential_single_job() {
+    let expected = sequential_reference(4, 6, 1);
+    let got = run_concurrent(4, 6, 1);
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn concurrent_clients_match_sequential_many_jobs() {
+    let expected = sequential_reference(4, 6, 4);
+    let got = run_concurrent(4, 6, 4);
+    // The reference itself must be jobs-invariant too.
+    assert_eq!(expected, sequential_reference(4, 6, 1));
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn overlay_storm_leaves_canonical_state_clean() {
+    let daemon = Daemon::new(new_session());
+    for req in script(7, 10, 2) {
+        daemon.handle_line(&req);
+    }
+    let r = daemon.handle_line(r#"{"id": 1, "method": "check"}"#);
+    // a.c's only/temp transfer diagnostics are canonical; the overlay
+    // leaks on b.c must all be gone.
+    assert!(!r.contains("\"file\":\"b.c\""), "{r}");
+}

@@ -31,6 +31,8 @@ struct Interner {
     strings: Vec<&'static str>,
     hashes: Vec<u64>,
     map: HashMap<&'static str, u32>,
+    /// Total bytes of distinct interned text (leaked storage footprint).
+    bytes: usize,
 }
 
 fn fnv1a(s: &str) -> u64 {
@@ -44,7 +46,8 @@ fn fnv1a(s: &str) -> u64 {
 
 impl Interner {
     fn new() -> Self {
-        let mut it = Interner { strings: Vec::new(), hashes: Vec::new(), map: HashMap::new() };
+        let mut it =
+            Interner { strings: Vec::new(), hashes: Vec::new(), map: HashMap::new(), bytes: 0 };
         // Pre-intern names the checker tests against constantly, so their
         // ids are process-constant and available via the `sym` shorthands.
         for s in ["", "NULL", "malloc", "free", "assert", "size_t", "FILE", "main"] {
@@ -58,6 +61,7 @@ impl Interner {
             return id;
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        self.bytes += leaked.len();
         let id = self.strings.len() as u32;
         self.strings.push(leaked);
         self.hashes.push(fnv1a(leaked));
@@ -102,6 +106,13 @@ impl Symbol {
 /// Number of distinct strings interned so far (for `--stats`).
 pub fn symbol_count() -> usize {
     global().read().expect("interner poisoned").strings.len()
+}
+
+/// Total bytes of distinct interned text so far. Together with
+/// [`symbol_count`] this exposes interner growth: a long-lived analysis
+/// server re-checking edited-then-reverted content must hold both steady.
+pub fn interned_bytes() -> usize {
+    global().read().expect("interner poisoned").bytes
 }
 
 /// Shorthands for the pre-interned names: `sym::null_const()` etc.

@@ -295,7 +295,7 @@ impl<'a> Lexer<'a> {
         }
         let text = &self.text[start..self.pos];
         let span = self.span_from(start);
-        let kind = match Keyword::from_str(text) {
+        let kind = match Keyword::from_bytes(text.as_bytes()) {
             Some(k) => TokenKind::Kw(k),
             None => TokenKind::Ident(text.to_owned()),
         };

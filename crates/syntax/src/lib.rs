@@ -39,7 +39,7 @@ pub mod token;
 pub use annot::{AllocAnnot, Annot, AnnotSet, DefAnnot, ExposureAnnot, NullAnnot};
 pub use ast::*;
 pub use error::{Result, SyntaxError};
-pub use intern::{sym, symbol_count, Symbol};
+pub use intern::{interned_bytes, sym, symbol_count, Symbol};
 pub use lexer::{ControlComment, ControlKind, Lexer};
 pub use parser::Parser;
 pub use pp::{DiskProvider, FileProvider, MemoryProvider, PpOutput, Preprocessor};

@@ -62,7 +62,8 @@ impl Parser {
         for t in ["size_t", "FILE", "va_list", "bool_", "ptrdiff_t"] {
             typedefs.insert(t.to_owned());
         }
-        Parser { toks, pos: 0, typedefs, depth: 0, ast: Ast::new() }
+        let ast = Ast::with_estimated_capacity(toks.len());
+        Parser { toks, pos: 0, typedefs, depth: 0, ast }
     }
 
     /// Registers an extra typedef name before parsing.
@@ -867,7 +868,8 @@ impl Parser {
                 let cond = self.parse_expr()?;
                 self.expect_punct(Punct::RParen)?;
                 let then_branch = self.parse_stmt()?;
-                let else_branch = if self.eat_kw(Kw::Else) { Some(self.parse_stmt()?) } else { None };
+                let else_branch =
+                    if self.eat_kw(Kw::Else) { Some(self.parse_stmt()?) } else { None };
                 let end = else_branch
                     .map(|s| self.ast.stmt_span(s))
                     .unwrap_or_else(|| self.ast.stmt_span(then_branch));
@@ -1266,7 +1268,7 @@ mod tests {
         parse_translation_unit("t.c", src).unwrap_err()
     }
 
-    fn decl<'a>(tu: &'a TranslationUnit, i: usize) -> &'a Declaration {
+    fn decl(tu: &TranslationUnit, i: usize) -> &Declaration {
         match &tu.items[i] {
             Item::Decl(d) => tu.arena.decl(*d),
             _ => panic!("expected decl"),

@@ -136,6 +136,18 @@ impl SourceFile {
 #[derive(Debug, Default, Clone)]
 pub struct SourceMap {
     files: Vec<SourceFile>,
+    /// Active replay plan (see [`SourceMap::begin_replay`]).
+    replay: Option<Replay>,
+}
+
+/// State of an in-place re-registration: the next [`SourceMap::add_file`]
+/// calls are expected to re-register exactly the planned files (same names,
+/// same order) and overwrite their texts in place, keeping the ids stable.
+#[derive(Debug, Default, Clone)]
+struct Replay {
+    plan: Vec<FileId>,
+    next: usize,
+    diverged: bool,
 }
 
 impl SourceMap {
@@ -145,10 +157,56 @@ impl SourceMap {
     }
 
     /// Registers a file and returns its id.
+    ///
+    /// Under an active replay (see [`SourceMap::begin_replay`]) the file
+    /// replaces the next planned entry *in place* — same id, new text — as
+    /// long as the registered name matches the planned one. The first
+    /// mismatch marks the replay as diverged and falls back to appending.
     pub fn add_file(&mut self, name: impl Into<String>, text: impl Into<String>) -> FileId {
+        let name = name.into();
+        let text = text.into();
+        if let Some(replay) = &mut self.replay {
+            if !replay.diverged {
+                match replay.plan.get(replay.next) {
+                    Some(&id) if self.files[id.0 as usize].name == name => {
+                        replay.next += 1;
+                        self.files[id.0 as usize] = SourceFile::new(name, text);
+                        return id;
+                    }
+                    _ => replay.diverged = true,
+                }
+            }
+        }
         let id = FileId(self.files.len() as u32);
-        self.files.push(SourceFile::new(name.into(), text.into()));
+        self.files.push(SourceFile::new(name, text));
         id
+    }
+
+    /// Starts a replay: the next `plan.len()` calls to
+    /// [`SourceMap::add_file`] are expected to re-register exactly the
+    /// planned files in order (same names) and will overwrite their texts in
+    /// place, preserving the ids. Used by incremental sessions to re-lex one
+    /// changed root without disturbing the ids of every other file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replay is already active or a planned id is out of range.
+    pub fn begin_replay(&mut self, plan: Vec<FileId>) {
+        assert!(self.replay.is_none(), "nested SourceMap replay");
+        assert!(plan.iter().all(|id| (id.0 as usize) < self.files.len()));
+        self.replay = Some(Replay { plan, next: 0, diverged: false });
+    }
+
+    /// Ends the active replay. Returns `true` when the re-registration
+    /// matched the plan exactly (every planned file replaced, no extras,
+    /// no name mismatch) — the caller may then keep using the map with all
+    /// ids unchanged. On `false` the map's contents are unspecified beyond
+    /// "still self-consistent" and the caller should rebuild from scratch.
+    pub fn end_replay(&mut self) -> bool {
+        match self.replay.take() {
+            Some(r) => !r.diverged && r.next == r.plan.len(),
+            None => false,
+        }
     }
 
     /// Returns the full text of a file.
@@ -247,6 +305,55 @@ mod tests {
         let f = sm.add_file("x.h", "");
         assert_eq!(sm.find("x.h"), Some(f));
         assert_eq!(sm.find("y.h"), None);
+    }
+
+    #[test]
+    fn replay_overwrites_in_place() {
+        let mut sm = SourceMap::new();
+        let root = sm.add_file("r.c", "int a;");
+        let hdr = sm.add_file("h.h", "int b;");
+        let later = sm.add_file("z.c", "int c;");
+        sm.begin_replay(vec![root, hdr]);
+        assert_eq!(sm.add_file("r.c", "long a;"), root);
+        assert_eq!(sm.add_file("h.h", "long b;"), hdr);
+        assert!(sm.end_replay());
+        assert_eq!(sm.text(root), "long a;");
+        assert_eq!(sm.text(hdr), "long b;");
+        assert_eq!(sm.text(later), "int c;");
+        assert_eq!(sm.len(), 3);
+    }
+
+    #[test]
+    fn replay_diverges_on_name_mismatch() {
+        let mut sm = SourceMap::new();
+        let root = sm.add_file("r.c", "int a;");
+        sm.begin_replay(vec![root]);
+        let other = sm.add_file("other.c", "int b;");
+        assert_ne!(other, root);
+        assert!(!sm.end_replay());
+        assert_eq!(sm.text(root), "int a;");
+        assert_eq!(sm.text(other), "int b;");
+    }
+
+    #[test]
+    fn replay_incomplete_reports_failure() {
+        let mut sm = SourceMap::new();
+        let root = sm.add_file("r.c", "int a;");
+        let hdr = sm.add_file("h.h", "int b;");
+        sm.begin_replay(vec![root, hdr]);
+        sm.add_file("r.c", "long a;");
+        assert!(!sm.end_replay());
+    }
+
+    #[test]
+    fn replay_extra_file_appends() {
+        let mut sm = SourceMap::new();
+        let root = sm.add_file("r.c", "int a;");
+        sm.begin_replay(vec![root]);
+        sm.add_file("r.c", "long a;");
+        let extra = sm.add_file("new.h", "int n;");
+        assert_eq!(extra, FileId(1));
+        assert!(!sm.end_replay());
     }
 
     #[test]

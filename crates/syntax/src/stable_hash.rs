@@ -18,7 +18,7 @@
 //! [`Span`]: crate::span::Span
 
 use crate::ast::{
-    Ast, BlockItem, Declaration, Declarator, DeclSpecs, Derived, ExprId, ExprKind, ForInit,
+    Ast, BlockItem, DeclSpecs, Declaration, Declarator, Derived, ExprId, ExprKind, ForInit,
     FunctionDef, Initializer, IntSize, StmtId, StmtKind, TypeName, TypeSpec,
 };
 use crate::intern::Symbol;

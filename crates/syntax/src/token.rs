@@ -45,42 +45,71 @@ impl Keyword {
     /// Maps an identifier to a keyword, if it is one.
     #[allow(clippy::should_implement_trait)] // fallible lookup, not a parse
     pub fn from_str(s: &str) -> Option<Keyword> {
+        Keyword::from_bytes(s.as_bytes())
+    }
+
+    /// Keyword lookup on raw identifier bytes: a perfect-match fast path for
+    /// the lexer's hot loop. Dispatches on `(length, first byte)` — at most
+    /// one exact comparison runs per candidate identifier, and the common
+    /// case (user identifiers, which dominate real sources) falls out on the
+    /// first-byte mismatch without comparing full strings.
+    pub fn from_bytes(s: &[u8]) -> Option<Keyword> {
         use Keyword::*;
-        Some(match s {
-            "auto" => Auto,
-            "break" => Break,
-            "case" => Case,
-            "char" => Char,
-            "const" => Const,
-            "continue" => Continue,
-            "default" => Default,
-            "do" => Do,
-            "double" => Double,
-            "else" => Else,
-            "enum" => Enum,
-            "extern" => Extern,
-            "float" => Float,
-            "for" => For,
-            "goto" => Goto,
-            "if" => If,
-            "int" => Int,
-            "long" => Long,
-            "register" => Register,
-            "return" => Return,
-            "short" => Short,
-            "signed" => Signed,
-            "sizeof" => Sizeof,
-            "static" => Static,
-            "struct" => Struct,
-            "switch" => Switch,
-            "typedef" => Typedef,
-            "union" => Union,
-            "unsigned" => Unsigned,
-            "void" => Void,
-            "volatile" => Volatile,
-            "while" => While,
+        let &first = s.first()?;
+        // Buckets with a single candidate fall through to one exact compare;
+        // the few ambiguous buckets disambiguate on a second byte first.
+        let (kw, text): (Keyword, &[u8]) = match (s.len(), first) {
+            (2, b'd') => (Do, b"do"),
+            (2, b'i') => (If, b"if"),
+            (3, b'f') => (For, b"for"),
+            (3, b'i') => (Int, b"int"),
+            (4, b'a') => (Auto, b"auto"),
+            (4, b'c') => {
+                if s[1] == b'a' {
+                    (Case, b"case")
+                } else {
+                    (Char, b"char")
+                }
+            }
+            (4, b'e') => {
+                if s[1] == b'l' {
+                    (Else, b"else")
+                } else {
+                    (Enum, b"enum")
+                }
+            }
+            (4, b'g') => (Goto, b"goto"),
+            (4, b'l') => (Long, b"long"),
+            (4, b'v') => (Void, b"void"),
+            (5, b'b') => (Break, b"break"),
+            (5, b'c') => (Const, b"const"),
+            (5, b'f') => (Float, b"float"),
+            (5, b's') => (Short, b"short"),
+            (5, b'u') => (Union, b"union"),
+            (5, b'w') => (While, b"while"),
+            (6, b'd') => (Double, b"double"),
+            (6, b'e') => (Extern, b"extern"),
+            (6, b'r') => (Return, b"return"),
+            (6, b's') => match (s[1], s[2]) {
+                (b'i', b'g') => (Signed, b"signed"),
+                (b'i', _) => (Sizeof, b"sizeof"),
+                (b't', b'a') => (Static, b"static"),
+                (b't', _) => (Struct, b"struct"),
+                _ => (Switch, b"switch"),
+            },
+            (7, b'd') => (Default, b"default"),
+            (7, b't') => (Typedef, b"typedef"),
+            (8, b'c') => (Continue, b"continue"),
+            (8, b'r') => (Register, b"register"),
+            (8, b'u') => (Unsigned, b"unsigned"),
+            (8, b'v') => (Volatile, b"volatile"),
             _ => return None,
-        })
+        };
+        if s == text {
+            Some(kw)
+        } else {
+            None
+        }
     }
 
     /// The keyword's spelling.

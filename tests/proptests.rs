@@ -22,6 +22,7 @@ proptest! {
             filler_per_module: fillers,
             annotation_level: 1.0,
             seed,
+            ..GenConfig::default()
         });
         let linter = Linter::new(Flags::default());
         let r = linter.check_source("gen.c", &p.source).expect("parses");
