@@ -349,6 +349,8 @@ impl<'p> Checker<'p> {
             release_site: None,
             touched: false,
             offset: false,
+            cap: None,
+            str_len: None,
         }
     }
 
@@ -409,6 +411,8 @@ impl<'p> Checker<'p> {
                     release_site: None,
                     touched: false,
                     offset: false,
+                    cap: None,
+                    str_len: None,
                 },
             );
         }
@@ -1270,8 +1274,21 @@ impl Checker<'_> {
                 env.remove(dref);
             }
             env.clear_aliases(r);
+            // A sized array declaration is storage with a statically-known
+            // element capacity (the bottom of the bounded-buffer lattice).
+            let arr_cap = match &ty.ty {
+                lclint_sema::Type::Array(_, Some(n)) => Some(*n as i64),
+                _ => None,
+            };
             let mut st = RefState::undefined();
             st.null = NullState::from_annot(ty.annots.null());
+            if arr_cap.is_some() {
+                st.cap = arr_cap;
+                st.alloc_site = Some(id.declarator.span);
+                // The array's storage exists from the declaration on; only
+                // its *elements* start out undefined (tracked per element).
+                st.def = DefState::Allocated;
+            }
             env.set(r, st);
             match &id.init {
                 Some(Initializer::Expr(e)) => {
@@ -1286,6 +1303,14 @@ impl Checker<'_> {
                     env.set(r, st);
                 }
                 None => {}
+            }
+            if arr_cap.is_some() {
+                // The declared capacity is a property of the array storage;
+                // initializers must not replace it with their own.
+                let mut st = self.state_of(env, r);
+                st.cap = arr_cap;
+                st.alloc_site = st.alloc_site.or(Some(id.declarator.span));
+                env.set(r, st);
             }
         }
     }

@@ -53,6 +53,15 @@ pub enum DiagKind {
     /// The per-function analysis budget was exhausted; the function was
     /// degraded to assume-safe rather than checked.
     BudgetExceeded,
+    /// `p = realloc(p, n)` assigns the realloc result over its only
+    /// argument: if realloc returns null the old storage is unreachable.
+    ReallocLost,
+    /// A string/buffer sink writes more bytes than the destination's
+    /// statically-known capacity holds.
+    BufferOverflow,
+    /// A constant array index is outside the statically-known capacity of
+    /// the indexed storage.
+    OutOfBoundsIndex,
 }
 
 impl DiagKind {
@@ -75,6 +84,34 @@ impl DiagKind {
             DiagKind::SyntaxError => "syntax",
             DiagKind::InternalError => "internal",
             DiagKind::BudgetExceeded => "budget",
+            DiagKind::ReallocLost => "realloclost",
+            DiagKind::BufferOverflow => "boundswrite",
+            DiagKind::OutOfBoundsIndex => "boundsindex",
+        }
+    }
+
+    /// The CWE (Common Weakness Enumeration) id this anomaly class maps to,
+    /// when one exists. Derived purely from the kind: it is never encoded in
+    /// the incremental cache, so adding or changing a mapping does not bump
+    /// `CACHE_FORMAT_VERSION`.
+    pub fn cwe(&self) -> Option<u32> {
+        match self {
+            DiagKind::NullDeref | DiagKind::NullMismatch => Some(476),
+            DiagKind::UseBeforeDef | DiagKind::IncompleteDef => Some(457),
+            DiagKind::MemoryLeak | DiagKind::ReallocLost => Some(401),
+            DiagKind::UseAfterRelease => Some(416),
+            DiagKind::AllocMismatch => Some(762),
+            DiagKind::ConfluenceError => Some(459),
+            DiagKind::InterfaceViolation => Some(685),
+            DiagKind::UnreachableCode => Some(561),
+            DiagKind::MissingReturn => Some(394),
+            DiagKind::BufferOverflow => Some(787),
+            DiagKind::OutOfBoundsIndex => Some(125),
+            DiagKind::AliasViolation
+            | DiagKind::ExposureViolation
+            | DiagKind::SyntaxError
+            | DiagKind::InternalError
+            | DiagKind::BudgetExceeded => None,
         }
     }
 
@@ -98,6 +135,9 @@ impl DiagKind {
             DiagKind::SyntaxError,
             DiagKind::InternalError,
             DiagKind::BudgetExceeded,
+            DiagKind::ReallocLost,
+            DiagKind::BufferOverflow,
+            DiagKind::OutOfBoundsIndex,
         ]
     }
 }
@@ -156,6 +196,17 @@ mod tests {
             .with_note("Storage p may become null", Span::synthetic());
         assert_eq!(d.notes.len(), 1);
         assert_eq!(d.kind.flag_name(), "nullderef");
+    }
+
+    #[test]
+    fn cwe_ids_cover_the_memory_error_kinds() {
+        assert_eq!(DiagKind::NullDeref.cwe(), Some(476));
+        assert_eq!(DiagKind::MemoryLeak.cwe(), Some(401));
+        assert_eq!(DiagKind::ReallocLost.cwe(), Some(401));
+        assert_eq!(DiagKind::UseAfterRelease.cwe(), Some(416));
+        assert_eq!(DiagKind::BufferOverflow.cwe(), Some(787));
+        assert_eq!(DiagKind::OutOfBoundsIndex.cwe(), Some(125));
+        assert_eq!(DiagKind::SyntaxError.cwe(), None);
     }
 
     #[test]

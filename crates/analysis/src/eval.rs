@@ -22,8 +22,8 @@ pub(crate) enum Value {
     Null(Span),
     /// A known integer.
     Int(i64),
-    /// A string literal.
-    Str(Span),
+    /// A string literal (with its character count, excluding the nul).
+    Str(Span, i64),
     /// The address of a tracked reference (`&x`).
     AddrOf(RefId),
     /// Anything else.
@@ -64,7 +64,7 @@ impl Checker<'_> {
             ExprKind::IntLit(v) => Value::Int(*v),
             ExprKind::FloatLit(_) => Value::Opaque,
             ExprKind::CharLit(v) => Value::Int(*v),
-            ExprKind::StrLit(_) => Value::Str(span),
+            ExprKind::StrLit(s) => Value::Str(span, s.as_str().chars().count() as i64),
             ExprKind::Member { .. } | ExprKind::Index(_, _) | ExprKind::Unary(UnOp::Deref, _) => {
                 match self.ref_of_expr(env, e) {
                     Some(r) => {
@@ -116,6 +116,7 @@ impl Checker<'_> {
             }
             ExprKind::Assign(AssignOp::Assign, lhs, rhs) => {
                 let (lhs, rhs) = (*lhs, *rhs);
+                self.check_realloc_over_self(env, lhs, rhs, span);
                 let v = self.eval_expr(env, rhs);
                 match self.ref_of_expr(env, lhs) {
                     Some(lr) => {
@@ -228,11 +229,12 @@ impl Checker<'_> {
             ExprKind::Index(base, idx) => {
                 let (base, idx) = (*base, *idx);
                 let br = self.ref_of_expr(env, base)?;
-                if !self.quiet {
-                    let _ = self.eval_expr(env, idx);
-                }
+                let iv = if self.quiet { Value::Opaque } else { self.eval_expr(env, idx) };
                 let at = ast.expr_span(base);
                 self.check_deref(env, br, at, AccessKind::Index, sym::empty());
+                if let Value::Int(i) = iv {
+                    self.check_const_index(env, br, i, ast.expr_span(e));
+                }
                 let ty = self.table.ty(br).and_then(|t| t.pointee().cloned());
                 Some(self.extend_ref(env, br, RefStep::Index, ty))
             }
@@ -511,9 +513,12 @@ impl Checker<'_> {
                 s.alloc = AllocState::Unknown;
                 s
             }
-            Value::Str(_) => {
+            Value::Str(_, len) => {
                 let mut s = RefState::defined();
                 s.alloc = AllocState::Static;
+                // String-literal storage holds exactly the literal.
+                s.cap = Some(len + 1);
+                s.str_len = Some(len);
                 s
             }
             Value::AddrOf(_) => {
@@ -744,11 +749,210 @@ impl Checker<'_> {
         self.check_args(env, sig, callee, args, &values, span);
         self.check_unique_params(env, sig, callee, &values, span);
         self.apply_postconditions(env, sig, &values, span);
+        self.check_buffer_sink(env, callee, args, &values, span);
         if sig.ty.ret.annots.is_noreturn() {
             env.unreachable = true;
             return Value::Opaque;
         }
-        self.call_result(env, sig, &values, span)
+        let result = self.call_result(env, sig, &values, span);
+        // Allocators called with constant sizes yield storage of known
+        // capacity (in interpreter slots: malloc(n) is n elements).
+        if let Value::Ref(r) = result {
+            if let Some(cap) = alloc_capacity(callee, &values) {
+                let mut st = self.state_of(env, r);
+                st.cap = Some(cap);
+                env.set(r, st);
+            }
+        }
+        result
+    }
+
+    /// Detects `p = realloc(p, n)`: when realloc fails it returns null and
+    /// leaves the old block allocated, but the assignment has overwritten the
+    /// only reference to it (CWE-401).
+    fn check_realloc_over_self(&mut self, env: &mut Env, lhs: ExprId, rhs: ExprId, span: Span) {
+        if self.quiet {
+            return;
+        }
+        let ast = self.ast;
+        let mut e = rhs;
+        loop {
+            match ast.expr(e) {
+                ExprKind::Cast(_, inner) => e = *inner,
+                ExprKind::Comma(_, r) => e = *r,
+                _ => break,
+            }
+        }
+        let ExprKind::Call(_, args) = ast.expr(e) else { return };
+        if ast.direct_callee(e).map(|n| n == "realloc") != Some(true) || args.is_empty() {
+            return;
+        }
+        let arg0 = args[0];
+        let was_quiet = self.quiet;
+        self.quiet = true;
+        let a = self.ref_of_expr(env, arg0);
+        let l = self.ref_of_expr(env, lhs);
+        self.quiet = was_quiet;
+        let (Some(a), Some(l)) = (a, l) else { return };
+        if a != l {
+            return;
+        }
+        let name = self.table.name(l);
+        self.report(Diagnostic::new(
+            DiagKind::ReallocLost,
+            format!(
+                "Realloc result assigned over its only argument: \
+                 {name} = realloc({name}, ...) loses the old storage \
+                 when realloc returns null"
+            ),
+            span,
+        ));
+    }
+
+    /// Bounded-buffer sink checks: a write of statically-known size into
+    /// storage of statically-known capacity must fit.
+    fn check_buffer_sink(
+        &mut self,
+        env: &mut Env,
+        callee: Symbol,
+        args: &[ExprId],
+        values: &[Value],
+        span: Span,
+    ) {
+        let is = |n: &str| callee == n;
+        if !(is("strcpy") || is("strcat") || is("sprintf") || is("gets") || is("memcpy")) {
+            return;
+        }
+        let Some(Value::Ref(dst)) = values.first() else { return };
+        let dst = *dst;
+        let st = self.state_of(env, dst);
+        // Offset pointers no longer point at the start of the storage.
+        if st.offset {
+            return;
+        }
+        let Some(cap) = st.cap else { return };
+        let src_len = |v: Option<&Value>| match v {
+            Some(Value::Str(_, len)) => Some(*len),
+            Some(Value::Ref(r)) => self.state_of(env, *r).str_len,
+            _ => None,
+        };
+        // (bytes written, resulting string length) when decidable.
+        let effect: Option<(i64, Option<i64>)> = if is("strcpy") {
+            src_len(values.get(1)).map(|n| (n + 1, Some(n)))
+        } else if is("strcat") {
+            match (st.str_len, src_len(values.get(1))) {
+                (Some(old), Some(add)) => Some((old + add + 1, Some(old + add))),
+                _ => None,
+            }
+        } else if is("sprintf") {
+            // Only the degenerate constant format with no conversions is
+            // statically decidable.
+            match self.literal_text(args.get(1).copied()) {
+                Some(text) if !text.contains('%') => {
+                    let n = text.chars().count() as i64;
+                    Some((n + 1, Some(n)))
+                }
+                _ => None,
+            }
+        } else if is("memcpy") {
+            match values.get(2) {
+                Some(Value::Int(n)) if *n >= 0 => Some((*n, None)),
+                _ => None,
+            }
+        } else {
+            // gets writes an unbounded attacker-controlled line: any finite
+            // buffer can overflow.
+            let name = self.table.name(dst);
+            let mut d = Diagnostic::new(
+                DiagKind::BufferOverflow,
+                format!(
+                    "Possible buffer overflow in call to gets: \
+                     unbounded input written into {name} (capacity {cap})"
+                ),
+                span,
+            );
+            if let Some(site) = st.alloc_site {
+                d = d.with_note(format!("Storage {name} has capacity {cap}"), site);
+            }
+            self.report(d);
+            let mut st = st;
+            st.cap = None;
+            env.set(dst, st);
+            return;
+        };
+        let Some((need, new_len)) = effect else { return };
+        if need > cap {
+            let name = self.table.name(dst);
+            let mut d = Diagnostic::new(
+                DiagKind::BufferOverflow,
+                format!(
+                    "Buffer overflow in call to {callee}: \
+                     {need} bytes written into {name} (capacity {cap})"
+                ),
+                span,
+            );
+            if let Some(site) = st.alloc_site {
+                d = d.with_note(format!("Storage {name} has capacity {cap}"), site);
+            }
+            self.report(d);
+            // Squelch follow-on reports against the same storage.
+            let mut st = st;
+            st.cap = None;
+            st.str_len = None;
+            env.set(dst, st);
+        } else {
+            let mut st = st;
+            st.str_len = new_len;
+            env.set(dst, st);
+            // Aliases may hold a stale length for the same storage.
+            for a in env.all_aliases_of(dst) {
+                let mut ast = self.state_of(env, a);
+                ast.str_len = None;
+                env.set(a, ast);
+            }
+        }
+    }
+
+    /// Constant array index against known capacity (CWE-125/787).
+    fn check_const_index(&mut self, env: &mut Env, base: RefId, idx: i64, span: Span) {
+        if self.quiet {
+            return;
+        }
+        let st = self.state_of(env, base);
+        if st.offset {
+            return;
+        }
+        let Some(cap) = st.cap else { return };
+        if idx >= 0 && idx < cap {
+            return;
+        }
+        let name = self.table.name(base);
+        let mut d = Diagnostic::new(
+            DiagKind::OutOfBoundsIndex,
+            format!("Index {idx} out of bounds of {name}: capacity is {cap}"),
+            span,
+        );
+        if let Some(site) = st.alloc_site {
+            d = d.with_note(format!("Storage {name} has capacity {cap}"), site);
+        }
+        self.report(d);
+        let mut st = st;
+        st.cap = None;
+        env.set(base, st);
+    }
+
+    /// The text of a string-literal argument, peeling casts.
+    fn literal_text(&self, e: Option<ExprId>) -> Option<&'static str> {
+        let ast = self.ast;
+        let mut e = e?;
+        loop {
+            match ast.expr(e) {
+                ExprKind::Cast(_, inner) => e = *inner,
+                ExprKind::Comma(_, r) => e = *r,
+                ExprKind::StrLit(s) => return Some(s.as_str()),
+                _ => return None,
+            }
+        }
     }
 
     fn check_args(
@@ -1254,9 +1458,30 @@ impl Checker<'_> {
                 release_site: None,
                 touched: true,
                 offset: false,
+                cap: None,
+                str_len: None,
             },
         );
         Value::Ref(temp)
+    }
+}
+
+/// The capacity (in abstract elements) of storage returned by an allocator
+/// called with constant sizes; `None` when the callee is not an allocator or
+/// a size is not statically known.
+fn alloc_capacity(callee: Symbol, values: &[Value]) -> Option<i64> {
+    let int = |i: usize| match values.get(i) {
+        Some(Value::Int(n)) if *n > 0 => Some(*n),
+        _ => None,
+    };
+    if callee == "malloc" {
+        int(0)
+    } else if callee == "calloc" {
+        int(0)?.checked_mul(int(1)?)
+    } else if callee == "realloc" {
+        int(1)
+    } else {
+        None
     }
 }
 

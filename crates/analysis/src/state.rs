@@ -198,6 +198,15 @@ pub struct RefState {
     pub alloc_site: Option<Span>,
     /// Where the reference was released / transferred (for dead refs).
     pub release_site: Option<Span>,
+    /// Statically-known capacity of the referenced storage, in elements
+    /// (chars for string buffers): seeded from `char buf[N]` declarations
+    /// and constant-size `malloc`/`calloc`/`realloc` calls. `None` means
+    /// unknown — the bounds checks stay silent.
+    pub cap: Option<i64>,
+    /// Statically-known length of the nul-terminated string currently in
+    /// the referenced storage (excluding the nul), when decidable from
+    /// string-literal assignments and string-sink effects.
+    pub str_len: Option<i64>,
     /// True once this reference has been assigned within the current
     /// function (distinguishes values this function obtained from entry
     /// assumptions — used by the leak-on-assignment check).
@@ -220,6 +229,8 @@ impl RefState {
             release_site: None,
             touched: false,
             offset: false,
+            cap: None,
+            str_len: None,
         }
     }
 
@@ -234,6 +245,8 @@ impl RefState {
             release_site: None,
             touched: false,
             offset: false,
+            cap: None,
+            str_len: None,
         }
     }
 
@@ -248,6 +261,8 @@ impl RefState {
             release_site: None,
             touched: false,
             offset: false,
+            cap: None,
+            str_len: None,
         }
     }
 }
@@ -412,6 +427,8 @@ pub fn implicit_state(env: &Env, table: &RefTable, r: RefId) -> RefState {
         release_site: None,
         touched: false,
         offset: false,
+        cap: None,
+        str_len: None,
     }
 }
 
@@ -486,6 +503,10 @@ pub fn merge_env(
                 release_site: sa.release_site.or(sb.release_site),
                 touched: sa.touched || sb.touched,
                 offset: sa.offset || sb.offset,
+                // Capacities agree or are forgotten: the lattice has no
+                // interval join, only equal-or-unknown.
+                cap: if sa.cap == sb.cap { sa.cap } else { None },
+                str_len: if sa.str_len == sb.str_len { sa.str_len } else { None },
             },
         );
     }
@@ -634,6 +655,35 @@ mod tests {
         env.set(l, st);
         let s = implicit_state(&env, &t, ln);
         assert_eq!(s.def, DefState::Undefined);
+    }
+
+    #[test]
+    fn capacity_merges_equal_or_unknown() {
+        let mut t = RefTable::new();
+        let b = t.intern(Path::root(RefBase::Local("buf".into())));
+        let mut sa = RefState::defined();
+        sa.cap = Some(8);
+        sa.str_len = Some(3);
+        let mut sb = RefState::defined();
+        sb.cap = Some(8);
+        sb.str_len = Some(5);
+        let mut env_a = Env::new();
+        let mut env_b = Env::new();
+        env_a.set(b, sa.clone());
+        env_b.set(b, sb.clone());
+        let mut diags = Vec::new();
+        let m = merge_env(env_a, env_b, Span::synthetic(), &t, &mut diags);
+        // Equal capacities survive the join; disagreeing lengths are dropped.
+        assert_eq!(m.get(b).unwrap().cap, Some(8));
+        assert_eq!(m.get(b).unwrap().str_len, None);
+        sb.cap = Some(16);
+        let mut env_a = Env::new();
+        let mut env_b = Env::new();
+        env_a.set(b, sa);
+        env_b.set(b, sb);
+        let m = merge_env(env_a, env_b, Span::synthetic(), &t, &mut diags);
+        assert_eq!(m.get(b).unwrap().cap, None);
+        assert!(diags.is_empty());
     }
 
     #[test]

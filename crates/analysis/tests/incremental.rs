@@ -268,6 +268,50 @@ fn budget_degraded_function_is_never_cached() {
 }
 
 #[test]
+fn new_class_diagnostics_cache_and_invalidate() {
+    // The CWE-expansion diagnostics (realloclost, boundsindex) flow through
+    // the cache like any other kind: warm runs are byte-identical without
+    // re-checking, and an edit that grows a capacity re-checks only the
+    // edited function and drops its bounds diagnostic.
+    let src = "extern /*@null@*/ /*@out@*/ /*@only@*/ void *malloc(int size);\n\
+               extern /*@null@*/ /*@out@*/ /*@only@*/ void *realloc(/*@null@*/ /*@partial@*/ /*@only@*/ void *ptr, int size);\n\
+               extern void free(/*@null@*/ /*@out@*/ /*@only@*/ void *ptr);\n\
+               extern void assert(int expression);\n\
+               void lose(void)\n{\n  char *grow = (char *) malloc(4);\n  assert(grow != NULL);\n  grow = (char *) realloc(grow, 8);\n}\n\
+               void index_oob(void)\n{\n  int *tiny = (int *) malloc(3);\n  assert(tiny != NULL);\n  tiny[4] = 1;\n  free(tiny);\n}\n";
+    let p = program(src);
+    let mut cache = CheckCache::new();
+    let (cold_checked, cold) = run(&mut cache, &p);
+    assert_eq!(cold_checked.len(), 2);
+    assert!(
+        cold.iter().any(|d| d.kind == lclint_analysis::DiagKind::ReallocLost),
+        "missing realloclost: {cold:?}"
+    );
+    assert!(
+        cold.iter().any(|d| d.kind == lclint_analysis::DiagKind::OutOfBoundsIndex),
+        "missing boundsindex: {cold:?}"
+    );
+
+    let (warm_checked, warm) = run(&mut cache, &p);
+    assert!(warm_checked.is_empty(), "re-checked: {warm_checked:?}");
+    assert_eq!(cold, warm, "warm new-class diagnostics must be identical to cold");
+
+    let edited = src.replace("malloc(3)", "malloc(8)");
+    let p2 = program(&edited);
+    let (checked, diags) = run(&mut cache, &p2);
+    assert_eq!(checked, vec!["index_oob".to_owned()], "only the edited function re-checks");
+    assert!(
+        !diags.iter().any(|d| d.kind == lclint_analysis::DiagKind::OutOfBoundsIndex),
+        "grown capacity must clear the bounds diagnostic: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.kind == lclint_analysis::DiagKind::ReallocLost),
+        "cached realloclost must survive the unrelated edit: {diags:?}"
+    );
+    assert_eq!(diags, check_program(&p2, &AnalysisOptions::default()));
+}
+
+#[test]
 fn review_intra_function_whitespace_edit() {
     let src = "extern /*@null out only@*/ void *malloc(int size);\n\
                void leak(void)\n{\n  char *p = (char *) malloc(4);\n  if (p != 0) { *p = 'a'; }\n}\n";

@@ -539,6 +539,79 @@ pub fn soundness_table(
     (rows, clean)
 }
 
+/// One row of the CWE bug-class expansion table (E18): one of the new bug
+/// classes with its CWE id and differential scores aggregated over sizes.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CweRow {
+    /// Bug-class label (`BugClass::label()`).
+    pub class: String,
+    /// CWE id rendered on the class's primary static diagnostic.
+    pub cwe: u32,
+    /// Static diagnostic kinds that detect the class (primary first).
+    pub static_kinds: Vec<String>,
+    /// Injected mutants scored across all corpus sizes.
+    pub cases: usize,
+    /// Distinct oracle errors across the input sweeps.
+    pub oracle_errors: usize,
+    /// Static diagnostics matched to an oracle error.
+    pub tp: usize,
+    /// Static diagnostics matching no oracle error.
+    pub fp: usize,
+    /// Oracle errors missed outside the expected-FN taxonomy.
+    pub false_negatives: usize,
+    /// Oracle errors in a documented (residual) expected-FN category.
+    pub expected_fn: usize,
+    /// Recall over in-scope oracle errors, percent.
+    pub recall_pct: f64,
+}
+
+/// E18: the CWE-taxonomy expansion classes (realloc-lost, buffer-overflow,
+/// oob-index) aggregated over E14 soundness rows, each tagged with the CWE
+/// id its primary diagnostic kind renders. The CWE id is looked up through
+/// [`lclint_core::DiagKind::cwe`], so the table breaks if the rendered tag
+/// and the taxonomy ever drift apart.
+pub fn cwe_expansion_table(rows: &[SoundnessRow]) -> Vec<CweRow> {
+    use lclint_core::DiagKind;
+    use lclint_corpus::differential::static_kinds;
+    [BugClass::ReallocLost, BugClass::BufferOverflow, BugClass::OutOfBoundsIndex]
+        .iter()
+        .map(|class| {
+            let kinds = static_kinds(*class);
+            let cwe = DiagKind::all()
+                .iter()
+                .find(|k| k.flag_name() == kinds[0])
+                .and_then(DiagKind::cwe)
+                .expect("every expansion class has a CWE-mapped primary kind");
+            let mut row = CweRow {
+                class: class.label().to_owned(),
+                cwe,
+                static_kinds: kinds.iter().map(|k| (*k).to_owned()).collect(),
+                cases: 0,
+                oracle_errors: 0,
+                tp: 0,
+                fp: 0,
+                false_negatives: 0,
+                expected_fn: 0,
+                recall_pct: 100.0,
+            };
+            for r in rows.iter().filter(|r| r.class == class.label()) {
+                row.cases += r.cases;
+                row.oracle_errors += r.oracle_errors;
+                row.tp += r.tp;
+                row.fp += r.fp;
+                row.false_negatives += r.false_negatives;
+                row.expected_fn += r.expected_fn;
+            }
+            let covered = row.oracle_errors - row.expected_fn - row.false_negatives;
+            let in_scope = covered + row.false_negatives;
+            if in_scope > 0 {
+                row.recall_pct = 100.0 * covered as f64 / in_scope as f64;
+            }
+            row
+        })
+        .collect()
+}
+
 /// E9 (library variant): time to check a module + client from full source
 /// vs checking the client against the module's interface library (§7's
 /// "libraries to store interface information"). Returns `(full_ms, lib_ms)`.
@@ -1102,6 +1175,27 @@ mod tests {
         assert_eq!(clean.static_fp, 0, "false positives on the clean corpus: {clean:?}");
         assert_eq!(clean.oracle_errors, 0, "oracle errors on the clean corpus: {clean:?}");
         assert_eq!(clean.disagreements, 0, "unshrunk disagreements: {clean:?}");
+    }
+
+    /// ISSUE 8 acceptance bars: each new CWE-tagged bug class (realloc-lost,
+    /// buffer-overflow, oob-index) reaches >= 90% recall with zero false
+    /// positives and zero out-of-taxonomy false negatives, and carries the
+    /// CWE id its diagnostics render.
+    #[test]
+    fn e18_cwe_expansion_meets_the_acceptance_bars() {
+        let (rows, _) = soundness_table(&[1, 2], 2, 1);
+        let table = cwe_expansion_table(&rows);
+        assert_eq!(table.len(), 3);
+        let by: BTreeMap<&str, &CweRow> = table.iter().map(|r| (r.class.as_str(), r)).collect();
+        assert_eq!(by["realloc-lost"].cwe, 401);
+        assert_eq!(by["buffer-overflow"].cwe, 787);
+        assert_eq!(by["oob-index"].cwe, 125);
+        for r in &table {
+            assert!(r.cases > 0 && r.oracle_errors > 0, "harness saw nothing: {r:?}");
+            assert!(r.recall_pct >= 90.0, "recall below the 90% bar: {r:?}");
+            assert_eq!(r.fp, 0, "false positive in an expansion class: {r:?}");
+            assert_eq!(r.false_negatives, 0, "FN outside the residual taxonomy: {r:?}");
+        }
     }
 
     /// ISSUE 5 acceptance bars: 50+ syntax mutants, zero aborts, >=95%

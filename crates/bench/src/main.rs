@@ -6,11 +6,11 @@
 //! ```
 
 use lclint_bench::{
-    annotation_sweep, daemon_table, database_table, detection_table, figure_table,
-    incremental_table, inference_table, library_speedup, par_speedup_table, resilience_table,
-    scaling_table, soundness_table, stdlib_cache_stats, throughput_table, DaemonRow, IncrRow,
-    InferRow, ResilienceReport, SoundnessClean, SoundnessRow, ThroughputRow, PR6_PARSE_MS_100K,
-    PRE_FLAT_BASELINE_MS_100K,
+    annotation_sweep, cwe_expansion_table, daemon_table, database_table, detection_table,
+    figure_table, incremental_table, inference_table, library_speedup, par_speedup_table,
+    resilience_table, scaling_table, soundness_table, stdlib_cache_stats, throughput_table, CweRow,
+    DaemonRow, IncrRow, InferRow, ResilienceReport, SoundnessClean, SoundnessRow, ThroughputRow,
+    PR6_PARSE_MS_100K, PRE_FLAT_BASELINE_MS_100K,
 };
 
 fn main() {
@@ -201,9 +201,10 @@ fn main() {
     let (diff_sizes, diff_cases) = if quick { (vec![1, 2], 2) } else { (vec![1, 2, 4], 3) };
     println!(
         "\nE14. Differential soundness: static checker vs interpreter oracle\n\
-         \u{20}    ({} corpus sizes x {} programs x 5 injected bug classes, seed 1)\n",
+         \u{20}    ({} corpus sizes x {} programs x {} injected bug classes, seed 1)\n",
         diff_sizes.len(),
-        diff_cases
+        diff_cases,
+        lclint_corpus::mutator::BugClass::all().len()
     );
     println!(
         "{:>7} {:>6} {:<16} {:>6} {:>8} {:>5} {:>5} {:>5} {:>8} {:>8}",
@@ -237,6 +238,36 @@ fn main() {
          \u{20}  and line; known-unsound categories (bounds, assertions, termination;\n\
          \u{20}  sections 2/6/9) score as documented expected FNs, pinned under\n\
          \u{20}  tests/differential_regressions/."
+    );
+
+    // E18 ---------------------------------------------------------------------
+    println!(
+        "\nE18. CWE-taxonomy expansion: the new bug classes, aggregated over\n\
+         \u{20}    the E14 sweep, tagged with the CWE id their diagnostics render\n"
+    );
+    println!(
+        "{:<16} {:>7} {:>24} {:>6} {:>8} {:>5} {:>5} {:>5} {:>8}",
+        "class", "CWE", "static kinds", "cases", "oracle", "TP", "FP", "FN", "recall"
+    );
+    let cwe_rows = cwe_expansion_table(&soundness);
+    for row in &cwe_rows {
+        println!(
+            "{:<16} {:>7} {:>24} {:>6} {:>8} {:>5} {:>5} {:>5} {:>7.1}%",
+            row.class,
+            format!("CWE-{}", row.cwe),
+            row.static_kinds.join(","),
+            row.cases,
+            row.oracle_errors,
+            row.tp,
+            row.fp,
+            row.false_negatives,
+            row.recall_pct
+        );
+    }
+    println!(
+        "\n  realloc self-overwrites (CWE-401 variant), string-sink overflows\n\
+         \u{20}  against the capacity lattice (CWE-787), and constant-index bounds\n\
+         \u{20}  errors (CWE-125); dynamic-index cases remain a residual expected FN."
     );
 
     // E15 ---------------------------------------------------------------------
@@ -342,6 +373,7 @@ fn main() {
             "inference_table": infer,
             "soundness_table": soundness,
             "soundness_clean": soundness_clean,
+            "cwe_expansion": cwe_rows,
             "resilience": resilience,
             "throughput": throughput,
             "daemon": daemon,
@@ -400,7 +432,46 @@ fn main() {
             Ok(()) => println!("daemon snapshot written to {}", snap.display()),
             Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
         }
+
+        // Snapshot of the CWE expansion table, likewise hand rendered.
+        let snap =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_PR8.json");
+        match std::fs::write(&snap, render_e18_snapshot(&cwe_rows)) {
+            Ok(()) => println!("CWE expansion snapshot written to {}", snap.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
+        }
     }
+}
+
+/// Renders the E18 table as a JSON document without going through a
+/// serializer (offline builds stub `serde_json`).
+fn render_e18_snapshot(rows: &[CweRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"cwe-taxonomy-expansion\",\n");
+    out.push_str("  \"bars\": {\"recall_pct\": 90.0, \"fp\": 0, \"false_negatives\": 0},\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let kinds: Vec<String> = r.static_kinds.iter().map(|k| format!("\"{k}\"")).collect();
+        out.push_str(&format!(
+            "    {{\"class\": \"{}\", \"cwe\": {}, \"static_kinds\": [{}], \"cases\": {}, \
+             \"oracle_errors\": {}, \"tp\": {}, \"fp\": {}, \"false_negatives\": {}, \
+             \"expected_fn\": {}, \"recall_pct\": {:.1}}}{}\n",
+            r.class,
+            r.cwe,
+            kinds.join(", "),
+            r.cases,
+            r.oracle_errors,
+            r.tp,
+            r.fp,
+            r.false_negatives,
+            r.expected_fn,
+            r.recall_pct,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders the E17 table as a JSON document without going through a

@@ -462,10 +462,17 @@ fn main() -> ExitCode {
         if json {
             // Machine-readable substrate counters, one line on stderr so the
             // stdout diagnostics array keeps its shape.
+            let cwe_counts = result
+                .counts_by_cwe()
+                .iter()
+                .map(|(id, n)| format!("\"{id}\": {n}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             eprintln!(
                 "{{\"substrate\": {{\"exprs\": {}, \"expr_bytes\": {}, \"stmts\": {}, \
                  \"stmt_bytes\": {}, \"decls\": {}, \"decl_bytes\": {}, \"span_bytes\": {}, \
-                 \"arena_bytes\": {}, \"symbols\": {}, \"peak_rss_bytes\": {}}}}}",
+                 \"arena_bytes\": {}, \"symbols\": {}, \"peak_rss_bytes\": {}}}, \
+                 \"cwe_counts\": {{{cwe_counts}}}}}",
                 sub.arena.exprs,
                 sub.arena.expr_bytes,
                 sub.arena.stmts,
@@ -492,6 +499,12 @@ fn main() -> ExitCode {
             eprintln!("rlclint: interner: {} symbols", sub.symbols);
             if let Some(b) = rss {
                 eprintln!("rlclint: peak RSS: {} KiB", b / 1024);
+            }
+            let by_cwe = result.counts_by_cwe();
+            if !by_cwe.is_empty() {
+                let parts: Vec<String> =
+                    by_cwe.iter().map(|(id, n)| format!("CWE-{id}: {n}")).collect();
+                eprintln!("rlclint: warnings by CWE: {}", parts.join(", "));
             }
         }
     }

@@ -72,6 +72,40 @@ fn json_output_is_machine_readable() {
     let arr = parsed.as_array().expect("array");
     assert_eq!(arr.len(), 1);
     assert_eq!(arr[0]["kind"], "nullderef");
+    assert_eq!(arr[0]["cwe"], 476i64, "diagnostics must carry their CWE id: {stdout}");
+}
+
+#[test]
+fn json_output_tags_the_new_classes_with_cwe_ids() {
+    if !serde_json_is_real() {
+        eprintln!("skipping: stub serde_json (offline build)");
+        return;
+    }
+    let path = write_temp(
+        "cwe.c",
+        "int run(void)\n{\n  int *tiny = (int *) malloc(3);\n  assert(tiny != NULL);\n  \
+         tiny[4] = 1;\n  free(tiny);\n  return 0;\n}\n",
+    );
+    let out = rlclint().arg("--json").arg(&path).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let parsed: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    let arr = parsed.as_array().expect("array");
+    assert_eq!(arr.len(), 1, "{stdout}");
+    assert_eq!(arr[0]["kind"], "boundsindex");
+    assert_eq!(arr[0]["cwe"], 125i64);
+}
+
+#[test]
+fn stats_reports_per_cwe_counts() {
+    let path = write_temp(
+        "cwestats.c",
+        "void f(void)\n{\n  char *g = (char *) malloc(4);\n  assert(g != NULL);\n  \
+         g = (char *) realloc(g, 8);\n}\n",
+    );
+    let out = rlclint().arg("--stats").arg(&path).output().expect("runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // realloclost plus the lost block's mustfree, both CWE-401.
+    assert!(stderr.contains("warnings by CWE: CWE-401: 2"), "{stderr}");
 }
 
 #[test]

@@ -76,6 +76,21 @@ fn golden_syntax_error() {
     check_golden("syntax_error");
 }
 
+#[test]
+fn golden_realloc_lost() {
+    check_golden("realloc_lost");
+}
+
+#[test]
+fn golden_buffer_overflow() {
+    check_golden("buffer_overflow");
+}
+
+#[test]
+fn golden_oob_index() {
+    check_golden("oob_index");
+}
+
 /// The `internal` diagnostic message is part of the user interface: its
 /// wording is pinned here via the panic-injection hook. The message contains
 /// only the panic payload — no file/line of the panic site — precisely so
@@ -103,5 +118,5 @@ fn golden_set_is_complete() {
     cs.sort();
     expecteds.sort();
     assert_eq!(cs, expecteds, "every golden .c needs a .expected and vice versa");
-    assert_eq!(cs.len(), 5, "golden set changed; update the per-file tests too");
+    assert_eq!(cs.len(), 8, "golden set changed; update the per-file tests too");
 }

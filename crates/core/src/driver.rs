@@ -206,6 +206,19 @@ impl CheckResult {
         }
         m
     }
+
+    /// Message counts by CWE id (for `--stats` and the daemon's `stats`
+    /// response). Diagnostics whose kind has no CWE mapping (syntax,
+    /// internal, budget, ...) are not counted.
+    pub fn counts_by_cwe(&self) -> std::collections::BTreeMap<u32, usize> {
+        let mut m = std::collections::BTreeMap::new();
+        for d in &self.diagnostics {
+            if let Some(id) = d.cwe {
+                *m.entry(id).or_insert(0usize) += 1;
+            }
+        }
+        m
+    }
 }
 
 /// The checker: LCLint's top-level interface.
@@ -644,7 +657,7 @@ mod tests {
         let text = result.render();
         assert_eq!(
             text,
-            "sample.c:6: Function returns with non-null global gname referencing null storage\n   sample.c:5: Storage gname may become null\n"
+            "sample.c:6: Function returns with non-null global gname referencing null storage [CWE-476]\n   sample.c:5: Storage gname may become null\n"
         );
     }
 

@@ -21,6 +21,9 @@ pub struct RenderedDiagnostic {
     pub col: u32,
     /// Message-class flag name (e.g. `mustfree`).
     pub kind: String,
+    /// CWE id the message class maps to (e.g. 401 for `mustfree`), when the
+    /// class has one. Derived from the kind at render time.
+    pub cwe: Option<u32>,
     /// Primary message text.
     pub message: String,
     /// Indented history lines.
@@ -49,6 +52,7 @@ impl RenderedDiagnostic {
             line: loc.line,
             col: loc.col,
             kind: d.kind.flag_name().to_owned(),
+            cwe: d.kind.cwe(),
             message: d.message.clone(),
             notes: d
                 .notes
@@ -65,7 +69,10 @@ impl RenderedDiagnostic {
 
 impl fmt::Display for RenderedDiagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}:{}: {}", self.file, self.line, self.message)?;
+        match self.cwe {
+            Some(id) => writeln!(f, "{}:{}: {} [CWE-{}]", self.file, self.line, self.message, id)?,
+            None => writeln!(f, "{}:{}: {}", self.file, self.line, self.message)?,
+        }
         for n in &self.notes {
             writeln!(f, "   {}:{}: {}", n.file, n.line, n.message)?;
         }
@@ -101,8 +108,18 @@ mod tests {
         let r = RenderedDiagnostic::resolve(&d, &sm);
         assert_eq!(
             r.to_string(),
-            "sample.c:6: Function returns with non-null global gname referencing null storage\n   sample.c:5: Storage gname may become null\n"
+            "sample.c:6: Function returns with non-null global gname referencing null storage [CWE-476]\n   sample.c:5: Storage gname may become null\n"
         );
+    }
+
+    #[test]
+    fn unmapped_kinds_render_without_a_cwe_tag() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("a.c", "x\n");
+        let d = Diagnostic::new(DiagKind::SyntaxError, "parse error", Span::new(f, 0, 1));
+        let r = RenderedDiagnostic::resolve(&d, &sm);
+        assert_eq!(r.cwe, None);
+        assert_eq!(r.to_string(), "a.c:1: parse error\n");
     }
 
     #[test]
@@ -121,5 +138,6 @@ mod tests {
         let r = RenderedDiagnostic::resolve(&d, &sm);
         let j = serde_json::to_string(&r).unwrap();
         assert!(j.contains("\"kind\":\"mustfree\""));
+        assert!(j.contains("\"cwe\":401"));
     }
 }

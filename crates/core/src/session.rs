@@ -113,6 +113,9 @@ pub struct Session {
     rebuilds: usize,
     fast_patches: usize,
     no_ops: usize,
+    /// Per-CWE message counts of the most recent check served, for the
+    /// daemon's `stats` response (kinds without a CWE mapping not counted).
+    last_cwe_counts: std::collections::BTreeMap<u32, usize>,
 }
 
 impl Session {
@@ -128,6 +131,7 @@ impl Session {
             rebuilds: 0,
             fast_patches: 0,
             no_ops: 0,
+            last_cwe_counts: std::collections::BTreeMap::new(),
         }
     }
 
@@ -321,6 +325,13 @@ impl Session {
             return Err(e);
         }
         Ok(())
+    }
+
+    /// Per-CWE message counts of the most recent check this session served
+    /// (empty before the first check). Survives the patch fast path: every
+    /// serving path reassembles the full diagnostic set.
+    pub fn cwe_counts(&self) -> &std::collections::BTreeMap<u32, usize> {
+        &self.last_cwe_counts
     }
 
     /// Serving counters plus substrate footprint (interner, arenas, cache).
@@ -652,6 +663,12 @@ impl Session {
         };
         let rendered: Vec<RenderedDiagnostic> =
             diags.iter().map(|d| RenderedDiagnostic::resolve(d, &st.sm)).collect();
+        self.last_cwe_counts.clear();
+        for d in &rendered {
+            if let Some(id) = d.cwe {
+                *self.last_cwe_counts.entry(id).or_insert(0) += 1;
+            }
+        }
         let mut substrate = SubstrateStats::default();
         substrate.arena.absorb(&st.stdlib_arena);
         for u in &st.units {

@@ -12,7 +12,7 @@ pub const STDLIB_SOURCE: &str = r#"
 /* Memory management (paper section 4). */
 extern /*@null@*/ /*@out@*/ /*@only@*/ void *malloc(size_t size);
 extern /*@null@*/ /*@only@*/ void *calloc(size_t nmemb, size_t size);
-extern /*@null@*/ /*@out@*/ /*@only@*/ void *realloc(/*@null@*/ /*@only@*/ void *ptr, size_t size);
+extern /*@null@*/ /*@out@*/ /*@only@*/ void *realloc(/*@null@*/ /*@partial@*/ /*@only@*/ void *ptr, size_t size);
 extern void free(/*@null@*/ /*@out@*/ /*@only@*/ void *ptr);
 
 /* Process control. */
@@ -46,6 +46,7 @@ extern int sprintf(/*@out@*/ /*@unique@*/ char *s, char *format, ...);
 extern int puts(char *s);
 extern int putchar(int c);
 extern int getchar(void);
+extern /*@null@*/ /*@returned@*/ char *gets(/*@out@*/ /*@returned@*/ char *s);
 extern /*@null@*/ /*@only@*/ FILE *fopen(char *path, char *mode);
 extern int fclose(/*@only@*/ FILE *stream);
 extern /*@null@*/ char *fgets(/*@out@*/ /*@returned@*/ char *s, int size, FILE *stream);
@@ -65,7 +66,7 @@ mod tests {
             parse_translation_unit("<stdlib>", super::STDLIB_SOURCE).expect("stdlib must parse");
         let p = Program::from_unit(&tu);
         assert!(p.errors.is_empty(), "{:?}", p.errors);
-        for f in ["malloc", "free", "strcpy", "exit", "fopen", "printf"] {
+        for f in ["malloc", "calloc", "free", "strcpy", "gets", "exit", "fopen", "printf"] {
             assert!(p.function(f).is_some(), "missing {f}");
         }
         let malloc = p.function("malloc").unwrap();

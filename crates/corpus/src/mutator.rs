@@ -23,6 +23,12 @@ pub enum BugClass {
     DoubleFree,
     /// Reading a variable before any assignment.
     UninitRead,
+    /// `p = realloc(p, n)`: the old storage is lost when realloc fails.
+    ReallocLost,
+    /// A string sink writes past the end of an undersized buffer.
+    BufferOverflow,
+    /// A constant index outside the allocated capacity.
+    OutOfBoundsIndex,
 }
 
 impl BugClass {
@@ -34,6 +40,9 @@ impl BugClass {
             BugClass::UseAfterFree,
             BugClass::DoubleFree,
             BugClass::UninitRead,
+            BugClass::ReallocLost,
+            BugClass::BufferOverflow,
+            BugClass::OutOfBoundsIndex,
         ]
     }
 
@@ -45,6 +54,9 @@ impl BugClass {
             BugClass::UseAfterFree => "use-after-free",
             BugClass::DoubleFree => "double-free",
             BugClass::UninitRead => "uninit-read",
+            BugClass::ReallocLost => "realloc-lost",
+            BugClass::BufferOverflow => "buffer-overflow",
+            BugClass::OutOfBoundsIndex => "oob-index",
         }
     }
 }
@@ -97,6 +109,18 @@ pub fn inject(base: &Generated, class: BugClass, trigger: i64) -> Mutated {
         ),
         BugClass::UninitRead => format!(
             "  if (input == {trigger})\n  {{\n    int never_set;\n    total = total + never_set;\n  }}\n"
+        ),
+        // The asserts keep the injected path free of possibly-null noise:
+        // refinement (not a branch) establishes non-null, so no confluence
+        // or null-pass diagnostics dilute the class under test.
+        BugClass::ReallocLost => format!(
+            "  if (input == {trigger})\n  {{\n    char *grow = (char *) malloc(4);\n    assert(grow != NULL);\n    grow = (char *) realloc(grow, 8);\n  }}\n"
+        ),
+        BugClass::BufferOverflow => format!(
+            "  if (input == {trigger})\n  {{\n    char *sbuf = (char *) malloc(4);\n    assert(sbuf != NULL);\n    strcpy(sbuf, \"0123456789\");\n    free(sbuf);\n  }}\n"
+        ),
+        BugClass::OutOfBoundsIndex => format!(
+            "  if (input == {trigger})\n  {{\n    int *tiny = (int *) malloc(3);\n    assert(tiny != NULL);\n    tiny[4] = input;\n    free(tiny);\n  }}\n"
         ),
     };
     let marker = base.source.find("/*MUTATION-POINT*/").expect("generator marker missing");
@@ -275,6 +299,9 @@ mod tests {
                 BugClass::UseAfterFree => RuntimeErrorKind::UseAfterFree,
                 BugClass::DoubleFree => RuntimeErrorKind::DoubleFree,
                 BugClass::UninitRead => RuntimeErrorKind::UninitRead,
+                BugClass::ReallocLost => RuntimeErrorKind::Leak,
+                BugClass::BufferOverflow => RuntimeErrorKind::OutOfBounds,
+                BugClass::OutOfBoundsIndex => RuntimeErrorKind::OutOfBounds,
             };
             assert!(
                 hit.detected(expected),

@@ -397,6 +397,26 @@ impl Interp {
                 self.write_string(dst, &s, span)?;
                 Flowed::Value(CVal::Ptr(dst))
             }
+            "gets" => {
+                // Models an attacker-controlled stdin line: a fixed string
+                // longer than any small corpus buffer, so undersized
+                // destinations overflow deterministically.
+                let line = "simulated-stdin-line-for-gets";
+                match args.first() {
+                    Some(CVal::Ptr(p)) => {
+                        self.write_string(*p, line, span)?;
+                        Flowed::Value(CVal::Ptr(*p))
+                    }
+                    Some(CVal::Null) | Some(CVal::Int(0)) => {
+                        return Err(RuntimeError {
+                            kind: RuntimeErrorKind::NullDeref,
+                            message: "gets into null pointer".to_owned(),
+                            span,
+                        });
+                    }
+                    _ => return Err(self.unsupported("gets destination", span)),
+                }
+            }
             "strdup" => {
                 let s = self.read_string(args.first(), span)?;
                 let obj = self.heap.alloc(s.len() + 1, ObjKind::Heap, span);

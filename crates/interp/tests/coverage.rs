@@ -132,6 +132,92 @@ int f(void)\n\
 }
 
 #[test]
+fn freeing_the_stale_pointer_after_realloc_is_a_double_free() {
+    let src = "\
+int f(void)\n\
+{\n\
+  int *a = (int *) malloc(2);\n\
+  int *b = (int *) realloc(a, 4);\n\
+  free(a);\n\
+  free(b);\n\
+  return 0;\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert!(r.detected(RuntimeErrorKind::DoubleFree), "{:?}", r.errors);
+}
+
+#[test]
+fn realloc_of_null_behaves_like_malloc() {
+    let src = "\
+int f(void)\n\
+{\n\
+  int *a = (int *) realloc(NULL, 4);\n\
+  int v;\n\
+  a[3] = 9;\n\
+  v = a[3];\n\
+  free(a);\n\
+  return v;\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert!(r.is_clean(), "{:?}", r.errors);
+    assert_eq!(r.return_value, Some(9));
+}
+
+#[test]
+fn strcat_past_the_end_is_out_of_bounds() {
+    let src = "\
+int f(void)\n\
+{\n\
+  char buf[4];\n\
+  strcpy(buf, \"ab\");\n\
+  strcat(buf, \"cdef\");\n\
+  return 0;\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert!(r.detected(RuntimeErrorKind::OutOfBounds), "{:?}", r.errors);
+}
+
+#[test]
+fn sprintf_past_the_end_is_out_of_bounds() {
+    let src = "\
+int f(void)\n\
+{\n\
+  char buf[4];\n\
+  sprintf(buf, \"much-too-long\");\n\
+  return 0;\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert!(r.detected(RuntimeErrorKind::OutOfBounds), "{:?}", r.errors);
+}
+
+#[test]
+fn gets_fills_a_large_buffer_cleanly() {
+    let src = "\
+int f(void)\n\
+{\n\
+  char buf[64];\n\
+  gets(buf);\n\
+  return (int) strlen(buf);\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert!(r.is_clean(), "{:?}", r.errors);
+    assert_eq!(r.return_value, Some(29));
+}
+
+#[test]
+fn gets_into_a_small_buffer_is_out_of_bounds() {
+    let src = "\
+int f(void)\n\
+{\n\
+  char tiny[4];\n\
+  gets(tiny);\n\
+  return 0;\n\
+}\n";
+    let r = run(src, "f", &[]);
+    assert!(r.detected(RuntimeErrorKind::OutOfBounds), "{:?}", r.errors);
+}
+
+#[test]
 fn string_builtins_roundtrip() {
     let src = "\
 int f(void)\n\

@@ -136,6 +136,14 @@ impl Daemon {
         } else {
             0.0
         };
+        let mut cwe = String::from("{");
+        for (i, (id, n)) in session.cwe_counts().iter().enumerate() {
+            if i > 0 {
+                cwe.push(',');
+            }
+            cwe.push_str(&format!("\"{id}\":{n}"));
+        }
+        cwe.push('}');
         let body = Writer::obj()
             .num("requests", totals.requests as usize)
             .num("rebuilds", s.rebuilds)
@@ -149,6 +157,7 @@ impl Daemon {
             .num("symbols", s.symbols)
             .num("interned_bytes", s.interned_bytes)
             .num("arena_bytes", s.arena_bytes)
+            .raw("cwe_counts", &cwe)
             .done();
         result_response(id, &body)
     }
@@ -379,6 +388,44 @@ mod tests {
         let stats = v.get("result").unwrap();
         assert_eq!(stats.get("requests").and_then(Json::as_usize), Some(1));
         assert_eq!(stats.get("rebuilds").and_then(Json::as_usize), Some(1));
+    }
+
+    #[test]
+    fn cwe_counts_survive_a_warm_patch_cycle() {
+        let base = "void f(void)\n{\n  char *g = (char *) malloc(4);\n  assert(g != NULL);\n  \
+                    g = (char *) realloc(g, 8);\n}\n\
+                    void h(void)\n{\n  int *t = (int *) malloc(3);\n  assert(t != NULL);\n  \
+                    t[4] = 1;\n  free(t);\n}\n";
+        let files = vec![("a.c".to_owned(), base.to_owned())];
+        let d =
+            Daemon::new(Session::new(Linter::new(Flags::default()), files, vec!["a.c".to_owned()]));
+        d.handle_line(r#"{"id": 1, "method": "check"}"#);
+        let s = d.handle_line(r#"{"id": 2, "method": "stats"}"#);
+        let v = json::parse(&s).unwrap();
+        let counts = v.get("result").unwrap().get("cwe_counts").expect("cwe_counts present");
+        // f: realloclost + the lost block's mustfree, both CWE-401; h: one
+        // constant-index bounds error, CWE-125.
+        assert_eq!(counts.get("401").and_then(Json::as_usize), Some(2), "{s}");
+        assert_eq!(counts.get("125").and_then(Json::as_usize), Some(1), "{s}");
+
+        // Warm one-function edit: grow h's buffer so the bounds report
+        // clears; the request must ride the patch fast path, and the stats
+        // counts must reflect the re-assembled diagnostic set.
+        let mut text = String::new();
+        json::write_escaped(&mut text, &base.replace("malloc(3)", "malloc(8)"));
+        let edit = format!(
+            r#"{{"id": 3, "method": "didChange", "params": {{"file": "a.c", "text": {text}}}}}"#
+        );
+        let r = d.handle_line(&edit);
+        let v = json::parse(&r).unwrap();
+        assert_eq!(v.get("result").unwrap().get("clean"), Some(&Json::Bool(false)), "{r}");
+        let s = d.handle_line(r#"{"id": 4, "method": "stats"}"#);
+        let v = json::parse(&s).unwrap();
+        let stats = v.get("result").unwrap();
+        assert_eq!(stats.get("fast_patches").and_then(Json::as_usize), Some(1), "{s}");
+        let counts = stats.get("cwe_counts").expect("cwe_counts present");
+        assert_eq!(counts.get("401").and_then(Json::as_usize), Some(2), "{s}");
+        assert!(counts.get("125").is_none(), "bounds report must clear: {s}");
     }
 
     #[test]

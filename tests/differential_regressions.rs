@@ -39,7 +39,7 @@ fn load_all() -> Vec<(String, FixtureSpec)> {
 #[test]
 fn every_fixture_replays() {
     let fixtures = load_all();
-    assert!(fixtures.len() >= 8, "fixture set shrank: {:?}", fixtures.len());
+    assert!(fixtures.len() >= 11, "fixture set shrank: {:?}", fixtures.len());
     for (name, spec) in &fixtures {
         assert!(!spec.reason.is_empty(), "{name}: fixtures must state a reason");
     }

@@ -1,0 +1,17 @@
+/*DIFF
+ reason: detected (CWE-787): strcpy of an 11-byte literal into 4 bytes of
+   heap storage is statically decidable from the capacity lattice (malloc
+   argument is a constant, source length is a literal). The oracle aborts
+   with an out-of-bounds store at the same call.
+ expect-static: boundswrite
+ run: 0
+ expect-runtime: out-of-bounds
+DIFF*/
+int run(int input)
+{
+  char *sbuf = (char *) malloc(4);
+  assert(sbuf != NULL);
+  strcpy(sbuf, "0123456789");
+  free(sbuf);
+  return input;
+}

@@ -1,0 +1,16 @@
+/*DIFF
+ reason: detected (CWE-125/787 constant index): tiny has 3 slots and the
+   store uses constant index 4, so the capacity lattice decides the bound
+   without any symbolic reasoning. The oracle aborts at the same store.
+ expect-static: boundsindex
+ run: 0
+ expect-runtime: out-of-bounds
+DIFF*/
+int run(int input)
+{
+  int *tiny = (int *) malloc(3);
+  assert(tiny != NULL);
+  tiny[4] = input;
+  free(tiny);
+  return 0;
+}

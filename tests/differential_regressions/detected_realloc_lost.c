@@ -1,0 +1,16 @@
+/*DIFF
+ reason: detected (CWE-401 realloc variant): assigning realloc's result over
+   its only argument loses the old block when realloc returns null, and here
+   the grown block is never freed, so the oracle reports an exit-time leak.
+   The checker flags the self-overwrite pattern at the realloc call.
+ expect-static: realloclost
+ run: 0
+ expect-runtime: leak
+DIFF*/
+int run(int input)
+{
+  char *grow = (char *) malloc(4);
+  assert(grow != NULL);
+  grow = (char *) realloc(grow, 8);
+  return input;
+}

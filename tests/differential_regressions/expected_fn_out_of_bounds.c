@@ -1,9 +1,14 @@
 /*DIFF
- reason: expected FN (taxonomy category "bounds", paper section 9): array and
-   pointer bounds are out of the checker's scope; the runtime oracle detects
-   the out-of-bounds store. If expect-static-clean ever fails here, the
-   checker has grown bounds checking and the taxonomy entry must be retired.
+ reason: residual expected FN (taxonomy category "dynamic-index bounds",
+   paper section 9): the index depends on run-time input, so the capacity
+   lattice cannot decide it; the runtime oracle detects the out-of-bounds
+   store. Constant-index and known-length string-sink cases are detected
+   (see detected_oob_index.c and detected_buffer_overflow.c). If the
+   forbid-static lines ever fail here, the checker has grown symbolic index
+   reasoning and the residual taxonomy entry must be retired.
  expect-static-clean
+ forbid-static: boundsindex
+ forbid-static: boundswrite
  run: 0
  expect-runtime: out-of-bounds
 DIFF*/

@@ -16,7 +16,7 @@ fn e1_figure2_exact_message() {
     let r = check(figures::FIGURE2);
     assert_eq!(
         r.render(),
-        "sample.c:6: Function returns with non-null global gname referencing null storage\n   \
+        "sample.c:6: Function returns with non-null global gname referencing null storage [CWE-476]\n   \
          sample.c:5: Storage gname may become null\n"
     );
 }

@@ -1,0 +1,12 @@
+/* CWE-787: string sinks checked against the capacity lattice. */
+int overflow_it(void)
+{
+  char *sbuf = (char *) malloc(4);
+  char stack[8];
+  assert(sbuf != NULL);
+  strcpy(sbuf, "0123456789");
+  strcpy(stack, "hello");
+  strcat(stack, " world");
+  free(sbuf);
+  return 0;
+}

@@ -1,0 +1,11 @@
+/* CWE-125/787: constant array indices checked against known capacities. */
+int index_it(int input)
+{
+  int fixed[4];
+  int *tiny = (int *) malloc(3);
+  assert(tiny != NULL);
+  fixed[0] = input;
+  tiny[4] = fixed[0];
+  free(tiny);
+  return fixed[6];
+}

@@ -1,0 +1,14 @@
+/* CWE-401 (realloc variant): assigning realloc's result over its only
+   argument loses the old block when realloc returns null. */
+int grow_it(void)
+{
+  char *grow = (char *) malloc(4);
+  assert(grow != NULL);
+  grow = (char *) realloc(grow, 8);
+  if (grow == NULL)
+  {
+    return 1;
+  }
+  free(grow);
+  return 0;
+}
