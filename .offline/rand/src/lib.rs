@@ -1,0 +1,120 @@
+//! Offline stand-in for `rand 0.9`: a seed-sensitive SplitMix64 generator
+//! behind the subset of the API this workspace uses. Never committed as a
+//! real dependency; the checked-in Cargo.toml points at crates.io.
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed ^ 0xD6E8_FEB8_6659_FD93 }
+    }
+}
+
+/// Types producible by `Rng::random`.
+pub trait Standard: Sized {
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+impl Standard for i64 {
+    fn from_bits(bits: u64) -> Self {
+        bits as i64
+    }
+}
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges samplable by `Rng::random_range`.
+pub trait SampleRange {
+    type Output;
+    fn sample(&self, bits: u64) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($t:ty) => {
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(&self, bits: u64) -> $t {
+                let width = (self.end as i128 - self.start as i128).max(1) as u128;
+                (self.start as i128 + (bits as u128 % width) as i128) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(&self, bits: u64) -> $t {
+                let width = (*self.end() as i128 - *self.start() as i128 + 1).max(1) as u128;
+                (*self.start() as i128 + (bits as u128 % width) as i128) as $t
+            }
+        }
+    };
+}
+int_range!(i64);
+int_range!(i32);
+int_range!(u64);
+int_range!(u32);
+int_range!(u8);
+int_range!(usize);
+
+pub trait Rng {
+    fn next_bits(&mut self) -> u64;
+
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_bits())
+    }
+
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.next_bits())
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_bits(&mut self) -> u64 {
+        splitmix(&mut self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_sensitive() {
+        let a = rngs::StdRng::seed_from_u64(1).random::<u64>();
+        let b = rngs::StdRng::seed_from_u64(2).random::<u64>();
+        assert_ne!(a, b);
+    }
+}

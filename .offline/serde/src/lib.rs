@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`: the `Serialize` marker trait plus the
+//! derive re-export. `serde_json`'s stub `to_string` ignores the value, so
+//! tests that need real serialization self-gate on a capability probe.
+
+pub use serde_derive::Serialize;
+
+pub trait Serialize {}
+
+macro_rules! mark {
+    ($($t:ty),*) => { $(impl Serialize for $t {})* };
+}
+mark!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64, bool, char, String, str);
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<A: Serialize> Serialize for (A,) {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`: emits a marker `impl` so that
+//! `#[derive(serde::Serialize)]` compiles. No real serialization.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut after_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if after_kw {
+                return format!("impl ::serde::Serialize for {s} {{}}").parse().unwrap();
+            }
+            if s == "struct" || s == "enum" {
+                after_kw = true;
+            }
+        }
+    }
+    TokenStream::new()
+}
