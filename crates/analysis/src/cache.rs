@@ -152,6 +152,12 @@ pub struct CacheStats {
     pub degraded: usize,
     /// Names of the definitions actually (re-)checked, in definition order.
     pub checked: Vec<String>,
+    /// Definitions recovered from the content-addressed backing store
+    /// (another process checked them first). Zero without a backing store.
+    pub cas_hits: usize,
+    /// Definitions probed against the backing store without a usable
+    /// artifact (then checked fresh). Zero without a backing store.
+    pub cas_misses: usize,
 }
 
 impl CacheStats {
@@ -166,6 +172,10 @@ impl CacheStats {
 pub struct CheckCache {
     entries: FxHashMap<Symbol, CacheEntry>,
     stats: CacheStats,
+    /// Optional shared backing: a content-addressed artifact directory
+    /// probed on in-memory misses and fed on fresh stores, so concurrent
+    /// checker processes share warm per-function results.
+    backing: Option<crate::castore::CasStore>,
 }
 
 impl CheckCache {
@@ -208,6 +218,16 @@ impl CheckCache {
     /// The stored entry for a function, if any.
     pub fn entry(&self, name: Symbol) -> Option<&CacheEntry> {
         self.entries.get(&name)
+    }
+
+    /// Attaches a content-addressed backing store (see [`crate::castore`]).
+    pub fn set_backing(&mut self, store: crate::castore::CasStore) {
+        self.backing = Some(store);
+    }
+
+    /// The backing store's own counters, when one is attached.
+    pub fn backing_stats(&self) -> Option<&crate::castore::CasStats> {
+        self.backing.as_ref().map(|s| s.stats())
     }
 }
 
@@ -408,24 +428,48 @@ pub fn check_program_cached_slots(
     for &i in indices {
         let def = &defs[i];
         let body_hash = function_def_hash(&def.arena, &def.ast);
-        match cache.entries.get(&def.sig.name) {
-            Some(entry) => {
+        let mut invalidated = false;
+        if let Some(entry) = cache.entries.get(&def.sig.name) {
+            let fp = fingerprint(program, od, lib_digest, def, body_hash, &entry.deps);
+            if fp == entry.fingerprint {
+                if let Some(diags) = rebase_diags(entry, def, program) {
+                    cache.stats.hits += 1;
+                    slots[i] = Some(diags);
+                    continue;
+                }
+            }
+            invalidated = true;
+        }
+        // Second-level probe: the shared content-addressed store. A
+        // fetched entry is held to exactly the same standard as an
+        // in-memory one — its fingerprint must revalidate against the
+        // current program before a single diagnostic is reused.
+        if let Some(store) = cache.backing.as_mut() {
+            let key = crate::castore::function_key(od, lib_digest, def.sig.name, body_hash);
+            let fetched = store.get(key).and_then(|payload| {
+                let mut r = payload.as_slice();
+                let (name, entry) = crate::castore::decode_entry(&mut r)?;
+                (r.is_empty() && name == def.sig.name).then_some(entry)
+            });
+            if let Some(entry) = fetched {
                 let fp = fingerprint(program, od, lib_digest, def, body_hash, &entry.deps);
                 if fp == entry.fingerprint {
-                    if let Some(diags) = rebase_diags(entry, def, program) {
-                        cache.stats.hits += 1;
+                    if let Some(diags) = rebase_diags(&entry, def, program) {
+                        cache.stats.cas_hits += 1;
+                        cache.entries.insert(def.sig.name, entry);
                         slots[i] = Some(diags);
                         continue;
                     }
                 }
-                cache.stats.invalidations += 1;
-                misses.push(i);
             }
-            None => {
-                cache.stats.misses += 1;
-                misses.push(i);
-            }
+            cache.stats.cas_misses += 1;
         }
+        if invalidated {
+            cache.stats.invalidations += 1;
+        } else {
+            cache.stats.misses += 1;
+        }
+        misses.push(i);
     }
 
     // Phase 2 — check the misses, in parallel when it pays. Each miss runs
@@ -455,9 +499,17 @@ pub fn check_program_cached_slots(
             Some(deps) => match to_reloc_diags(&diags, def.sig.span, program, &deps) {
                 Some(reloc) => {
                     let fp = fingerprint(program, od, lib_digest, def, body_hash, &deps);
-                    cache
-                        .entries
-                        .insert(def.sig.name, CacheEntry { fingerprint: fp, deps, diags: reloc });
+                    let entry = CacheEntry { fingerprint: fp, deps, diags: reloc };
+                    // Publish to the shared store so sibling processes
+                    // skip the check. Degraded results never reach here.
+                    if let Some(store) = cache.backing.as_mut() {
+                        let key =
+                            crate::castore::function_key(od, lib_digest, def.sig.name, body_hash);
+                        let mut payload = Vec::new();
+                        crate::castore::encode_entry(&mut payload, def.sig.name, &entry);
+                        store.put(key, &payload);
+                    }
+                    cache.entries.insert(def.sig.name, entry);
                 }
                 None => {
                     cache.stats.uncacheable += 1;

@@ -34,6 +34,7 @@ mod guard;
 mod summary;
 
 pub mod cache;
+pub mod castore;
 pub mod diag;
 pub mod infer;
 pub mod options;
@@ -44,6 +45,7 @@ pub use cache::{
     check_program_cached, check_program_cached_slots, options_digest, CacheStats, CheckCache,
     CACHE_FORMAT_VERSION,
 };
+pub use castore::{CasStats, CasStore};
 pub use checker::{check_function, check_function_isolated, check_program, FunctionOutcome};
 pub use diag::{DiagKind, Diagnostic, Note};
 pub use infer::{

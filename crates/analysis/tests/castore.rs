@@ -1,0 +1,152 @@
+//! Content-addressed store torture tests: concurrent writers racing one
+//! key, corruption discard, and the size-bound eviction the fleet's
+//! `--cas-max-mb` flag exposes.
+
+use lclint_analysis::CasStore;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lclint-castore-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn concurrent_writers_race_to_one_winner_with_no_torn_reads() {
+    let dir = scratch("race");
+    const WRITERS: usize = 8;
+    const KEYS: u64 = 16;
+    let barrier = Arc::new(Barrier::new(WRITERS));
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let dir = dir.clone();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut store = CasStore::open(&dir, None).unwrap();
+                barrier.wait();
+                // Every writer tries every key; payloads are
+                // key-deterministic so any winner is equally valid.
+                for key in 0..KEYS {
+                    store.put(key, format!("payload-for-{key}").as_bytes());
+                    // Interleave reads with the other writers' puts: a
+                    // reader must only ever see a complete artifact.
+                    for probe in 0..KEYS {
+                        if let Some(got) = store.get(probe) {
+                            assert_eq!(
+                                got,
+                                format!("payload-for-{probe}").into_bytes(),
+                                "torn read of key {probe} by writer {w}"
+                            );
+                        }
+                    }
+                }
+                store.take_stats()
+            })
+        })
+        .collect();
+    let mut races = 0;
+    let mut corrupt = 0;
+    for h in handles {
+        let stats = h.join().unwrap();
+        races += stats.races;
+        corrupt += stats.corrupt;
+    }
+    assert_eq!(corrupt, 0, "no reader may ever observe a torn artifact");
+    // Every key ends up with exactly one artifact on disk...
+    let mut fresh = CasStore::open(&dir, None).unwrap();
+    let artifacts = fs::read_dir(&dir).unwrap().count();
+    assert_eq!(artifacts as u64, KEYS, "one winner per key");
+    for key in 0..KEYS {
+        assert_eq!(fresh.get(key).unwrap(), format!("payload-for-{key}").into_bytes());
+    }
+    // ...and the losers were counted as races, not silently dropped.
+    // (8 writers × 16 keys, 16 winners ⇒ up to 112 counted races; the
+    // exact number depends on interleaving, but with a barrier start
+    // there is always contention.)
+    assert!(races > 0, "expected contention to be observed");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_artifacts_are_discarded_not_trusted() {
+    let dir = scratch("corrupt");
+    let mut store = CasStore::open(&dir, None).unwrap();
+    store.put(7, b"good payload");
+    store.put(9, b"other payload");
+    drop(store);
+
+    // Flip a byte in the middle of one artifact's payload.
+    let victim = dir.join(format!("{:016x}.cas", 7u64));
+    let mut bytes = fs::read(&victim).unwrap();
+    let mid = bytes.len() - 3;
+    bytes[mid] ^= 0xff;
+    fs::write(&victim, &bytes).unwrap();
+
+    let mut store = CasStore::open(&dir, None).unwrap();
+    assert_eq!(store.get(7), None, "corrupt artifact must read as a miss");
+    assert!(!victim.exists(), "corrupt artifact must be unlinked");
+    assert_eq!(store.get(9).as_deref(), Some(b"other payload".as_ref()), "other keys unaffected");
+    let stats = store.take_stats();
+    assert_eq!(stats.corrupt, 1);
+
+    // Truncation (a torn write that somehow survived) is also a miss.
+    let truncated = dir.join(format!("{:016x}.cas", 9u64));
+    let bytes = fs::read(&truncated).unwrap();
+    fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+    assert_eq!(store.get(9), None);
+    assert!(!truncated.exists());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn size_bound_evicts_oldest_and_is_respected() {
+    let dir = scratch("evict");
+    // ~1 KiB payloads against a 4 KiB bound: only a handful fit.
+    const BOUND: u64 = 4096;
+    let mut store = CasStore::open(&dir, Some(BOUND)).unwrap();
+    let payload = vec![0xabu8; 1024];
+    for key in 0..16u64 {
+        store.put(key, &payload);
+        assert!(
+            store.total_bytes() <= BOUND,
+            "bound violated after put {key}: {} bytes",
+            store.total_bytes()
+        );
+    }
+    let stats = store.take_stats();
+    assert!(stats.evicted >= 12, "expected most artifacts evicted, got {}", stats.evicted);
+
+    // On-disk usage agrees with the accounting.
+    let on_disk: u64 =
+        fs::read_dir(&dir).unwrap().map(|e| e.unwrap().metadata().unwrap().len()).sum();
+    assert!(on_disk <= BOUND, "{on_disk} bytes on disk exceed the bound");
+
+    // The most recent keys survive; the earliest are gone.
+    assert!(store.get(15).is_some(), "newest artifact must survive");
+    assert_eq!(store.get(0), None, "oldest artifact must be evicted");
+
+    // A fresh handle on the same directory picks up the existing usage
+    // and keeps honouring the bound.
+    let mut again = CasStore::open(&dir, Some(BOUND)).unwrap();
+    assert!(again.total_bytes() <= BOUND);
+    again.put(99, &payload);
+    assert!(again.total_bytes() <= BOUND);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_files_in_the_store_directory_are_left_alone() {
+    let dir = scratch("foreign");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(dir.join("README.txt"), b"not an artifact").unwrap();
+    let mut store = CasStore::open(&dir, Some(64)).unwrap();
+    // Eviction pressure must never delete non-artifact files.
+    for key in 0..8u64 {
+        store.put(key, &[0u8; 48]);
+    }
+    assert!(dir.join("README.txt").exists());
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -8,8 +8,9 @@
 use lclint_bench::{
     annotation_sweep, cwe_expansion_table, daemon_table, database_table, detection_table,
     figure_table, incremental_table, inference_table, library_speedup, par_speedup_table,
-    resilience_table, scaling_table, soundness_table, stdlib_cache_stats, throughput_table, CweRow,
-    DaemonRow, IncrRow, InferRow, ResilienceReport, SoundnessClean, SoundnessRow, ThroughputRow,
+    resilience_table, scaling_table, scoreboard_table, soundness_table, stdlib_cache_stats,
+    throughput_table, CweRow, DaemonRow, IncrRow, InferRow, ResilienceReport,
+    ScoreboardCategoryRow, ScoreboardRow, SoundnessClean, SoundnessRow, ThroughputRow,
     PR6_PARSE_MS_100K, PRE_FLAT_BASELINE_MS_100K,
 };
 
@@ -360,6 +361,56 @@ fn main() {
         (cold_parse - PR6_PARSE_MS_100K) / PR6_PARSE_MS_100K * 100.0
     );
 
+    // E19 ---------------------------------------------------------------------
+    let score_tasks = if quick { 60 } else { 500 };
+    println!(
+        "\nE19. Soundness scoreboard: {score_tasks} generated SV-COMP-style tasks,\n\
+         \u{20}    cold at shards 1/2/4 (fresh store) and a warm rerun (shared store)\n"
+    );
+    println!(
+        "{:<14} {:>6} {:>6} {:>13} {:>14} {:>10} {:>8} {:>7} {:>9} {:>7} {:>10}",
+        "scenario",
+        "shards",
+        "tasks",
+        "correct-true",
+        "correct-false",
+        "incorrect",
+        "unknown",
+        "score",
+        "wall ms",
+        "hit %",
+        "identical"
+    );
+    let (scoreboard, scoreboard_cats) = scoreboard_table(score_tasks, 2024);
+    for row in &scoreboard {
+        println!(
+            "{:<14} {:>6} {:>6} {:>13} {:>14} {:>10} {:>8} {:>7} {:>9.1} {:>6.1}% {:>10}",
+            row.scenario,
+            row.shards,
+            row.tasks,
+            row.correct_true,
+            row.correct_false,
+            row.incorrect,
+            row.unknown,
+            row.score,
+            row.wall_ms,
+            row.hit_rate_pct,
+            row.byte_identical
+        );
+    }
+    println!("\n  per category (cold, shards=1):");
+    for c in &scoreboard_cats {
+        println!(
+            "    {:<18} {:>4} tasks {:>4} true {:>4} false {:>3} unknown  score {:>5}",
+            c.category, c.tasks, c.correct_true, c.correct_false, c.unknown, c.score
+        );
+    }
+    println!(
+        "\n  timeouts, analysis budgets, and dead workers score `unknown`, never\n\
+         \u{20}  a verdict; the deterministic streams are byte-identical for every\n\
+         \u{20}  shard count, and the warm rerun answers every task from the store."
+    );
+
     if let Some(path) = json_path {
         let blob = serde_json::json!({
             "figures": figs,
@@ -377,6 +428,8 @@ fn main() {
             "resilience": resilience,
             "throughput": throughput,
             "daemon": daemon,
+            "scoreboard": scoreboard,
+            "scoreboard_categories": scoreboard_cats,
         });
         std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serializes"))
             .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
@@ -440,7 +493,73 @@ fn main() {
             Ok(()) => println!("CWE expansion snapshot written to {}", snap.display()),
             Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
         }
+
+        // Snapshot of the soundness scoreboard, likewise hand rendered.
+        let snap =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_PR9.json");
+        match std::fs::write(&snap, render_e19_snapshot(&scoreboard, &scoreboard_cats, score_tasks))
+        {
+            Ok(()) => println!("scoreboard snapshot written to {}", snap.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
+        }
     }
+}
+
+/// Renders the E19 scoreboard as a JSON document without going through a
+/// serializer (offline builds stub `serde_json`).
+fn render_e19_snapshot(
+    rows: &[ScoreboardRow],
+    cats: &[ScoreboardCategoryRow],
+    tasks: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"soundness-scoreboard\",\n");
+    out.push_str(&format!("  \"suite_tasks\": {tasks},\n"));
+    out.push_str(
+        "  \"bars\": {\"incorrect\": 0, \"byte_identical\": true, \"warm_speedup_x\": 3.0},\n",
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"shards\": {}, \"tasks\": {}, \
+             \"correct_true\": {}, \"correct_false\": {}, \"incorrect\": {}, \
+             \"unknown\": {}, \"score\": {}, \"wall_ms\": {:.3}, \"cas_hits\": {}, \
+             \"cas_misses\": {}, \"hit_rate_pct\": {:.1}, \"byte_identical\": {}}}{}\n",
+            r.scenario,
+            r.shards,
+            r.tasks,
+            r.correct_true,
+            r.correct_false,
+            r.incorrect,
+            r.unknown,
+            r.score,
+            r.wall_ms,
+            r.cas_hits,
+            r.cas_misses,
+            r.hit_rate_pct,
+            r.byte_identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"categories\": [\n");
+    for (i, c) in cats.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"category\": \"{}\", \"tasks\": {}, \"correct_true\": {}, \
+             \"correct_false\": {}, \"incorrect\": {}, \"unknown\": {}, \"score\": {}}}{}\n",
+            c.category,
+            c.tasks,
+            c.correct_true,
+            c.correct_false,
+            c.incorrect,
+            c.unknown,
+            c.score,
+            if i + 1 < cats.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders the E18 table as a JSON document without going through a

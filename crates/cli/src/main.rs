@@ -34,12 +34,32 @@
 //!   --daemon        serve the rlclintd JSON protocol over stdio (or
 //!                   --socket PATH / --tcp ADDR) with a warm session;
 //!                   identical to running the rlclintd binary
+//!   --suite DIR     run an SV-COMP-style benchmark suite (see
+//!                   lclint-fleet): shard tasks across worker processes,
+//!                   score verdicts against the sidecars, and print the
+//!                   per-category score table plus a verdict listing
+//!   --shards N      worker process count for --suite (default 1)
+//!   --budget SECS   global wall-clock budget for --suite; remaining
+//!                   tasks score `unknown` once it elapses
+//!   --task-budget-ms MS  per-task wall-clock budget for --suite; a task
+//!                   that exceeds it scores `unknown` and its worker is
+//!                   killed and respawned
+//!   --suite-gen DIR generate a benchmark suite into DIR from the corpus
+//!                   generator/mutator (--suite-tasks N sets the size,
+//!                   default 500; --seed S derives the programs)
+//!   --worker        serve the fleet worker protocol over stdio (spawned
+//!                   by --suite; one task per request)
+//!   --cas DIR       share a content-addressed result store under DIR
+//!                   (with --suite/--worker: function- and task-level
+//!                   artifacts warm across workers and reruns)
+//!   --cas-max-mb N  bound the store, evicting oldest artifacts
 //!
 //! Exit codes: 0 clean, 1 diagnostics reported, 2 usage or I/O error,
 //! 3 completed but one or more functions hit an internal checker error.
 //! --watch and --daemon serve many checks, so per-check status cannot be
 //! an exit code: both exit 0 on a clean shutdown (stdin EOF or a
-//! `shutdown` request) and 2 on usage or I/O errors.
+//! `shutdown` request) and 2 on usage or I/O errors. --suite exits 0
+//! when no verdict was incorrect, 1 otherwise.
 //! ```
 
 use lclint_core::{library, Flags, IncrementalSession, Linter, Session};
@@ -59,8 +79,12 @@ fn usage() -> ! {
          \u{20}        --incremental DIR --stats --infer --infer-apply FILE\n\
          \u{20}        --differential N --seed S --max-steps N\n\
          \u{20}        --watch [--watch-poll-ms N] --daemon [--socket PATH | --tcp ADDR]\n\
+         \u{20}        --suite DIR [--shards N] [--budget SECS] [--task-budget-ms MS]\n\
+         \u{20}        --suite-gen DIR [--suite-tasks N] --worker\n\
+         \u{20}        --cas DIR [--cas-max-mb N]\n\
          exit codes: 0 clean, 1 warnings, 2 usage/IO error, 3 internal checker error\n\
-         \u{20}           (--watch/--daemon: 0 clean shutdown, 2 usage/IO error)",
+         \u{20}           (--watch/--daemon: 0 clean shutdown, 2 usage/IO error)\n\
+         \u{20}           (--suite: 0 no incorrect verdicts, 1 otherwise)",
         lclint_core::DiagKind::all().iter().map(|k| k.flag_name()).collect::<Vec<_>>().join(" ")
     );
     std::process::exit(2)
@@ -130,6 +154,18 @@ fn main() -> ExitCode {
     let mut daemon = false;
     let mut socket: Option<String> = None;
     let mut tcp: Option<String> = None;
+    let mut worker = false;
+    let mut suite: Option<String> = None;
+    let mut suite_gen: Option<String> = None;
+    let mut suite_tasks: usize = 500;
+    let mut shards: Option<usize> = None;
+    let mut budget_secs: Option<u64> = None;
+    let mut task_budget_ms: Option<u64> = None;
+    let mut cas_dir: Option<String> = None;
+    let mut cas_max_mb: Option<u64> = None;
+    // LCLint-style +/- mode flags in their original spelling, so --suite
+    // can forward the checker configuration verbatim to its workers.
+    let mut mode_flags: Vec<String> = Vec::new();
 
     let mut i = 0;
     while i < args.len() {
@@ -217,6 +253,79 @@ fn main() -> ExitCode {
                 }
             }
             "--daemon" => daemon = true,
+            "--worker" => worker = true,
+            "--suite" => {
+                i += 1;
+                let Some(dir) = args.get(i) else { usage() };
+                suite = Some(dir.clone());
+            }
+            "--suite-gen" => {
+                i += 1;
+                let Some(dir) = args.get(i) else { usage() };
+                suite_gen = Some(dir.clone());
+            }
+            "--suite-tasks" => {
+                i += 1;
+                let Some(n) = args.get(i) else { usage() };
+                match n.parse::<usize>() {
+                    Ok(n) if n > 0 => suite_tasks = n,
+                    _ => {
+                        eprintln!("rlclint: --suite-tasks expects a positive number, got `{n}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--shards" => {
+                i += 1;
+                let Some(n) = args.get(i) else { usage() };
+                match n.parse::<usize>() {
+                    Ok(n) if n > 0 => shards = Some(n),
+                    _ => {
+                        eprintln!("rlclint: --shards expects a positive number, got `{n}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--budget" => {
+                i += 1;
+                let Some(n) = args.get(i) else { usage() };
+                match n.parse::<u64>() {
+                    Ok(n) if n > 0 => budget_secs = Some(n),
+                    _ => {
+                        eprintln!(
+                            "rlclint: --budget expects a positive number of seconds, got `{n}`"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--task-budget-ms" => {
+                i += 1;
+                let Some(n) = args.get(i) else { usage() };
+                match n.parse::<u64>() {
+                    Ok(n) if n > 0 => task_budget_ms = Some(n),
+                    _ => {
+                        eprintln!("rlclint: --task-budget-ms expects a positive number, got `{n}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--cas" => {
+                i += 1;
+                let Some(dir) = args.get(i) else { usage() };
+                cas_dir = Some(dir.clone());
+            }
+            "--cas-max-mb" => {
+                i += 1;
+                let Some(n) = args.get(i) else { usage() };
+                match n.parse::<u64>() {
+                    Ok(n) if n > 0 => cas_max_mb = Some(n),
+                    _ => {
+                        eprintln!("rlclint: --cas-max-mb expects a positive number, got `{n}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--socket" => {
                 i += 1;
                 let Some(p) = args.get(i) else { usage() };
@@ -238,6 +347,7 @@ fn main() -> ExitCode {
                     eprintln!("rlclint: {e}");
                     return ExitCode::from(2);
                 }
+                mode_flags.push(a.clone());
             }
             path => match std::fs::read_to_string(path) {
                 Ok(text) => {
@@ -275,6 +385,119 @@ fn main() -> ExitCode {
         }
         return if report.is_consistent() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
+
+    let fleet_modes =
+        usize::from(worker) + usize::from(suite.is_some()) + usize::from(suite_gen.is_some());
+    if fleet_modes > 1 {
+        eprintln!("rlclint: --worker, --suite, and --suite-gen are mutually exclusive");
+        return ExitCode::from(2);
+    }
+    if fleet_modes > 0
+        && (!files.is_empty()
+            || daemon
+            || watch_mode
+            || emit_lib
+            || infer
+            || infer_apply.is_some()
+            || run_entry.is_some())
+    {
+        eprintln!("rlclint: --worker/--suite/--suite-gen run without file inputs or other modes");
+        return ExitCode::from(2);
+    }
+    if (shards.is_some() || budget_secs.is_some() || task_budget_ms.is_some()) && suite.is_none() {
+        eprintln!("rlclint: --shards/--budget/--task-budget-ms require --suite");
+        return ExitCode::from(2);
+    }
+    if cas_dir.is_none() && cas_max_mb.is_some() {
+        eprintln!("rlclint: --cas-max-mb requires --cas");
+        return ExitCode::from(2);
+    }
+    if cas_dir.is_some() && fleet_modes == 0 {
+        eprintln!("rlclint: --cas requires --worker or --suite");
+        return ExitCode::from(2);
+    }
+    let cas_max_bytes = cas_max_mb.map(|mb| mb * 1024 * 1024);
+
+    if let Some(dir) = &suite_gen {
+        let tasks = lclint_fleet::generate_suite(suite_tasks, seed);
+        if let Err(e) = lclint_fleet::write_suite(std::path::Path::new(dir), &tasks) {
+            eprintln!("rlclint: cannot write suite to {dir}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("rlclint: wrote {} tasks to {dir}", tasks.len());
+        return ExitCode::SUCCESS;
+    }
+
+    if worker {
+        let runner = match lclint_fleet::TaskRunner::new(
+            flags,
+            cas_dir.as_deref().map(std::path::Path::new),
+            cas_max_bytes,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("rlclint: cannot open cas store: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let w = lclint_fleet::Worker::new(runner);
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return match lclint_server::serve_connection(
+            &w,
+            std::io::BufReader::new(stdin.lock()),
+            stdout.lock(),
+        ) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("rlclint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    if let Some(dir) = &suite {
+        let tasks = match lclint_fleet::load_suite(std::path::Path::new(dir)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("rlclint: cannot load suite {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let program = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("rlclint: cannot locate worker executable: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut wargs: Vec<String> = vec!["--worker".to_owned()];
+        wargs.extend(mode_flags.iter().cloned());
+        if let Some(c) = &cas_dir {
+            wargs.push("--cas".to_owned());
+            wargs.push(c.clone());
+        }
+        if let Some(mb) = cas_max_mb {
+            wargs.push("--cas-max-mb".to_owned());
+            wargs.push(mb.to_string());
+        }
+        let backend = lclint_fleet::ProcessBackend { program, args: wargs };
+        let cfg = lclint_fleet::RunConfig {
+            shards: shards.unwrap_or(1),
+            task_budget_ms,
+            global_budget_ms: budget_secs.map(|s| s * 1000),
+        };
+        let report = lclint_fleet::run_suite(&tasks, &backend, &cfg);
+        // Deterministic output (score table + verdicts) goes to stdout so
+        // shard-invariance is a byte comparison; timing and store
+        // counters go to stderr.
+        print!("{}", report.render_table());
+        println!();
+        print!("{}", report.render_verdicts());
+        eprint!("{}", report.render_timing());
+        return if report.incorrect() == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
     if roots.is_empty() {
         eprintln!("rlclint: no .c files given");
         return ExitCode::from(2);

@@ -1,0 +1,165 @@
+//! End-to-end `--suite` tests against the real binary: generation round
+//! trips, multi-process sharding is byte-invariant on stdout, the shared
+//! store accelerates warm reruns, and a worker killed mid-task (via the
+//! `RLCLINT_DEBUG_KILL_TASK` hook) surfaces as a per-task `unknown`
+//! without hanging the coordinator or poisoning neighbouring verdicts.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_rlclint")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlclint-suite-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("spawn rlclint")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn suite_gen_round_trips_and_scores_clean() {
+    let dir = scratch("gen");
+    let dir_s = dir.to_str().unwrap();
+    let gen = run(&["--suite-gen", dir_s, "--suite-tasks", "8", "--seed", "11"]);
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 16, "8 tasks ⇒ 16 files");
+
+    let out = run(&["--suite", dir_s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("total                   8"), "{text}");
+    assert!(text.contains(" 0        0"), "no incorrect, no unknown:\n{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_runs_are_byte_identical_on_stdout() {
+    let dir = scratch("shards");
+    let dir_s = dir.to_str().unwrap();
+    assert!(run(&["--suite-gen", dir_s, "--suite-tasks", "9", "--seed", "3"]).status.success());
+    let one = run(&["--suite", dir_s, "--shards", "1"]);
+    let two = run(&["--suite", dir_s, "--shards", "2"]);
+    let four = run(&["--suite", dir_s, "--shards", "4"]);
+    assert!(one.status.success() && two.status.success() && four.status.success());
+    assert_eq!(stdout(&one), stdout(&two), "shards=2 diverged");
+    assert_eq!(stdout(&one), stdout(&four), "shards=4 diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shared_store_turns_reruns_into_hits() {
+    let suite = scratch("warm");
+    let cas = scratch("warm-cas");
+    let suite_s = suite.to_str().unwrap();
+    let cas_s = cas.to_str().unwrap();
+    assert!(run(&["--suite-gen", suite_s, "--suite-tasks", "6", "--seed", "7"]).status.success());
+    let cold = run(&["--suite", suite_s, "--cas", cas_s]);
+    let warm = run(&["--suite", suite_s, "--cas", cas_s]);
+    assert!(cold.status.success() && warm.status.success());
+    // Deterministic streams agree regardless of store temperature.
+    assert_eq!(stdout(&cold), stdout(&warm));
+    // The warm run's stderr summary reports a full task-level hit rate:
+    // 6 hits, 0 misses ⇒ nothing was re-checked.
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    assert!(warm_err.contains("cas: 6 hits / 0 misses"), "{warm_err}");
+    let _ = std::fs::remove_dir_all(&suite);
+    let _ = std::fs::remove_dir_all(&cas);
+}
+
+#[test]
+fn killed_worker_scores_unknown_without_hanging() {
+    let dir = scratch("kill");
+    let dir_s = dir.to_str().unwrap();
+    assert!(run(&["--suite-gen", dir_s, "--suite-tasks", "6", "--seed", "19"]).status.success());
+    // The hook makes the worker abort() the moment it receives t00002 —
+    // mid-protocol, no response line, exactly like an OOM kill.
+    let out = Command::new(bin())
+        .args(["--suite", dir_s, "--shards", "2"])
+        .env("RLCLINT_DEBUG_KILL_TASK", "t00002")
+        .output()
+        .expect("spawn rlclint");
+    // The run completes (no hang) and stays exit 0: a dead worker is
+    // never an incorrect verdict.
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(
+        text.contains("t00002 valid-memtrack expect=true verdict=unknown (internal) unknown +0"),
+        "{text}"
+    );
+    // Every other task still gets a correct verdict — including tasks
+    // after the death on the same shard, served by the respawned worker.
+    for line in text.lines().filter(|l| l.starts_with("t0") && !l.starts_with("t00002")) {
+        assert!(line.contains("correct-"), "unexpected verdict line: {line}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn smoke_suite_replays_through_the_binary() {
+    // The committed hand-written suite: 1 deliberate incorrect verdict
+    // (wrong sidecar) ⇒ exit 1, with budget and parse tasks unknown.
+    let suite = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/suite_smoke");
+    let out = run(&["--suite", suite.to_str().unwrap(), "--shards", "2"]);
+    assert_eq!(out.status.code(), Some(1), "wrong expectation must fail the run");
+    let text = stdout(&out);
+    assert!(
+        text.contains(
+            "wrong_expectation valid-memtrack expect=true verdict=false incorrect-false -16"
+        ),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "budget_unknown valid-memtrack expect=false verdict=unknown (budget) unknown +0"
+        ),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "parse_fail valid-memsafety expect=true verdict=unknown (unparsed) unknown +0"
+        ),
+        "{text}"
+    );
+}
+
+#[test]
+fn per_task_budget_times_out_to_unknown() {
+    let dir = scratch("budget");
+    let dir_s = dir.to_str().unwrap();
+    assert!(run(&["--suite-gen", dir_s, "--suite-tasks", "4", "--seed", "23"]).status.success());
+    // A 1 ms per-task budget is unmeetable: every task times out, its
+    // worker is killed, and the suite still terminates with 0 incorrect.
+    let out = run(&["--suite", dir_s, "--task-budget-ms", "1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    for line in text.lines().filter(|l| l.starts_with("t0")) {
+        assert!(
+            line.contains("verdict=unknown (timeout)") || line.contains("correct-"),
+            "timeout may cost points, never correctness: {line}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_are_rejected() {
+    let out = run(&["--suite", "/nonexistent-suite-dir"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--shards", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--cas-max-mb", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--suite", "x", "--worker"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--suite", "x", "file.c"]);
+    assert_eq!(out.status.code(), Some(2));
+}

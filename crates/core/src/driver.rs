@@ -295,6 +295,18 @@ impl Linter {
         h.finish()
     }
 
+    /// Digest of everything outside the checked source text that can change
+    /// this linter's diagnostics: the analysis options and the loaded
+    /// libraries. Two linters with equal digests produce identical results
+    /// for identical input text — the key property content-addressed result
+    /// sharing (fleet workers, `--cas`) relies on.
+    pub fn check_digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(options_digest(&self.flags.analysis));
+        h.write_u64(self.library_digest());
+        h.finish()
+    }
+
     /// Preprocesses and parses everything (stdlib, libraries, roots) and
     /// builds the resolved program. Shared by checking, inference, and the
     /// incremental session.

@@ -22,11 +22,10 @@
 //! current program, so a corrupted-but-well-formed file costs correctness
 //! nothing.
 
-use lclint_analysis::cache::{CacheEntry, CacheStats, CheckCache, RelocDiag, RelocSpan};
-use lclint_analysis::DiagKind;
-use lclint_sema::DepSet;
+use lclint_analysis::cache::{CacheEntry, CacheStats, CheckCache};
+use lclint_analysis::castore::{decode_entry, encode_entry, r_bytes, r_u32, r_u64, w_u32, w_u64};
+use lclint_analysis::CasStore;
 use lclint_syntax::Symbol;
-use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -63,6 +62,20 @@ impl IncrementalSession {
     /// A purely in-memory session (for batch runs over many check calls).
     pub fn in_memory() -> Self {
         IncrementalSession::default()
+    }
+
+    /// Attaches a content-addressed backing store to the session's cache:
+    /// in-memory misses probe the shared directory, fresh results are
+    /// published to it, and [`CacheStats::cas_hits`]/`cas_misses` report
+    /// the traffic. See [`lclint_analysis::castore`].
+    pub fn set_cas(&mut self, store: CasStore) {
+        self.cache.set_backing(store);
+    }
+
+    /// The backing store's counters, when one is attached via
+    /// [`IncrementalSession::set_cas`].
+    pub fn cas_stats(&self) -> Option<lclint_analysis::CasStats> {
+        self.cache.backing_stats().copied()
     }
 
     /// A session persisted under `dir`: loads `dir/cache.bin` when present
@@ -138,25 +151,11 @@ fn save_cache(
     let mut entries: Vec<(&Symbol, &CacheEntry)> = cache.entries().collect();
     entries.sort_by(|a, b| a.0.cmp(b.0));
     w_u32(&mut buf, entries.len() as u32);
+    // The per-entry record is the shared codec from `lclint_analysis::castore`
+    // (also the payload of a function-level CAS artifact), so `cache.bin`
+    // bytes are unchanged from when the codec lived here.
     for (name, e) in entries {
-        w_str(&mut buf, name.as_str());
-        w_u64(&mut buf, e.fingerprint);
-        w_set(&mut buf, &e.deps.typedefs);
-        w_set(&mut buf, &e.deps.structs);
-        w_set(&mut buf, &e.deps.enum_consts);
-        w_set(&mut buf, &e.deps.functions);
-        w_set(&mut buf, &e.deps.globals);
-        w_u32(&mut buf, e.diags.len() as u32);
-        for d in &e.diags {
-            w_u8(&mut buf, kind_code(d.kind));
-            w_str(&mut buf, &d.message);
-            w_span(&mut buf, &d.span);
-            w_u32(&mut buf, d.notes.len() as u32);
-            for (m, s) in &d.notes {
-                w_str(&mut buf, m);
-                w_span(&mut buf, s);
-            }
-        }
+        encode_entry(&mut buf, *name, e);
     }
     let tmp = dir.join(format!("{CACHE_FILE}.tmp"));
     fs::write(&tmp, &buf)?;
@@ -179,148 +178,13 @@ fn load_cache(path: &Path) -> Option<((u64, u64), CheckCache)> {
     let count = r_u32(&mut r)?;
     let mut cache = CheckCache::new();
     for _ in 0..count {
-        let name = r_str(&mut r)?;
-        let fingerprint = r_u64(&mut r)?;
-        let deps = DepSet {
-            typedefs: r_set(&mut r)?,
-            structs: r_set(&mut r)?,
-            enum_consts: r_set(&mut r)?,
-            functions: r_set(&mut r)?,
-            globals: r_set(&mut r)?,
-        };
-        let ndiags = r_u32(&mut r)?;
-        let mut diags = Vec::with_capacity(ndiags.min(1024) as usize);
-        for _ in 0..ndiags {
-            let kind = kind_from_code(r_u8(&mut r)?)?;
-            let message = r_str(&mut r)?;
-            let span = r_span(&mut r)?;
-            let nnotes = r_u32(&mut r)?;
-            let mut notes = Vec::with_capacity(nnotes.min(1024) as usize);
-            for _ in 0..nnotes {
-                let m = r_str(&mut r)?;
-                let s = r_span(&mut r)?;
-                notes.push((m, s));
-            }
-            diags.push(RelocDiag { kind, message, span, notes });
-        }
-        cache.insert_entry(Symbol::intern(&name), CacheEntry { fingerprint, deps, diags });
+        let (name, entry) = decode_entry(&mut r)?;
+        cache.insert_entry(name, entry);
     }
     if !r.is_empty() {
         return None; // trailing garbage: not a file we wrote
     }
     Some(((options_digest, lib_digest), cache))
-}
-
-/// Diagnostic kinds are encoded by position in [`DiagKind::all`]; the order
-/// is part of the format, guarded by `CACHE_FORMAT_VERSION`.
-fn kind_code(kind: DiagKind) -> u8 {
-    DiagKind::all().iter().position(|k| *k == kind).expect("kind in all()") as u8
-}
-
-fn kind_from_code(code: u8) -> Option<DiagKind> {
-    DiagKind::all().get(code as usize).copied()
-}
-
-fn w_u8(buf: &mut Vec<u8>, v: u8) {
-    buf.push(v);
-}
-
-fn w_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn w_u64(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn w_str(buf: &mut Vec<u8>, s: &str) {
-    w_u32(buf, s.len() as u32);
-    buf.extend_from_slice(s.as_bytes());
-}
-
-/// Dep sets hold interned symbols in memory; the wire format stays plain
-/// text so the file is meaningful across processes.
-fn w_set(buf: &mut Vec<u8>, set: &BTreeSet<Symbol>) {
-    w_u32(buf, set.len() as u32);
-    for s in set {
-        w_str(buf, s.as_str());
-    }
-}
-
-fn w_span(buf: &mut Vec<u8>, s: &RelocSpan) {
-    match s {
-        RelocSpan::Synthetic => w_u8(buf, 0),
-        RelocSpan::Local { start, end } => {
-            w_u8(buf, 1);
-            w_u32(buf, *start);
-            w_u32(buf, *end);
-        }
-        RelocSpan::GlobalDecl { name, start, end } => {
-            w_u8(buf, 2);
-            w_str(buf, name.as_str());
-            w_u32(buf, *start);
-            w_u32(buf, *end);
-        }
-        RelocSpan::FuncDecl { name, start, end } => {
-            w_u8(buf, 3);
-            w_str(buf, name.as_str());
-            w_u32(buf, *start);
-            w_u32(buf, *end);
-        }
-    }
-}
-
-fn r_bytes<'a>(r: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
-    if r.len() < n {
-        return None;
-    }
-    let (head, tail) = r.split_at(n);
-    *r = tail;
-    Some(head)
-}
-
-fn r_u8(r: &mut &[u8]) -> Option<u8> {
-    Some(r_bytes(r, 1)?[0])
-}
-
-fn r_u32(r: &mut &[u8]) -> Option<u32> {
-    Some(u32::from_le_bytes(r_bytes(r, 4)?.try_into().ok()?))
-}
-
-fn r_u64(r: &mut &[u8]) -> Option<u64> {
-    Some(u64::from_le_bytes(r_bytes(r, 8)?.try_into().ok()?))
-}
-
-fn r_str(r: &mut &[u8]) -> Option<String> {
-    let n = r_u32(r)? as usize;
-    String::from_utf8(r_bytes(r, n)?.to_vec()).ok()
-}
-
-fn r_set(r: &mut &[u8]) -> Option<BTreeSet<Symbol>> {
-    let n = r_u32(r)?;
-    let mut set = BTreeSet::new();
-    for _ in 0..n {
-        set.insert(Symbol::intern(&r_str(r)?));
-    }
-    Some(set)
-}
-
-fn r_span(r: &mut &[u8]) -> Option<RelocSpan> {
-    Some(match r_u8(r)? {
-        0 => RelocSpan::Synthetic,
-        1 => RelocSpan::Local { start: r_u32(r)?, end: r_u32(r)? },
-        2 => RelocSpan::GlobalDecl {
-            name: Symbol::intern(&r_str(r)?),
-            start: r_u32(r)?,
-            end: r_u32(r)?,
-        },
-        3 => RelocSpan::FuncDecl {
-            name: Symbol::intern(&r_str(r)?),
-            start: r_u32(r)?,
-            end: r_u32(r)?,
-        },
-        _ => return None,
-    })
 }
 
 #[cfg(test)]

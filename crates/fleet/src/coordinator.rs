@@ -1,0 +1,464 @@
+//! The fleet coordinator: shards a suite across workers, enforces
+//! wall-clock budgets, and merges per-shard results deterministically.
+//!
+//! Tasks are assigned round-robin by suite index (`i % shards == k`), so
+//! the partition — and therefore the merged result order — depends only
+//! on the suite and the shard count, never on scheduling. The merged
+//! score table is byte-identical for any shard count; the only thing a
+//! shard count changes is wall-clock time.
+//!
+//! Budget discipline (the scoreboard's soundness bar): a task that blows
+//! its per-task budget has its worker killed and scores
+//! `unknown (timeout)`; once the global budget elapses, remaining tasks
+//! score `unknown (global-budget)` without being dispatched; a worker
+//! that dies mid-task scores that task `unknown (internal)` and a fresh
+//! worker is spawned for the shard's remaining tasks. A budget or a crash
+//! can cost points — it can never produce a wrong verdict.
+
+use crate::score::{SuiteReport, TaskResult, UnknownReason};
+use crate::suite::TaskSpec;
+use crate::worker::{TaskOutput, TaskRunner};
+use lclint_core::Flags;
+use lclint_server::json::{self, Json, Writer};
+use std::io::{self, BufRead, BufReader, Write as _};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How a connection failed to produce a task result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnError {
+    /// The per-task budget elapsed; the worker behind the connection has
+    /// been killed.
+    Timeout,
+    /// The worker died (EOF, I/O error, or a protocol-level failure).
+    Died,
+}
+
+/// One worker connection: runs tasks sequentially.
+pub trait Conn: Send {
+    /// Runs one task, waiting at most `budget` when given.
+    ///
+    /// # Errors
+    ///
+    /// [`ConnError::Timeout`] when the budget elapses, [`ConnError::Died`]
+    /// when the worker is gone. After either, the connection is dead.
+    fn run_task(
+        &mut self,
+        task: &TaskSpec,
+        budget: Option<Duration>,
+    ) -> Result<TaskOutput, ConnError>;
+}
+
+/// A source of worker connections, one per shard (plus respawns).
+pub trait Backend: Sync {
+    /// Opens a fresh worker connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn/connect failures.
+    fn connect(&self) -> io::Result<Box<dyn Conn>>;
+}
+
+/// In-process backend: each connection owns a [`TaskRunner`] on a shard
+/// thread. No process boundary, so per-task budgets are *not* enforced
+/// (a stuck task cannot be preempted) — use [`ProcessBackend`] when
+/// timeout enforcement matters. Tests and benches use this backend for
+/// hermetic, binary-free runs.
+pub struct InProcessBackend {
+    /// Checker flags for every worker.
+    pub flags: Flags,
+    /// Shared content-addressed store directory, if any.
+    pub cas_dir: Option<PathBuf>,
+    /// Store size bound in bytes, if any.
+    pub cas_max_bytes: Option<u64>,
+}
+
+struct InProcessConn {
+    runner: TaskRunner,
+}
+
+impl Conn for InProcessConn {
+    fn run_task(
+        &mut self,
+        task: &TaskSpec,
+        _budget: Option<Duration>,
+    ) -> Result<TaskOutput, ConnError> {
+        Ok(self.runner.run(&task.name, &task.text, task.max_steps))
+    }
+}
+
+impl Backend for InProcessBackend {
+    fn connect(&self) -> io::Result<Box<dyn Conn>> {
+        let runner =
+            TaskRunner::new(self.flags.clone(), self.cas_dir.as_deref(), self.cas_max_bytes)?;
+        Ok(Box::new(InProcessConn { runner }))
+    }
+}
+
+/// Process backend: each connection is a spawned worker child (typically
+/// `rlclint --worker ...`) driven over the line-delimited JSON protocol
+/// on its stdin/stdout. The process boundary is what makes budgets real:
+/// timeout ⇒ `kill(2)` the child.
+pub struct ProcessBackend {
+    /// The worker executable.
+    pub program: PathBuf,
+    /// Arguments (e.g. `["--worker", "--cas", "/path"]`).
+    pub args: Vec<String>,
+}
+
+struct ProcessConn {
+    child: Child,
+    stdin: ChildStdin,
+    lines: Receiver<io::Result<String>>,
+    next_id: usize,
+}
+
+impl ProcessConn {
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ProcessConn {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+impl Conn for ProcessConn {
+    fn run_task(
+        &mut self,
+        task: &TaskSpec,
+        budget: Option<Duration>,
+    ) -> Result<TaskOutput, ConnError> {
+        self.next_id += 1;
+        let mut params = Writer::obj().str("name", &task.name).str("text", &task.text);
+        if let Some(n) = task.max_steps {
+            params = params.num("max_steps", n as usize);
+        }
+        let req = Writer::obj()
+            .num("id", self.next_id)
+            .str("method", "task")
+            .raw("params", &params.done())
+            .done();
+        if self.stdin.write_all(req.as_bytes()).is_err()
+            || self.stdin.write_all(b"\n").is_err()
+            || self.stdin.flush().is_err()
+        {
+            self.kill();
+            return Err(ConnError::Died);
+        }
+        let line = match budget {
+            Some(d) => match self.lines.recv_timeout(d) {
+                Ok(Ok(line)) => line,
+                Ok(Err(_)) | Err(RecvTimeoutError::Disconnected) => {
+                    self.kill();
+                    return Err(ConnError::Died);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.kill();
+                    return Err(ConnError::Timeout);
+                }
+            },
+            None => match self.lines.recv() {
+                Ok(Ok(line)) => line,
+                _ => {
+                    self.kill();
+                    return Err(ConnError::Died);
+                }
+            },
+        };
+        parse_task_response(&line).ok_or_else(|| {
+            self.kill();
+            ConnError::Died
+        })
+    }
+}
+
+impl Backend for ProcessBackend {
+    fn connect(&self) -> io::Result<Box<dyn Conn>> {
+        let mut child = Command::new(&self.program)
+            .args(&self.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (tx, rx) = mpsc::channel();
+        // The reader thread owns the blocking reads so `run_task` can wait
+        // with a timeout; it exits on EOF/error (worker death or kill).
+        thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let failed = line.is_err();
+                if tx.send(line).is_err() || failed {
+                    break;
+                }
+            }
+        });
+        Ok(Box::new(ProcessConn { child, stdin, lines: rx, next_id: 0 }))
+    }
+}
+
+/// Parses a worker `task` response line into a [`TaskOutput`].
+fn parse_task_response(line: &str) -> Option<TaskOutput> {
+    let resp = json::parse(line).ok()?;
+    let result = match resp.get("result") {
+        Some(r) => r,
+        // A protocol-level error response: the worker is alive but the
+        // task produced nothing trustworthy.
+        None => {
+            resp.get("error")?;
+            return Some(TaskOutput { internal: true, ..TaskOutput::default() });
+        }
+    };
+    let kinds = match result.get("kinds")? {
+        Json::Arr(items) => {
+            items.iter().map(|v| Some(v.as_str()?.to_owned())).collect::<Option<Vec<_>>>()?
+        }
+        _ => return None,
+    };
+    let flag = |key: &str| match result.get(key) {
+        Some(Json::Bool(b)) => Some(*b),
+        _ => None,
+    };
+    let count = |key: &str| result.get(key).and_then(Json::as_usize).unwrap_or(0) as u64;
+    let mut out = TaskOutput {
+        kinds,
+        internal: flag("internal")?,
+        budget: flag("budget")?,
+        ms: result.get("ms").and_then(Json::as_f64).unwrap_or(0.0),
+        ..TaskOutput::default()
+    };
+    out.cas.hits = count("cas_hits");
+    out.cas.misses = count("cas_misses");
+    out.cas.puts = count("cas_puts");
+    Some(out)
+}
+
+/// Suite-run parameters.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Worker count; `0` and `1` both mean a single worker.
+    pub shards: usize,
+    /// Per-task wall-clock budget in milliseconds (enforced by the
+    /// process backend; timeout scores `unknown` and kills the worker).
+    pub task_budget_ms: Option<u64>,
+    /// Global wall-clock budget in milliseconds; once elapsed, remaining
+    /// tasks score `unknown` without being dispatched.
+    pub global_budget_ms: Option<u64>,
+}
+
+/// Runs a suite: shards tasks round-robin across workers, scores each
+/// verdict, and merges per-shard results back into suite order.
+pub fn run_suite(tasks: &[TaskSpec], backend: &dyn Backend, cfg: &RunConfig) -> SuiteReport {
+    let shards = cfg.shards.max(1);
+    let started = Instant::now();
+    let deadline = cfg.global_budget_ms.map(|ms| started + Duration::from_millis(ms));
+    let task_budget = cfg.task_budget_ms.map(Duration::from_millis);
+
+    let per_shard: Vec<Vec<(usize, TaskResult)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..shards)
+            .map(|k| s.spawn(move || run_shard(tasks, backend, k, shards, task_budget, deadline)))
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(k, h)| {
+                h.join().unwrap_or_else(|_| {
+                    // A panicking shard thread must not take the run down:
+                    // its tasks score `unknown (internal)`.
+                    tasks
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % shards == k)
+                        .map(|(i, t)| (i, TaskResult::unknown(t, UnknownReason::Internal)))
+                        .collect()
+                })
+            })
+            .collect()
+    });
+
+    let mut merged: Vec<Option<TaskResult>> = vec![None; tasks.len()];
+    for shard in per_shard {
+        for (i, r) in shard {
+            merged[i] = Some(r);
+        }
+    }
+    let results: Vec<TaskResult> = merged
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| TaskResult::unknown(&tasks[i], UnknownReason::Internal)))
+        .collect();
+    SuiteReport::new(results, shards, started.elapsed().as_secs_f64() * 1000.0)
+}
+
+fn run_shard(
+    tasks: &[TaskSpec],
+    backend: &dyn Backend,
+    k: usize,
+    shards: usize,
+    task_budget: Option<Duration>,
+    deadline: Option<Instant>,
+) -> Vec<(usize, TaskResult)> {
+    let mut out = Vec::new();
+    let mut conn: Option<Box<dyn Conn>> = None;
+    for (i, task) in tasks.iter().enumerate().filter(|(i, _)| i % shards == k) {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            out.push((i, TaskResult::unknown(task, UnknownReason::GlobalBudget)));
+            continue;
+        }
+        if conn.is_none() {
+            conn = backend.connect().ok();
+        }
+        let Some(c) = conn.as_mut() else {
+            out.push((i, TaskResult::unknown(task, UnknownReason::Internal)));
+            continue;
+        };
+        match c.run_task(task, task_budget) {
+            Ok(o) => out.push((i, TaskResult::score(task, &o))),
+            Err(ConnError::Timeout) => {
+                out.push((i, TaskResult::unknown(task, UnknownReason::Timeout)));
+                conn = None;
+            }
+            Err(ConnError::Died) => {
+                out.push((i, TaskResult::unknown(task, UnknownReason::Internal)));
+                conn = None;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::{Outcome, Verdict};
+    use crate::suite::{generate_suite, Category, Expected};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn small_suite() -> Vec<TaskSpec> {
+        generate_suite(8, 42)
+    }
+
+    #[test]
+    fn in_process_run_scores_a_generated_suite_perfectly() {
+        let tasks = small_suite();
+        let report = run_suite(
+            &tasks,
+            &InProcessBackend { flags: Flags::default(), cas_dir: None, cas_max_bytes: None },
+            &RunConfig::default(),
+        );
+        assert_eq!(report.incorrect(), 0, "{}", report.render_verdicts());
+        assert_eq!(report.total().unknown, 0, "{}", report.render_verdicts());
+        assert_eq!(report.total().tasks, tasks.len());
+    }
+
+    #[test]
+    fn merged_tables_are_shard_invariant() {
+        let tasks = small_suite();
+        let backend =
+            InProcessBackend { flags: Flags::default(), cas_dir: None, cas_max_bytes: None };
+        let base = run_suite(&tasks, &backend, &RunConfig { shards: 1, ..RunConfig::default() });
+        for shards in 2..=4 {
+            let r = run_suite(&tasks, &backend, &RunConfig { shards, ..RunConfig::default() });
+            assert_eq!(base.render_table(), r.render_table(), "shards={shards}");
+            assert_eq!(base.render_verdicts(), r.render_verdicts(), "shards={shards}");
+        }
+    }
+
+    /// A backend whose connections die on every Nth task, to exercise
+    /// respawn without real processes.
+    struct FlakyBackend {
+        connects: AtomicUsize,
+    }
+
+    struct FlakyConn {
+        served: usize,
+    }
+
+    impl Conn for FlakyConn {
+        fn run_task(
+            &mut self,
+            task: &TaskSpec,
+            _b: Option<Duration>,
+        ) -> Result<TaskOutput, ConnError> {
+            if task.name.contains("die") {
+                return Err(ConnError::Died);
+            }
+            self.served += 1;
+            Ok(TaskOutput::default())
+        }
+    }
+
+    impl Backend for FlakyBackend {
+        fn connect(&self) -> io::Result<Box<dyn Conn>> {
+            self.connects.fetch_add(1, Ordering::SeqCst);
+            Ok(Box::new(FlakyConn { served: 0 }))
+        }
+    }
+
+    #[test]
+    fn dead_workers_surface_as_unknown_and_get_respawned() {
+        let task = |name: &str| TaskSpec {
+            name: name.to_owned(),
+            text: String::new(),
+            category: Category::Deref,
+            expect: Expected::True,
+            max_steps: None,
+            class: None,
+        };
+        let tasks = vec![task("a"), task("die-1"), task("b"), task("c")];
+        let backend = FlakyBackend { connects: AtomicUsize::new(0) };
+        let report = run_suite(&tasks, &backend, &RunConfig::default());
+        assert_eq!(report.results[1].verdict, Verdict::Unknown(UnknownReason::Internal));
+        assert_eq!(report.results[1].outcome, Outcome::Unknown);
+        // The tasks around the death still get verdicts.
+        assert_eq!(report.results[0].verdict, Verdict::True);
+        assert_eq!(report.results[2].verdict, Verdict::True);
+        assert_eq!(report.results[3].verdict, Verdict::True);
+        // One initial connection plus one respawn.
+        assert_eq!(backend.connects.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn elapsed_global_budget_skips_dispatch() {
+        let task = |name: &str| TaskSpec {
+            name: name.to_owned(),
+            text: String::new(),
+            category: Category::Free,
+            expect: Expected::False,
+            max_steps: None,
+            class: None,
+        };
+        let tasks = vec![task("a"), task("b")];
+        let backend = FlakyBackend { connects: AtomicUsize::new(0) };
+        let report = run_suite(
+            &tasks,
+            &backend,
+            &RunConfig { global_budget_ms: Some(0), ..RunConfig::default() },
+        );
+        for r in &report.results {
+            assert_eq!(r.verdict, Verdict::Unknown(UnknownReason::GlobalBudget));
+        }
+        assert_eq!(backend.connects.load(Ordering::SeqCst), 0, "nothing may be dispatched");
+    }
+
+    #[test]
+    fn worker_responses_parse_back_into_outputs() {
+        let line = "{\"id\": 1, \"result\": {\"kinds\": [\"mustfree\"], \"internal\": false, \
+                    \"budget\": false, \"cas_hits\": 3, \"cas_misses\": 1, \"cas_puts\": 1, \
+                    \"ms\": 2.5}}";
+        let out = parse_task_response(line).unwrap();
+        assert_eq!(out.kinds, vec!["mustfree".to_owned()]);
+        assert!(!out.internal && !out.budget);
+        assert_eq!((out.cas.hits, out.cas.misses, out.cas.puts), (3, 1, 1));
+        let err = parse_task_response("{\"id\": 1, \"error\": {\"message\": \"boom\"}}").unwrap();
+        assert!(err.internal);
+        assert!(parse_task_response("garbage").is_none());
+    }
+}

@@ -1,0 +1,57 @@
+//! The soundness scoreboard: an SV-COMP-style benchmark-suite runner for
+//! the checker, with sharded multi-process fleet checking and a shared
+//! content-addressed result cache.
+//!
+//! The paper's claim is a *soundness* claim — LCLint-style checking finds
+//! the seeded memory errors without inventing verdicts. This crate turns
+//! that into a standing score: a suite of C tasks with declared expected
+//! verdicts per SV-COMP MemSafety category ([`suite`]), a worker that
+//! checks one task at a time on a warm session ([`worker`]), a
+//! coordinator that shards tasks across worker processes under wall-clock
+//! budgets ([`coordinator`]), and SV-COMP scoring where a wrong verdict
+//! costs 16–32× a right one ([`score`]).
+//!
+//! Three invariants carry the design:
+//!
+//! 1. **Budgets never lie.** Timeouts, analysis-budget exhaustion, and
+//!    worker deaths all score `unknown` — a run can lose points to a slow
+//!    machine, never correctness.
+//! 2. **Shards don't show.** The merged score table and verdict listing
+//!    are byte-identical for any `--shards` value; parallelism only
+//!    changes wall-clock time.
+//! 3. **Warmth is shared.** Workers share one content-addressed store
+//!    (function-level and task-level artifacts), so a warm rerun skips
+//!    checking and the scoreboard reports the hit rate.
+//!
+//! # Examples
+//!
+//! ```
+//! use lclint_fleet::coordinator::{run_suite, InProcessBackend, RunConfig};
+//! use lclint_fleet::suite::generate_suite;
+//!
+//! let tasks = generate_suite(4, 7);
+//! let backend = InProcessBackend {
+//!     flags: lclint_core::Flags::default(),
+//!     cas_dir: None,
+//!     cas_max_bytes: None,
+//! };
+//! let report = run_suite(&tasks, &backend, &RunConfig::default());
+//! assert_eq!(report.incorrect(), 0);
+//! print!("{}", report.render_table());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod score;
+pub mod suite;
+pub mod worker;
+
+pub use coordinator::{
+    run_suite, Backend, Conn, ConnError, InProcessBackend, ProcessBackend, RunConfig,
+};
+pub use score::{
+    outcome_for, verdict_for, Outcome, ScoreRow, SuiteReport, TaskResult, UnknownReason, Verdict,
+};
+pub use suite::{generate_suite, load_suite, write_suite, Category, Expected, TaskSpec};
+pub use worker::{TaskOutput, TaskRunner, Worker};

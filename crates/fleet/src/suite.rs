@@ -1,0 +1,436 @@
+//! The benchmark-suite format: a directory of `.c` tasks, each with a
+//! small YAML-subset sidecar declaring the expected verdict.
+//!
+//! ```text
+//! suite/
+//!   t00000.c        the task source (one translation unit)
+//!   t00000.yml      its sidecar
+//! ```
+//!
+//! A sidecar is line-oriented `key: value` (the YAML subset every tool in
+//! this space agrees on — no nesting, no quoting):
+//!
+//! ```text
+//! format: rlclint-suite-1
+//! category: valid-memtrack
+//! expect: false
+//! class: leak            # optional: the injected bug class (provenance)
+//! max_steps: 40          # optional: per-function analysis budget
+//! ```
+//!
+//! `category` names an SV-COMP MemSafety property mapped onto the
+//! checker's CWE-tagged [`DiagKind`] flag names (see
+//! [`Category::violation_kinds`]); `expect: true` means the property
+//! holds (no violation), `expect: false` means the task contains a
+//! violation the checker should find. `max_steps` exists so a suite can
+//! contain *deterministic* `unknown` tasks: a tiny budget makes the
+//! checker emit its `budget` diagnostic and the runner scores the task
+//! `unknown` on every machine, with no wall clock involved.
+//!
+//! [`DiagKind`]: lclint_core::DiagKind
+
+use lclint_corpus::generator::{generate, GenConfig};
+use lclint_corpus::mutator::{inject, BugClass};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// An SV-COMP MemSafety property category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Category {
+    /// No invalid dereference (null, dangling, or out-of-bounds).
+    Deref,
+    /// No invalid free (double free, free of non-heap storage).
+    Free,
+    /// All allocated memory is tracked and released (no leaks).
+    Memtrack,
+    /// The conjunction: deref + free + memtrack, plus definedness.
+    Memsafety,
+}
+
+impl Category {
+    /// Every category, in the order tables are rendered.
+    pub fn all() -> &'static [Category] {
+        &[Category::Deref, Category::Free, Category::Memtrack, Category::Memsafety]
+    }
+
+    /// The SV-COMP-style property label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::Deref => "valid-deref",
+            Category::Free => "valid-free",
+            Category::Memtrack => "valid-memtrack",
+            Category::Memsafety => "valid-memsafety",
+        }
+    }
+
+    /// Parses a property label.
+    pub fn parse(s: &str) -> Option<Category> {
+        Category::all().iter().copied().find(|c| c.label() == s)
+    }
+
+    /// The diagnostic kinds (flag names, [`DiagKind::flag_name`]) whose
+    /// presence refutes this category's property. The mapping follows the
+    /// CWE taxonomy: `valid-deref` is the CWE-476/416/787/125 family,
+    /// `valid-free` is CWE-415/misuse of `free`, `valid-memtrack` is
+    /// CWE-401, and `valid-memsafety` adds the definedness kinds.
+    ///
+    /// [`DiagKind::flag_name`]: lclint_core::DiagKind::flag_name
+    pub fn violation_kinds(&self) -> &'static [&'static str] {
+        match self {
+            Category::Deref => {
+                &["nullderef", "nullpass", "usereleased", "boundswrite", "boundsindex"]
+            }
+            Category::Free => &["usereleased", "onlytrans"],
+            Category::Memtrack => &["mustfree", "onlytrans", "realloclost"],
+            Category::Memsafety => &[
+                "nullderef",
+                "nullpass",
+                "usereleased",
+                "boundswrite",
+                "boundsindex",
+                "onlytrans",
+                "mustfree",
+                "realloclost",
+                "usedef",
+                "compdef",
+            ],
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The sidecar's declared expectation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// The property holds: the checker should report no violation kind.
+    True,
+    /// The task violates the property: the checker should report one.
+    False,
+}
+
+/// One benchmark task: source text plus its sidecar declaration.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Task name (the file stem; unique within a suite).
+    pub name: String,
+    /// The C source.
+    pub text: String,
+    /// The property category under test.
+    pub category: Category,
+    /// The declared expected verdict.
+    pub expect: Expected,
+    /// Optional per-function analysis budget (deterministic `unknown`).
+    pub max_steps: Option<u64>,
+    /// Optional provenance: the injected bug class label.
+    pub class: Option<String>,
+}
+
+const FORMAT: &str = "rlclint-suite-1";
+
+/// Renders a task's sidecar.
+pub fn sidecar_text(task: &TaskSpec) -> String {
+    let mut s = format!(
+        "format: {FORMAT}\ncategory: {}\nexpect: {}\n",
+        task.category.label(),
+        match task.expect {
+            Expected::True => "true",
+            Expected::False => "false",
+        }
+    );
+    if let Some(c) = &task.class {
+        s.push_str(&format!("class: {c}\n"));
+    }
+    if let Some(n) = task.max_steps {
+        s.push_str(&format!("max_steps: {n}\n"));
+    }
+    s
+}
+
+/// Parses a sidecar against the task's name (for error messages).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed or missing field.
+pub fn parse_sidecar(
+    name: &str,
+    text: &str,
+) -> Result<(Category, Expected, Option<u64>, Option<String>), String> {
+    let mut category = None;
+    let mut expect = None;
+    let mut max_steps = None;
+    let mut class = None;
+    let mut format_seen = false;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let line = line.split('#').next().unwrap_or("").trim_end();
+        let Some((key, value)) = line.split_once(':') else {
+            return Err(format!("{name}: sidecar line {}: expected `key: value`", ln + 1));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "format" => {
+                if value != FORMAT {
+                    return Err(format!("{name}: unsupported sidecar format `{value}`"));
+                }
+                format_seen = true;
+            }
+            "category" => match Category::parse(value) {
+                Some(c) => category = Some(c),
+                None => return Err(format!("{name}: unknown category `{value}`")),
+            },
+            "expect" => match value {
+                "true" => expect = Some(Expected::True),
+                "false" => expect = Some(Expected::False),
+                other => {
+                    return Err(format!("{name}: expect must be true or false, got `{other}`"))
+                }
+            },
+            "max_steps" => match value.parse::<u64>() {
+                Ok(n) if n > 0 => max_steps = Some(n),
+                _ => return Err(format!("{name}: max_steps must be a positive number")),
+            },
+            "class" => class = Some(value.to_owned()),
+            other => return Err(format!("{name}: unknown sidecar key `{other}`")),
+        }
+    }
+    if !format_seen {
+        return Err(format!("{name}: sidecar missing `format: {FORMAT}`"));
+    }
+    match (category, expect) {
+        (Some(c), Some(e)) => Ok((c, e, max_steps, class)),
+        (None, _) => Err(format!("{name}: sidecar missing `category`")),
+        (_, None) => Err(format!("{name}: sidecar missing `expect`")),
+    }
+}
+
+/// Loads a suite directory: every `<stem>.c` with a `<stem>.yml` sidecar,
+/// sorted by stem so task order (and therefore sharding and the merged
+/// report) is deterministic.
+///
+/// # Errors
+///
+/// I/O failures, a task missing its sidecar, or a malformed sidecar.
+pub fn load_suite(dir: &Path) -> io::Result<Vec<TaskSpec>> {
+    let bad = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
+    let mut stems: Vec<String> = Vec::new();
+    for e in fs::read_dir(dir)? {
+        let e = e?;
+        let name = e.file_name().to_string_lossy().into_owned();
+        if let Some(stem) = name.strip_suffix(".c") {
+            stems.push(stem.to_owned());
+        }
+    }
+    stems.sort();
+    let mut tasks = Vec::with_capacity(stems.len());
+    for stem in stems {
+        let text = fs::read_to_string(dir.join(format!("{stem}.c")))?;
+        let sidecar_path = dir.join(format!("{stem}.yml"));
+        let sidecar = fs::read_to_string(&sidecar_path).map_err(|e| {
+            bad(format!("{stem}: cannot read sidecar {}: {e}", sidecar_path.display()))
+        })?;
+        let (category, expect, max_steps, class) = parse_sidecar(&stem, &sidecar).map_err(bad)?;
+        tasks.push(TaskSpec { name: stem, text, category, expect, max_steps, class });
+    }
+    if tasks.is_empty() {
+        return Err(bad(format!(
+            "{}: no tasks (expected <name>.c + <name>.yml pairs)",
+            dir.display()
+        )));
+    }
+    Ok(tasks)
+}
+
+/// SplitMix64 — deterministic per-task seed derivation with no external
+/// RNG dependency.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The bug classes that refute each category, used round-robin by the
+/// generator so every class appears in its narrowest matching property.
+fn classes_for(category: Category) -> &'static [BugClass] {
+    match category {
+        Category::Deref => &[
+            BugClass::NullDeref,
+            BugClass::UseAfterFree,
+            BugClass::BufferOverflow,
+            BugClass::OutOfBoundsIndex,
+        ],
+        Category::Free => &[BugClass::DoubleFree],
+        Category::Memtrack => &[BugClass::Leak, BugClass::ReallocLost],
+        Category::Memsafety => BugClass::all(),
+    }
+}
+
+/// Generates a `count`-task suite from the corpus generator and mutator:
+/// half the tasks are fully annotated clean programs (`expect: true`),
+/// half carry one injected bug of a class that refutes their category
+/// (`expect: false`). Categories cycle; everything derives from `seed`.
+///
+/// The expected verdicts are sound by construction: fully annotated
+/// generated programs check clean (a corpus invariant under test there),
+/// and every injectable class is statically detected with a kind in its
+/// category's violation set (likewise pinned by mutator tests).
+pub fn generate_suite(count: usize, seed: u64) -> Vec<TaskSpec> {
+    let n_cats = Category::all().len();
+    let mut state = seed ^ 0x5eed_0f1e_e7ca_fe00;
+    let mut tasks = Vec::with_capacity(count);
+    for i in 0..count {
+        let task_seed = splitmix(&mut state);
+        let category = Category::all()[i % n_cats];
+        let cfg = GenConfig {
+            modules: 1 + (i % 3),
+            filler_per_module: 1,
+            seed: task_seed,
+            ..GenConfig::default()
+        };
+        let base = generate(&cfg);
+        let name = format!("t{i:05}");
+        // Alternate clean/mutated per category *round* (not per index):
+        // categories cycle with period `n_cats`, so an index-parity split
+        // would hand each category only one expectation.
+        if (i / n_cats).is_multiple_of(2) {
+            tasks.push(TaskSpec {
+                name,
+                text: base.source,
+                category,
+                expect: Expected::True,
+                max_steps: None,
+                class: None,
+            });
+        } else {
+            let classes = classes_for(category);
+            let class = classes[(i / (2 * n_cats)) % classes.len()];
+            let trigger = (task_seed % 97) as i64;
+            let mutated = inject(&base, class, trigger);
+            tasks.push(TaskSpec {
+                name,
+                text: mutated.source,
+                category,
+                expect: Expected::False,
+                max_steps: None,
+                class: Some(class.label().to_owned()),
+            });
+        }
+    }
+    tasks
+}
+
+/// Writes a suite to `dir` (created if missing) in the on-disk format
+/// [`load_suite`] reads.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_suite(dir: &Path, tasks: &[TaskSpec]) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    for t in tasks {
+        fs::write(dir.join(format!("{}.c", t.name)), &t.text)?;
+        fs::write(dir.join(format!("{}.yml", t.name)), sidecar_text(t))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sidecar_round_trips() {
+        let task = TaskSpec {
+            name: "t00001".to_owned(),
+            text: String::new(),
+            category: Category::Memtrack,
+            expect: Expected::False,
+            max_steps: Some(40),
+            class: Some("leak".to_owned()),
+        };
+        let text = sidecar_text(&task);
+        let (c, e, m, cl) = parse_sidecar("t00001", &text).unwrap();
+        assert_eq!(c, Category::Memtrack);
+        assert_eq!(e, Expected::False);
+        assert_eq!(m, Some(40));
+        assert_eq!(cl.as_deref(), Some("leak"));
+    }
+
+    #[test]
+    fn sidecar_rejects_malformations() {
+        assert!(parse_sidecar("x", "category: valid-deref\nexpect: true\n").is_err()); // no format
+        assert!(parse_sidecar("x", "format: rlclint-suite-1\nexpect: true\n").is_err()); // no category
+        assert!(parse_sidecar("x", "format: rlclint-suite-1\ncategory: valid-deref\n").is_err());
+        assert!(
+            parse_sidecar("x", "format: rlclint-suite-1\ncategory: nope\nexpect: true\n").is_err()
+        );
+        assert!(parse_sidecar(
+            "x",
+            "format: rlclint-suite-2\ncategory: valid-deref\nexpect: true\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn generated_suite_alternates_and_cycles() {
+        let tasks = generate_suite(16, 7);
+        assert_eq!(tasks.len(), 16);
+        // Every category sees both expectations.
+        for c in Category::all() {
+            assert!(
+                tasks.iter().any(|t| t.category == *c && t.expect == Expected::True),
+                "no clean task for {c}"
+            );
+            assert!(
+                tasks.iter().any(|t| t.category == *c && t.expect == Expected::False),
+                "no buggy task for {c}"
+            );
+        }
+        // Deterministic per seed.
+        let again = generate_suite(16, 7);
+        assert!(tasks.iter().zip(&again).all(|(a, b)| a.text == b.text));
+        let other = generate_suite(16, 8);
+        assert!(tasks.iter().zip(&other).any(|(a, b)| a.text != b.text));
+    }
+
+    #[test]
+    fn injected_classes_refute_their_category() {
+        for c in Category::all() {
+            for class in classes_for(*c) {
+                let kinds = lclint_corpus::differential::static_kinds(*class);
+                assert!(
+                    kinds.iter().any(|k| c.violation_kinds().contains(k)),
+                    "{class:?} undetectable under {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suite_round_trips_through_a_directory() {
+        let dir = std::env::temp_dir().join(format!("lclint-suite-rt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let tasks = generate_suite(6, 3);
+        write_suite(&dir, &tasks).unwrap();
+        let back = load_suite(&dir).unwrap();
+        assert_eq!(back.len(), tasks.len());
+        for (a, b) in tasks.iter().zip(&back) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.category, b.category);
+            assert_eq!(a.expect, b.expect);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property: the merged scoreboard is a pure function of the task list.
+//! For any subset of a generated suite and any shard count 1–4, the score
+//! table and the per-task verdict listing are byte-identical — sharding
+//! changes wall-clock time, never output.
+
+use lclint_core::Flags;
+use lclint_fleet::coordinator::{run_suite, InProcessBackend, RunConfig};
+use lclint_fleet::suite::{generate_suite, TaskSpec};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared base suite: generation and checking are the expensive part,
+/// so the property varies the *selection*, not the programs.
+fn base_suite() -> &'static [TaskSpec] {
+    static SUITE: OnceLock<Vec<TaskSpec>> = OnceLock::new();
+    SUITE.get_or_init(|| generate_suite(12, 2024))
+}
+
+fn backend() -> InProcessBackend {
+    InProcessBackend { flags: Flags::default(), cas_dir: None, cas_max_bytes: None }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn merged_output_is_shard_invariant_for_any_subset(
+        mask in 1u16..(1 << 12),
+    ) {
+        let tasks: Vec<TaskSpec> = base_suite()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, t)| t.clone())
+            .collect();
+        // mask >= 1 guarantees at least one selected task.
+        let b = backend();
+        let base = run_suite(&tasks, &b, &RunConfig { shards: 1, ..RunConfig::default() });
+        // A generated suite with honest sidecars never scores incorrect.
+        prop_assert_eq!(base.incorrect(), 0, "{}", base.render_verdicts());
+        for shards in 2..=4 {
+            let r = run_suite(&tasks, &b, &RunConfig { shards, ..RunConfig::default() });
+            prop_assert_eq!(base.render_table(), r.render_table(), "shards={}", shards);
+            prop_assert_eq!(base.render_verdicts(), r.render_verdicts(), "shards={}", shards);
+        }
+    }
+
+    #[test]
+    fn rerunning_the_same_selection_is_bytewise_stable(
+        mask in 1u16..(1 << 12),
+        shards in 1usize..5,
+    ) {
+        let tasks: Vec<TaskSpec> = base_suite()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, t)| t.clone())
+            .collect();
+        // mask >= 1 guarantees at least one selected task.
+        let b = backend();
+        let cfg = RunConfig { shards, ..RunConfig::default() };
+        let once = run_suite(&tasks, &b, &cfg);
+        let twice = run_suite(&tasks, &b, &cfg);
+        prop_assert_eq!(once.render_table(), twice.render_table());
+        prop_assert_eq!(once.render_verdicts(), twice.render_verdicts());
+    }
+}

@@ -54,10 +54,41 @@ struct Totals {
     cache_misses: u64,
 }
 
+/// Anything that can serve the line-delimited JSON protocol: one request
+/// line in, one response line out, plus a shutdown latch. [`Daemon`] is
+/// the canonical implementation; `lclint-fleet`'s task worker is another.
+pub trait Handler: Send + Sync {
+    /// Handles one request line and returns the response line (without a
+    /// trailing newline).
+    fn handle_line(&self, line: &str) -> String;
+    /// True once a `shutdown` request has been served.
+    fn is_shut_down(&self) -> bool;
+}
+
+impl<H: Handler + ?Sized> Handler for Arc<H> {
+    fn handle_line(&self, line: &str) -> String {
+        (**self).handle_line(line)
+    }
+
+    fn is_shut_down(&self) -> bool {
+        (**self).is_shut_down()
+    }
+}
+
 /// A running analysis server: one warm session plus request bookkeeping.
 pub struct Daemon {
     session: Mutex<(Session, Totals)>,
     shutdown: AtomicBool,
+}
+
+impl Handler for Daemon {
+    fn handle_line(&self, line: &str) -> String {
+        Daemon::handle_line(self, line)
+    }
+
+    fn is_shut_down(&self) -> bool {
+        Daemon::is_shut_down(self)
+    }
 }
 
 impl Daemon {
@@ -216,7 +247,9 @@ fn render_check(r: &CheckResult, ms: f64) -> String {
         .done()
 }
 
-fn result_response(id: Option<f64>, body: &str) -> String {
+/// Wraps a rendered `result` body in a protocol response line (shared by
+/// every [`Handler`] implementation so response shapes stay uniform).
+pub fn result_response(id: Option<f64>, body: &str) -> String {
     let mut w = Writer::obj();
     w = match id {
         Some(id) if id.fract() == 0.0 && id >= 0.0 => w.num("id", id as usize),
@@ -226,7 +259,8 @@ fn result_response(id: Option<f64>, body: &str) -> String {
     w.raw("result", body).done()
 }
 
-fn error_response(id: Option<f64>, message: &str) -> String {
+/// Wraps an error message in a protocol `error` response line.
+pub fn error_response(id: Option<f64>, message: &str) -> String {
     let mut w = Writer::obj();
     w = match id {
         Some(id) if id.fract() == 0.0 && id >= 0.0 => w.num("id", id as usize),
@@ -243,7 +277,7 @@ fn error_response(id: Option<f64>, message: &str) -> String {
 ///
 /// Propagates I/O errors on the connection.
 pub fn serve_connection(
-    daemon: &Daemon,
+    daemon: &impl Handler,
     reader: impl BufRead,
     mut writer: impl Write,
 ) -> io::Result<()> {

@@ -1,0 +1,108 @@
+//! Tier-1 replay of the hand-written smoke suite in `tests/suite_smoke/`:
+//! one task per verdict category and outcome, including a deliberate
+//! budget-`unknown` task, an unparseable task, and one task whose sidecar
+//! declares the *wrong* expected verdict (which must surface as
+//! `incorrect`, proving the scoreboard would catch a lying oracle).
+
+use lclint_core::Flags;
+use lclint_fleet::coordinator::{run_suite, InProcessBackend, RunConfig};
+use lclint_fleet::score::{Outcome, UnknownReason, Verdict};
+use lclint_fleet::suite::{load_suite, Category, Expected};
+use std::path::Path;
+
+fn smoke_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/suite_smoke")
+}
+
+fn backend() -> InProcessBackend {
+    InProcessBackend { flags: Flags::default(), cas_dir: None, cas_max_bytes: None }
+}
+
+#[test]
+fn smoke_suite_loads_with_declared_shape() {
+    let tasks = load_suite(&smoke_dir()).unwrap();
+    assert_eq!(tasks.len(), 12);
+    // Sorted by name, and every category is represented with both
+    // expectations somewhere in the suite.
+    let names: Vec<&str> = tasks.iter().map(|t| t.name.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+    for c in Category::all() {
+        assert!(tasks.iter().any(|t| t.category == *c), "missing {c}");
+    }
+    let budget = tasks.iter().find(|t| t.name == "budget_unknown").unwrap();
+    assert_eq!(budget.max_steps, Some(1));
+}
+
+#[test]
+fn smoke_suite_scores_as_designed() {
+    let tasks = load_suite(&smoke_dir()).unwrap();
+    let report = run_suite(&tasks, &backend(), &RunConfig::default());
+    let by_name = |name: &str| {
+        report.results.iter().find(|r| r.name == name).unwrap_or_else(|| panic!("no task {name}"))
+    };
+
+    // The deliberate wrong-expectation task is the only incorrect verdict:
+    // the checker finds the leak, the sidecar claims the program is clean,
+    // and the scoreboard reports the disagreement as a false alarm.
+    assert_eq!(report.incorrect(), 1, "{}", report.render_verdicts());
+    let wrong = by_name("wrong_expectation");
+    assert_eq!(wrong.verdict, Verdict::False);
+    assert_eq!(wrong.outcome, Outcome::IncorrectFalse);
+    assert_eq!(wrong.outcome.points(), -16);
+
+    // The tiny-budget task is unknown-by-budget — deterministically, with
+    // no wall clock involved.
+    let budget = by_name("budget_unknown");
+    assert_eq!(budget.verdict, Verdict::Unknown(UnknownReason::Budget));
+    assert_eq!(budget.outcome, Outcome::Unknown);
+
+    // The unparseable task is unknown, never a verdict.
+    let broken = by_name("parse_fail");
+    assert_eq!(broken.verdict, Verdict::Unknown(UnknownReason::Unparsed));
+
+    // Everything else is correct.
+    let total = report.total();
+    assert_eq!(total.tasks, 12);
+    assert_eq!(total.correct_true, 4);
+    assert_eq!(total.correct_false, 5);
+    assert_eq!(total.unknown, 2);
+    assert_eq!(total.score, 4 * 2 + 5 - 16);
+
+    // Spot-check each category's intended pair.
+    assert_eq!(by_name("deref_ok").outcome, Outcome::CorrectTrue);
+    assert_eq!(by_name("deref_bad").outcome, Outcome::CorrectFalse);
+    assert_eq!(by_name("uaf_bad").outcome, Outcome::CorrectFalse);
+    assert_eq!(by_name("free_ok").outcome, Outcome::CorrectTrue);
+    assert_eq!(by_name("free_bad").outcome, Outcome::CorrectFalse);
+    assert_eq!(by_name("memtrack_ok").outcome, Outcome::CorrectTrue);
+    assert_eq!(by_name("memtrack_bad").outcome, Outcome::CorrectFalse);
+    assert_eq!(by_name("safety_ok").outcome, Outcome::CorrectTrue);
+    assert_eq!(by_name("safety_bad").outcome, Outcome::CorrectFalse);
+}
+
+#[test]
+fn smoke_suite_is_shard_invariant() {
+    let tasks = load_suite(&smoke_dir()).unwrap();
+    let b = backend();
+    let base = run_suite(&tasks, &b, &RunConfig::default());
+    for shards in 2..=4 {
+        let r = run_suite(&tasks, &b, &RunConfig { shards, ..RunConfig::default() });
+        assert_eq!(base.render_table(), r.render_table(), "shards={shards}");
+        assert_eq!(base.render_verdicts(), r.render_verdicts(), "shards={shards}");
+    }
+}
+
+#[test]
+fn expectations_match_categories() {
+    // Guard against fixture drift: every `expect: false` task declares a
+    // class, and the smoke suite exercises both expectations per category
+    // (modulo the deliberately-broken tasks).
+    let tasks = load_suite(&smoke_dir()).unwrap();
+    for t in &tasks {
+        if t.expect == Expected::False {
+            assert!(t.class.is_some(), "{}: buggy task without a class label", t.name);
+        }
+    }
+}

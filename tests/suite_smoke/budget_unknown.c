@@ -1,0 +1,10 @@
+int budget_unknown(void)
+{
+  int *lost = (int *) malloc(4);
+  if (lost == NULL)
+  {
+    return 0;
+  }
+  *lost = 7;
+  return *lost;
+}

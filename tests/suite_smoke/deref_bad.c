@@ -1,0 +1,4 @@
+int deref_bad(/*@null@*/ int *p)
+{
+  return *p;
+}

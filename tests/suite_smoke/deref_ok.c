@@ -1,0 +1,8 @@
+int deref_ok(/*@null@*/ int *p)
+{
+  if (p == NULL)
+  {
+    return 0;
+  }
+  return *p;
+}

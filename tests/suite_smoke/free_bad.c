@@ -1,0 +1,6 @@
+void free_bad(void)
+{
+  char *twice = (char *) malloc(4);
+  free(twice);
+  free(twice);
+}

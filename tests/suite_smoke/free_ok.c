@@ -1,0 +1,5 @@
+void free_ok(void)
+{
+  char *once = (char *) malloc(4);
+  free(once);
+}

@@ -1,0 +1,10 @@
+int memtrack_bad(void)
+{
+  int *lost = (int *) malloc(4);
+  if (lost == NULL)
+  {
+    return 0;
+  }
+  *lost = 3;
+  return *lost;
+}

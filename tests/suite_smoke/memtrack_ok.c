@@ -1,0 +1,11 @@
+int memtrack_ok(void)
+{
+  int *kept = (int *) malloc(4);
+  if (kept == NULL)
+  {
+    return 0;
+  }
+  *kept = 3;
+  free(kept);
+  return 3;
+}

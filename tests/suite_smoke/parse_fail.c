@@ -1,0 +1,3 @@
+int broken(
+{
+  return 0;

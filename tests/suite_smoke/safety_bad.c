@@ -1,0 +1,5 @@
+int safety_bad(void)
+{
+  int never_set;
+  return never_set + 1;
+}

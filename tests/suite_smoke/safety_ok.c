@@ -1,0 +1,5 @@
+int safety_ok(void)
+{
+  int set = 2;
+  return set + 1;
+}

@@ -1,0 +1,11 @@
+int uaf_bad(void)
+{
+  int *stale = (int *) malloc(4);
+  if (stale == NULL)
+  {
+    return 0;
+  }
+  *stale = 1;
+  free(stale);
+  return *stale;
+}

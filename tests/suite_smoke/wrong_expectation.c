@@ -1,0 +1,10 @@
+int wrong_expectation(void)
+{
+  int *leaky = (int *) malloc(4);
+  if (leaky == NULL)
+  {
+    return 0;
+  }
+  *leaky = 9;
+  return *leaky;
+}
