@@ -172,10 +172,11 @@ impl CacheStats {
 pub struct CheckCache {
     entries: FxHashMap<Symbol, CacheEntry>,
     stats: CacheStats,
-    /// Optional shared backing: a content-addressed artifact directory
-    /// probed on in-memory misses and fed on fresh stores, so concurrent
-    /// checker processes share warm per-function results.
-    backing: Option<crate::castore::CasStore>,
+    /// Optional shared backing: a layered content-addressed store
+    /// (local directory + optional remote tier) probed on in-memory
+    /// misses and fed on fresh stores, so concurrent checker processes
+    /// — and fleets of hosts — share warm per-function results.
+    backing: Option<crate::remote::LayeredStore>,
 }
 
 impl CheckCache {
@@ -220,14 +221,25 @@ impl CheckCache {
         self.entries.get(&name)
     }
 
-    /// Attaches a content-addressed backing store (see [`crate::castore`]).
-    pub fn set_backing(&mut self, store: crate::castore::CasStore) {
-        self.backing = Some(store);
+    /// Attaches a content-addressed backing store: a bare [`CasStore`]
+    /// (local-only, via `From`) or a full [`LayeredStore`] with a
+    /// remote tier (see [`crate::castore`] and [`crate::remote`]).
+    ///
+    /// [`CasStore`]: crate::castore::CasStore
+    /// [`LayeredStore`]: crate::remote::LayeredStore
+    pub fn set_backing(&mut self, store: impl Into<crate::remote::LayeredStore>) {
+        self.backing = Some(store.into());
     }
 
-    /// The backing store's own counters, when one is attached.
+    /// The backing store's local-tier counters, when one is attached.
     pub fn backing_stats(&self) -> Option<&crate::castore::CasStats> {
         self.backing.as_ref().map(|s| s.stats())
+    }
+
+    /// The backing store's remote-tier counters, when a remote is
+    /// attached.
+    pub fn backing_remote_stats(&self) -> Option<&crate::remote::RemoteStats> {
+        self.backing.as_ref().and_then(|s| s.remote_stats())
     }
 }
 

@@ -251,7 +251,11 @@ impl CasStore {
             total += meta.len();
             files.push((mtime, name, meta.len()));
         }
-        // Oldest first; names break mtime ties deterministically.
+        // Oldest first. Filesystem mtimes have coarse granularity (a
+        // whole second on some platforms), so ties are common; the file
+        // name — fixed-width hex, so lexicographic order IS numeric key
+        // order — breaks them, making eviction deterministic across
+        // platforms and runs (pinned by `eviction_breaks_mtime_ties_…`).
         files.sort();
         for (_, name, len) in files {
             if total + incoming <= max {
@@ -271,8 +275,10 @@ fn is_artifact_name(name: &str) -> bool {
 }
 
 /// FNV-1a over the payload, via the same run-stable hasher the
-/// fingerprints use.
-fn payload_checksum(payload: &[u8]) -> u64 {
+/// fingerprints use. Public because the remote protocol (client in
+/// [`crate::remote`], server in `lclint-server`) checksums the same
+/// payloads on the wire.
+pub fn payload_checksum(payload: &[u8]) -> u64 {
     let mut h = StableHasher::new();
     h.write_bytes(payload);
     h.finish()
@@ -567,6 +573,34 @@ mod tests {
         assert_eq!(s.get(3), None);
         assert_eq!(s.stats().corrupt, 1);
         let _ = fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn eviction_breaks_mtime_ties_in_key_order() {
+        let dir = std::env::temp_dir().join(format!("lclint-cas-tie-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        // Small payloads; header (24) + payload (8) = 32 bytes each.
+        let payload = [0u8; 8];
+        let mut s = CasStore::open(&dir, Some(3 * 32)).unwrap();
+        // Insert out of key order, then force every artifact to the
+        // exact same mtime so only the tie-break decides.
+        for key in [7u64, 2, 9] {
+            s.put(key, &payload);
+        }
+        let stamp = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000);
+        for key in [7u64, 2, 9] {
+            let f = fs::File::options().append(true).open(s.key_path(key)).unwrap();
+            f.set_modified(stamp).unwrap();
+        }
+        // A fourth artifact forces one eviction: the lowest key (2)
+        // must go, on every platform, regardless of insertion order.
+        s.put(4, &payload);
+        assert_eq!(s.stats().evicted, 1, "exactly one eviction expected");
+        assert!(!s.key_path(2).exists(), "key 2 is first in key order and must be evicted");
+        for key in [4u64, 7, 9] {
+            assert!(s.key_path(key).exists(), "key {key} must survive");
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

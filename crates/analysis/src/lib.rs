@@ -39,6 +39,7 @@ pub mod diag;
 pub mod infer;
 pub mod options;
 pub mod refs;
+pub mod remote;
 pub mod state;
 
 pub use cache::{
@@ -53,6 +54,10 @@ pub use infer::{
 };
 pub use options::AnalysisOptions;
 pub use refs::{Path, RefBase, RefId, RefStep, RefTable};
+pub use remote::{
+    ChaosPlan, ChaosTransport, LayeredStore, RemoteClient, RemoteConfig, RemoteStats, StoreConfig,
+    Transport,
+};
 pub use state::{AllocState, DefState, Env, NullState, RefState};
 
 pub use lclint_cfg::LoopModel;

@@ -8,10 +8,10 @@
 use lclint_bench::{
     annotation_sweep, cwe_expansion_table, daemon_table, database_table, detection_table,
     figure_table, incremental_table, inference_table, library_speedup, par_speedup_table,
-    resilience_table, scaling_table, scoreboard_table, soundness_table, stdlib_cache_stats,
-    throughput_table, CweRow, DaemonRow, IncrRow, InferRow, ResilienceReport,
-    ScoreboardCategoryRow, ScoreboardRow, SoundnessClean, SoundnessRow, ThroughputRow,
-    PR6_PARSE_MS_100K, PRE_FLAT_BASELINE_MS_100K,
+    remote_cache_table, resilience_table, scaling_table, scoreboard_table, soundness_table,
+    stdlib_cache_stats, throughput_table, CweRow, DaemonRow, IncrRow, InferRow, RemoteCacheRow,
+    ResilienceReport, ScoreboardCategoryRow, ScoreboardRow, SoundnessClean, SoundnessRow,
+    ThroughputRow, PR6_PARSE_MS_100K, PRE_FLAT_BASELINE_MS_100K,
 };
 
 fn main() {
@@ -411,6 +411,48 @@ fn main() {
          \u{20}  shard count, and the warm rerun answers every task from the store."
     );
 
+    // E20 ---------------------------------------------------------------------
+    let remote_tasks = if quick { 60 } else { 400 };
+    println!(
+        "\nE20. Remote result cache: {remote_tasks} tasks against a live rlclintd\n\
+         \u{20}    --cas-serve daemon, a second host with an empty local store, a\n\
+         \u{20}    chaos-injected flaky remote, and a dead remote\n"
+    );
+    println!(
+        "{:<24} {:>9} {:>9} {:>11} {:>11} {:>10} {:>8} {:>7} {:>9} {:>10}",
+        "scenario",
+        "wall ms",
+        "cas hits",
+        "remote hit",
+        "remote put",
+        "miss",
+        "errors",
+        "trips",
+        "skipped",
+        "identical"
+    );
+    let remote_rows = remote_cache_table(remote_tasks, 2024);
+    for r in &remote_rows {
+        println!(
+            "{:<24} {:>9.1} {:>9} {:>11} {:>11} {:>10} {:>8} {:>7} {:>9} {:>10}",
+            r.scenario,
+            r.wall_ms,
+            r.cas_hits,
+            r.remote_hits,
+            r.remote_puts,
+            r.remote_misses,
+            r.remote_errors,
+            r.remote_trips,
+            r.remote_skipped,
+            r.byte_identical
+        );
+    }
+    println!(
+        "\n  the deterministic streams are byte-identical in every cell: a dead,\n\
+         \u{20}  slow, flaky, or corrupting remote costs bounded latency (deadline,\n\
+         \u{20}  bounded retries, circuit breaker), never a verdict or a byte."
+    );
+
     if let Some(path) = json_path {
         let blob = serde_json::json!({
             "figures": figs,
@@ -430,6 +472,7 @@ fn main() {
             "daemon": daemon,
             "scoreboard": scoreboard,
             "scoreboard_categories": scoreboard_cats,
+            "remote_cache": remote_rows,
         });
         std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serializes"))
             .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
@@ -502,7 +545,51 @@ fn main() {
             Ok(()) => println!("scoreboard snapshot written to {}", snap.display()),
             Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
         }
+
+        // Snapshot of the remote result cache run, likewise hand
+        // rendered.
+        let snap =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_PR10.json");
+        match std::fs::write(&snap, render_e20_snapshot(&remote_rows, remote_tasks)) {
+            Ok(()) => println!("remote cache snapshot written to {}", snap.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", snap.display()),
+        }
     }
+}
+
+/// Renders the E20 table as a JSON document without going through a
+/// serializer (offline builds stub `serde_json`).
+fn render_e20_snapshot(rows: &[RemoteCacheRow], tasks: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"remote-result-cache\",\n");
+    out.push_str(&format!("  \"suite_tasks\": {tasks},\n"));
+    out.push_str(
+        "  \"bars\": {\"byte_identical\": true, \"warm_second_host_speedup_x\": 3.0, \
+         \"flaky_overhead_pct\": 25.0},\n",
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"wall_ms\": {:.3}, \"cas_hits\": {}, \
+             \"remote_hits\": {}, \"remote_misses\": {}, \"remote_puts\": {}, \
+             \"remote_errors\": {}, \"remote_trips\": {}, \"remote_skipped\": {}, \
+             \"byte_identical\": {}}}{}\n",
+            r.scenario,
+            r.wall_ms,
+            r.cas_hits,
+            r.remote_hits,
+            r.remote_misses,
+            r.remote_puts,
+            r.remote_errors,
+            r.remote_trips,
+            r.remote_skipped,
+            r.byte_identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders the E19 scoreboard as a JSON document without going through a

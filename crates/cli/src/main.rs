@@ -53,6 +53,16 @@
 //!                   (with --suite/--worker: function- and task-level
 //!                   artifacts warm across workers and reruns)
 //!   --cas-max-mb N  bound the store, evicting oldest artifacts
+//!   --cas-remote ADDR  layer a remote result cache (an `rlclintd
+//!                   --cas-serve` daemon at ADDR) above --cas DIR:
+//!                   read-through on miss, write-through on publish. A
+//!                   dead, slow, or corrupt remote degrades to
+//!                   local-only behaviour — it can cost bounded latency
+//!                   but never changes a verdict or a diagnostic
+//!   --cas-chaos SPEC   inject deterministic faults into the remote
+//!                   transport (testing; also via RLCLINT_CHAOS):
+//!                   refuse | flaky:N | disconnect:N | truncate:N |
+//!                   corrupt:N | delay:N | die-after:N
 //!
 //! Exit codes: 0 clean, 1 diagnostics reported, 2 usage or I/O error,
 //! 3 completed but one or more functions hit an internal checker error.
@@ -81,7 +91,7 @@ fn usage() -> ! {
          \u{20}        --watch [--watch-poll-ms N] --daemon [--socket PATH | --tcp ADDR]\n\
          \u{20}        --suite DIR [--shards N] [--budget SECS] [--task-budget-ms MS]\n\
          \u{20}        --suite-gen DIR [--suite-tasks N] --worker\n\
-         \u{20}        --cas DIR [--cas-max-mb N]\n\
+         \u{20}        --cas DIR [--cas-max-mb N] [--cas-remote ADDR [--cas-chaos SPEC]]\n\
          exit codes: 0 clean, 1 warnings, 2 usage/IO error, 3 internal checker error\n\
          \u{20}           (--watch/--daemon: 0 clean shutdown, 2 usage/IO error)\n\
          \u{20}           (--suite: 0 no incorrect verdicts, 1 otherwise)",
@@ -163,6 +173,8 @@ fn main() -> ExitCode {
     let mut task_budget_ms: Option<u64> = None;
     let mut cas_dir: Option<String> = None;
     let mut cas_max_mb: Option<u64> = None;
+    let mut cas_remote: Option<String> = None;
+    let mut cas_chaos: Option<String> = None;
     // LCLint-style +/- mode flags in their original spelling, so --suite
     // can forward the checker configuration verbatim to its workers.
     let mut mode_flags: Vec<String> = Vec::new();
@@ -326,6 +338,16 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--cas-remote" => {
+                i += 1;
+                let Some(addr) = args.get(i) else { usage() };
+                cas_remote = Some(addr.clone());
+            }
+            "--cas-chaos" => {
+                i += 1;
+                let Some(spec) = args.get(i) else { usage() };
+                cas_chaos = Some(spec.clone());
+            }
             "--socket" => {
                 i += 1;
                 let Some(p) = args.get(i) else { usage() };
@@ -416,7 +438,30 @@ fn main() -> ExitCode {
         eprintln!("rlclint: --cas requires --worker or --suite");
         return ExitCode::from(2);
     }
+    if cas_remote.is_some() && cas_dir.is_none() {
+        eprintln!("rlclint: --cas-remote requires --cas (the local tier is the source of truth)");
+        return ExitCode::from(2);
+    }
+    if cas_chaos.is_some() && cas_remote.is_none() {
+        eprintln!("rlclint: --cas-chaos requires --cas-remote");
+        return ExitCode::from(2);
+    }
+    // Test hook: RLCLINT_CHAOS injects a fault spec without widening the
+    // command lines tests must construct.
+    if cas_chaos.is_none() && cas_remote.is_some() {
+        if let Ok(spec) = std::env::var("RLCLINT_CHAOS") {
+            if !spec.is_empty() {
+                cas_chaos = Some(spec);
+            }
+        }
+    }
     let cas_max_bytes = cas_max_mb.map(|mb| mb * 1024 * 1024);
+    let store = lclint_core::StoreConfig {
+        dir: cas_dir.as_ref().map(std::path::PathBuf::from),
+        max_bytes: cas_max_bytes,
+        remote: cas_remote.clone(),
+        chaos: cas_chaos.clone(),
+    };
 
     if let Some(dir) = &suite_gen {
         let tasks = lclint_fleet::generate_suite(suite_tasks, seed);
@@ -429,11 +474,7 @@ fn main() -> ExitCode {
     }
 
     if worker {
-        let runner = match lclint_fleet::TaskRunner::new(
-            flags,
-            cas_dir.as_deref().map(std::path::Path::new),
-            cas_max_bytes,
-        ) {
+        let runner = match lclint_fleet::TaskRunner::new(flags, &store) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("rlclint: cannot open cas store: {e}");
@@ -480,6 +521,14 @@ fn main() -> ExitCode {
         if let Some(mb) = cas_max_mb {
             wargs.push("--cas-max-mb".to_owned());
             wargs.push(mb.to_string());
+        }
+        if let Some(addr) = &cas_remote {
+            wargs.push("--cas-remote".to_owned());
+            wargs.push(addr.clone());
+        }
+        if let Some(spec) = &cas_chaos {
+            wargs.push("--cas-chaos".to_owned());
+            wargs.push(spec.clone());
         }
         let backend = lclint_fleet::ProcessBackend { program, args: wargs };
         let cfg = lclint_fleet::RunConfig {

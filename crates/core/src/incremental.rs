@@ -24,7 +24,6 @@
 
 use lclint_analysis::cache::{CacheEntry, CacheStats, CheckCache};
 use lclint_analysis::castore::{decode_entry, encode_entry, r_bytes, r_u32, r_u64, w_u32, w_u64};
-use lclint_analysis::CasStore;
 use lclint_syntax::Symbol;
 use std::fs;
 use std::io;
@@ -65,17 +64,25 @@ impl IncrementalSession {
     }
 
     /// Attaches a content-addressed backing store to the session's cache:
-    /// in-memory misses probe the shared directory, fresh results are
-    /// published to it, and [`CacheStats::cas_hits`]/`cas_misses` report
-    /// the traffic. See [`lclint_analysis::castore`].
-    pub fn set_cas(&mut self, store: CasStore) {
+    /// in-memory misses probe the shared directory (and, for a
+    /// [`lclint_analysis::LayeredStore`] with a remote tier, the network
+    /// store behind it), fresh results are published to it, and
+    /// [`CacheStats::cas_hits`]/`cas_misses` report the traffic. See
+    /// [`lclint_analysis::castore`] and [`lclint_analysis::remote`].
+    pub fn set_cas(&mut self, store: impl Into<lclint_analysis::LayeredStore>) {
         self.cache.set_backing(store);
     }
 
-    /// The backing store's counters, when one is attached via
+    /// The backing store's local-tier counters, when one is attached via
     /// [`IncrementalSession::set_cas`].
     pub fn cas_stats(&self) -> Option<lclint_analysis::CasStats> {
         self.cache.backing_stats().copied()
+    }
+
+    /// The backing store's remote-tier counters, when a remote is
+    /// attached.
+    pub fn cas_remote_stats(&self) -> Option<lclint_analysis::RemoteStats> {
+        self.cache.backing_remote_stats().copied()
     }
 
     /// A session persisted under `dir`: loads `dir/cache.bin` when present

@@ -36,7 +36,9 @@ pub use driver::{
 pub use flags::{FlagError, Flags};
 pub use incremental::IncrementalSession;
 pub use lclint_analysis::cache::CacheStats;
-pub use lclint_analysis::{CasStats, CasStore};
+pub use lclint_analysis::{
+    CasStats, CasStore, LayeredStore, RemoteClient, RemoteConfig, RemoteStats, StoreConfig,
+};
 pub use render::{render_all, RenderedDiagnostic, RenderedNote};
 pub use session::{Session, SessionStats};
 pub use stdlib::STDLIB_SOURCE;

@@ -18,7 +18,7 @@
 use crate::score::{SuiteReport, TaskResult, UnknownReason};
 use crate::suite::TaskSpec;
 use crate::worker::{TaskOutput, TaskRunner};
-use lclint_core::Flags;
+use lclint_core::{Flags, StoreConfig};
 use lclint_server::json::{self, Json, Writer};
 use std::io::{self, BufRead, BufReader, Write as _};
 use std::path::PathBuf;
@@ -70,10 +70,9 @@ pub trait Backend: Sync {
 pub struct InProcessBackend {
     /// Checker flags for every worker.
     pub flags: Flags,
-    /// Shared content-addressed store directory, if any.
-    pub cas_dir: Option<PathBuf>,
-    /// Store size bound in bytes, if any.
-    pub cas_max_bytes: Option<u64>,
+    /// Shared store configuration (local directory, size bound, and the
+    /// optional remote tier).
+    pub store: StoreConfig,
 }
 
 struct InProcessConn {
@@ -92,8 +91,7 @@ impl Conn for InProcessConn {
 
 impl Backend for InProcessBackend {
     fn connect(&self) -> io::Result<Box<dyn Conn>> {
-        let runner =
-            TaskRunner::new(self.flags.clone(), self.cas_dir.as_deref(), self.cas_max_bytes)?;
+        let runner = TaskRunner::new(self.flags.clone(), &self.store)?;
         Ok(Box::new(InProcessConn { runner }))
     }
 }
@@ -237,6 +235,14 @@ fn parse_task_response(line: &str) -> Option<TaskOutput> {
     out.cas.hits = count("cas_hits");
     out.cas.misses = count("cas_misses");
     out.cas.puts = count("cas_puts");
+    out.remote.hits = count("remote_hits");
+    out.remote.misses = count("remote_misses");
+    out.remote.puts = count("remote_puts");
+    out.remote.corrupt = count("remote_corrupt");
+    out.remote.errors = count("remote_errors");
+    out.remote.retries = count("remote_retries");
+    out.remote.trips = count("remote_trips");
+    out.remote.skipped = count("remote_skipped");
     Some(out)
 }
 
@@ -261,7 +267,7 @@ pub fn run_suite(tasks: &[TaskSpec], backend: &dyn Backend, cfg: &RunConfig) -> 
     let deadline = cfg.global_budget_ms.map(|ms| started + Duration::from_millis(ms));
     let task_budget = cfg.task_budget_ms.map(Duration::from_millis);
 
-    let per_shard: Vec<Vec<(usize, TaskResult)>> = thread::scope(|s| {
+    let per_shard: Vec<ShardOutcome> = thread::scope(|s| {
         let handles: Vec<_> = (0..shards)
             .map(|k| s.spawn(move || run_shard(tasks, backend, k, shards, task_budget, deadline)))
             .collect();
@@ -272,20 +278,23 @@ pub fn run_suite(tasks: &[TaskSpec], backend: &dyn Backend, cfg: &RunConfig) -> 
                 h.join().unwrap_or_else(|_| {
                     // A panicking shard thread must not take the run down:
                     // its tasks score `unknown (internal)`.
-                    tasks
+                    let results = tasks
                         .iter()
                         .enumerate()
                         .filter(|(i, _)| i % shards == k)
                         .map(|(i, t)| (i, TaskResult::unknown(t, UnknownReason::Internal)))
-                        .collect()
+                        .collect();
+                    ShardOutcome { results, respawns: 0 }
                 })
             })
             .collect()
     });
 
     let mut merged: Vec<Option<TaskResult>> = vec![None; tasks.len()];
+    let mut respawns = 0u64;
     for shard in per_shard {
-        for (i, r) in shard {
+        respawns += shard.respawns;
+        for (i, r) in shard.results {
             merged[i] = Some(r);
         }
     }
@@ -294,7 +303,22 @@ pub fn run_suite(tasks: &[TaskSpec], backend: &dyn Backend, cfg: &RunConfig) -> 
         .enumerate()
         .map(|(i, r)| r.unwrap_or_else(|| TaskResult::unknown(&tasks[i], UnknownReason::Internal)))
         .collect();
-    SuiteReport::new(results, shards, started.elapsed().as_secs_f64() * 1000.0)
+    SuiteReport::new(results, shards, started.elapsed().as_secs_f64() * 1000.0, respawns)
+}
+
+/// How many times a shard will respawn a worker that *died* (timeouts
+/// are exempt — each timed-out task already kills its worker by design,
+/// and a slow suite must not be mistaken for a crashing one). Past the
+/// cap the shard degrades: remaining tasks score `unknown (internal)`
+/// without further connect attempts, so a worker binary that dies on
+/// startup costs bounded wall-clock, not a respawn storm.
+const MAX_RESPAWNS: u64 = 3;
+
+/// One shard's results plus how often its worker had to be respawned
+/// after dying mid-task.
+struct ShardOutcome {
+    results: Vec<(usize, TaskResult)>,
+    respawns: u64,
 }
 
 fn run_shard(
@@ -304,15 +328,32 @@ fn run_shard(
     shards: usize,
     task_budget: Option<Duration>,
     deadline: Option<Instant>,
-) -> Vec<(usize, TaskResult)> {
+) -> ShardOutcome {
     let mut out = Vec::new();
     let mut conn: Option<Box<dyn Conn>> = None;
+    let mut deaths = 0u64;
+    let mut respawns = 0u64;
+    let mut respawning_after_death = false;
     for (i, task) in tasks.iter().enumerate().filter(|(i, _)| i % shards == k) {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             out.push((i, TaskResult::unknown(task, UnknownReason::GlobalBudget)));
             continue;
         }
+        // Respawn budget exhausted: the worker dies repeatedly, so stop
+        // feeding it tasks and degrade the rest of the shard.
+        if conn.is_none() && deaths > MAX_RESPAWNS {
+            out.push((i, TaskResult::unknown(task, UnknownReason::Internal)));
+            continue;
+        }
         if conn.is_none() {
+            if respawning_after_death {
+                // Reconnecting after a death: count the respawn and back
+                // off (1/2/4 ms) so a crash loop cannot spin hot. Timeout
+                // reconnects are exempt from both the count and the sleep.
+                respawning_after_death = false;
+                respawns += 1;
+                thread::sleep(Duration::from_millis(1 << (deaths - 1).min(2)));
+            }
             conn = backend.connect().ok();
         }
         let Some(c) = conn.as_mut() else {
@@ -328,10 +369,12 @@ fn run_shard(
             Err(ConnError::Died) => {
                 out.push((i, TaskResult::unknown(task, UnknownReason::Internal)));
                 conn = None;
+                deaths += 1;
+                respawning_after_death = true;
             }
         }
     }
-    out
+    ShardOutcome { results: out, respawns }
 }
 
 #[cfg(test)]
@@ -350,7 +393,7 @@ mod tests {
         let tasks = small_suite();
         let report = run_suite(
             &tasks,
-            &InProcessBackend { flags: Flags::default(), cas_dir: None, cas_max_bytes: None },
+            &InProcessBackend { flags: Flags::default(), store: StoreConfig::default() },
             &RunConfig::default(),
         );
         assert_eq!(report.incorrect(), 0, "{}", report.render_verdicts());
@@ -361,8 +404,7 @@ mod tests {
     #[test]
     fn merged_tables_are_shard_invariant() {
         let tasks = small_suite();
-        let backend =
-            InProcessBackend { flags: Flags::default(), cas_dir: None, cas_max_bytes: None };
+        let backend = InProcessBackend { flags: Flags::default(), store: StoreConfig::default() };
         let base = run_suite(&tasks, &backend, &RunConfig { shards: 1, ..RunConfig::default() });
         for shards in 2..=4 {
             let r = run_suite(&tasks, &backend, &RunConfig { shards, ..RunConfig::default() });
@@ -423,6 +465,55 @@ mod tests {
         assert_eq!(report.results[3].verdict, Verdict::True);
         // One initial connection plus one respawn.
         assert_eq!(backend.connects.load(Ordering::SeqCst), 2);
+        assert_eq!(report.respawns, 1);
+    }
+
+    /// A backend whose every connection dies on its first task.
+    struct DyingBackend {
+        connects: AtomicUsize,
+    }
+
+    struct DyingConn;
+
+    impl Conn for DyingConn {
+        fn run_task(
+            &mut self,
+            _task: &TaskSpec,
+            _b: Option<Duration>,
+        ) -> Result<TaskOutput, ConnError> {
+            Err(ConnError::Died)
+        }
+    }
+
+    impl Backend for DyingBackend {
+        fn connect(&self) -> io::Result<Box<dyn Conn>> {
+            self.connects.fetch_add(1, Ordering::SeqCst);
+            Ok(Box::new(DyingConn))
+        }
+    }
+
+    #[test]
+    fn repeatedly_dying_worker_hits_the_respawn_cap_and_degrades() {
+        let task = |name: &str| TaskSpec {
+            name: name.to_owned(),
+            text: String::new(),
+            category: Category::Deref,
+            expect: Expected::True,
+            max_steps: None,
+            class: None,
+        };
+        // More tasks than the respawn budget allows connections for.
+        let tasks: Vec<TaskSpec> = (0..10).map(|i| task(&format!("t{i}"))).collect();
+        let backend = DyingBackend { connects: AtomicUsize::new(0) };
+        let report = run_suite(&tasks, &backend, &RunConfig::default());
+        // Every task degrades to unknown (internal) — never a verdict.
+        for r in &report.results {
+            assert_eq!(r.verdict, Verdict::Unknown(UnknownReason::Internal));
+        }
+        // Initial connect plus exactly MAX_RESPAWNS respawns; the
+        // remaining tasks were degraded without reconnecting.
+        assert_eq!(backend.connects.load(Ordering::SeqCst), 1 + MAX_RESPAWNS as usize);
+        assert_eq!(report.respawns, MAX_RESPAWNS);
     }
 
     #[test]
@@ -452,11 +543,19 @@ mod tests {
     fn worker_responses_parse_back_into_outputs() {
         let line = "{\"id\": 1, \"result\": {\"kinds\": [\"mustfree\"], \"internal\": false, \
                     \"budget\": false, \"cas_hits\": 3, \"cas_misses\": 1, \"cas_puts\": 1, \
-                    \"ms\": 2.5}}";
+                    \"remote_hits\": 2, \"remote_misses\": 1, \"remote_puts\": 1, \
+                    \"remote_corrupt\": 0, \"remote_errors\": 1, \"remote_retries\": 2, \
+                    \"remote_trips\": 0, \"remote_skipped\": 0, \"ms\": 2.5}}";
         let out = parse_task_response(line).unwrap();
         assert_eq!(out.kinds, vec!["mustfree".to_owned()]);
         assert!(!out.internal && !out.budget);
         assert_eq!((out.cas.hits, out.cas.misses, out.cas.puts), (3, 1, 1));
+        assert_eq!((out.remote.hits, out.remote.misses, out.remote.puts), (2, 1, 1));
+        assert_eq!((out.remote.errors, out.remote.retries), (1, 2));
+        // Frames from a pre-remote worker parse with zeroed remote stats.
+        let old = "{\"id\": 1, \"result\": {\"kinds\": [], \"internal\": false, \
+                   \"budget\": false, \"ms\": 0.1}}";
+        assert!(parse_task_response(old).unwrap().remote.is_empty());
         let err = parse_task_response("{\"id\": 1, \"error\": {\"message\": \"boom\"}}").unwrap();
         assert!(err.internal);
         assert!(parse_task_response("garbage").is_none());

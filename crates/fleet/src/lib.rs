@@ -32,8 +32,7 @@
 //! let tasks = generate_suite(4, 7);
 //! let backend = InProcessBackend {
 //!     flags: lclint_core::Flags::default(),
-//!     cas_dir: None,
-//!     cas_max_bytes: None,
+//!     store: lclint_core::StoreConfig::default(),
 //! };
 //! let report = run_suite(&tasks, &backend, &RunConfig::default());
 //! assert_eq!(report.incorrect(), 0);

@@ -10,7 +10,7 @@
 
 use crate::suite::{Category, Expected, TaskSpec};
 use crate::worker::TaskOutput;
-use lclint_core::CasStats;
+use lclint_core::{CasStats, RemoteStats};
 use std::fmt::Write as _;
 
 /// Why a task scored `unknown`.
@@ -157,6 +157,9 @@ pub struct TaskResult {
     pub ms: f64,
     /// Content-addressed store activity attributable to the task.
     pub cas: CasStats,
+    /// Remote-tier store activity attributable to the task (all zero
+    /// without a remote).
+    pub remote: RemoteStats,
 }
 
 impl TaskResult {
@@ -171,6 +174,7 @@ impl TaskResult {
             outcome: outcome_for(task.expect, verdict),
             ms: out.ms,
             cas: out.cas,
+            remote: out.remote,
         }
     }
 
@@ -184,6 +188,7 @@ impl TaskResult {
             outcome: Outcome::Unknown,
             ms: 0.0,
             cas: CasStats::default(),
+            remote: RemoteStats::default(),
         }
     }
 }
@@ -229,16 +234,27 @@ pub struct SuiteReport {
     pub wall_ms: f64,
     /// Summed per-task content-addressed store counters.
     pub cas: CasStats,
+    /// Summed per-task remote-tier counters (all zero without a remote).
+    pub remote: RemoteStats,
+    /// Workers respawned after dying mid-task (capped per shard).
+    pub respawns: u64,
 }
 
 impl SuiteReport {
     /// Builds a report from merged, suite-ordered results.
-    pub fn new(results: Vec<TaskResult>, shards: usize, wall_ms: f64) -> SuiteReport {
+    pub fn new(
+        results: Vec<TaskResult>,
+        shards: usize,
+        wall_ms: f64,
+        respawns: u64,
+    ) -> SuiteReport {
         let mut cas = CasStats::default();
+        let mut remote = RemoteStats::default();
         for r in &results {
             cas.add(&r.cas);
+            remote.add(&r.remote);
         }
-        SuiteReport { results, shards, wall_ms, cas }
+        SuiteReport { results, shards, wall_ms, cas, remote, respawns }
     }
 
     /// The score counters for one category.
@@ -328,9 +344,14 @@ impl SuiteReport {
     pub fn render_timing(&self) -> String {
         let total = self.total();
         let mut s = String::new();
+        let respawned = if self.respawns > 0 {
+            format!(", {} worker respawn(s)", self.respawns)
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             s,
-            "{} tasks across {} shard(s) in {:.1} ms (score {})",
+            "{} tasks across {} shard(s) in {:.1} ms (score {}){respawned}",
             total.tasks, self.shards, self.wall_ms, total.score
         );
         let probes = self.cas.hits + self.cas.misses;
@@ -340,6 +361,14 @@ impl SuiteReport {
             "cas: {} hits / {} misses ({rate:.1}% hit rate), {} puts, {} races, {} corrupt, {} evicted",
             self.cas.hits, self.cas.misses, self.cas.puts, self.cas.races, self.cas.corrupt, self.cas.evicted
         );
+        if !self.remote.is_empty() {
+            let r = &self.remote;
+            let _ = writeln!(
+                s,
+                "remote: {} hits / {} misses, {} puts, {} corrupt, {} errors, {} retries, {} trips, {} skipped",
+                r.hits, r.misses, r.puts, r.corrupt, r.errors, r.retries, r.trips, r.skipped
+            );
+        }
         s
     }
 }
@@ -402,7 +431,7 @@ mod tests {
                 UnknownReason::Timeout,
             ),
         ];
-        let report = SuiteReport::new(results, 2, 12.5);
+        let report = SuiteReport::new(results, 2, 12.5, 0);
         let total = report.total();
         assert_eq!(total.tasks, 4);
         assert_eq!(total.correct_true, 1);

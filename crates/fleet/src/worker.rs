@@ -25,11 +25,12 @@
 //!   entirely.
 
 use lclint_analysis::castore::{self, r_str, r_u32, r_u8, w_str, w_u32, w_u8};
-use lclint_core::{CasStats, CasStore, Flags, IncrementalSession, Linter};
+use lclint_core::{
+    CasStats, Flags, IncrementalSession, LayeredStore, Linter, RemoteStats, StoreConfig,
+};
 use lclint_server::json::{self, Json, Writer};
 use lclint_server::{error_response, result_response, Handler};
 use std::io;
-use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -48,6 +49,9 @@ pub struct TaskOutput {
     pub budget: bool,
     /// Content-addressed store activity attributable to this task.
     pub cas: CasStats,
+    /// Remote-tier store activity attributable to this task (all zero
+    /// without `--cas-remote`).
+    pub remote: RemoteStats,
     /// Wall-clock milliseconds the worker spent on the task.
     pub ms: f64,
 }
@@ -57,30 +61,31 @@ pub struct TaskOutput {
 pub struct TaskRunner {
     flags: Flags,
     session: IncrementalSession,
-    task_cas: Option<CasStore>,
+    task_cas: Option<LayeredStore>,
 }
 
 impl TaskRunner {
-    /// Creates a runner. With `cas_dir`, both cache layers attach to the
-    /// store (two handles on one directory — safe by the CAS's
-    /// concurrent-writer discipline).
+    /// Creates a runner. With a store directory configured, both cache
+    /// layers attach to it (two handles on one directory — safe by the
+    /// CAS's concurrent-writer discipline); with a remote address, the
+    /// task-level handle layers a
+    /// [`RemoteClient`](lclint_core::RemoteClient) above the directory.
     ///
     /// # Errors
     ///
-    /// Propagates store-directory I/O failures.
-    pub fn new(
-        flags: Flags,
-        cas_dir: Option<&Path>,
-        cas_max_bytes: Option<u64>,
-    ) -> io::Result<TaskRunner> {
+    /// Propagates store-directory I/O failures. A dead or unreachable
+    /// remote is *not* an error — it degrades per the breaker policy.
+    pub fn new(flags: Flags, store: &StoreConfig) -> io::Result<TaskRunner> {
         let mut session = IncrementalSession::in_memory();
-        let task_cas = match cas_dir {
-            Some(dir) => {
-                session.set_cas(CasStore::open(dir, cas_max_bytes)?);
-                Some(CasStore::open(dir, cas_max_bytes)?)
-            }
-            None => None,
-        };
+        // The function layer stays local-only even with a remote
+        // configured: its entries are numerous and tiny, so a network
+        // round trip per probe costs more than re-deriving the entry.
+        // Whole-task artifacts are the remote unit of sharing.
+        let function_layer = StoreConfig::local(store.dir.clone(), store.max_bytes);
+        if let Some(layered) = function_layer.open()? {
+            session.set_cas(layered);
+        }
+        let task_cas = store.open()?;
         Ok(TaskRunner { flags, session, task_cas })
     }
 
@@ -93,12 +98,22 @@ impl TaskRunner {
         totals
     }
 
+    /// Cumulative remote-tier counters across both cache layers.
+    pub fn remote_totals(&self) -> RemoteStats {
+        let mut totals = self.session.cas_remote_stats().unwrap_or_default();
+        if let Some(r) = self.task_cas.as_ref().and_then(LayeredStore::remote_stats) {
+            totals.add(r);
+        }
+        totals
+    }
+
     /// Checks one task and reports its kind set. Never panics outward:
     /// any engine failure is folded into `internal` so the coordinator
     /// can score `unknown` and move on.
     pub fn run(&mut self, name: &str, text: &str, max_steps: Option<u64>) -> TaskOutput {
         let started = Instant::now();
         let before = self.cas_totals();
+        let remote_before = self.remote_totals();
         let mut linter = Linter::new(self.flags.clone());
         if max_steps.is_some() {
             linter.flags.analysis.max_steps = max_steps;
@@ -153,6 +168,7 @@ impl TaskRunner {
             out
         };
         out.cas = self.cas_totals().since(&before);
+        out.remote = self.remote_totals().since(&remote_before);
         out.ms = started.elapsed().as_secs_f64() * 1000.0;
         out
     }
@@ -242,6 +258,14 @@ fn render_task(out: &TaskOutput) -> String {
         .num("cas_hits", out.cas.hits as usize)
         .num("cas_misses", out.cas.misses as usize)
         .num("cas_puts", out.cas.puts as usize)
+        .num("remote_hits", out.remote.hits as usize)
+        .num("remote_misses", out.remote.misses as usize)
+        .num("remote_puts", out.remote.puts as usize)
+        .num("remote_corrupt", out.remote.corrupt as usize)
+        .num("remote_errors", out.remote.errors as usize)
+        .num("remote_retries", out.remote.retries as usize)
+        .num("remote_trips", out.remote.trips as usize)
+        .num("remote_skipped", out.remote.skipped as usize)
         .ms("ms", out.ms)
         .done()
 }
@@ -282,7 +306,7 @@ mod tests {
 
     #[test]
     fn runner_reports_kind_sets() {
-        let mut r = TaskRunner::new(Flags::default(), None, None).unwrap();
+        let mut r = TaskRunner::new(Flags::default(), &StoreConfig::default()).unwrap();
         let out = r.run("leak.c", LEAKY, None);
         assert!(out.kinds.iter().any(|k| k == "mustfree"), "{:?}", out.kinds);
         assert!(!out.internal && !out.budget);
@@ -292,7 +316,7 @@ mod tests {
 
     #[test]
     fn tiny_budget_reports_budget_not_a_verdict() {
-        let mut r = TaskRunner::new(Flags::default(), None, None).unwrap();
+        let mut r = TaskRunner::new(Flags::default(), &StoreConfig::default()).unwrap();
         let out = r.run("leak.c", LEAKY, Some(1));
         assert!(out.budget, "{:?}", out.kinds);
     }
@@ -301,10 +325,14 @@ mod tests {
     fn task_artifacts_round_trip_through_the_store() {
         let dir = std::env::temp_dir().join(format!("lclint-fleet-worker-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let mut cold = TaskRunner::new(Flags::default(), Some(&dir), None).unwrap();
+        let mut cold =
+            TaskRunner::new(Flags::default(), &StoreConfig::local(Some(dir.clone()), None))
+                .unwrap();
         let first = cold.run("leak.c", LEAKY, None);
         // A second runner on the same store must hit at the task level.
-        let mut warm = TaskRunner::new(Flags::default(), Some(&dir), None).unwrap();
+        let mut warm =
+            TaskRunner::new(Flags::default(), &StoreConfig::local(Some(dir.clone()), None))
+                .unwrap();
         let second = warm.run("leak.c", LEAKY, None);
         assert_eq!(first.kinds, second.kinds);
         assert!(second.cas.hits >= 1, "expected a task-level hit: {:?}", second.cas);
@@ -316,7 +344,7 @@ mod tests {
 
     #[test]
     fn worker_protocol_serves_tasks() {
-        let runner = TaskRunner::new(Flags::default(), None, None).unwrap();
+        let runner = TaskRunner::new(Flags::default(), &StoreConfig::default()).unwrap();
         let w = Worker::new(runner);
         let req = Writer::obj()
             .num("id", 1)
@@ -336,7 +364,7 @@ mod tests {
 
     #[test]
     fn worker_rejects_malformed_requests() {
-        let w = Worker::new(TaskRunner::new(Flags::default(), None, None).unwrap());
+        let w = Worker::new(TaskRunner::new(Flags::default(), &StoreConfig::default()).unwrap());
         assert!(w.handle_line("not json").contains("error"));
         assert!(w.handle_line("{\"id\": 1, \"method\": \"task\"}").contains("error"));
         assert!(w.handle_line("{\"id\": 1, \"method\": \"nope\"}").contains("error"));

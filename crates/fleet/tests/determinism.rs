@@ -3,7 +3,7 @@
 //! table and the per-task verdict listing are byte-identical — sharding
 //! changes wall-clock time, never output.
 
-use lclint_core::Flags;
+use lclint_core::{Flags, StoreConfig};
 use lclint_fleet::coordinator::{run_suite, InProcessBackend, RunConfig};
 use lclint_fleet::suite::{generate_suite, TaskSpec};
 use proptest::prelude::*;
@@ -17,7 +17,7 @@ fn base_suite() -> &'static [TaskSpec] {
 }
 
 fn backend() -> InProcessBackend {
-    InProcessBackend { flags: Flags::default(), cas_dir: None, cas_max_bytes: None }
+    InProcessBackend { flags: Flags::default(), store: StoreConfig::default() }
 }
 
 proptest! {

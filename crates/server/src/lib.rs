@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cas;
 pub mod json;
 
 use json::{Json, Writer};
@@ -299,13 +300,15 @@ pub fn serve_connection(
 
 /// Accept loop shared by the Unix-socket and TCP listeners: polls a
 /// non-blocking accept so a `shutdown` served on any connection stops
-/// the daemon promptly.
-fn accept_loop<L, S>(
-    daemon: &Arc<Daemon>,
+/// the daemon promptly. Generic over the handler, so the analysis
+/// daemon and the CAS service share one hardened loop.
+fn accept_loop<H, L, S>(
+    daemon: &Arc<H>,
     listener: L,
     accept: fn(&L) -> io::Result<S>,
 ) -> io::Result<()>
 where
+    H: Handler + 'static,
     S: io::Read + Write + Send + 'static,
 {
     let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -315,10 +318,14 @@ where
                 let daemon = Arc::clone(daemon);
                 workers.push(std::thread::spawn(move || {
                     let mut stream = stream;
-                    // A per-connection failure (client gone) is not a
-                    // daemon failure.
+                    // A per-connection failure (client gone, a partial
+                    // frame at disconnect, even a handler panic) is not
+                    // a daemon failure: the thread ends, the next
+                    // accepted connection gets a healthy handler.
                     let reader = BufReader::new(&mut stream as &mut dyn ReadWrite);
-                    let _ = serve_split(&daemon, reader);
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _ = serve_split(&*daemon, reader);
+                    }));
                 }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -326,6 +333,8 @@ where
             }
             Err(e) => return Err(e),
         }
+        // Reap finished connection threads so a long-lived daemon does
+        // not accumulate handles (the threads themselves already exited).
         workers.retain(|w| !w.is_finished());
     }
     for w in workers {
@@ -339,20 +348,52 @@ where
 trait ReadWrite: io::Read + io::Write {}
 impl<T: io::Read + io::Write> ReadWrite for T {}
 
-fn serve_split(daemon: &Daemon, mut reader: BufReader<&mut dyn ReadWrite>) -> io::Result<()> {
+fn serve_split(daemon: &impl Handler, mut reader: BufReader<&mut dyn ReadWrite>) -> io::Result<()> {
     let mut line = String::new();
     loop {
         line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(());
+        // Read one full request line. Accepted sockets carry a short
+        // read timeout (see the accept closures), so an idle connection
+        // wakes up periodically to notice a daemon shutdown instead of
+        // pinning its thread in `read_line` forever — without it, the
+        // accept loop's final join would deadlock on any client that
+        // stays connected across shutdown. `read_line` appends across
+        // timeout retries, so a request split over several reads is
+        // reassembled, not dropped.
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()),
+                Ok(_) if line.ends_with('\n') => break,
+                // A client that disconnects mid-frame leaves a partial
+                // line at EOF: no request to answer, no state to clean
+                // up — handlers take their locks only inside
+                // `handle_line`, so the thread just ends.
+                Ok(_) => return Ok(()),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if daemon.is_shut_down() {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
         if line.trim().is_empty() {
             continue;
         }
-        let resp = daemon.handle_line(line.trim_end());
+        let mut resp = daemon.handle_line(line.trim_end());
+        resp.push('\n');
+        // One write per response frame: splitting the newline into its
+        // own write costs a Nagle/delayed-ACK round trip per request on
+        // TCP transports.
         let stream = reader.get_mut();
         stream.write_all(resp.as_bytes())?;
-        stream.write_all(b"\n")?;
         stream.flush()?;
         if daemon.is_shut_down() {
             return Ok(());
@@ -366,20 +407,26 @@ fn serve_split(daemon: &Daemon, mut reader: BufReader<&mut dyn ReadWrite>) -> io
 /// # Errors
 ///
 /// Propagates bind/accept failures.
-pub fn serve_unix(daemon: &Arc<Daemon>, path: &Path) -> io::Result<()> {
+pub fn serve_unix<H: Handler + 'static>(daemon: &Arc<H>, path: &Path) -> io::Result<()> {
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
     listener.set_nonblocking(true)?;
     let r = accept_loop(daemon, listener, |l| {
         let (s, _) = l.accept()?;
         // Accepted sockets inherit the listener's non-blocking mode;
-        // connection handlers expect blocking reads.
+        // connection handlers expect blocking reads — bounded by the
+        // shutdown-poll timeout (see `serve_split`).
         s.set_nonblocking(false)?;
+        s.set_read_timeout(Some(SHUTDOWN_POLL))?;
         Ok(s)
     });
     let _ = std::fs::remove_file(path);
     r
 }
+
+/// How long a connection handler blocks in a read before re-checking
+/// the shutdown latch.
+const SHUTDOWN_POLL: std::time::Duration = std::time::Duration::from_millis(50);
 
 /// Serves on a TCP listener (e.g. `127.0.0.1:0`). Returns when a
 /// `shutdown` request has been handled.
@@ -387,11 +434,15 @@ pub fn serve_unix(daemon: &Arc<Daemon>, path: &Path) -> io::Result<()> {
 /// # Errors
 ///
 /// Propagates bind/accept failures.
-pub fn serve_tcp(daemon: &Arc<Daemon>, listener: TcpListener) -> io::Result<()> {
+pub fn serve_tcp<H: Handler + 'static>(daemon: &Arc<H>, listener: TcpListener) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     accept_loop(daemon, listener, |l| {
         let (s, _) = l.accept()?;
         s.set_nonblocking(false)?;
+        s.set_read_timeout(Some(SHUTDOWN_POLL))?;
+        // Responses are single sub-MTU frames; leaving Nagle on stalls
+        // every request/response round trip on the delayed-ACK timer.
+        s.set_nodelay(true)?;
         Ok(s)
     })
 }

@@ -11,14 +11,22 @@
 //!   --socket PATH      serve on a Unix-domain socket instead of stdio
 //!   --tcp ADDR         serve on a TCP address (e.g. 127.0.0.1:7357)
 //!
-//! With --socket/--tcp the daemon prints one `listening <endpoint>` line
-//! on stderr once it accepts connections, and exits after a `shutdown`
-//! request. On stdio it also exits at end-of-input.
+//! Remote cache mode (no .c files; serves a castore directory to a
+//! fleet — see `rlclint --suite … --cas-remote`):
+//!   --cas-serve ADDR   serve the content-addressed store over TCP
+//!   --cas DIR          the store directory to serve (required)
+//!   --cas-max-mb N     bound the served store's size
+//!
+//! With --socket/--tcp/--cas-serve the daemon prints one
+//! `listening <endpoint>` line on stderr once it accepts connections,
+//! and exits after a `shutdown` request. On stdio it also exits at
+//! end-of-input.
 //!
 //! Exit codes: 0 clean shutdown (or end of stdin), 2 usage or I/O error.
 //! ```
 
-use lclint_core::{Flags, Linter, Session};
+use lclint_core::{CasStore, Flags, Linter, Session};
+use lclint_server::cas::CasService;
 use lclint_server::{serve_connection, serve_tcp, serve_unix, Daemon};
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
@@ -27,13 +35,45 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: rlclintd [flags] [--jobs N] [--incremental DIR] [--socket PATH | --tcp ADDR] file.c [...]\n\
+       \x20 rlclintd --cas-serve ADDR --cas DIR [--cas-max-mb N]\n\
          \n\
          Serves line-delimited JSON requests (check / didChange / stats / shutdown)\n\
          over stdio (default), a Unix socket, or TCP, keeping the parsed program\n\
-         and check cache warm between requests.\n\
+         and check cache warm between requests. With --cas-serve, serves a\n\
+         content-addressed artifact store (get / put / stat / shutdown) to a fleet.\n\
          exit codes: 0 clean shutdown, 2 usage/IO error"
     );
     std::process::exit(2)
+}
+
+/// `--cas-serve` mode: bind, announce, serve the store until shutdown.
+fn serve_cas(addr: &str, dir: &str, max_bytes: Option<u64>) -> ExitCode {
+    let store = match CasStore::open(dir, max_bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rlclintd: cannot open cas dir {dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let service = Arc::new(CasService::new(store));
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("rlclintd: cannot bind {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match listener.local_addr() {
+        Ok(local) => eprintln!("rlclintd: listening {local}"),
+        Err(_) => eprintln!("rlclintd: listening {addr}"),
+    }
+    match serve_tcp(&service, listener) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rlclintd: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -48,6 +88,9 @@ fn main() -> ExitCode {
     let mut incremental_dir: Option<String> = None;
     let mut socket: Option<String> = None;
     let mut tcp: Option<String> = None;
+    let mut cas_serve: Option<String> = None;
+    let mut cas_dir: Option<String> = None;
+    let mut cas_max_mb: Option<u64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -91,6 +134,27 @@ fn main() -> ExitCode {
                 let Some(a) = args.get(i) else { usage() };
                 tcp = Some(a.clone());
             }
+            "--cas-serve" => {
+                i += 1;
+                let Some(a) = args.get(i) else { usage() };
+                cas_serve = Some(a.clone());
+            }
+            "--cas" => {
+                i += 1;
+                let Some(d) = args.get(i) else { usage() };
+                cas_dir = Some(d.clone());
+            }
+            "--cas-max-mb" => {
+                i += 1;
+                let Some(n) = args.get(i) else { usage() };
+                match n.parse::<u64>() {
+                    Ok(n) => cas_max_mb = Some(n),
+                    Err(_) => {
+                        eprintln!("rlclintd: --cas-max-mb expects a number, got `{n}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             _ if a.starts_with('+') || (a.starts_with('-') && !a.starts_with("--")) => {
                 if let Err(e) = flags.apply(a) {
                     eprintln!("rlclintd: {e}");
@@ -111,6 +175,21 @@ fn main() -> ExitCode {
             },
         }
         i += 1;
+    }
+    if let Some(addr) = cas_serve {
+        if socket.is_some() || tcp.is_some() || !roots.is_empty() {
+            eprintln!("rlclintd: --cas-serve is exclusive with --socket/--tcp and .c files");
+            return ExitCode::from(2);
+        }
+        let Some(dir) = cas_dir else {
+            eprintln!("rlclintd: --cas-serve requires --cas DIR");
+            return ExitCode::from(2);
+        };
+        return serve_cas(&addr, &dir, cas_max_mb.map(|mb| mb * 1024 * 1024));
+    }
+    if cas_dir.is_some() || cas_max_mb.is_some() {
+        eprintln!("rlclintd: --cas/--cas-max-mb require --cas-serve");
+        return ExitCode::from(2);
     }
     if roots.is_empty() {
         eprintln!("rlclintd: no .c files given");

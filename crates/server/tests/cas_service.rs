@@ -1,0 +1,110 @@
+//! The remote castore protocol end to end: a real `CasService` behind
+//! `serve_tcp`, driven by the real `RemoteClient` over loopback, plus
+//! the daemon-robustness regression — a client killed mid-frame must
+//! not wedge the service for the next client.
+
+use lclint_analysis::remote::{RemoteClient, RemoteConfig};
+use lclint_analysis::CasStore;
+use lclint_server::cas::CasService;
+use lclint_server::serve_tcp;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Binds a fresh service on a loopback port; returns the address and
+/// the serving thread (which exits after a `shutdown` op).
+fn start_service(tag: &str) -> (String, std::thread::JoinHandle<()>, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("lclint-cassvc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CasStore::open(&dir, None).unwrap();
+    let service = Arc::new(CasService::new(store));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || {
+        serve_tcp(&service, listener).unwrap();
+    });
+    (addr, handle, dir)
+}
+
+fn shutdown(addr: &str) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+    let mut r = String::new();
+    let _ = BufReader::new(&s).read_line(&mut r);
+}
+
+#[test]
+fn remote_client_round_trips_against_a_real_server() {
+    let (addr, handle, dir) = start_service("rt");
+    let mut client = RemoteClient::connect(RemoteConfig::new(addr.clone()));
+    assert_eq!(client.get(0xfeed), None, "empty store must miss");
+    client.put(0xfeed, b"shared artifact bytes");
+    assert_eq!(client.get(0xfeed).as_deref(), Some(b"shared artifact bytes".as_slice()));
+    // A second client (second host) sees the artifact too.
+    let mut other = RemoteClient::connect(RemoteConfig::new(addr.clone()));
+    assert_eq!(other.get(0xfeed).as_deref(), Some(b"shared artifact bytes".as_slice()));
+    let s = client.stats();
+    assert_eq!((s.hits, s.misses, s.puts, s.errors, s.corrupt), (1, 1, 1, 0, 0));
+    shutdown(&addr);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn client_killed_mid_frame_does_not_wedge_the_next_client() {
+    let (addr, handle, dir) = start_service("midframe");
+
+    // Seed an artifact so the follow-up client has something to read.
+    let mut seeder = RemoteClient::connect(RemoteConfig::new(addr.clone()));
+    seeder.put(0xabc, b"survives rude clients");
+
+    // A rude client: sends half a request with no newline, then drops
+    // the socket. The per-connection thread must just exit — no leaked
+    // thread spinning, no poisoned store mutex.
+    {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(b"{\"op\":\"get\",\"key\":\"0000").unwrap();
+        s.flush().unwrap();
+        // Dropped here: mid-frame disconnect.
+    }
+    // Another rude client: a complete garbage frame, then instant drop.
+    {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(b"{{{{garbage\n").unwrap();
+    }
+
+    // The next well-behaved client gets a correct, validated response.
+    let mut client = RemoteClient::connect(RemoteConfig::new(addr.clone()));
+    assert_eq!(
+        client.get(0xabc).as_deref(),
+        Some(b"survives rude clients".as_slice()),
+        "service must stay healthy after mid-frame disconnects"
+    );
+    assert_eq!(client.stats().errors, 0);
+
+    shutdown(&addr);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn corrupt_artifact_on_disk_is_served_as_a_miss() {
+    let (addr, handle, dir) = start_service("corrupt");
+    let mut client = RemoteClient::connect(RemoteConfig::new(addr.clone()));
+    client.put(0x11, b"will be corrupted");
+    // Smash the artifact behind the server's back.
+    let path = dir.join(format!("{:016x}.cas", 0x11u64));
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+    // The server's own validation rejects it: the client sees a miss,
+    // never a corrupt payload.
+    assert_eq!(client.get(0x11), None);
+    let s = client.stats();
+    assert_eq!((s.hits, s.corrupt), (0, 0), "server-side rejection is a clean miss");
+    assert_eq!(s.misses, 1);
+    shutdown(&addr);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+}

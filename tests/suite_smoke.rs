@@ -4,7 +4,7 @@
 //! declares the *wrong* expected verdict (which must surface as
 //! `incorrect`, proving the scoreboard would catch a lying oracle).
 
-use lclint_core::Flags;
+use lclint_core::{Flags, StoreConfig};
 use lclint_fleet::coordinator::{run_suite, InProcessBackend, RunConfig};
 use lclint_fleet::score::{Outcome, UnknownReason, Verdict};
 use lclint_fleet::suite::{load_suite, Category, Expected};
@@ -15,7 +15,7 @@ fn smoke_dir() -> std::path::PathBuf {
 }
 
 fn backend() -> InProcessBackend {
-    InProcessBackend { flags: Flags::default(), cas_dir: None, cas_max_bytes: None }
+    InProcessBackend { flags: Flags::default(), store: StoreConfig::default() }
 }
 
 #[test]
